@@ -1,0 +1,147 @@
+//! Grover's search algorithm.
+//!
+//! The paper's Fig. 5/14 workload: 3-qubit search for the marked state
+//! `|111>` over eight "boxes", scored by the probability of measuring the
+//! marked bitstring. The oracle and diffuser use the no-ancilla
+//! multi-controlled Z from [`crate::mct`], so the reference circuit is
+//! CNOT-heavy exactly as in the paper.
+
+use crate::mct::mcz;
+use qaprox_circuit::Circuit;
+
+/// The theoretically optimal iteration count `round(pi/4 sqrt(2^n))` (at
+/// least 1).
+pub fn optimal_iterations(num_qubits: usize) -> usize {
+    let n = (1usize << num_qubits) as f64;
+    ((std::f64::consts::FRAC_PI_4 * n.sqrt()).floor() as usize).max(1)
+}
+
+/// Appends the phase oracle marking `target`: flips the sign of `|target>`.
+pub fn oracle(circuit: &mut Circuit, target: usize) {
+    let n = circuit.num_qubits();
+    assert!(target < (1 << n), "marked state out of range");
+    // X on every 0-bit so the all-ones pattern corresponds to `target`
+    for q in 0..n {
+        if (target >> q) & 1 == 0 {
+            circuit.x(q);
+        }
+    }
+    let controls: Vec<usize> = (0..n - 1).collect();
+    mcz(circuit, &controls, n - 1);
+    for q in 0..n {
+        if (target >> q) & 1 == 0 {
+            circuit.x(q);
+        }
+    }
+}
+
+/// Appends the diffuser (inversion about the mean).
+pub fn diffuser(circuit: &mut Circuit) {
+    let n = circuit.num_qubits();
+    for q in 0..n {
+        circuit.h(q);
+        circuit.x(q);
+    }
+    let controls: Vec<usize> = (0..n - 1).collect();
+    mcz(circuit, &controls, n - 1);
+    for q in 0..n {
+        circuit.x(q);
+        circuit.h(q);
+    }
+}
+
+/// Builds the full Grover circuit searching for `target` with the given
+/// number of iterations.
+pub fn grover_circuit(num_qubits: usize, target: usize, iterations: usize) -> Circuit {
+    assert!(num_qubits >= 2, "Grover needs at least 2 qubits");
+    let mut c = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        oracle(&mut c, target);
+        diffuser(&mut c);
+    }
+    c
+}
+
+/// The paper's workload: 3 qubits, marked state `|111>`, optimal iterations.
+pub fn paper_grover() -> Circuit {
+    grover_circuit(3, 0b111, optimal_iterations(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::probabilities;
+
+    #[test]
+    fn optimal_iterations_for_small_sizes() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(3), 2);
+        assert_eq!(optimal_iterations(4), 3);
+    }
+
+    #[test]
+    fn two_qubit_grover_is_exact() {
+        // n=2 with 1 iteration finds the target with probability 1
+        for target in 0..4 {
+            let c = grover_circuit(2, target, 1);
+            let p = probabilities(&c.statevector());
+            assert!((p[target] - 1.0).abs() < 1e-10, "target {target}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn three_qubit_grover_amplifies_target() {
+        let c = paper_grover();
+        let p = probabilities(&c.statevector());
+        assert!(p[0b111] > 0.9, "2 iterations on 3 qubits reach ~0.945: {}", p[0b111]);
+        // all other outcomes share the remainder equally
+        for (i, &pi) in p.iter().enumerate() {
+            if i != 0b111 {
+                assert!(pi < 0.02, "non-target {i} too likely: {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_flips_only_target_phase() {
+        let mut c = Circuit::new(3);
+        oracle(&mut c, 0b010);
+        let u = c.unitary();
+        for col in 0..8 {
+            let expect = if col == 0b010 { -1.0 } else { 1.0 };
+            assert!(
+                (u[(col, col)].re - expect).abs() < 1e-8,
+                "diag[{col}] = {:?}",
+                u[(col, col)]
+            );
+        }
+    }
+
+    #[test]
+    fn reference_circuit_is_cnot_heavy() {
+        let c = paper_grover();
+        // 2 iterations x (oracle + diffuser) x 6-CNOT MCZ = 24 CNOTs minimum
+        assert!(c.cx_count() >= 20, "got {}", c.cx_count());
+    }
+
+    #[test]
+    fn different_targets_give_different_circuits() {
+        let a = grover_circuit(3, 0b111, 2);
+        let b = grover_circuit(3, 0b000, 2);
+        let pa = probabilities(&a.statevector());
+        let pb = probabilities(&b.statevector());
+        assert!(pa[0b111] > 0.9);
+        assert!(pb[0b000] > 0.9);
+    }
+
+    #[test]
+    fn overrotation_reduces_success() {
+        // 4 iterations on 3 qubits overshoots the optimum of 2
+        let good = probabilities(&grover_circuit(3, 0b111, 2).statevector())[0b111];
+        let over = probabilities(&grover_circuit(3, 0b111, 4).statevector())[0b111];
+        assert!(over < good, "overshoot {over} should underperform optimum {good}");
+    }
+}

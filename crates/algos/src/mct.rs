@@ -1,0 +1,291 @@
+//! Multi-controlled gates without ancilla qubits.
+//!
+//! The paper's Toffoli study uses Qiskit's no-ancilla `mcx`, whose CNOT
+//! count grows quickly with the number of controls — that growth is exactly
+//! what makes approximate circuits attractive (Obs. 4). We implement the
+//! classic Barenco et al. recursion over controlled square roots:
+//!
+//! `C^k(U) = C(V; c_k, t) . C^{k-1}X(c_1..c_{k-1}; c_k) . C(V^dag; c_k, t)
+//!  . C^{k-1}X(...) . C^{k-1}(V; c_1..c_{k-1}, t)` with `V^2 = U`,
+//! bottoming out in the textbook 6-CNOT Toffoli and the 2-CNOT controlled-U.
+
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::{zyz_decompose, Complex64};
+
+/// Appends a controlled one-qubit unitary using the ABC construction
+/// (2 CNOTs + one-qubit rotations).
+pub fn controlled_unitary(circuit: &mut Circuit, control: usize, target: usize, u: &Matrix) {
+    let zyz = zyz_decompose(u);
+    // U = e^{i alpha} U3(theta, phi, lambda)
+    //   = e^{i (alpha + (phi+lambda)/2)} Rz(phi) Ry(theta) Rz(lambda)
+    let (beta, gamma, delta) = (zyz.phi, zyz.theta, zyz.lambda);
+    let phase = zyz.alpha + (beta + delta) / 2.0;
+
+    // C = Rz((delta - beta)/2), B = Ry(-gamma/2) Rz(-(delta+beta)/2),
+    // A = Rz(beta) Ry(gamma/2); A X B X C = Rz(beta)Ry(gamma)Rz(delta), ABC = I.
+    circuit.rz((delta - beta) / 2.0, target);
+    circuit.cx(control, target);
+    circuit.rz(-(delta + beta) / 2.0, target);
+    circuit.ry(-gamma / 2.0, target);
+    circuit.cx(control, target);
+    circuit.ry(gamma / 2.0, target);
+    circuit.rz(beta, target);
+    // conditional global phase lives on the control
+    if phase.abs() > 1e-15 {
+        circuit.push(Gate::P(phase), &[control]);
+    }
+}
+
+/// Principal square root of a 2x2 unitary (via eigendecomposition).
+pub fn sqrt_unitary_2x2(u: &Matrix) -> Matrix {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "expected 2x2 unitary");
+    let a = u[(0, 0)];
+    let b = u[(0, 1)];
+    let c = u[(1, 0)];
+    let d = u[(1, 1)];
+    let tr = a + d;
+    let det = a * d - b * c;
+    // eigenvalues: roots of l^2 - tr l + det
+    let disc = (tr * tr - det * 4.0).sqrt();
+    let l1 = (tr + disc) * 0.5;
+    let l2 = (tr - disc) * 0.5;
+    if (l1 - l2).abs() < 1e-12 {
+        // U = l I (scalar): sqrt is sqrt(l) I
+        return Matrix::identity(2).scale(l1.sqrt());
+    }
+    // eigenvector for l1: columns of (U - l2 I); for l2: columns of (U - l1 I)
+    let pick_vec = |lam_other: Complex64| -> (Complex64, Complex64) {
+        let m00 = a - lam_other;
+        let m10 = c;
+        let m01 = b;
+        let m11 = d - lam_other;
+        // choose the larger column for stability
+        let col0 = m00.norm_sqr() + m10.norm_sqr();
+        let col1 = m01.norm_sqr() + m11.norm_sqr();
+        let (x, y) = if col0 >= col1 { (m00, m10) } else { (m01, m11) };
+        let n = (x.norm_sqr() + y.norm_sqr()).sqrt();
+        (x / n, y / n)
+    };
+    let (v1x, v1y) = pick_vec(l2);
+    let (v2x, v2y) = pick_vec(l1);
+    let s1 = l1.sqrt();
+    let s2 = l2.sqrt();
+    // V = s1 * v1 v1^dag + s2 * v2 v2^dag
+    let mut out = Matrix::zeros(2, 2);
+    for (s, (x, y)) in [(s1, (v1x, v1y)), (s2, (v2x, v2y))] {
+        out[(0, 0)] += s * x * x.conj();
+        out[(0, 1)] += s * x * y.conj();
+        out[(1, 0)] += s * y * x.conj();
+        out[(1, 1)] += s * y * y.conj();
+    }
+    out
+}
+
+/// Appends the textbook 6-CNOT Toffoli (`CCX`) with controls `c1, c2`.
+pub fn ccx(circuit: &mut Circuit, c1: usize, c2: usize, target: usize) {
+    circuit.h(target);
+    circuit.cx(c2, target);
+    circuit.push(Gate::Tdg, &[target]);
+    circuit.cx(c1, target);
+    circuit.push(Gate::T, &[target]);
+    circuit.cx(c2, target);
+    circuit.push(Gate::Tdg, &[target]);
+    circuit.cx(c1, target);
+    circuit.push(Gate::T, &[c2]);
+    circuit.push(Gate::T, &[target]);
+    circuit.h(target);
+    circuit.cx(c1, c2);
+    circuit.push(Gate::T, &[c1]);
+    circuit.push(Gate::Tdg, &[c2]);
+    circuit.cx(c1, c2);
+}
+
+/// Appends a multi-controlled one-qubit unitary (no ancilla) via the
+/// Barenco square-root recursion.
+pub fn mcu(circuit: &mut Circuit, controls: &[usize], target: usize, u: &Matrix) {
+    match controls.len() {
+        0 => {
+            circuit.push(Gate::Unitary1(Box::new(u.clone())), &[target]);
+        }
+        1 => controlled_unitary(circuit, controls[0], target, u),
+        _ => {
+            let (rest, last) = controls.split_at(controls.len() - 1);
+            let ck = last[0];
+            let v = sqrt_unitary_2x2(u);
+            controlled_unitary(circuit, ck, target, &v);
+            mcx(circuit, rest, ck);
+            controlled_unitary(circuit, ck, target, &v.adjoint());
+            mcx(circuit, rest, ck);
+            mcu(circuit, rest, target, &v);
+        }
+    }
+}
+
+/// Appends a multi-controlled X (no ancilla). Uses the 6-CNOT Toffoli for
+/// two controls and the square-root recursion above.
+pub fn mcx(circuit: &mut Circuit, controls: &[usize], target: usize) {
+    match controls.len() {
+        0 => {
+            circuit.x(target);
+        }
+        1 => {
+            circuit.cx(controls[0], target);
+        }
+        2 => ccx(circuit, controls[0], controls[1], target),
+        _ => mcu(circuit, controls, target, &Gate::X.matrix()),
+    }
+}
+
+/// Appends a multi-controlled Z (no ancilla): `H(t) . MCX . H(t)`.
+pub fn mcz(circuit: &mut Circuit, controls: &[usize], target: usize) {
+    circuit.h(target);
+    mcx(circuit, controls, target);
+    circuit.h(target);
+}
+
+/// Builds a standalone `n`-qubit multi-controlled Toffoli reference circuit:
+/// controls `0..n-1`, target `n-1` — the paper's "Qiskit mcx without
+/// ancilla" comparator.
+pub fn mct_reference(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 2, "Toffoli needs at least 2 qubits");
+    let mut c = Circuit::new(num_qubits);
+    let controls: Vec<usize> = (0..num_qubits - 1).collect();
+    mcx(&mut c, &controls, num_qubits - 1);
+    c
+}
+
+/// The ideal `n`-qubit MCX unitary as a permutation matrix (test oracle and
+/// synthesis target).
+pub fn mct_unitary(num_qubits: usize) -> Matrix {
+    let dim = 1usize << num_qubits;
+    let mut m = Matrix::zeros(dim, dim);
+    let control_mask = dim / 2 - 1; // bits 0..n-2
+    let target_bit = dim / 2; // bit n-1
+    for col in 0..dim {
+        let row = if col & control_mask == control_mask { col ^ target_bit } else { col };
+        m[(row, col)] = Complex64::ONE;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_linalg::random::haar_unitary;
+    use qaprox_metrics::hs_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sqrt_unitary_squares_back() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let u = haar_unitary(2, &mut rng);
+            let v = sqrt_unitary_2x2(&u);
+            assert!(v.is_unitary(1e-10), "sqrt not unitary");
+            assert!(v.matmul(&v).approx_eq(&u, 1e-9), "V^2 != U");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_identity_and_x() {
+        let i2 = Matrix::identity(2);
+        assert!(sqrt_unitary_2x2(&i2).approx_eq(&i2, 1e-12));
+        let x = Gate::X.matrix();
+        let v = sqrt_unitary_2x2(&x);
+        assert!(v.matmul(&v).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn controlled_unitary_matches_direct_embedding() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let u = haar_unitary(2, &mut rng);
+            let mut c = Circuit::new(2);
+            controlled_unitary(&mut c, 0, 1, &u);
+            // reference: controlled-U with control = qubit 0
+            let mut ref_c = Circuit::new(2);
+            ref_c.push(Gate::Unitary2(Box::new(qaprox_circuit::controlled(&u))), &[0, 1]);
+            assert!(
+                hs_distance(&c.unitary(), &ref_c.unitary()) < 1e-9,
+                "controlled-U decomposition wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn ccx_matches_toffoli_unitary() {
+        let mut c = Circuit::new(3);
+        ccx(&mut c, 0, 1, 2);
+        let mut expect = Matrix::identity(8);
+        // |011> <-> |111> (controls = qubits 0,1; target = 2)
+        expect[(0b011, 0b011)] = Complex64::ZERO;
+        expect[(0b111, 0b111)] = Complex64::ZERO;
+        expect[(0b111, 0b011)] = Complex64::ONE;
+        expect[(0b011, 0b111)] = Complex64::ONE;
+        assert!(hs_distance(&c.unitary(), &expect) < 1e-10);
+        assert_eq!(c.cx_count(), 6);
+    }
+
+    #[test]
+    fn mct_reference_matches_ideal_unitary() {
+        for n in [3usize, 4, 5] {
+            let c = mct_reference(n);
+            let d = hs_distance(&c.unitary(), &mct_unitary(n));
+            assert!(d < 1e-8, "{n}-qubit MCT distance {d}");
+        }
+    }
+
+    #[test]
+    fn mct_cnot_counts_grow_quickly() {
+        let c3 = mct_reference(3).cx_count();
+        let c4 = mct_reference(4).cx_count();
+        let c5 = mct_reference(5).cx_count();
+        assert_eq!(c3, 6, "3-qubit Toffoli is the 6-CNOT textbook circuit");
+        assert!(c4 > 2 * c3, "4q should cost much more than 3q: {c4}");
+        assert!(c5 > 2 * c4, "5q should cost much more than 4q: {c5}");
+    }
+
+    #[test]
+    fn mct_truth_table_behavior() {
+        // check every basis input for the 4-qubit MCT
+        let c = mct_reference(4);
+        let u = c.unitary();
+        for input in 0..16usize {
+            let expect = if input & 0b0111 == 0b0111 { input ^ 0b1000 } else { input };
+            let amp = u[(expect, input)];
+            assert!(
+                (amp.abs() - 1.0).abs() < 1e-8,
+                "input {input:04b} should map to {expect:04b}, amp {amp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mcz_is_diagonal_with_single_minus_one() {
+        let mut c = Circuit::new(3);
+        mcz(&mut c, &[0, 1], 2);
+        let u = c.unitary();
+        for col in 0..8 {
+            let expect = if col == 7 { -1.0 } else { 1.0 };
+            let diag = u[(col, col)];
+            assert!((diag.re - expect).abs() < 1e-8 && diag.im.abs() < 1e-8,
+                "diag[{col}] = {diag:?}");
+        }
+    }
+
+    #[test]
+    fn mcu_with_zero_and_one_controls() {
+        let x = Gate::X.matrix();
+        let mut c0 = Circuit::new(1);
+        mcu(&mut c0, &[], 0, &x);
+        assert!(hs_distance(&c0.unitary(), &x) < 1e-12);
+
+        let mut c1 = Circuit::new(2);
+        mcu(&mut c1, &[0], 1, &x);
+        let mut ref_c = Circuit::new(2);
+        ref_c.cx(0, 1);
+        assert!(hs_distance(&c1.unitary(), &ref_c.unitary()) < 1e-10);
+    }
+}

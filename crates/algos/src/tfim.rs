@@ -1,0 +1,213 @@
+//! Time-dependent Transverse-Field Ising Model circuits.
+//!
+//! `H(t) = -J sum_i Z_i Z_{i+1} - h(t) sum_i X_i`, first-order Trotterized:
+//! one timestep of length `dt` applies `exp(i J dt Z Z)` on every bond
+//! (CNOT - RZ - CNOT) followed by `exp(i h(t) dt X)` on every qubit (RX).
+//! The circuit for the k-th timestep contains k Trotter steps, so depth grows
+//! linearly — by step 21 the 3-qubit circuit holds 84 CNOTs, far past the
+//! NISQ fidelity budget. That growth is what the paper's approximate
+//! circuits attack (Figs. 2-4, 8-13).
+
+use qaprox_circuit::Circuit;
+
+/// The transverse-field schedule `h(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldSchedule {
+    /// Constant field.
+    Constant(f64),
+    /// Linear ramp from `from` at t=0 to `to` at `t_end`.
+    Ramp {
+        /// Field at time zero.
+        from: f64,
+        /// Field at `t_end`.
+        to: f64,
+        /// End of the ramp.
+        t_end: f64,
+    },
+    /// Sinusoidal drive `amp * cos(2 pi t / period)`.
+    Cosine {
+        /// Peak field.
+        amp: f64,
+        /// Drive period.
+        period: f64,
+    },
+}
+
+impl FieldSchedule {
+    /// Field value at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            FieldSchedule::Constant(h) => h,
+            FieldSchedule::Ramp { from, to, t_end } => {
+                if t_end <= 0.0 {
+                    to
+                } else {
+                    from + (to - from) * (t / t_end).clamp(0.0, 1.0)
+                }
+            }
+            FieldSchedule::Cosine { amp, period } => {
+                amp * (std::f64::consts::TAU * t / period).cos()
+            }
+        }
+    }
+}
+
+/// Parameters of a TFIM simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfimParams {
+    /// Chain length (number of qubits).
+    pub num_qubits: usize,
+    /// Ising coupling `J`.
+    pub j: f64,
+    /// Trotter step length (the paper's "3 ns" in natural units).
+    pub dt: f64,
+    /// Transverse-field schedule.
+    pub schedule: FieldSchedule,
+}
+
+impl TfimParams {
+    /// The paper's configuration: 21 timesteps on a short chain with a
+    /// strong transverse quench from the all-up state.
+    pub fn paper_defaults(num_qubits: usize) -> Self {
+        TfimParams {
+            num_qubits,
+            j: 1.0,
+            dt: 0.15,
+            schedule: FieldSchedule::Constant(2.0),
+        }
+    }
+
+    /// Number of timesteps the paper simulates.
+    pub const PAPER_STEPS: usize = 21;
+}
+
+/// Builds the Trotter circuit covering timesteps `1..=steps`.
+///
+/// Starting state is `|0...0>` (all spins up); each step applies the bond
+/// layer then the field layer evaluated at that step's time.
+pub fn tfim_circuit(params: &TfimParams, steps: usize) -> Circuit {
+    let n = params.num_qubits;
+    assert!(n >= 2, "TFIM chain needs at least 2 sites");
+    let mut c = Circuit::new(n);
+    for s in 1..=steps {
+        let t = s as f64 * params.dt;
+        // exp(+i J dt Z_i Z_{i+1}) == RZZ(-2 J dt) on each bond
+        let zz_angle = -2.0 * params.j * params.dt;
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+            c.rz(zz_angle, i + 1);
+            c.cx(i, i + 1);
+        }
+        // exp(+i h dt X_i) == RX(-2 h dt)
+        let h = params.schedule.at(t);
+        let x_angle = -2.0 * h * params.dt;
+        for q in 0..n {
+            c.rx(x_angle, q);
+        }
+    }
+    c
+}
+
+/// Builds all 21 (or `steps`) per-timestep circuits — one entry per point on
+/// the paper's x-axis.
+pub fn tfim_series(params: &TfimParams, steps: usize) -> Vec<Circuit> {
+    (1..=steps).map(|k| tfim_circuit(params, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::{magnetization, probabilities};
+
+    #[test]
+    fn circuit_sizes_grow_linearly() {
+        let p = TfimParams::paper_defaults(3);
+        let c1 = tfim_circuit(&p, 1);
+        let c21 = tfim_circuit(&p, 21);
+        assert_eq!(c1.cx_count(), 4, "3 qubits = 2 bonds x 2 CNOTs per step");
+        assert_eq!(c21.cx_count(), 84);
+        assert_eq!(c21.cx_count(), 21 * c1.cx_count());
+    }
+
+    #[test]
+    fn four_qubit_step_has_six_cnots() {
+        let p = TfimParams::paper_defaults(4);
+        assert_eq!(tfim_circuit(&p, 1).cx_count(), 6);
+    }
+
+    #[test]
+    fn magnetization_starts_high_and_dips() {
+        let p = TfimParams::paper_defaults(3);
+        let series = tfim_series(&p, TfimParams::PAPER_STEPS);
+        let mags: Vec<f64> = series
+            .iter()
+            .map(|c| magnetization(&probabilities(&c.statevector())))
+            .collect();
+        assert!(mags[0] > 0.8, "one small step keeps m near 1: {}", mags[0]);
+        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < 0.0, "quench should drive m negative at some step: min {min}");
+        let max_later = mags[10..].iter().cloned().fold(-1.0f64, f64::max);
+        assert!(max_later > min + 0.3, "dynamics should oscillate, not decay flat");
+    }
+
+    #[test]
+    fn zero_field_preserves_computational_basis() {
+        let p = TfimParams {
+            num_qubits: 3,
+            j: 1.0,
+            dt: 0.2,
+            schedule: FieldSchedule::Constant(0.0),
+        };
+        let c = tfim_circuit(&p, 8);
+        let probs = probabilities(&c.statevector());
+        // ZZ evolution is diagonal: |000> stays |000> up to phase
+        assert!((probs[0] - 1.0).abs() < 1e-10);
+        assert!((magnetization(&probs) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trotter_converges_with_smaller_dt() {
+        // Compare a coarse and a fine Trotterization of the same total time;
+        // the fine one should be closer to an even finer reference.
+        let total_t = 1.2;
+        let mags: Vec<f64> = [4usize, 16, 64]
+            .iter()
+            .map(|&steps| {
+                let p = TfimParams {
+                    num_qubits: 3,
+                    j: 1.0,
+                    dt: total_t / steps as f64,
+                    schedule: FieldSchedule::Constant(2.0),
+                };
+                let c = tfim_circuit(&p, steps);
+                magnetization(&probabilities(&c.statevector()))
+            })
+            .collect();
+        let err_coarse = (mags[0] - mags[2]).abs();
+        let err_fine = (mags[1] - mags[2]).abs();
+        assert!(err_fine < err_coarse, "Trotter error should shrink: {mags:?}");
+    }
+
+    #[test]
+    fn schedules_evaluate_correctly() {
+        assert_eq!(FieldSchedule::Constant(2.0).at(5.0), 2.0);
+        let ramp = FieldSchedule::Ramp { from: 0.0, to: 4.0, t_end: 2.0 };
+        assert!((ramp.at(1.0) - 2.0).abs() < 1e-14);
+        assert!((ramp.at(10.0) - 4.0).abs() < 1e-14, "ramp clamps past t_end");
+        let cosine = FieldSchedule::Cosine { amp: 3.0, period: 2.0 };
+        assert!((cosine.at(0.0) - 3.0).abs() < 1e-14);
+        assert!((cosine.at(1.0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_schedule_changes_dynamics() {
+        let base = TfimParams::paper_defaults(3);
+        let ramped = TfimParams {
+            schedule: FieldSchedule::Ramp { from: 0.0, to: 2.0, t_end: 21.0 * base.dt },
+            ..base
+        };
+        let m_const = magnetization(&probabilities(&tfim_circuit(&base, 12).statevector()));
+        let m_ramp = magnetization(&probabilities(&tfim_circuit(&ramped, 12).statevector()));
+        assert!((m_const - m_ramp).abs() > 1e-3, "schedules should differ");
+    }
+}

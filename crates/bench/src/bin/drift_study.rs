@@ -1,0 +1,56 @@
+//! Extension: calibration drift. The paper notes that device calibrations
+//! change constantly — does a circuit selected against *yesterday's*
+//! calibration still beat the reference on *today's* drifted device?
+
+use qaprox::selection::{choose, SelectionContext, Selector};
+use qaprox::prelude::*;
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "drift_study",
+        "robustness of circuit selection under calibration drift",
+        &scale,
+    );
+    let params = TfimParams::paper_defaults(3);
+    let step = scale.tfim_steps.min(10);
+    let reference = tfim_circuit(&params, step);
+    let mut wf = scale.workflow(3);
+    wf.max_hs = 0.3;
+    let pop = wf.generate(&qaprox::Workflow::target_unitary(&reference));
+    if pop.circuits.is_empty() {
+        println!("# empty population at this scale");
+        return;
+    }
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let base = devices::toronto().induced(&[0, 1, 2]);
+    let tvd = |p: &[f64]| qaprox_metrics::total_variation(p, &ideal);
+
+    // Select once against the *base* calibration (the "yesterday" choice).
+    let base_backend = Backend::Noisy(NoiseModel::from_calibration(base.clone()));
+    let ctx = SelectionContext { ideal: &ideal, backend: &base_backend };
+    let chosen_idx = choose(&Selector::Oracle, &pop.circuits, &ctx);
+    let chosen = &pop.circuits[chosen_idx];
+    println!(
+        "# chosen on base calibration: {} CNOTs, HS {:.3}",
+        chosen.cnots, chosen.hs_distance
+    );
+
+    println!("drift_seed,magnitude,ref_err,chosen_err,still_wins");
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for magnitude in [0.1, 0.25, 0.5] {
+        for seed in 0..6u64 {
+            let drifted = base.with_drift(seed, magnitude);
+            let backend = Backend::Noisy(NoiseModel::from_calibration(drifted));
+            let ref_err = tvd(&backend.probabilities(&reference, 0));
+            let chosen_err = tvd(&backend.probabilities(&chosen.circuit, 1));
+            let still = chosen_err < ref_err;
+            wins += still as usize;
+            total += 1;
+            println!("{seed},{magnitude},{ref_err:.4},{chosen_err:.4},{still}");
+        }
+    }
+    println!("# yesterday's choice still beats the reference on {wins}/{total} drifted devices");
+}

@@ -1,0 +1,14 @@
+//! Fig. 2: magnetization over 21 timesteps of selected (minimal-HS / best)
+//! approximate circuits for the 3-qubit TFIM under the Toronto noise model.
+
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig02", "3q TFIM, Toronto noise model: reference vs selected approximations", &scale);
+    let pops = tfim_populations(3, &scale);
+    let backend = device_model_backend("toronto", 3);
+    let results = qaprox::tfim_study::evaluate(&pops, &backend);
+    print_tfim_series(&results);
+    print_tfim_verdict(&results);
+}

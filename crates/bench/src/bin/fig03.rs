@@ -1,0 +1,14 @@
+//! Fig. 3: every approximate circuit (dots) for the 3-qubit TFIM under the
+//! Toronto noise model.
+
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig03", "3q TFIM, Toronto noise model: all approximate circuits", &scale);
+    let pops = tfim_populations(3, &scale);
+    let backend = device_model_backend("toronto", 3);
+    let results = qaprox::tfim_study::evaluate(&pops, &backend);
+    print_tfim_dots(&results, scale.population_cap);
+    print_tfim_verdict(&results);
+}

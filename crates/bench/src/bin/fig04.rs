@@ -1,0 +1,14 @@
+//! Fig. 4: all approximate circuits for the 4-qubit TFIM under the Santiago
+//! noise model (QSearch + QFast streams).
+
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig04", "4q TFIM, Santiago noise model: all approximate circuits", &scale);
+    let pops = tfim_populations(4, &scale);
+    let backend = device_model_backend("santiago", 4);
+    let results = qaprox::tfim_study::evaluate(&pops, &backend);
+    print_tfim_dots(&results, scale.population_cap);
+    print_tfim_verdict(&results);
+}

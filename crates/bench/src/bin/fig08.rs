@@ -1,0 +1,6 @@
+//! Fig. 8: 3q TFIM approximations under the Ourense model with CNOT error 0.
+use qaprox_bench::*;
+fn main() {
+    let scale = Scale::from_env();
+    run_sweep_figure("fig08", 0.0, &scale);
+}

@@ -1,0 +1,6 @@
+//! Fig. 9: 3q TFIM approximations under the Ourense model, CNOT error 0.12.
+use qaprox_bench::*;
+fn main() {
+    let scale = Scale::from_env();
+    run_sweep_figure("fig09", 0.12, &scale);
+}

@@ -1,0 +1,6 @@
+//! Fig. 10: 3q TFIM approximations under the Ourense model, CNOT error 0.24.
+use qaprox_bench::*;
+fn main() {
+    let scale = Scale::from_env();
+    run_sweep_figure("fig10", 0.24, &scale);
+}

@@ -1,0 +1,25 @@
+//! Fig. 11: CNOT depth of the best approximate circuit per timestep, for a
+//! range of CNOT error levels (Obs. 6: more noise -> shallower winners).
+
+use qaprox::sweep::{best_depth_series, cx_error_sweep, mean_best_depth, paper_error_levels};
+use qaprox::prelude::*;
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig11", "best-circuit CNOT depth vs timestep per CNOT error level", &scale);
+    let pops = tfim_populations(3, &scale);
+    let base = devices::ourense().induced(&[0, 1, 2]);
+    let levels = paper_error_levels();
+    let sweep = cx_error_sweep(&pops, &base, &levels);
+    println!("cx_error,step,best_cnot_depth");
+    for (eps, depths) in best_depth_series(&sweep) {
+        for (i, d) in depths.iter().enumerate() {
+            println!("{eps},{},{d}", i + 1);
+        }
+    }
+    println!("# mean best depth per level (Obs. 6 trend):");
+    for (eps, mean) in mean_best_depth(&sweep) {
+        println!("# eps={eps:.5} mean_depth={mean:.2}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Fig. 12: 3q TFIM on the (emulated) Manhattan physical machine.
+use qaprox_bench::*;
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig12", "3q TFIM on emulated Manhattan hardware", &scale);
+    let pops = tfim_populations(3, &scale);
+    let backend = hardware_backend("manhattan", 3);
+    let results = qaprox::tfim_study::evaluate(&pops, &backend);
+    print_tfim_dots(&results, scale.population_cap);
+    print_tfim_verdict(&results);
+}

@@ -1,0 +1,11 @@
+//! Fig. 13: 4q TFIM on the (emulated) Manhattan physical machine.
+use qaprox_bench::*;
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig13", "4q TFIM on emulated Manhattan hardware", &scale);
+    let pops = tfim_populations(4, &scale);
+    let backend = hardware_backend("manhattan", 4);
+    let results = qaprox::tfim_study::evaluate(&pops, &backend);
+    print_tfim_dots(&results, scale.population_cap);
+    print_tfim_verdict(&results);
+}

@@ -1,0 +1,17 @@
+//! Fig. 16: the Toronto noise report (per-qubit readout error, per-edge
+//! CNOT error) plus the mapping "circles" used by Figs. 17-19.
+
+use qaprox_bench::{banner, Scale};
+use qaprox_device::devices::toronto;
+use qaprox_device::{render_report, standard_mappings};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("fig16", "Toronto noise report and candidate mappings", &scale);
+    let cal = toronto();
+    print!("{}", render_report(&cal));
+    println!("mapping,qubits,noise_score");
+    for m in standard_mappings(&cal, 4) {
+        println!("{},{:?},{:.5}", m.name, m.qubits, cal.subset_score(&m.qubits));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fig. 17: 4q Toffoli on Toronto, best manual mapping (the blue circle).
+use qaprox_bench::*;
+fn main() {
+    mapping_figure("fig17", 0);
+}

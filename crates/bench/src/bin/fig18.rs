@@ -1,0 +1,5 @@
+//! Fig. 18: 4q Toffoli on Toronto, worst manual mapping (the red circle).
+use qaprox_bench::*;
+fn main() {
+    mapping_figure("fig18", 1);
+}

@@ -1,0 +1,5 @@
+//! Fig. 19: 4q Toffoli on Toronto, automatic level-3 mapping per circuit.
+use qaprox_bench::*;
+fn main() {
+    mapping_figure("fig19", usize::MAX);
+}

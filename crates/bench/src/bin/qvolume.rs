@@ -1,0 +1,22 @@
+//! Roadmap (Sec. 6.5): quantum-volume estimates for every device model.
+use qaprox::qvolume::quantum_volume;
+use qaprox::prelude::*;
+use qaprox_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("qvolume", "quantum volume per device model (roadmap metric)", &scale);
+    let trials = if scale.tfim_steps < 21 { 4 } else { 16 };
+    println!("machine,width,heavy_output_prob,passed,quantum_volume");
+    for cal in devices::all_devices() {
+        let max_width = cal.topology.num_qubits().min(5);
+        let report = quantum_volume(&cal, max_width, trials, 0x9E);
+        for p in &report.points {
+            println!(
+                "{},{},{:.4},{},{}",
+                cal.machine, p.width, p.heavy_output_probability, p.passed,
+                report.quantum_volume
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Roadmap (Sec. 6.5): correlate the benefit of approximate circuits with a
+//! hardware evaluation metric — quantum volume — across device models.
+//!
+//! The paper's projection: devices with small quantum volume (tight depth
+//! budgets) should gain the most from approximation; as QV grows the exact
+//! reference catches up.
+
+use qaprox::qvolume::quantum_volume;
+use qaprox::tfim_study::{evaluate, series_error};
+use qaprox::prelude::*;
+use qaprox_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "roadmap_study",
+        "approximation gain vs quantum volume per device (Sec. 6.5)",
+        &scale,
+    );
+    let pops = tfim_populations(3, &scale);
+    let trials = if scale.tfim_steps < 21 { 4 } else { 12 };
+
+    println!("machine,avg_cx_err,quantum_volume,ref_err,best_err,precision_gain_pct");
+    let mut rows: Vec<(f64, f64)> = Vec::new();
+    for cal in devices::all_devices() {
+        let sub = cal.induced(&[0, 1, 2]);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(sub.clone()));
+        let results = evaluate(&pops, &backend);
+        let ref_err = series_error(&results, |r| r.noisy_ref);
+        let best_err = series_error(&results, |r| r.best_approx.score);
+        let gain = if ref_err > 0.0 { (1.0 - best_err / ref_err) * 100.0 } else { 0.0 };
+
+        let qv = quantum_volume(&cal, 3, trials, 0xAB).quantum_volume;
+        println!(
+            "{},{:.5},{qv},{ref_err:.4},{best_err:.4},{gain:.1}",
+            cal.machine,
+            cal.avg_cx_error()
+        );
+        rows.push(cal_gain(cal.avg_cx_error(), gain));
+    }
+
+    // Spearman-ish check: does gain grow with device error?
+    let mut by_err = rows.clone();
+    by_err.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let increasing = by_err.windows(2).filter(|w| w[1].1 >= w[0].1).count();
+    println!(
+        "# gain increases with device error in {increasing}/{} adjacent device pairs",
+        by_err.len().saturating_sub(1)
+    );
+}
+
+fn cal_gain(err: f64, gain: f64) -> (f64, f64) {
+    (err, gain)
+}

@@ -1,0 +1,25 @@
+//! Table 1: average CNOT errors on the five IBM machines.
+
+use qaprox_bench::{banner, Scale};
+use qaprox_device::devices::{all_devices, TABLE1};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("table1", "Average CNOT error per machine (paper Table 1)", &scale);
+    println!("machine,num_qubits,avg_cnot_err,paper_value,avg_readout_err");
+    for cal in all_devices() {
+        let paper = TABLE1
+            .iter()
+            .find(|(name, _, _)| *name == cal.machine)
+            .map(|&(_, _, v)| v)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{},{},{:.5},{:.5},{:.5}",
+            cal.machine,
+            cal.topology.num_qubits(),
+            cal.avg_cx_error(),
+            paper,
+            cal.avg_readout_error()
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Shared experiment-harness plumbing for the per-figure binaries.
+//!
+//! Every binary prints CSV-style rows to stdout (the same series the paper
+//! plots) plus `#`-prefixed commentary. Two sizes are supported:
+//!
+//! * default — full experiment scale (minutes per figure);
+//! * `QAPROX_QUICK=1` — reduced scale for smoke runs and CI.
+
+use qaprox::prelude::*;
+use qaprox::tfim_study::{generate_populations, TfimPopulations};
+use qaprox_synth::InstantiateConfig;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// TFIM timesteps (paper: 21).
+    pub tfim_steps: usize,
+    /// QSearch node budget per target.
+    pub max_nodes: usize,
+    /// QSearch CNOT cap for 3-qubit targets.
+    pub max_cnots_3q: usize,
+    /// QSearch CNOT cap for 4-qubit targets.
+    pub max_cnots_4q: usize,
+    /// QSearch beam width.
+    pub beam_width: usize,
+    /// Instantiation multistarts.
+    pub starts: usize,
+    /// QFast block cap.
+    pub qfast_blocks: usize,
+    /// Population cap per figure (dots plotted).
+    pub population_cap: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`QAPROX_QUICK=1` shrinks it).
+    pub fn from_env() -> Self {
+        if std::env::var("QAPROX_QUICK").is_ok_and(|v| v == "1") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+
+    /// Full experiment scale.
+    pub fn full() -> Self {
+        Scale {
+            tfim_steps: 21,
+            max_nodes: 180,
+            max_cnots_3q: 6,
+            max_cnots_4q: 8,
+            beam_width: 6,
+            starts: 2,
+            qfast_blocks: 8,
+            population_cap: 400,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Scale {
+            tfim_steps: 5,
+            max_nodes: 40,
+            max_cnots_3q: 4,
+            max_cnots_4q: 5,
+            beam_width: 2,
+            starts: 1,
+            qfast_blocks: 4,
+            population_cap: 60,
+        }
+    }
+
+    /// QSearch configured for `n`-qubit targets at this scale.
+    pub fn qsearch_config(&self, n: usize) -> QSearchConfig {
+        QSearchConfig {
+            max_cnots: if n <= 3 { self.max_cnots_3q } else { self.max_cnots_4q },
+            max_nodes: self.max_nodes,
+            beam_width: self.beam_width,
+            instantiate: InstantiateConfig { starts: self.starts, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// QFast configured for this scale.
+    pub fn qfast_config(&self) -> QFastConfig {
+        QFastConfig { max_blocks: self.qfast_blocks, ..Default::default() }
+    }
+
+    /// The generation workflow for `n`-qubit targets on a linear chain
+    /// (the paper's level-1 mapping onto qubits 0..n).
+    pub fn workflow(&self, n: usize) -> Workflow {
+        Workflow {
+            topology: Topology::linear(n),
+            engine: Engine::QSearch(self.qsearch_config(n)),
+            // paper: selection threshold of at least 0.1
+            max_hs: 0.12,
+        }
+    }
+
+    /// Workflow that also merges a QFast stream (used for 4-qubit figures
+    /// where the paper leaned on QFast).
+    pub fn workflow_both(&self, n: usize) -> Workflow {
+        Workflow {
+            topology: Topology::linear(n),
+            engine: Engine::Both(self.qsearch_config(n), self.qfast_config()),
+            max_hs: 0.12,
+        }
+    }
+}
+
+/// Generates the TFIM populations used by several figures.
+pub fn tfim_populations(n: usize, scale: &Scale) -> TfimPopulations {
+    let params = TfimParams::paper_defaults(n);
+    let wf = if n <= 3 { scale.workflow(n) } else { scale.workflow_both(n) };
+    generate_populations(&params, scale.tfim_steps, &wf)
+}
+
+/// Truncates a population to the plotting cap with a **depth-stratified**
+/// sample: each CNOT count keeps its best (lowest-HS) circuits in
+/// round-robin order. A pure lowest-HS cap would keep only the deepest,
+/// most exact circuits and silently drop the shallow ones that win under
+/// noise — the exact population the paper's figures are about.
+pub fn cap_population(
+    circuits: &[qaprox_synth::ApproxCircuit],
+    cap: usize,
+) -> Vec<qaprox_synth::ApproxCircuit> {
+    if circuits.len() <= cap {
+        return circuits.to_vec();
+    }
+    use std::collections::BTreeMap;
+    let mut by_depth: BTreeMap<usize, Vec<&qaprox_synth::ApproxCircuit>> = BTreeMap::new();
+    for c in circuits {
+        by_depth.entry(c.cnots).or_default().push(c);
+    }
+    for group in by_depth.values_mut() {
+        group.sort_by(|a, b| a.hs_distance.total_cmp(&b.hs_distance));
+    }
+    let mut out = Vec::with_capacity(cap);
+    let mut rank = 0usize;
+    while out.len() < cap {
+        let mut advanced = false;
+        for group in by_depth.values() {
+            if let Some(c) = group.get(rank) {
+                out.push((*c).clone());
+                advanced = true;
+                if out.len() == cap {
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+        rank += 1;
+    }
+    out
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, description: &str, scale: &Scale) {
+    println!("# experiment: {id}");
+    println!("# {description}");
+    println!(
+        "# scale: steps={} nodes={} beam={} cap={}",
+        scale.tfim_steps, scale.max_nodes, scale.beam_width, scale.population_cap
+    );
+}
+
+/// The device noise-model backend for an `n`-qubit circuit mapped (level 1)
+/// onto qubits `0..n` of the named machine.
+pub fn device_model_backend(device: &str, n: usize) -> Backend {
+    let cal = devices::by_name(device)
+        .unwrap_or_else(|| panic!("unknown device {device}"))
+        .induced(&(0..n).collect::<Vec<_>>());
+    Backend::Noisy(NoiseModel::from_calibration(cal))
+}
+
+/// The hardware-emulation backend for an `n`-qubit circuit on qubits `0..n`
+/// of the named machine (substitute for the paper's physical-machine runs).
+pub fn hardware_backend(device: &str, n: usize) -> Backend {
+    let cal = devices::by_name(device)
+        .unwrap_or_else(|| panic!("unknown device {device}"))
+        .induced(&(0..n).collect::<Vec<_>>());
+    Backend::Hardware(HardwareBackend::new(NoiseModel::from_calibration(cal)))
+}
+
+/// Prints the Fig. 2-style summary series (one row per timestep).
+pub fn print_tfim_series(results: &[qaprox::tfim_study::TimestepResult]) {
+    println!("step,noise_free_ref,noisy_ref,minimal_hs_mag,minimal_hs_cnots,best_approx_mag,best_approx_cnots,reference_cnots");
+    for r in results {
+        println!(
+            "{},{:.4},{:.4},{:.4},{},{:.4},{},{}",
+            r.step,
+            r.noise_free_ref,
+            r.noisy_ref,
+            r.minimal_hs.score,
+            r.minimal_hs.cnots,
+            r.best_approx.score,
+            r.best_approx.cnots,
+            r.reference_cnots
+        );
+    }
+}
+
+/// Prints the Fig. 3-style full scatter (one row per approximate circuit per
+/// timestep).
+pub fn print_tfim_dots(results: &[qaprox::tfim_study::TimestepResult], cap: usize) {
+    println!("step,cnots,hs_distance,magnetization");
+    for r in results {
+        for s in r.all.iter().take(cap) {
+            println!("{},{},{:.5},{:.4}", r.step, s.cnots, s.hs_distance, s.score);
+        }
+    }
+}
+
+/// Prints the summary stats every figure binary ends with: how often the
+/// best approximation beat the noisy reference, and the precision gain.
+pub fn print_tfim_verdict(results: &[qaprox::tfim_study::TimestepResult]) {
+    let wins = results
+        .iter()
+        .filter(|r| {
+            (r.best_approx.score - r.noise_free_ref).abs()
+                <= (r.noisy_ref - r.noise_free_ref).abs() + 1e-12
+        })
+        .count();
+    let ref_err = qaprox::tfim_study::series_error(results, |r| r.noisy_ref);
+    let best_err = qaprox::tfim_study::series_error(results, |r| r.best_approx.score);
+    let gain = if ref_err > 0.0 { (1.0 - best_err / ref_err) * 100.0 } else { 0.0 };
+    println!("# best-approx beats noisy reference on {wins}/{} timesteps", results.len());
+    println!(
+        "# mean |error|: noisy_ref={ref_err:.4} best_approx={best_err:.4} precision_gain={gain:.1}%"
+    );
+}
+
+/// Runs one Ourense-based CNOT-error point for Figs. 8-10 and prints it.
+pub fn run_sweep_figure(id: &str, eps: f64, scale: &Scale) {
+    banner(
+        id,
+        &format!("3q TFIM, Ourense model with uniform CNOT error {eps}"),
+        scale,
+    );
+    let pops = tfim_populations(3, scale);
+    let base = devices::ourense().induced(&[0, 1, 2]);
+    let sweep = qaprox::sweep::cx_error_sweep(&pops, &base, &[eps]);
+    print_tfim_dots(&sweep[0].results, scale.population_cap);
+    print_tfim_verdict(&sweep[0].results);
+}
+
+/// Prints a population scored on some backend as a CNOT-count scatter
+/// (Figs. 5-7, 14-15, 17-19 shape), with a reference line.
+pub fn print_scatter(label: &str, reference_score: f64, reference_cnots: usize, scored: &[Scored]) {
+    println!("# reference: score={reference_score:.4} cnots={reference_cnots}");
+    println!("kind,cnots,hs_distance,{label}");
+    println!("reference,{reference_cnots},0.00000,{reference_score:.4}");
+    for s in scored {
+        println!("approx,{},{:.5},{:.4}", s.cnots, s.hs_distance, s.score);
+    }
+}
+
+/// The deep synthesis workflow used by the 4-qubit Toffoli figures: the
+/// paper's Fig. 6 population spans dozens of CNOTs, which needs a deeper
+/// QSearch ladder plus the QFast stream.
+pub fn deep_toffoli_workflow(scale: &Scale) -> Workflow {
+    use qaprox_synth::InstantiateConfig;
+    use qaprox_opt::LbfgsParams;
+    let qs = QSearchConfig {
+        max_cnots: if scale.tfim_steps < 21 { 6 } else { 14 },
+        max_nodes: if scale.tfim_steps < 21 { 60 } else { 420 },
+        beam_width: if scale.tfim_steps < 21 { 2 } else { 6 },
+        instantiate: InstantiateConfig {
+            starts: if scale.tfim_steps < 21 { 1 } else { 4 },
+            lbfgs: LbfgsParams { max_iters: 300, ..Default::default() },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let qf = QFastConfig {
+        max_blocks: if scale.tfim_steps < 21 { 4 } else { 10 },
+        ..Default::default()
+    };
+    Workflow {
+        topology: Topology::linear(4),
+        engine: Engine::Both(qs, qf),
+        max_hs: 0.5,
+    }
+}
+
+/// Runs one of the Figs. 17-19 mapping studies: 4-qubit Toffoli
+/// approximations pinned onto a Toronto mapping (`mapping_index` into
+/// [`qaprox_device::standard_mappings`]) or auto-placed by the level-3
+/// transpiler (`mapping_index == usize::MAX`).
+pub fn mapping_figure(id: &str, mapping_index: usize) {
+    use qaprox::mapping::{MappingStudy, Placement};
+    use qaprox::toffoli_study::{random_noise_js, toffoli_target};
+    use qaprox_algos::mct::mct_reference;
+    use qaprox_device::standard_mappings;
+
+    let scale = Scale::from_env();
+    let device = devices::toronto();
+    let (placement, label) = if mapping_index == usize::MAX {
+        (Placement::Auto, "auto(level-3)".to_string())
+    } else {
+        let maps = standard_mappings(&device, 4);
+        let m = &maps[mapping_index];
+        (Placement::Manual(m.qubits.clone()), format!("{} {:?}", m.name, m.qubits))
+    };
+    banner(id, &format!("4q Toffoli on Toronto hardware emulation, mapping {label}"), &scale);
+
+    let wf = deep_toffoli_workflow(&scale);
+    let pop = wf.generate(&toffoli_target(4));
+    let circuits = cap_population(&pop.circuits, scale.population_cap.min(120));
+
+    let study = MappingStudy { device, placement, effects: HardwareEffects::heavy_2021() };
+    let reference = mct_reference(4);
+    let ref_js = study.reference_js(&reference);
+    let scored = study.evaluate_population(&circuits);
+    print_scatter("js_distance", ref_js, reference.cx_count(), &scored);
+    println!("# random-noise JS floor: {:.4}", random_noise_js(4));
+    let better = scored.iter().filter(|s| s.score < ref_js).count();
+    println!("# {better}/{} approximations beat the reference under this mapping", scored.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.tfim_steps < f.tfim_steps);
+        assert!(q.max_nodes < f.max_nodes);
+    }
+
+    #[test]
+    fn workflow_uses_linear_topology() {
+        let wf = Scale::quick().workflow(3);
+        assert_eq!(wf.topology.num_qubits(), 3);
+        assert!(wf.max_hs >= 0.1, "paper's threshold floor");
+    }
+
+    #[test]
+    fn cap_population_is_depth_stratified() {
+        use qaprox_circuit::Circuit;
+        // two depth classes: five 0-CNOT circuits and five 2-CNOT circuits
+        let mk = |cnots: usize, dist: f64| {
+            let mut c = Circuit::new(2);
+            for _ in 0..cnots {
+                c.cx(0, 1);
+            }
+            qaprox_synth::ApproxCircuit::new(c, dist)
+        };
+        let pop: Vec<_> = (0..5)
+            .map(|i| mk(0, 0.5 + i as f64 * 0.01)) // shallow, bad HS
+            .chain((0..5).map(|i| mk(2, i as f64 * 0.01))) // deep, good HS
+            .collect();
+        let capped = cap_population(&pop, 4);
+        assert_eq!(capped.len(), 4);
+        // both depth classes must survive the cap
+        assert!(capped.iter().any(|c| c.cnots == 0), "shallow circuits dropped");
+        assert!(capped.iter().any(|c| c.cnots == 2), "deep circuits dropped");
+    }
+}

@@ -1,0 +1,180 @@
+//! Gate commutation rules.
+//!
+//! Qiskit's higher optimization levels cancel CNOT pairs even when commuting
+//! gates sit between them (an RZ on the control, an RX on the target, ...).
+//! This module encodes the standard structural rules; every rule is verified
+//! against explicit matrices in the tests.
+
+use crate::gate::Gate;
+use crate::circuit::Instruction;
+
+/// Gates diagonal in the computational basis (commute with anything that is
+/// also diagonal, and with a CX's *control*).
+pub fn is_diagonal(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::RZ(_) | Gate::P(_)
+            | Gate::CZ
+            | Gate::CP(_)
+            | Gate::CRZ(_)
+    )
+}
+
+/// Gates that are X-axis rotations (commute with a CX's *target*).
+pub fn is_x_axis(gate: &Gate) -> bool {
+    matches!(gate, Gate::X | Gate::RX(_) | Gate::SX)
+}
+
+/// Structural commutation test for two placed instructions.
+///
+/// Returns `true` only when the rule base *proves* commutation; `false`
+/// means "unknown or does not commute". The rules:
+///
+/// 1. disjoint qubits always commute;
+/// 2. two diagonal gates always commute (any overlap);
+/// 3. a diagonal one-qubit gate commutes with a CX acting on that qubit as
+///    **control**;
+/// 4. an X-axis one-qubit gate commutes with a CX acting on that qubit as
+///    **target**;
+/// 5. two CX gates sharing only their control commute; sharing only their
+///    target also commute.
+pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
+    let shared: Vec<usize> = a
+        .qubits
+        .iter()
+        .copied()
+        .filter(|q| b.qubits.contains(q))
+        .collect();
+    if shared.is_empty() {
+        return true; // rule 1
+    }
+    if is_diagonal(&a.gate) && is_diagonal(&b.gate) {
+        return true; // rule 2
+    }
+    // rules 3/4: 1q gate vs CX
+    let one_q_vs_cx = |one: &Instruction, cx: &Instruction| -> bool {
+        if one.qubits.len() != 1 || !matches!(cx.gate, Gate::CX) {
+            return false;
+        }
+        let q = one.qubits[0];
+        let control = cx.qubits[0];
+        let target = cx.qubits[1];
+        (is_diagonal(&one.gate) && q == control) || (is_x_axis(&one.gate) && q == target)
+    };
+    if one_q_vs_cx(a, b) || one_q_vs_cx(b, a) {
+        return true;
+    }
+    // rule 5: CX vs CX
+    if matches!(a.gate, Gate::CX) && matches!(b.gate, Gate::CX) {
+        let (ac, at) = (a.qubits[0], a.qubits[1]);
+        let (bc, bt) = (b.qubits[0], b.qubits[1]);
+        let share_control = ac == bc && at != bt;
+        let share_target = at == bt && ac != bc;
+        if share_control || share_target {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    /// Verifies `commutes` against the actual matrices on a 3-qubit register.
+    fn matrix_commutes(a: &Instruction, b: &Instruction) -> bool {
+        let mut ab = Circuit::new(3);
+        ab.push(a.gate.clone(), &a.qubits);
+        ab.push(b.gate.clone(), &b.qubits);
+        let mut ba = Circuit::new(3);
+        ba.push(b.gate.clone(), &b.qubits);
+        ba.push(a.gate.clone(), &a.qubits);
+        ab.unitary().approx_eq(&ba.unitary(), 1e-10)
+    }
+
+    fn inst(gate: Gate, qubits: &[usize]) -> Instruction {
+        Instruction { gate, qubits: qubits.to_vec() }
+    }
+
+    #[test]
+    fn rule_base_is_sound_on_exhaustive_catalog() {
+        // every pair the rules claim commutes must commute as matrices
+        let catalog = vec![
+            inst(Gate::RZ(0.7), &[0]),
+            inst(Gate::RZ(0.3), &[1]),
+            inst(Gate::RX(1.1), &[0]),
+            inst(Gate::RX(0.2), &[1]),
+            inst(Gate::T, &[0]),
+            inst(Gate::X, &[1]),
+            inst(Gate::H, &[0]),
+            inst(Gate::CX, &[0, 1]),
+            inst(Gate::CX, &[1, 0]),
+            inst(Gate::CX, &[0, 2]),
+            inst(Gate::CX, &[2, 1]),
+            inst(Gate::CZ, &[0, 1]),
+            inst(Gate::CP(0.9), &[1, 2]),
+        ];
+        for a in &catalog {
+            for b in &catalog {
+                if commutes(a, b) {
+                    assert!(
+                        matrix_commutes(a, b),
+                        "rule base wrongly claims {}{:?} commutes with {}{:?}",
+                        a.gate.name(),
+                        a.qubits,
+                        b.gate.name(),
+                        b.qubits
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rz_commutes_with_cx_control_not_target() {
+        let rz0 = inst(Gate::RZ(0.5), &[0]);
+        let rz1 = inst(Gate::RZ(0.5), &[1]);
+        let cx = inst(Gate::CX, &[0, 1]);
+        assert!(commutes(&rz0, &cx), "RZ on control commutes");
+        assert!(!commutes(&rz1, &cx), "RZ on target does not");
+        assert!(!matrix_commutes(&rz1, &cx));
+    }
+
+    #[test]
+    fn rx_commutes_with_cx_target_not_control() {
+        let rx0 = inst(Gate::RX(0.5), &[0]);
+        let rx1 = inst(Gate::RX(0.5), &[1]);
+        let cx = inst(Gate::CX, &[0, 1]);
+        assert!(!commutes(&rx0, &cx), "RX on control does not commute");
+        assert!(commutes(&rx1, &cx), "RX on target commutes");
+        assert!(!matrix_commutes(&rx0, &cx));
+    }
+
+    #[test]
+    fn cx_pairs_sharing_control_or_target() {
+        let a = inst(Gate::CX, &[0, 1]);
+        let b = inst(Gate::CX, &[0, 2]);
+        let c = inst(Gate::CX, &[2, 1]);
+        let d = inst(Gate::CX, &[1, 2]);
+        assert!(commutes(&a, &b), "shared control");
+        assert!(commutes(&a, &c), "shared target");
+        assert!(!commutes(&a, &d), "control of one is target of the other");
+        assert!(!matrix_commutes(&a, &d));
+    }
+
+    #[test]
+    fn disjoint_gates_commute() {
+        let a = inst(Gate::H, &[0]);
+        let b = inst(Gate::RX(0.4), &[1]);
+        assert!(commutes(&a, &b));
+    }
+
+    #[test]
+    fn unknown_cases_default_to_false() {
+        // H on the shared qubit: no rule proves commutation
+        let h = inst(Gate::H, &[0]);
+        let cx = inst(Gate::CX, &[0, 1]);
+        assert!(!commutes(&h, &cx));
+    }
+}

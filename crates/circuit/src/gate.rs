@@ -1,0 +1,375 @@
+//! The gate set.
+//!
+//! Only one- and two-qubit gates exist in the IR; anything wider (Toffoli,
+//! multi-controlled X, Grover oracles) is decomposed by `qaprox-algos` before
+//! it reaches a circuit. That keeps every simulator and every accounting
+//! function down to exactly two cases.
+
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::{c64, u3_matrix, Complex64};
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A quantum gate. One- and two-qubit only, by design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    // --- one-qubit, fixed ---
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = diag(1, e^{i pi/4}).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Square root of X.
+    SX,
+    // --- one-qubit, parameterized ---
+    /// Rotation about X: `exp(-i theta X / 2)`.
+    RX(f64),
+    /// Rotation about Y: `exp(-i theta Y / 2)`.
+    RY(f64),
+    /// Rotation about Z: `exp(-i theta Z / 2)`.
+    RZ(f64),
+    /// Phase gate `diag(1, e^{i lambda})`.
+    P(f64),
+    /// IBM U3 gate (theta, phi, lambda).
+    U3(f64, f64, f64),
+    /// Arbitrary one-qubit unitary.
+    Unitary1(Box<Matrix>),
+    // --- two-qubit ---
+    /// Controlled-X; first listed qubit is the control.
+    CX,
+    /// Controlled-Z (symmetric).
+    CZ,
+    /// Swap.
+    SWAP,
+    /// Controlled RX(theta).
+    CRX(f64),
+    /// Controlled RZ(theta).
+    CRZ(f64),
+    /// Controlled phase.
+    CP(f64),
+    /// Arbitrary two-qubit unitary (e.g. a QFast block); small-matrix index
+    /// convention: first listed qubit is the high bit.
+    Unitary2(Box<Matrix>),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::SX
+            | Gate::RX(_)
+            | Gate::RY(_)
+            | Gate::RZ(_)
+            | Gate::P(_)
+            | Gate::U3(..)
+            | Gate::Unitary1(_) => 1,
+            Gate::CX
+            | Gate::CZ
+            | Gate::SWAP
+            | Gate::CRX(_)
+            | Gate::CRZ(_)
+            | Gate::CP(_)
+            | Gate::Unitary2(_) => 2,
+        }
+    }
+
+    /// The gate's matrix: 2x2 for one-qubit gates, 4x4 for two-qubit gates
+    /// (first listed qubit = high bit of the small index).
+    pub fn matrix(&self) -> Matrix {
+        let i = Complex64::I;
+        let one = Complex64::ONE;
+        let zero = Complex64::ZERO;
+        match self {
+            Gate::X => Matrix::from_rows(&[&[zero, one], &[one, zero]]),
+            Gate::Y => Matrix::from_rows(&[&[zero, c64(0.0, -1.0)], &[i, zero]]),
+            Gate::Z => Matrix::diag(&[one, c64(-1.0, 0.0)]),
+            Gate::H => {
+                let s = c64(FRAC_1_SQRT_2, 0.0);
+                Matrix::from_rows(&[&[s, s], &[s, -s]])
+            }
+            Gate::S => Matrix::diag(&[one, i]),
+            Gate::Sdg => Matrix::diag(&[one, c64(0.0, -1.0)]),
+            Gate::T => Matrix::diag(&[one, Complex64::cis(std::f64::consts::FRAC_PI_4)]),
+            Gate::Tdg => Matrix::diag(&[one, Complex64::cis(-std::f64::consts::FRAC_PI_4)]),
+            Gate::SX => {
+                // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+                let a = c64(0.5, 0.5);
+                let b = c64(0.5, -0.5);
+                Matrix::from_rows(&[&[a, b], &[b, a]])
+            }
+            Gate::RX(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Matrix::from_rows(&[&[c64(c, 0.0), c64(0.0, -s)], &[c64(0.0, -s), c64(c, 0.0)]])
+            }
+            Gate::RY(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Matrix::from_rows(&[&[c64(c, 0.0), c64(-s, 0.0)], &[c64(s, 0.0), c64(c, 0.0)]])
+            }
+            Gate::RZ(t) => Matrix::diag(&[Complex64::cis(-t / 2.0), Complex64::cis(t / 2.0)]),
+            Gate::P(l) => Matrix::diag(&[one, Complex64::cis(*l)]),
+            Gate::U3(t, p, l) => u3_matrix(*t, *p, *l),
+            Gate::Unitary1(m) => (**m).clone(),
+            Gate::CX => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = one;
+                m[(1, 1)] = one;
+                m[(2, 3)] = one;
+                m[(3, 2)] = one;
+                m
+            }
+            Gate::CZ => Matrix::diag(&[one, one, one, c64(-1.0, 0.0)]),
+            Gate::SWAP => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = one;
+                m[(1, 2)] = one;
+                m[(2, 1)] = one;
+                m[(3, 3)] = one;
+                m
+            }
+            Gate::CRX(t) => controlled(&Gate::RX(*t).matrix()),
+            Gate::CRZ(t) => controlled(&Gate::RZ(*t).matrix()),
+            Gate::CP(l) => Matrix::diag(&[one, one, one, Complex64::cis(*l)]),
+            Gate::Unitary2(m) => (**m).clone(),
+        }
+    }
+
+    /// The inverse gate (dagger).
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::CX | Gate::CZ | Gate::SWAP => {
+                self.clone()
+            }
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::SX => Gate::Unitary1(Box::new(Gate::SX.matrix().adjoint())),
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::P(l) => Gate::P(-l),
+            Gate::U3(t, p, l) => Gate::U3(-t, -l, -p),
+            Gate::Unitary1(m) => Gate::Unitary1(Box::new(m.adjoint())),
+            Gate::CRX(t) => Gate::CRX(-t),
+            Gate::CRZ(t) => Gate::CRZ(-t),
+            Gate::CP(l) => Gate::CP(-l),
+            Gate::Unitary2(m) => Gate::Unitary2(Box::new(m.adjoint())),
+        }
+    }
+
+    /// True when the gate entangles (is two-qubit and not a product gate).
+    pub fn is_two_qubit(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Decomposition cost of the gate in CNOTs, used by pre-transpile
+    /// accounting: CX/CZ cost 1, controlled rotations 2, SWAP 3, a generic
+    /// two-qubit unitary 3 (KAK bound); one-qubit gates cost 0.
+    pub fn cnot_cost(&self) -> usize {
+        match self {
+            Gate::CX | Gate::CZ => 1,
+            Gate::CRX(_) | Gate::CRZ(_) | Gate::CP(_) => 2,
+            Gate::SWAP | Gate::Unitary2(_) => 3,
+            _ => 0,
+        }
+    }
+
+    /// Short mnemonic for text dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::SX => "sx",
+            Gate::RX(_) => "rx",
+            Gate::RY(_) => "ry",
+            Gate::RZ(_) => "rz",
+            Gate::P(_) => "p",
+            Gate::U3(..) => "u3",
+            Gate::Unitary1(_) => "unitary1",
+            Gate::CX => "cx",
+            Gate::CZ => "cz",
+            Gate::SWAP => "swap",
+            Gate::CRX(_) => "crx",
+            Gate::CRZ(_) => "crz",
+            Gate::CP(_) => "cp",
+            Gate::Unitary2(_) => "unitary2",
+        }
+    }
+}
+
+/// Builds the controlled version of a one-qubit gate matrix, control = high bit.
+pub fn controlled(u: &Matrix) -> Matrix {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "controlled() expects a 2x2 gate");
+    let mut m = Matrix::identity(4);
+    m[(2, 2)] = u[(0, 0)];
+    m[(2, 3)] = u[(0, 1)];
+    m[(3, 2)] = u[(1, 0)];
+    m[(3, 3)] = u[(1, 1)];
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        let gates = vec![
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::RX(0.7),
+            Gate::RY(-1.2),
+            Gate::RZ(2.5),
+            Gate::P(0.9),
+            Gate::U3(1.0, 2.0, 3.0),
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::CRX(0.4),
+            Gate::CRZ(-0.8),
+            Gate::CP(1.6),
+        ];
+        for g in gates {
+            assert!(g.matrix().is_unitary(1e-12), "{} not unitary", g.name());
+        }
+    }
+
+    #[test]
+    fn dagger_inverts_every_gate() {
+        let gates = vec![
+            Gate::X,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::SX,
+            Gate::RX(0.7),
+            Gate::RY(-1.2),
+            Gate::RZ(2.5),
+            Gate::P(0.9),
+            Gate::U3(1.0, 2.0, 3.0),
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::CRX(0.4),
+            Gate::CRZ(-0.8),
+            Gate::CP(1.6),
+        ];
+        for g in gates {
+            let m = g.matrix();
+            let md = g.dagger().matrix();
+            let dim = m.rows();
+            assert!(
+                m.matmul(&md).approx_eq(&Matrix::identity(dim), 1e-12),
+                "{} dagger failed",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::SX.matrix();
+        assert!(sx.matmul(&sx).approx_eq(&Gate::X.matrix(), 1e-13));
+    }
+
+    #[test]
+    fn s_squared_is_z_t_squared_is_s() {
+        let s = Gate::S.matrix();
+        assert!(s.matmul(&s).approx_eq(&Gate::Z.matrix(), 1e-13));
+        let t = Gate::T.matrix();
+        assert!(t.matmul(&t).approx_eq(&s, 1e-13));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        use std::f64::consts::PI;
+        // U3(pi/2, 0, pi) = H
+        assert!(Gate::U3(PI / 2.0, 0.0, PI).matrix().approx_eq(&Gate::H.matrix(), 1e-13));
+        // U3(pi, 0, pi) = X
+        assert!(Gate::U3(PI, 0.0, PI).matrix().approx_eq(&Gate::X.matrix(), 1e-13));
+    }
+
+    #[test]
+    fn rotations_match_exponentials() {
+        use qaprox_linalg::expm::expm;
+        use qaprox_linalg::matrix::{pauli_x, pauli_y, pauli_z};
+        let t = 0.83;
+        for (gate, pauli) in [
+            (Gate::RX(t), pauli_x()),
+            (Gate::RY(t), pauli_y()),
+            (Gate::RZ(t), pauli_z()),
+        ] {
+            let expect = expm(&pauli.scale(c64(0.0, -t / 2.0)));
+            assert!(
+                gate.matrix().approx_eq(&expect, 1e-12),
+                "{} != exp(-i t P/2)",
+                gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        let cx = Gate::CX.matrix();
+        // control = high bit: |10> -> |11>, |11> -> |10>
+        assert_eq!(cx[(3, 2)], Complex64::ONE);
+        assert_eq!(cx[(2, 3)], Complex64::ONE);
+        assert_eq!(cx[(0, 0)], Complex64::ONE);
+        assert_eq!(cx[(1, 1)], Complex64::ONE);
+    }
+
+    #[test]
+    fn controlled_builder_matches_named_gates() {
+        assert!(controlled(&Gate::X.matrix()).approx_eq(&Gate::CX.matrix(), 1e-14));
+        assert!(controlled(&Gate::Z.matrix()).approx_eq(&Gate::CZ.matrix(), 1e-14));
+        assert!(
+            controlled(&Gate::RZ(0.7).matrix()).approx_eq(&Gate::CRZ(0.7).matrix(), 1e-14)
+        );
+    }
+
+    #[test]
+    fn cnot_costs() {
+        assert_eq!(Gate::CX.cnot_cost(), 1);
+        assert_eq!(Gate::SWAP.cnot_cost(), 3);
+        assert_eq!(Gate::CRZ(0.3).cnot_cost(), 2);
+        assert_eq!(Gate::U3(1.0, 0.0, 0.0).cnot_cost(), 0);
+    }
+
+    #[test]
+    fn arity_is_consistent_with_matrix_dim() {
+        for g in [Gate::H, Gate::RX(0.1), Gate::CX, Gate::SWAP, Gate::CP(0.5)] {
+            assert_eq!(g.matrix().rows(), 1 << g.arity());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # qaprox-circuit
+//!
+//! The circuit intermediate representation shared by the whole workspace:
+//! a [`Circuit`] is an ordered list of one- and two-qubit [`Gate`]s placed on
+//! named qubits. Wider operations (Toffoli, multi-controlled gates) are
+//! decomposed by `qaprox-algos` before entering the IR, so simulators,
+//! transpiler and synthesis only ever see two gate arities.
+//!
+//! Conventions (shared with `qaprox-linalg`):
+//! * qubit 0 is the least-significant bit of basis indices;
+//! * a two-qubit gate's first listed qubit is the high bit of its 4x4 matrix
+//!   (for [`Gate::CX`], the control).
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod commute;
+pub mod gate;
+pub mod parser;
+pub mod qasm;
+
+pub use circuit::{Circuit, Instruction};
+pub use commute::commutes;
+pub use parser::{from_qasm, ParseError};
+pub use gate::{controlled, Gate};

@@ -1,0 +1,280 @@
+//! Parser for the QASM-ish text format emitted by [`crate::qasm::to_qasm`].
+//!
+//! Supports the subset this workspace produces: one `qreg`, the named gate
+//! set, and parameterized gates with literal angles (including simple
+//! `pi`-expressions like `pi/2` or `-0.5*pi`). Round-tripping circuits
+//! through text lets experiment artifacts be re-loaded and re-executed.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A parse failure with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses an angle literal: a float, `pi`, `-pi`, `pi/N`, or `F*pi`.
+fn parse_angle(s: &str, line: usize) -> Result<f64, ParseError> {
+    let t = s.trim();
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(v);
+    }
+    let pi = std::f64::consts::PI;
+    let (sign, body) = if let Some(rest) = t.strip_prefix('-') { (-1.0, rest.trim()) } else { (1.0, t) };
+    if body == "pi" {
+        return Ok(sign * pi);
+    }
+    if let Some(den) = body.strip_prefix("pi/") {
+        let d: f64 = den
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad denominator in angle '{t}'")))?;
+        return Ok(sign * pi / d);
+    }
+    if let Some(factor) = body.strip_suffix("*pi") {
+        let f: f64 = factor
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad factor in angle '{t}'")))?;
+        return Ok(sign * f * pi);
+    }
+    Err(err(line, format!("cannot parse angle '{t}'")))
+}
+
+/// Parses `q[3]` into `3`.
+fn parse_qubit(s: &str, line: usize) -> Result<usize, ParseError> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix("q[")
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected q[i], got '{t}'")))?;
+    inner
+        .parse()
+        .map_err(|_| err(line, format!("bad qubit index in '{t}'")))
+}
+
+/// Parses the text format produced by [`crate::qasm::to_qasm`] back into a
+/// circuit.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
+    let mut circuit: Option<Circuit> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| err(line_no, format!("missing ';' in '{line}'")))?
+            .trim();
+
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = rest
+                .trim()
+                .strip_prefix("q[")
+                .and_then(|r| r.strip_suffix(']'))
+                .and_then(|r| r.parse::<usize>().ok())
+                .ok_or_else(|| err(line_no, "malformed qreg declaration"))?;
+            if circuit.is_some() {
+                return Err(err(line_no, "duplicate qreg declaration"));
+            }
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| err(line_no, "gate before qreg declaration"))?;
+
+        // split "name(params) operands" or "name operands"
+        let (head, operands) = match stmt.find(' ') {
+            Some(pos) => (&stmt[..pos], stmt[pos + 1..].trim()),
+            None => return Err(err(line_no, format!("malformed statement '{stmt}'"))),
+        };
+        let (name, params): (&str, Vec<f64>) = match head.find('(') {
+            Some(open) => {
+                let close = head
+                    .rfind(')')
+                    .ok_or_else(|| err(line_no, "unclosed parameter list"))?;
+                let name = &head[..open];
+                let params = head[open + 1..close]
+                    .split(',')
+                    .map(|p| parse_angle(p, line_no))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                (name, params)
+            }
+            None => (head, Vec::new()),
+        };
+        let qubits = operands
+            .split(',')
+            .map(|q| parse_qubit(q, line_no))
+            .collect::<Result<Vec<usize>, _>>()?;
+
+        let need = |k: usize| -> Result<(), ParseError> {
+            if params.len() == k {
+                Ok(())
+            } else {
+                Err(err(line_no, format!("{name} expects {k} parameter(s)")))
+            }
+        };
+        let gate = match name {
+            "x" => Gate::X,
+            "y" => Gate::Y,
+            "z" => Gate::Z,
+            "h" => Gate::H,
+            "s" => Gate::S,
+            "sdg" => Gate::Sdg,
+            "t" => Gate::T,
+            "tdg" => Gate::Tdg,
+            "sx" => Gate::SX,
+            "rx" => {
+                need(1)?;
+                Gate::RX(params[0])
+            }
+            "ry" => {
+                need(1)?;
+                Gate::RY(params[0])
+            }
+            "rz" => {
+                need(1)?;
+                Gate::RZ(params[0])
+            }
+            "p" | "u1" => {
+                need(1)?;
+                Gate::P(params[0])
+            }
+            "u3" | "u" => {
+                need(3)?;
+                Gate::U3(params[0], params[1], params[2])
+            }
+            "cx" | "cnot" => Gate::CX,
+            "cz" => Gate::CZ,
+            "swap" => Gate::SWAP,
+            "crx" => {
+                need(1)?;
+                Gate::CRX(params[0])
+            }
+            "crz" => {
+                need(1)?;
+                Gate::CRZ(params[0])
+            }
+            "cp" | "cu1" => {
+                need(1)?;
+                Gate::CP(params[0])
+            }
+            other => return Err(err(line_no, format!("unknown gate '{other}'"))),
+        };
+        if qubits.len() != gate.arity() {
+            return Err(err(
+                line_no,
+                format!("{name} expects {} qubit(s), got {}", gate.arity(), qubits.len()),
+            ));
+        }
+        c.push(gate, &qubits);
+    }
+    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::to_qasm;
+
+    #[test]
+    fn parses_minimal_program() {
+        let c = from_qasm("qreg q[2];\nh q[0];\ncx q[0],q[1];\n").unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.cx_count(), 1);
+    }
+
+    #[test]
+    fn round_trips_emitted_text() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(0.123456, 1)
+            .u3(0.4, -1.2, 2.2, 2)
+            .swap(1, 2)
+            .cz(0, 2);
+        c.push(Gate::CP(0.77), &[0, 1]);
+        c.push(Gate::Tdg, &[2]);
+        let text = to_qasm(&c);
+        let back = from_qasm(&text).unwrap();
+        assert_eq!(back.len(), c.len());
+        let d = {
+            let a = c.unitary();
+            let b = back.unitary();
+            a.max_diff(&b)
+        };
+        assert!(d < 1e-9, "round trip changed the unitary by {d}");
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let c = from_qasm("qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(0.5*pi) q[0];\n")
+            .unwrap();
+        match &c.instructions()[0].gate {
+            Gate::RZ(t) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            g => panic!("unexpected gate {g:?}"),
+        }
+        match &c.instructions()[1].gate {
+            Gate::RX(t) => assert!((t + std::f64::consts::PI).abs() < 1e-12),
+            g => panic!("unexpected gate {g:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_headers() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// a comment\nqreg q[1];\nx q[0]; // flip\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let e = from_qasm("qreg q[1];\nfoo q[0];\n").unwrap_err();
+        assert!(e.message.contains("unknown gate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn error_on_missing_qreg() {
+        assert!(from_qasm("h q[0];\n").is_err());
+    }
+
+    #[test]
+    fn error_on_out_of_range_qubit_is_a_panic_in_push() {
+        // the parser delegates range checking to Circuit::push
+        let res = std::panic::catch_unwind(|| from_qasm("qreg q[1];\nh q[5];\n"));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn error_on_wrong_arity() {
+        let e = from_qasm("qreg q[2];\ncx q[0];\n").unwrap_err();
+        assert!(e.message.contains("expects 2 qubit"));
+    }
+
+    #[test]
+    fn error_on_bad_angle() {
+        let e = from_qasm("qreg q[1];\nrz(abc) q[0];\n").unwrap_err();
+        assert!(e.message.contains("angle"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Human-readable circuit serialization, loosely OpenQASM-2 shaped.
+//!
+//! Used in experiment logs and DESIGN/EXPERIMENTS artifacts so an approximate
+//! circuit found by synthesis can be inspected or re-entered elsewhere.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Renders a circuit as a QASM-like text block.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// qaprox circuit: {} qubits, {} gates", circuit.num_qubits(), circuit.len());
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for inst in circuit.iter() {
+        let qs: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        let qs = qs.join(",");
+        let line = match &inst.gate {
+            Gate::RX(t) => format!("rx({t:.12}) {qs};"),
+            Gate::RY(t) => format!("ry({t:.12}) {qs};"),
+            Gate::RZ(t) => format!("rz({t:.12}) {qs};"),
+            Gate::P(l) => format!("p({l:.12}) {qs};"),
+            Gate::U3(t, p, l) => format!("u3({t:.12},{p:.12},{l:.12}) {qs};"),
+            Gate::CRX(t) => format!("crx({t:.12}) {qs};"),
+            Gate::CRZ(t) => format!("crz({t:.12}) {qs};"),
+            Gate::CP(l) => format!("cp({l:.12}) {qs};"),
+            Gate::Unitary1(_) => format!("// unitary1 {qs};"),
+            Gate::Unitary2(_) => format!("// unitary2 {qs};"),
+            g => format!("{} {qs};", g.name()),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// One-line summary used in experiment tables: gate counts and depth.
+pub fn summary(circuit: &Circuit) -> String {
+    format!(
+        "qubits={} gates={} cx={} 2q={} depth={} cnot_depth={}",
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.cx_count(),
+        circuit.two_qubit_count(),
+        circuit.depth(),
+        circuit.cnot_depth(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qasm_contains_header_and_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(0.5, 1);
+        let text = to_qasm(&c);
+        assert!(text.contains("qreg q[2];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0],q[1];"));
+        assert!(text.contains("rz(0.5"));
+    }
+
+    #[test]
+    fn qasm_renders_parameterized_gates_with_precision() {
+        let mut c = Circuit::new(1);
+        c.u3(0.123456789012, -1.0, 2.0, 0);
+        let text = to_qasm(&c);
+        assert!(text.contains("u3(0.123456789012"), "12-digit angles: {text}");
+    }
+
+    #[test]
+    fn qasm_of_empty_circuit_is_header_only() {
+        let c = Circuit::new(4);
+        let text = to_qasm(&c);
+        assert_eq!(text.lines().filter(|l| l.ends_with(';')).count(), 1); // qreg only
+    }
+
+    #[test]
+    fn summary_reports_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let s = summary(&c);
+        assert!(s.contains("cx=2"));
+        assert!(s.contains("qubits=3"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal argument parsing (no external dependencies): `--key value` and
+//! `--flag` pairs after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options; bare `--flag`s map to `"true"`.
+    pub options: BTreeMap<String, String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+/// Parses an argument list (excluding the program name).
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = argv.into_iter().peekable();
+    match iter.next() {
+        Some(cmd) if !cmd.starts_with("--") => args.command = cmd,
+        Some(flag) => return Err(format!("expected a subcommand before '{flag}'")),
+        None => return Err("missing subcommand".into()),
+    }
+    while let Some(tok) = iter.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            if key.is_empty() {
+                return Err("empty option name '--'".into());
+            }
+            // value if the next token is not another option
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            if args.options.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate option --{key}"));
+            }
+        } else {
+            args.positional.push(tok);
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// Typed option lookup with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse '{raw}'")),
+        }
+    }
+
+    /// String option lookup with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// True when `--key` was given (any value but "false").
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v != "false").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(v: &[&str]) -> Result<Args, String> {
+        parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = of(&["synth", "--qubits", "3", "--device", "toronto", "--verbose"]).unwrap();
+        assert_eq!(a.command, "synth");
+        assert_eq!(a.get_or("qubits", 0usize).unwrap(), 3);
+        assert_eq!(a.str_or("device", "x"), "toronto");
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(of(&[]).is_err());
+        assert!(of(&["--flag"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_values() {
+        assert!(of(&["run", "--n", "1", "--n", "2"]).is_err());
+        let a = of(&["run", "--n", "abc"]).unwrap();
+        assert!(a.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_collect() {
+        let a = of(&["show", "file1", "file2", "--k", "v"]).unwrap();
+        assert_eq!(a.positional, vec!["file1", "file2"]);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = of(&["run"]).unwrap();
+        assert_eq!(a.get_or("steps", 21usize).unwrap(), 21);
+        assert_eq!(a.str_or("device", "ourense"), "ourense");
+    }
+}

@@ -1,0 +1,251 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use qaprox::prelude::*;
+use qaprox_synth::InstantiateConfig;
+
+/// Help text.
+pub const USAGE: &str = "\
+qaprox - approximate quantum circuits on noisy devices
+
+USAGE:
+  qaprox <subcommand> [--option value]...
+
+SUBCOMMANDS:
+  synth     synthesize an approximate-circuit population for a workload
+              --workload tfim|grover|toffoli   (default tfim)
+              --qubits N                       (default 3)
+              --steps K      TFIM timestep     (default 6)
+              --max-cnots D                    (default 6)
+              --max-hs T     selection cutoff  (default 0.12)
+  run       evaluate the population against the reference under noise
+              (synth options plus:)
+              --device NAME  ourense|rome|santiago|toronto|manhattan
+              --cx-error E   override uniform CNOT error
+              --hardware     use the hardware-emulation backend
+  devices   list the built-in calibration snapshots
+  report    print a device noise report (--device NAME)
+  show      dump the reference circuit as QASM (workload options)
+  help      this text
+";
+
+/// Routes a parsed command line.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "synth" => cmd_synth(args),
+        "run" => cmd_run(args),
+        "devices" => cmd_devices(),
+        "report" => cmd_report(args),
+        "show" => cmd_show(args),
+        "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Builds the reference circuit for the requested workload.
+fn reference_circuit(args: &Args) -> Result<Circuit, String> {
+    let workload = args.str_or("workload", "tfim");
+    let qubits: usize = args.get_or("qubits", 3)?;
+    if !(2..=6).contains(&qubits) {
+        return Err("supported --qubits range is 2..=6".into());
+    }
+    match workload.as_str() {
+        "tfim" => {
+            let steps: usize = args.get_or("steps", 6)?;
+            let params = TfimParams::paper_defaults(qubits);
+            Ok(tfim_circuit(&params, steps))
+        }
+        "grover" => {
+            let target = (1usize << qubits) - 1;
+            let iters = qaprox_algos::grover::optimal_iterations(qubits);
+            Ok(grover_circuit(qubits, target, iters))
+        }
+        "toffoli" => Ok(mct_reference(qubits)),
+        other => Err(format!("unknown workload '{other}' (tfim|grover|toffoli)")),
+    }
+}
+
+fn workflow_from(args: &Args, qubits: usize) -> Result<Workflow, String> {
+    let max_cnots: usize = args.get_or("max-cnots", 6)?;
+    let max_hs: f64 = args.get_or("max-hs", 0.12)?;
+    Ok(Workflow {
+        topology: Topology::linear(qubits),
+        engine: Engine::QSearch(QSearchConfig {
+            max_cnots,
+            max_nodes: args.get_or("max-nodes", 150)?,
+            beam_width: 4,
+            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            ..Default::default()
+        }),
+        max_hs,
+    })
+}
+
+fn cmd_synth(args: &Args) -> Result<(), String> {
+    let reference = reference_circuit(args)?;
+    let qubits = reference.num_qubits();
+    let wf = workflow_from(args, qubits)?;
+    let target = Workflow::target_unitary(&reference);
+    let pop = wf.generate(&target);
+    println!(
+        "# reference: {} gates, {} CNOTs; explored {} candidates, kept {}",
+        reference.len(),
+        reference.cx_count(),
+        pop.explored,
+        pop.circuits.len()
+    );
+    println!("cnots,hs_distance,gates,depth");
+    for ap in &pop.circuits {
+        println!(
+            "{},{:.5},{},{}",
+            ap.cnots,
+            ap.hs_distance,
+            ap.circuit.len(),
+            ap.circuit.depth()
+        );
+    }
+    println!(
+        "# minimal-HS: {} CNOTs at {:.2e}",
+        pop.minimal_hs.cnots, pop.minimal_hs.hs_distance
+    );
+    Ok(())
+}
+
+fn backend_from(args: &Args, qubits: usize) -> Result<Backend, String> {
+    let device = args.str_or("device", "ourense");
+    let cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
+    if qubits > cal.topology.num_qubits() {
+        return Err(format!("device {device} has too few qubits for --qubits {qubits}"));
+    }
+    let mut induced = cal.induced(&(0..qubits).collect::<Vec<_>>());
+    if let Some(raw) = args.options.get("cx-error") {
+        let eps: f64 = raw
+            .parse()
+            .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?;
+        induced = induced.with_uniform_cx_error(eps);
+    }
+    let model = NoiseModel::from_calibration(induced);
+    Ok(if args.flag("hardware") {
+        Backend::Hardware(HardwareBackend::new(model))
+    } else {
+        Backend::Noisy(model)
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let reference = reference_circuit(args)?;
+    let qubits = reference.num_qubits();
+    let wf = workflow_from(args, qubits)?;
+    let backend = backend_from(args, qubits)?;
+
+    let target = Workflow::target_unitary(&reference);
+    let pop = wf.generate(&target);
+    if pop.circuits.is_empty() {
+        return Err("selection kept no circuits; raise --max-hs or --max-cnots".into());
+    }
+
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let ref_probs = backend.probabilities(&reference, 0);
+    let ref_tvd = qaprox_metrics::total_variation(&ref_probs, &ideal);
+    println!(
+        "# reference: {} CNOTs, TVD to ideal under noise = {ref_tvd:.4}",
+        reference.cx_count()
+    );
+
+    let scored = execute_and_score(&pop.circuits, &backend, |_, probs| {
+        qaprox_metrics::total_variation(probs, &ideal)
+    });
+    println!("cnots,hs_distance,tvd_to_ideal,beats_reference");
+    let mut wins = 0usize;
+    for s in &scored {
+        let beats = s.score < ref_tvd;
+        wins += beats as usize;
+        println!("{},{:.5},{:.4},{}", s.cnots, s.hs_distance, s.score, beats);
+    }
+    println!(
+        "# {wins}/{} approximate circuits beat the exact reference",
+        scored.len()
+    );
+    Ok(())
+}
+
+fn cmd_devices() -> Result<(), String> {
+    println!("machine,qubits,avg_cx_error,avg_readout_error");
+    for cal in devices::all_devices() {
+        println!(
+            "{},{},{:.5},{:.5}",
+            cal.machine,
+            cal.topology.num_qubits(),
+            cal.avg_cx_error(),
+            cal.avg_readout_error()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let device = args.str_or("device", "toronto");
+    let cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
+    print!("{}", qaprox_device::render_report(&cal));
+    Ok(())
+}
+
+fn cmd_show(args: &Args) -> Result<(), String> {
+    let reference = reference_circuit(args)?;
+    print!("{}", qaprox_circuit::qasm::to_qasm(&reference));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(v: &[&str]) -> Result<(), String> {
+        dispatch(&parse(v.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn devices_and_report_succeed() {
+        assert!(run(&["devices"]).is_ok());
+        assert!(run(&["report", "--device", "ourense"]).is_ok());
+        assert!(run(&["report", "--device", "nope"]).is_err());
+    }
+
+    #[test]
+    fn show_emits_qasm_for_all_workloads() {
+        for w in ["tfim", "grover", "toffoli"] {
+            assert!(run(&["show", "--workload", w, "--qubits", "3"]).is_ok(), "{w}");
+        }
+        assert!(run(&["show", "--workload", "unknown"]).is_err());
+    }
+
+    #[test]
+    fn synth_small_population() {
+        assert!(run(&[
+            "synth", "--workload", "tfim", "--qubits", "2", "--steps", "2",
+            "--max-cnots", "3", "--max-nodes", "25", "--max-hs", "0.4",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn run_small_end_to_end() {
+        assert!(run(&[
+            "run", "--workload", "tfim", "--qubits", "2", "--steps", "3",
+            "--max-cnots", "3", "--max-nodes", "25", "--max-hs", "0.4",
+            "--device", "ourense", "--cx-error", "0.1",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn run_rejects_bad_inputs() {
+        assert!(run(&["run", "--qubits", "9"]).is_err());
+        assert!(run(&["run", "--device", "nowhere"]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+}

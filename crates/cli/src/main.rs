@@ -1,0 +1,36 @@
+//! `qaprox` — the command-line face of the approximate-circuit toolkit.
+//!
+//! ```text
+//! qaprox synth    --workload tfim|grover|toffoli --qubits N [--steps K]
+//!                 [--max-cnots D] [--max-hs T]        synthesize + list population
+//! qaprox run      --workload ... --device NAME [--hardware] [--cx-error E]
+//!                 [--steps K]                          evaluate population vs reference
+//! qaprox devices                                       list calibration snapshots
+//! qaprox report   --device NAME                        print the noise report
+//! qaprox show     --workload ... [--steps K]           dump the reference as QASM
+//! ```
+//!
+//! Every subcommand prints CSV-ish rows; see `docs/TUTORIAL.md` for the API
+//! behind each step.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let parsed = match args::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::dispatch(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Grover experiment driver — Figs. 5 and 14.
+//!
+//! Score = probability of measuring the marked bitstring ("selecting the
+//! correct box"). The reference is the hand-coded oracle+diffuser circuit;
+//! approximations are synthesized from the full Grover unitary.
+
+use crate::workflow::{Scored, Workflow};
+use qaprox_algos::grover::grover_circuit;
+use qaprox_circuit::Circuit;
+use qaprox_metrics::success_probability;
+use qaprox_sim::Backend;
+use qaprox_synth::ApproxCircuit;
+use rayon::prelude::*;
+
+/// A configured Grover study.
+#[derive(Debug, Clone)]
+pub struct GroverStudy {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Marked bitstring.
+    pub target_state: usize,
+    /// Grover iterations in the reference circuit.
+    pub iterations: usize,
+}
+
+impl GroverStudy {
+    /// The paper's study: 3 qubits, `|111>`, optimal iterations.
+    pub fn paper() -> Self {
+        GroverStudy {
+            num_qubits: 3,
+            target_state: 0b111,
+            iterations: qaprox_algos::grover::optimal_iterations(3),
+        }
+    }
+
+    /// The hand-coded reference circuit.
+    pub fn reference(&self) -> Circuit {
+        grover_circuit(self.num_qubits, self.target_state, self.iterations)
+    }
+
+    /// The synthesis target (reference unitary).
+    pub fn target_unitary(&self) -> qaprox_linalg::Matrix {
+        Workflow::target_unitary(&self.reference())
+    }
+
+    /// Executes the reference and returns its success probability.
+    pub fn reference_score(&self, backend: &Backend) -> f64 {
+        let probs = backend.probabilities(&self.reference(), 0xFEED);
+        success_probability(&probs, self.target_state)
+    }
+
+    /// Executes and scores an approximate population.
+    pub fn evaluate_population(
+        &self,
+        population: &[ApproxCircuit],
+        backend: &Backend,
+    ) -> Vec<Scored> {
+        population
+            .par_iter()
+            .enumerate()
+            .map(|(i, ap)| {
+                let probs = backend.probabilities(&ap.circuit, (i as u64) << 8);
+                Scored {
+                    cnots: ap.cnots,
+                    hs_distance: ap.hs_distance,
+                    score: success_probability(&probs, self.target_state),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+    use qaprox_sim::NoiseModel;
+
+    #[test]
+    fn paper_study_reference_is_strong_when_ideal() {
+        let study = GroverStudy::paper();
+        let score = study.reference_score(&Backend::Ideal);
+        assert!(score > 0.9, "ideal Grover should find the box: {score}");
+    }
+
+    #[test]
+    fn noise_degrades_reference_below_ideal() {
+        let study = GroverStudy::paper();
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+        let noisy = study.reference_score(&Backend::Noisy(NoiseModel::from_calibration(cal)));
+        let ideal = study.reference_score(&Backend::Ideal);
+        assert!(noisy < ideal - 0.2, "24+ CNOTs at 5% error must hurt: {noisy} vs {ideal}");
+    }
+
+    #[test]
+    fn population_scoring_shape() {
+        let study = GroverStudy::paper();
+        // tiny synthetic population: the reference itself plus a trivial circuit
+        let pop = vec![
+            ApproxCircuit::new(study.reference(), 0.0),
+            ApproxCircuit::new(Circuit::new(3), 0.9),
+        ];
+        let scored = study.evaluate_population(&pop, &Backend::Ideal);
+        assert_eq!(scored.len(), 2);
+        assert!(scored[0].score > 0.9);
+        // the empty circuit leaves |000>, which is not the marked state
+        assert!(scored[1].score < 0.01);
+    }
+}

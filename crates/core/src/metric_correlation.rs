@@ -1,0 +1,201 @@
+//! Metric-correlation analysis — the paper's Sec. 6.5: "we are interested in
+//! a thorough analysis of the numerical value of different metrics
+//! (Hilbert-Schmidt distance, Kullback-Leibler divergence, Jensen-Shannon
+//! distance, etc.)" as guides for selecting approximate circuits.
+//!
+//! For a synthesized population this module computes, at a given noise
+//! level, how well each *cheap* metric predicts the *expensive* ground truth
+//! (output error on the true backend): Pearson and Spearman correlations per
+//! metric, per noise level.
+
+use qaprox_circuit::Circuit;
+use qaprox_metrics::stats::{pearson, spearman};
+use qaprox_metrics::{js_distance, kl_divergence, total_variation};
+use qaprox_sim::Backend;
+use qaprox_synth::ApproxCircuit;
+use rayon::prelude::*;
+
+/// The candidate predictor metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorMetric {
+    /// Hilbert-Schmidt distance recorded at synthesis time (process level).
+    HsDistance,
+    /// CNOT count (pure depth proxy).
+    CnotCount,
+    /// JS distance of the *ideal* output to the reference's ideal output.
+    IdealJs,
+    /// KL divergence of the ideal output to the reference's ideal output
+    /// (clamped at a large finite value when supports mismatch).
+    IdealKl,
+    /// TVD of the ideal output to the reference's ideal output.
+    IdealTvd,
+}
+
+impl PredictorMetric {
+    /// All predictors in report order.
+    pub const ALL: [PredictorMetric; 5] = [
+        PredictorMetric::HsDistance,
+        PredictorMetric::CnotCount,
+        PredictorMetric::IdealJs,
+        PredictorMetric::IdealKl,
+        PredictorMetric::IdealTvd,
+    ];
+
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorMetric::HsDistance => "hs_distance",
+            PredictorMetric::CnotCount => "cnot_count",
+            PredictorMetric::IdealJs => "ideal_js",
+            PredictorMetric::IdealKl => "ideal_kl",
+            PredictorMetric::IdealTvd => "ideal_tvd",
+        }
+    }
+}
+
+/// Correlation of one predictor with the ground truth.
+#[derive(Debug, Clone)]
+pub struct MetricCorrelation {
+    /// Which predictor.
+    pub metric: &'static str,
+    /// Pearson correlation with true output error.
+    pub pearson: f64,
+    /// Spearman rank correlation with true output error.
+    pub spearman: f64,
+}
+
+/// Evaluates every predictor over a population against the true backend.
+///
+/// `reference_ideal` is the noise-free output distribution of the reference
+/// circuit; ground truth for each candidate is the TVD between its noisy
+/// output and `reference_ideal`.
+pub fn correlate(
+    population: &[ApproxCircuit],
+    reference_ideal: &[f64],
+    backend: &Backend,
+) -> Vec<MetricCorrelation> {
+    assert!(population.len() >= 3, "need at least 3 candidates to correlate");
+
+    // ground truth: true output error per candidate
+    let truth: Vec<f64> = population
+        .par_iter()
+        .enumerate()
+        .map(|(i, ap)| {
+            let noisy = backend.probabilities(&ap.circuit, i as u64);
+            total_variation(&noisy, reference_ideal)
+        })
+        .collect();
+
+    // predictor values
+    let ideal_outputs: Vec<Vec<f64>> = population
+        .par_iter()
+        .map(|ap| ideal_probabilities(&ap.circuit))
+        .collect();
+
+    PredictorMetric::ALL
+        .iter()
+        .map(|metric| {
+            let values: Vec<f64> = population
+                .iter()
+                .zip(&ideal_outputs)
+                .map(|(ap, ideal)| match metric {
+                    PredictorMetric::HsDistance => ap.hs_distance,
+                    PredictorMetric::CnotCount => ap.cnots as f64,
+                    PredictorMetric::IdealJs => js_distance(ideal, reference_ideal),
+                    PredictorMetric::IdealKl => {
+                        kl_divergence(ideal, reference_ideal).min(1e3)
+                    }
+                    PredictorMetric::IdealTvd => total_variation(ideal, reference_ideal),
+                })
+                .collect();
+            MetricCorrelation {
+                metric: metric.name(),
+                pearson: pearson(&values, &truth),
+                spearman: spearman(&values, &truth),
+            }
+        })
+        .collect()
+}
+
+fn ideal_probabilities(circuit: &Circuit) -> Vec<f64> {
+    qaprox_sim::statevector::probabilities(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{Engine, Workflow};
+    use qaprox_algos::tfim::{tfim_circuit, TfimParams};
+    use qaprox_device::devices::ourense;
+    use qaprox_device::Topology;
+    use qaprox_sim::NoiseModel;
+    use qaprox_synth::{InstantiateConfig, QSearchConfig};
+
+    fn study_population() -> (Vec<ApproxCircuit>, Vec<f64>) {
+        let params = TfimParams::paper_defaults(3);
+        let reference = tfim_circuit(&params, 5);
+        let wf = Workflow {
+            topology: Topology::linear(3),
+            engine: Engine::QSearch(QSearchConfig {
+                max_cnots: 5,
+                max_nodes: 60,
+                beam_width: 3,
+                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                ..Default::default()
+            }),
+            max_hs: 0.4,
+        };
+        let pop = wf.generate(&Workflow::target_unitary(&reference));
+        let ideal = qaprox_sim::statevector::probabilities(&reference);
+        (pop.circuits, ideal)
+    }
+
+    #[test]
+    fn correlations_are_well_formed() {
+        let (pop, ideal) = study_population();
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let report = correlate(&pop, &ideal, &backend);
+        assert_eq!(report.len(), 5);
+        for r in &report {
+            assert!(r.pearson.abs() <= 1.0 + 1e-12, "{}: {}", r.metric, r.pearson);
+            assert!(r.spearman.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_tvd_predicts_truth_at_low_noise() {
+        // with almost no noise, the ideal-output TVD *is* the ground truth
+        let (pop, ideal) = study_population();
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.0);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let report = correlate(&pop, &ideal, &backend);
+        let tvd = report.iter().find(|r| r.metric == "ideal_tvd").unwrap();
+        assert!(
+            tvd.spearman > 0.9,
+            "ideal TVD should rank-predict truth at zero noise: {}",
+            tvd.spearman
+        );
+    }
+
+    #[test]
+    fn depth_matters_more_as_noise_grows() {
+        let (pop, ideal) = study_population();
+        let lo = {
+            let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.001);
+            let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+            correlate(&pop, &ideal, &backend)
+        };
+        let hi = {
+            let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.2);
+            let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+            correlate(&pop, &ideal, &backend)
+        };
+        let depth_lo = lo.iter().find(|r| r.metric == "cnot_count").unwrap().spearman;
+        let depth_hi = hi.iter().find(|r| r.metric == "cnot_count").unwrap().spearman;
+        assert!(
+            depth_hi > depth_lo,
+            "CNOT count should predict error better under heavy noise: {depth_lo} -> {depth_hi}"
+        );
+    }
+}

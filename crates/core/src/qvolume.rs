@@ -1,0 +1,175 @@
+//! Quantum-volume estimation — the paper's Sec. 6.5 roadmap metric.
+//!
+//! The QV protocol (Cross et al.): for width `m`, run `m`-qubit model
+//! circuits of depth `m` (random pairings, random SU(4) blocks), and check
+//! whether the noisy device keeps more than 2/3 of its output mass on the
+//! ideal distribution's *heavy outputs*. `QV = 2^m` for the largest passing
+//! `m`. Correlating approximate-circuit benefit with QV is the projection
+//! the paper proposes for future hardware.
+
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::random::haar_unitary;
+use qaprox_sim::NoiseModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One width's aggregated trial results.
+#[derive(Debug, Clone)]
+pub struct QvPoint {
+    /// Model-circuit width (and depth).
+    pub width: usize,
+    /// Mean heavy-output probability across trials.
+    pub heavy_output_probability: f64,
+    /// Whether the 2/3 threshold was met.
+    pub passed: bool,
+}
+
+/// A full QV report.
+#[derive(Debug, Clone)]
+pub struct QvReport {
+    /// Per-width results, ascending width.
+    pub points: Vec<QvPoint>,
+    /// The quantum volume `2^m` of the largest passing width (1 if none).
+    pub quantum_volume: u64,
+}
+
+/// Builds one QV model circuit: `width` layers of a random qubit pairing
+/// with a Haar-random SU(4) on each pair.
+pub fn model_circuit(width: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(width);
+    for _ in 0..width {
+        let mut order: Vec<usize> = (0..width).collect();
+        order.shuffle(rng);
+        for pair in order.chunks(2) {
+            if let &[a, b] = pair {
+                let u = haar_unitary(4, rng);
+                c.push(Gate::Unitary2(Box::new(u)), &[a, b]);
+            }
+        }
+    }
+    c
+}
+
+/// Heavy-output probability of one circuit under `model`.
+pub fn heavy_output_probability(circuit: &Circuit, model: &NoiseModel) -> f64 {
+    let ideal = qaprox_sim::statevector::probabilities(circuit);
+    // heavy outputs: ideal probability above the median
+    let mut sorted = ideal.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = if sorted.len() % 2 == 0 {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    let noisy = model.probabilities(circuit);
+    ideal
+        .iter()
+        .zip(&noisy)
+        .filter(|(i, _)| **i > median)
+        .map(|(_, n)| *n)
+        .sum()
+}
+
+/// Estimates quantum volume up to `max_width` with `trials` model circuits
+/// per width. The device model must cover at least `max_width` qubits; each
+/// width uses its first `width` qubits (a simple but deterministic choice).
+pub fn quantum_volume(
+    base: &qaprox_device::Calibration,
+    max_width: usize,
+    trials: usize,
+    seed: u64,
+) -> QvReport {
+    assert!(max_width >= 2, "QV starts at width 2");
+    assert!(max_width <= base.topology.num_qubits(), "device too small");
+    let mut points = Vec::new();
+    for width in 2..=max_width {
+        let qubits: Vec<usize> = (0..width).collect();
+        let cal = base.induced(&qubits);
+        let model = NoiseModel::from_calibration(cal);
+        let hops: Vec<f64> = (0..trials)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((width as u64) << 32) ^ t as u64);
+                let c = model_circuit(width, &mut rng);
+                heavy_output_probability(&c, &model)
+            })
+            .collect();
+        let mean = hops.iter().sum::<f64>() / trials.max(1) as f64;
+        points.push(QvPoint {
+            width,
+            heavy_output_probability: mean,
+            passed: mean > 2.0 / 3.0,
+        });
+    }
+    // QV = 2^m for the largest contiguous passing width from 2 upward.
+    let mut qv = 1u64;
+    for p in &points {
+        if p.passed {
+            qv = 1u64 << p.width;
+        } else {
+            break;
+        }
+    }
+    QvReport { points, quantum_volume: qv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+
+    #[test]
+    fn model_circuit_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = model_circuit(4, &mut rng);
+        // 4 layers x 2 pairs per layer
+        assert_eq!(c.two_qubit_count(), 8);
+        assert_eq!(c.num_qubits(), 4);
+    }
+
+    #[test]
+    fn heavy_output_probability_is_high_without_noise() {
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.0);
+        let mut quiet = NoiseModel::from_calibration(cal);
+        quiet.include_relaxation = false;
+        quiet.include_readout = false;
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = model_circuit(3, &mut rng);
+        let hop = heavy_output_probability(&c, &quiet);
+        // for an ideal device, asymptotically ~0.85; any specific circuit
+        // should clear the 2/3 threshold comfortably
+        assert!(hop > 0.7, "noiseless HOP {hop}");
+    }
+
+    #[test]
+    fn noise_lowers_heavy_output_probability() {
+        let good = NoiseModel::from_calibration(ourense().induced(&[0, 1, 2]));
+        let bad = NoiseModel::from_calibration(
+            ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.2),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = model_circuit(3, &mut rng);
+        let hop_good = heavy_output_probability(&c, &good);
+        let hop_bad = heavy_output_probability(&c, &bad);
+        assert!(hop_bad < hop_good, "{hop_bad} !< {hop_good}");
+    }
+
+    #[test]
+    fn qv_report_has_expected_shape() {
+        let report = quantum_volume(&ourense(), 3, 4, 7);
+        assert_eq!(report.points.len(), 2);
+        assert!(report.quantum_volume >= 1);
+        for p in &report.points {
+            assert!((0.0..=1.0).contains(&p.heavy_output_probability));
+        }
+    }
+
+    #[test]
+    fn very_noisy_device_fails_qv() {
+        let noisy = ourense().with_uniform_cx_error(0.5);
+        let report = quantum_volume(&noisy, 3, 4, 11);
+        assert_eq!(report.quantum_volume, 1, "50% CNOT error cannot pass QV");
+    }
+}

@@ -1,0 +1,129 @@
+//! CNOT-error sensitivity sweeps — Figs. 8-11.
+//!
+//! The paper rewrites the Ourense noise model's two-qubit error to values
+//! from 0 to 0.24 and re-executes the *same* approximate-circuit populations
+//! at every level, tracking which CNOT depth wins as noise grows
+//! (Observations 5 and 6).
+
+use crate::tfim_study::{evaluate, TfimPopulations, TimestepResult};
+use qaprox_device::Calibration;
+use qaprox_sim::{Backend, NoiseModel};
+
+/// The CNOT error levels highlighted by the paper (0, device-level, 0.12
+/// like the worst contemporary devices, and 0.24 beyond them).
+pub fn paper_error_levels() -> Vec<f64> {
+    vec![0.0, 0.00767, 0.03, 0.06, 0.12, 0.24]
+}
+
+/// One noise level's full evaluation.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The uniform CNOT error applied.
+    pub cx_error: f64,
+    /// Per-timestep results at this level.
+    pub results: Vec<TimestepResult>,
+}
+
+/// Evaluates `pops` at every CNOT error level, holding all other noise
+/// sources (from `base`) fixed.
+pub fn cx_error_sweep(
+    pops: &TfimPopulations,
+    base: &Calibration,
+    levels: &[f64],
+) -> Vec<SweepPoint> {
+    levels
+        .iter()
+        .map(|&eps| {
+            let cal = base.with_uniform_cx_error(eps);
+            let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+            SweepPoint { cx_error: eps, results: evaluate(pops, &backend) }
+        })
+        .collect()
+}
+
+/// Fig. 11's series: the CNOT depth of the best-performing circuit at each
+/// timestep, per error level.
+pub fn best_depth_series(sweep: &[SweepPoint]) -> Vec<(f64, Vec<usize>)> {
+    sweep
+        .iter()
+        .map(|point| {
+            let depths = point.results.iter().map(|r| r.best_approx.cnots).collect();
+            (point.cx_error, depths)
+        })
+        .collect()
+}
+
+/// Mean best-circuit depth at each error level — the scalar trend behind
+/// Observation 6 ("the more noise, the shorter the winning circuits").
+pub fn mean_best_depth(sweep: &[SweepPoint]) -> Vec<(f64, f64)> {
+    sweep
+        .iter()
+        .map(|point| {
+            let n = point.results.len().max(1);
+            let mean = point.results.iter().map(|r| r.best_approx.cnots as f64).sum::<f64>()
+                / n as f64;
+            (point.cx_error, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfim_study::generate_populations;
+    use crate::workflow::{Engine, Workflow};
+    use qaprox_algos::tfim::TfimParams;
+    use qaprox_device::devices::ourense;
+    use qaprox_device::Topology;
+    use qaprox_synth::{InstantiateConfig, QSearchConfig};
+
+    fn quick_pops() -> TfimPopulations {
+        let workflow = Workflow {
+            topology: Topology::linear(3),
+            engine: Engine::QSearch(QSearchConfig {
+                max_cnots: 4,
+                max_nodes: 50,
+                beam_width: 2,
+                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                ..Default::default()
+            }),
+            max_hs: 0.5,
+        };
+        generate_populations(&TfimParams::paper_defaults(3), 4, &workflow)
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_level() {
+        let pops = quick_pops();
+        let base = ourense().induced(&[0, 1, 2]);
+        let sweep = cx_error_sweep(&pops, &base, &[0.0, 0.12]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].results.len(), 4);
+    }
+
+    #[test]
+    fn noisy_reference_degrades_with_error_level() {
+        let pops = quick_pops();
+        let base = ourense().induced(&[0, 1, 2]);
+        let sweep = cx_error_sweep(&pops, &base, &[0.0, 0.24]);
+        // at the last (deepest) timestep, the reference must be farther from
+        // ideal at 0.24 than at 0
+        let last = pops.references.len() - 1;
+        let err_low = (sweep[0].results[last].noisy_ref - sweep[0].results[last].noise_free_ref).abs();
+        let err_high =
+            (sweep[1].results[last].noisy_ref - sweep[1].results[last].noise_free_ref).abs();
+        assert!(err_high > err_low, "0.24 error should hurt more: {err_low} vs {err_high}");
+    }
+
+    #[test]
+    fn depth_series_has_matching_shape() {
+        let pops = quick_pops();
+        let base = ourense().induced(&[0, 1, 2]);
+        let sweep = cx_error_sweep(&pops, &base, &paper_error_levels()[..2]);
+        let series = best_depth_series(&sweep);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1.len(), 4);
+        let means = mean_best_depth(&sweep);
+        assert_eq!(means.len(), 2);
+    }
+}

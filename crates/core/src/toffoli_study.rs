@@ -1,0 +1,244 @@
+//! The multi-controlled Toffoli experiment driver — Figs. 6, 7, 15, 17-19.
+//!
+//! The Toffoli implements a *function*, so one output distribution is not
+//! enough: the paper tests each circuit over a battery of inputs and scores
+//! the **aggregate** output distribution with the Jensen-Shannon distance.
+//! The battery used here is every control pattern with the target qubit at
+//! 0; the ideal aggregate is uniform over the `2^(n-1)` distinct correct
+//! outputs, which puts "random noise" at JS = 0.465 exactly as the paper
+//! reports.
+
+use crate::workflow::Scored;
+use qaprox_algos::mct::mct_unitary;
+use qaprox_circuit::Circuit;
+use qaprox_metrics::js_distance;
+use qaprox_sim::Backend;
+use qaprox_synth::ApproxCircuit;
+use rayon::prelude::*;
+
+/// The battery of input basis states: all control patterns, target bit 0.
+pub fn battery_inputs(num_qubits: usize) -> Vec<usize> {
+    (0..(1usize << (num_qubits - 1))).collect()
+}
+
+/// The ideal aggregate distribution over the battery: uniform over each
+/// input's correct output.
+pub fn ideal_battery_distribution(num_qubits: usize) -> Vec<f64> {
+    let dim = 1usize << num_qubits;
+    let controls_mask = dim / 2 - 1;
+    let target_bit = dim / 2;
+    let inputs = battery_inputs(num_qubits);
+    let mut agg = vec![0.0; dim];
+    for &input in &inputs {
+        let out = if input & controls_mask == controls_mask { input ^ target_bit } else { input };
+        agg[out] += 1.0 / inputs.len() as f64;
+    }
+    agg
+}
+
+/// Prepends X gates so the circuit starts from `|input>` instead of ground.
+pub fn with_input_prep(circuit: &Circuit, input: usize) -> Circuit {
+    let mut c = Circuit::new(circuit.num_qubits());
+    for q in 0..circuit.num_qubits() {
+        if (input >> q) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    c.extend(circuit);
+    c
+}
+
+/// Runs the battery on `backend` and returns the aggregate distribution.
+pub fn battery_distribution(circuit: &Circuit, backend: &Backend, seed: u64) -> Vec<f64> {
+    let inputs = battery_inputs(circuit.num_qubits());
+    let dim = 1usize << circuit.num_qubits();
+    let mut agg = vec![0.0; dim];
+    for (k, &input) in inputs.iter().enumerate() {
+        let prepped = with_input_prep(circuit, input);
+        let probs = backend.probabilities(&prepped, seed.wrapping_add(k as u64));
+        for (a, p) in agg.iter_mut().zip(&probs) {
+            *a += p / inputs.len() as f64;
+        }
+    }
+    agg
+}
+
+/// JS distance of a circuit's battery aggregate against the ideal aggregate.
+pub fn battery_js(circuit: &Circuit, backend: &Backend, seed: u64) -> f64 {
+    let agg = battery_distribution(circuit, backend, seed);
+    let ideal = ideal_battery_distribution(circuit.num_qubits());
+    js_distance(&agg, &ideal)
+}
+
+/// The JS distance random noise scores on this battery (~0.465 for any
+/// width, as in the paper's Figs. 7/15 discussion).
+pub fn random_noise_js(num_qubits: usize) -> f64 {
+    let dim = 1usize << num_qubits;
+    let uniform = vec![1.0 / dim as f64; dim];
+    js_distance(&uniform, &ideal_battery_distribution(num_qubits))
+}
+
+/// Evaluates an approximate-circuit population on the battery.
+pub fn evaluate_population(
+    population: &[ApproxCircuit],
+    backend: &Backend,
+) -> Vec<Scored> {
+    population
+        .par_iter()
+        .enumerate()
+        .map(|(i, ap)| Scored {
+            cnots: ap.cnots,
+            hs_distance: ap.hs_distance,
+            score: battery_js(&ap.circuit, backend, (i as u64) << 16),
+        })
+        .collect()
+}
+
+/// Battery JS for a circuit that is first **transpiled** onto the device
+/// (level 1, trivial layout + routing), the way the paper prepares its
+/// reference circuits. Returns `(js, routed_cnot_count)` — routing raises
+/// the CNOT count of long-range references substantially, which is exactly
+/// why the paper's references are so deep.
+pub fn battery_js_transpiled(
+    circuit: &Circuit,
+    device: &qaprox_device::Calibration,
+    backend_of: impl Fn(qaprox_device::Calibration) -> Backend,
+    seed: u64,
+) -> (f64, usize) {
+    use qaprox_transpile::{transpile, OptLevel};
+    let n = circuit.num_qubits();
+    let inputs = battery_inputs(n);
+    let dim = 1usize << n;
+    let mut agg = vec![0.0; dim];
+    let mut routed_cnots = 0usize;
+    for (k, &input) in inputs.iter().enumerate() {
+        let prepped = with_input_prep(circuit, input);
+        let t = transpile(&prepped, device, OptLevel::L1, None);
+        routed_cnots = routed_cnots.max(t.circuit.cx_count());
+        let induced = t.induced_calibration(device);
+        let backend = backend_of(induced);
+        let compact = backend.probabilities(&t.circuit, seed.wrapping_add(k as u64));
+        let logical = t.logical_probabilities(&compact, n);
+        for (a, p) in agg.iter_mut().zip(&logical) {
+            *a += p / inputs.len() as f64;
+        }
+    }
+    (js_distance(&agg, &ideal_battery_distribution(n)), routed_cnots)
+}
+
+/// The synthesis target for the `n`-qubit MCT.
+pub fn toffoli_target(num_qubits: usize) -> qaprox_linalg::Matrix {
+    mct_unitary(num_qubits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_algos::mct::mct_reference;
+    use qaprox_device::devices::ourense;
+    use qaprox_sim::NoiseModel;
+
+    #[test]
+    fn ideal_battery_distribution_is_uniform_over_half() {
+        let d = ideal_battery_distribution(4);
+        let nonzero: Vec<f64> = d.iter().copied().filter(|&x| x > 0.0).collect();
+        assert_eq!(nonzero.len(), 8);
+        for x in nonzero {
+            assert!((x - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reference_scores_zero_js_on_ideal_backend() {
+        for n in [3usize, 4] {
+            let c = mct_reference(n);
+            let js = battery_js(&c, &Backend::Ideal, 0);
+            assert!(js < 1e-6, "{n}-qubit reference JS {js}");
+        }
+    }
+
+    #[test]
+    fn random_noise_js_matches_paper_value() {
+        for n in [4usize, 5] {
+            let js = random_noise_js(n);
+            assert!((js - 0.465).abs() < 0.002, "{n} qubits: {js}");
+        }
+    }
+
+    #[test]
+    fn noise_pushes_reference_js_up() {
+        let c = mct_reference(4);
+        let cal = ourense()
+            .induced(&[0, 1, 2, 3])
+            .with_uniform_cx_error(0.03);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let js = battery_js(&c, &backend, 0);
+        assert!(js > 0.1, "a deep MCT under strong noise must degrade: {js}");
+        assert!(js < 0.7, "JS should stay in a sane range: {js}");
+    }
+
+    #[test]
+    fn input_prep_sets_basis_state() {
+        let c = Circuit::new(3); // identity circuit
+        let prepped = with_input_prep(&c, 0b101);
+        let p = qaprox_sim::statevector::probabilities(&prepped);
+        assert!((p[0b101] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_distribution_sums_to_one() {
+        let c = mct_reference(3);
+        let cal = ourense().induced(&[0, 1, 2]);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let agg = battery_distribution(&c, &backend, 0);
+        assert!((agg.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_inflates_reference_cnots_and_js() {
+        use qaprox_sim::NoiseModel;
+        let reference = mct_reference(4);
+        let device = ourense().induced(&[0, 1, 2, 3]);
+        let (routed_js, routed_cnots) = battery_js_transpiled(
+            &reference,
+            &device,
+            |cal| Backend::Noisy(NoiseModel::from_calibration(cal)),
+            0,
+        );
+        assert!(
+            routed_cnots > reference.cx_count(),
+            "routing must add SWAP CNOTs: {routed_cnots} vs {}",
+            reference.cx_count()
+        );
+        // unrouted (lenient) evaluation under the same model
+        let backend = Backend::Noisy(NoiseModel::from_calibration(device));
+        let lenient_js = battery_js(&reference, &backend, 0);
+        assert!(
+            routed_js > lenient_js - 0.02,
+            "routed reference should not be cleaner than the lenient one:              {routed_js} vs {lenient_js}"
+        );
+    }
+
+    #[test]
+    fn shallow_beats_deep_under_heavy_noise() {
+        // an (approximate) shallow identity-ish circuit vs the deep exact MCT
+        // under severe CNOT noise: the paper's central trade-off.
+        let deep = mct_reference(4);
+        let mut shallow = Circuit::new(4);
+        // MCT acts as identity on most battery inputs; the empty circuit is
+        // a (bad but short) approximation.
+        shallow.h(3);
+        shallow.h(3); // two gates, zero CNOTs
+        let cal = ourense()
+            .induced(&[0, 1, 2, 3])
+            .with_uniform_cx_error(0.24);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let js_deep = battery_js(&deep, &backend, 0);
+        let js_shallow = battery_js(&shallow, &backend, 1);
+        assert!(
+            js_shallow < js_deep,
+            "under 0.24 CNOT error the 76-CNOT reference ({js_deep}) must lose \
+             to even a trivial shallow circuit ({js_shallow})"
+        );
+    }
+}

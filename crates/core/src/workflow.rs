@@ -1,0 +1,230 @@
+//! The approximate-circuit workflow of the paper's Fig. 1:
+//!
+//! 1. obtain the **target unitary** of a reference circuit;
+//! 2. run modified synthesis to generate **many candidate circuits**;
+//! 3. **select** candidates by a Hilbert-Schmidt threshold (never < 0.1);
+//! 4. **execute** the selection on a simulator/noise-model/hardware backend;
+//! 5. **evaluate** outputs against the noise-free reference.
+
+use qaprox_circuit::Circuit;
+use qaprox_device::Topology;
+use qaprox_linalg::Matrix;
+use qaprox_metrics::hs_distance;
+use qaprox_sim::Backend;
+use qaprox_synth::{
+    dedupe, qfast, qsearch, select_by_threshold, ApproxCircuit, QFastConfig, QSearchConfig,
+    SynthesisOutput,
+};
+use rayon::prelude::*;
+
+/// Which synthesis engine generates the candidate stream.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// A* search (3-4 qubits; exhaustive-ish).
+    QSearch(QSearchConfig),
+    /// Greedy hierarchical blocks (scales further, coarser stream).
+    QFast(QFastConfig),
+    /// Union of both streams (the paper uses both tools).
+    Both(QSearchConfig, QFastConfig),
+}
+
+impl Engine {
+    /// A QSearch engine with sensible experiment defaults.
+    pub fn default_qsearch() -> Self {
+        Engine::QSearch(QSearchConfig::default())
+    }
+}
+
+/// The generation + selection stage.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// Topology the synthesized circuits must respect (usually the linear
+    /// chain the paper maps onto qubits 0..n).
+    pub topology: Topology,
+    /// Synthesis engine(s).
+    pub engine: Engine,
+    /// Selection threshold on HS distance (paper: at least 0.1).
+    pub max_hs: f64,
+}
+
+/// A generated, selected candidate population for one target.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Selected approximate circuits (HS below threshold), deduped.
+    pub circuits: Vec<ApproxCircuit>,
+    /// The best (minimum-HS) circuit the synthesis found.
+    pub minimal_hs: ApproxCircuit,
+    /// Total candidates evaluated by synthesis before selection.
+    pub explored: usize,
+}
+
+impl Workflow {
+    /// A workflow over a linear chain with QSearch and the paper's 0.1
+    /// threshold.
+    pub fn linear_qsearch(num_qubits: usize) -> Self {
+        Workflow {
+            topology: Topology::linear(num_qubits),
+            engine: Engine::default_qsearch(),
+            max_hs: 0.1,
+        }
+    }
+
+    /// Step 1 of Fig. 1: the target unitary of a reference circuit
+    /// (the `Operator(circuit).data` call in the paper's Qiskit recipe).
+    pub fn target_unitary(reference: &Circuit) -> Matrix {
+        reference.unitary()
+    }
+
+    /// Steps 2-3: generate candidates and select by the HS threshold.
+    pub fn generate(&self, target: &Matrix) -> Population {
+        let outputs: Vec<SynthesisOutput> = match &self.engine {
+            Engine::QSearch(cfg) => vec![qsearch(target, &self.topology, cfg)],
+            Engine::QFast(cfg) => vec![qfast(target, &self.topology, cfg)],
+            Engine::Both(qs, qf) => {
+                let (a, b) = rayon::join(
+                    || qsearch(target, &self.topology, qs),
+                    || qfast(target, &self.topology, qf),
+                );
+                vec![a, b]
+            }
+        };
+        let explored = outputs.iter().map(|o| o.nodes_evaluated).sum();
+        let minimal_hs = outputs
+            .iter()
+            .map(|o| o.best.clone())
+            .min_by(|a, b| a.hs_distance.total_cmp(&b.hs_distance))
+            .expect("at least one engine ran");
+        let all: Vec<ApproxCircuit> = outputs.into_iter().flat_map(|o| o.intermediates).collect();
+        let circuits = dedupe(&select_by_threshold(&all, self.max_hs));
+        Population { circuits, minimal_hs, explored }
+    }
+
+    /// Generates populations for a series of targets in parallel (e.g. the
+    /// 21 TFIM timesteps).
+    pub fn generate_series(&self, targets: &[Matrix]) -> Vec<Population> {
+        targets.par_iter().map(|t| self.generate(t)).collect()
+    }
+}
+
+/// One executed-and-scored circuit (a dot on the paper's figures).
+#[derive(Debug, Clone)]
+pub struct Scored {
+    /// CNOT count of the executed circuit.
+    pub cnots: usize,
+    /// HS distance recorded at synthesis time.
+    pub hs_distance: f64,
+    /// Scalar quality score (metric-dependent: magnetization, success
+    /// probability, or JS distance).
+    pub score: f64,
+}
+
+/// Steps 4-5: execute every circuit of a population on `backend` and score
+/// its output distribution with `metric`.
+pub fn execute_and_score<F>(
+    population: &[ApproxCircuit],
+    backend: &Backend,
+    metric: F,
+) -> Vec<Scored>
+where
+    F: Fn(&Circuit, &[f64]) -> f64 + Sync,
+{
+    population
+        .par_iter()
+        .enumerate()
+        .map(|(i, ap)| {
+            let probs = backend.probabilities(&ap.circuit, i as u64);
+            Scored {
+                cnots: ap.cnots,
+                hs_distance: ap.hs_distance,
+                score: metric(&ap.circuit, &probs),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: verify a recorded population against its target (sanity
+/// check used by tests and the experiment harness).
+pub fn verify_population(population: &Population, target: &Matrix, tol: f64) -> bool {
+    population
+        .circuits
+        .iter()
+        .all(|ap| (hs_distance(&ap.circuit.unitary(), target) - ap.hs_distance).abs() < tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::{magnetization, probabilities};
+    use qaprox_synth::InstantiateConfig;
+
+    fn quick_workflow(n: usize) -> Workflow {
+        Workflow {
+            topology: Topology::linear(n),
+            engine: Engine::QSearch(QSearchConfig {
+                max_cnots: 4,
+                max_nodes: 80,
+                beam_width: 3,
+                instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+                ..Default::default()
+            }),
+            max_hs: 0.4,
+        }
+    }
+
+    fn ghz_reference() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn generate_produces_selected_population() {
+        let wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        let pop = wf.generate(&target);
+        assert!(!pop.circuits.is_empty(), "population should not be empty");
+        assert!(pop.circuits.iter().all(|c| c.hs_distance <= wf.max_hs + 1e-12));
+        assert!(pop.minimal_hs.hs_distance < 1e-8, "GHZ prep is exactly synthesizable");
+        assert!(pop.explored >= pop.circuits.len());
+        assert!(verify_population(&pop, &target, 1e-6));
+    }
+
+    #[test]
+    fn execute_and_score_on_ideal_backend() {
+        let wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        let pop = wf.generate(&target);
+        let scored = execute_and_score(&pop.circuits, &Backend::Ideal, |_, p| magnetization(p));
+        assert_eq!(scored.len(), pop.circuits.len());
+        // the reference GHZ state has magnetization 0; near-exact circuits
+        // must score near 0
+        let exact_ref = magnetization(&probabilities(&ghz_reference().statevector()));
+        for s in scored.iter().filter(|s| s.hs_distance < 1e-6) {
+            assert!((s.score - exact_ref).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn series_generation_matches_individual() {
+        let wf = quick_workflow(2);
+        let t1 = Workflow::target_unitary(&ghz_reference());
+        let mut other = Circuit::new(2);
+        other.h(0).cx(0, 1).rz(0.5, 1);
+        let t2 = Workflow::target_unitary(&other);
+        let series = wf.generate_series(&[t1.clone(), t2.clone()]);
+        assert_eq!(series.len(), 2);
+        let solo = wf.generate(&t1);
+        assert_eq!(series[0].circuits.len(), solo.circuits.len());
+    }
+
+    #[test]
+    fn threshold_controls_population_size() {
+        let mut wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        wf.max_hs = 0.5;
+        let loose = wf.generate(&target).circuits.len();
+        wf.max_hs = 0.01;
+        let tight = wf.generate(&target).circuits.len();
+        assert!(loose >= tight, "looser threshold keeps more circuits");
+    }
+}

@@ -1,0 +1,325 @@
+//! Device calibration snapshots.
+//!
+//! A [`Calibration`] is the Rust equivalent of the backend-properties blob
+//! Qiskit downloads from IBM: per-qubit readout error and coherence times,
+//! per-edge CNOT error and duration. Noise models (`qaprox-sim`) and
+//! noise-aware layout (`qaprox-transpile`) both consume it, and the
+//! CNOT-error sweeps of the paper's Figs. 8-11 are expressed as calibration
+//! rewrites ([`Calibration::with_uniform_cx_error`]).
+
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+
+/// Per-qubit calibration record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QubitCal {
+    /// Probability of misreading this qubit at measurement.
+    pub readout_error: f64,
+    /// Relaxation time constant, microseconds.
+    pub t1_us: f64,
+    /// Dephasing time constant, microseconds.
+    pub t2_us: f64,
+    /// Single-qubit gate (sx/u3) error rate.
+    pub sx_error: f64,
+    /// Single-qubit gate duration, nanoseconds.
+    pub sx_time_ns: f64,
+}
+
+/// Per-edge (CNOT resonance channel) calibration record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeCal {
+    /// CNOT gate error rate.
+    pub cx_error: f64,
+    /// CNOT duration, nanoseconds.
+    pub cx_time_ns: f64,
+}
+
+/// A full calibration snapshot for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Machine name, e.g. "ourense".
+    pub machine: String,
+    /// Coupling graph.
+    pub topology: Topology,
+    /// Per-qubit data, indexed by physical qubit.
+    pub qubits: Vec<QubitCal>,
+    /// Per-edge data, keyed by normalized `(min, max)` pairs.
+    pub edges: BTreeMap<(usize, usize), EdgeCal>,
+}
+
+impl Calibration {
+    /// Validates internal consistency (every topology edge calibrated, every
+    /// qubit present, probabilities in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.qubits.len() != self.topology.num_qubits() {
+            return Err(format!(
+                "{}: {} qubit records for {} qubits",
+                self.machine,
+                self.qubits.len(),
+                self.topology.num_qubits()
+            ));
+        }
+        for &(a, b) in self.topology.edges() {
+            if !self.edges.contains_key(&(a, b)) {
+                return Err(format!("{}: edge ({a},{b}) lacks calibration", self.machine));
+            }
+        }
+        for (i, q) in self.qubits.iter().enumerate() {
+            if !(0.0..=1.0).contains(&q.readout_error) {
+                return Err(format!("{}: qubit {i} readout error out of range", self.machine));
+            }
+            if q.t1_us <= 0.0 || q.t2_us <= 0.0 {
+                return Err(format!("{}: qubit {i} nonpositive coherence time", self.machine));
+            }
+        }
+        for (&(a, b), e) in &self.edges {
+            if !(0.0..=1.0).contains(&e.cx_error) {
+                return Err(format!("{}: edge ({a},{b}) cx error out of range", self.machine));
+            }
+        }
+        Ok(())
+    }
+
+    /// Calibration for the edge `(a, b)` (order-insensitive).
+    pub fn edge(&self, a: usize, b: usize) -> Option<&EdgeCal> {
+        self.edges.get(&(a.min(b), a.max(b)))
+    }
+
+    /// Mean CNOT error over all calibrated edges — the paper's Table 1 value.
+    pub fn avg_cx_error(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges.values().map(|e| e.cx_error).sum::<f64>() / self.edges.len() as f64
+    }
+
+    /// Mean readout error over all qubits.
+    pub fn avg_readout_error(&self) -> f64 {
+        if self.qubits.is_empty() {
+            return 0.0;
+        }
+        self.qubits.iter().map(|q| q.readout_error).sum::<f64>() / self.qubits.len() as f64
+    }
+
+    /// Returns a copy with **every** CNOT error set to `eps` — the knob the
+    /// paper's error-sensitivity study turns (Figs. 8-11).
+    pub fn with_uniform_cx_error(&self, eps: f64) -> Calibration {
+        let mut c = self.clone();
+        c.machine = format!("{}+cx={eps}", self.machine);
+        for e in c.edges.values_mut() {
+            e.cx_error = eps;
+        }
+        c
+    }
+
+    /// Returns a copy with all CNOT errors scaled by `factor`.
+    pub fn with_scaled_cx_error(&self, factor: f64) -> Calibration {
+        let mut c = self.clone();
+        c.machine = format!("{}*cx={factor}", self.machine);
+        for e in c.edges.values_mut() {
+            e.cx_error = (e.cx_error * factor).clamp(0.0, 1.0);
+        }
+        c
+    }
+
+    /// A drifted copy of this snapshot: every error rate and coherence time
+    /// is perturbed by a seeded lognormal factor of the given relative
+    /// `magnitude`. Models the day-to-day calibration drift the paper notes
+    /// ("reflect the constant changes of NISQ devices").
+    pub fn with_drift(&self, seed: u64, magnitude: f64) -> Calibration {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        assert!((0.0..1.0).contains(&magnitude), "drift magnitude must be in [0, 1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factor = |rng: &mut StdRng| -> f64 {
+            // symmetric multiplicative jitter around 1
+            1.0 + magnitude * (rng.gen::<f64>() * 2.0 - 1.0)
+        };
+        let mut c = self.clone();
+        c.machine = format!("{}@drift{seed}", self.machine);
+        for q in c.qubits.iter_mut() {
+            q.readout_error = (q.readout_error * factor(&mut rng)).clamp(1e-5, 0.5);
+            q.t1_us = (q.t1_us * factor(&mut rng)).max(1.0);
+            q.t2_us = (q.t2_us * factor(&mut rng)).clamp(1.0, 2.0 * q.t1_us);
+            q.sx_error = (q.sx_error * factor(&mut rng)).clamp(1e-6, 0.1);
+        }
+        for e in c.edges.values_mut() {
+            e.cx_error = (e.cx_error * factor(&mut rng)).clamp(1e-5, 0.9);
+        }
+        c
+    }
+
+    /// The induced calibration on a subset of physical qubits, relabeled to
+    /// `0..qubits.len()`. Used to simulate a small circuit mapped onto
+    /// specific qubits of a large device.
+    pub fn induced(&self, qubits: &[usize]) -> Calibration {
+        let topology = self.topology.induced(qubits);
+        let q_cal: Vec<QubitCal> = qubits.iter().map(|&q| self.qubits[q]).collect();
+        let mut index = vec![usize::MAX; self.topology.num_qubits()];
+        for (i, &q) in qubits.iter().enumerate() {
+            index[q] = i;
+        }
+        let mut edges = BTreeMap::new();
+        for (&(a, b), &e) in &self.edges {
+            if index[a] != usize::MAX && index[b] != usize::MAX {
+                let (x, y) = (index[a].min(index[b]), index[a].max(index[b]));
+                edges.insert((x, y), e);
+            }
+        }
+        Calibration {
+            machine: format!("{}[{qubits:?}]", self.machine),
+            topology,
+            qubits: q_cal,
+            edges,
+        }
+    }
+
+    /// The `k` physical qubits forming the connected subset with the lowest
+    /// combined CNOT + readout error (greedy over enumerated subsets) —
+    /// what Qiskit's level-3 layout approximates.
+    pub fn best_subset(&self, k: usize) -> Vec<usize> {
+        self.rank_subsets(k, 4096)
+            .into_iter()
+            .next()
+            .map(|(s, _)| s)
+            .unwrap_or_else(|| (0..k).collect())
+    }
+
+    /// The worst connected subset by the same score.
+    pub fn worst_subset(&self, k: usize) -> Vec<usize> {
+        self.rank_subsets(k, 4096)
+            .into_iter()
+            .last()
+            .map(|(s, _)| s)
+            .unwrap_or_else(|| (0..k).collect())
+    }
+
+    /// Enumerates connected `k`-subsets (up to `limit`) ranked by a noise
+    /// score: mean CNOT error of internal edges plus mean readout error.
+    pub fn rank_subsets(&self, k: usize, limit: usize) -> Vec<(Vec<usize>, f64)> {
+        let mut scored: Vec<(Vec<usize>, f64)> = self
+            .topology
+            .connected_subsets(k, limit)
+            .into_iter()
+            .map(|s| {
+                let score = self.subset_score(&s);
+                (s, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        scored
+    }
+
+    /// Noise score for a candidate subset (lower is better).
+    pub fn subset_score(&self, qubits: &[usize]) -> f64 {
+        let mut cx_sum = 0.0;
+        let mut cx_n = 0usize;
+        for (i, &a) in qubits.iter().enumerate() {
+            for &b in &qubits[i + 1..] {
+                if let Some(e) = self.edge(a, b) {
+                    cx_sum += e.cx_error;
+                    cx_n += 1;
+                }
+            }
+        }
+        let cx_avg = if cx_n > 0 { cx_sum / cx_n as f64 } else { 1.0 };
+        let ro_avg = qubits.iter().map(|&q| self.qubits[q].readout_error).sum::<f64>()
+            / qubits.len().max(1) as f64;
+        cx_avg + ro_avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_cal() -> Calibration {
+        let topology = Topology::linear(4);
+        let qubits = (0..4)
+            .map(|i| QubitCal {
+                readout_error: 0.01 * (i + 1) as f64,
+                t1_us: 80.0,
+                t2_us: 70.0,
+                sx_error: 3e-4,
+                sx_time_ns: 35.0,
+            })
+            .collect();
+        let mut edges = BTreeMap::new();
+        edges.insert((0, 1), EdgeCal { cx_error: 0.01, cx_time_ns: 300.0 });
+        edges.insert((1, 2), EdgeCal { cx_error: 0.02, cx_time_ns: 350.0 });
+        edges.insert((2, 3), EdgeCal { cx_error: 0.03, cx_time_ns: 400.0 });
+        Calibration { machine: "toy".into(), topology, qubits, edges }
+    }
+
+    #[test]
+    fn validates_consistent_snapshot() {
+        assert!(toy_cal().validate().is_ok());
+    }
+
+    #[test]
+    fn detects_missing_edge_calibration() {
+        let mut c = toy_cal();
+        c.edges.remove(&(1, 2));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn averages() {
+        let c = toy_cal();
+        assert!((c.avg_cx_error() - 0.02).abs() < 1e-12);
+        assert!((c.avg_readout_error() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_override_sets_all_edges() {
+        let c = toy_cal().with_uniform_cx_error(0.12);
+        assert!(c.edges.values().all(|e| e.cx_error == 0.12));
+        assert!((c.avg_cx_error() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_clamps_to_unit_interval() {
+        let c = toy_cal().with_scaled_cx_error(100.0);
+        assert!(c.edges.values().all(|e| e.cx_error <= 1.0));
+    }
+
+    #[test]
+    fn induced_calibration_relabels() {
+        let c = toy_cal().induced(&[1, 2, 3]);
+        assert_eq!(c.qubits.len(), 3);
+        assert!((c.qubits[0].readout_error - 0.02).abs() < 1e-12);
+        assert!(c.edge(0, 1).is_some());
+        assert!((c.edge(0, 1).unwrap().cx_error - 0.02).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn drift_perturbs_within_magnitude_and_is_deterministic() {
+        let base = toy_cal();
+        let a = base.with_drift(7, 0.2);
+        let b = base.with_drift(7, 0.2);
+        assert_eq!(a, b, "same seed -> same drift");
+        let c = base.with_drift(8, 0.2);
+        assert_ne!(a, c, "different seed -> different drift");
+        for (orig, drifted) in base.edges.values().zip(a.edges.values()) {
+            let ratio = drifted.cx_error / orig.cx_error;
+            assert!((0.8..=1.2).contains(&ratio), "ratio {ratio} outside drift band");
+        }
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn best_subset_prefers_low_error_end() {
+        let c = toy_cal();
+        let best = c.best_subset(2);
+        assert_eq!(best, vec![0, 1]);
+        let worst = c.worst_subset(2);
+        assert_eq!(worst, vec![2, 3]);
+    }
+
+    #[test]
+    fn subset_score_orders_by_noise() {
+        let c = toy_cal();
+        assert!(c.subset_score(&[0, 1]) < c.subset_score(&[2, 3]));
+    }
+}

@@ -1,0 +1,256 @@
+//! Calibration snapshots for the five IBM machines the paper evaluates on.
+//!
+//! The paper consumes only the calibration numbers (Table 1, Fig. 16), not
+//! the chips themselves, so we generate deterministic snapshots whose
+//! per-edge/per-qubit spread is sampled around published figures and whose
+//! **mean CNOT error matches Table 1 exactly** (the sampled values are
+//! rescaled to the target mean). Every snapshot is reproducible: the RNG is
+//! seeded from the machine name.
+
+use crate::calibration::{Calibration, EdgeCal, QubitCal};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Average CNOT errors as of 2021/01/18 — the paper's Table 1.
+pub const TABLE1: [(&str, usize, f64); 5] = [
+    ("manhattan", 65, 0.01578),
+    ("toronto", 27, 0.01377),
+    ("santiago", 5, 0.01131),
+    ("rome", 5, 0.02965),
+    ("ourense", 5, 0.00767),
+];
+
+/// Snapshot generation parameters for one machine.
+struct DeviceSpec {
+    name: &'static str,
+    topology: Topology,
+    avg_cx_error: f64,
+    /// log-space spread of CNOT errors across edges
+    cx_sigma: f64,
+    avg_readout_error: f64,
+    readout_sigma: f64,
+    t1_mean_us: f64,
+    t2_mean_us: f64,
+}
+
+fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn lognormal_around<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    // mean-1 lognormal: exp(sigma * z - sigma^2 / 2)
+    let z = qaprox_sample_normal(rng);
+    (sigma * z - sigma * sigma / 2.0).exp()
+}
+
+/// Box-Muller normal sample (local copy to keep the crate dependency-light).
+fn qaprox_sample_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+fn build(spec: DeviceSpec) -> Calibration {
+    let mut rng = StdRng::seed_from_u64(seed_from_name(spec.name));
+    let n = spec.topology.num_qubits();
+
+    let qubits: Vec<QubitCal> = (0..n)
+        .map(|_| {
+            let readout = (spec.avg_readout_error * lognormal_around(&mut rng, spec.readout_sigma))
+                .clamp(1e-4, 0.5);
+            let t1 = (spec.t1_mean_us * lognormal_around(&mut rng, 0.3)).max(10.0);
+            // T2 <= 2*T1 physically; keep it near T1.
+            let t2 = (spec.t2_mean_us * lognormal_around(&mut rng, 0.35)).clamp(5.0, 2.0 * t1);
+            QubitCal {
+                readout_error: readout,
+                t1_us: t1,
+                t2_us: t2,
+                sx_error: (3.5e-4 * lognormal_around(&mut rng, 0.4)).clamp(1e-5, 5e-3),
+                sx_time_ns: 35.0,
+            }
+        })
+        .collect();
+
+    // Sample edge errors, then rescale so the mean matches Table 1 exactly.
+    let raw: Vec<f64> = spec
+        .topology
+        .edges()
+        .iter()
+        .map(|_| lognormal_around(&mut rng, spec.cx_sigma))
+        .collect();
+    let raw_mean = raw.iter().sum::<f64>() / raw.len().max(1) as f64;
+    let scale = spec.avg_cx_error / raw_mean;
+
+    let mut edges = BTreeMap::new();
+    for (&e, &r) in spec.topology.edges().iter().zip(&raw) {
+        let cx_error = (r * scale).clamp(1e-4, 0.9);
+        let cx_time_ns = 250.0 + 300.0 * rng.gen::<f64>();
+        edges.insert(e, EdgeCal { cx_error, cx_time_ns });
+    }
+
+    let cal = Calibration { machine: spec.name.to_string(), topology: spec.topology, qubits, edges };
+    cal.validate().expect("generated calibration must be internally consistent");
+    cal
+}
+
+/// ibmq_ourense: 5 qubits, T-shaped (treated as linear), the paper's
+/// lowest-noise device (avg CNOT error 0.00767).
+pub fn ourense() -> Calibration {
+    build(DeviceSpec {
+        name: "ourense",
+        topology: Topology::linear(5),
+        avg_cx_error: 0.00767,
+        cx_sigma: 0.35,
+        avg_readout_error: 0.022,
+        readout_sigma: 0.5,
+        t1_mean_us: 100.0,
+        t2_mean_us: 75.0,
+    })
+}
+
+/// ibmq_rome: 5 qubits linear, the paper's noisiest device (0.02965).
+pub fn rome() -> Calibration {
+    build(DeviceSpec {
+        name: "rome",
+        topology: Topology::linear(5),
+        avg_cx_error: 0.02965,
+        cx_sigma: 0.5,
+        avg_readout_error: 0.03,
+        readout_sigma: 0.5,
+        t1_mean_us: 65.0,
+        t2_mean_us: 60.0,
+    })
+}
+
+/// ibmq_santiago: 5 qubits linear (0.01131).
+pub fn santiago() -> Calibration {
+    build(DeviceSpec {
+        name: "santiago",
+        topology: Topology::linear(5),
+        avg_cx_error: 0.01131,
+        cx_sigma: 0.4,
+        avg_readout_error: 0.018,
+        readout_sigma: 0.5,
+        t1_mean_us: 90.0,
+        t2_mean_us: 80.0,
+    })
+}
+
+/// ibmq_toronto: 27-qubit Falcon heavy-hex (0.01377).
+pub fn toronto() -> Calibration {
+    build(DeviceSpec {
+        name: "toronto",
+        topology: Topology::heavy_hex_27(),
+        avg_cx_error: 0.01377,
+        cx_sigma: 0.55,
+        avg_readout_error: 0.035,
+        readout_sigma: 0.7,
+        t1_mean_us: 95.0,
+        t2_mean_us: 85.0,
+    })
+}
+
+/// ibmq_manhattan: 65-qubit Hummingbird heavy-hex (0.01578).
+pub fn manhattan() -> Calibration {
+    build(DeviceSpec {
+        name: "manhattan",
+        topology: Topology::heavy_hex_65(),
+        avg_cx_error: 0.01578,
+        cx_sigma: 0.6,
+        avg_readout_error: 0.028,
+        readout_sigma: 0.7,
+        t1_mean_us: 70.0,
+        t2_mean_us: 65.0,
+    })
+}
+
+/// All five snapshots in Table 1 order.
+pub fn all_devices() -> Vec<Calibration> {
+    vec![manhattan(), toronto(), santiago(), rome(), ourense()]
+}
+
+/// Looks a device up by name.
+pub fn by_name(name: &str) -> Option<Calibration> {
+    match name {
+        "ourense" => Some(ourense()),
+        "rome" => Some(rome()),
+        "santiago" => Some(santiago()),
+        "toronto" => Some(toronto()),
+        "manhattan" => Some(manhattan()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_validate() {
+        for cal in all_devices() {
+            assert!(cal.validate().is_ok(), "{} invalid", cal.machine);
+        }
+    }
+
+    #[test]
+    fn table1_averages_match_exactly() {
+        for &(name, nq, avg) in &TABLE1 {
+            let cal = by_name(name).unwrap();
+            assert_eq!(cal.topology.num_qubits(), nq, "{name} qubit count");
+            assert!(
+                (cal.avg_cx_error() - avg).abs() < 1e-6,
+                "{name}: avg {} != Table 1 {avg}",
+                cal.avg_cx_error()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let a = toronto();
+        let b = toronto();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn devices_have_distinct_noise() {
+        assert!(ourense().avg_cx_error() < santiago().avg_cx_error());
+        assert!(santiago().avg_cx_error() < rome().avg_cx_error());
+    }
+
+    #[test]
+    fn edge_errors_have_spread() {
+        let cal = toronto();
+        let errs: Vec<f64> = cal.edges.values().map(|e| e.cx_error).collect();
+        let min = errs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = errs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 1.5, "edge errors implausibly uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn t2_never_exceeds_twice_t1() {
+        for cal in all_devices() {
+            for q in &cal.qubits {
+                assert!(q.t2_us <= 2.0 * q.t1_us + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("yorktown").is_none());
+    }
+}

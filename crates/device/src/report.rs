@@ -1,0 +1,127 @@
+//! Noise-report rendering — the data behind the paper's Fig. 16.
+//!
+//! IBM's dashboard shows per-qubit readout error and per-edge CNOT error as
+//! a colored graph; here the same data is rendered as aligned text tables,
+//! plus the "mapping circles" (candidate physical-qubit subsets) used by the
+//! Figs. 17-19 sensitivity study.
+
+use crate::calibration::Calibration;
+use std::fmt::Write as _;
+
+/// A named physical-qubit mapping (one "circle" in Fig. 16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Label, e.g. "blue" or "auto".
+    pub name: String,
+    /// Physical qubits in logical order.
+    pub qubits: Vec<usize>,
+}
+
+/// Renders the noise report as text: qubit table then edge table.
+pub fn render(cal: &Calibration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Noise report: {}", cal.machine);
+    let _ = writeln!(
+        out,
+        "# {} qubits, {} edges, avg cx err {:.5}, avg readout err {:.5}",
+        cal.topology.num_qubits(),
+        cal.topology.edges().len(),
+        cal.avg_cx_error(),
+        cal.avg_readout_error()
+    );
+    let _ = writeln!(out, "qubit,readout_error,t1_us,t2_us,sx_error");
+    for (i, q) in cal.qubits.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i},{:.5},{:.1},{:.1},{:.6}",
+            q.readout_error, q.t1_us, q.t2_us, q.sx_error
+        );
+    }
+    let _ = writeln!(out, "edge,cx_error,cx_time_ns");
+    for (&(a, b), e) in &cal.edges {
+        let _ = writeln!(out, "{a}-{b},{:.5},{:.0}", e.cx_error, e.cx_time_ns);
+    }
+    out
+}
+
+/// Builds the four manual mapping "circles" plus the space for an automatic
+/// one, for `k`-qubit circuits on this device:
+///
+/// * `best_cx_readout` — the subset a noise-aware layout would pick;
+/// * `worst_cx_readout` — the adversarial subset;
+/// * `best_readout` — lowest readout error regardless of edges;
+/// * `median` — a middle-of-the-ranking subset.
+pub fn standard_mappings(cal: &Calibration, k: usize) -> Vec<Mapping> {
+    let ranked = cal.rank_subsets(k, 4096);
+    assert!(!ranked.is_empty(), "no connected {k}-subsets on {}", cal.machine);
+    let best = ranked.first().unwrap().0.clone();
+    let worst = ranked.last().unwrap().0.clone();
+    let median = ranked[ranked.len() / 2].0.clone();
+
+    // best readout: rank by readout error only
+    let mut by_readout = ranked.clone();
+    by_readout.sort_by(|a, b| {
+        let ra: f64 =
+            a.0.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() / a.0.len() as f64;
+        let rb: f64 =
+            b.0.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() / b.0.len() as f64;
+        ra.total_cmp(&rb)
+    });
+    let best_readout = by_readout.first().unwrap().0.clone();
+
+    vec![
+        Mapping { name: "blue(best)".into(), qubits: best },
+        Mapping { name: "red(worst)".into(), qubits: worst },
+        Mapping { name: "green(best-readout)".into(), qubits: best_readout },
+        Mapping { name: "yellow(median)".into(), qubits: median },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::toronto;
+
+    #[test]
+    fn report_contains_all_rows() {
+        let cal = toronto();
+        let text = render(&cal);
+        assert!(text.contains("# Noise report: toronto"));
+        // 27 qubit rows + 28 edge rows + headers
+        assert_eq!(text.lines().filter(|l| l.contains(',') && !l.starts_with('#')).count(),
+                   27 + cal.topology.edges().len() + 2);
+    }
+
+    #[test]
+    fn report_is_parseable_csv_after_headers() {
+        let cal = toronto();
+        let text = render(&cal);
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let fields = line.split(',').count();
+            assert!(fields >= 3, "row too short: {line}");
+        }
+    }
+
+    #[test]
+    fn mappings_are_deterministic() {
+        let cal = toronto();
+        let a = standard_mappings(&cal, 4);
+        let b = standard_mappings(&cal, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_mappings_are_connected_and_distinct() {
+        let cal = toronto();
+        let maps = standard_mappings(&cal, 4);
+        assert_eq!(maps.len(), 4);
+        for m in &maps {
+            assert_eq!(m.qubits.len(), 4);
+            assert!(cal.topology.induced(&m.qubits).is_connected(), "{} not connected", m.name);
+        }
+        // best and worst must differ in noise score
+        let best_score = cal.subset_score(&maps[0].qubits);
+        let worst_score = cal.subset_score(&maps[1].qubits);
+        assert!(best_score < worst_score);
+    }
+}

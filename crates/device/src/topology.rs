@@ -1,0 +1,333 @@
+//! Device coupling topologies.
+//!
+//! IBM's 5-qubit machines (Ourense, Rome, Santiago) are linear or T-shaped
+//! chains; the 27-qubit Falcons (Toronto) and 65-qubit Hummingbirds
+//! (Manhattan) are heavy-hex lattices. Connectivity is what constrains both
+//! synthesis (QSearch only places CNOTs on coupled pairs) and routing.
+
+use std::collections::VecDeque;
+
+/// An undirected coupling graph over `num_qubits` physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list (edges are normalized to
+    /// `(min, max)` and deduplicated).
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut norm: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                assert_ne!(a, b, "self-loop in coupling map");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        Topology { num_qubits, edges: norm }
+    }
+
+    /// A linear chain `0 - 1 - ... - (n-1)`.
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Topology::new(n, &edges)
+    }
+
+    /// Fully connected coupling (useful for logical-level synthesis).
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Topology::new(n, &edges)
+    }
+
+    /// The 27-qubit heavy-hex map of IBM's Falcon devices (ibmq_toronto).
+    pub fn heavy_hex_27() -> Self {
+        Topology::new(
+            27,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 4),
+                (2, 3),
+                (3, 5),
+                (4, 7),
+                (5, 8),
+                (6, 7),
+                (7, 10),
+                (8, 9),
+                (8, 11),
+                (10, 12),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+                (13, 14),
+                (14, 16),
+                (15, 18),
+                (16, 19),
+                (17, 18),
+                (18, 21),
+                (19, 20),
+                (19, 22),
+                (21, 23),
+                (22, 25),
+                (23, 24),
+                (24, 25),
+                (25, 26),
+            ],
+        )
+    }
+
+    /// A 65-qubit heavy-hex-style lattice standing in for IBM's Hummingbird
+    /// devices (ibmq_manhattan): four 13-qubit rows joined by 13 rung qubits.
+    pub fn heavy_hex_65() -> Self {
+        let rows = 4usize;
+        let cols = 13usize;
+        // rung columns per gap, chosen so the total is exactly 65 qubits
+        let rung_cols: [&[usize]; 3] = [&[0, 3, 6, 9, 12], &[2, 5, 8, 11], &[1, 4, 7, 10]];
+        let mut edges = Vec::new();
+        let row_base = |r: usize| r * cols;
+        // horizontal chains
+        for r in 0..rows {
+            for c in 0..cols - 1 {
+                edges.push((row_base(r) + c, row_base(r) + c + 1));
+            }
+        }
+        // rung qubits start after the row qubits
+        let mut next = rows * cols;
+        for (gap, cols_in_gap) in rung_cols.iter().enumerate() {
+            for &c in cols_in_gap.iter() {
+                let rung = next;
+                next += 1;
+                edges.push((row_base(gap) + c, rung));
+                edges.push((rung, row_base(gap + 1) + c));
+            }
+        }
+        assert_eq!(next, 65, "heavy_hex_65 must have exactly 65 qubits");
+        Topology::new(65, &edges)
+    }
+
+    /// Number of physical qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The normalized edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// True when `a` and `b` are directly coupled.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let e = (a.min(b), a.max(b));
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Neighbors of qubit `q`.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.edges {
+            if a == q {
+                out.push(b);
+            } else if b == q {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// All-pairs shortest-path distances (BFS per source). `usize::MAX`
+    /// marks disconnected pairs.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        let n = self.num_qubits;
+        let adj: Vec<Vec<usize>> = (0..n).map(|q| self.neighbors(q)).collect();
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        for (s, row) in dist.iter_mut().enumerate() {
+            row[s] = 0;
+            let mut queue = VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if row[v] == usize::MAX {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// True when the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let d = &self.distance_matrix()[0];
+        d.iter().all(|&x| x != usize::MAX)
+    }
+
+    /// The induced topology on `qubits`, relabeled to `0..qubits.len()`.
+    pub fn induced(&self, qubits: &[usize]) -> Topology {
+        let mut index = vec![usize::MAX; self.num_qubits];
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert_eq!(index[q], usize::MAX, "duplicate qubit {q} in induced set");
+            index[q] = i;
+        }
+        let edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| index[a] != usize::MAX && index[b] != usize::MAX)
+            .map(|&(a, b)| (index[a], index[b]))
+            .collect();
+        Topology::new(qubits.len(), &edges)
+    }
+
+    /// Enumerates connected subsets of `k` qubits (used by noise-aware
+    /// layout). Capped at `limit` results to bound search cost.
+    pub fn connected_subsets(&self, k: usize, limit: usize) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Grow subsets from each seed qubit by BFS-style expansion.
+        let mut stack: Vec<Vec<usize>> = (0..self.num_qubits).map(|q| vec![q]).collect();
+        while let Some(set) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            if set.len() == k {
+                let mut key = set.clone();
+                key.sort_unstable();
+                if seen.insert(key.clone()) {
+                    out.push(key);
+                }
+                continue;
+            }
+            let mut frontier: Vec<usize> = Vec::new();
+            for &q in &set {
+                for nb in self.neighbors(q) {
+                    if !set.contains(&nb) && !frontier.contains(&nb) {
+                        frontier.push(nb);
+                    }
+                }
+            }
+            for nb in frontier {
+                let mut next = set.clone();
+                next.push(nb);
+                let mut key = next.clone();
+                key.sort_unstable();
+                if next.len() < k || !seen.contains(&key) {
+                    stack.push(next);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_structure() {
+        let t = Topology::linear(5);
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.edges().len(), 4);
+        assert!(t.has_edge(2, 3));
+        assert!(t.has_edge(3, 2));
+        assert!(!t.has_edge(0, 2));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn heavy_hex_27_is_connected_with_max_degree_3() {
+        let t = Topology::heavy_hex_27();
+        assert_eq!(t.num_qubits(), 27);
+        assert!(t.is_connected());
+        for q in 0..27 {
+            assert!(t.neighbors(q).len() <= 3, "qubit {q} degree too high");
+        }
+    }
+
+    #[test]
+    fn heavy_hex_65_is_connected_with_65_qubits() {
+        let t = Topology::heavy_hex_65();
+        assert_eq!(t.num_qubits(), 65);
+        assert!(t.is_connected());
+        for q in 0..65 {
+            let d = t.neighbors(q).len();
+            assert!((1..=3).contains(&d), "qubit {q} degree {d}");
+        }
+    }
+
+    #[test]
+    fn distance_matrix_on_chain() {
+        let t = Topology::linear(4);
+        let d = t.distance_matrix();
+        assert_eq!(d[0][3], 3);
+        assert_eq!(d[1][2], 1);
+        assert_eq!(d[2][2], 0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let t = Topology::linear(5);
+        let sub = t.induced(&[1, 2, 3]);
+        assert_eq!(sub.num_qubits(), 3);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_preserves_order_of_listing() {
+        let t = Topology::linear(5);
+        // map physical 3 -> logical 0, physical 2 -> logical 1
+        let sub = t.induced(&[3, 2]);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn connected_subsets_of_chain() {
+        let t = Topology::linear(5);
+        let subs = t.connected_subsets(3, 100);
+        // connected 3-subsets of a 5-chain: {0,1,2},{1,2,3},{2,3,4}
+        assert_eq!(subs.len(), 3);
+        for s in &subs {
+            let ind = t.induced(s);
+            assert!(ind.is_connected());
+        }
+    }
+
+    #[test]
+    fn connected_subsets_respects_limit() {
+        let t = Topology::heavy_hex_27();
+        let subs = t.connected_subsets(4, 10);
+        assert!(subs.len() <= 10);
+        for s in subs {
+            assert_eq!(s.len(), 4);
+            assert!(t.induced(&s).is_connected());
+        }
+    }
+
+    #[test]
+    fn full_topology_has_all_edges() {
+        let t = Topology::full(4);
+        assert_eq!(t.edges().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        Topology::new(3, &[(1, 1)]);
+    }
+}

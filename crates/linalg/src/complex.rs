@@ -1,0 +1,396 @@
+//! A from-scratch double-precision complex number.
+//!
+//! The whole stack (simulators, synthesis, metrics) is built on this type, so
+//! it is deliberately small: a `Copy` pair of `f64`s with the full arithmetic
+//! surface implemented inline. Keeping it local (rather than pulling in
+//! `num-complex`) keeps the dependency tree to the approved set and lets the
+//! hot simulator kernels inline everything.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex64`].
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Creates `r * e^{i theta}` from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i theta}` — a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// The complex conjugate `re - i*im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// The squared modulus `re^2 + im^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus (absolute value).
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value if `self` is zero, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// The principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() * 0.5)
+    }
+
+    /// The complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiply-accumulate: `self + a * b`, the inner-product workhorse.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        c64(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True when within `tol` (in modulus) of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6}{}{:.6}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Complex64 {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: f64) -> Complex64 {
+        c64(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: f64) -> Complex64 {
+        c64(self.re - rhs, self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex64 {
+    fn product<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Complex64::new(1.5, -2.0), c64(1.5, -2.0));
+        assert_eq!(Complex64::from_real(3.0), c64(3.0, 0.0));
+        assert_eq!(Complex64::from(2.5), c64(2.5, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..32 {
+            let z = Complex64::cis(k as f64 * 0.37);
+            assert!((z.abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-0.5, 0.25);
+        assert!(((a + b) - (b + a)).abs() < TOL);
+        assert!(((a * b) - (b * a)).abs() < TOL);
+        assert!(((a - b) + b - a).abs() < TOL);
+        assert!((a * b / b - a).abs() < TOL);
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let a = c64(3.0, -4.0);
+        assert_eq!(a.conj().conj(), a);
+        assert!((a * a.conj() - Complex64::from_real(a.norm_sqr())).abs() < TOL);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn inverse_multiplies_to_one() {
+        let a = c64(0.3, -1.7);
+        assert!((a * a.inv() - Complex64::ONE).abs() < TOL);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(4.0, 0.0), c64(0.0, 2.0), c64(-1.0, 0.0), c64(1.0, 1.0)] {
+            let r = z.sqrt();
+            assert!((r * r - z).abs() < 1e-10, "sqrt failed for {z:?}");
+        }
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let t = 1.234;
+        assert!((c64(0.0, t).exp() - Complex64::cis(t)).abs() < TOL);
+    }
+
+    #[test]
+    fn exp_of_zero_is_one() {
+        assert!((Complex64::ZERO.exp() - Complex64::ONE).abs() < TOL);
+    }
+
+    #[test]
+    fn mul_add_matches_naive() {
+        let acc = c64(1.0, 1.0);
+        let a = c64(2.0, -3.0);
+        let b = c64(0.5, 0.5);
+        assert!((acc.mul_add(a, b) - (acc + a * b)).abs() < TOL);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = c64(1.0, -2.0);
+        assert_eq!(a * 2.0, c64(2.0, -4.0));
+        assert_eq!(2.0 * a, c64(2.0, -4.0));
+        assert_eq!(a / 2.0, c64(0.5, -1.0));
+        assert_eq!(a + 1.0, c64(2.0, -2.0));
+        assert_eq!(a - 1.0, c64(0.0, -2.0));
+    }
+
+    #[test]
+    fn sum_and_product_folds() {
+        let v = [c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, 2.0)];
+        let s: Complex64 = v.iter().copied().sum();
+        assert_eq!(s, c64(3.0, 3.0));
+        let p: Complex64 = v.iter().copied().product();
+        // (1)(i)(2+2i) = i(2+2i) = -2 + 2i
+        assert!((p - c64(-2.0, 2.0)).abs() < TOL);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = c64(1.0, 0.0);
+        assert!(a.approx_eq(c64(1.0 + 1e-13, 0.0), 1e-12));
+        assert!(!a.approx_eq(c64(1.1, 0.0), 1e-12));
+    }
+}

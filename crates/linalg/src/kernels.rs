@@ -1,0 +1,376 @@
+//! Gate-application kernels.
+//!
+//! These are the innermost loops of every simulator and of unitary
+//! construction during synthesis, so they never materialize the embedded
+//! `2^n x 2^n` gate matrix. A one-qubit gate applied to a statevector costs
+//! `O(2^n)`; applied to a `2^n x 2^n` matrix it costs `O(4^n)` — always a
+//! factor `2^n` cheaper than forming the embedding and multiplying.
+//!
+//! Conventions used across the whole workspace:
+//! * qubit `0` is the **least significant bit** of a basis index;
+//! * a two-qubit gate on `(a, b)` uses small-matrix index `s = (bit_a << 1) | bit_b`,
+//!   i.e. the *first* listed qubit is the high bit of the 4x4 matrix.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+
+/// Expands basis-enumeration index `i` (over states with qubit `q` = 0) into
+/// the actual basis index by inserting a `0` bit at position `q`.
+#[inline(always)]
+fn insert_zero_bit(i: usize, q: usize) -> usize {
+    let low = i & ((1 << q) - 1);
+    ((i >> q) << (q + 1)) | low
+}
+
+/// Applies a one-qubit gate `u` (row-major 2x2) to qubit `q` of a statevector.
+pub fn apply_1q_vec(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
+    let dim = state.len();
+    debug_assert!(dim.is_power_of_two());
+    debug_assert!(1 << q < dim, "qubit index out of range");
+    let mask = 1usize << q;
+    for i in 0..dim / 2 {
+        let i0 = insert_zero_bit(i, q);
+        let i1 = i0 | mask;
+        let a = state[i0];
+        let b = state[i1];
+        state[i0] = a * u[0] + b * u[1];
+        state[i1] = a * u[2] + b * u[3];
+    }
+}
+
+/// Applies a two-qubit gate `u` (row-major 4x4) to qubits `(a, b)` of a
+/// statevector, with `a` the high bit of the small index.
+pub fn apply_2q_vec(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+    let dim = state.len();
+    debug_assert!(a != b, "two-qubit gate needs distinct qubits");
+    debug_assert!((1 << a) < dim && (1 << b) < dim, "qubit index out of range");
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    for i in 0..dim / 4 {
+        let base = insert_zero_bit(insert_zero_bit(i, lo), hi);
+        let idx = [base, base | mb, base | ma, base | ma | mb];
+        let amp = [state[idx[0]], state[idx[1]], state[idx[2]], state[idx[3]]];
+        for (r, &out_i) in idx.iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (c, &amp_c) in amp.iter().enumerate() {
+                acc = acc.mul_add(u[r * 4 + c], amp_c);
+            }
+            state[out_i] = acc;
+        }
+    }
+}
+
+/// Left-multiplies a matrix by an embedded one-qubit gate: `M <- U_embed * M`.
+///
+/// The row index of `mat` is the quantum index; every column is transformed
+/// like a statevector. Used both for building circuit unitaries (starting
+/// from the identity) and for the `U rho` half of a density-matrix update.
+pub fn apply_1q_mat_left(mat: &mut Matrix, q: usize, u: &[Complex64; 4]) {
+    let rows = mat.rows();
+    let cols = mat.cols();
+    debug_assert!(rows.is_power_of_two());
+    let mask = 1usize << q;
+    let data = mat.data_mut();
+    for i in 0..rows / 2 {
+        let r0 = insert_zero_bit(i, q) * cols;
+        let r1 = r0 + mask * cols;
+        for j in 0..cols {
+            let a = data[r0 + j];
+            let b = data[r1 + j];
+            data[r0 + j] = a * u[0] + b * u[1];
+            data[r1 + j] = a * u[2] + b * u[3];
+        }
+    }
+}
+
+/// Left-multiplies a matrix by an embedded two-qubit gate: `M <- U_embed * M`.
+pub fn apply_2q_mat_left(mat: &mut Matrix, a: usize, b: usize, u: &[Complex64; 16]) {
+    let rows = mat.rows();
+    let cols = mat.cols();
+    debug_assert!(a != b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let data = mat.data_mut();
+    for i in 0..rows / 4 {
+        let base = insert_zero_bit(insert_zero_bit(i, lo), hi);
+        let r = [
+            base * cols,
+            (base | mb) * cols,
+            (base | ma) * cols,
+            (base | ma | mb) * cols,
+        ];
+        for j in 0..cols {
+            let amp = [data[r[0] + j], data[r[1] + j], data[r[2] + j], data[r[3] + j]];
+            for (ri, &row_off) in r.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (ci, &amp_c) in amp.iter().enumerate() {
+                    acc = acc.mul_add(u[ri * 4 + ci], amp_c);
+                }
+                data[row_off + j] = acc;
+            }
+        }
+    }
+}
+
+/// Right-multiplies a matrix by the adjoint of an embedded one-qubit gate:
+/// `M <- M * U_embed^dagger`. Combined with [`apply_1q_mat_left`] this gives
+/// the density-matrix conjugation `rho <- U rho U^dagger`.
+pub fn apply_1q_mat_right_dag(mat: &mut Matrix, q: usize, u: &[Complex64; 4]) {
+    let rows = mat.rows();
+    let cols = mat.cols();
+    debug_assert!(cols.is_power_of_two());
+    let mask = 1usize << q;
+    let data = mat.data_mut();
+    for row in 0..rows {
+        let off = row * cols;
+        for j in 0..cols / 2 {
+            let j0 = insert_zero_bit(j, q);
+            let j1 = j0 | mask;
+            let a = data[off + j0];
+            let b = data[off + j1];
+            // (M U^dag)[.,j0] = M[.,j0] conj(u00) + M[.,j1] conj(u01)
+            data[off + j0] = a * u[0].conj() + b * u[1].conj();
+            data[off + j1] = a * u[2].conj() + b * u[3].conj();
+        }
+    }
+}
+
+/// Right-multiplies a matrix by the adjoint of an embedded two-qubit gate:
+/// `M <- M * U_embed^dagger`.
+pub fn apply_2q_mat_right_dag(mat: &mut Matrix, a: usize, b: usize, u: &[Complex64; 16]) {
+    let rows = mat.rows();
+    let cols = mat.cols();
+    debug_assert!(a != b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let data = mat.data_mut();
+    for row in 0..rows {
+        let off = row * cols;
+        for j in 0..cols / 4 {
+            let base = insert_zero_bit(insert_zero_bit(j, lo), hi);
+            let idx = [base, base | mb, base | ma, base | ma | mb];
+            let amp = [
+                data[off + idx[0]],
+                data[off + idx[1]],
+                data[off + idx[2]],
+                data[off + idx[3]],
+            ];
+            for (ci, &col_i) in idx.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (ki, &amp_k) in amp.iter().enumerate() {
+                    acc = acc.mul_add(u[ci * 4 + ki].conj(), amp_k);
+                }
+                data[off + col_i] = acc;
+            }
+        }
+    }
+}
+
+/// Builds the full `2^n x 2^n` embedding of a one-qubit gate (test oracle and
+/// occasional cold-path use; hot paths use the `apply_*` kernels instead).
+pub fn embed_1q(n: usize, q: usize, u: &[Complex64; 4]) -> Matrix {
+    let mut m = Matrix::identity(1 << n);
+    apply_1q_mat_left(&mut m, q, u);
+    m
+}
+
+/// Builds the full `2^n x 2^n` embedding of a two-qubit gate.
+pub fn embed_2q(n: usize, a: usize, b: usize, u: &[Complex64; 16]) -> Matrix {
+    let mut m = Matrix::identity(1 << n);
+    apply_2q_mat_left(&mut m, a, b, u);
+    m
+}
+
+/// Copies a 2x2 [`Matrix`] into the fixed-size array the kernels take.
+pub fn mat2_to_array(m: &Matrix) -> [Complex64; 4] {
+    assert_eq!((m.rows(), m.cols()), (2, 2), "expected 2x2 matrix");
+    let d = m.data();
+    [d[0], d[1], d[2], d[3]]
+}
+
+/// Copies a 4x4 [`Matrix`] into the fixed-size array the kernels take.
+pub fn mat4_to_array(m: &Matrix) -> [Complex64; 16] {
+    assert_eq!((m.rows(), m.cols()), (4, 4), "expected 4x4 matrix");
+    let mut out = [Complex64::ZERO; 16];
+    out.copy_from_slice(m.data());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::{pauli_x, pauli_y, pauli_z};
+
+    fn h_gate() -> [Complex64; 4] {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        [c64(s, 0.0), c64(s, 0.0), c64(s, 0.0), c64(-s, 0.0)]
+    }
+
+    fn cnot_gate() -> [Complex64; 16] {
+        // control = high bit of small index
+        let mut u = [Complex64::ZERO; 16];
+        u[0] = Complex64::ONE; // 00 -> 00
+        u[5] = Complex64::ONE; // 01 -> 01
+        u[11] = Complex64::ONE; // 10 -> 11
+        u[14] = Complex64::ONE; // 11 -> 10
+        u
+    }
+
+    /// Reference embedding via explicit kron products, for cross-checking.
+    fn kron_embed_1q(n: usize, q: usize, u: &Matrix) -> Matrix {
+        // basis index bit q: kron ordering is qubit n-1 (x) ... (x) qubit 0
+        let mut m = Matrix::identity(1);
+        for k in (0..n).rev() {
+            let f = if k == q { u.clone() } else { Matrix::identity(2) };
+            m = m.kron(&f);
+        }
+        m
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_correctly() {
+        // for q=1, i in 0..4 should give indices with bit 1 clear: 0,1,4,5
+        let got: Vec<usize> = (0..4).map(|i| insert_zero_bit(i, 1)).collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn embed_1q_matches_kron_reference() {
+        for n in 1..=4 {
+            for q in 0..n {
+                for p in [pauli_x(), pauli_y(), pauli_z()] {
+                    let fast = embed_1q(n, q, &mat2_to_array(&p));
+                    let slow = kron_embed_1q(n, q, &p);
+                    assert!(
+                        fast.approx_eq(&slow, 1e-13),
+                        "embed mismatch n={n} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statevector_h_creates_superposition() {
+        let mut state = vec![Complex64::ZERO; 4];
+        state[0] = Complex64::ONE;
+        apply_1q_vec(&mut state, 0, &h_gate());
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((state[0] - c64(s, 0.0)).abs() < 1e-14);
+        assert!((state[1] - c64(s, 0.0)).abs() < 1e-14);
+        assert!(state[2].abs() < 1e-14);
+    }
+
+    #[test]
+    fn cnot_truth_table_on_vec() {
+        // control = qubit 1, target = qubit 0; gate on (a=1, b=0)
+        for (inp, expect) in [(0b00usize, 0b00usize), (0b01, 0b01), (0b10, 0b11), (0b11, 0b10)] {
+            let mut state = vec![Complex64::ZERO; 4];
+            state[inp] = Complex64::ONE;
+            apply_2q_vec(&mut state, 1, 0, &cnot_gate());
+            assert!(
+                (state[expect] - Complex64::ONE).abs() < 1e-14,
+                "CNOT |{inp:02b}> should be |{expect:02b}>, got {state:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cnot_reversed_qubit_order() {
+        // gate on (a=0, b=1): control = qubit 0, target = qubit 1
+        for (inp, expect) in [(0b00usize, 0b00usize), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            let mut state = vec![Complex64::ZERO; 4];
+            state[inp] = Complex64::ONE;
+            apply_2q_vec(&mut state, 0, 1, &cnot_gate());
+            assert!(
+                (state[expect] - Complex64::ONE).abs() < 1e-14,
+                "CNOT(0->1) |{inp:02b}> should be |{expect:02b}>"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_and_mat_left_agree() {
+        // applying a gate to the identity's columns equals the embedded matrix;
+        // applying to a vector equals matvec with the embedding.
+        let n = 3;
+        let u = h_gate();
+        let emb = embed_1q(n, 2, &u);
+        let mut state: Vec<Complex64> =
+            (0..8).map(|i| c64(i as f64 * 0.1, -(i as f64) * 0.05)).collect();
+        let expect = emb.matvec(&state);
+        apply_1q_vec(&mut state, 2, &u);
+        for (a, b) in state.iter().zip(&expect) {
+            assert!((*a - *b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn two_qubit_embed_is_unitary_and_matches_matvec() {
+        let n = 4;
+        let u = cnot_gate();
+        for (a, b) in [(0usize, 3usize), (3, 0), (1, 2), (2, 1)] {
+            let emb = embed_2q(n, a, b, &u);
+            assert!(emb.is_unitary(1e-13), "embedding not unitary for ({a},{b})");
+            let mut state: Vec<Complex64> =
+                (0..16).map(|i| c64((i as f64).sin(), (i as f64).cos())).collect();
+            let expect = emb.matvec(&state);
+            apply_2q_vec(&mut state, a, b, &u);
+            for (x, y) in state.iter().zip(&expect) {
+                assert!((*x - *y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn right_dag_conjugation_matches_explicit() {
+        // rho' = U rho U^dag computed with kernels vs explicit matmul
+        let n = 2;
+        let u = h_gate();
+        let q = 1;
+        let mut rho = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                rho[(i, j)] = c64((i + j) as f64 * 0.1, (i as f64 - j as f64) * 0.2);
+            }
+        }
+        let emb = embed_1q(n, q, &u);
+        let expect = emb.matmul(&rho).matmul(&emb.adjoint());
+        apply_1q_mat_left(&mut rho, q, &u);
+        apply_1q_mat_right_dag(&mut rho, q, &u);
+        assert!(rho.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn right_dag_2q_conjugation_matches_explicit() {
+        let n = 3;
+        let u = cnot_gate();
+        let (a, b) = (2usize, 0usize);
+        let mut rho = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                rho[(i, j)] = c64((i * 7 + j) as f64 * 0.03, (j * 5 + i) as f64 * 0.02);
+            }
+        }
+        let emb = embed_2q(n, a, b, &u);
+        let expect = emb.matmul(&rho).matmul(&emb.adjoint());
+        apply_2q_mat_left(&mut rho, a, b, &u);
+        apply_2q_mat_right_dag(&mut rho, a, b, &u);
+        assert!(rho.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn kernels_preserve_norm() {
+        let mut state = vec![Complex64::ZERO; 8];
+        state[0] = c64(0.6, 0.0);
+        state[5] = c64(0.0, 0.8);
+        apply_1q_vec(&mut state, 1, &h_gate());
+        apply_2q_vec(&mut state, 0, 2, &cnot_gate());
+        let norm: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-13);
+    }
+}

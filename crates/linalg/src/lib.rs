@@ -1,0 +1,39 @@
+//! # qaprox-linalg
+//!
+//! The dense complex linear-algebra substrate for the `qaprox` workspace —
+//! everything the quantum stack needs, implemented from scratch:
+//!
+//! * [`Complex64`] — a `Copy` complex double;
+//! * [`Matrix`] — dense row-major complex matrices with the usual algebra;
+//! * [`kernels`] — gate-application kernels that never materialize `2^n x 2^n`
+//!   embeddings (the hot loops of every simulator and of synthesis);
+//! * [`solve`] — Gauss-Jordan inversion / linear solves;
+//! * [`expm`](crate::expm::expm) — Padé scaling-and-squaring matrix exponential;
+//! * [`polar`](crate::polar::polar_unitary) — nearest-unitary projection
+//!   (Newton iteration), the core step of QFactor-style optimization;
+//! * [`decomp`](crate::decomp::zyz_decompose) — ZYZ/U3 Euler decomposition;
+//! * [`eigh`](crate::eigh::eigh) — Hermitian eigendecomposition (Jacobi),
+//!   spectral matrix functions, von Neumann entropy;
+//! * [`pauli`] — Pauli strings and the su(2^n) Hermitian basis;
+//! * [`random`] — Haar-distributed unitaries and random states.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod decomp;
+pub mod eigh;
+pub mod expm;
+pub mod kernels;
+pub mod matrix;
+pub mod pauli;
+pub mod polar;
+pub mod random;
+pub mod solve;
+
+pub use complex::{c64, Complex64};
+pub use decomp::{u3_matrix, zyz_decompose, Zyz};
+pub use eigh::{eigh, expm_i_hermitian_spectral, von_neumann_entropy, Eigh};
+pub use expm::{expm, expm_i_hermitian};
+pub use matrix::Matrix;
+pub use polar::{nearest_unitary, polar_unitary};
+pub use solve::{invert, solve, SingularMatrix};

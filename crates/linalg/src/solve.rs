@@ -1,0 +1,158 @@
+//! Dense solvers: Gauss-Jordan inversion and linear solves with partial
+//! pivoting. Matrices in this stack are tiny (dimension <= 256), so the
+//! classic `O(n^3)` elimination is the right tool.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+
+/// Error raised when a matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Inverts a square matrix by Gauss-Jordan elimination with partial pivoting.
+pub fn invert(m: &Matrix) -> Result<Matrix, SingularMatrix> {
+    assert!(m.is_square(), "cannot invert a non-square matrix");
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut inv = Matrix::identity(n);
+
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest modulus in this column.
+        let mut pivot_row = col;
+        let mut pivot_mag = a[(col, col)].abs();
+        for r in col + 1..n {
+            let mag = a[(r, col)].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < 1e-300 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            swap_rows(&mut a, col, pivot_row);
+            swap_rows(&mut inv, col, pivot_row);
+        }
+
+        let pivot_inv = a[(col, col)].inv();
+        for j in 0..n {
+            a[(col, j)] *= pivot_inv;
+            inv[(col, j)] *= pivot_inv;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = a[(r, col)];
+            if factor == Complex64::ZERO {
+                continue;
+            }
+            for j in 0..n {
+                let ac = a[(col, j)];
+                let ic = inv[(col, j)];
+                a[(r, j)] -= factor * ac;
+                inv[(r, j)] -= factor * ic;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// Solves `A x = b` for a single right-hand side.
+pub fn solve(a: &Matrix, b: &[Complex64]) -> Result<Vec<Complex64>, SingularMatrix> {
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let inv = invert(a)?;
+    Ok(inv.matvec(b))
+}
+
+fn swap_rows(m: &mut Matrix, r1: usize, r2: usize) {
+    if r1 == r2 {
+        return;
+    }
+    let cols = m.cols();
+    let data = m.data_mut();
+    let (a, b) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+    let (head, tail) = data.split_at_mut(b * cols);
+    head[a * cols..(a + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let inv = invert(&Matrix::identity(5)).unwrap();
+        assert!(inv.approx_eq(&Matrix::identity(5), 1e-14));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                a[(i, j)] = c64(((i * 4 + j) as f64).sin() + if i == j { 3.0 } else { 0.0 },
+                                ((i + 2 * j) as f64).cos() * 0.3);
+            }
+        }
+        let inv = invert(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(4), 1e-10));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = c64(1.0, 0.0);
+        a[(1, 1)] = c64(2.0, 0.0);
+        // row 2 left as zeros -> singular
+        assert_eq!(invert(&a), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // [[0,1],[1,0]] requires a row swap; inverse is itself.
+        let a = Matrix::from_rows(&[
+            &[Complex64::ZERO, Complex64::ONE],
+            &[Complex64::ONE, Complex64::ZERO],
+        ]);
+        let inv = invert(&a).unwrap();
+        assert!(inv.approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a = Matrix::from_rows(&[
+            &[c64(2.0, 0.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(3.0, 0.0)],
+        ]);
+        let x_true = vec![c64(1.0, 1.0), c64(-1.0, 0.5)];
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_of_unitary_is_adjoint() {
+        // H gate: inverse should equal adjoint
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = Matrix::from_rows(&[
+            &[c64(s, 0.0), c64(s, 0.0)],
+            &[c64(s, 0.0), c64(-s, 0.0)],
+        ]);
+        let inv = invert(&h).unwrap();
+        assert!(inv.approx_eq(&h.adjoint(), 1e-13));
+    }
+}

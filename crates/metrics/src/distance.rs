@@ -1,0 +1,118 @@
+//! Process distances between unitaries.
+//!
+//! Synthesis quality is judged by the Hilbert-Schmidt distance between the
+//! candidate and target unitaries — global-phase invariant, cheap, and
+//! exactly what QSearch/QFast minimize. The paper constrains its approximate
+//! circuit populations by an HS threshold (never below 0.1).
+
+use qaprox_linalg::Matrix;
+
+/// Hilbert-Schmidt distance in BQSKit's convention:
+/// `1 - |Tr(A^dagger B)| / d`, in `[0, 1]`, zero iff `A = e^{i phi} B`.
+pub fn hs_distance(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "hs_distance dimension mismatch");
+    assert!(a.is_square() && b.is_square(), "hs_distance expects square matrices");
+    let d = a.rows() as f64;
+    (1.0 - a.hs_inner(b).abs() / d).max(0.0)
+}
+
+/// The "root" variant `sqrt(1 - |Tr|^2 / d^2)`, which upper-bounds the
+/// average-case output error more tightly; some synthesis papers report this.
+pub fn hs_distance_sqrt(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "hs_distance dimension mismatch");
+    let d = a.rows() as f64;
+    let t = a.hs_inner(b).abs() / d;
+    (1.0 - (t * t).min(1.0)).max(0.0).sqrt()
+}
+
+/// Phase-aligned Frobenius distance: `min_phi ||A - e^{i phi} B||_F`.
+pub fn frobenius_distance(a: &Matrix, b: &Matrix) -> f64 {
+    // ||A - e^{i phi} B||^2 = ||A||^2 + ||B||^2 - 2 Re(e^{-i phi} Tr(B^dag A));
+    // minimized at phi = arg Tr(B^dag A), giving -2 |Tr(B^dag A)|.
+    let ip = b.hs_inner(a).abs();
+    let v = a.fro_norm().powi(2) + b.fro_norm().powi(2) - 2.0 * ip;
+    v.max(0.0).sqrt()
+}
+
+/// Average gate fidelity of `a` against `b`:
+/// `(|Tr(A^dag B)|^2 / d + 1) / (d + 1)`.
+pub fn average_gate_fidelity(a: &Matrix, b: &Matrix) -> f64 {
+    let d = a.rows() as f64;
+    let t = a.hs_inner(b).abs();
+    (t * t / d + 1.0) / (d + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_linalg::matrix::{pauli_x, pauli_z};
+    use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_unitaries_have_zero_distance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = haar_unitary(8, &mut rng);
+        assert!(hs_distance(&u, &u) < 1e-12);
+        assert!(hs_distance_sqrt(&u, &u) < 1e-6);
+        assert!(frobenius_distance(&u, &u) < 1e-6);
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = haar_unitary(4, &mut rng);
+        let v = u.scale(Complex64::cis(1.234));
+        assert!(hs_distance(&u, &v) < 1e-12);
+        assert!(frobenius_distance(&u, &v) < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_paulis_are_maximally_distant() {
+        // Tr(X^dag Z) = 0 -> hs distance 1
+        assert!((hs_distance(&pauli_x(), &pauli_z()) - 1.0).abs() < 1e-13);
+        assert!((hs_distance_sqrt(&pauli_x(), &pauli_z()) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn distances_bounded_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = haar_unitary(4, &mut rng);
+            let b = haar_unitary(4, &mut rng);
+            let d = hs_distance(&a, &b);
+            let ds = hs_distance_sqrt(&a, &b);
+            assert!((0.0..=1.0).contains(&d));
+            assert!((0.0..=1.0).contains(&ds));
+            // sqrt variant dominates the linear one: 1-t <= sqrt(1-t^2)
+            assert!(ds + 1e-12 >= d);
+        }
+    }
+
+    #[test]
+    fn fidelity_of_identity_is_one() {
+        let i = qaprox_linalg::Matrix::identity(4);
+        assert!((average_gate_fidelity(&i, &i) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn fidelity_and_distance_move_oppositely() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = haar_unitary(4, &mut rng);
+        let near = u.scale(Complex64::cis(0.0)); // identical
+        let far = haar_unitary(4, &mut rng);
+        assert!(average_gate_fidelity(&u, &near) > average_gate_fidelity(&u, &far));
+        assert!(hs_distance(&u, &near) < hs_distance(&u, &far));
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = haar_unitary(4, &mut rng);
+        let b = haar_unitary(4, &mut rng);
+        assert!((hs_distance(&a, &b) - hs_distance(&b, &a)).abs() < 1e-13);
+        assert!((frobenius_distance(&a, &b) - frobenius_distance(&b, &a)).abs() < 1e-10);
+    }
+}

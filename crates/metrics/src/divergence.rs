@@ -1,0 +1,221 @@
+//! Output-distribution divergences.
+//!
+//! The paper scores Toffoli circuits by Jensen-Shannon *distance* in SciPy's
+//! convention — `sqrt(JSD)` with natural logarithms — which is why "random
+//! noise" lands at the magic value 0.465 against its truth-table target.
+//! Total variation distance and Kullback-Leibler divergence round out the
+//! metric set named in the paper's roadmap (Sec. 6.5).
+
+/// Validates and lightly normalizes a probability vector.
+fn checked(p: &[f64]) -> Vec<f64> {
+    assert!(!p.is_empty(), "empty distribution");
+    let mut sum = 0.0;
+    for &x in p {
+        assert!(x >= -1e-12, "negative probability {x}");
+        sum += x.max(0.0);
+    }
+    assert!(sum > 0.0, "zero-mass distribution");
+    p.iter().map(|&x| x.max(0.0) / sum).collect()
+}
+
+/// Kullback-Leibler divergence `KL(P || Q)` in nats.
+/// Returns `f64::INFINITY` when `P` has mass where `Q` has none.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let p = checked(p);
+    let q = checked(q);
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(&q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        acc += pi * (pi / qi).ln();
+    }
+    acc.max(0.0)
+}
+
+/// Jensen-Shannon divergence in nats: `JSD = (KL(P||M) + KL(Q||M)) / 2`
+/// with `M = (P + Q)/2`. Bounded by `ln 2`.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let p = checked(p);
+    let q = checked(q);
+    let m: Vec<f64> = p.iter().zip(&q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * (kl_divergence(&p, &m) + kl_divergence(&q, &m))
+}
+
+/// Jensen-Shannon distance, SciPy convention: `sqrt(JSD_nats)`.
+/// This is the metric on the y-axis of the paper's Toffoli figures.
+pub fn js_distance(p: &[f64], q: &[f64]) -> f64 {
+    js_divergence(p, q).max(0.0).sqrt()
+}
+
+/// Total variation distance `0.5 * sum |p_i - q_i|`, in `[0, 1]`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let p = checked(p);
+    let q = checked(q);
+    0.5 * p.iter().zip(&q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Hellinger distance `sqrt(1 - sum sqrt(p_i q_i))`, in `[0, 1]`.
+pub fn hellinger(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let p = checked(p);
+    let q = checked(q);
+    let bc: f64 = p.iter().zip(&q).map(|(&a, &b)| (a * b).sqrt()).sum();
+    (1.0 - bc.min(1.0)).max(0.0).sqrt()
+}
+
+/// Cross entropy `-sum p_i ln q_i` in nats (infinite when `q` lacks support
+/// where `p` has mass).
+pub fn cross_entropy(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let p = checked(p);
+    let q = checked(q);
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(&q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        acc -= pi * qi.ln();
+    }
+    acc
+}
+
+/// Shannon entropy in nats.
+pub fn entropy(p: &[f64]) -> f64 {
+    let p = checked(p);
+    -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    fn delta(n: usize, i: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let p = uniform(8);
+        assert!(kl_divergence(&p, &p) < 1e-14);
+        assert!(js_divergence(&p, &p) < 1e-14);
+        assert!(js_distance(&p, &p) < 1e-7);
+        assert!(total_variation(&p, &p) < 1e-14);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        let p = delta(4, 0);
+        let q = delta(4, 1);
+        assert!(kl_divergence(&p, &q).is_infinite());
+        // JS stays finite even then
+        assert!(js_divergence(&p, &q).is_finite());
+    }
+
+    #[test]
+    fn js_divergence_bounded_by_ln2() {
+        let p = delta(4, 0);
+        let q = delta(4, 1);
+        let jsd = js_divergence(&p, &q);
+        assert!((jsd - std::f64::consts::LN_2).abs() < 1e-12, "disjoint support -> ln 2");
+    }
+
+    #[test]
+    fn paper_random_noise_value_is_0_465() {
+        // Uniform over 32 outcomes vs uniform over the 16 "correct" outcomes:
+        // the paper reports JS distance 0.465 for random noise on the 5-qubit
+        // Toffoli battery. Same for 16 vs 8 (4-qubit case).
+        for (total, correct) in [(32usize, 16usize), (16, 8)] {
+            let q = uniform(total);
+            let mut p = vec![0.0; total];
+            for x in p.iter_mut().take(correct) {
+                *x = 1.0 / correct as f64;
+            }
+            let js = js_distance(&p, &q);
+            assert!(
+                (js - 0.465).abs() < 0.002,
+                "random-noise JS for {correct}/{total}: got {js}"
+            );
+        }
+    }
+
+    #[test]
+    fn tvd_extremes() {
+        assert!((total_variation(&delta(4, 0), &delta(4, 3)) - 1.0).abs() < 1e-14);
+        assert!((total_variation(&uniform(4), &uniform(4))).abs() < 1e-14);
+    }
+
+    #[test]
+    fn symmetry_of_js_and_tvd() {
+        let p = vec![0.7, 0.2, 0.1, 0.0];
+        let q = vec![0.25, 0.25, 0.25, 0.25];
+        assert!((js_distance(&p, &q) - js_distance(&q, &p)).abs() < 1e-13);
+        assert!((total_variation(&p, &q) - total_variation(&q, &p)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        assert!((entropy(&uniform(8)) - (8f64).ln()).abs() < 1e-12);
+        assert!(entropy(&delta(8, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_bounds_and_relations() {
+        let p = delta(4, 0);
+        let q = delta(4, 1);
+        assert!((hellinger(&p, &q) - 1.0).abs() < 1e-12, "disjoint support -> 1");
+        assert!(hellinger(&p, &p) < 1e-9);
+        // Hellinger^2 <= TVD <= sqrt(2) * Hellinger
+        let a = vec![0.6, 0.2, 0.1, 0.1];
+        let b = vec![0.25, 0.25, 0.25, 0.25];
+        let h = hellinger(&a, &b);
+        let t = total_variation(&a, &b);
+        assert!(h * h <= t + 1e-12);
+        assert!(t <= std::f64::consts::SQRT_2 * h + 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_decomposes_into_entropy_plus_kl() {
+        let p = vec![0.5, 0.3, 0.2, 0.0];
+        let q = vec![0.25, 0.25, 0.25, 0.25];
+        let ce = cross_entropy(&p, &q);
+        let expect = entropy(&p) + kl_divergence(&p, &q);
+        assert!((ce - expect).abs() < 1e-12);
+        assert!(cross_entropy(&p, &delta(4, 3)).is_infinite());
+    }
+
+    #[test]
+    fn normalization_is_applied() {
+        // unnormalized counts should behave like their normalization
+        let counts = vec![30.0, 10.0, 0.0, 0.0];
+        let probs = vec![0.75, 0.25, 0.0, 0.0];
+        let q = uniform(4);
+        assert!((js_distance(&counts, &q) - js_distance(&probs, &q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_distance_is_metric_like_triangle_spot_check() {
+        let p = vec![0.5, 0.5, 0.0, 0.0];
+        let q = vec![0.0, 0.5, 0.5, 0.0];
+        let r = vec![0.0, 0.0, 0.5, 0.5];
+        let pq = js_distance(&p, &q);
+        let qr = js_distance(&q, &r);
+        let pr = js_distance(&p, &r);
+        assert!(pr <= pq + qr + 1e-12, "triangle inequality violated");
+    }
+}

@@ -1,0 +1,22 @@
+//! # qaprox-metrics
+//!
+//! Process- and output-level quality metrics:
+//!
+//! * [`distance`] — Hilbert-Schmidt distances between unitaries (the
+//!   synthesis objective and the paper's approximate-circuit threshold);
+//! * [`divergence`] — Jensen-Shannon distance (SciPy convention — random
+//!   noise scores 0.465 on the Toffoli battery, as in the paper), KL, TVD;
+//! * [`observables`] — magnetization and success probability, the y-axes of
+//!   the TFIM and Grover figures.
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod divergence;
+pub mod observables;
+pub mod stats;
+
+pub use distance::{average_gate_fidelity, frobenius_distance, hs_distance, hs_distance_sqrt};
+pub use divergence::{cross_entropy, entropy, hellinger, js_distance, js_divergence, kl_divergence, total_variation};
+pub use stats::{pearson, spearman};
+pub use observables::{magnetization, probabilities, success_probability, z_expectation};

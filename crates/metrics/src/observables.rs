@@ -1,0 +1,91 @@
+//! Measurement-basis observables.
+//!
+//! The TFIM figures plot average magnetization `m = (1/n) sum_i <Z_i>`
+//! computed from the computational-basis output distribution; Grover's
+//! figures plot the probability of the marked bitstring.
+
+/// Expectation of `Z` on qubit `q` from a basis-state distribution
+/// (`probs[b]` = probability of bitstring `b`, qubit 0 = LSB).
+pub fn z_expectation(probs: &[f64], q: usize) -> f64 {
+    assert!(probs.len().is_power_of_two(), "distribution length must be 2^n");
+    assert!((1usize << q) < probs.len(), "qubit out of range");
+    let mut acc = 0.0;
+    for (b, &p) in probs.iter().enumerate() {
+        if (b >> q) & 1 == 0 {
+            acc += p;
+        } else {
+            acc -= p;
+        }
+    }
+    acc
+}
+
+/// Average magnetization over all qubits: `(1/n) sum_i <Z_i>`, in `[-1, 1]`.
+pub fn magnetization(probs: &[f64]) -> f64 {
+    let n = probs.len().trailing_zeros() as usize;
+    assert!(n > 0, "need at least one qubit");
+    (0..n).map(|q| z_expectation(probs, q)).sum::<f64>() / n as f64
+}
+
+/// Probability of measuring exactly the bitstring `target`.
+pub fn success_probability(probs: &[f64], target: usize) -> f64 {
+    assert!(target < probs.len(), "target outcome out of range");
+    probs[target]
+}
+
+/// Converts a statevector to its measurement distribution.
+pub fn probabilities(state: &[qaprox_linalg::Complex64]) -> Vec<f64> {
+    state.iter().map(|z| z.norm_sqr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_linalg::{c64, Complex64};
+
+    #[test]
+    fn all_zeros_state_has_magnetization_one() {
+        let mut p = vec![0.0; 8];
+        p[0] = 1.0;
+        assert!((magnetization(&p) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn all_ones_state_has_magnetization_minus_one() {
+        let mut p = vec![0.0; 8];
+        p[7] = 1.0;
+        assert!((magnetization(&p) + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn uniform_distribution_has_zero_magnetization() {
+        let p = vec![1.0 / 8.0; 8];
+        assert!(magnetization(&p).abs() < 1e-14);
+    }
+
+    #[test]
+    fn single_flipped_qubit() {
+        // |010>: qubit 1 down, others up -> m = (1 - 1 + 1)/3 = 1/3
+        let mut p = vec![0.0; 8];
+        p[0b010] = 1.0;
+        assert!((magnetization(&p) - 1.0 / 3.0).abs() < 1e-14);
+        assert!((z_expectation(&p, 1) + 1.0).abs() < 1e-14);
+        assert!((z_expectation(&p, 0) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn probabilities_from_statevector() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let state = vec![c64(s, 0.0), Complex64::ZERO, Complex64::ZERO, c64(0.0, s)];
+        let p = probabilities(&state);
+        assert!((p[0] - 0.5).abs() < 1e-14);
+        assert!((p[3] - 0.5).abs() < 1e-14);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn success_probability_reads_target() {
+        let p = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(success_probability(&p, 3), 0.4);
+    }
+}

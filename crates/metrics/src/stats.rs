@@ -1,0 +1,107 @@
+//! Small statistics helpers: correlation coefficients used by the
+//! metric-correlation study (the paper's Sec. 6.5 asks for "a thorough
+//! analysis of the numerical value of different metrics").
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Midrank assignment for Spearman correlation (ties share their average
+/// rank).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on midranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonlinear_is_spearman_one_pearson_less() {
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let p = pearson(&x, &y);
+        assert!(p > 0.5 && p < 1.0 - 1e-9, "pearson {p}");
+    }
+
+    #[test]
+    fn zero_variance_is_zero_correlation() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn ties_share_midranks() {
+        let r = ranks(&[2.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn independent_samples_have_small_correlation() {
+        // deterministic pseudo-random pair with no real relationship
+        let x: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64).sin()).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 53 % 97) as f64).cos()).collect();
+        assert!(pearson(&x, &y).abs() < 0.2);
+        assert!(spearman(&x, &y).abs() < 0.2);
+    }
+}

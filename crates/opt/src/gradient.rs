@@ -1,0 +1,68 @@
+//! Finite-difference gradients and a checker for analytic gradients.
+//!
+//! The synthesis crate derives analytic gradients of the Hilbert-Schmidt
+//! objective; its tests validate them against these central differences.
+
+/// Central-difference gradient of `f` at `x` with step `h`.
+pub fn central_difference<F: Fn(&[f64]) -> f64>(f: &F, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xt = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xt[i];
+        xt[i] = orig + h;
+        let fp = f(&xt);
+        xt[i] = orig - h;
+        let fm = f(&xt);
+        xt[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+/// Maximum absolute discrepancy between an analytic gradient and central
+/// differences at `x`. Used in tests: assert the result is small.
+pub fn check_gradient<F, G>(f: &F, grad: &G, x: &[f64], h: f64) -> f64
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    let numeric = central_difference(f, x, h);
+    let analytic = grad(x);
+    assert_eq!(numeric.len(), analytic.len(), "gradient length mismatch");
+    numeric
+        .iter()
+        .zip(&analytic)
+        .map(|(n, a)| (n - a).abs())
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_polynomial_gradient() {
+        let f = |x: &[f64]| x[0].powi(3) + 2.0 * x[0] * x[1] + x[1].powi(2);
+        let grad = |x: &[f64]| vec![3.0 * x[0] * x[0] + 2.0 * x[1], 2.0 * x[0] + 2.0 * x[1]];
+        let err = check_gradient(&f, &grad, &[1.3, -0.7], 1e-5);
+        assert!(err < 1e-8, "gradient error {err}");
+    }
+
+    #[test]
+    fn matches_trigonometric_gradient() {
+        let f = |x: &[f64]| (x[0] * 2.0).sin() * x[1].cos();
+        let grad = |x: &[f64]| {
+            vec![2.0 * (x[0] * 2.0).cos() * x[1].cos(), -(x[0] * 2.0).sin() * x[1].sin()]
+        };
+        let err = check_gradient(&f, &grad, &[0.4, 1.1], 1e-6);
+        assert!(err < 1e-8);
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let wrong = |x: &[f64]| vec![3.0 * x[0]]; // should be 2x
+        let err = check_gradient(&f, &wrong, &[2.0], 1e-6);
+        assert!(err > 1.0, "should flag the wrong gradient, err={err}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # qaprox-opt
+//!
+//! Numerical optimizers for circuit instantiation — the stand-ins for the
+//! SciPy BFGS/COBYLA optimizers the paper's synthesis tools call into:
+//!
+//! * [`lbfgs`] — limited-memory BFGS with a strong-Wolfe line search, for
+//!   objectives with analytic gradients (our Hilbert-Schmidt instantiation);
+//! * [`nelder_mead`] — derivative-free simplex search (COBYLA substitute);
+//! * [`multistart`] — seeded random restarts around either local optimizer;
+//! * [`gradient`] — central-difference gradients and a gradient checker used
+//!   by the test suites of downstream crates.
+
+#![warn(missing_docs)]
+
+pub mod gradient;
+pub mod lbfgs;
+pub mod multistart;
+pub mod nelder_mead;
+
+pub use lbfgs::{lbfgs, LbfgsParams, LbfgsResult};
+pub use multistart::{multistart_minimize, MultistartParams};
+pub use nelder_mead::{nelder_mead, NelderMeadParams};
+
+/// An objective with an analytic gradient: returns `(f(x), grad f(x))`.
+pub trait GradObjective {
+    /// Evaluates the objective and its gradient at `x`.
+    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>);
+
+    /// Evaluates only the objective (default: discard the gradient).
+    fn value(&self, x: &[f64]) -> f64 {
+        self.eval(x).0
+    }
+}
+
+impl<F> GradObjective for F
+where
+    F: Fn(&[f64]) -> (f64, Vec<f64>),
+{
+    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        self(x)
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded multistart wrapper.
+//!
+//! Instantiation objectives are highly multimodal in the gate angles, so both
+//! QSearch and QFast restart their local optimizer from several random seeds
+//! and keep the best. The restarts are deterministic given the seed, which
+//! keeps every experiment in this repo reproducible.
+
+use crate::lbfgs::{lbfgs, LbfgsParams, LbfgsResult};
+use crate::GradObjective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`multistart_minimize`].
+#[derive(Debug, Clone)]
+pub struct MultistartParams {
+    /// Number of random starts (the provided `x0` counts as the first).
+    pub starts: usize,
+    /// Angles are drawn uniformly from `[-range, range]`.
+    pub range: f64,
+    /// RNG seed for start-point generation.
+    pub seed: u64,
+    /// Stop early once a start reaches this objective value.
+    pub success_threshold: f64,
+    /// Local optimizer configuration.
+    pub local: LbfgsParams,
+}
+
+impl Default for MultistartParams {
+    fn default() -> Self {
+        MultistartParams {
+            starts: 4,
+            range: std::f64::consts::PI,
+            seed: 0xA11CE,
+            success_threshold: 1e-12,
+            local: LbfgsParams::default(),
+        }
+    }
+}
+
+/// Runs L-BFGS from `x0` and from `starts - 1` random points, returning the
+/// best local minimum found.
+pub fn multistart_minimize<O: GradObjective>(
+    obj: &O,
+    x0: &[f64],
+    params: &MultistartParams,
+) -> LbfgsResult {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut best: Option<LbfgsResult> = None;
+    for start in 0..params.starts.max(1) {
+        let x_init: Vec<f64> = if start == 0 {
+            x0.to_vec()
+        } else {
+            (0..x0.len())
+                .map(|_| rng.gen_range(-params.range..=params.range))
+                .collect()
+        };
+        let r = lbfgs(obj, &x_init, &params.local);
+        let improved = best.as_ref().map_or(true, |b| r.f < b.f);
+        if improved {
+            best = Some(r);
+        }
+        if best.as_ref().is_some_and(|b| b.f <= params.success_threshold) {
+            break;
+        }
+    }
+    best.expect("at least one start ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deceptive objective: local minimum at x=3 (f=0.5), global at x=0 (f=0).
+    fn deceptive(x: &[f64]) -> (f64, Vec<f64>) {
+        let t = x[0];
+        // f = min-well shape built from two quadratic wells
+        let w0 = t * t;
+        let w1 = 0.5 + 0.8 * (t - 3.0) * (t - 3.0);
+        if w0 <= w1 {
+            (w0, vec![2.0 * t])
+        } else {
+            (w1, vec![1.6 * (t - 3.0)])
+        }
+    }
+
+    #[test]
+    fn escapes_local_minimum_with_restarts() {
+        // Starting inside the shallow basin at x=3, a single L-BFGS run stays
+        // there; multistart should find the global basin.
+        let single = lbfgs(&deceptive, &[3.2], &LbfgsParams::default());
+        assert!(single.f > 0.4, "single run unexpectedly escaped: {single:?}");
+
+        let params = MultistartParams { starts: 8, range: 5.0, seed: 7, ..Default::default() };
+        let multi = multistart_minimize(&deceptive, &[3.2], &params);
+        assert!(multi.f < 1e-8, "multistart failed: {multi:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = MultistartParams { starts: 5, seed: 42, ..Default::default() };
+        let a = multistart_minimize(&deceptive, &[3.2], &params);
+        let b = multistart_minimize(&deceptive, &[3.2], &params);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.f, b.f);
+    }
+
+    #[test]
+    fn early_exit_on_threshold() {
+        let quad = |x: &[f64]| (x[0] * x[0], vec![2.0 * x[0]]);
+        let params = MultistartParams {
+            starts: 100,
+            success_threshold: 1e-10,
+            ..Default::default()
+        };
+        let r = multistart_minimize(&quad, &[1.0], &params);
+        assert!(r.f <= 1e-10);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the optimizers.
+
+use proptest::prelude::*;
+use qaprox_opt::{lbfgs, nelder_mead, LbfgsParams, NelderMeadParams};
+
+/// A positive-definite quadratic with a known minimizer.
+fn quadratic(center: Vec<f64>, scales: Vec<f64>) -> impl Fn(&[f64]) -> (f64, Vec<f64>) {
+    move |x: &[f64]| {
+        let mut f = 0.0;
+        let mut g = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            let d = x[i] - center[i];
+            f += scales[i] * d * d;
+            g[i] = 2.0 * scales[i] * d;
+        }
+        (f, g)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lbfgs_finds_quadratic_minima(
+        center in proptest::collection::vec(-5.0f64..5.0, 1..6),
+        raw_scales in proptest::collection::vec(0.1f64..10.0, 1..6),
+        start in proptest::collection::vec(-5.0f64..5.0, 1..6),
+    ) {
+        let n = center.len().min(raw_scales.len()).min(start.len());
+        let obj = quadratic(center[..n].to_vec(), raw_scales[..n].to_vec());
+        let r = lbfgs(&obj, &start[..n], &LbfgsParams::default());
+        for (xi, ci) in r.x.iter().zip(&center[..n]) {
+            prop_assert!((xi - ci).abs() < 1e-4, "x {xi} vs center {ci}");
+        }
+    }
+
+    #[test]
+    fn lbfgs_monotone_improvement(start in proptest::collection::vec(-3.0f64..3.0, 2..5)) {
+        // smooth nonconvex objective: never end worse than the start
+        let obj = |x: &[f64]| {
+            let f: f64 = x.iter().map(|v| (v * 1.7).sin() + 0.1 * v * v).sum();
+            let g: Vec<f64> = x.iter().map(|v| 1.7 * (v * 1.7).cos() + 0.2 * v).collect();
+            (f, g)
+        };
+        let (f0, _) = obj(&start);
+        let r = lbfgs(&obj, &start, &LbfgsParams { max_iters: 50, ..Default::default() });
+        prop_assert!(r.f <= f0 + 1e-12);
+    }
+
+    #[test]
+    fn nelder_mead_never_worse_than_start(start in proptest::collection::vec(-3.0f64..3.0, 1..5)) {
+        let f = |x: &[f64]| -> f64 {
+            x.iter().map(|v| (v - 0.5).powi(2) + (v * 2.0).cos() * 0.3).sum()
+        };
+        let f0 = f(&start);
+        let r = nelder_mead(&f, &start, &NelderMeadParams { max_evals: 2000, ..Default::default() });
+        prop_assert!(r.f <= f0 + 1e-12);
+    }
+
+    #[test]
+    fn nelder_mead_solves_separable_quadratics(center in proptest::collection::vec(-2.0f64..2.0, 1..4)) {
+        let c = center.clone();
+        let f = move |x: &[f64]| -> f64 {
+            x.iter().zip(&c).map(|(v, ci)| (v - ci).powi(2)).sum()
+        };
+        let start = vec![0.0; center.len()];
+        let r = nelder_mead(&f, &start, &NelderMeadParams::default());
+        prop_assert!(r.f < 1e-6, "residual {}", r.f);
+    }
+
+    #[test]
+    fn central_difference_linear_functions_are_exact(coeffs in proptest::collection::vec(-3.0f64..3.0, 1..5),
+                                                     at in proptest::collection::vec(-2.0f64..2.0, 1..5)) {
+        let n = coeffs.len().min(at.len());
+        let c = coeffs[..n].to_vec();
+        let f = move |x: &[f64]| -> f64 { x.iter().zip(&c).map(|(a, b)| a * b).sum() };
+        let g = qaprox_opt::gradient::central_difference(&f, &at[..n], 1e-5);
+        for (gi, ci) in g.iter().zip(&coeffs[..n]) {
+            prop_assert!((gi - ci).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Standard noise channels as Kraus operator sets.
+//!
+//! These are the same ingredients Qiskit's device noise models are built
+//! from: depolarizing errors sized from reported gate error rates, thermal
+//! relaxation from T1/T2 and gate durations, and (for completeness and tests)
+//! the textbook bit/phase-flip and damping channels.
+
+use qaprox_linalg::matrix::{pauli_x, pauli_y, pauli_z, Matrix};
+use qaprox_linalg::{c64, Complex64};
+
+/// Checks Kraus completeness: `sum K_i^dagger K_i = I`.
+pub fn is_trace_preserving(kraus: &[Matrix], tol: f64) -> bool {
+    let dim = kraus[0].rows();
+    let mut acc = Matrix::zeros(dim, dim);
+    for k in kraus {
+        acc.axpy(Complex64::ONE, &k.adjoint().matmul(k));
+    }
+    acc.approx_eq(&Matrix::identity(dim), tol)
+}
+
+/// Bit-flip channel: applies X with probability `p`.
+pub fn bit_flip(p: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&p));
+    vec![
+        Matrix::identity(2).scale_re((1.0 - p).sqrt()),
+        pauli_x().scale_re(p.sqrt()),
+    ]
+}
+
+/// Phase-flip channel: applies Z with probability `p`.
+pub fn phase_flip(p: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&p));
+    vec![
+        Matrix::identity(2).scale_re((1.0 - p).sqrt()),
+        pauli_z().scale_re(p.sqrt()),
+    ]
+}
+
+/// One-qubit depolarizing channel with parameter `lambda`
+/// (`rho -> (1-lambda) rho + lambda I/2`), expressed with 4 Kraus operators.
+pub fn depolarizing_1q(lambda: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+    let p = lambda / 4.0;
+    vec![
+        Matrix::identity(2).scale_re((1.0 - 3.0 * p).max(0.0).sqrt()),
+        pauli_x().scale_re(p.sqrt()),
+        pauli_y().scale_re(p.sqrt()),
+        pauli_z().scale_re(p.sqrt()),
+    ]
+}
+
+/// Two-qubit depolarizing channel with parameter `lambda`, expressed with
+/// all 16 two-qubit Pauli Kraus operators. Used in tests to cross-check the
+/// closed-form partial-trace implementation in
+/// [`crate::density::DensityMatrix::depolarize`].
+pub fn depolarizing_2q(lambda: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+    let p = lambda / 16.0;
+    let singles = [Matrix::identity(2), pauli_x(), pauli_y(), pauli_z()];
+    let mut out = Vec::with_capacity(16);
+    for (i, a) in singles.iter().enumerate() {
+        for (j, b) in singles.iter().enumerate() {
+            let weight = if i == 0 && j == 0 { (1.0 - 15.0 * p).max(0.0) } else { p };
+            out.push(a.kron(b).scale_re(weight.sqrt()));
+        }
+    }
+    out
+}
+
+/// Amplitude damping with decay probability `gamma` (T1 process).
+pub fn amplitude_damping(gamma: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&gamma));
+    let k0 = Matrix::from_rows(&[
+        &[Complex64::ONE, Complex64::ZERO],
+        &[Complex64::ZERO, c64((1.0 - gamma).sqrt(), 0.0)],
+    ]);
+    let k1 = Matrix::from_rows(&[
+        &[Complex64::ZERO, c64(gamma.sqrt(), 0.0)],
+        &[Complex64::ZERO, Complex64::ZERO],
+    ]);
+    vec![k0, k1]
+}
+
+/// Phase damping with parameter `lambda` (pure dephasing).
+pub fn phase_damping(lambda: f64) -> Vec<Matrix> {
+    assert!((0.0..=1.0).contains(&lambda));
+    let k0 = Matrix::diag(&[Complex64::ONE, c64((1.0 - lambda).sqrt(), 0.0)]);
+    let k1 = Matrix::diag(&[Complex64::ZERO, c64(lambda.sqrt(), 0.0)]);
+    vec![k0, k1]
+}
+
+/// Thermal relaxation over duration `t_ns` for a qubit with the given
+/// coherence times: amplitude damping composed with the pure dephasing that
+/// makes the total off-diagonal decay `exp(-t/T2)`.
+///
+/// Requires `T2 <= 2 T1` (physical); the excess dephasing rate is
+/// `1/T_phi = 1/T2 - 1/(2 T1)`.
+pub fn thermal_relaxation(t_ns: f64, t1_us: f64, t2_us: f64) -> Vec<Matrix> {
+    assert!(t_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0);
+    let t_us = t_ns * 1e-3;
+    let gamma = 1.0 - (-t_us / t1_us).exp();
+    // residual dephasing after accounting for T1's contribution to T2
+    let inv_tphi = (1.0 / t2_us - 0.5 / t1_us).max(0.0);
+    let lambda = 1.0 - (-2.0 * t_us * inv_tphi).exp();
+    // Compose: K_total = {A_i * P_j} over amplitude damping A and phase damping P.
+    let ad = amplitude_damping(gamma);
+    let pd = phase_damping(lambda);
+    let mut out = Vec::with_capacity(ad.len() * pd.len());
+    for a in &ad {
+        for p in &pd {
+            out.push(a.matmul(p));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+    use qaprox_circuit::Circuit;
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for kraus in [
+            bit_flip(0.3),
+            phase_flip(0.1),
+            depolarizing_1q(0.25),
+            amplitude_damping(0.4),
+            phase_damping(0.2),
+            thermal_relaxation(300.0, 80.0, 70.0),
+        ] {
+            assert!(is_trace_preserving(&kraus, 1e-12));
+        }
+    }
+
+    #[test]
+    fn depolarizing_matches_closed_form() {
+        // Kraus form vs the partial-trace closed form in DensityMatrix
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(0.3, 0);
+        let lambda = 0.37;
+
+        let mut via_kraus = DensityMatrix::ground(2);
+        via_kraus.apply_circuit(&c);
+        via_kraus.apply_kraus_1q(0, &depolarizing_1q(lambda));
+
+        let mut via_closed = DensityMatrix::ground(2);
+        via_closed.apply_circuit(&c);
+        via_closed.depolarize(&[0], lambda);
+
+        assert!(via_kraus.matrix().approx_eq(via_closed.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn depolarizing_2q_is_trace_preserving_and_matches_closed_form() {
+        let lambda = 0.41;
+        let kraus = depolarizing_2q(lambda);
+        assert_eq!(kraus.len(), 16);
+        assert!(is_trace_preserving(&kraus, 1e-12));
+
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2);
+        let mut via_kraus = DensityMatrix::ground(3);
+        via_kraus.apply_circuit(&c);
+        via_kraus.apply_kraus_2q(0, 2, &kraus);
+
+        let mut via_closed = DensityMatrix::ground(3);
+        via_closed.apply_circuit(&c);
+        via_closed.depolarize(&[0, 2], lambda);
+
+        assert!(via_kraus.matrix().approx_eq(via_closed.matrix(), 1e-11));
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut dm = DensityMatrix::basis(1, 1); // |1>
+        dm.apply_kraus_1q(0, &amplitude_damping(0.3));
+        let p = dm.probabilities();
+        assert!((p[1] - 0.7).abs() < 1e-13);
+        assert!((p[0] - 0.3).abs() < 1e-13);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_populations() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut dm = DensityMatrix::ground(1);
+        dm.apply_circuit(&c);
+        dm.apply_kraus_1q(0, &phase_damping(1.0));
+        let p = dm.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-13);
+        assert!((p[1] - 0.5).abs() < 1e-13);
+        assert!(dm.matrix()[(0, 1)].abs() < 1e-13, "coherence should vanish");
+    }
+
+    #[test]
+    fn thermal_relaxation_zero_time_is_identity() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut dm = DensityMatrix::ground(1);
+        dm.apply_circuit(&c);
+        let before = dm.clone();
+        dm.apply_kraus_1q(0, &thermal_relaxation(0.0, 80.0, 70.0));
+        assert!(dm.matrix().approx_eq(before.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn thermal_relaxation_off_diagonal_decays_at_t2() {
+        let (t1, t2) = (80.0, 60.0);
+        let t_ns = 50_000.0; // 50 us
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut dm = DensityMatrix::ground(1);
+        dm.apply_circuit(&c);
+        dm.apply_kraus_1q(0, &thermal_relaxation(t_ns, t1, t2));
+        let expected = 0.5 * (-(t_ns * 1e-3) / t2).exp();
+        assert!(
+            (dm.matrix()[(0, 1)].abs() - expected).abs() < 1e-10,
+            "off-diagonal {} vs expected {expected}",
+            dm.matrix()[(0, 1)].abs()
+        );
+    }
+
+    #[test]
+    fn thermal_relaxation_population_decays_at_t1() {
+        let (t1, t2) = (80.0, 60.0);
+        let t_ns = 80_000.0; // one T1
+        let mut dm = DensityMatrix::basis(1, 1);
+        dm.apply_kraus_1q(0, &thermal_relaxation(t_ns, t1, t2));
+        let p = dm.probabilities();
+        let expected = (-1.0f64).exp();
+        assert!((p[1] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn long_relaxation_reaches_ground_state() {
+        let mut dm = DensityMatrix::basis(1, 1);
+        dm.apply_kraus_1q(0, &thermal_relaxation(10_000_000.0, 50.0, 40.0));
+        let p = dm.probabilities();
+        assert!(p[0] > 0.999);
+    }
+}

@@ -1,0 +1,145 @@
+//! Batch execution.
+//!
+//! Every figure in the paper runs *hundreds* of approximate circuits (often
+//! x21 timesteps x several noise levels). Individual density matrices are
+//! tiny, so the parallelism lives here: a rayon `par_iter` over circuits.
+
+use crate::hardware::HardwareBackend;
+use crate::noise_model::NoiseModel;
+use crate::statevector;
+use qaprox_circuit::Circuit;
+use rayon::prelude::*;
+
+/// Where a circuit executes — mirrors the paper's three execution methods
+/// (ideal simulator, device-noise-model simulator, physical machine).
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Noise-free statevector simulation.
+    Ideal,
+    /// Density-matrix simulation under a device noise model.
+    Noisy(NoiseModel),
+    /// Emulated physical hardware (noise model + unreported effects + shots).
+    Hardware(HardwareBackend),
+}
+
+impl Backend {
+    /// Output distribution of one circuit. `job_seed` matters only for the
+    /// hardware backend's shot sampling.
+    pub fn probabilities(&self, circuit: &Circuit, job_seed: u64) -> Vec<f64> {
+        match self {
+            Backend::Ideal => statevector::probabilities(circuit),
+            Backend::Noisy(model) => model.probabilities(circuit),
+            Backend::Hardware(hw) => hw.probabilities(circuit, job_seed),
+        }
+    }
+
+    /// Executes a batch of circuits in parallel; result order matches input.
+    pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Vec<f64>> {
+        circuits
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| self.probabilities(c, i as u64))
+            .collect()
+    }
+
+    /// Maps an arbitrary evaluation over circuits in parallel, giving each
+    /// the backend and a stable per-circuit seed.
+    pub fn run_batch_with<T, F>(&self, circuits: &[Circuit], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Circuit, Vec<f64>) -> T + Sync,
+    {
+        circuits
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| f(c, self.probabilities(c, i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+
+    fn some_circuits(n: usize) -> Vec<Circuit> {
+        (0..n)
+            .map(|i| {
+                let mut c = Circuit::new(3);
+                c.h(0).cx(0, 1).rz(0.1 * i as f64, 1).cx(1, 2);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_individual_ideal() {
+        let circuits = some_circuits(8);
+        let backend = Backend::Ideal;
+        let batch = backend.run_batch(&circuits);
+        for (i, c) in circuits.iter().enumerate() {
+            let solo = statevector::probabilities(c);
+            for (a, b) in batch[i].iter().zip(&solo) {
+                assert!((a - b).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_noisy() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let circuits = some_circuits(4);
+        let backend = Backend::Noisy(model.clone());
+        let batch = backend.run_batch(&circuits);
+        for (i, c) in circuits.iter().enumerate() {
+            let solo = model.probabilities(c);
+            for (a, b) in batch[i].iter().zip(&solo) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_batch_is_reproducible() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let hw = HardwareBackend::new(NoiseModel::from_calibration(cal));
+        let backend = Backend::Hardware(hw);
+        let circuits = some_circuits(3);
+        let a = backend.run_batch(&circuits);
+        let b = backend.run_batch(&circuits);
+        assert_eq!(a, b, "per-index job seeds make batches deterministic");
+    }
+
+    #[test]
+    fn ideal_backend_ignores_job_seed() {
+        let c = some_circuits(1).pop().unwrap();
+        let b = Backend::Ideal;
+        assert_eq!(b.probabilities(&c, 0), b.probabilities(&c, 999));
+    }
+
+    #[test]
+    fn hardware_backend_depends_on_job_seed() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let hw = HardwareBackend::new(NoiseModel::from_calibration(cal));
+        let b = Backend::Hardware(hw);
+        let c = some_circuits(1).pop().unwrap();
+        assert_ne!(b.probabilities(&c, 0), b.probabilities(&c, 1), "shots must differ by seed");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let b = Backend::Ideal;
+        assert!(b.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn run_batch_with_computes_derived_metric() {
+        let circuits = some_circuits(5);
+        let backend = Backend::Ideal;
+        let sums: Vec<f64> = backend.run_batch_with(&circuits, |_, p| p.iter().sum());
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Emulated physical-hardware backend — the substitute for the paper's runs
+//! on the real ibmq_manhattan / ibmq_toronto / ibmq_rome chips.
+//!
+//! The paper observes (Obs. 7-9) that real hardware behaves like its noise
+//! model *plus* effects IBM does not report: crosstalk, coherent gate
+//! miscalibration, and readout drift. This backend layers exactly those
+//! unmodeled terms on top of [`NoiseModel`]:
+//!
+//! * **coherent CNOT over-rotation** — each edge gets a fixed miscalibration
+//!   angle (deterministic per edge, seeded), applied as an extra `RZZ`-like
+//!   rotation with each CNOT; unlike depolarizing noise this error is
+//!   *coherent* and can interfere constructively or destructively;
+//! * **ZZ crosstalk** — while a CNOT plays, spectator qubits coupled to the
+//!   gate qubits pick up a conditional phase;
+//! * **readout drift** — assignment errors are inflated relative to the
+//!   reported calibration (stale-calibration effect);
+//! * **shot noise** — outputs are sampled (default 8192 shots), never exact.
+
+use crate::density::DensityMatrix;
+use crate::noise_model::NoiseModel;
+use crate::readout::{apply_confusion, ReadoutError};
+use crate::sampler::{counts_to_probs, sample_counts, DEFAULT_SHOTS};
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::Complex64;
+
+/// Strengths of the unreported-noise terms.
+#[derive(Debug, Clone)]
+pub struct HardwareEffects {
+    /// Peak coherent over-rotation per CNOT, radians.
+    pub overrotation_rad: f64,
+    /// ZZ crosstalk phase picked up by each spectator per CNOT, radians.
+    pub zz_crosstalk_rad: f64,
+    /// Multiplier (> 1) applied to calibrated readout errors.
+    pub readout_drift: f64,
+    /// Shots per execution.
+    pub shots: usize,
+    /// Seed for per-edge static miscalibration angles and shot sampling.
+    pub seed: u64,
+}
+
+impl Default for HardwareEffects {
+    fn default() -> Self {
+        // Calibrated against the paper's hardware sections: 2021 chips were
+        // substantially worse than their reported noise models for deep
+        // circuits (coherent errors compound quadratically with depth), to
+        // the point where a ~40-CNOT Toffoli reference scored at or above
+        // the 0.465 random-noise floor (Fig. 15) while shallow circuits
+        // survived. These defaults reproduce that regime.
+        HardwareEffects {
+            overrotation_rad: 0.12,
+            zz_crosstalk_rad: 0.06,
+            readout_drift: 1.8,
+            shots: DEFAULT_SHOTS,
+            seed: 0xD15C,
+        }
+    }
+}
+
+impl HardwareEffects {
+    /// The regime of the paper's Toffoli-on-Toronto sections (Figs. 15,
+    /// 17-19): 2021 hardware degraded a routed ~40-CNOT reference to the
+    /// 0.465 random-noise floor. These strengths are calibrated so the
+    /// emulation lands in the same regime; shallow approximate circuits
+    /// survive where the deep exact reference does not.
+    pub fn heavy_2021() -> Self {
+        HardwareEffects {
+            overrotation_rad: 0.30,
+            zz_crosstalk_rad: 0.15,
+            readout_drift: 2.5,
+            shots: DEFAULT_SHOTS,
+            seed: 0xD15C,
+        }
+    }
+}
+
+/// The emulated physical machine.
+#[derive(Debug, Clone)]
+pub struct HardwareBackend {
+    model: NoiseModel,
+    effects: HardwareEffects,
+}
+
+/// `RZZ(theta) = exp(-i theta Z(x)Z / 2)` as a 4x4 matrix.
+fn rzz_matrix(theta: f64) -> Matrix {
+    let m = Complex64::cis(-theta / 2.0);
+    let p = Complex64::cis(theta / 2.0);
+    Matrix::diag(&[m, p, p, m])
+}
+
+/// Deterministic per-edge pseudo-random in `[-1, 1]` (static miscalibration).
+fn edge_hash(seed: u64, a: usize, b: usize) -> f64 {
+    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+    let mut h = seed ^ 0x9E3779B97F4A7C15;
+    for v in [lo, hi] {
+        h ^= v.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 31;
+    }
+    ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+impl HardwareBackend {
+    /// Wraps a noise model with default hardware effects.
+    pub fn new(model: NoiseModel) -> Self {
+        HardwareBackend { model, effects: HardwareEffects::default() }
+    }
+
+    /// Wraps with explicit effect strengths.
+    pub fn with_effects(model: NoiseModel, effects: HardwareEffects) -> Self {
+        HardwareBackend { model, effects }
+    }
+
+    /// The underlying noise model.
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+
+    /// Effect strengths in use.
+    pub fn effects(&self) -> &HardwareEffects {
+        &self.effects
+    }
+
+    /// Evolves the ground state through `circuit` with model noise plus the
+    /// coherent hardware effects (no readout or shot noise yet).
+    pub fn run_density(&self, circuit: &Circuit) -> DensityMatrix {
+        let n = circuit.num_qubits();
+        assert_eq!(n, self.model.num_qubits(), "circuit width must match device");
+        let topo = self.model.calibration().topology.clone();
+        let mut dm = DensityMatrix::ground(n);
+        for inst in circuit.iter() {
+            dm.apply_gate(&inst.gate, &inst.qubits);
+            if inst.qubits.len() == 2 {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                // static coherent miscalibration of this resonance channel
+                let angle = self.effects.overrotation_rad * edge_hash(self.effects.seed, a, b);
+                if angle != 0.0 {
+                    dm.apply_gate(&Gate::Unitary2(Box::new(rzz_matrix(angle))), &[a, b]);
+                }
+                // ZZ crosstalk onto spectators coupled to either gate qubit
+                if self.effects.zz_crosstalk_rad != 0.0 {
+                    for &g in &[a, b] {
+                        for nb in topo.neighbors(g) {
+                            if nb == a || nb == b {
+                                continue;
+                            }
+                            let xt = self.effects.zz_crosstalk_rad
+                                * edge_hash(self.effects.seed ^ 0xC0FFEE, g, nb);
+                            dm.apply_gate(&Gate::Unitary2(Box::new(rzz_matrix(xt))), &[g, nb]);
+                        }
+                    }
+                }
+            }
+            self.model.apply_gate_noise(&mut dm, inst);
+        }
+        dm
+    }
+
+    /// Exact outcome distribution including drifted readout confusion
+    /// (before shot sampling).
+    pub fn exact_probabilities(&self, circuit: &Circuit) -> Vec<f64> {
+        let dm = self.run_density(circuit);
+        let mut probs = dm.probabilities();
+        let errs: Vec<ReadoutError> = self
+            .model
+            .calibration()
+            .qubits
+            .iter()
+            .map(|q| {
+                ReadoutError::symmetric((q.readout_error * self.effects.readout_drift).min(0.5))
+            })
+            .collect();
+        apply_confusion(&mut probs, &errs);
+        probs
+    }
+
+    /// One full "job": noisy evolution, drifted readout, finite shots.
+    /// `job_seed` distinguishes repeated submissions of the same circuit.
+    pub fn probabilities(&self, circuit: &Circuit, job_seed: u64) -> Vec<f64> {
+        let exact = self.exact_probabilities(circuit);
+        let counts = sample_counts(&exact, self.effects.shots, self.effects.seed ^ job_seed);
+        counts_to_probs(&counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+
+    fn backend_3q() -> HardwareBackend {
+        let cal = ourense().induced(&[0, 1, 2]);
+        HardwareBackend::new(NoiseModel::from_calibration(cal))
+    }
+
+    #[test]
+    fn rzz_is_unitary_diagonal() {
+        let m = rzz_matrix(0.7);
+        assert!(m.is_unitary(1e-13));
+        assert!(m[(0, 1)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn edge_hash_is_deterministic_and_symmetric() {
+        assert_eq!(edge_hash(1, 2, 5), edge_hash(1, 5, 2));
+        assert_ne!(edge_hash(1, 2, 5), edge_hash(1, 2, 6));
+        let v = edge_hash(99, 0, 1);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn hardware_is_noisier_than_model() {
+        let hw = backend_3q();
+        let mut c = Circuit::new(3);
+        c.h(0);
+        for _ in 0..8 {
+            c.cx(0, 1).cx(1, 2);
+        }
+        let ideal = c.statevector();
+        let fid_model = hw.model().run_density(&c).fidelity_pure(&ideal);
+        let fid_hw = hw.run_density(&c).fidelity_pure(&ideal);
+        assert!(
+            fid_hw < fid_model + 1e-9,
+            "hardware ({fid_hw}) should be at most as faithful as the model ({fid_model})"
+        );
+    }
+
+    #[test]
+    fn shot_noise_present_but_bounded() {
+        let hw = backend_3q();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let exact = hw.exact_probabilities(&c);
+        let sampled = hw.probabilities(&c, 11);
+        let tvd: f64 =
+            0.5 * exact.iter().zip(&sampled).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        assert!(tvd > 0.0, "shot noise should perturb the distribution");
+        assert!(tvd < 0.05, "8192 shots should keep TVD small, got {tvd}");
+    }
+
+    #[test]
+    fn jobs_with_same_seed_reproduce() {
+        let hw = backend_3q();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1);
+        assert_eq!(hw.probabilities(&c, 7), hw.probabilities(&c, 7));
+        assert_ne!(hw.probabilities(&c, 7), hw.probabilities(&c, 8));
+    }
+
+    #[test]
+    fn effects_can_be_disabled_to_recover_model() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let quiet = HardwareEffects {
+            overrotation_rad: 0.0,
+            zz_crosstalk_rad: 0.0,
+            readout_drift: 1.0,
+            shots: 8192,
+            seed: 0,
+        };
+        let hw = HardwareBackend::with_effects(model.clone(), quiet);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let a = hw.exact_probabilities(&c);
+        let b = model.probabilities(&c);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Device noise models built from calibration snapshots.
+//!
+//! Mirrors Qiskit-Aer's `NoiseModel.from_backend`: each gate is followed by
+//! a depolarizing channel sized from the reported gate error, plus thermal
+//! relaxation over the gate duration from T1/T2; measurement applies the
+//! per-qubit readout confusion. The paper's error-sensitivity sweeps
+//! (Figs. 8-11) are produced by rewriting the calibration's CNOT errors
+//! before building the model.
+
+use crate::channels::thermal_relaxation;
+use crate::density::DensityMatrix;
+use crate::readout::{apply_confusion, ReadoutError};
+use qaprox_circuit::{Circuit, Instruction};
+use qaprox_device::{Calibration, EdgeCal};
+
+/// A gate-level noise model for one device.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    cal: Calibration,
+    /// Apply T1/T2 relaxation over gate durations.
+    pub include_relaxation: bool,
+    /// Apply readout confusion to the final distribution.
+    pub include_readout: bool,
+}
+
+impl NoiseModel {
+    /// Builds the standard model from a calibration snapshot.
+    pub fn from_calibration(cal: Calibration) -> Self {
+        NoiseModel { cal, include_relaxation: true, include_readout: true }
+    }
+
+    /// The underlying calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.cal
+    }
+
+    /// Number of physical qubits the model covers.
+    pub fn num_qubits(&self) -> usize {
+        self.cal.topology.num_qubits()
+    }
+
+    /// Depolarizing parameter for a one-qubit gate on `q`:
+    /// `lambda = err * d/(d-1)` with `d = 2`.
+    fn lambda_1q(&self, q: usize) -> f64 {
+        (self.cal.qubits[q].sx_error * 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Edge calibration with a fallback to device averages for uncoupled
+    /// pairs (lenient mode: lets logical circuits run before routing).
+    fn edge_cal(&self, a: usize, b: usize) -> EdgeCal {
+        self.cal.edge(a, b).copied().unwrap_or(EdgeCal {
+            cx_error: self.cal.avg_cx_error(),
+            cx_time_ns: 400.0,
+        })
+    }
+
+    /// Depolarizing parameter for a two-qubit gate: `lambda = err * 4/3`.
+    fn lambda_2q(&self, a: usize, b: usize) -> f64 {
+        (self.edge_cal(a, b).cx_error * 4.0 / 3.0).clamp(0.0, 1.0)
+    }
+
+    /// Applies the post-gate noise for one instruction to `dm`.
+    pub fn apply_gate_noise(&self, dm: &mut DensityMatrix, inst: &Instruction) {
+        match inst.qubits.len() {
+            1 => {
+                let q = inst.qubits[0];
+                let l = self.lambda_1q(q);
+                if l > 0.0 {
+                    dm.depolarize(&[q], l);
+                }
+                if self.include_relaxation {
+                    let qc = &self.cal.qubits[q];
+                    let kraus = thermal_relaxation(qc.sx_time_ns, qc.t1_us, qc.t2_us);
+                    dm.apply_kraus_1q(q, &kraus);
+                }
+            }
+            2 => {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                let l = self.lambda_2q(a, b);
+                if l > 0.0 {
+                    dm.depolarize(&[a, b], l);
+                }
+                if self.include_relaxation {
+                    let t = self.edge_cal(a, b).cx_time_ns;
+                    for &q in &[a, b] {
+                        let qc = &self.cal.qubits[q];
+                        let kraus = thermal_relaxation(t, qc.t1_us, qc.t2_us);
+                        dm.apply_kraus_1q(q, &kraus);
+                    }
+                }
+            }
+            _ => unreachable!("IR only holds 1- and 2-qubit gates"),
+        }
+    }
+
+    /// Evolves the ground state through `circuit` under this noise model.
+    pub fn run_density(&self, circuit: &Circuit) -> DensityMatrix {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits(),
+            "circuit width must match the device model (induce the calibration first)"
+        );
+        let mut dm = DensityMatrix::ground(circuit.num_qubits());
+        for inst in circuit.iter() {
+            dm.apply_gate(&inst.gate, &inst.qubits);
+            self.apply_gate_noise(&mut dm, inst);
+        }
+        dm
+    }
+
+    /// Full noisy output distribution, including readout confusion.
+    pub fn probabilities(&self, circuit: &Circuit) -> Vec<f64> {
+        let dm = self.run_density(circuit);
+        let mut probs = dm.probabilities();
+        if self.include_readout {
+            let errs: Vec<ReadoutError> = self
+                .cal
+                .qubits
+                .iter()
+                .map(|q| ReadoutError::symmetric(q.readout_error))
+                .collect();
+            apply_confusion(&mut probs, &errs);
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+    use qaprox_device::{QubitCal, Topology};
+    use std::collections::BTreeMap;
+
+    fn noiseless_cal(n: usize) -> Calibration {
+        let topology = Topology::linear(n);
+        let qubits = vec![
+            QubitCal {
+                readout_error: 0.0,
+                t1_us: 1e9,
+                t2_us: 1e9,
+                sx_error: 0.0,
+                sx_time_ns: 0.0,
+            };
+            n
+        ];
+        let mut edges = BTreeMap::new();
+        for &e in topology.edges() {
+            edges.insert(e, EdgeCal { cx_error: 0.0, cx_time_ns: 0.0 });
+        }
+        Calibration { machine: "noiseless".into(), topology, qubits, edges }
+    }
+
+    #[test]
+    fn noiseless_model_matches_ideal() {
+        let model = NoiseModel::from_calibration(noiseless_cal(3));
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2);
+        let noisy = model.probabilities(&c);
+        let ideal = crate::statevector::probabilities(&c);
+        for (a, b) in noisy.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn noise_reduces_fidelity_monotonically_in_depth() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let mut fid_prev = 1.0;
+        for depth in [1usize, 5, 15, 40] {
+            let mut c = Circuit::new(3);
+            for _ in 0..depth {
+                c.cx(0, 1).cx(1, 2);
+            }
+            let ideal = c.statevector();
+            let dm = model.run_density(&c);
+            let fid = dm.fidelity_pure(&ideal);
+            assert!(fid <= fid_prev + 1e-9, "fidelity should fall with depth");
+            fid_prev = fid;
+        }
+        assert!(fid_prev < 0.7, "deep circuit should be visibly degraded: {fid_prev}");
+    }
+
+    #[test]
+    fn uniform_cx_error_override_controls_noise() {
+        let base = ourense().induced(&[0, 1, 2]);
+        let mut c = Circuit::new(3);
+        for _ in 0..6 {
+            c.cx(0, 1).cx(1, 2);
+        }
+        let ideal = c.statevector();
+        let mut fids = Vec::new();
+        for eps in [0.0, 0.06, 0.24] {
+            let model = NoiseModel::from_calibration(base.with_uniform_cx_error(eps));
+            let fid = model.run_density(&c).fidelity_pure(&ideal);
+            fids.push(fid);
+        }
+        assert!(fids[0] > fids[1] && fids[1] > fids[2], "fidelity vs cx error: {fids:?}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized_under_noise() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).ry(1.0, 0);
+        let p = model.probabilities(&c);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn readout_error_applies_even_to_empty_circuit() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let ro = cal.qubits[0].readout_error;
+        let model = NoiseModel::from_calibration(cal);
+        let c = Circuit::new(3);
+        let p = model.probabilities(&c);
+        // ground state should be misread with roughly the readout error rate
+        assert!(p[0] < 1.0 - ro / 2.0);
+        assert!(p[0] > 0.8);
+    }
+
+    #[test]
+    fn relaxation_toggle_changes_output() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let mut with = NoiseModel::from_calibration(cal.clone());
+        with.include_readout = false;
+        let mut without = with.clone();
+        without.include_relaxation = false;
+        let mut c = Circuit::new(3);
+        c.x(0);
+        for _ in 0..20 {
+            c.cx(0, 1).cx(1, 2);
+        }
+        let pw = with.probabilities(&c);
+        let po = without.probabilities(&c);
+        let diff: f64 = pw.iter().zip(&po).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "relaxation should be visible on a deep circuit");
+    }
+}

@@ -1,0 +1,106 @@
+//! Readout (measurement assignment) error.
+//!
+//! IBM backends report a per-qubit assignment error; Qiskit models it as a
+//! confusion matrix applied to the ideal outcome distribution. We support an
+//! asymmetric per-qubit confusion `P(read 1 | true 0) = e01`,
+//! `P(read 0 | true 1) = e10`, applied qubit-by-qubit in `O(n 2^n)`.
+
+/// Per-qubit confusion probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutError {
+    /// Probability of reading 1 when the qubit is 0.
+    pub e01: f64,
+    /// Probability of reading 0 when the qubit is 1.
+    pub e10: f64,
+}
+
+impl ReadoutError {
+    /// Symmetric confusion with flip probability `e`.
+    pub fn symmetric(e: f64) -> Self {
+        ReadoutError { e01: e, e10: e }
+    }
+}
+
+/// Applies per-qubit confusion to a basis-state distribution in place.
+pub fn apply_confusion(probs: &mut [f64], errors: &[ReadoutError]) {
+    let dim = probs.len();
+    assert!(dim.is_power_of_two(), "distribution length must be 2^n");
+    let n = dim.trailing_zeros() as usize;
+    assert_eq!(errors.len(), n, "need one readout error per qubit");
+    for (q, err) in errors.iter().enumerate() {
+        if err.e01 == 0.0 && err.e10 == 0.0 {
+            continue;
+        }
+        let mask = 1usize << q;
+        for base in 0..dim {
+            if base & mask != 0 {
+                continue;
+            }
+            let hi = base | mask;
+            let p0 = probs[base];
+            let p1 = probs[hi];
+            probs[base] = (1.0 - err.e01) * p0 + err.e10 * p1;
+            probs[hi] = err.e01 * p0 + (1.0 - err.e10) * p1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_is_identity() {
+        let mut p = vec![0.1, 0.2, 0.3, 0.4];
+        let orig = p.clone();
+        apply_confusion(&mut p, &[ReadoutError::symmetric(0.0); 2]);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn symmetric_flip_on_deterministic_state() {
+        // |00> with 10% flip each qubit
+        let mut p = vec![1.0, 0.0, 0.0, 0.0];
+        apply_confusion(&mut p, &[ReadoutError::symmetric(0.1); 2]);
+        assert!((p[0b00] - 0.81).abs() < 1e-12);
+        assert!((p[0b01] - 0.09).abs() < 1e-12);
+        assert!((p[0b10] - 0.09).abs() < 1e-12);
+        assert!((p[0b11] - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_error_biases_toward_zero() {
+        // excited state more likely to relax during readout: e10 > e01
+        let mut p = vec![0.0, 1.0]; // |1>
+        apply_confusion(&mut p, &[ReadoutError { e01: 0.01, e10: 0.2 }]);
+        assert!((p[0] - 0.2).abs() < 1e-12);
+        assert!((p[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_preserves_total_probability() {
+        let mut p = vec![0.25, 0.25, 0.3, 0.2];
+        apply_confusion(
+            &mut p,
+            &[ReadoutError { e01: 0.05, e10: 0.12 }, ReadoutError::symmetric(0.07)],
+        );
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn full_flip_inverts_bits() {
+        let mut p = vec![1.0, 0.0, 0.0, 0.0];
+        apply_confusion(&mut p, &[ReadoutError::symmetric(1.0); 2]);
+        assert!((p[0b11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_is_fixed_point_of_symmetric_confusion() {
+        let mut p = vec![0.25; 4];
+        apply_confusion(&mut p, &[ReadoutError::symmetric(0.3); 2]);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+}

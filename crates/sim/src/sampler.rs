@@ -1,0 +1,89 @@
+//! Shot sampling: turning exact distributions into finite-shot counts.
+//!
+//! Hardware experiments in the paper use 8192 shots; the hardware-emulation
+//! backend samples rather than reporting exact probabilities so that shot
+//! noise is part of the reproduction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default shot count used across experiments (matches IBM's common setting).
+pub const DEFAULT_SHOTS: usize = 8192;
+
+/// Draws `shots` samples from `probs` and returns per-outcome counts.
+pub fn sample_counts(probs: &[f64], shots: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_counts_with(probs, shots, &mut rng)
+}
+
+/// Sampling with a caller-provided RNG (inverse-CDF with binary search).
+pub fn sample_counts_with<R: Rng>(probs: &[f64], shots: usize, rng: &mut R) -> Vec<u64> {
+    assert!(!probs.is_empty(), "empty distribution");
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "zero-mass distribution");
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        acc += p.max(0.0) / total;
+        cdf.push(acc);
+    }
+    // guard against rounding: force the last bin to 1
+    *cdf.last_mut().unwrap() = 1.0;
+
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..shots {
+        let u: f64 = rng.gen();
+        let idx = cdf.partition_point(|&c| c < u).min(probs.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Normalizes counts back into an empirical distribution.
+pub fn counts_to_probs(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "no shots recorded");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_distribution_samples_deterministically() {
+        let counts = sample_counts(&[0.0, 1.0, 0.0, 0.0], 1000, 1);
+        assert_eq!(counts[1], 1000);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn empirical_frequencies_converge() {
+        let probs = [0.5, 0.25, 0.125, 0.125];
+        let counts = sample_counts(&probs, 100_000, 7);
+        let emp = counts_to_probs(&counts);
+        for (e, p) in emp.iter().zip(&probs) {
+            assert!((e - p).abs() < 0.01, "empirical {e} vs true {p}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_input_is_handled() {
+        let counts = sample_counts(&[3.0, 1.0], 40_000, 3);
+        let emp = counts_to_probs(&counts);
+        assert!((emp[0] - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn seeded_sampling_reproduces() {
+        let a = sample_counts(&[0.3, 0.7], 1000, 42);
+        let b = sample_counts(&[0.3, 0.7], 1000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_count_equals_shots() {
+        let counts = sample_counts(&[0.1; 10], 8192, 5);
+        assert_eq!(counts.iter().sum::<u64>(), 8192);
+    }
+}

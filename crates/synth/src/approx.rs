@@ -1,0 +1,121 @@
+//! Approximate-circuit records and selection.
+//!
+//! Both synthesis engines emit **every** circuit they evaluate through a
+//! partial-solution stream — the paper's enhancement to QSearch ("instead of
+//! saving only the final circuit, it also saves every intermediate circuit
+//! during its search") and QFast's `partial_solution_callback`. Selection by
+//! HS threshold (never below 0.1 in the paper) happens afterwards.
+
+use qaprox_circuit::Circuit;
+
+/// One candidate produced during synthesis.
+#[derive(Debug, Clone)]
+pub struct ApproxCircuit {
+    /// The concrete circuit (U3/CX basis).
+    pub circuit: Circuit,
+    /// CNOT count (cached).
+    pub cnots: usize,
+    /// Hilbert-Schmidt distance to the synthesis target.
+    pub hs_distance: f64,
+}
+
+impl ApproxCircuit {
+    /// Builds a record, caching the CNOT count.
+    pub fn new(circuit: Circuit, hs_distance: f64) -> Self {
+        let cnots = circuit.cx_count();
+        ApproxCircuit { circuit, cnots, hs_distance }
+    }
+}
+
+/// Output of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutput {
+    /// The best (lowest-distance) circuit found.
+    pub best: ApproxCircuit,
+    /// Every circuit evaluated during the search, in evaluation order.
+    pub intermediates: Vec<ApproxCircuit>,
+    /// Search nodes evaluated.
+    pub nodes_evaluated: usize,
+}
+
+/// Keeps circuits with `hs_distance <= max_hs` — the paper's selection rule.
+pub fn select_by_threshold(circuits: &[ApproxCircuit], max_hs: f64) -> Vec<ApproxCircuit> {
+    circuits
+        .iter()
+        .filter(|c| c.hs_distance <= max_hs)
+        .cloned()
+        .collect()
+}
+
+/// Deduplicates by (CNOT count, quantized distance), keeping the first of
+/// each class — useful to thin very dense intermediate streams.
+pub fn dedupe(circuits: &[ApproxCircuit]) -> Vec<ApproxCircuit> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for c in circuits {
+        let key = (c.cnots, (c.hs_distance * 1e9) as i64);
+        if seen.insert(key) {
+            out.push(c.clone());
+        }
+    }
+    out
+}
+
+/// The minimum-HS circuit per CNOT count — the "best per depth" frontier
+/// used by the paper's depth-vs-noise analysis (Fig. 11).
+pub fn best_per_cnot_count(circuits: &[ApproxCircuit]) -> Vec<ApproxCircuit> {
+    let mut best: std::collections::BTreeMap<usize, ApproxCircuit> =
+        std::collections::BTreeMap::new();
+    for c in circuits {
+        match best.get(&c.cnots) {
+            Some(b) if b.hs_distance <= c.hs_distance => {}
+            _ => {
+                best.insert(c.cnots, c.clone());
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(cnots: usize, dist: f64) -> ApproxCircuit {
+        let mut c = Circuit::new(2);
+        for _ in 0..cnots {
+            c.cx(0, 1);
+        }
+        ApproxCircuit::new(c, dist)
+    }
+
+    #[test]
+    fn new_caches_cnot_count() {
+        let a = fake(3, 0.05);
+        assert_eq!(a.cnots, 3);
+    }
+
+    #[test]
+    fn threshold_selection_filters() {
+        let pop = vec![fake(1, 0.5), fake(2, 0.09), fake(3, 0.1), fake(4, 0.0)];
+        let sel = select_by_threshold(&pop, 0.1);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.iter().all(|c| c.hs_distance <= 0.1));
+    }
+
+    #[test]
+    fn dedupe_removes_identical_classes() {
+        let pop = vec![fake(2, 0.05), fake(2, 0.05), fake(2, 0.06)];
+        assert_eq!(dedupe(&pop).len(), 2);
+    }
+
+    #[test]
+    fn best_per_cnot_count_keeps_minimum() {
+        let pop = vec![fake(2, 0.3), fake(2, 0.1), fake(4, 0.05), fake(4, 0.2)];
+        let best = best_per_cnot_count(&pop);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].cnots, 2);
+        assert!((best[0].hs_distance - 0.1).abs() < 1e-12);
+        assert!((best[1].hs_distance - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # qaprox-synth
+//!
+//! Circuit synthesis — the Rust reproduction of the BQSKit tools the paper
+//! modifies into approximate-circuit generators:
+//!
+//! * [`template`] — the QSearch ansatz (CNOT placements + U3 layers);
+//! * [`instantiate`] — Hilbert-Schmidt instantiation with analytic-gradient
+//!   multistart L-BFGS (the SciPy BFGS/COBYLA stand-in);
+//! * [`qsearch`] — A* over placements, emitting **every** evaluated circuit
+//!   (the paper's enhancement, Sec. 4);
+//! * [`qfast`] — hierarchical synthesis: greedy SU(4)-block placement via
+//!   `exp(i sum t_j P_j)` then per-block refinement into {U3, CX}
+//!   (`partial_solution_callback` analogue);
+//! * [`qfactor`] — tensor-sweep gate optimization via polar decomposition
+//!   (the paper's Sec. 6.5 roadmap tool);
+//! * [`approx`] — the approximate-circuit records, HS-threshold selection,
+//!   and per-depth frontiers the experiments consume;
+//! * [`partitioned`] — Sec. 6.5's "large circuits from many small pieces":
+//!   segment-wise synthesis with a composable error budget.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod instantiate;
+pub mod partitioned;
+pub mod qfactor;
+pub mod qfast;
+pub mod qsearch;
+pub mod template;
+
+pub use approx::{best_per_cnot_count, dedupe, select_by_threshold, ApproxCircuit, SynthesisOutput};
+pub use instantiate::{instantiate, HsObjective, InstantiateConfig, Instantiated};
+pub use partitioned::{partition, synthesize_partitioned, PartitionConfig, PartitionedResult};
+pub use qfactor::{qfactor_optimize, QFactorConfig, QFactorResult};
+pub use qfast::{qfast, QFastConfig};
+pub use qsearch::{qsearch, QSearchConfig};
+pub use template::Structure;

@@ -1,0 +1,195 @@
+//! Partitioned synthesis — the paper's Sec. 6.5 proposal: "it may be
+//! possible to create a large circuit out of many small circuits".
+//!
+//! The reference circuit is cut into temporal segments of bounded CNOT
+//! count; each segment's unitary is synthesized (approximately)
+//! independently, and the approximate segments are concatenated. The total
+//! Hilbert-Schmidt error is bounded by the sum of segment errors (triangle
+//! inequality on the unitary group), so a per-segment threshold gives a
+//! whole-circuit guarantee while the search stays small.
+
+use crate::approx::ApproxCircuit;
+use crate::qsearch::{qsearch, QSearchConfig};
+use qaprox_circuit::Circuit;
+use qaprox_device::Topology;
+use rayon::prelude::*;
+
+/// Partitioning and per-segment synthesis settings.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Maximum CNOTs per segment of the reference circuit.
+    pub segment_cnots: usize,
+    /// QSearch settings used on every segment.
+    pub qsearch: QSearchConfig,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { segment_cnots: 6, qsearch: QSearchConfig::default() }
+    }
+}
+
+/// The result of partitioned synthesis.
+#[derive(Debug, Clone)]
+pub struct PartitionedResult {
+    /// The concatenated approximate circuit.
+    pub circuit: Circuit,
+    /// Per-segment HS distances (the total error is bounded by ~their sum).
+    pub segment_distances: Vec<f64>,
+    /// Segment boundaries: each entry is a segment's instruction count in
+    /// the reference.
+    pub segment_lengths: Vec<usize>,
+}
+
+/// Splits a circuit into temporal segments holding at most `segment_cnots`
+/// CNOT-cost units each (a segment always contains at least one gate).
+pub fn partition(circuit: &Circuit, segment_cnots: usize) -> Vec<Circuit> {
+    assert!(segment_cnots > 0, "segments must allow at least one CNOT");
+    let mut segments = Vec::new();
+    let mut current = Circuit::new(circuit.num_qubits());
+    let mut budget = 0usize;
+    for inst in circuit.iter() {
+        let cost = inst.gate.cnot_cost();
+        if budget + cost > segment_cnots && !current.is_empty() {
+            segments.push(std::mem::replace(&mut current, Circuit::new(circuit.num_qubits())));
+            budget = 0;
+        }
+        current.push(inst.gate.clone(), &inst.qubits);
+        budget += cost;
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Synthesizes each segment independently and concatenates the results.
+pub fn synthesize_partitioned(
+    reference: &Circuit,
+    topology: &Topology,
+    cfg: &PartitionConfig,
+) -> PartitionedResult {
+    assert_eq!(
+        reference.num_qubits(),
+        topology.num_qubits(),
+        "reference width must match the synthesis topology"
+    );
+    let segments = partition(reference, cfg.segment_cnots);
+    let segment_lengths: Vec<usize> = segments.iter().map(Circuit::len).collect();
+
+    let per_segment: Vec<ApproxCircuit> = segments
+        .par_iter()
+        .map(|seg| qsearch(&seg.unitary(), topology, &cfg.qsearch).best)
+        .collect();
+
+    let mut circuit = Circuit::new(reference.num_qubits());
+    let mut segment_distances = Vec::with_capacity(per_segment.len());
+    for ap in &per_segment {
+        circuit.extend(&ap.circuit);
+        segment_distances.push(ap.hs_distance);
+    }
+    PartitionedResult { circuit, segment_distances, segment_lengths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instantiate::InstantiateConfig;
+    use qaprox_algos::tfim::{tfim_circuit, TfimParams};
+    use qaprox_metrics::hs_distance;
+
+    fn quick_cfg(max_cnots: usize) -> PartitionConfig {
+        PartitionConfig {
+            segment_cnots: 4,
+            qsearch: QSearchConfig {
+                max_cnots,
+                max_nodes: 60,
+                beam_width: 3,
+                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn partition_respects_cnot_budget_and_order() {
+        let p = TfimParams::paper_defaults(3);
+        let c = tfim_circuit(&p, 4); // 16 CNOTs
+        let segments = partition(&c, 4);
+        assert!(segments.len() >= 4);
+        let mut rejoined = Circuit::new(3);
+        for s in &segments {
+            assert!(s.cnot_cost() <= 4, "segment exceeds budget");
+            rejoined.extend(s);
+        }
+        assert_eq!(rejoined, c, "partition must preserve the gate sequence");
+    }
+
+    #[test]
+    fn partition_of_single_gate_circuit() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let segments = partition(&c, 1);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].len(), 1);
+    }
+
+    #[test]
+    fn partitioned_synthesis_reconstructs_small_tfim() {
+        // Segments of a 2-step TFIM circuit are each synthesizable near-exactly,
+        // so the concatenation should be close to the full unitary.
+        let p = TfimParams::paper_defaults(3);
+        let reference = tfim_circuit(&p, 2); // 8 CNOTs
+        let topo = Topology::linear(3);
+        let result = synthesize_partitioned(&reference, &topo, &quick_cfg(4));
+        let total = hs_distance(&result.circuit.unitary(), &reference.unitary());
+        let bound: f64 = result.segment_distances.iter().sum();
+        assert!(
+            total <= bound + 0.05,
+            "total distance {total:.4} should respect the segment bound {bound:.4}"
+        );
+        assert!(total < 0.3, "partitioned approximation too loose: {total}");
+    }
+
+    #[test]
+    fn segment_error_budget_composes_subadditively() {
+        // Deliberately coarse per-segment synthesis: the triangle-inequality
+        // bound must still hold.
+        let p = TfimParams::paper_defaults(3);
+        let reference = tfim_circuit(&p, 3);
+        let topo = Topology::linear(3);
+        let cfg = PartitionConfig {
+            segment_cnots: 4,
+            qsearch: QSearchConfig {
+                max_cnots: 2, // force approximation
+                max_nodes: 20,
+                beam_width: 2,
+                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                ..Default::default()
+            },
+        };
+        let result = synthesize_partitioned(&reference, &topo, &cfg);
+        let total = hs_distance(&result.circuit.unitary(), &reference.unitary());
+        // HS distance satisfies an approximate triangle inequality with a
+        // constant ~2 when composing; allow a loose factor.
+        let bound: f64 = result.segment_distances.iter().sum();
+        assert!(
+            total <= 2.5 * bound + 1e-6,
+            "composition error {total:.4} vs segment-sum bound {bound:.4}"
+        );
+    }
+
+    #[test]
+    fn partitioned_can_shorten_deep_circuits() {
+        let p = TfimParams::paper_defaults(3);
+        let reference = tfim_circuit(&p, 5); // 20 CNOTs
+        let topo = Topology::linear(3);
+        let result = synthesize_partitioned(&reference, &topo, &quick_cfg(3));
+        assert!(
+            result.circuit.cx_count() <= reference.cx_count(),
+            "partitioned synthesis should not inflate CNOTs: {} vs {}",
+            result.circuit.cx_count(),
+            reference.cx_count()
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! QFast-style hierarchical synthesis.
+//!
+//! QFast trades QSearch's exhaustive search for a two-level scheme that
+//! scales to more qubits: a **coarse** stage places generic two-qubit
+//! SU(4) blocks (parameterized as `exp(i sum_j t_j P_j)` over the 15-element
+//! Pauli basis, optimized numerically), then each block is **refined** into
+//! native {U3, CX} gates by a bounded 2-qubit instantiation (<= 3 CNOTs).
+//! Placement is greedy: at each depth the edge whose new block most improves
+//! the Hilbert-Schmidt distance wins. Every refined depth-k circuit is
+//! emitted as an intermediate — the `partial_solution_callback` of the
+//! paper's Sec. 4.
+
+use crate::approx::{ApproxCircuit, SynthesisOutput};
+use crate::instantiate::{instantiate, InstantiateConfig};
+use crate::template::Structure;
+use qaprox_circuit::Circuit;
+use qaprox_device::Topology;
+use qaprox_linalg::kernels::{apply_2q_mat_left, mat4_to_array};
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::pauli::{hermitian_from_coeffs, su_basis};
+use qaprox_linalg::expm::expm_i_hermitian;
+use qaprox_opt::gradient::central_difference;
+use qaprox_opt::{lbfgs, LbfgsParams};
+use rayon::prelude::*;
+
+/// QFast configuration.
+#[derive(Debug, Clone)]
+pub struct QFastConfig {
+    /// Stop when the coarse distance falls below this.
+    pub success_threshold: f64,
+    /// Maximum number of SU(4) blocks.
+    pub max_blocks: usize,
+    /// L-BFGS settings for the coarse stage (finite-difference gradients).
+    pub coarse_lbfgs: LbfgsParams,
+    /// Random initializations tried per candidate block (the zero point is a
+    /// saddle of the |Tr| objective, so blocks start from random coeffs).
+    pub coarse_starts: usize,
+    /// RNG seed for block initialization.
+    pub seed: u64,
+    /// Instantiation settings for block refinement.
+    pub refine: InstantiateConfig,
+}
+
+impl Default for QFastConfig {
+    fn default() -> Self {
+        QFastConfig {
+            success_threshold: 1e-8,
+            max_blocks: 8,
+            coarse_lbfgs: LbfgsParams { max_iters: 60, grad_tol: 1e-8, ..Default::default() },
+            coarse_starts: 3,
+            seed: 0xFA57,
+            refine: InstantiateConfig::default(),
+        }
+    }
+}
+
+/// A placed SU(4) block: an edge plus 15 Pauli coefficients.
+#[derive(Debug, Clone)]
+struct Block {
+    edge: (usize, usize),
+    coeffs: Vec<f64>,
+}
+
+/// Builds the coarse unitary for a block sequence.
+fn coarse_unitary(n: usize, blocks: &[Block], basis: &[Matrix]) -> Matrix {
+    let mut m = Matrix::identity(1 << n);
+    for b in blocks {
+        let h = hermitian_from_coeffs(basis, &b.coeffs);
+        let u = expm_i_hermitian(&h);
+        apply_2q_mat_left(&mut m, b.edge.0, b.edge.1, &mat4_to_array(&u));
+    }
+    m
+}
+
+fn coarse_distance(n: usize, blocks: &[Block], basis: &[Matrix], target_dag: &Matrix) -> f64 {
+    let u = coarse_unitary(n, blocks, basis);
+    let d = (1 << n) as f64;
+    (1.0 - target_dag.matmul(&u).trace().abs() / d).max(0.0)
+}
+
+/// Optimizes every block's coefficients jointly (finite-difference L-BFGS).
+fn optimize_blocks(
+    n: usize,
+    blocks: &mut Vec<Block>,
+    basis: &[Matrix],
+    target_dag: &Matrix,
+    lb: &LbfgsParams,
+) -> f64 {
+    let flat0: Vec<f64> = blocks.iter().flat_map(|b| b.coeffs.iter().copied()).collect();
+    let edges: Vec<(usize, usize)> = blocks.iter().map(|b| b.edge).collect();
+    let rebuild = |flat: &[f64]| -> Vec<Block> {
+        edges
+            .iter()
+            .enumerate()
+            .map(|(i, &edge)| Block { edge, coeffs: flat[i * 15..(i + 1) * 15].to_vec() })
+            .collect()
+    };
+    let value = |flat: &[f64]| coarse_distance(n, &rebuild(flat), basis, target_dag);
+    let obj = |flat: &[f64]| {
+        let f = value(flat);
+        let g = central_difference(&value, flat, 1e-6);
+        (f, g)
+    };
+    let r = lbfgs(&obj, &flat0, lb);
+    *blocks = rebuild(&r.x);
+    r.f.max(0.0)
+}
+
+/// Refines one SU(4) block into at most 3 CNOTs + U3s on its edge.
+fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Circuit {
+    let h = hermitian_from_coeffs(basis, &block.coeffs);
+    let u = expm_i_hermitian(&h);
+    // 2-qubit instantiation on a virtual pair (0, 1), depth up to 3
+    let mut best: Option<(Circuit, f64)> = None;
+    let mut s = Structure::root(2);
+    let mut warm = vec![0.0; s.num_params()];
+    for depth in 0..=3usize {
+        if depth > 0 {
+            let (c, t) = if depth % 2 == 1 { (0, 1) } else { (1, 0) };
+            s = s.extended(c, t);
+            warm = s.warm_start_from(&warm);
+        }
+        let inst = instantiate(&s, &u, &warm, cfg);
+        warm = inst.params.clone();
+        let circuit = s.to_circuit(&inst.params);
+        if best.as_ref().map_or(true, |(_, d)| inst.distance < *d) {
+            let done = inst.distance < 1e-9;
+            best = Some((circuit, inst.distance));
+            if done {
+                break;
+            }
+        }
+    }
+    let (mut local, _) = best.expect("refinement always produces a circuit");
+    // Relabel the virtual pair onto the block's physical edge. The coarse
+    // kernel treats `edge.0` as the HIGH bit of the block's 4x4 matrix, while
+    // the refined circuit's qubit 0 is the LOW bit - so the map is reversed.
+    let mut out = Circuit::new(block.edge.0.max(block.edge.1) + 1);
+    out.extend_mapped(&local, &[block.edge.1, block.edge.0]);
+    std::mem::swap(&mut local, &mut out);
+    local
+}
+
+/// Assembles the native-gate circuit for a refined block sequence and
+/// re-instantiates nothing (each block is already near-exact).
+fn assemble(n: usize, blocks: &[Block], basis: &[Matrix], cfg: &InstantiateConfig) -> Circuit {
+    let refined: Vec<Circuit> = blocks
+        .par_iter()
+        .map(|b| refine_block(b, basis, cfg))
+        .collect();
+    let mut c = Circuit::new(n);
+    for (block, rc) in blocks.iter().zip(&refined) {
+        let _ = block;
+        for inst in rc.iter() {
+            c.push(inst.gate.clone(), &inst.qubits);
+        }
+    }
+    c
+}
+
+/// Runs QFast-style synthesis of `target` over `topology`.
+pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> SynthesisOutput {
+    let n = topology.num_qubits();
+    assert_eq!(target.rows(), 1 << n, "target dimension mismatch");
+    let basis = su_basis(2);
+    let target_dag = target.adjoint();
+
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut intermediates: Vec<ApproxCircuit> = Vec::new();
+    let mut nodes_evaluated = 0usize;
+
+    // Depth-0 "circuit": identity (only meaningful for near-identity targets).
+    let empty = Circuit::new(n);
+    let d0 = {
+        let d = (1 << n) as f64;
+        (1.0 - target_dag.trace().abs() / d).max(0.0)
+    };
+    intermediates.push(ApproxCircuit::new(empty, d0));
+    let mut best_coarse = d0;
+
+    for _depth in 0..cfg.max_blocks {
+        if best_coarse < cfg.success_threshold {
+            break;
+        }
+        // Try a new block on every edge (both orientations are equivalent for
+        // a generic SU(4) block, so undirected edges suffice).
+        let depth_salt = blocks.len() as u64;
+        let candidates: Vec<(usize, Vec<Block>, f64)> = topology
+            .edges()
+            .par_iter()
+            .enumerate()
+            .map(|(ei, &edge)| {
+                let mut best_trial: Option<(Vec<Block>, f64)> = None;
+                for start in 0..cfg.coarse_starts.max(1) {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                        cfg.seed ^ (depth_salt << 24) ^ ((ei as u64) << 8) ^ start as u64,
+                    );
+                    let coeffs: Vec<f64> =
+                        (0..15).map(|_| rng.gen_range(-0.8..0.8)).collect();
+                    let mut trial = blocks.clone();
+                    trial.push(Block { edge, coeffs });
+                    let dist =
+                        optimize_blocks(n, &mut trial, &basis, &target_dag, &cfg.coarse_lbfgs);
+                    if best_trial.as_ref().map_or(true, |(_, d)| dist < *d) {
+                        let done = dist < cfg.success_threshold;
+                        best_trial = Some((trial, dist));
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                let (trial, dist) = best_trial.expect("at least one start");
+                (ei, trial, dist)
+            })
+            .collect();
+        nodes_evaluated += candidates.len();
+
+        let (_, best_blocks, best_dist) = candidates
+            .into_iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("topology has at least one edge");
+
+        blocks = best_blocks;
+        best_coarse = best_dist;
+
+        // Emit the refined native circuit for this depth.
+        let native = assemble(n, &blocks, &basis, &cfg.refine);
+        let d = {
+            let dim = (1 << n) as f64;
+            (1.0 - target_dag.matmul(&native.unitary()).trace().abs() / dim).max(0.0)
+        };
+        intermediates.push(ApproxCircuit::new(native, d));
+    }
+
+    let best_idx = intermediates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.hs_distance.total_cmp(&b.1.hs_distance))
+        .map(|(i, _)| i)
+        .unwrap();
+
+    SynthesisOutput {
+        best: intermediates[best_idx].clone(),
+        intermediates,
+        nodes_evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_circuit::Gate;
+    use qaprox_linalg::random::haar_unitary;
+    use qaprox_metrics::hs_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> QFastConfig {
+        QFastConfig {
+            max_blocks: 3,
+            coarse_lbfgs: LbfgsParams { max_iters: 40, ..Default::default() },
+            refine: InstantiateConfig { starts: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn block_parameterization_covers_cnot() {
+        // a single SU(4) block must represent CNOT exactly (it's in SU(4) up
+        // to phase)
+        let mut cx = Circuit::new(2);
+        cx.cx(0, 1);
+        let out = qfast(&cx.unitary(), &Topology::linear(2), &quick_cfg());
+        assert!(out.best.hs_distance < 1e-5, "dist {}", out.best.hs_distance);
+    }
+
+    #[test]
+    fn synthesizes_random_2q_unitary() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let target = haar_unitary(4, &mut rng);
+        let out = qfast(&target, &Topology::linear(2), &quick_cfg());
+        assert!(out.best.hs_distance < 1e-4, "dist {}", out.best.hs_distance);
+        let recheck = hs_distance(&out.best.circuit.unitary(), &target);
+        assert!((recheck - out.best.hs_distance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intermediates_are_native_and_improving_overall() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let target = haar_unitary(8, &mut rng);
+        let out = qfast(&target, &Topology::linear(3), &quick_cfg());
+        assert!(out.intermediates.len() >= 2);
+        // every intermediate (past the identity) is in the native basis
+        for ap in out.intermediates.iter().skip(1) {
+            for inst in ap.circuit.iter() {
+                assert!(
+                    matches!(inst.gate, Gate::U3(..) | Gate::CX),
+                    "non-native gate {} in refined circuit",
+                    inst.gate.name()
+                );
+            }
+        }
+        // the best must beat the identity baseline
+        assert!(out.best.hs_distance < out.intermediates[0].hs_distance);
+    }
+
+    #[test]
+    fn three_qubit_target_improves_with_depth() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let target = haar_unitary(8, &mut rng);
+        let out = qfast(&target, &Topology::linear(3), &quick_cfg());
+        // coarse greedy should reduce distance vs the empty circuit by a lot
+        assert!(
+            out.best.hs_distance < 0.6 * out.intermediates[0].hs_distance,
+            "best {} vs baseline {}",
+            out.best.hs_distance,
+            out.intermediates[0].hs_distance
+        );
+    }
+}

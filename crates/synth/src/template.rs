@@ -1,0 +1,259 @@
+//! The QSearch circuit template.
+//!
+//! QSearch builds candidates from a fixed ansatz: one U3 on every qubit,
+//! then a sequence of *blocks*, each a CNOT on a coupling-graph edge followed
+//! by a U3 on each of its qubits. A structure is fully described by its CNOT
+//! placement sequence; the continuous parameters are the U3 angles
+//! (`3 * (n + 2 * blocks)` of them).
+
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::kernels::{
+    apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array,
+};
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::{u3_matrix, Complex64};
+
+/// One primitive op of a flattened ansatz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnsatzOp {
+    /// A parameterized U3 on a qubit; angles live at `param_offset..+3`.
+    U3 {
+        /// Target qubit.
+        qubit: usize,
+        /// Index of theta in the parameter vector.
+        param_offset: usize,
+    },
+    /// A fixed CNOT.
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+/// A CNOT-placement structure over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Structure {
+    /// Circuit width.
+    pub num_qubits: usize,
+    /// CNOT placements `(control, target)` in temporal order.
+    pub placements: Vec<(usize, usize)>,
+}
+
+impl Structure {
+    /// The root structure: no CNOTs, just the initial U3 layer.
+    pub fn root(num_qubits: usize) -> Self {
+        Structure { num_qubits, placements: Vec::new() }
+    }
+
+    /// Child structure extended by one block on `(control, target)`.
+    pub fn extended(&self, control: usize, target: usize) -> Self {
+        let mut placements = self.placements.clone();
+        placements.push((control, target));
+        Structure { num_qubits: self.num_qubits, placements }
+    }
+
+    /// Number of CNOTs.
+    pub fn cnots(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of continuous parameters.
+    pub fn num_params(&self) -> usize {
+        3 * (self.num_qubits + 2 * self.placements.len())
+    }
+
+    /// Flattens to the op sequence: initial U3 layer, then
+    /// `CX; U3(control); U3(target)` per placement.
+    pub fn ops(&self) -> Vec<AnsatzOp> {
+        let mut ops = Vec::with_capacity(self.num_qubits + 3 * self.placements.len());
+        let mut offset = 0;
+        for q in 0..self.num_qubits {
+            ops.push(AnsatzOp::U3 { qubit: q, param_offset: offset });
+            offset += 3;
+        }
+        for &(c, t) in &self.placements {
+            ops.push(AnsatzOp::Cx { control: c, target: t });
+            ops.push(AnsatzOp::U3 { qubit: c, param_offset: offset });
+            offset += 3;
+            ops.push(AnsatzOp::U3 { qubit: t, param_offset: offset });
+            offset += 3;
+        }
+        ops
+    }
+
+    /// Builds the concrete circuit for a parameter assignment.
+    pub fn to_circuit(&self, params: &[f64]) -> Circuit {
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        let mut c = Circuit::new(self.num_qubits);
+        for op in self.ops() {
+            match op {
+                AnsatzOp::U3 { qubit, param_offset } => {
+                    c.push(
+                        Gate::U3(
+                            params[param_offset],
+                            params[param_offset + 1],
+                            params[param_offset + 2],
+                        ),
+                        &[qubit],
+                    );
+                }
+                AnsatzOp::Cx { control, target } => {
+                    c.cx(control, target);
+                }
+            }
+        }
+        c
+    }
+
+    /// Builds the ansatz unitary directly (faster than `to_circuit().unitary()`
+    /// in the optimizer's inner loop).
+    pub fn unitary(&self, params: &[f64]) -> Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut m = Matrix::identity(dim);
+        let cx = mat4_to_array(&Gate::CX.matrix());
+        for op in self.ops() {
+            match op {
+                AnsatzOp::U3 { qubit, param_offset } => {
+                    let g = mat2_to_array(&u3_matrix(
+                        params[param_offset],
+                        params[param_offset + 1],
+                        params[param_offset + 2],
+                    ));
+                    apply_1q_mat_left(&mut m, qubit, &g);
+                }
+                AnsatzOp::Cx { control, target } => {
+                    apply_2q_mat_left(&mut m, control, target, &cx);
+                }
+            }
+        }
+        m
+    }
+
+    /// Extends a parent's optimal parameters with identity-initialized angles
+    /// for one extra block — the warm start used when A* expands a node.
+    pub fn warm_start_from(&self, parent_params: &[f64]) -> Vec<f64> {
+        let mut params = parent_params.to_vec();
+        params.resize(self.num_params(), 0.0);
+        params
+    }
+}
+
+/// Partial derivatives of the U3 matrix with respect to its three angles.
+pub fn u3_partials(theta: f64, phi: f64, lambda: f64) -> [[Complex64; 4]; 3] {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let ep = Complex64::cis(phi);
+    let el = Complex64::cis(lambda);
+    let epl = Complex64::cis(phi + lambda);
+    let i = Complex64::I;
+    // d/dtheta
+    let dt = [
+        Complex64::from_real(-st / 2.0),
+        -el * (ct / 2.0),
+        ep * (ct / 2.0),
+        epl * (-st / 2.0),
+    ];
+    // d/dphi
+    let dp = [Complex64::ZERO, Complex64::ZERO, i * ep * st, i * epl * ct];
+    // d/dlambda
+    let dl = [Complex64::ZERO, -i * el * st, Complex64::ZERO, i * epl * ct];
+    [dt, dp, dl]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::hs_distance;
+
+    #[test]
+    fn root_structure_has_one_u3_per_qubit() {
+        let s = Structure::root(3);
+        assert_eq!(s.num_params(), 9);
+        assert_eq!(s.ops().len(), 3);
+        assert_eq!(s.cnots(), 0);
+    }
+
+    #[test]
+    fn extended_structure_grows_params_by_six() {
+        let s = Structure::root(3).extended(0, 1).extended(1, 2);
+        assert_eq!(s.cnots(), 2);
+        assert_eq!(s.num_params(), 9 + 12);
+        assert_eq!(s.ops().len(), 3 + 2 * 3);
+    }
+
+    #[test]
+    fn circuit_and_direct_unitary_agree() {
+        let s = Structure::root(2).extended(0, 1).extended(1, 0);
+        let params: Vec<f64> = (0..s.num_params()).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let via_circuit = s.to_circuit(&params).unitary();
+        let direct = s.unitary(&params);
+        assert!(hs_distance(&via_circuit, &direct) < 1e-12);
+    }
+
+    #[test]
+    fn zero_params_give_cnot_skeleton() {
+        // U3(0,0,0) = I, so the ansatz collapses to the bare CNOT sequence.
+        let s = Structure::root(2).extended(0, 1);
+        let params = vec![0.0; s.num_params()];
+        let mut skeleton = Circuit::new(2);
+        skeleton.cx(0, 1);
+        assert!(hs_distance(&s.unitary(&params), &skeleton.unitary()) < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_preserves_parent_prefix() {
+        let parent = Structure::root(2).extended(0, 1);
+        let child = parent.extended(1, 0);
+        let parent_params: Vec<f64> = (0..parent.num_params()).map(|i| i as f64).collect();
+        let warm = child.warm_start_from(&parent_params);
+        assert_eq!(warm.len(), child.num_params());
+        assert_eq!(&warm[..parent_params.len()], parent_params.as_slice());
+        assert!(warm[parent_params.len()..].iter().all(|&x| x == 0.0));
+        // and the warm-start unitary equals the parent's optimum
+        let pu = parent.unitary(&parent_params);
+        let cu = child.unitary(&warm);
+        // extra block with identity U3s adds one CNOT, so unitaries differ;
+        // but removing it (zero params -> I U3s around a CX) is exactly CX * parent
+        let mut cx = Circuit::new(2);
+        cx.cx(1, 0);
+        let expect = cx.unitary().matmul(&pu);
+        assert!(hs_distance(&cu, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn u3_partials_match_finite_differences() {
+        let (t, p, l) = (0.7, -1.2, 2.1);
+        let h = 1e-6;
+        let partials = u3_partials(t, p, l);
+        let base_args = [(t, p, l); 3];
+        for (k, args) in base_args.iter().enumerate() {
+            let (mut tp, mut pp, mut lp) = *args;
+            let (mut tm, mut pm, mut lm) = *args;
+            match k {
+                0 => {
+                    tp += h;
+                    tm -= h;
+                }
+                1 => {
+                    pp += h;
+                    pm -= h;
+                }
+                _ => {
+                    lp += h;
+                    lm -= h;
+                }
+            }
+            let up = u3_matrix(tp, pp, lp);
+            let um = u3_matrix(tm, pm, lm);
+            for idx in 0..4 {
+                let fd = (up.data()[idx] - um.data()[idx]) / (2.0 * h);
+                let an = partials[k][idx];
+                assert!(
+                    (fd - an).abs() < 1e-8,
+                    "partial {k} entry {idx}: fd {fd:?} vs analytic {an:?}"
+                );
+            }
+        }
+    }
+}

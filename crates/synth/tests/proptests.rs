@@ -1,0 +1,131 @@
+//! Property-based tests for synthesis: structures, instantiation, and the
+//! approximate-circuit bookkeeping.
+
+use proptest::prelude::*;
+use qaprox_circuit::Circuit;
+use qaprox_linalg::random::haar_unitary;
+use qaprox_metrics::hs_distance;
+use qaprox_opt::gradient::central_difference;
+use qaprox_synth::{
+    best_per_cnot_count, instantiate, select_by_threshold, ApproxCircuit, HsObjective,
+    InstantiateConfig, Structure,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn structure_2q(blocks: usize) -> Structure {
+    let mut s = Structure::root(2);
+    for i in 0..blocks {
+        let (c, t) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+        s = s.extended(c, t);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ansatz_unitary_is_unitary(params in proptest::collection::vec(-3.0f64..3.0, 21)) {
+        let s = structure_2q(2);
+        prop_assert_eq!(s.num_params(), 18);
+        let u = s.unitary(&params[..18]);
+        prop_assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn objective_is_in_unit_interval(params in proptest::collection::vec(-3.0f64..3.0, 18),
+                                     seed in 0u64..200) {
+        let s = structure_2q(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = haar_unitary(4, &mut rng);
+        let obj = HsObjective::new(&s, &target);
+        let d = obj.distance(&params);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+    }
+
+    #[test]
+    fn analytic_gradient_matches_numeric(params in proptest::collection::vec(-2.0f64..2.0, 12),
+                                         seed in 0u64..100) {
+        use qaprox_opt::GradObjective;
+        let s = structure_2q(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = haar_unitary(4, &mut rng);
+        let obj = HsObjective::new(&s, &target);
+        let (_, analytic) = obj.eval(&params);
+        let numeric = central_difference(&|p: &[f64]| obj.distance(p), &params, 1e-6);
+        for (a, n) in analytic.iter().zip(&numeric) {
+            prop_assert!((a - n).abs() < 1e-5, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn instantiation_never_exceeds_warm_start_value(seed in 0u64..100) {
+        let s = structure_2q(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = haar_unitary(4, &mut rng);
+        let warm = vec![0.5; s.num_params()];
+        let obj = HsObjective::new(&s, &target);
+        let f0 = obj.distance(&warm);
+        let r = instantiate(&s, &target, &warm, &InstantiateConfig { starts: 1, ..Default::default() });
+        prop_assert!(r.distance <= f0 + 1e-12);
+        // recorded distance must match a recomputation
+        let circuit = s.to_circuit(&r.params);
+        prop_assert!((hs_distance(&circuit.unitary(), &target) - r.distance).abs() < 1e-7);
+    }
+
+    #[test]
+    fn selection_respects_threshold(dists in proptest::collection::vec(0.0f64..1.0, 1..40),
+                                    thr in 0.0f64..1.0) {
+        let pop: Vec<ApproxCircuit> = dists
+            .iter()
+            .map(|&d| ApproxCircuit::new(Circuit::new(2), d))
+            .collect();
+        let sel = select_by_threshold(&pop, thr);
+        prop_assert!(sel.iter().all(|c| c.hs_distance <= thr));
+        let expect = dists.iter().filter(|&&d| d <= thr).count();
+        prop_assert_eq!(sel.len(), expect);
+    }
+
+    #[test]
+    fn best_per_cnot_is_a_lower_envelope(entries in proptest::collection::vec((0usize..6, 0.0f64..1.0), 1..40)) {
+        let pop: Vec<ApproxCircuit> = entries
+            .iter()
+            .map(|&(cnots, d)| {
+                let mut c = Circuit::new(2);
+                for _ in 0..cnots {
+                    c.cx(0, 1);
+                }
+                ApproxCircuit::new(c, d)
+            })
+            .collect();
+        let frontier = best_per_cnot_count(&pop);
+        // one entry per distinct depth, each the minimum at that depth
+        for f in &frontier {
+            let min_at_depth = pop
+                .iter()
+                .filter(|c| c.cnots == f.cnots)
+                .map(|c| c.hs_distance)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((f.hs_distance - min_at_depth).abs() < 1e-12);
+        }
+        // frontier depths are strictly increasing
+        for w in frontier.windows(2) {
+            prop_assert!(w[0].cnots < w[1].cnots);
+        }
+    }
+
+    #[test]
+    fn warm_start_extension_is_consistent(params in proptest::collection::vec(-2.0f64..2.0, 12)) {
+        let parent = structure_2q(1);
+        let child = parent.extended(1, 0);
+        let warm = child.warm_start_from(&params);
+        prop_assert_eq!(warm.len(), child.num_params());
+        // the warm start evaluates to CX(1,0) * parent (identity U3s on the new block)
+        let pu = parent.unitary(&params);
+        let mut cx = Circuit::new(2);
+        cx.cx(1, 0);
+        let expect = cx.unitary().matmul(&pu);
+        prop_assert!(hs_distance(&child.unitary(&warm), &expect) < 1e-10);
+    }
+}

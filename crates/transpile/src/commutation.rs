@@ -1,0 +1,140 @@
+//! Commutation-aware CX cancellation.
+//!
+//! The plain [`crate::optimize::cancel_cx_pairs`] pass only cancels CX pairs
+//! with *no* intervening gate on either wire. Real circuits (especially the
+//! TFIM Trotter pattern `CX - RZ - CX`) interleave commuting gates between
+//! cancellable pairs; this pass uses the rule base in
+//! [`qaprox_circuit::commute`] to hop over provably commuting gates,
+//! matching what Qiskit's `CommutativeCancellation` achieves on our gate set.
+
+use qaprox_circuit::{commutes, Circuit, Gate, Instruction};
+
+/// Cancels CX pairs separated only by gates that provably commute with the
+/// CX. Runs to a fixed point.
+pub fn commutation_cancel_cx(circuit: &Circuit) -> Circuit {
+    let mut insts: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        'outer: while i < insts.len() {
+            if matches!(insts[i].gate, Gate::CX) {
+                let candidate = insts[i].clone();
+                for j in i + 1..insts.len() {
+                    let same_cx = matches!(insts[j].gate, Gate::CX)
+                        && insts[j].qubits == candidate.qubits;
+                    if same_cx {
+                        insts.remove(j);
+                        insts.remove(i);
+                        removed = true;
+                        continue 'outer;
+                    }
+                    // to move the candidate CX past gate j, they must commute
+                    if !commutes(&candidate, &insts[j]) {
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+        if !removed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for inst in insts {
+        out.push(inst.gate, &inst.qubits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::hs_distance;
+
+    fn assert_same_unitary(a: &Circuit, b: &Circuit) {
+        assert!(
+            hs_distance(&a.unitary(), &b.unitary()) < 1e-9,
+            "pass changed semantics"
+        );
+    }
+
+    #[test]
+    fn cancels_across_commuting_rz_on_control() {
+        // CX(0,1) RZ(0) CX(0,1): RZ on the control commutes -> pair cancels
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.7, 0).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert_eq!(opt.cx_count(), 0, "pair should cancel across the RZ");
+        assert_same_unitary(&c, &opt);
+    }
+
+    #[test]
+    fn cancels_across_commuting_rx_on_target() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rx(0.4, 1).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert_eq!(opt.cx_count(), 0);
+        assert_same_unitary(&c, &opt);
+    }
+
+    #[test]
+    fn does_not_cancel_across_blocking_rz_on_target() {
+        // the TFIM bond pattern: CX RZ(target) CX must NOT cancel
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.7, 1).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert_eq!(opt.cx_count(), 2, "TFIM bond pattern is not cancellable");
+    }
+
+    #[test]
+    fn cancels_across_shared_control_cx() {
+        // CX(0,1) CX(0,2) CX(0,1): the middle CX shares only the control
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(0, 2).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert_eq!(opt.cx_count(), 1);
+        assert_same_unitary(&c, &opt);
+    }
+
+    #[test]
+    fn cancels_across_disjoint_gates() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).rz(0.3, 2).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert_eq!(opt.cx_count(), 0);
+        assert_eq!(opt.len(), 2);
+        assert_same_unitary(&c, &opt);
+    }
+
+    #[test]
+    fn fixed_point_on_nested_pairs() {
+        // CX(0,1) CX(0,2) CX(0,2) CX(0,1): inner pair cancels, then outer
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(0, 2).cx(0, 2).cx(0, 1);
+        let opt = commutation_cancel_cx(&c);
+        assert!(opt.is_empty(), "both pairs should vanish, got {} gates", opt.len());
+    }
+
+    #[test]
+    fn beats_plain_cancellation_on_commuting_interleave() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.7, 0).cx(0, 1);
+        let plain = crate::optimize::cancel_cx_pairs(&c);
+        let commuting = commutation_cancel_cx(&c);
+        assert_eq!(plain.cx_count(), 2, "plain pass cannot see through the RZ");
+        assert_eq!(commuting.cx_count(), 0);
+    }
+
+    #[test]
+    fn preserves_semantics_on_tfim_like_body() {
+        let mut c = Circuit::new(3);
+        for _ in 0..3 {
+            c.cx(0, 1).rz(0.4, 1).cx(0, 1);
+            c.cx(1, 2).rz(0.4, 2).cx(1, 2);
+            c.rx(0.2, 0).rx(0.2, 1).rx(0.2, 2);
+        }
+        let opt = commutation_cancel_cx(&c);
+        assert_same_unitary(&c, &opt);
+    }
+}

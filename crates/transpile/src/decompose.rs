@@ -1,0 +1,153 @@
+//! Basis translation: rewrite any IR circuit into the native {U3, CX} set,
+//! the gate basis of IBM's devices (up to the trivial U3 -> rz/sx/rz split).
+
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::zyz_decompose;
+
+/// Rewrites `circuit` into {U3, CX} gates, preserving its unitary up to
+/// global phase.
+///
+/// # Panics
+/// Panics on [`Gate::Unitary2`]: generic two-qubit blocks are refined by the
+/// synthesis crate before transpilation (they never reach devices raw).
+pub fn to_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for inst in circuit.iter() {
+        match (&inst.gate, inst.qubits.as_slice()) {
+            (Gate::CX, &[c, t]) => {
+                out.cx(c, t);
+            }
+            (Gate::CZ, &[a, b]) => {
+                push_u3_of(&mut out, &Gate::H, b);
+                out.cx(a, b);
+                push_u3_of(&mut out, &Gate::H, b);
+            }
+            (Gate::SWAP, &[a, b]) => {
+                out.cx(a, b);
+                out.cx(b, a);
+                out.cx(a, b);
+            }
+            (Gate::CP(l), &[a, b]) => {
+                // standard Qiskit decomposition
+                push_u3_of(&mut out, &Gate::P(l / 2.0), a);
+                out.cx(a, b);
+                push_u3_of(&mut out, &Gate::P(-l / 2.0), b);
+                out.cx(a, b);
+                push_u3_of(&mut out, &Gate::P(l / 2.0), b);
+            }
+            (Gate::CRZ(t), &[c, tq]) => {
+                push_u3_of(&mut out, &Gate::RZ(t / 2.0), tq);
+                out.cx(c, tq);
+                push_u3_of(&mut out, &Gate::RZ(-t / 2.0), tq);
+                out.cx(c, tq);
+            }
+            (Gate::CRX(t), &[c, tq]) => {
+                push_u3_of(&mut out, &Gate::H, tq);
+                push_u3_of(&mut out, &Gate::RZ(t / 2.0), tq);
+                out.cx(c, tq);
+                push_u3_of(&mut out, &Gate::RZ(-t / 2.0), tq);
+                out.cx(c, tq);
+                push_u3_of(&mut out, &Gate::H, tq);
+            }
+            (Gate::Unitary2(_), _) => {
+                panic!("generic 2q unitaries must be refined by synthesis before transpilation")
+            }
+            (g, &[q]) if g.arity() == 1 => push_u3_of(&mut out, g, q),
+            (g, qs) => unreachable!("unhandled gate {} on {qs:?}", g.name()),
+        }
+    }
+    out
+}
+
+/// Appends the U3 equivalent of a one-qubit gate (global phase dropped).
+fn push_u3_of(out: &mut Circuit, gate: &Gate, q: usize) {
+    let zyz = zyz_decompose(&gate.matrix());
+    // Skip exact identities to avoid useless gates.
+    if zyz.theta.abs() < 1e-14
+        && ((zyz.phi + zyz.lambda) % std::f64::consts::TAU).abs() < 1e-14
+    {
+        return;
+    }
+    out.u3(zyz.theta, zyz.phi, zyz.lambda, q);
+}
+
+/// True when the circuit uses only {U3, CX}.
+pub fn is_in_basis(circuit: &Circuit) -> bool {
+    circuit
+        .iter()
+        .all(|i| matches!(i.gate, Gate::U3(..) | Gate::CX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::hs_distance;
+
+    fn assert_equivalent(original: &Circuit) {
+        let translated = to_basis(original);
+        assert!(is_in_basis(&translated), "output not in {{U3, CX}}");
+        let d = hs_distance(&original.unitary(), &translated.unitary());
+        assert!(d < 1e-9, "translation changed semantics: HS {d}");
+    }
+
+    #[test]
+    fn one_qubit_gates_become_u3() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).rz(0.7, 0).ry(-0.2, 0);
+        c.push(Gate::S, &[0]);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::SX, &[0]);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn cz_translation() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        assert_equivalent(&c);
+        assert_eq!(to_basis(&c).cx_count(), 1);
+    }
+
+    #[test]
+    fn swap_translation_costs_three() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_equivalent(&c);
+        assert_eq!(to_basis(&c).cx_count(), 3);
+    }
+
+    #[test]
+    fn controlled_phase_and_rotations() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::CP(0.9), &[0, 1]);
+        c.push(Gate::CRZ(-1.3), &[1, 0]);
+        c.push(Gate::CRX(0.4), &[0, 1]);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn mixed_circuit_round_trip() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).swap(1, 2).rz(0.3, 2);
+        c.push(Gate::CP(1.1), &[0, 2]);
+        c.cx(2, 1);
+        assert_equivalent(&c);
+    }
+
+    #[test]
+    fn already_basis_circuit_is_preserved() {
+        let mut c = Circuit::new(2);
+        c.u3(0.1, 0.2, 0.3, 0).cx(0, 1).u3(1.0, -1.0, 0.5, 1);
+        let t = to_basis(&c);
+        assert_eq!(t.len(), c.len());
+        assert!(hs_distance(&t.unitary(), &c.unitary()) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "refined by synthesis")]
+    fn generic_2q_blocks_are_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Unitary2(Box::new(Gate::CX.matrix())), &[0, 1]);
+        to_basis(&c);
+    }
+}

@@ -1,0 +1,153 @@
+//! Initial layout: choosing physical qubits for logical qubits.
+//!
+//! The paper transpiles simulator runs at optimization level 1 with the
+//! trivial mapping onto qubits 0..4 and hardware runs at level 3, where
+//! Qiskit picks the least-noisy qubits. [`trivial_layout`] and
+//! [`noise_aware_layout`] reproduce those two behaviours.
+
+use qaprox_circuit::Circuit;
+use qaprox_device::Calibration;
+
+/// A logical-to-physical qubit assignment: `layout[logical] = physical`.
+pub type Layout = Vec<usize>;
+
+/// Identity mapping onto the first `n` physical qubits (Qiskit level 1 with
+/// an explicit `initial_layout=[0..n]`).
+pub fn trivial_layout(num_logical: usize) -> Layout {
+    (0..num_logical).collect()
+}
+
+/// Interaction weights between logical qubits: how many two-qubit gates act
+/// on each pair.
+fn interaction_counts(circuit: &Circuit) -> Vec<((usize, usize), usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for inst in circuit.iter() {
+        if let &[a, b] = inst.qubits.as_slice() {
+            *counts.entry((a.min(b), a.max(b))).or_insert(0usize) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Noise-aware layout (Qiskit level-3 analogue): choose the best connected
+/// physical subset by calibration score, then assign logical qubits to it by
+/// exhaustive permutation (circuits here are <= 6 qubits) minimizing
+/// `sum_over_pairs interactions * edge_cost`, where non-adjacent pairs pay a
+/// distance penalty.
+pub fn noise_aware_layout(circuit: &Circuit, cal: &Calibration) -> Layout {
+    let n = circuit.num_qubits();
+    assert!(n <= cal.topology.num_qubits(), "circuit wider than device");
+    let subset = cal.best_subset(n);
+    best_permutation_onto(circuit, cal, &subset)
+}
+
+/// Assigns logical qubits onto a **given** physical subset, choosing the
+/// permutation that minimizes routing + noise cost. This is how the paper's
+/// manual mapping study (Figs. 17-18) pins circuits to specific qubits.
+pub fn best_permutation_onto(circuit: &Circuit, cal: &Calibration, subset: &[usize]) -> Layout {
+    let n = circuit.num_qubits();
+    assert_eq!(subset.len(), n, "subset size must match circuit width");
+    let interactions = interaction_counts(circuit);
+    let dist = cal.topology.distance_matrix();
+
+    let mut best: Option<(f64, Layout)> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |p: &[usize]| {
+        let layout: Layout = p.iter().map(|&i| subset[i]).collect();
+        let mut cost = 0.0;
+        for &((a, b), w) in &interactions {
+            let (pa, pb) = (layout[a], layout[b]);
+            let d = dist[pa][pb] as f64;
+            // each extra hop costs ~3 CNOTs of the average edge error
+            let edge_err = cal
+                .edge(pa, pb)
+                .map(|e| e.cx_error)
+                .unwrap_or_else(|| cal.avg_cx_error() * (1.0 + 3.0 * (d - 1.0).max(0.0)));
+            cost += w as f64 * (edge_err + 0.01 * (d - 1.0).max(0.0));
+        }
+        // prefer low readout error on measured (all) qubits
+        cost += layout.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() * 0.1;
+        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            best = Some((cost, layout));
+        }
+    });
+    best.expect("at least one permutation").1
+}
+
+fn permute<F: FnMut(&[usize])>(arr: &mut Vec<usize>, k: usize, visit: &mut F) {
+    if k == arr.len() {
+        visit(arr);
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permute(arr, k + 1, visit);
+        arr.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::{ourense, toronto};
+
+    fn chain_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        assert_eq!(trivial_layout(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn noise_aware_layout_is_valid_assignment() {
+        let cal = toronto();
+        let c = chain_circuit(4);
+        let layout = noise_aware_layout(&c, &cal);
+        assert_eq!(layout.len(), 4);
+        let mut sorted = layout.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "layout must not repeat physical qubits");
+        for &p in &layout {
+            assert!(p < 27);
+        }
+    }
+
+    #[test]
+    fn chain_maps_onto_connected_path() {
+        let cal = ourense();
+        let c = chain_circuit(3);
+        let layout = noise_aware_layout(&c, &cal);
+        // every interacting pair should land on adjacent qubits of the line
+        assert!(cal.topology.has_edge(layout[0], layout[1]));
+        assert!(cal.topology.has_edge(layout[1], layout[2]));
+    }
+
+    #[test]
+    fn manual_subset_is_respected() {
+        let cal = toronto();
+        let c = chain_circuit(4);
+        let subset = vec![12, 13, 14, 15];
+        let layout = best_permutation_onto(&c, &cal, &subset);
+        let mut s = layout.clone();
+        s.sort_unstable();
+        assert_eq!(s, subset, "layout must stay inside the requested subset");
+    }
+
+    #[test]
+    fn permutation_prefers_adjacency() {
+        // A chain on the subset {1, 2, 3} of a line: logical order should map
+        // onto a path, i.e. the middle logical qubit gets a middle physical.
+        let cal = ourense();
+        let c = chain_circuit(3);
+        let layout = best_permutation_onto(&c, &cal, &[3, 1, 2]);
+        assert!(cal.topology.has_edge(layout[0], layout[1]));
+        assert!(cal.topology.has_edge(layout[1], layout[2]));
+    }
+}

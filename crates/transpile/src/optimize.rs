@@ -1,0 +1,198 @@
+//! Peephole optimization passes over {U3, CX} circuits.
+//!
+//! These mirror what Qiskit's optimization levels do to the paper's
+//! circuits: runs of one-qubit gates fuse into a single U3 (1q resynthesis)
+//! and adjacent self-inverse CX pairs cancel. Both passes preserve the
+//! unitary up to global phase.
+
+use qaprox_circuit::{Circuit, Gate, Instruction};
+use qaprox_linalg::kernels::{apply_1q_mat_left, mat2_to_array};
+use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::zyz_decompose;
+
+/// Fuses consecutive one-qubit gates on the same wire into one U3 and drops
+/// (near-)identity results.
+pub fn merge_1q_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut pending: Vec<Option<Matrix>> = vec![None; n];
+    let mut out = Circuit::new(n);
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Matrix>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            let zyz = zyz_decompose(&m);
+            let near_identity = zyz.theta.abs() < 1e-12
+                && phase_mod_tau(zyz.phi + zyz.lambda) < 1e-12;
+            if !near_identity {
+                out.u3(zyz.theta, zyz.phi, zyz.lambda, q);
+            }
+        }
+    };
+
+    for inst in circuit.iter() {
+        match inst.qubits.as_slice() {
+            &[q] => {
+                let acc = pending[q].get_or_insert_with(|| Matrix::identity(2));
+                let g = mat2_to_array(&inst.gate.matrix());
+                apply_1q_mat_left(acc, 0, &g);
+            }
+            &[a, b] => {
+                flush(&mut out, &mut pending, a);
+                flush(&mut out, &mut pending, b);
+                out.push(inst.gate.clone(), &inst.qubits);
+            }
+            _ => unreachable!(),
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+fn phase_mod_tau(x: f64) -> f64 {
+    let r = x.rem_euclid(std::f64::consts::TAU);
+    r.min(std::f64::consts::TAU - r)
+}
+
+/// Cancels adjacent identical CX pairs (no intervening gate on either wire).
+/// Runs to a fixed point.
+pub fn cancel_cx_pairs(circuit: &Circuit) -> Circuit {
+    let mut insts: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        'outer: while i < insts.len() {
+            if matches!(insts[i].gate, Gate::CX) {
+                let (a, b) = (insts[i].qubits[0], insts[i].qubits[1]);
+                // scan forward for the next gate touching a or b
+                for j in i + 1..insts.len() {
+                    let touches = insts[j].qubits.iter().any(|&q| q == a || q == b);
+                    if !touches {
+                        continue;
+                    }
+                    if matches!(insts[j].gate, Gate::CX)
+                        && insts[j].qubits[0] == a
+                        && insts[j].qubits[1] == b
+                    {
+                        insts.remove(j);
+                        insts.remove(i);
+                        removed = true;
+                        continue 'outer;
+                    }
+                    break;
+                }
+            }
+            i += 1;
+        }
+        if !removed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for inst in insts {
+        out.push(inst.gate, &inst.qubits);
+    }
+    out
+}
+
+/// The full light-optimization pipeline: CX cancellation then 1q fusion,
+/// iterated until the gate count stops shrinking.
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let next = merge_1q_runs(&cancel_cx_pairs(&current));
+        if next.len() >= current.len() {
+            return current;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::hs_distance;
+
+    fn assert_same_unitary(a: &Circuit, b: &Circuit) {
+        assert!(
+            hs_distance(&a.unitary(), &b.unitary()) < 1e-9,
+            "optimization changed semantics"
+        );
+    }
+
+    #[test]
+    fn merges_rotation_run_into_one_u3() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rx(0.5, 0).rz(-0.2, 0).ry(0.9, 0);
+        let m = merge_1q_runs(&c);
+        assert_eq!(m.len(), 1);
+        assert_same_unitary(&c, &m);
+    }
+
+    #[test]
+    fn identity_run_is_dropped() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let m = merge_1q_runs(&c);
+        assert!(m.is_empty(), "H H should vanish, got {} gates", m.len());
+    }
+
+    #[test]
+    fn two_qubit_gates_break_runs() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0).cx(0, 1).rz(0.4, 0);
+        let m = merge_1q_runs(&c);
+        assert_eq!(m.len(), 3, "rz / cx / rz cannot fuse across the CX");
+        assert_same_unitary(&c, &m);
+    }
+
+    #[test]
+    fn cancels_adjacent_cx_pair() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        assert!(cancel_cx_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn does_not_cancel_through_blocking_gate() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.5, 1).cx(0, 1);
+        assert_eq!(cancel_cx_pairs(&c).cx_count(), 2);
+    }
+
+    #[test]
+    fn cancels_through_unrelated_gate() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).rz(0.5, 2).cx(0, 1);
+        let opt = cancel_cx_pairs(&c);
+        assert_eq!(opt.cx_count(), 0);
+        assert_eq!(opt.len(), 1);
+        assert_same_unitary(&c, &opt);
+    }
+
+    #[test]
+    fn reversed_cx_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(cancel_cx_pairs(&c).cx_count(), 2);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // cx cx cx cx nested: all four should vanish over two passes
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).cx(0, 1).cx(0, 1);
+        assert!(cancel_cx_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn optimize_pipeline_preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(0).cx(0, 1).rz(0.1, 1).rz(-0.1, 1).cx(0, 1).ry(0.7, 2).cx(1, 2);
+        let opt = optimize(&c);
+        assert!(opt.len() < c.len());
+        assert_same_unitary(&c, &opt);
+        // h h cancels, the rz pair fuses to identity, then cx pair cancels
+        assert_eq!(opt.cx_count(), 1);
+    }
+}

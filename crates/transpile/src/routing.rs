@@ -1,0 +1,251 @@
+//! SWAP routing onto a coupling graph.
+//!
+//! A lookahead-free SABRE-style router: gates execute in order; when a
+//! two-qubit gate's endpoints are not adjacent, SWAPs walk one endpoint
+//! along a shortest path toward the other, updating the running
+//! logical-to-physical map. Deterministic, and optimal on the linear chains
+//! the paper's 5-qubit devices expose.
+
+use crate::layout::Layout;
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_device::Topology;
+
+/// Result of routing: a physical-qubit circuit plus the final layout (the
+/// logical-to-physical map after all inserted SWAPs).
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// Circuit over physical qubit indices (width = device size).
+    pub circuit: Circuit,
+    /// Initial logical-to-physical assignment used.
+    pub initial_layout: Layout,
+    /// Final logical-to-physical assignment (after SWAP tracking).
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Routes `circuit` (over logical qubits) onto `topology` starting from
+/// `layout`. Inserted SWAPs are emitted as [`Gate::SWAP`]; run the basis
+/// pass afterwards to expand them into CNOTs.
+pub fn route(circuit: &Circuit, topology: &Topology, layout: &Layout) -> Routed {
+    let n_logical = circuit.num_qubits();
+    assert_eq!(layout.len(), n_logical, "layout width mismatch");
+    let n_phys = topology.num_qubits();
+    for &p in layout {
+        assert!(p < n_phys, "layout targets qubit {p} outside the device");
+    }
+    assert!(
+        topology.is_connected() || n_logical <= 1,
+        "routing requires a connected coupling graph"
+    );
+
+    let dist = topology.distance_matrix();
+    let mut log2phys = layout.clone();
+    let mut phys2log = vec![usize::MAX; n_phys];
+    for (l, &p) in log2phys.iter().enumerate() {
+        assert_eq!(phys2log[p], usize::MAX, "layout repeats physical qubit {p}");
+        phys2log[p] = l;
+    }
+
+    let mut out = Circuit::new(n_phys);
+    let mut swaps_inserted = 0usize;
+
+    for inst in circuit.iter() {
+        match inst.qubits.as_slice() {
+            &[q] => {
+                out.push(inst.gate.clone(), &[log2phys[q]]);
+            }
+            &[a, b] => {
+                // walk a's physical position toward b's until adjacent
+                loop {
+                    let (pa, pb) = (log2phys[a], log2phys[b]);
+                    if topology.has_edge(pa, pb) {
+                        break;
+                    }
+                    // neighbor of pa strictly closer to pb (exists: connected graph)
+                    let next = topology
+                        .neighbors(pa)
+                        .into_iter()
+                        .filter(|&nb| dist[nb][pb] < dist[pa][pb])
+                        .min_by_key(|&nb| dist[nb][pb])
+                        .expect("connected graph guarantees progress");
+                    out.push(Gate::SWAP, &[pa, next]);
+                    swaps_inserted += 1;
+                    // update maps: whatever logical lives at `next` moves to pa
+                    let displaced = phys2log[next];
+                    phys2log[next] = a;
+                    phys2log[pa] = displaced;
+                    log2phys[a] = next;
+                    if displaced != usize::MAX {
+                        log2phys[displaced] = pa;
+                    }
+                }
+                out.push(inst.gate.clone(), &[log2phys[a], log2phys[b]]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    Routed {
+        circuit: out,
+        initial_layout: layout.clone(),
+        final_layout: log2phys,
+        swaps_inserted,
+    }
+}
+
+/// The set of physical qubits a routed circuit actually touches, ascending.
+pub fn used_qubits(circuit: &Circuit) -> Vec<usize> {
+    let mut used = vec![false; circuit.num_qubits()];
+    for inst in circuit.iter() {
+        for &q in &inst.qubits {
+            used[q] = true;
+        }
+    }
+    (0..circuit.num_qubits()).filter(|&q| used[q]).collect()
+}
+
+/// Re-expresses a routed physical circuit on only its used qubits
+/// (relabeled ascending), so a small circuit mapped onto a big device can be
+/// simulated at its natural width. Returns the compacted circuit and the
+/// used physical qubits (compact index -> physical index).
+pub fn compact(circuit: &Circuit) -> (Circuit, Vec<usize>) {
+    let used = used_qubits(circuit);
+    let mut index = vec![usize::MAX; circuit.num_qubits()];
+    for (i, &q) in used.iter().enumerate() {
+        index[q] = i;
+    }
+    let mut out = Circuit::new(used.len());
+    for inst in circuit.iter() {
+        let qs: Vec<usize> = inst.qubits.iter().map(|&q| index[q]).collect();
+        out.push(inst.gate.clone(), &qs);
+    }
+    (out, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_metrics::hs_distance;
+
+    /// Checks routing correctness: undoing the final permutation recovers
+    /// the original unitary.
+    fn assert_routing_correct(original: &Circuit, topology: &Topology, layout: &Layout) {
+        let routed = route(original, topology, layout);
+        let (compacted, used) = compact(&routed.circuit);
+
+        // Build expected: original circuit mapped onto the compact indices of
+        // its *initial* layout, followed by permutation correction via the
+        // final layout. Simplest check: simulate basis states.
+        let n_log = original.num_qubits();
+        let phys_index = |p: usize| used.iter().position(|&u| u == p).unwrap();
+        for basis in 0..(1usize << n_log) {
+            // prepare logical basis state on compact circuit input
+            let mut input_compact = 0usize;
+            for l in 0..n_log {
+                if (basis >> l) & 1 == 1 {
+                    input_compact |= 1 << phys_index(routed.initial_layout[l]);
+                }
+            }
+            let out_state = qaprox_sim::statevector::run_from_basis(&compacted, input_compact);
+            let expect_logical = original.statevector().clone(); // placeholder, replaced below
+            let _ = expect_logical;
+            // logical output distribution via original circuit
+            let logical_out = {
+                let mut s = vec![qaprox_linalg::Complex64::ZERO; 1 << n_log];
+                s[basis] = qaprox_linalg::Complex64::ONE;
+                original.apply_to_state(&mut s);
+                s
+            };
+            // compare amplitudes through the final layout permutation
+            for out_idx in 0..out_state.len() {
+                // map compact output index to logical index via final layout
+                let mut logical_idx = 0usize;
+                let mut extra_bits = false;
+                for c in 0..used.len() {
+                    if (out_idx >> c) & 1 == 1 {
+                        let p = used[c];
+                        if let Some(l) = routed.final_layout.iter().position(|&x| x == p) {
+                            logical_idx |= 1 << l;
+                        } else {
+                            extra_bits = true;
+                        }
+                    }
+                }
+                let expect = if extra_bits {
+                    qaprox_linalg::Complex64::ZERO
+                } else {
+                    logical_out[logical_idx]
+                };
+                assert!(
+                    (out_state[out_idx] - expect).abs() < 1e-9,
+                    "basis {basis}: output index {out_idx} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let topo = Topology::linear(3);
+        let routed = route(&c, &topo, &vec![0, 1, 2]);
+        assert_eq!(routed.swaps_inserted, 0);
+        assert!(hs_distance(&routed.circuit.unitary(), &c.unitary()) < 1e-12);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps_on_chain() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let topo = Topology::linear(3);
+        let routed = route(&c, &topo, &vec![0, 1, 2]);
+        assert_eq!(routed.swaps_inserted, 1);
+        assert_routing_correct(&c, &topo, &vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn long_chain_routing_is_semantically_correct() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(3, 1).cx(1, 2).cx(2, 0).rz(0.3, 3);
+        let topo = Topology::linear(5);
+        assert_routing_correct(&c, &topo, &vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn routing_on_heavy_hex() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3);
+        let topo = Topology::heavy_hex_27();
+        assert_routing_correct(&c, &topo, &vec![0, 1, 4, 7]);
+    }
+
+    #[test]
+    fn nontrivial_initial_layout() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).cx(0, 2);
+        let topo = Topology::linear(5);
+        assert_routing_correct(&c, &topo, &vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn used_qubits_and_compaction() {
+        let mut c = Circuit::new(6);
+        c.cx(1, 2).h(4);
+        assert_eq!(used_qubits(&c), vec![1, 2, 4]);
+        let (compacted, used) = compact(&c);
+        assert_eq!(compacted.num_qubits(), 3);
+        assert_eq!(used, vec![1, 2, 4]);
+        assert_eq!(compacted.instructions()[0].qubits, vec![0, 1]);
+        assert_eq!(compacted.instructions()[1].qubits, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats physical qubit")]
+    fn duplicate_layout_is_rejected() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        route(&c, &Topology::linear(3), &vec![1, 1]);
+    }
+}

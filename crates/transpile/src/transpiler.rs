@@ -1,0 +1,236 @@
+//! The end-to-end transpiler with Qiskit-style optimization levels.
+//!
+//! * **Level 0** — basis translation only (debugging aid).
+//! * **Level 1** — trivial (or caller-provided) layout, routing, one light
+//!   optimization pass: the paper's *simulator* configuration ("optimization
+//!   level 1 with mappings to qubits 0..4").
+//! * **Level 2** — level 1 plus iterated peephole optimization.
+//! * **Level 3** — noise-aware layout from the calibration, routing, full
+//!   optimization: the paper's *hardware* configuration ("level 3, which
+//!   allows IBM to map virtual qubits to the best available physical
+//!   qubits").
+
+use crate::decompose::to_basis;
+use crate::layout::{best_permutation_onto, noise_aware_layout, trivial_layout, Layout};
+use crate::commutation::commutation_cancel_cx;
+use crate::optimize::{merge_1q_runs, cancel_cx_pairs, optimize};
+use crate::routing::{compact, route};
+use qaprox_circuit::Circuit;
+use qaprox_device::Calibration;
+
+/// Optimization level, mirroring Qiskit's 0-3 scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Basis translation only.
+    L0,
+    /// Trivial layout + routing + light optimization.
+    L1,
+    /// L1 plus iterated peephole optimization.
+    L2,
+    /// Noise-aware layout + routing + full optimization.
+    L3,
+}
+
+/// The transpiler output.
+#[derive(Debug, Clone)]
+pub struct Transpiled {
+    /// The physical circuit, **compacted** onto its used qubits and
+    /// expressed in the {U3, CX} basis.
+    pub circuit: Circuit,
+    /// Physical qubit ids backing each compact wire
+    /// (`physical_qubits[compact] = device qubit`).
+    pub physical_qubits: Vec<usize>,
+    /// Initial logical-to-physical layout chosen.
+    pub initial_layout: Layout,
+    /// Final logical-to-physical layout after routing.
+    pub final_layout: Layout,
+    /// SWAPs inserted by routing (each costs 3 CNOTs after expansion).
+    pub swaps_inserted: usize,
+}
+
+impl Transpiled {
+    /// The induced calibration for simulating this circuit on its mapped
+    /// qubits.
+    pub fn induced_calibration(&self, cal: &Calibration) -> Calibration {
+        cal.induced(&self.physical_qubits)
+    }
+
+    /// Maps a compact-circuit output distribution back to *logical* qubit
+    /// order, marginalizing nothing (every used qubit is either a logical
+    /// qubit or a routing intermediary that started and ended in |0>-ish
+    /// states; intermediary amplitudes are folded by index remapping of the
+    /// final layout).
+    pub fn logical_probabilities(&self, compact_probs: &[f64], num_logical: usize) -> Vec<f64> {
+        let mut out = vec![0.0; 1 << num_logical];
+        // compact index -> physical -> logical (via final layout)
+        let mut compact_to_logical: Vec<Option<usize>> =
+            vec![None; self.physical_qubits.len()];
+        for (c, &p) in self.physical_qubits.iter().enumerate() {
+            if let Some(l) = self.final_layout.iter().position(|&x| x == p) {
+                compact_to_logical[c] = Some(l);
+            }
+        }
+        for (idx, &p) in compact_probs.iter().enumerate() {
+            let mut logical_idx = 0usize;
+            for (c, maybe_l) in compact_to_logical.iter().enumerate() {
+                if (idx >> c) & 1 == 1 {
+                    if let Some(l) = maybe_l {
+                        logical_idx |= 1 << l;
+                    }
+                    // stray excitation on a non-logical wire: attribute to the
+                    // logical outcome with that bit ignored (readout traces it out)
+                }
+            }
+            out[logical_idx] += p;
+        }
+        out
+    }
+}
+
+/// Transpiles `circuit` for the device described by `cal`.
+///
+/// `manual_subset`, when given, pins the layout onto those physical qubits
+/// (the paper's manual mapping study); otherwise L1/L2 use the trivial
+/// layout and L3 picks qubits by noise.
+pub fn transpile(
+    circuit: &Circuit,
+    cal: &Calibration,
+    level: OptLevel,
+    manual_subset: Option<&[usize]>,
+) -> Transpiled {
+    let basis = to_basis(circuit);
+    if level == OptLevel::L0 {
+        return Transpiled {
+            physical_qubits: (0..basis.num_qubits()).collect(),
+            initial_layout: trivial_layout(basis.num_qubits()),
+            final_layout: trivial_layout(basis.num_qubits()),
+            swaps_inserted: 0,
+            circuit: basis,
+        };
+    }
+
+    let layout: Layout = match (manual_subset, level) {
+        (Some(subset), _) => best_permutation_onto(&basis, cal, subset),
+        (None, OptLevel::L3) => noise_aware_layout(&basis, cal),
+        (None, _) => trivial_layout(basis.num_qubits()),
+    };
+
+    let routed = route(&basis, &cal.topology, &layout);
+    // expand SWAPs into CNOTs, then optimize
+    let expanded = to_basis(&routed.circuit);
+    let optimized = match level {
+        OptLevel::L0 => unreachable!(),
+        OptLevel::L1 => merge_1q_runs(&cancel_cx_pairs(&expanded)),
+        OptLevel::L2 => optimize(&expanded),
+        OptLevel::L3 => optimize(&commutation_cancel_cx(&expanded)),
+    };
+    let (compacted, physical_qubits) = compact(&optimized);
+
+    Transpiled {
+        circuit: compacted,
+        physical_qubits,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        swaps_inserted: routed.swaps_inserted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::is_in_basis;
+    use qaprox_device::devices::{ourense, toronto};
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).rz(0.4, 2).cx(0, 2).h(1);
+        c
+    }
+
+    #[test]
+    fn level0_is_basis_only() {
+        let t = transpile(&sample_circuit(), &ourense(), OptLevel::L0, None);
+        assert!(is_in_basis(&t.circuit));
+        assert_eq!(t.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn level1_routes_onto_chain() {
+        let t = transpile(&sample_circuit(), &ourense(), OptLevel::L1, None);
+        assert!(is_in_basis(&t.circuit));
+        // cx(0,2) on a line needs routing
+        assert!(t.swaps_inserted >= 1);
+        // every 2q gate must respect the induced coupling
+        let ind = t.induced_calibration(&ourense());
+        for inst in t.circuit.iter() {
+            if inst.qubits.len() == 2 {
+                assert!(
+                    ind.topology.has_edge(inst.qubits[0], inst.qubits[1]),
+                    "gate on uncoupled pair {:?}",
+                    inst.qubits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level3_picks_low_noise_qubits() {
+        let cal = toronto();
+        let t = transpile(&sample_circuit(), &cal, OptLevel::L3, None);
+        assert!(is_in_basis(&t.circuit));
+        // chosen qubits should score no worse than the device-average subset
+        let score = cal.subset_score(&t.initial_layout);
+        let worst = cal.worst_subset(3);
+        assert!(score <= cal.subset_score(&worst) + 1e-12);
+    }
+
+    #[test]
+    fn manual_subset_is_honored() {
+        let cal = toronto();
+        let subset = vec![12, 13, 14];
+        let t = transpile(&sample_circuit(), &cal, OptLevel::L1, Some(&subset));
+        for &p in &t.initial_layout {
+            assert!(subset.contains(&p), "layout {:?} escapes subset", t.initial_layout);
+        }
+    }
+
+    #[test]
+    fn transpiled_preserves_logical_distribution() {
+        // level 1 on ourense: simulate compact circuit ideally, map back to
+        // logical order, compare against the original's distribution.
+        let c = sample_circuit();
+        let t = transpile(&c, &ourense(), OptLevel::L1, None);
+        let compact_probs = qaprox_sim::statevector::probabilities(&t.circuit);
+        let logical = t.logical_probabilities(&compact_probs, 3);
+        let expect = qaprox_sim::statevector::probabilities(&c);
+        for (a, b) in logical.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9, "logical {logical:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn level2_never_increases_gate_count_over_level1() {
+        let c = sample_circuit();
+        let t1 = transpile(&c, &ourense(), OptLevel::L1, None);
+        let t2 = transpile(&c, &ourense(), OptLevel::L2, None);
+        assert!(t2.circuit.len() <= t1.circuit.len());
+    }
+
+    #[test]
+    fn deep_circuit_on_toronto_level3_stays_correct() {
+        let mut c = Circuit::new(4);
+        for i in 0..3 {
+            c.h(i);
+            c.cx(i, i + 1);
+        }
+        c.cx(3, 0);
+        let cal = toronto();
+        let t = transpile(&c, &cal, OptLevel::L3, None);
+        let compact_probs = qaprox_sim::statevector::probabilities(&t.circuit);
+        let logical = t.logical_probabilities(&compact_probs, 4);
+        let expect = qaprox_sim::statevector::probabilities(&c);
+        for (a, b) in logical.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

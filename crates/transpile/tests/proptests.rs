@@ -1,0 +1,131 @@
+//! Property-based tests for the transpiler: every pass must preserve
+//! circuit semantics (up to global phase / qubit relabeling).
+
+use proptest::prelude::*;
+use qaprox_circuit::{Circuit, Gate};
+use qaprox_device::Topology;
+use qaprox_metrics::hs_distance;
+use qaprox_transpile::{cancel_cx_pairs, merge_1q_runs, optimize, route, to_basis};
+
+fn random_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0usize..8, 0..n, 0..n, -3.0f64..3.0), 0..18).prop_map(
+        move |ops| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b, t) in ops {
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.rx(t, a);
+                    }
+                    2 => {
+                        c.rz(t, a);
+                    }
+                    3 => {
+                        c.push(Gate::S, &[a]);
+                    }
+                    4 if a != b => {
+                        c.cx(a, b);
+                    }
+                    5 if a != b => {
+                        c.cz(a, b);
+                    }
+                    6 if a != b => {
+                        c.swap(a, b);
+                    }
+                    7 if a != b => {
+                        c.push(Gate::CP(t), &[a, b]);
+                    }
+                    _ => {}
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn basis_translation_preserves_unitary(c in random_circuit(3)) {
+        let t = to_basis(&c);
+        prop_assert!(qaprox_transpile::is_in_basis(&t));
+        prop_assert!(hs_distance(&c.unitary(), &t.unitary()) < 1e-8);
+    }
+
+    #[test]
+    fn merge_1q_preserves_unitary(c in random_circuit(3)) {
+        let m = merge_1q_runs(&to_basis(&c));
+        prop_assert!(hs_distance(&c.unitary(), &m.unitary()) < 1e-8);
+    }
+
+    #[test]
+    fn cx_cancellation_preserves_unitary(c in random_circuit(3)) {
+        let b = to_basis(&c);
+        let x = cancel_cx_pairs(&b);
+        prop_assert!(hs_distance(&b.unitary(), &x.unitary()) < 1e-9);
+        prop_assert!(x.cx_count() <= b.cx_count());
+    }
+
+    #[test]
+    fn optimize_never_grows_and_preserves(c in random_circuit(3)) {
+        let b = to_basis(&c);
+        let o = optimize(&b);
+        prop_assert!(o.len() <= b.len());
+        prop_assert!(hs_distance(&b.unitary(), &o.unitary()) < 1e-8);
+    }
+
+    #[test]
+    fn routing_respects_coupling(c in random_circuit(4)) {
+        let topo = Topology::linear(5);
+        let layout: Vec<usize> = vec![0, 1, 2, 3];
+        let routed = route(&to_basis(&c), &topo, &layout);
+        for inst in routed.circuit.iter() {
+            if inst.qubits.len() == 2 {
+                prop_assert!(
+                    topo.has_edge(inst.qubits[0], inst.qubits[1]),
+                    "routed gate on uncoupled pair {:?}",
+                    inst.qubits
+                );
+            }
+        }
+        // final layout is a permutation of the initial one's image
+        let mut fin = routed.final_layout.clone();
+        fin.sort_unstable();
+        fin.dedup();
+        prop_assert_eq!(fin.len(), 4);
+    }
+
+    #[test]
+    fn routing_preserves_measurement_distribution(c in random_circuit(3)) {
+        // Route onto a chain, simulate, and map outcomes back through the
+        // final layout: distributions must match the unrouted circuit.
+        let topo = Topology::linear(4);
+        let layout = vec![0usize, 1, 2];
+        let routed = route(&c, &topo, &layout);
+        let (compact, used) = qaprox_transpile::compact(&routed.circuit);
+        if compact.num_qubits() == 0 {
+            return Ok(());
+        }
+        let compact_probs = qaprox_sim::statevector::probabilities(&compact);
+        let logical_expect = qaprox_sim::statevector::probabilities(&c);
+        // fold compact outcomes back to logical outcomes
+        let mut got = vec![0.0; 8];
+        for (idx, p) in compact_probs.iter().enumerate() {
+            let mut logical = 0usize;
+            for (ci, &phys) in used.iter().enumerate() {
+                if (idx >> ci) & 1 == 1 {
+                    if let Some(l) = routed.final_layout.iter().position(|&x| x == phys) {
+                        logical |= 1 << l;
+                    }
+                }
+            }
+            got[logical] += p;
+        }
+        for (a, b) in got.iter().zip(&logical_expect) {
+            prop_assert!((a - b).abs() < 1e-8, "{got:?} vs {logical_expect:?}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Grover's algorithm under increasing noise: when does the approximate
+//! circuit overtake the exact one?
+//!
+//! ```sh
+//! cargo run --release -p qaprox --example grover_noise_study
+//! ```
+
+use qaprox::grover_study::GroverStudy;
+use qaprox::prelude::*;
+use qaprox_synth::InstantiateConfig;
+
+fn main() {
+    let study = GroverStudy::paper();
+    let reference = study.reference();
+    println!(
+        "3-qubit Grover for |111>: reference uses {} CNOTs over {} gates",
+        reference.cx_count(),
+        reference.len()
+    );
+
+    // Generate an approximate population once.
+    let workflow = Workflow {
+        topology: Topology::linear(3),
+        engine: Engine::QSearch(QSearchConfig {
+            max_cnots: 6,
+            max_nodes: 120,
+            beam_width: 4,
+            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            ..Default::default()
+        }),
+        max_hs: 0.12,
+    };
+    let pop = workflow.generate(&study.target_unitary());
+    println!("kept {} approximate circuits (HS <= 0.12)\n", pop.circuits.len());
+
+    // Sweep the CNOT error and watch the crossover.
+    println!("cx_error | P(correct) reference | best approximate (CNOTs) | winner");
+    let base = devices::ourense().induced(&[0, 1, 2]);
+    for eps in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let cal = base.with_uniform_cx_error(eps);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let ref_p = study.reference_score(&backend);
+        let scored = study.evaluate_population(&pop.circuits, &backend);
+        let best = scored
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .expect("population not empty");
+        let winner = if best.score > ref_p { "approximate" } else { "reference" };
+        println!(
+            "{eps:>8} | {ref_p:>20.4} | {:>7.4} ({:>2})          | {winner}",
+            best.score, best.cnots
+        );
+    }
+
+    println!("\nthe exact circuit wins only while noise stays negligible;");
+    println!("as CNOT error grows, shorter approximations take over (Obs. 5/6).");
+}

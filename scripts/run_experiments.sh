@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper and stores the CSV outputs
+# under artifacts/. Set QAPROX_QUICK=1 for a fast smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p artifacts
+cargo build --release -p qaprox-bench
+
+BINS=(table1 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 \
+      fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 qvolume \
+      selection_study mitigation_study partitioned_study roadmap_study metrics_study drift_study)
+
+for bin in "${BINS[@]}"; do
+    echo "=== $bin ==="
+    start=$(date +%s)
+    "target/release/$bin" 2>&1 | tee "artifacts/$bin.csv" | tail -5
+    echo "# wall: $(( $(date +%s) - start ))s" | tee -a "artifacts/$bin.csv"
+done
+
+echo "all experiment outputs written to artifacts/"

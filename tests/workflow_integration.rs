@@ -1,0 +1,162 @@
+//! End-to-end integration: the full Fig. 1 pipeline across crates —
+//! reference circuit -> synthesis -> selection -> transpilation -> noisy
+//! execution -> metric evaluation.
+
+use qaprox::prelude::*;
+use qaprox::toffoli_study::{battery_js, toffoli_target};
+use qaprox_synth::InstantiateConfig;
+
+fn quick_qsearch(_n: usize, max_cnots: usize) -> QSearchConfig {
+    QSearchConfig {
+        max_cnots,
+        max_nodes: 60,
+        beam_width: 3,
+        instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tfim_pipeline_produces_better_than_reference_under_heavy_noise() {
+    // Step-6 TFIM circuit: 24 CNOTs; under 12% CNOT error the exact circuit
+    // is badly degraded, and some approximation must land closer to ideal.
+    let params = TfimParams::paper_defaults(3);
+    let reference = tfim_circuit(&params, 6);
+    assert_eq!(reference.cx_count(), 24);
+
+    let workflow = Workflow {
+        topology: Topology::linear(3),
+        engine: Engine::QSearch(quick_qsearch(3, 5)),
+        max_hs: 0.2,
+    };
+    let population = workflow.generate(&Workflow::target_unitary(&reference));
+    assert!(population.circuits.len() >= 5, "population too thin");
+
+    let cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.12);
+    let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+
+    let ideal_m = magnetization(&qaprox_sim::statevector::probabilities(&reference));
+    let noisy_ref_m = magnetization(&backend.probabilities(&reference, 0));
+    let ref_err = (noisy_ref_m - ideal_m).abs();
+
+    let scored = execute_and_score(&population.circuits, &backend, |_, p| magnetization(p));
+    let best_err = scored
+        .iter()
+        .map(|s| (s.score - ideal_m).abs())
+        .min_by(f64::total_cmp)
+        .unwrap();
+    assert!(
+        best_err < ref_err,
+        "Obs. 1: best approximation ({best_err:.4}) must beat the noisy reference ({ref_err:.4})"
+    );
+}
+
+#[test]
+fn synthesized_circuits_survive_transpilation() {
+    // Approximate circuits from synthesis must transpile onto a device and
+    // keep their semantics (checked on the ideal backend).
+    let mut reference = Circuit::new(3);
+    reference.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2);
+    let workflow = Workflow {
+        topology: Topology::linear(3),
+        engine: Engine::QSearch(quick_qsearch(3, 3)),
+        max_hs: 0.3,
+    };
+    let population = workflow.generate(&Workflow::target_unitary(&reference));
+    let cal = devices::toronto();
+    for ap in population.circuits.iter().take(6) {
+        let before = qaprox_sim::statevector::probabilities(&ap.circuit);
+        let t = transpile(&ap.circuit, &cal, OptLevel::L3, None);
+        let after_compact = qaprox_sim::statevector::probabilities(&t.circuit);
+        let after = t.logical_probabilities(&after_compact, 3);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-8, "transpilation changed outputs");
+        }
+    }
+}
+
+#[test]
+fn toffoli_pipeline_reference_vs_approximation_ordering() {
+    // On an ideal backend the exact reference must win; under heavy noise
+    // the shallow approximation must win (the paper's core trade-off).
+    let target = toffoli_target(3);
+    let workflow = Workflow {
+        topology: Topology::linear(3),
+        engine: Engine::QSearch(quick_qsearch(3, 4)),
+        // the 3q Toffoli is hard to approximate shallowly; keep a wide stream
+        max_hs: 0.45,
+    };
+    let population = workflow.generate(&target);
+    let best_short = population
+        .circuits
+        .iter()
+        .filter(|c| c.cnots <= 4)
+        .min_by(|a, b| a.hs_distance.total_cmp(&b.hs_distance))
+        .expect("some shallow candidate");
+
+    let reference = mct_reference(3);
+
+    let ideal_ref = battery_js(&reference, &Backend::Ideal, 0);
+    let ideal_approx = battery_js(&best_short.circuit, &Backend::Ideal, 0);
+    assert!(
+        ideal_ref <= ideal_approx + 1e-9,
+        "noise-free: exact ({ideal_ref:.4}) must not lose to approximate ({ideal_approx:.4})"
+    );
+
+    let noisy_cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.20);
+    let noisy = Backend::Noisy(NoiseModel::from_calibration(noisy_cal));
+    let noisy_ref = battery_js(&reference, &noisy, 0);
+    let noisy_approx = battery_js(&best_short.circuit, &noisy, 0);
+    assert!(
+        noisy_approx < noisy_ref + 0.05,
+        "at 20% CNOT error the shallow circuit ({noisy_approx:.4}) should be \
+         competitive with the 6-CNOT reference ({noisy_ref:.4})"
+    );
+}
+
+#[test]
+fn hardware_emulation_is_worse_than_model_is_worse_than_ideal() {
+    let params = TfimParams::paper_defaults(3);
+    let reference = tfim_circuit(&params, 8);
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let ideal_m = magnetization(&ideal);
+
+    let cal = devices::manhattan().induced(&[0, 1, 2]);
+    let model = NoiseModel::from_calibration(cal.clone());
+    let model_m = magnetization(&model.probabilities(&reference));
+    let hw = HardwareBackend::new(model.clone());
+    let hw_m = magnetization(&hw.probabilities(&reference, 5));
+
+    let model_err = (model_m - ideal_m).abs();
+    let hw_err = (hw_m - ideal_m).abs();
+    assert!(model_err > 1e-4, "device model must be visibly noisy");
+    assert!(
+        hw_err > model_err * 0.8,
+        "hardware emulation ({hw_err:.4}) should be at least as bad as the model ({model_err:.4})"
+    );
+}
+
+#[test]
+fn full_grover_pipeline_runs_on_all_backends() {
+    let study = qaprox::grover_study::GroverStudy::paper();
+    let workflow = Workflow {
+        topology: Topology::linear(3),
+        engine: Engine::QSearch(quick_qsearch(3, 3)),
+        max_hs: 0.3,
+    };
+    let pop = workflow.generate(&study.target_unitary());
+    assert!(!pop.circuits.is_empty());
+    for backend in [
+        Backend::Ideal,
+        Backend::Noisy(NoiseModel::from_calibration(devices::rome().induced(&[0, 1, 2]))),
+        Backend::Hardware(HardwareBackend::new(NoiseModel::from_calibration(
+            devices::rome().induced(&[0, 1, 2]),
+        ))),
+    ] {
+        let scored = study.evaluate_population(&pop.circuits, &backend);
+        assert_eq!(scored.len(), pop.circuits.len());
+        for s in &scored {
+            assert!((0.0..=1.0 + 1e-9).contains(&s.score), "probability out of range");
+        }
+    }
+}
