@@ -96,7 +96,11 @@ mod tests {
     fn three_qubit_grover_amplifies_target() {
         let c = paper_grover();
         let p = probabilities(&c.statevector());
-        assert!(p[0b111] > 0.9, "2 iterations on 3 qubits reach ~0.945: {}", p[0b111]);
+        assert!(
+            p[0b111] > 0.9,
+            "2 iterations on 3 qubits reach ~0.945: {}",
+            p[0b111]
+        );
         // all other outcomes share the remainder equally
         for (i, &pi) in p.iter().enumerate() {
             if i != 0b111 {
@@ -142,6 +146,9 @@ mod tests {
         // 4 iterations on 3 qubits overshoots the optimum of 2
         let good = probabilities(&grover_circuit(3, 0b111, 2).statevector())[0b111];
         let over = probabilities(&grover_circuit(3, 0b111, 4).statevector())[0b111];
-        assert!(over < good, "overshoot {over} should underperform optimum {good}");
+        assert!(
+            over < good,
+            "overshoot {over} should underperform optimum {good}"
+        );
     }
 }

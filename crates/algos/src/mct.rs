@@ -163,7 +163,11 @@ pub fn mct_unitary(num_qubits: usize) -> Matrix {
     let control_mask = dim / 2 - 1; // bits 0..n-2
     let target_bit = dim / 2; // bit n-1
     for col in 0..dim {
-        let row = if col & control_mask == control_mask { col ^ target_bit } else { col };
+        let row = if col & control_mask == control_mask {
+            col ^ target_bit
+        } else {
+            col
+        };
         m[(row, col)] = Complex64::ONE;
     }
     m
@@ -173,9 +177,8 @@ pub fn mct_unitary(num_qubits: usize) -> Matrix {
 mod tests {
     use super::*;
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_metrics::hs_distance;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sqrt_unitary_squares_back() {
@@ -206,7 +209,10 @@ mod tests {
             controlled_unitary(&mut c, 0, 1, &u);
             // reference: controlled-U with control = qubit 0
             let mut ref_c = Circuit::new(2);
-            ref_c.push(Gate::Unitary2(Box::new(qaprox_circuit::controlled(&u))), &[0, 1]);
+            ref_c.push(
+                Gate::Unitary2(Box::new(qaprox_circuit::controlled(&u))),
+                &[0, 1],
+            );
             assert!(
                 hs_distance(&c.unitary(), &ref_c.unitary()) < 1e-9,
                 "controlled-U decomposition wrong"
@@ -253,7 +259,11 @@ mod tests {
         let c = mct_reference(4);
         let u = c.unitary();
         for input in 0..16usize {
-            let expect = if input & 0b0111 == 0b0111 { input ^ 0b1000 } else { input };
+            let expect = if input & 0b0111 == 0b0111 {
+                input ^ 0b1000
+            } else {
+                input
+            };
             let amp = u[(expect, input)];
             assert!(
                 (amp.abs() - 1.0).abs() < 1e-8,
@@ -270,8 +280,10 @@ mod tests {
         for col in 0..8 {
             let expect = if col == 7 { -1.0 } else { 1.0 };
             let diag = u[(col, col)];
-            assert!((diag.re - expect).abs() < 1e-8 && diag.im.abs() < 1e-8,
-                "diag[{col}] = {diag:?}");
+            assert!(
+                (diag.re - expect).abs() < 1e-8 && diag.im.abs() < 1e-8,
+                "diag[{col}] = {diag:?}"
+            );
         }
     }
 

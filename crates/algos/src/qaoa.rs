@@ -23,7 +23,10 @@ impl MaxCutGraph {
         assert!(n >= 3, "cycle needs at least 3 vertices");
         let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         edges.push((n - 1, 0));
-        MaxCutGraph { num_vertices: n, edges }
+        MaxCutGraph {
+            num_vertices: n,
+            edges,
+        }
     }
 
     /// A path graph `0-1-...-(n-1)`.
@@ -53,7 +56,11 @@ impl MaxCutGraph {
 
     /// Expected cut value of a measurement distribution.
     pub fn expected_cut(&self, probs: &[f64]) -> f64 {
-        assert_eq!(probs.len(), 1 << self.num_vertices, "distribution size mismatch");
+        assert_eq!(
+            probs.len(),
+            1 << self.num_vertices,
+            "distribution size mismatch"
+        );
         probs
             .iter()
             .enumerate()
@@ -65,7 +72,11 @@ impl MaxCutGraph {
 /// Builds the depth-`p` QAOA circuit with per-layer angles
 /// (`gammas.len() == betas.len() == p`).
 pub fn qaoa_circuit(graph: &MaxCutGraph, gammas: &[f64], betas: &[f64]) -> Circuit {
-    assert_eq!(gammas.len(), betas.len(), "need one (gamma, beta) pair per layer");
+    assert_eq!(
+        gammas.len(),
+        betas.len(),
+        "need one (gamma, beta) pair per layer"
+    );
     let n = graph.num_vertices;
     let mut c = Circuit::new(n);
     for q in 0..n {
@@ -95,8 +106,7 @@ pub fn tune_p1(graph: &MaxCutGraph, grid: usize) -> (f64, f64, f64) {
             let gamma = std::f64::consts::PI * gi as f64 / grid as f64;
             let beta = std::f64::consts::FRAC_PI_2 * bi as f64 / grid as f64;
             let c = qaoa_circuit(graph, &[gamma], &[beta]);
-            let probs: Vec<f64> =
-                c.statevector().iter().map(|z| z.norm_sqr()).collect();
+            let probs: Vec<f64> = c.statevector().iter().map(|z| z.norm_sqr()).collect();
             let cut = graph.expected_cut(&probs);
             if cut > best.2 {
                 best = (gamma, beta, cut);

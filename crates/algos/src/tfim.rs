@@ -145,9 +145,15 @@ mod tests {
             .collect();
         assert!(mags[0] > 0.8, "one small step keeps m near 1: {}", mags[0]);
         let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min < 0.0, "quench should drive m negative at some step: min {min}");
+        assert!(
+            min < 0.0,
+            "quench should drive m negative at some step: min {min}"
+        );
         let max_later = mags[10..].iter().cloned().fold(-1.0f64, f64::max);
-        assert!(max_later > min + 0.3, "dynamics should oscillate, not decay flat");
+        assert!(
+            max_later > min + 0.3,
+            "dynamics should oscillate, not decay flat"
+        );
     }
 
     #[test]
@@ -185,16 +191,29 @@ mod tests {
             .collect();
         let err_coarse = (mags[0] - mags[2]).abs();
         let err_fine = (mags[1] - mags[2]).abs();
-        assert!(err_fine < err_coarse, "Trotter error should shrink: {mags:?}");
+        assert!(
+            err_fine < err_coarse,
+            "Trotter error should shrink: {mags:?}"
+        );
     }
 
     #[test]
     fn schedules_evaluate_correctly() {
         assert_eq!(FieldSchedule::Constant(2.0).at(5.0), 2.0);
-        let ramp = FieldSchedule::Ramp { from: 0.0, to: 4.0, t_end: 2.0 };
+        let ramp = FieldSchedule::Ramp {
+            from: 0.0,
+            to: 4.0,
+            t_end: 2.0,
+        };
         assert!((ramp.at(1.0) - 2.0).abs() < 1e-14);
-        assert!((ramp.at(10.0) - 4.0).abs() < 1e-14, "ramp clamps past t_end");
-        let cosine = FieldSchedule::Cosine { amp: 3.0, period: 2.0 };
+        assert!(
+            (ramp.at(10.0) - 4.0).abs() < 1e-14,
+            "ramp clamps past t_end"
+        );
+        let cosine = FieldSchedule::Cosine {
+            amp: 3.0,
+            period: 2.0,
+        };
         assert!((cosine.at(0.0) - 3.0).abs() < 1e-14);
         assert!((cosine.at(1.0) + 3.0).abs() < 1e-12);
     }
@@ -203,7 +222,11 @@ mod tests {
     fn ramp_schedule_changes_dynamics() {
         let base = TfimParams::paper_defaults(3);
         let ramped = TfimParams {
-            schedule: FieldSchedule::Ramp { from: 0.0, to: 2.0, t_end: 21.0 * base.dt },
+            schedule: FieldSchedule::Ramp {
+                from: 0.0,
+                to: 2.0,
+                t_end: 21.0 * base.dt,
+            },
             ..base
         };
         let m_const = magnetization(&probabilities(&tfim_circuit(&base, 12).statevector()));

@@ -1,70 +1,94 @@
-//! Property-based tests for the workload generators.
+//! Property-style tests for the workload generators, driven by the in-repo
+//! seeded RNG.
 
-use proptest::prelude::*;
 use qaprox_algos::grover::{grover_circuit, oracle};
 use qaprox_algos::mct::{mct_reference, mct_unitary, mcx, sqrt_unitary_2x2};
 use qaprox_algos::tfim::{tfim_circuit, FieldSchedule, TfimParams};
 use qaprox_circuit::Circuit;
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_metrics::{hs_distance, magnetization, probabilities};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn tfim_circuit_cnot_count_formula(n in 2usize..5, steps in 1usize..12) {
+#[test]
+fn tfim_circuit_cnot_count_formula() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..5);
+        let steps = rng.gen_range(1usize..12);
         let p = TfimParams::paper_defaults(n);
         let c = tfim_circuit(&p, steps);
-        prop_assert_eq!(c.cx_count(), 2 * (n - 1) * steps);
+        assert_eq!(c.cx_count(), 2 * (n - 1) * steps);
     }
+}
 
-    #[test]
-    fn tfim_magnetization_stays_physical(n in 2usize..4, steps in 1usize..15,
-                                          h in 0.0f64..3.0, dt in 0.01f64..0.3) {
-        let p = TfimParams { num_qubits: n, j: 1.0, dt, schedule: FieldSchedule::Constant(h) };
+#[test]
+fn tfim_magnetization_stays_physical() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..4);
+        let steps = rng.gen_range(1usize..15);
+        let h = rng.gen_range(0.0..3.0);
+        let dt = rng.gen_range(0.01..0.3);
+        let p = TfimParams {
+            num_qubits: n,
+            j: 1.0,
+            dt,
+            schedule: FieldSchedule::Constant(h),
+        };
         let c = tfim_circuit(&p, steps);
         let m = magnetization(&probabilities(&c.statevector()));
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&m));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&m));
     }
+}
 
-    #[test]
-    fn grover_oracle_is_diagonal_with_single_flip(target in 0usize..8) {
+#[test]
+fn grover_oracle_is_diagonal_with_single_flip() {
+    for target in 0usize..8 {
         let mut c = Circuit::new(3);
         oracle(&mut c, target);
         let u = c.unitary();
         for col in 0..8 {
             let expect = if col == target { -1.0 } else { 1.0 };
-            prop_assert!((u[(col, col)].re - expect).abs() < 1e-8);
+            assert!((u[(col, col)].re - expect).abs() < 1e-8);
             for row in 0..8 {
                 if row != col {
-                    prop_assert!(u[(row, col)].abs() < 1e-8);
+                    assert!(u[(row, col)].abs() < 1e-8);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn grover_amplifies_any_target(target in 0usize..8) {
+#[test]
+fn grover_amplifies_any_target() {
+    for target in 0usize..8 {
         let c = grover_circuit(3, target, 2);
         let p = probabilities(&c.statevector());
-        prop_assert!(p[target] > 0.9, "target {target}: {p:?}");
+        assert!(p[target] > 0.9, "target {target}: {p:?}");
     }
+}
 
-    #[test]
-    fn sqrt_unitary_squares_back_for_haar(seed in 0u64..300) {
+#[test]
+fn sqrt_unitary_squares_back_for_haar() {
+    for seed in 0..CASES as u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let u = haar_unitary(2, &mut rng);
         let v = sqrt_unitary_2x2(&u);
-        prop_assert!(v.is_unitary(1e-9));
-        prop_assert!(v.matmul(&v).approx_eq(&u, 1e-8));
+        assert!(v.is_unitary(1e-9));
+        assert!(v.matmul(&v).approx_eq(&u, 1e-8));
     }
+}
 
-    #[test]
-    fn mcx_truth_table_on_random_inputs(n in 3usize..5, input_seed in 0usize..1000) {
+#[test]
+fn mcx_truth_table_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3usize..5);
         let dim = 1usize << n;
-        let input = input_seed % dim;
+        let input = rng.gen_range(0..dim);
         let mut c = Circuit::new(n);
         let controls: Vec<usize> = (0..n - 1).collect();
         mcx(&mut c, &controls, n - 1);
@@ -75,7 +99,7 @@ proptest! {
         } else {
             input
         };
-        prop_assert!(
+        assert!(
             (sv[expect].abs() - 1.0).abs() < 1e-7,
             "input {input:0width$b} should map to {expect:0width$b}",
             width = n

@@ -2,117 +2,110 @@
 //! analytic-gradient L-BFGS vs derivative-free Nelder-Mead instantiation,
 //! and pure-A* vs beam-capped QSearch frontiers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use qaprox::prelude::*;
+use qaprox_bench::timing::{bench, header};
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_opt::{nelder_mead, NelderMeadParams};
 use qaprox_synth::{instantiate, HsObjective, InstantiateConfig, Structure};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
 
-fn ablation_optimizer(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("ablation_optimizer");
-    group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(6);
-    let target = haar_unitary(4, &mut rng);
-    let s = Structure::root(2).extended(0, 1).extended(1, 0).extended(0, 1);
-    let x0 = vec![0.1; s.num_params()];
+fn main() {
+    header("ablation");
 
-    group.bench_function("lbfgs_analytic", |b| {
-        let cfg = InstantiateConfig { starts: 1, ..Default::default() };
-        b.iter(|| black_box(instantiate(&s, &target, &x0, &cfg)));
-    });
-    group.bench_function("nelder_mead", |b| {
+    {
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = haar_unitary(4, &mut rng);
+        let s = Structure::root(2)
+            .extended(0, 1)
+            .extended(1, 0)
+            .extended(0, 1);
+        let x0 = vec![0.1; s.num_params()];
+
+        let cfg = InstantiateConfig {
+            starts: 1,
+            ..Default::default()
+        };
+        bench("ablation_optimizer/lbfgs_analytic", || {
+            instantiate(&s, &target, &x0, &cfg)
+        });
+
         let obj = HsObjective::new(&s, &target);
-        let params = NelderMeadParams { max_evals: 4000, ..Default::default() };
-        b.iter(|| black_box(nelder_mead(&|x: &[f64]| obj.distance(x), &x0, &params)));
-    });
-    group.finish();
-}
+        let params = NelderMeadParams {
+            max_evals: 4000,
+            ..Default::default()
+        };
+        bench("ablation_optimizer/nelder_mead", || {
+            nelder_mead(&|x: &[f64]| obj.distance(x), &x0, &params)
+        });
+    }
 
-fn ablation_frontier(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("ablation_frontier");
-    group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(7);
-    let target = haar_unitary(8, &mut rng);
-    let topo = Topology::linear(3);
-    for (label, beam) in [("beam_2", 2usize), ("beam_8", 8), ("pure_astar", usize::MAX)] {
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = haar_unitary(8, &mut rng);
+        let topo = Topology::linear(3);
+        for (label, beam) in [
+            ("beam_2", 2usize),
+            ("beam_8", 8),
+            ("pure_astar", usize::MAX),
+        ] {
+            let cfg = QSearchConfig {
+                max_cnots: 3,
+                max_nodes: 60,
+                beam_width: beam,
+                ..Default::default()
+            };
+            bench(&format!("ablation_frontier/{label}"), || {
+                qsearch(&target, &topo, &cfg)
+            });
+        }
+    }
+
+    {
+        // The QSearch frontier improvement: expanding one node per
+        // (depth, distance) class escapes instantiation plateaus. Measures
+        // search cost with and without (quality difference is asserted in
+        // tests; here we measure the node-rate cost).
+        let target = qaprox_algos::grover::paper_grover().unitary();
+        let topo = Topology::linear(3);
+        for (label, pruning) in [("with_pruning", true), ("without_pruning", false)] {
+            let cfg = QSearchConfig {
+                max_cnots: 6,
+                max_nodes: 80,
+                beam_width: 4,
+                diversity_pruning: pruning,
+                ..Default::default()
+            };
+            bench(&format!("ablation_diversity/{label}"), || {
+                qsearch(&target, &topo, &cfg)
+            });
+        }
+    }
+
+    {
+        // JS-vs-HS as the selection metric (supports Obs. 2): measures the
+        // cost of scoring a population by output metric instead of process
+        // metric.
+        let mut rng = StdRng::seed_from_u64(8);
+        let target = haar_unitary(8, &mut rng);
+        let topo = Topology::linear(3);
         let cfg = QSearchConfig {
             max_cnots: 3,
-            max_nodes: 60,
-            beam_width: beam,
+            max_nodes: 30,
             ..Default::default()
         };
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(qsearch(&target, &topo, &cfg)));
-        });
-    }
-    group.finish();
-}
+        let out = qsearch(&target, &topo, &cfg);
+        let cal = devices::ourense().induced(&[0, 1, 2]);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let ideal = qaprox_sim::statevector::probabilities(&out.best.circuit);
 
-fn ablation_diversity_pruning(crit: &mut Criterion) {
-    // The QSearch frontier improvement: expanding one node per
-    // (depth, distance) class escapes instantiation plateaus. Measures
-    // search cost with and without (quality difference is asserted in
-    // tests; here we measure the node-rate cost).
-    let mut group = crit.benchmark_group("ablation_diversity");
-    group.sample_size(10);
-    let target = qaprox_algos::grover::paper_grover().unitary();
-    let topo = Topology::linear(3);
-    for (label, pruning) in [("with_pruning", true), ("without_pruning", false)] {
-        let cfg = QSearchConfig {
-            max_cnots: 6,
-            max_nodes: 80,
-            beam_width: 4,
-            diversity_pruning: pruning,
-            ..Default::default()
-        };
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(qsearch(&target, &topo, &cfg)));
+        bench("ablation_selection/score_by_hs", || {
+            out.intermediates.iter().map(|c| c.hs_distance).sum::<f64>()
         });
-    }
-    group.finish();
-}
-
-fn ablation_selection_metric(crit: &mut Criterion) {
-    // JS-vs-HS as the selection metric (supports Obs. 2): measures the cost
-    // of scoring a population by output metric instead of process metric.
-    let mut group = crit.benchmark_group("ablation_selection");
-    group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(8);
-    let target = haar_unitary(8, &mut rng);
-    let topo = Topology::linear(3);
-    let cfg = QSearchConfig { max_cnots: 3, max_nodes: 30, ..Default::default() };
-    let out = qsearch(&target, &topo, &cfg);
-    let cal = devices::ourense().induced(&[0, 1, 2]);
-    let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
-    let ideal = qaprox_sim::statevector::probabilities(&out.best.circuit);
-
-    group.bench_function("score_by_hs", |b| {
-        b.iter(|| {
-            let total: f64 = out.intermediates.iter().map(|c| c.hs_distance).sum();
-            black_box(total)
-        });
-    });
-    group.bench_function("score_by_js_output", |b| {
-        b.iter(|| {
-            let total: f64 = out
-                .intermediates
+        bench("ablation_selection/score_by_js_output", || {
+            out.intermediates
                 .iter()
                 .map(|c| js_distance(&backend.probabilities(&c.circuit, 0), &ideal))
-                .sum();
-            black_box(total)
+                .sum::<f64>()
         });
-    });
-    group.finish();
+    }
 }
-
-criterion_group!(
-    benches,
-    ablation_optimizer,
-    ablation_frontier,
-    ablation_diversity_pruning,
-    ablation_selection_metric
-);
-criterion_main!(benches);

@@ -1,50 +1,30 @@
 //! Metric evaluation cost: HS distances and distribution divergences at the
 //! sizes the experiments use.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qaprox::prelude::*;
+use qaprox_bench::timing::{bench, header};
 use qaprox_linalg::random::haar_unitary;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 
-fn bench_hs_distance(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("hs_distance");
+fn main() {
+    header("metrics_bench");
+
     let mut rng = StdRng::seed_from_u64(4);
     for n in [2usize, 3, 4, 5] {
         let a = haar_unitary(1 << n, &mut rng);
         let b = haar_unitary(1 << n, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
-            bch.iter(|| black_box(hs_distance(a, b)));
-        });
+        bench(&format!("hs_distance/{n}"), || hs_distance(&a, &b));
     }
-    group.finish();
-}
 
-fn bench_divergences(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("divergences");
     let mut rng = StdRng::seed_from_u64(5);
     let p: Vec<f64> = (0..32).map(|_| rng.gen::<f64>()).collect();
     let q: Vec<f64> = (0..32).map(|_| rng.gen::<f64>()).collect();
-    group.bench_function("js_distance_32", |b| {
-        b.iter(|| black_box(js_distance(&p, &q)));
-    });
-    group.bench_function("magnetization_32", |b| {
-        b.iter(|| black_box(magnetization(&p)));
-    });
-    group.finish();
-}
+    bench("divergences/js_distance_32", || js_distance(&p, &q));
+    bench("divergences/magnetization_32", || magnetization(&p));
 
-fn bench_unitary_construction(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("circuit_unitary");
     for n in [3usize, 4, 5] {
         let c = qaprox_algos::mct::mct_reference(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| black_box(c.unitary()));
-        });
+        bench(&format!("circuit_unitary/{n}"), || c.unitary());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_hs_distance, bench_divergences, bench_unitary_construction);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
 //! Simulator performance: statevector vs density matrix vs noisy execution,
 //! across qubit counts (the ablation behind choosing per-circuit density
-//! matrices + rayon batching over circuits).
+//! matrices + batched parallel execution over circuits).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qaprox::prelude::*;
-use std::hint::black_box;
+use qaprox_bench::timing::{bench, header};
 
 fn layered_circuit(n: usize, layers: usize) -> Circuit {
     let mut c = Circuit::new(n);
@@ -19,80 +18,49 @@ fn layered_circuit(n: usize, layers: usize) -> Circuit {
     c
 }
 
-fn bench_statevector(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("statevector");
+fn main() {
+    header("sim_scaling");
+
     for n in [3usize, 5, 8, 10] {
         let c = layered_circuit(n, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| black_box(qaprox_sim::statevector::probabilities(c)));
+        bench(&format!("statevector/{n}"), || {
+            qaprox_sim::statevector::probabilities(&c)
         });
     }
-    group.finish();
-}
 
-fn bench_density_matrix(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("density_matrix_unitary");
     for n in [3usize, 4, 5, 6] {
         let c = layered_circuit(n, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| {
-                let mut dm = qaprox_sim::DensityMatrix::ground(c.num_qubits());
-                dm.apply_circuit(c);
-                black_box(dm.probabilities())
-            });
+        bench(&format!("density_matrix_unitary/{n}"), || {
+            let mut dm = qaprox_sim::DensityMatrix::ground(c.num_qubits());
+            dm.apply_circuit(&c);
+            dm.probabilities()
         });
     }
-    group.finish();
-}
 
-fn bench_noisy_execution(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("noisy_execution");
-    group.sample_size(20);
     for n in [3usize, 4, 5] {
         let cal = devices::ourense().induced(&(0..n).collect::<Vec<_>>());
         let model = NoiseModel::from_calibration(cal);
         let c = layered_circuit(n, 10);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| black_box(model.probabilities(c)));
+        bench(&format!("noisy_execution/{n}"), || model.probabilities(&c));
+    }
+
+    {
+        let cal = devices::ourense().induced(&[0, 1, 2]);
+        let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+        let circuits: Vec<Circuit> = (0..64).map(|i| layered_circuit(3, 3 + i % 5)).collect();
+        bench("batch_64_circuits/parallel_batch", || {
+            backend.run_batch(&circuits)
         });
     }
-    group.finish();
-}
 
-fn bench_batch_parallelism(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("batch_64_circuits");
-    group.sample_size(10);
-    let cal = devices::ourense().induced(&[0, 1, 2]);
-    let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
-    let circuits: Vec<Circuit> = (0..64).map(|i| layered_circuit(3, 3 + i % 5)).collect();
-    group.bench_function("rayon_batch", |b| {
-        b.iter(|| black_box(backend.run_batch(&circuits)));
-    });
-    group.finish();
+    {
+        // ablation: density-matrix exactness vs trajectory sampling cost
+        let cal = devices::ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let c = layered_circuit(3, 10);
+        bench("noisy_paths_3q/density_matrix", || model.probabilities(&c));
+        bench("noisy_paths_3q/trajectories_x100", || {
+            qaprox_sim::trajectory_probabilities(&c, &model, 100, 1)
+        });
+    }
 }
-
-fn bench_trajectory_vs_density(crit: &mut Criterion) {
-    // ablation: density-matrix exactness vs trajectory sampling cost
-    let mut group = crit.benchmark_group("noisy_paths_3q");
-    group.sample_size(10);
-    let cal = devices::ourense().induced(&[0, 1, 2]);
-    let model = NoiseModel::from_calibration(cal);
-    let c = layered_circuit(3, 10);
-    group.bench_function("density_matrix", |b| {
-        b.iter(|| black_box(model.probabilities(&c)));
-    });
-    group.bench_function("trajectories_x100", |b| {
-        b.iter(|| black_box(qaprox_sim::trajectory_probabilities(&c, &model, 100, 1)));
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_statevector,
-    bench_density_matrix,
-    bench_noisy_execution,
-    bench_batch_parallelism,
-    bench_trajectory_vs_density
-);
-criterion_main!(benches);

@@ -1,17 +1,15 @@
 //! Synthesis performance: instantiation cost vs parameter count, QSearch
 //! node rate, QFactor sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qaprox::prelude::*;
+use qaprox_bench::timing::{bench, header};
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_synth::{instantiate, qfactor_optimize, InstantiateConfig, QFactorConfig, Structure};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_instantiation(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("instantiation");
-    group.sample_size(10);
+fn main() {
+    header("synth_bench");
+
     let mut rng = StdRng::seed_from_u64(1);
     for blocks in [1usize, 3, 5] {
         let mut s = Structure::root(3);
@@ -20,19 +18,15 @@ fn bench_instantiation(crit: &mut Criterion) {
             s = s.extended(c, t);
         }
         let target = haar_unitary(8, &mut rng);
-        let cfg = InstantiateConfig { starts: 1, ..Default::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(blocks), &s, |b, s| {
-            b.iter(|| {
-                black_box(instantiate(s, &target, &vec![0.1; s.num_params()], &cfg))
-            });
+        let cfg = InstantiateConfig {
+            starts: 1,
+            ..Default::default()
+        };
+        bench(&format!("instantiation/{blocks}"), || {
+            instantiate(&s, &target, &vec![0.1; s.num_params()], &cfg)
         });
     }
-    group.finish();
-}
 
-fn bench_qsearch(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("qsearch_2q");
-    group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(2);
     let target = haar_unitary(4, &mut rng);
     let topo = Topology::linear(2);
@@ -41,25 +35,20 @@ fn bench_qsearch(crit: &mut Criterion) {
         max_nodes: 40,
         ..Default::default()
     };
-    group.bench_function("random_su4", |b| {
-        b.iter(|| black_box(qsearch(&target, &topo, &cfg)));
-    });
-    group.finish();
-}
+    bench("qsearch_2q/random_su4", || qsearch(&target, &topo, &cfg));
 
-fn bench_qfactor(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("qfactor");
-    group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(3);
     let target = haar_unitary(8, &mut rng);
-    let s = Structure::root(3).extended(0, 1).extended(1, 2).extended(0, 1);
+    let s = Structure::root(3)
+        .extended(0, 1)
+        .extended(1, 2)
+        .extended(0, 1);
     let start = s.to_circuit(&vec![0.2; s.num_params()]);
-    let cfg = QFactorConfig { max_sweeps: 20, ..Default::default() };
-    group.bench_function("20_sweeps_3q", |b| {
-        b.iter(|| black_box(qfactor_optimize(&start, &target, &cfg)));
+    let cfg = QFactorConfig {
+        max_sweeps: 20,
+        ..Default::default()
+    };
+    bench("qfactor/20_sweeps_3q", || {
+        qfactor_optimize(&start, &target, &cfg)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_instantiation, bench_qsearch, bench_qfactor);
-criterion_main!(benches);

@@ -1,37 +1,26 @@
 //! Transpiler performance: basis translation, routing, and full level-3
 //! pipelines on real device topologies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qaprox::prelude::*;
 use qaprox_algos::mct::mct_reference;
-use std::hint::black_box;
+use qaprox_bench::timing::{bench, header};
 
-fn bench_basis_translation(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("to_basis");
+fn main() {
+    header("transpile_bench");
+
     for n in [3usize, 4, 5] {
         let c = mct_reference(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| black_box(qaprox_transpile::to_basis(c)));
-        });
+        bench(&format!("to_basis/{n}"), || qaprox_transpile::to_basis(&c));
     }
-    group.finish();
-}
 
-fn bench_full_transpile(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("transpile_level3_toronto");
-    group.sample_size(20);
     let cal = devices::toronto();
     for n in [3usize, 4] {
         let c = mct_reference(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &c, |b, c| {
-            b.iter(|| black_box(transpile(c, &cal, OptLevel::L3, None)));
+        bench(&format!("transpile_level3_toronto/{n}"), || {
+            transpile(&c, &cal, OptLevel::L3, None)
         });
     }
-    group.finish();
-}
 
-fn bench_optimization_passes(crit: &mut Criterion) {
-    let mut group = crit.benchmark_group("peephole");
     let mut c = Circuit::new(4);
     for i in 0..50 {
         c.rz(0.1, i % 4).rx(0.2, (i + 1) % 4).cx(i % 3, i % 3 + 1);
@@ -39,11 +28,7 @@ fn bench_optimization_passes(crit: &mut Criterion) {
             c.cx(i % 3, i % 3 + 1); // cancellable pair
         }
     }
-    group.bench_function("optimize_200_gates", |b| {
-        b.iter(|| black_box(qaprox_transpile::optimize(&c)));
+    bench("peephole/optimize_200_gates", || {
+        qaprox_transpile::optimize(&c)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_basis_translation, bench_full_transpile, bench_optimization_passes);
-criterion_main!(benches);

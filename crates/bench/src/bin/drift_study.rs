@@ -2,8 +2,8 @@
 //! change constantly — does a circuit selected against *yesterday's*
 //! calibration still beat the reference on *today's* drifted device?
 
-use qaprox::selection::{choose, SelectionContext, Selector};
 use qaprox::prelude::*;
+use qaprox::selection::{choose, SelectionContext, Selector};
 use qaprox_bench::*;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
 
     // Select once against the *base* calibration (the "yesterday" choice).
     let base_backend = Backend::Noisy(NoiseModel::from_calibration(base.clone()));
-    let ctx = SelectionContext { ideal: &ideal, backend: &base_backend };
+    let ctx = SelectionContext {
+        ideal: &ideal,
+        backend: &base_backend,
+    };
     let chosen_idx = choose(&Selector::Oracle, &pop.circuits, &ctx);
     let chosen = &pop.circuits[chosen_idx];
     println!(

@@ -5,7 +5,11 @@ use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig02", "3q TFIM, Toronto noise model: reference vs selected approximations", &scale);
+    banner(
+        "fig02",
+        "3q TFIM, Toronto noise model: reference vs selected approximations",
+        &scale,
+    );
     let pops = tfim_populations(3, &scale);
     let backend = device_model_backend("toronto", 3);
     let results = qaprox::tfim_study::evaluate(&pops, &backend);

@@ -5,7 +5,11 @@ use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig04", "4q TFIM, Santiago noise model: all approximate circuits", &scale);
+    banner(
+        "fig04",
+        "4q TFIM, Santiago noise model: all approximate circuits",
+        &scale,
+    );
     let pops = tfim_populations(4, &scale);
     let backend = device_model_backend("santiago", 4);
     let results = qaprox::tfim_study::evaluate(&pops, &backend);

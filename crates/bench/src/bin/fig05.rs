@@ -6,12 +6,16 @@ use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig05", "3q Grover, Toronto noise model: P(correct) vs CNOT count", &scale);
+    banner(
+        "fig05",
+        "3q Grover, Toronto noise model: P(correct) vs CNOT count",
+        &scale,
+    );
     let study = GroverStudy::paper();
     let mut wf = scale.workflow(3);
     wf.max_hs = 0.5; // paper: "little to no filter" for Grover's wide population
-    // Grover's reference is deep (24+ CNOTs); search deeper than the TFIM
-    // default so the population contains strong approximations too.
+                     // Grover's reference is deep (24+ CNOTs); search deeper than the TFIM
+                     // default so the population contains strong approximations too.
     if let qaprox::Engine::QSearch(cfg) = &mut wf.engine {
         cfg.max_cnots = cfg.max_cnots.max(10);
         cfg.max_nodes = cfg.max_nodes.max(400);
@@ -28,5 +32,8 @@ fn main() {
     let ref_score = study.reference_score(&backend);
     print_scatter("p_correct", ref_score, reference.cx_count(), &scored);
     let better = scored.iter().filter(|s| s.score > ref_score).count();
-    println!("# {better}/{} approximations beat the reference", scored.len());
+    println!(
+        "# {better}/{} approximations beat the reference",
+        scored.len()
+    );
 }

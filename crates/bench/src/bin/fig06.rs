@@ -1,13 +1,19 @@
 //! Fig. 6: JS distance over CNOT count for the 4-qubit Toffoli under the
 //! Manhattan noise model; Qiskit reference (orange) and QFast default (red).
 
-use qaprox::toffoli_study::{battery_js, battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target};
 use qaprox::prelude::*;
+use qaprox::toffoli_study::{
+    battery_js, battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target,
+};
 use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig06", "4q Toffoli, Manhattan noise model: JS vs CNOT count", &scale);
+    banner(
+        "fig06",
+        "4q Toffoli, Manhattan noise model: JS vs CNOT count",
+        &scale,
+    );
     let target = toffoli_target(4);
     let wf = deep_toffoli_workflow(&scale);
     let pop = wf.generate(&target);
@@ -17,20 +23,29 @@ fn main() {
 
     // The paper transpiles the reference onto the device (level 1), which
     // inflates its CNOT count with routing SWAPs; evaluate it the same way.
-    let device = devices::by_name("manhattan").unwrap().induced(&(0..4).collect::<Vec<_>>());
+    let device = devices::by_name("manhattan")
+        .unwrap()
+        .induced(&(0..4).collect::<Vec<_>>());
     let reference = mct_reference(4);
     let (ref_js, routed_cnots) = battery_js_transpiled(
         &reference,
         &device,
         |cal| Backend::Noisy(NoiseModel::from_calibration(cal)),
-        0xA0);
+        0xA0,
+    );
     print_scatter("js_distance", ref_js, routed_cnots, &scored);
 
     // the QFast default (its best exact-ish output)
     let qf = qfast(&target, &Topology::linear(4), &scale.qfast_config());
     let qf_js = battery_js(&qf.best.circuit, &backend, 0xB0);
-    println!("qfast_default,{},{:.5},{:.4}", qf.best.cnots, qf.best.hs_distance, qf_js);
+    println!(
+        "qfast_default,{},{:.5},{:.4}",
+        qf.best.cnots, qf.best.hs_distance, qf_js
+    );
     println!("# random-noise JS floor: {:.4}", random_noise_js(4));
     let better = scored.iter().filter(|s| s.score < ref_js).count();
-    println!("# {better}/{} approximations beat the Qiskit reference", scored.len());
+    println!(
+        "# {better}/{} approximations beat the Qiskit reference",
+        scored.len()
+    );
 }

@@ -1,13 +1,19 @@
 //! Fig. 7: JS distance over CNOT count for the 5-qubit Toffoli under the
 //! Manhattan noise model; random noise sits at JS ~ 0.465.
 
-use qaprox::toffoli_study::{battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target};
 use qaprox::prelude::*;
+use qaprox::toffoli_study::{
+    battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target,
+};
 use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig07", "5q Toffoli, Manhattan noise model: JS vs CNOT count", &scale);
+    banner(
+        "fig07",
+        "5q Toffoli, Manhattan noise model: JS vs CNOT count",
+        &scale,
+    );
     let target = toffoli_target(5);
     let mut wf = scale.workflow_both(5);
     wf.max_hs = 0.6; // 5q MCT is far from shallow circuits; keep the wide stream
@@ -18,13 +24,16 @@ fn main() {
 
     // The paper transpiles the reference onto the device (level 1), which
     // inflates its CNOT count with routing SWAPs; evaluate it the same way.
-    let device = devices::by_name("manhattan").unwrap().induced(&(0..5).collect::<Vec<_>>());
+    let device = devices::by_name("manhattan")
+        .unwrap()
+        .induced(&(0..5).collect::<Vec<_>>());
     let reference = mct_reference(5);
     let (ref_js, routed_cnots) = battery_js_transpiled(
         &reference,
         &device,
         |cal| Backend::Noisy(NoiseModel::from_calibration(cal)),
-        0xC0);
+        0xC0,
+    );
     print_scatter("js_distance", ref_js, routed_cnots, &scored);
     println!("# random-noise JS floor: {:.4}", random_noise_js(5));
     println!("# reference ({routed_cnots} CNOTs after routing) JS: {ref_js:.4}");

@@ -1,13 +1,17 @@
 //! Fig. 11: CNOT depth of the best approximate circuit per timestep, for a
 //! range of CNOT error levels (Obs. 6: more noise -> shallower winners).
 
-use qaprox::sweep::{best_depth_series, cx_error_sweep, mean_best_depth, paper_error_levels};
 use qaprox::prelude::*;
+use qaprox::sweep::{best_depth_series, cx_error_sweep, mean_best_depth, paper_error_levels};
 use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig11", "best-circuit CNOT depth vs timestep per CNOT error level", &scale);
+    banner(
+        "fig11",
+        "best-circuit CNOT depth vs timestep per CNOT error level",
+        &scale,
+    );
     let pops = tfim_populations(3, &scale);
     let base = devices::ourense().induced(&[0, 1, 2]);
     let levels = paper_error_levels();

@@ -1,20 +1,28 @@
 //! Fig. 15: 4q Toffoli on the (emulated) Manhattan physical machine — the
 //! reference lands near/under the random-noise floor (JS ~ 0.465).
 
-use qaprox::toffoli_study::{battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target};
 use qaprox::prelude::*;
+use qaprox::toffoli_study::{
+    battery_js_transpiled, evaluate_population, random_noise_js, toffoli_target,
+};
 use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig15", "4q Toffoli on emulated Manhattan hardware: JS vs CNOTs", &scale);
+    banner(
+        "fig15",
+        "4q Toffoli on emulated Manhattan hardware: JS vs CNOTs",
+        &scale,
+    );
     let target = toffoli_target(4);
     let wf = deep_toffoli_workflow(&scale);
     let pop = wf.generate(&target);
     let circuits = cap_population(&pop.circuits, scale.population_cap);
     // heavy-2021 effects: the paper's Fig. 15 hardware drove this workload
     // to the random floor (Obs. 8)
-    let cal4 = devices::by_name("manhattan").unwrap().induced(&(0..4).collect::<Vec<_>>());
+    let cal4 = devices::by_name("manhattan")
+        .unwrap()
+        .induced(&(0..4).collect::<Vec<_>>());
     let backend = Backend::Hardware(HardwareBackend::with_effects(
         NoiseModel::from_calibration(cal4),
         HardwareEffects::heavy_2021(),
@@ -22,7 +30,9 @@ fn main() {
     let scored = evaluate_population(&circuits, &backend);
     // Transpile the reference onto the device chain (the paper's level-1
     // hardware preparation) and run it through the hardware emulation.
-    let device = devices::by_name("manhattan").unwrap().induced(&(0..4).collect::<Vec<_>>());
+    let device = devices::by_name("manhattan")
+        .unwrap()
+        .induced(&(0..4).collect::<Vec<_>>());
     let reference = mct_reference(4);
     let (ref_js, routed_cnots) = battery_js_transpiled(
         &reference,
@@ -39,7 +49,9 @@ fn main() {
     let floor = random_noise_js(4);
     println!("# random-noise JS floor: {floor:.4}");
     if let Some(best) = scored.iter().map(|s| s.score).min_by(f64::total_cmp) {
-        println!("# best approximate JS: {best:.4} ({:.0}% below reference)",
-                 (1.0 - best / ref_js) * 100.0);
+        println!(
+            "# best approximate JS: {best:.4} ({:.0}% below reference)",
+            (1.0 - best / ref_js) * 100.0
+        );
     }
 }

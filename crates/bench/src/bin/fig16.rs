@@ -7,11 +7,20 @@ use qaprox_device::{render_report, standard_mappings};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("fig16", "Toronto noise report and candidate mappings", &scale);
+    banner(
+        "fig16",
+        "Toronto noise report and candidate mappings",
+        &scale,
+    );
     let cal = toronto();
     print!("{}", render_report(&cal));
     println!("mapping,qubits,noise_score");
     for m in standard_mappings(&cal, 4) {
-        println!("{},{:?},{:.5}", m.name, m.qubits, cal.subset_score(&m.qubits));
+        println!(
+            "{},{:?},{:.5}",
+            m.name,
+            m.qubits,
+            cal.subset_score(&m.qubits)
+        );
     }
 }

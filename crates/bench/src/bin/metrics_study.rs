@@ -23,13 +23,17 @@ fn main() {
         return;
     }
     let ideal = qaprox_sim::statevector::probabilities(&reference);
-    println!("# population: {} circuits for TFIM step {step}", pop.circuits.len());
+    println!(
+        "# population: {} circuits for TFIM step {step}",
+        pop.circuits.len()
+    );
 
     println!("cx_error,metric,pearson,spearman");
     let base = devices::ourense().induced(&[0, 1, 2]);
     for eps in [0.0, 0.01, 0.06, 0.12, 0.24] {
-        let backend =
-            Backend::Noisy(NoiseModel::from_calibration(base.with_uniform_cx_error(eps)));
+        let backend = Backend::Noisy(NoiseModel::from_calibration(
+            base.with_uniform_cx_error(eps),
+        ));
         for r in correlate(&pop.circuits, &ideal, &backend) {
             println!("{eps},{},{:.3},{:.3}", r.metric, r.pearson, r.spearman);
         }

@@ -25,9 +25,7 @@ fn main() {
     println!("step,ref_err_raw,ref_err_mitigated,best_err_raw,best_err_mitigated");
     let mut gains = (0.0f64, 0.0f64);
     let mut rows = 0usize;
-    for (i, (reference, population)) in
-        pops.references.iter().zip(&pops.populations).enumerate()
-    {
+    for (i, (reference, population)) in pops.references.iter().zip(&pops.populations).enumerate() {
         let ideal_m = magnetization(&qaprox_sim::statevector::probabilities(reference));
         let raw_ref = backend.probabilities(reference, i as u64);
         let mit_ref = mitigate_readout(&raw_ref, &errors);

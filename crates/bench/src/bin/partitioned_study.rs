@@ -18,7 +18,11 @@ fn main() {
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
 
     println!("step,ref_cnots,part_cnots,part_hs_bound,ref_err,part_err");
-    for step in [4usize, 8, 12, 16, 21].iter().copied().filter(|&s| s <= scale.tfim_steps) {
+    for step in [4usize, 8, 12, 16, 21]
+        .iter()
+        .copied()
+        .filter(|&s| s <= scale.tfim_steps)
+    {
         let reference = tfim_circuit(&params, step);
         let cfg = PartitionConfig {
             segment_cnots: 8,

@@ -1,11 +1,15 @@
 //! Roadmap (Sec. 6.5): quantum-volume estimates for every device model.
-use qaprox::qvolume::quantum_volume;
 use qaprox::prelude::*;
+use qaprox::qvolume::quantum_volume;
 use qaprox_bench::{banner, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("qvolume", "quantum volume per device model (roadmap metric)", &scale);
+    banner(
+        "qvolume",
+        "quantum volume per device model (roadmap metric)",
+        &scale,
+    );
     let trials = if scale.tfim_steps < 21 { 4 } else { 16 };
     println!("machine,width,heavy_output_prob,passed,quantum_volume");
     for cal in devices::all_devices() {
@@ -14,8 +18,7 @@ fn main() {
         for p in &report.points {
             println!(
                 "{},{},{:.4},{},{}",
-                cal.machine, p.width, p.heavy_output_probability, p.passed,
-                report.quantum_volume
+                cal.machine, p.width, p.heavy_output_probability, p.passed, report.quantum_volume
             );
         }
     }

@@ -5,9 +5,9 @@
 //! budgets) should gain the most from approximation; as QV grows the exact
 //! reference catches up.
 
+use qaprox::prelude::*;
 use qaprox::qvolume::quantum_volume;
 use qaprox::tfim_study::{evaluate, series_error};
-use qaprox::prelude::*;
 use qaprox_bench::*;
 
 fn main() {
@@ -28,7 +28,11 @@ fn main() {
         let results = evaluate(&pops, &backend);
         let ref_err = series_error(&results, |r| r.noisy_ref);
         let best_err = series_error(&results, |r| r.best_approx.score);
-        let gain = if ref_err > 0.0 { (1.0 - best_err / ref_err) * 100.0 } else { 0.0 };
+        let gain = if ref_err > 0.0 {
+            (1.0 - best_err / ref_err) * 100.0
+        } else {
+            0.0
+        };
 
         let qv = quantum_volume(&cal, 3, trials, 0xAB).quantum_volume;
         println!(

@@ -1,13 +1,17 @@
 //! Extension (Obs. 2): which selection strategy picks the best approximate
 //! circuit without spending device time on every candidate?
 
-use qaprox::selection::{compare_selectors, regret, SelectionContext, Selector};
 use qaprox::prelude::*;
+use qaprox::selection::{compare_selectors, regret, SelectionContext, Selector};
 use qaprox_bench::*;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("selection_study", "selection strategies vs the oracle (Obs. 2)", &scale);
+    banner(
+        "selection_study",
+        "selection strategies vs the oracle (Obs. 2)",
+        &scale,
+    );
     let params = TfimParams::paper_defaults(3);
     let pops = qaprox::tfim_study::generate_populations(
         &params,
@@ -18,8 +22,9 @@ fn main() {
 
     println!("cx_error,step,selector,chosen_cnots,chosen_hs,true_tvd,regret");
     for eps in [0.01, 0.06, 0.12] {
-        let backend =
-            Backend::Noisy(NoiseModel::from_calibration(base.with_uniform_cx_error(eps)));
+        let backend = Backend::Noisy(NoiseModel::from_calibration(
+            base.with_uniform_cx_error(eps),
+        ));
         let selectors = vec![
             Selector::MinHs,
             Selector::CnotBudget(3),
@@ -34,7 +39,10 @@ fn main() {
                 continue;
             }
             let ideal = qaprox_sim::statevector::probabilities(reference);
-            let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+            let ctx = SelectionContext {
+                ideal: &ideal,
+                backend: &backend,
+            };
             let outcomes = compare_selectors(&selectors, &population.circuits, &ctx);
             let regrets = regret(&outcomes);
             for (o, (_, r)) in outcomes.iter().zip(&regrets) {

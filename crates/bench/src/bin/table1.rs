@@ -5,7 +5,11 @@ use qaprox_device::devices::{all_devices, TABLE1};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("table1", "Average CNOT error per machine (paper Table 1)", &scale);
+    banner(
+        "table1",
+        "Average CNOT error per machine (paper Table 1)",
+        &scale,
+    );
     println!("machine,num_qubits,avg_cnot_err,paper_value,avg_readout_err");
     for cal in all_devices() {
         let paper = TABLE1

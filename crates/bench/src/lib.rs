@@ -72,17 +72,27 @@ impl Scale {
     /// QSearch configured for `n`-qubit targets at this scale.
     pub fn qsearch_config(&self, n: usize) -> QSearchConfig {
         QSearchConfig {
-            max_cnots: if n <= 3 { self.max_cnots_3q } else { self.max_cnots_4q },
+            max_cnots: if n <= 3 {
+                self.max_cnots_3q
+            } else {
+                self.max_cnots_4q
+            },
             max_nodes: self.max_nodes,
             beam_width: self.beam_width,
-            instantiate: InstantiateConfig { starts: self.starts, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: self.starts,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
 
     /// QFast configured for this scale.
     pub fn qfast_config(&self) -> QFastConfig {
-        QFastConfig { max_blocks: self.qfast_blocks, ..Default::default() }
+        QFastConfig {
+            max_blocks: self.qfast_blocks,
+            ..Default::default()
+        }
     }
 
     /// The generation workflow for `n`-qubit targets on a linear chain
@@ -110,7 +120,11 @@ impl Scale {
 /// Generates the TFIM populations used by several figures.
 pub fn tfim_populations(n: usize, scale: &Scale) -> TfimPopulations {
     let params = TfimParams::paper_defaults(n);
-    let wf = if n <= 3 { scale.workflow(n) } else { scale.workflow_both(n) };
+    let wf = if n <= 3 {
+        scale.workflow(n)
+    } else {
+        scale.workflow_both(n)
+    };
     generate_populations(&params, scale.tfim_steps, &wf)
 }
 
@@ -224,8 +238,15 @@ pub fn print_tfim_verdict(results: &[qaprox::tfim_study::TimestepResult]) {
         .count();
     let ref_err = qaprox::tfim_study::series_error(results, |r| r.noisy_ref);
     let best_err = qaprox::tfim_study::series_error(results, |r| r.best_approx.score);
-    let gain = if ref_err > 0.0 { (1.0 - best_err / ref_err) * 100.0 } else { 0.0 };
-    println!("# best-approx beats noisy reference on {wins}/{} timesteps", results.len());
+    let gain = if ref_err > 0.0 {
+        (1.0 - best_err / ref_err) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "# best-approx beats noisy reference on {wins}/{} timesteps",
+        results.len()
+    );
     println!(
         "# mean |error|: noisy_ref={ref_err:.4} best_approx={best_err:.4} precision_gain={gain:.1}%"
     );
@@ -260,15 +281,18 @@ pub fn print_scatter(label: &str, reference_score: f64, reference_cnots: usize, 
 /// paper's Fig. 6 population spans dozens of CNOTs, which needs a deeper
 /// QSearch ladder plus the QFast stream.
 pub fn deep_toffoli_workflow(scale: &Scale) -> Workflow {
-    use qaprox_synth::InstantiateConfig;
     use qaprox_opt::LbfgsParams;
+    use qaprox_synth::InstantiateConfig;
     let qs = QSearchConfig {
         max_cnots: if scale.tfim_steps < 21 { 6 } else { 14 },
         max_nodes: if scale.tfim_steps < 21 { 60 } else { 420 },
         beam_width: if scale.tfim_steps < 21 { 2 } else { 6 },
         instantiate: InstantiateConfig {
             starts: if scale.tfim_steps < 21 { 1 } else { 4 },
-            lbfgs: LbfgsParams { max_iters: 300, ..Default::default() },
+            lbfgs: LbfgsParams {
+                max_iters: 300,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -301,22 +325,119 @@ pub fn mapping_figure(id: &str, mapping_index: usize) {
     } else {
         let maps = standard_mappings(&device, 4);
         let m = &maps[mapping_index];
-        (Placement::Manual(m.qubits.clone()), format!("{} {:?}", m.name, m.qubits))
+        (
+            Placement::Manual(m.qubits.clone()),
+            format!("{} {:?}", m.name, m.qubits),
+        )
     };
-    banner(id, &format!("4q Toffoli on Toronto hardware emulation, mapping {label}"), &scale);
+    banner(
+        id,
+        &format!("4q Toffoli on Toronto hardware emulation, mapping {label}"),
+        &scale,
+    );
 
     let wf = deep_toffoli_workflow(&scale);
     let pop = wf.generate(&toffoli_target(4));
     let circuits = cap_population(&pop.circuits, scale.population_cap.min(120));
 
-    let study = MappingStudy { device, placement, effects: HardwareEffects::heavy_2021() };
+    let study = MappingStudy {
+        device,
+        placement,
+        effects: HardwareEffects::heavy_2021(),
+    };
     let reference = mct_reference(4);
     let ref_js = study.reference_js(&reference);
     let scored = study.evaluate_population(&circuits);
     print_scatter("js_distance", ref_js, reference.cx_count(), &scored);
     println!("# random-noise JS floor: {:.4}", random_noise_js(4));
     let better = scored.iter().filter(|s| s.score < ref_js).count();
-    println!("# {better}/{} approximations beat the reference under this mapping", scored.len());
+    println!(
+        "# {better}/{} approximations beat the reference under this mapping",
+        scored.len()
+    );
+}
+
+/// Minimal wall-clock benchmarking used by the `benches/` binaries
+/// (`harness = false`): warm up, pick an iteration count that fills a fixed
+/// measurement window, and report min/median/mean per-iteration times.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One measured benchmark: label plus per-iteration statistics.
+    pub struct Measurement {
+        /// Human-readable benchmark id (`group/case`).
+        pub label: String,
+        /// Iterations per sample.
+        pub iters: u64,
+        /// Fastest sample, per iteration.
+        pub min: Duration,
+        /// Median sample, per iteration.
+        pub median: Duration,
+        /// Mean over all samples, per iteration.
+        pub mean: Duration,
+    }
+
+    fn per_iter(total: Duration, iters: u64) -> Duration {
+        Duration::from_nanos((total.as_nanos() / u128::from(iters.max(1))) as u64)
+    }
+
+    /// Runs `f` repeatedly and reports per-iteration wall-clock statistics.
+    ///
+    /// The iteration count is calibrated so each of the `samples` batches
+    /// takes roughly `target` wall time; results are printed as one
+    /// CSV-style row (`label,iters,min_ns,median_ns,mean_ns`).
+    pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
+        let target = Duration::from_millis(40);
+        let samples = 9usize;
+        // warm-up + calibration: double until one batch crosses ~1/4 target
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= target / 4 || iters >= 1 << 20 {
+                let scale = target.as_secs_f64() / took.as_secs_f64().max(1e-9);
+                iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 22);
+                break;
+            }
+            iters *= 2;
+        }
+        let mut durations: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                per_iter(t0.elapsed(), iters)
+            })
+            .collect();
+        durations.sort_unstable();
+        let mean = durations.iter().sum::<Duration>() / samples as u32;
+        let m = Measurement {
+            label: label.to_string(),
+            iters,
+            min: durations[0],
+            median: durations[samples / 2],
+            mean,
+        };
+        println!(
+            "{},{},{},{},{}",
+            m.label,
+            m.iters,
+            m.min.as_nanos(),
+            m.median.as_nanos(),
+            m.mean.as_nanos()
+        );
+        m
+    }
+
+    /// Prints the CSV header shared by every bench binary.
+    pub fn header(name: &str) {
+        println!("# bench: {name}");
+        println!("label,iters_per_sample,min_ns,median_ns,mean_ns");
+    }
 }
 
 #[cfg(test)]
@@ -356,7 +477,10 @@ mod tests {
         let capped = cap_population(&pop, 4);
         assert_eq!(capped.len(), 4);
         // both depth classes must survive the cap
-        assert!(capped.iter().any(|c| c.cnots == 0), "shallow circuits dropped");
+        assert!(
+            capped.iter().any(|c| c.cnots == 0),
+            "shallow circuits dropped"
+        );
         assert!(capped.iter().any(|c| c.cnots == 2), "deep circuits dropped");
     }
 }

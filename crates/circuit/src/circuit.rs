@@ -2,8 +2,7 @@
 
 use crate::gate::Gate;
 use qaprox_linalg::kernels::{
-    apply_1q_vec, apply_2q_vec, apply_1q_mat_left, apply_2q_mat_left, mat2_to_array,
-    mat4_to_array,
+    apply_1q_mat_left, apply_1q_vec, apply_2q_mat_left, apply_2q_vec, mat2_to_array, mat4_to_array,
 };
 use qaprox_linalg::matrix::Matrix;
 use qaprox_linalg::Complex64;
@@ -28,7 +27,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, instructions: Vec::new() }
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of qubits.
@@ -67,14 +69,26 @@ impl Circuit {
     /// Panics if the qubit list length does not match the gate arity, if any
     /// qubit is out of range, or if a two-qubit gate repeats a qubit.
     pub fn push(&mut self, gate: Gate, qubits: &[usize]) {
-        assert_eq!(qubits.len(), gate.arity(), "qubit count != gate arity for {}", gate.name());
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "qubit count != gate arity for {}",
+            gate.name()
+        );
         for &q in qubits {
-            assert!(q < self.num_qubits, "qubit {q} out of range (n={})", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range (n={})",
+                self.num_qubits
+            );
         }
         if qubits.len() == 2 {
             assert_ne!(qubits[0], qubits[1], "two-qubit gate with repeated qubit");
         }
-        self.instructions.push(Instruction { gate, qubits: qubits.to_vec() });
+        self.instructions.push(Instruction {
+            gate,
+            qubits: qubits.to_vec(),
+        });
     }
 
     /// Appends every instruction of `other` (qubit counts must match).
@@ -162,7 +176,10 @@ impl Circuit {
 
     /// Number of two-qubit gates of any kind.
     pub fn two_qubit_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.is_two_qubit()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.is_two_qubit())
+            .count()
     }
 
     /// CNOT cost after decomposition to the {U3, CX} basis
@@ -294,8 +311,8 @@ mod tests {
         let s = std::f64::consts::FRAC_1_SQRT_2;
         assert!((sv[0].abs() - s).abs() < 1e-13);
         assert!((sv[7].abs() - s).abs() < 1e-13);
-        for i in 1..7 {
-            assert!(sv[i].abs() < 1e-13, "leak at index {i}");
+        for (i, amp) in sv.iter().enumerate().take(7).skip(1) {
+            assert!(amp.abs() < 1e-13, "leak at index {i}");
         }
     }
 
@@ -314,7 +331,12 @@ mod tests {
     #[test]
     fn inverse_cancels_circuit() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).rz(1.3, 1).swap(1, 2).u3(0.4, 1.1, -0.6, 2).cz(0, 2);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1.3, 1)
+            .swap(1, 2)
+            .u3(0.4, 1.1, -0.6, 2)
+            .cz(0, 2);
         let mut full = c.clone();
         full.extend(&c.inverse());
         assert!(full.unitary().approx_eq(&Matrix::identity(8), 1e-12));

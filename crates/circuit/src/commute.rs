@@ -5,15 +5,21 @@
 //! This module encodes the standard structural rules; every rule is verified
 //! against explicit matrices in the tests.
 
-use crate::gate::Gate;
 use crate::circuit::Instruction;
+use crate::gate::Gate;
 
 /// Gates diagonal in the computational basis (commute with anything that is
 /// also diagonal, and with a CX's *control*).
 pub fn is_diagonal(gate: &Gate) -> bool {
     matches!(
         gate,
-        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::RZ(_) | Gate::P(_)
+        Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::RZ(_)
+            | Gate::P(_)
             | Gate::CZ
             | Gate::CP(_)
             | Gate::CRZ(_)
@@ -94,7 +100,10 @@ mod tests {
     }
 
     fn inst(gate: Gate, qubits: &[usize]) -> Instruction {
-        Instruction { gate, qubits: qubits.to_vec() }
+        Instruction {
+            gate,
+            qubits: qubits.to_vec(),
+        }
     }
 
     #[test]

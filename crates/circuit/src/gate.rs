@@ -223,7 +223,11 @@ impl Gate {
 
 /// Builds the controlled version of a one-qubit gate matrix, control = high bit.
 pub fn controlled(u: &Matrix) -> Matrix {
-    assert_eq!((u.rows(), u.cols()), (2, 2), "controlled() expects a 2x2 gate");
+    assert_eq!(
+        (u.rows(), u.cols()),
+        (2, 2),
+        "controlled() expects a 2x2 gate"
+    );
     let mut m = Matrix::identity(4);
     m[(2, 2)] = u[(0, 0)];
     m[(2, 3)] = u[(0, 1)];
@@ -315,9 +319,13 @@ mod tests {
     fn u3_special_cases() {
         use std::f64::consts::PI;
         // U3(pi/2, 0, pi) = H
-        assert!(Gate::U3(PI / 2.0, 0.0, PI).matrix().approx_eq(&Gate::H.matrix(), 1e-13));
+        assert!(Gate::U3(PI / 2.0, 0.0, PI)
+            .matrix()
+            .approx_eq(&Gate::H.matrix(), 1e-13));
         // U3(pi, 0, pi) = X
-        assert!(Gate::U3(PI, 0.0, PI).matrix().approx_eq(&Gate::X.matrix(), 1e-13));
+        assert!(Gate::U3(PI, 0.0, PI)
+            .matrix()
+            .approx_eq(&Gate::X.matrix(), 1e-13));
     }
 
     #[test]
@@ -353,9 +361,7 @@ mod tests {
     fn controlled_builder_matches_named_gates() {
         assert!(controlled(&Gate::X.matrix()).approx_eq(&Gate::CX.matrix(), 1e-14));
         assert!(controlled(&Gate::Z.matrix()).approx_eq(&Gate::CZ.matrix(), 1e-14));
-        assert!(
-            controlled(&Gate::RZ(0.7).matrix()).approx_eq(&Gate::CRZ(0.7).matrix(), 1e-14)
-        );
+        assert!(controlled(&Gate::RZ(0.7).matrix()).approx_eq(&Gate::CRZ(0.7).matrix(), 1e-14));
     }
 
     #[test]

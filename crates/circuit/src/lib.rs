@@ -21,5 +21,5 @@ pub mod qasm;
 
 pub use circuit::{Circuit, Instruction};
 pub use commute::commutes;
-pub use parser::{from_qasm, ParseError};
 pub use gate::{controlled, Gate};
+pub use parser::{from_qasm, from_qasm_lenient, ParseError, RawProgram};

@@ -5,7 +5,7 @@
 //! `pi`-expressions like `pi/2` or `-0.5*pi`). Round-tripping circuits
 //! through text lets experiment artifacts be re-loaded and re-executed.
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, Instruction};
 use crate::gate::Gate;
 
 /// A parse failure with a line number and message.
@@ -26,7 +26,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses an angle literal: a float, `pi`, `-pi`, `pi/N`, or `F*pi`.
@@ -36,7 +39,11 @@ fn parse_angle(s: &str, line: usize) -> Result<f64, ParseError> {
         return Ok(v);
     }
     let pi = std::f64::consts::PI;
-    let (sign, body) = if let Some(rest) = t.strip_prefix('-') { (-1.0, rest.trim()) } else { (1.0, t) };
+    let (sign, body) = if let Some(rest) = t.strip_prefix('-') {
+        (-1.0, rest.trim())
+    } else {
+        (1.0, t)
+    };
     if body == "pi" {
         return Ok(sign * pi);
     }
@@ -69,10 +76,31 @@ fn parse_qubit(s: &str, line: usize) -> Result<usize, ParseError> {
         .map_err(|_| err(line, format!("bad qubit index in '{t}'")))
 }
 
-/// Parses the text format produced by [`crate::qasm::to_qasm`] back into a
-/// circuit.
-pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
-    let mut circuit: Option<Circuit> = None;
+/// A leniently parsed program: the declared register width plus the raw
+/// instruction stream, with **no** structural validation applied.
+///
+/// [`from_qasm`] rejects programs with out-of-range operands or wrong gate
+/// arity; static analysis wants to *see* those programs so it can report
+/// every defect with a code and location instead of dying on the first one.
+#[derive(Debug, Clone)]
+pub struct RawProgram {
+    /// Width of the `qreg` declaration.
+    pub num_qubits: usize,
+    /// Instructions in program order, operands unchecked.
+    pub instructions: Vec<Instruction>,
+    /// 1-based source line of each instruction (parallel to `instructions`).
+    pub lines: Vec<usize>,
+}
+
+/// Parses the text format produced by [`crate::qasm::to_qasm`] without
+/// validating operands, so defective programs survive parsing and can be
+/// diagnosed downstream (e.g. by `qaprox-verify`).
+///
+/// Only *syntactic* problems fail: missing `qreg`, unknown gate names,
+/// malformed angles or operands, wrong parameter counts. Out-of-range
+/// qubits, duplicate operands, and wrong operand counts parse fine.
+pub fn from_qasm_lenient(text: &str) -> Result<RawProgram, ParseError> {
+    let mut program: Option<RawProgram> = None;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.split("//").next().unwrap_or("").trim();
@@ -91,14 +119,18 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
                 .and_then(|r| r.strip_suffix(']'))
                 .and_then(|r| r.parse::<usize>().ok())
                 .ok_or_else(|| err(line_no, "malformed qreg declaration"))?;
-            if circuit.is_some() {
+            if program.is_some() {
                 return Err(err(line_no, "duplicate qreg declaration"));
             }
-            circuit = Some(Circuit::new(n));
+            program = Some(RawProgram {
+                num_qubits: n,
+                instructions: Vec::new(),
+                lines: Vec::new(),
+            });
             continue;
         }
 
-        let c = circuit
+        let p = program
             .as_mut()
             .ok_or_else(|| err(line_no, "gate before qreg declaration"))?;
 
@@ -180,15 +212,33 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
             }
             other => return Err(err(line_no, format!("unknown gate '{other}'"))),
         };
-        if qubits.len() != gate.arity() {
+        p.instructions.push(Instruction { gate, qubits });
+        p.lines.push(line_no);
+    }
+    program.ok_or_else(|| err(0, "no qreg declaration found"))
+}
+
+/// Parses the text format produced by [`crate::qasm::to_qasm`] back into a
+/// circuit, validating operand counts (arity) here and operand ranges via
+/// [`Circuit::push`].
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
+    let raw = from_qasm_lenient(text)?;
+    let mut c = Circuit::new(raw.num_qubits);
+    for (inst, line_no) in raw.instructions.into_iter().zip(raw.lines) {
+        if inst.qubits.len() != inst.gate.arity() {
             return Err(err(
                 line_no,
-                format!("{name} expects {} qubit(s), got {}", gate.arity(), qubits.len()),
+                format!(
+                    "{} expects {} qubit(s), got {}",
+                    inst.gate.name(),
+                    inst.gate.arity(),
+                    inst.qubits.len()
+                ),
             ));
         }
-        c.push(gate, &qubits);
+        c.push(inst.gate, &inst.qubits);
     }
-    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+    Ok(c)
 }
 
 #[cfg(test)]
@@ -228,8 +278,7 @@ mod tests {
 
     #[test]
     fn parses_pi_expressions() {
-        let c = from_qasm("qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(0.5*pi) q[0];\n")
-            .unwrap();
+        let c = from_qasm("qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(0.5*pi) q[0];\n").unwrap();
         match &c.instructions()[0].gate {
             Gate::RZ(t) => assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
             g => panic!("unexpected gate {g:?}"),
@@ -242,7 +291,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_headers() {
-        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// a comment\nqreg q[1];\nx q[0]; // flip\n";
+        let src =
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// a comment\nqreg q[1];\nx q[0]; // flip\n";
         let c = from_qasm(src).unwrap();
         assert_eq!(c.len(), 1);
     }
@@ -264,6 +314,24 @@ mod tests {
         // the parser delegates range checking to Circuit::push
         let res = std::panic::catch_unwind(|| from_qasm("qreg q[1];\nh q[5];\n"));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn lenient_parse_keeps_defective_programs() {
+        let raw = from_qasm_lenient("qreg q[2];\nh q[5];\ncx q[0],q[0];\ncx q[1];\n").unwrap();
+        assert_eq!(raw.num_qubits, 2);
+        assert_eq!(raw.instructions.len(), 3);
+        assert_eq!(raw.instructions[0].qubits, vec![5]); // out of range kept
+        assert_eq!(raw.instructions[1].qubits, vec![0, 0]); // duplicate kept
+        assert_eq!(raw.instructions[2].qubits, vec![1]); // wrong arity kept
+        assert_eq!(raw.lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn lenient_parse_still_rejects_syntax_errors() {
+        assert!(from_qasm_lenient("qreg q[1];\nfoo q[0];\n").is_err());
+        assert!(from_qasm_lenient("qreg q[1];\nrz(abc) q[0];\n").is_err());
+        assert!(from_qasm_lenient("h q[0];\n").is_err());
     }
 
     #[test]

@@ -10,7 +10,12 @@ use std::fmt::Write as _;
 /// Renders a circuit as a QASM-like text block.
 pub fn to_qasm(circuit: &Circuit) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// qaprox circuit: {} qubits, {} gates", circuit.num_qubits(), circuit.len());
+    let _ = writeln!(
+        out,
+        "// qaprox circuit: {} qubits, {} gates",
+        circuit.num_qubits(),
+        circuit.len()
+    );
     let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
     for inst in circuit.iter() {
         let qs: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
@@ -66,7 +71,10 @@ mod tests {
         let mut c = Circuit::new(1);
         c.u3(0.123456789012, -1.0, 2.0, 0);
         let text = to_qasm(&c);
-        assert!(text.contains("u3(0.123456789012"), "12-digit angles: {text}");
+        assert!(
+            text.contains("u3(0.123456789012"),
+            "12-digit angles: {text}"
+        );
     }
 
     #[test]

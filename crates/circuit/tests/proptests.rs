@@ -1,13 +1,16 @@
-//! Property-based tests for the circuit IR.
+//! Property-style tests for the circuit IR, driven by the in-repo seeded RNG.
 
-use proptest::prelude::*;
 use qaprox_circuit::{Circuit, Gate};
+use qaprox_linalg::random::{Rng, SplitMix64};
 use qaprox_linalg::Matrix;
 
-/// Strategy: a random gate placement for an `n`-qubit circuit.
-fn placement(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
-    let one_q = (0..7, 0..n, -3.0f64..3.0).prop_map(|(kind, q, t)| {
-        let gate = match kind {
+const CASES: usize = 32;
+
+/// A random gate placement for an `n`-qubit circuit.
+fn placement(n: usize, rng: &mut SplitMix64) -> (Gate, Vec<usize>) {
+    if rng.gen::<bool>() || n < 2 {
+        let t = rng.gen_range(-3.0..3.0);
+        let gate = match rng.gen_range(0u8..7) {
             0 => Gate::H,
             1 => Gate::X,
             2 => Gate::S,
@@ -16,93 +19,129 @@ fn placement(n: usize) -> impl Strategy<Value = (Gate, Vec<usize>)> {
             5 => Gate::RY(t),
             _ => Gate::RZ(t),
         };
-        (gate, vec![q])
-    });
-    let two_q = (0..4, 0..n, 0..n, -3.0f64..3.0).prop_filter_map(
-        "distinct qubits",
-        |(kind, a, b, t)| {
-            if a == b {
-                return None;
+        (gate, vec![rng.gen_range(0..n)])
+    } else {
+        let a = rng.gen_range(0..n);
+        let b = loop {
+            let b = rng.gen_range(0..n);
+            if b != a {
+                break b;
             }
-            let gate = match kind {
-                0 => Gate::CX,
-                1 => Gate::CZ,
-                2 => Gate::SWAP,
-                _ => Gate::CP(t),
-            };
-            Some((gate, vec![a, b]))
-        },
-    );
-    prop_oneof![one_q, two_q]
-}
-
-fn random_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(placement(n), 0..max_len).prop_map(move |placements| {
-        let mut c = Circuit::new(n);
-        for (gate, qubits) in placements {
-            c.push(gate, &qubits);
-        }
-        c
-    })
-}
-
-proptest! {
-    #[test]
-    fn circuit_unitaries_are_unitary(c in random_circuit(3, 20)) {
-        prop_assert!(c.unitary().is_unitary(1e-9));
+        };
+        let gate = match rng.gen_range(0u8..4) {
+            0 => Gate::CX,
+            1 => Gate::CZ,
+            2 => Gate::SWAP,
+            _ => Gate::CP(rng.gen_range(-3.0..3.0)),
+        };
+        (gate, vec![a, b])
     }
+}
 
-    #[test]
-    fn inverse_composes_to_identity(c in random_circuit(3, 15)) {
+fn random_circuit(n: usize, max_len: usize, rng: &mut SplitMix64) -> Circuit {
+    let len = rng.gen_range(0..max_len);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        let (gate, qubits) = placement(n, rng);
+        c.push(gate, &qubits);
+    }
+    c
+}
+
+#[test]
+fn circuit_unitaries_are_unitary() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let c = random_circuit(3, 20, &mut rng);
+        assert!(c.unitary().is_unitary(1e-9));
+    }
+}
+
+#[test]
+fn inverse_composes_to_identity() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let c = random_circuit(3, 15, &mut rng);
         let mut full = c.clone();
         full.extend(&c.inverse());
-        prop_assert!(full.unitary().approx_eq(&Matrix::identity(8), 1e-8));
+        assert!(full.unitary().approx_eq(&Matrix::identity(8), 1e-8));
     }
+}
 
-    #[test]
-    fn statevector_preserves_norm(c in random_circuit(3, 25)) {
+#[test]
+fn statevector_preserves_norm() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let c = random_circuit(3, 25, &mut rng);
         let sv = c.statevector();
         let norm: f64 = sv.iter().map(|z| z.norm_sqr()).sum();
-        prop_assert!((norm - 1.0).abs() < 1e-9);
+        assert!((norm - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn unitary_first_column_is_ground_statevector(c in random_circuit(2, 15)) {
+#[test]
+fn unitary_first_column_is_ground_statevector() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let c = random_circuit(2, 15, &mut rng);
         let u = c.unitary();
         let sv = c.statevector();
         for i in 0..4 {
-            prop_assert!((u[(i, 0)] - sv[i]).abs() < 1e-10);
+            assert!((u[(i, 0)] - sv[i]).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn depth_bounds(c in random_circuit(4, 30)) {
-        prop_assert!(c.depth() <= c.len());
-        prop_assert!(c.cnot_depth() <= c.two_qubit_count());
-        prop_assert!(c.cx_count() <= c.two_qubit_count());
+#[test]
+fn depth_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(5);
+    for _ in 0..CASES {
+        let c = random_circuit(4, 30, &mut rng);
+        assert!(c.depth() <= c.len());
+        assert!(c.cnot_depth() <= c.two_qubit_count());
+        assert!(c.cx_count() <= c.two_qubit_count());
     }
+}
 
-    #[test]
-    fn extend_mapped_preserves_unitary_under_identity_map(c in random_circuit(3, 15)) {
+#[test]
+fn extend_mapped_preserves_unitary_under_identity_map() {
+    let mut rng = SplitMix64::seed_from_u64(6);
+    for _ in 0..CASES {
+        let c = random_circuit(3, 15, &mut rng);
         let mut out = Circuit::new(3);
         out.extend_mapped(&c, &[0, 1, 2]);
-        prop_assert_eq!(out, c);
+        assert_eq!(out, c);
     }
+}
 
-    #[test]
-    fn qasm_has_one_line_per_gate(c in random_circuit(3, 20)) {
+#[test]
+fn qasm_has_one_line_per_gate() {
+    let mut rng = SplitMix64::seed_from_u64(7);
+    for _ in 0..CASES {
+        let c = random_circuit(3, 20, &mut rng);
         let text = qaprox_circuit::qasm::to_qasm(&c);
         let gate_lines = text
             .lines()
             .filter(|l| l.ends_with(';') && !l.starts_with("qreg"))
             .count();
-        prop_assert_eq!(gate_lines, c.len());
+        assert_eq!(gate_lines, c.len());
     }
+}
 
-    #[test]
-    fn dagger_is_matrix_adjoint(t in -3.0f64..3.0) {
-        for g in [Gate::RX(t), Gate::RY(t), Gate::RZ(t), Gate::P(t), Gate::CP(t), Gate::CRZ(t)] {
-            prop_assert!(g.dagger().matrix().approx_eq(&g.matrix().adjoint(), 1e-12));
+#[test]
+fn dagger_is_matrix_adjoint() {
+    let mut rng = SplitMix64::seed_from_u64(8);
+    for _ in 0..CASES {
+        let t = rng.gen_range(-3.0..3.0);
+        for g in [
+            Gate::RX(t),
+            Gate::RY(t),
+            Gate::RZ(t),
+            Gate::P(t),
+            Gate::CP(t),
+            Gate::CRZ(t),
+        ] {
+            assert!(g.dagger().matrix().approx_eq(&g.matrix().adjoint(), 1e-12));
         }
     }
 }

@@ -14,6 +14,11 @@ pub struct Args {
     pub positional: Vec<String>,
 }
 
+/// Flags that never take a value — without this list the parser would
+/// swallow a following positional as the flag's value
+/// (`lint --strict-connectivity file.qasm` must keep `file.qasm`).
+const BOOLEAN_FLAGS: &[&str] = &["hardware", "strict-connectivity"];
+
 /// Parses an argument list (excluding the program name).
 pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args::default();
@@ -30,6 +35,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             }
             // value if the next token is not another option
             let value = match iter.peek() {
+                _ if BOOLEAN_FLAGS.contains(&key) => "true".to_string(),
                 Some(next) if !next.starts_with("--") => iter.next().unwrap(),
                 _ => "true".to_string(),
             };
@@ -103,6 +109,16 @@ mod tests {
     fn positional_arguments_collect() {
         let a = of(&["show", "file1", "file2", "--k", "v"]).unwrap();
         assert_eq!(a.positional, vec!["file1", "file2"]);
+    }
+
+    #[test]
+    fn boolean_flags_do_not_swallow_positionals() {
+        let a = of(&["lint", "--strict-connectivity", "file.qasm"]).unwrap();
+        assert!(a.flag("strict-connectivity"));
+        assert_eq!(a.positional, vec!["file.qasm"]);
+        let b = of(&["run", "--hardware", "--device", "rome"]).unwrap();
+        assert!(b.flag("hardware"));
+        assert_eq!(b.str_or("device", "x"), "rome");
     }
 
     #[test]

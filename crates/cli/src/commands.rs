@@ -26,6 +26,11 @@ SUBCOMMANDS:
   devices   list the built-in calibration snapshots
   report    print a device noise report (--device NAME)
   show      dump the reference circuit as QASM (workload options)
+  lint      statically analyze QASM files for defects (exit 1 on errors)
+              qaprox lint FILE... [--format text|json]
+              --device NAME  check connectivity + calibration sanity
+              --strict-connectivity  treat coupling violations as errors
+              --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
   help      this text
 ";
 
@@ -37,6 +42,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "devices" => cmd_devices(),
         "report" => cmd_report(args),
         "show" => cmd_show(args),
+        "lint" => cmd_lint(args),
         "help" => {
             print!("{USAGE}");
             Ok(())
@@ -77,7 +83,10 @@ fn workflow_from(args: &Args, qubits: usize) -> Result<Workflow, String> {
             max_cnots,
             max_nodes: args.get_or("max-nodes", 150)?,
             beam_width: 4,
-            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs,
@@ -118,7 +127,9 @@ fn backend_from(args: &Args, qubits: usize) -> Result<Backend, String> {
     let device = args.str_or("device", "ourense");
     let cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
     if qubits > cal.topology.num_qubits() {
-        return Err(format!("device {device} has too few qubits for --qubits {qubits}"));
+        return Err(format!(
+            "device {device} has too few qubits for --qubits {qubits}"
+        ));
     }
     let mut induced = cal.induced(&(0..qubits).collect::<Vec<_>>());
     if let Some(raw) = args.options.get("cx-error") {
@@ -199,6 +210,81 @@ fn cmd_show(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a [`LintConfig`](qaprox_verify::LintConfig) from
+/// `--allow/--warn/--deny CODE[,CODE...]` and `--strict-connectivity`.
+fn lint_config_from(args: &Args) -> Result<qaprox_verify::LintConfig, String> {
+    use qaprox_verify::{LintCode, LintConfig, LintLevel};
+    let mut cfg = if args.flag("strict-connectivity") {
+        LintConfig::strict_connectivity()
+    } else {
+        LintConfig::new()
+    };
+    for (key, level) in [
+        ("allow", LintLevel::Allow),
+        ("warn", LintLevel::Warn),
+        ("deny", LintLevel::Deny),
+    ] {
+        if let Some(raw) = args.options.get(key) {
+            for tok in raw.split(',') {
+                let code = LintCode::parse(tok.trim())
+                    .ok_or_else(|| format!("--{key}: unknown lint code '{}'", tok.trim()))?;
+                cfg.set(code, level);
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Statically analyzes QASM files (and optionally a device calibration) and
+/// reports diagnostics; returns `Err` — i.e. a non-zero exit — when any
+/// deny-level finding is produced.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("lint: give at least one QASM file".into());
+    }
+    let cfg = lint_config_from(args)?;
+    let format = args.str_or("format", "text");
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("--format: expected text|json, got '{format}'"));
+    }
+    let calibration = match args.options.get("device") {
+        Some(name) => {
+            Some(devices::by_name(name).ok_or_else(|| format!("unknown device '{name}'"))?)
+        }
+        None => None,
+    };
+
+    let mut total_errors = 0usize;
+    for path in &args.positional {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let raw = qaprox_circuit::from_qasm_lenient(&text)
+            .map_err(|e| format!("{path}: parse error: {e}"))?;
+        let mut report = qaprox_verify::lint_instructions(
+            raw.num_qubits,
+            &raw.instructions,
+            calibration.as_ref().map(|cal| &cal.topology),
+            &cfg,
+        );
+        if let Some(cal) = &calibration {
+            report.extend(qaprox_verify::lint_calibration(cal, &cfg));
+        }
+        total_errors += report.error_count();
+        match format.as_str() {
+            "json" => println!("{}", report.to_json()),
+            _ => {
+                println!("# {path}");
+                print!("{}", report.to_text());
+            }
+        }
+    }
+    if total_errors > 0 {
+        Err(format!("lint found {total_errors} error(s)"))
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,7 +304,10 @@ mod tests {
     #[test]
     fn show_emits_qasm_for_all_workloads() {
         for w in ["tfim", "grover", "toffoli"] {
-            assert!(run(&["show", "--workload", w, "--qubits", "3"]).is_ok(), "{w}");
+            assert!(
+                run(&["show", "--workload", w, "--qubits", "3"]).is_ok(),
+                "{w}"
+            );
         }
         assert!(run(&["show", "--workload", "unknown"]).is_err());
     }
@@ -226,8 +315,19 @@ mod tests {
     #[test]
     fn synth_small_population() {
         assert!(run(&[
-            "synth", "--workload", "tfim", "--qubits", "2", "--steps", "2",
-            "--max-cnots", "3", "--max-nodes", "25", "--max-hs", "0.4",
+            "synth",
+            "--workload",
+            "tfim",
+            "--qubits",
+            "2",
+            "--steps",
+            "2",
+            "--max-cnots",
+            "3",
+            "--max-nodes",
+            "25",
+            "--max-hs",
+            "0.4",
         ])
         .is_ok());
     }
@@ -235,11 +335,72 @@ mod tests {
     #[test]
     fn run_small_end_to_end() {
         assert!(run(&[
-            "run", "--workload", "tfim", "--qubits", "2", "--steps", "3",
-            "--max-cnots", "3", "--max-nodes", "25", "--max-hs", "0.4",
-            "--device", "ourense", "--cx-error", "0.1",
+            "run",
+            "--workload",
+            "tfim",
+            "--qubits",
+            "2",
+            "--steps",
+            "3",
+            "--max-cnots",
+            "3",
+            "--max-nodes",
+            "25",
+            "--max-hs",
+            "0.4",
+            "--device",
+            "ourense",
+            "--cx-error",
+            "0.1",
         ])
         .is_ok());
+    }
+
+    fn temp_qasm(name: &str, body: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn lint_passes_clean_circuits() {
+        let p = temp_qasm(
+            "qaprox_lint_clean.qasm",
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        );
+        assert!(run(&["lint", &p]).is_ok());
+        assert!(run(&["lint", &p, "--format", "json"]).is_ok());
+        assert!(run(&["lint", &p, "--device", "ourense"]).is_ok());
+    }
+
+    #[test]
+    fn lint_fails_on_defects_and_respects_levels() {
+        let p = temp_qasm(
+            "qaprox_lint_bad.qasm",
+            "qreg q[2];\nh q[7];\ncx q[0],q[0];\n",
+        );
+        let e = run(&["lint", &p]).unwrap_err();
+        assert!(e.contains("error"), "{e}");
+        // demoting both codes to allow silences the failure
+        assert!(run(&["lint", &p, "--allow", "QA101,QA102"]).is_ok());
+        // an unknown code is rejected up front
+        assert!(run(&["lint", &p, "--deny", "QA999"]).is_err());
+    }
+
+    #[test]
+    fn lint_strict_connectivity_flags_unrouted_gates() {
+        // ourense has no (0,4) edge: warn by default, error under --strict-connectivity
+        let p = temp_qasm("qaprox_lint_conn.qasm", "qreg q[5];\ncx q[0],q[4];\n");
+        assert!(run(&["lint", &p, "--device", "ourense"]).is_ok());
+        assert!(run(&["lint", &p, "--device", "ourense", "--strict-connectivity"]).is_err());
+    }
+
+    #[test]
+    fn lint_rejects_bad_usage() {
+        assert!(run(&["lint"]).is_err());
+        assert!(run(&["lint", "/nonexistent/file.qasm"]).is_err());
+        let p = temp_qasm("qaprox_lint_fmt.qasm", "qreg q[1];\nx q[0];\n");
+        assert!(run(&["lint", &p, "--format", "yaml"]).is_err());
     }
 
     #[test]

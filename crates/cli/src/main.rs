@@ -8,6 +8,8 @@
 //! qaprox devices                                       list calibration snapshots
 //! qaprox report   --device NAME                        print the noise report
 //! qaprox show     --workload ... [--steps K]           dump the reference as QASM
+//! qaprox lint     FILE... [--format text|json] [--device NAME]
+//!                 [--allow/--warn/--deny CODE,...]     static analysis, exit 1 on errors
 //! ```
 //!
 //! Every subcommand prints CSV-ish rows; see `docs/TUTORIAL.md` for the API

@@ -7,10 +7,10 @@
 use crate::workflow::{Scored, Workflow};
 use qaprox_algos::grover::grover_circuit;
 use qaprox_circuit::Circuit;
+use qaprox_linalg::parallel::par_map_indexed;
 use qaprox_metrics::success_probability;
 use qaprox_sim::Backend;
 use qaprox_synth::ApproxCircuit;
-use rayon::prelude::*;
 
 /// A configured Grover study.
 #[derive(Debug, Clone)]
@@ -55,18 +55,14 @@ impl GroverStudy {
         population: &[ApproxCircuit],
         backend: &Backend,
     ) -> Vec<Scored> {
-        population
-            .par_iter()
-            .enumerate()
-            .map(|(i, ap)| {
-                let probs = backend.probabilities(&ap.circuit, (i as u64) << 8);
-                Scored {
-                    cnots: ap.cnots,
-                    hs_distance: ap.hs_distance,
-                    score: success_probability(&probs, self.target_state),
-                }
-            })
-            .collect()
+        par_map_indexed(population, |i, ap| {
+            let probs = backend.probabilities(&ap.circuit, (i as u64) << 8);
+            Scored {
+                cnots: ap.cnots,
+                hs_distance: ap.hs_distance,
+                score: success_probability(&probs, self.target_state),
+            }
+        })
     }
 }
 
@@ -89,7 +85,10 @@ mod tests {
         let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
         let noisy = study.reference_score(&Backend::Noisy(NoiseModel::from_calibration(cal)));
         let ideal = study.reference_score(&Backend::Ideal);
-        assert!(noisy < ideal - 0.2, "24+ CNOTs at 5% error must hurt: {noisy} vs {ideal}");
+        assert!(
+            noisy < ideal - 0.2,
+            "24+ CNOTs at 5% error must hurt: {noisy} vs {ideal}"
+        );
     }
 
     #[test]

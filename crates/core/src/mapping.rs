@@ -11,11 +11,11 @@ use crate::toffoli_study::{battery_inputs, ideal_battery_distribution, with_inpu
 use crate::workflow::Scored;
 use qaprox_circuit::Circuit;
 use qaprox_device::Calibration;
+use qaprox_linalg::parallel::{par_map, par_map_indexed};
 use qaprox_metrics::js_distance;
 use qaprox_sim::{Backend, HardwareBackend, HardwareEffects, NoiseModel};
 use qaprox_synth::ApproxCircuit;
 use qaprox_transpile::{transpile, OptLevel};
-use rayon::prelude::*;
 
 /// How circuits are placed on the device.
 #[derive(Debug, Clone)]
@@ -68,15 +68,11 @@ impl MappingStudy {
 
     /// Evaluates a whole approximate population under this mapping.
     pub fn evaluate_population(&self, population: &[ApproxCircuit]) -> Vec<Scored> {
-        population
-            .par_iter()
-            .enumerate()
-            .map(|(i, ap)| Scored {
-                cnots: ap.cnots,
-                hs_distance: ap.hs_distance,
-                score: self.battery_js(&ap.circuit, (i as u64) << 24),
-            })
-            .collect()
+        par_map_indexed(population, |i, ap| Scored {
+            cnots: ap.cnots,
+            hs_distance: ap.hs_distance,
+            score: self.battery_js(&ap.circuit, (i as u64) << 24),
+        })
     }
 
     /// Scores the reference circuit under this mapping.
@@ -113,14 +109,11 @@ pub fn compare_mappings(
 /// used by tests and the harness to separate mapping effects from synthesis
 /// error.
 pub fn ideal_battery_js(population: &[ApproxCircuit]) -> Vec<Scored> {
-    population
-        .par_iter()
-        .map(|ap| Scored {
-            cnots: ap.cnots,
-            hs_distance: ap.hs_distance,
-            score: crate::toffoli_study::battery_js(&ap.circuit, &Backend::Ideal, 0),
-        })
-        .collect()
+    par_map(population, |ap| Scored {
+        cnots: ap.cnots,
+        hs_distance: ap.hs_distance,
+        score: crate::toffoli_study::battery_js(&ap.circuit, &Backend::Ideal, 0),
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +124,10 @@ mod tests {
     use qaprox_device::standard_mappings;
 
     fn mild_effects() -> HardwareEffects {
-        HardwareEffects { shots: 2048, ..Default::default() }
+        HardwareEffects {
+            shots: 2048,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! metric, per noise level.
 
 use qaprox_circuit::Circuit;
+use qaprox_linalg::parallel::{par_map, par_map_indexed};
 use qaprox_metrics::stats::{pearson, spearman};
 use qaprox_metrics::{js_distance, kl_divergence, total_variation};
 use qaprox_sim::Backend;
 use qaprox_synth::ApproxCircuit;
-use rayon::prelude::*;
 
 /// The candidate predictor metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,23 +74,19 @@ pub fn correlate(
     reference_ideal: &[f64],
     backend: &Backend,
 ) -> Vec<MetricCorrelation> {
-    assert!(population.len() >= 3, "need at least 3 candidates to correlate");
+    assert!(
+        population.len() >= 3,
+        "need at least 3 candidates to correlate"
+    );
 
     // ground truth: true output error per candidate
-    let truth: Vec<f64> = population
-        .par_iter()
-        .enumerate()
-        .map(|(i, ap)| {
-            let noisy = backend.probabilities(&ap.circuit, i as u64);
-            total_variation(&noisy, reference_ideal)
-        })
-        .collect();
+    let truth: Vec<f64> = par_map_indexed(population, |i, ap| {
+        let noisy = backend.probabilities(&ap.circuit, i as u64);
+        total_variation(&noisy, reference_ideal)
+    });
 
     // predictor values
-    let ideal_outputs: Vec<Vec<f64>> = population
-        .par_iter()
-        .map(|ap| ideal_probabilities(&ap.circuit))
-        .collect();
+    let ideal_outputs: Vec<Vec<f64>> = par_map(population, |ap| ideal_probabilities(&ap.circuit));
 
     PredictorMetric::ALL
         .iter()
@@ -102,9 +98,7 @@ pub fn correlate(
                     PredictorMetric::HsDistance => ap.hs_distance,
                     PredictorMetric::CnotCount => ap.cnots as f64,
                     PredictorMetric::IdealJs => js_distance(ideal, reference_ideal),
-                    PredictorMetric::IdealKl => {
-                        kl_divergence(ideal, reference_ideal).min(1e3)
-                    }
+                    PredictorMetric::IdealKl => kl_divergence(ideal, reference_ideal).min(1e3),
                     PredictorMetric::IdealTvd => total_variation(ideal, reference_ideal),
                 })
                 .collect();
@@ -140,7 +134,10 @@ mod tests {
                 max_cnots: 5,
                 max_nodes: 60,
                 beam_width: 3,
-                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             }),
             max_hs: 0.4,
@@ -158,7 +155,12 @@ mod tests {
         let report = correlate(&pop, &ideal, &backend);
         assert_eq!(report.len(), 5);
         for r in &report {
-            assert!(r.pearson.abs() <= 1.0 + 1e-12, "{}: {}", r.metric, r.pearson);
+            assert!(
+                r.pearson.abs() <= 1.0 + 1e-12,
+                "{}: {}",
+                r.metric,
+                r.pearson
+            );
             assert!(r.spearman.abs() <= 1.0 + 1e-12);
         }
     }
@@ -191,8 +193,16 @@ mod tests {
             let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
             correlate(&pop, &ideal, &backend)
         };
-        let depth_lo = lo.iter().find(|r| r.metric == "cnot_count").unwrap().spearman;
-        let depth_hi = hi.iter().find(|r| r.metric == "cnot_count").unwrap().spearman;
+        let depth_lo = lo
+            .iter()
+            .find(|r| r.metric == "cnot_count")
+            .unwrap()
+            .spearman;
+        let depth_hi = hi
+            .iter()
+            .find(|r| r.metric == "cnot_count")
+            .unwrap()
+            .spearman;
         assert!(
             depth_hi > depth_lo,
             "CNOT count should predict error better under heavy noise: {depth_lo} -> {depth_hi}"

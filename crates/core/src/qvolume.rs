@@ -9,11 +9,11 @@
 
 use qaprox_circuit::{Circuit, Gate};
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::Rng as _;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_sim::NoiseModel;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rayon::prelude::*;
+
+use qaprox_linalg::parallel::par_map_range;
 
 /// One width's aggregated trial results.
 #[derive(Debug, Clone)]
@@ -41,7 +41,7 @@ pub fn model_circuit(width: usize, rng: &mut StdRng) -> Circuit {
     let mut c = Circuit::new(width);
     for _ in 0..width {
         let mut order: Vec<usize> = (0..width).collect();
-        order.shuffle(rng);
+        rng.shuffle(&mut order);
         for pair in order.chunks(2) {
             if let &[a, b] = pair {
                 let u = haar_unitary(4, rng);
@@ -58,7 +58,7 @@ pub fn heavy_output_probability(circuit: &Circuit, model: &NoiseModel) -> f64 {
     // heavy outputs: ideal probability above the median
     let mut sorted = ideal.clone();
     sorted.sort_by(f64::total_cmp);
-    let median = if sorted.len() % 2 == 0 {
+    let median = if sorted.len().is_multiple_of(2) {
         0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
     } else {
         sorted[sorted.len() / 2]
@@ -88,14 +88,11 @@ pub fn quantum_volume(
         let qubits: Vec<usize> = (0..width).collect();
         let cal = base.induced(&qubits);
         let model = NoiseModel::from_calibration(cal);
-        let hops: Vec<f64> = (0..trials)
-            .into_par_iter()
-            .map(|t| {
-                let mut rng = StdRng::seed_from_u64(seed ^ ((width as u64) << 32) ^ t as u64);
-                let c = model_circuit(width, &mut rng);
-                heavy_output_probability(&c, &model)
-            })
-            .collect();
+        let hops: Vec<f64> = par_map_range(trials, |t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((width as u64) << 32) ^ t as u64);
+            let c = model_circuit(width, &mut rng);
+            heavy_output_probability(&c, &model)
+        });
         let mean = hops.iter().sum::<f64>() / trials.max(1) as f64;
         points.push(QvPoint {
             width,
@@ -112,7 +109,10 @@ pub fn quantum_volume(
             break;
         }
     }
-    QvReport { points, quantum_volume: qv }
+    QvReport {
+        points,
+        quantum_volume: qv,
+    }
 }
 
 #[cfg(test)]
@@ -146,9 +146,8 @@ mod tests {
     #[test]
     fn noise_lowers_heavy_output_probability() {
         let good = NoiseModel::from_calibration(ourense().induced(&[0, 1, 2]));
-        let bad = NoiseModel::from_calibration(
-            ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.2),
-        );
+        let bad =
+            NoiseModel::from_calibration(ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.2));
         let mut rng = StdRng::seed_from_u64(3);
         let c = model_circuit(3, &mut rng);
         let hop_good = heavy_output_probability(&c, &good);

@@ -19,10 +19,10 @@
 use crate::workflow::Scored;
 use qaprox_circuit::Circuit;
 use qaprox_device::{Calibration, EdgeCal, QubitCal, Topology};
+use qaprox_linalg::parallel::{par_map, par_map_indexed};
 use qaprox_metrics::total_variation;
 use qaprox_sim::{Backend, NoiseModel};
 use qaprox_synth::ApproxCircuit;
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// A selection policy over an approximate-circuit population.
@@ -69,14 +69,31 @@ impl Selector {
 fn proxy_calibration(num_qubits: usize, cx_error: f64) -> Calibration {
     let topology = Topology::linear(num_qubits);
     let qubits = vec![
-        QubitCal { readout_error: 0.0, t1_us: 1e9, t2_us: 1e9, sx_error: 0.0, sx_time_ns: 0.0 };
+        QubitCal {
+            readout_error: 0.0,
+            t1_us: 1e9,
+            t2_us: 1e9,
+            sx_error: 0.0,
+            sx_time_ns: 0.0
+        };
         num_qubits
     ];
     let mut edges = BTreeMap::new();
     for &e in topology.edges() {
-        edges.insert(e, EdgeCal { cx_error, cx_time_ns: 0.0 });
+        edges.insert(
+            e,
+            EdgeCal {
+                cx_error,
+                cx_time_ns: 0.0,
+            },
+        );
     }
-    Calibration { machine: format!("proxy(cx={cx_error})"), topology, qubits, edges }
+    Calibration {
+        machine: format!("proxy(cx={cx_error})"),
+        topology,
+        qubits,
+        edges,
+    }
 }
 
 /// Evaluation context: the ideal output to approach and the metric that
@@ -95,7 +112,10 @@ pub fn choose(
     population: &[ApproxCircuit],
     ctx: &SelectionContext<'_>,
 ) -> usize {
-    assert!(!population.is_empty(), "cannot select from an empty population");
+    assert!(
+        !population.is_empty(),
+        "cannot select from an empty population"
+    );
     match selector {
         Selector::MinHs => argmin_by(population, |ap| ap.hs_distance),
         Selector::CnotBudget(k) => {
@@ -112,7 +132,9 @@ pub fn choose(
                 *within
                     .iter()
                     .min_by(|&&a, &&b| {
-                        population[a].hs_distance.total_cmp(&population[b].hs_distance)
+                        population[a]
+                            .hs_distance
+                            .total_cmp(&population[b].hs_distance)
                     })
                     .unwrap()
             }
@@ -123,24 +145,17 @@ pub fn choose(
         Selector::ProxyNoise { cx_error } => {
             let n = population[0].circuit.num_qubits();
             let proxy = NoiseModel::from_calibration(proxy_calibration(n, *cx_error));
-            let scores: Vec<f64> = population
-                .par_iter()
-                .map(|ap| {
-                    let probs = proxy.probabilities(&ap.circuit);
-                    total_variation(&probs, ctx.ideal)
-                })
-                .collect();
+            let scores: Vec<f64> = par_map(population, |ap| {
+                let probs = proxy.probabilities(&ap.circuit);
+                total_variation(&probs, ctx.ideal)
+            });
             argmin_by_idx(&scores)
         }
         Selector::Oracle => {
-            let scores: Vec<f64> = population
-                .par_iter()
-                .enumerate()
-                .map(|(i, ap)| {
-                    let probs = ctx.backend.probabilities(&ap.circuit, i as u64);
-                    total_variation(&probs, ctx.ideal)
-                })
-                .collect();
+            let scores: Vec<f64> = par_map_indexed(population, |i, ap| {
+                let probs = ctx.backend.probabilities(&ap.circuit, i as u64);
+                total_variation(&probs, ctx.ideal)
+            });
             argmin_by_idx(&scores)
         }
     }
@@ -246,7 +261,10 @@ mod tests {
         let pop = fake_population();
         let backend = Backend::Ideal;
         let ideal = vec![0.5, 0.0, 0.0, 0.5];
-        let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+        let ctx = SelectionContext {
+            ideal: &ideal,
+            backend: &backend,
+        };
         assert_eq!(choose(&Selector::MinHs, &pop, &ctx), 0);
     }
 
@@ -255,7 +273,10 @@ mod tests {
         let pop = fake_population();
         let backend = Backend::Ideal;
         let ideal = vec![0.5, 0.0, 0.0, 0.5];
-        let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+        let ctx = SelectionContext {
+            ideal: &ideal,
+            backend: &backend,
+        };
         assert_eq!(choose(&Selector::CnotBudget(3), &pop, &ctx), 1);
         assert_eq!(choose(&Selector::CnotBudget(1), &pop, &ctx), 2);
         // nothing fits a 0-CNOT budget: falls back to global min-HS
@@ -267,7 +288,10 @@ mod tests {
         let pop = fake_population();
         let backend = Backend::Ideal;
         let ideal = vec![0.5, 0.0, 0.0, 0.5];
-        let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+        let ctx = SelectionContext {
+            ideal: &ideal,
+            backend: &backend,
+        };
         // tiny weight: distance dominates -> deep exact circuit
         assert_eq!(choose(&Selector::DepthPenalized(1e-6), &pop, &ctx), 0);
         // heavy weight: depth dominates -> shallow circuit
@@ -280,7 +304,10 @@ mod tests {
         let backend = ctx_backend();
         // ideal = noise-free output of the *exact* candidate
         let ideal = qaprox_sim::statevector::probabilities(&pop[0].circuit);
-        let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+        let ctx = SelectionContext {
+            ideal: &ideal,
+            backend: &backend,
+        };
         let selectors = vec![
             Selector::MinHs,
             Selector::CnotBudget(3),
@@ -289,7 +316,12 @@ mod tests {
             Selector::Oracle,
         ];
         let outcomes = compare_selectors(&selectors, &pop, &ctx);
-        let oracle = outcomes.iter().find(|o| o.selector == "oracle").unwrap().chosen.score;
+        let oracle = outcomes
+            .iter()
+            .find(|o| o.selector == "oracle")
+            .unwrap()
+            .chosen
+            .score;
         for o in &outcomes {
             assert!(
                 oracle <= o.chosen.score + 1e-12,
@@ -311,7 +343,10 @@ mod tests {
         let pop = fake_population();
         let backend = ctx_backend();
         let ideal = qaprox_sim::statevector::probabilities(&pop[0].circuit);
-        let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+        let ctx = SelectionContext {
+            ideal: &ideal,
+            backend: &backend,
+        };
         let outcomes = compare_selectors(
             &[Selector::MinHs, Selector::ProxyNoise { cx_error: 0.15 }],
             &pop,

@@ -36,7 +36,10 @@ pub fn cx_error_sweep(
         .map(|&eps| {
             let cal = base.with_uniform_cx_error(eps);
             let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
-            SweepPoint { cx_error: eps, results: evaluate(pops, &backend) }
+            SweepPoint {
+                cx_error: eps,
+                results: evaluate(pops, &backend),
+            }
         })
         .collect()
 }
@@ -60,7 +63,11 @@ pub fn mean_best_depth(sweep: &[SweepPoint]) -> Vec<(f64, f64)> {
         .iter()
         .map(|point| {
             let n = point.results.len().max(1);
-            let mean = point.results.iter().map(|r| r.best_approx.cnots as f64).sum::<f64>()
+            let mean = point
+                .results
+                .iter()
+                .map(|r| r.best_approx.cnots as f64)
+                .sum::<f64>()
                 / n as f64;
             (point.cx_error, mean)
         })
@@ -84,7 +91,10 @@ mod tests {
                 max_cnots: 4,
                 max_nodes: 50,
                 beam_width: 2,
-                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             }),
             max_hs: 0.5,
@@ -109,10 +119,14 @@ mod tests {
         // at the last (deepest) timestep, the reference must be farther from
         // ideal at 0.24 than at 0
         let last = pops.references.len() - 1;
-        let err_low = (sweep[0].results[last].noisy_ref - sweep[0].results[last].noise_free_ref).abs();
+        let err_low =
+            (sweep[0].results[last].noisy_ref - sweep[0].results[last].noise_free_ref).abs();
         let err_high =
             (sweep[1].results[last].noisy_ref - sweep[1].results[last].noise_free_ref).abs();
-        assert!(err_high > err_low, "0.24 error should hurt more: {err_low} vs {err_high}");
+        assert!(
+            err_high > err_low,
+            "0.24 error should hurt more: {err_low} vs {err_high}"
+        );
     }
 
     #[test]

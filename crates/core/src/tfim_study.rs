@@ -8,9 +8,9 @@
 use crate::workflow::{Population, Scored, Workflow};
 use qaprox_algos::tfim::{tfim_series, TfimParams};
 use qaprox_circuit::Circuit;
+use qaprox_linalg::parallel::par_map_indexed;
 use qaprox_metrics::{magnetization, probabilities};
 use qaprox_sim::Backend;
-use rayon::prelude::*;
 
 /// Populations for every timestep, generated once and reusable across
 /// backends (noise sweeps re-evaluate the same circuits).
@@ -54,20 +54,21 @@ pub fn generate_populations(
     let references = tfim_series(params, steps);
     let targets: Vec<_> = references.iter().map(Workflow::target_unitary).collect();
     let populations = workflow.generate_series(&targets);
-    TfimPopulations { params: *params, references, populations }
+    TfimPopulations {
+        params: *params,
+        references,
+        populations,
+    }
 }
 
 /// Evaluates the populations (and references) on `backend`.
 pub fn evaluate(pops: &TfimPopulations, backend: &Backend) -> Vec<TimestepResult> {
-    pops.references
-        .par_iter()
-        .zip(&pops.populations)
-        .enumerate()
-        .map(|(i, (reference, population))| {
+    par_map_indexed(&pops.references, |i, reference| {
+        let population = &pops.populations[i];
+        {
             let step = i + 1;
             let noise_free_ref = magnetization(&probabilities(&reference.statevector()));
-            let noisy_ref =
-                magnetization(&backend.probabilities(reference, 1_000_000 + i as u64));
+            let noisy_ref = magnetization(&backend.probabilities(reference, 1_000_000 + i as u64));
 
             let all: Vec<Scored> = population
                 .circuits
@@ -84,8 +85,7 @@ pub fn evaluate(pops: &TfimPopulations, backend: &Backend) -> Vec<TimestepResult
                 .collect();
 
             // Minimal-HS series: execute the synthesis optimum.
-            let min_probs =
-                backend.probabilities(&population.minimal_hs.circuit, (i as u64) << 21);
+            let min_probs = backend.probabilities(&population.minimal_hs.circuit, (i as u64) << 21);
             let minimal_hs = Scored {
                 cnots: population.minimal_hs.cnots,
                 hs_distance: population.minimal_hs.hs_distance,
@@ -114,8 +114,8 @@ pub fn evaluate(pops: &TfimPopulations, backend: &Backend) -> Vec<TimestepResult
                 best_approx,
                 all,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Mean absolute magnetization error of a series against the noise-free
@@ -148,7 +148,10 @@ mod tests {
                 max_cnots: 4,
                 max_nodes: 40,
                 beam_width: 2,
-                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             }),
             max_hs: 0.5,

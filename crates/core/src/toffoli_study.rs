@@ -11,10 +11,10 @@
 use crate::workflow::Scored;
 use qaprox_algos::mct::mct_unitary;
 use qaprox_circuit::Circuit;
+use qaprox_linalg::parallel::par_map_indexed;
 use qaprox_metrics::js_distance;
 use qaprox_sim::Backend;
 use qaprox_synth::ApproxCircuit;
-use rayon::prelude::*;
 
 /// The battery of input basis states: all control patterns, target bit 0.
 pub fn battery_inputs(num_qubits: usize) -> Vec<usize> {
@@ -30,7 +30,11 @@ pub fn ideal_battery_distribution(num_qubits: usize) -> Vec<f64> {
     let inputs = battery_inputs(num_qubits);
     let mut agg = vec![0.0; dim];
     for &input in &inputs {
-        let out = if input & controls_mask == controls_mask { input ^ target_bit } else { input };
+        let out = if input & controls_mask == controls_mask {
+            input ^ target_bit
+        } else {
+            input
+        };
         agg[out] += 1.0 / inputs.len() as f64;
     }
     agg
@@ -79,19 +83,12 @@ pub fn random_noise_js(num_qubits: usize) -> f64 {
 }
 
 /// Evaluates an approximate-circuit population on the battery.
-pub fn evaluate_population(
-    population: &[ApproxCircuit],
-    backend: &Backend,
-) -> Vec<Scored> {
-    population
-        .par_iter()
-        .enumerate()
-        .map(|(i, ap)| Scored {
-            cnots: ap.cnots,
-            hs_distance: ap.hs_distance,
-            score: battery_js(&ap.circuit, backend, (i as u64) << 16),
-        })
-        .collect()
+pub fn evaluate_population(population: &[ApproxCircuit], backend: &Backend) -> Vec<Scored> {
+    par_map_indexed(population, |i, ap| Scored {
+        cnots: ap.cnots,
+        hs_distance: ap.hs_distance,
+        score: battery_js(&ap.circuit, backend, (i as u64) << 16),
+    })
 }
 
 /// Battery JS for a circuit that is first **transpiled** onto the device
@@ -123,7 +120,10 @@ pub fn battery_js_transpiled(
             *a += p / inputs.len() as f64;
         }
     }
-    (js_distance(&agg, &ideal_battery_distribution(n)), routed_cnots)
+    (
+        js_distance(&agg, &ideal_battery_distribution(n)),
+        routed_cnots,
+    )
 }
 
 /// The synthesis target for the `n`-qubit MCT.
@@ -168,9 +168,7 @@ mod tests {
     #[test]
     fn noise_pushes_reference_js_up() {
         let c = mct_reference(4);
-        let cal = ourense()
-            .induced(&[0, 1, 2, 3])
-            .with_uniform_cx_error(0.03);
+        let cal = ourense().induced(&[0, 1, 2, 3]).with_uniform_cx_error(0.03);
         let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
         let js = battery_js(&c, &backend, 0);
         assert!(js > 0.1, "a deep MCT under strong noise must degrade: {js}");
@@ -229,9 +227,7 @@ mod tests {
         // a (bad but short) approximation.
         shallow.h(3);
         shallow.h(3); // two gates, zero CNOTs
-        let cal = ourense()
-            .induced(&[0, 1, 2, 3])
-            .with_uniform_cx_error(0.24);
+        let cal = ourense().induced(&[0, 1, 2, 3]).with_uniform_cx_error(0.24);
         let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
         let js_deep = battery_js(&deep, &backend, 0);
         let js_shallow = battery_js(&shallow, &backend, 1);

@@ -8,6 +8,7 @@
 
 use qaprox_circuit::Circuit;
 use qaprox_device::Topology;
+use qaprox_linalg::parallel::{self, par_map, par_map_indexed};
 use qaprox_linalg::Matrix;
 use qaprox_metrics::hs_distance;
 use qaprox_sim::Backend;
@@ -15,7 +16,6 @@ use qaprox_synth::{
     dedupe, qfast, qsearch, select_by_threshold, ApproxCircuit, QFastConfig, QSearchConfig,
     SynthesisOutput,
 };
-use rayon::prelude::*;
 
 /// Which synthesis engine generates the candidate stream.
 #[derive(Debug, Clone)]
@@ -81,7 +81,7 @@ impl Workflow {
             Engine::QSearch(cfg) => vec![qsearch(target, &self.topology, cfg)],
             Engine::QFast(cfg) => vec![qfast(target, &self.topology, cfg)],
             Engine::Both(qs, qf) => {
-                let (a, b) = rayon::join(
+                let (a, b) = parallel::join(
                     || qsearch(target, &self.topology, qs),
                     || qfast(target, &self.topology, qf),
                 );
@@ -96,13 +96,17 @@ impl Workflow {
             .expect("at least one engine ran");
         let all: Vec<ApproxCircuit> = outputs.into_iter().flat_map(|o| o.intermediates).collect();
         let circuits = dedupe(&select_by_threshold(&all, self.max_hs));
-        Population { circuits, minimal_hs, explored }
+        Population {
+            circuits,
+            minimal_hs,
+            explored,
+        }
     }
 
     /// Generates populations for a series of targets in parallel (e.g. the
     /// 21 TFIM timesteps).
     pub fn generate_series(&self, targets: &[Matrix]) -> Vec<Population> {
-        targets.par_iter().map(|t| self.generate(t)).collect()
+        par_map(targets, |t| self.generate(t))
     }
 }
 
@@ -128,18 +132,14 @@ pub fn execute_and_score<F>(
 where
     F: Fn(&Circuit, &[f64]) -> f64 + Sync,
 {
-    population
-        .par_iter()
-        .enumerate()
-        .map(|(i, ap)| {
-            let probs = backend.probabilities(&ap.circuit, i as u64);
-            Scored {
-                cnots: ap.cnots,
-                hs_distance: ap.hs_distance,
-                score: metric(&ap.circuit, &probs),
-            }
-        })
-        .collect()
+    par_map_indexed(population, |i, ap| {
+        let probs = backend.probabilities(&ap.circuit, i as u64);
+        Scored {
+            cnots: ap.cnots,
+            hs_distance: ap.hs_distance,
+            score: metric(&ap.circuit, &probs),
+        }
+    })
 }
 
 /// Convenience: verify a recorded population against its target (sanity
@@ -164,7 +164,10 @@ mod tests {
                 max_cnots: 4,
                 max_nodes: 80,
                 beam_width: 3,
-                instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 2,
+                    ..Default::default()
+                },
                 ..Default::default()
             }),
             max_hs: 0.4,
@@ -183,8 +186,14 @@ mod tests {
         let target = Workflow::target_unitary(&ghz_reference());
         let pop = wf.generate(&target);
         assert!(!pop.circuits.is_empty(), "population should not be empty");
-        assert!(pop.circuits.iter().all(|c| c.hs_distance <= wf.max_hs + 1e-12));
-        assert!(pop.minimal_hs.hs_distance < 1e-8, "GHZ prep is exactly synthesizable");
+        assert!(pop
+            .circuits
+            .iter()
+            .all(|c| c.hs_distance <= wf.max_hs + 1e-12));
+        assert!(
+            pop.minimal_hs.hs_distance < 1e-8,
+            "GHZ prep is exactly synthesizable"
+        );
         assert!(pop.explored >= pop.circuits.len());
         assert!(verify_population(&pop, &target, 1e-6));
     }

@@ -13,7 +13,10 @@ fn quick_qsearch() -> QSearchConfig {
         max_cnots: 5,
         max_nodes: 70,
         beam_width: 3,
-        instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+        instantiate: InstantiateConfig {
+            starts: 1,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -35,15 +38,31 @@ fn proxy_selection_has_low_regret_under_heavy_noise() {
     let (reference, pop) = tfim_population(6);
     assert!(pop.len() >= 3);
     let ideal = qaprox_sim::statevector::probabilities(&reference);
-    let cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.15);
+    let cal = devices::ourense()
+        .induced(&[0, 1, 2])
+        .with_uniform_cx_error(0.15);
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
-    let ctx = SelectionContext { ideal: &ideal, backend: &backend };
+    let ctx = SelectionContext {
+        ideal: &ideal,
+        backend: &backend,
+    };
     let outcomes = compare_selectors(
-        &[Selector::MinHs, Selector::ProxyNoise { cx_error: 0.15 }, Selector::Oracle],
+        &[
+            Selector::MinHs,
+            Selector::ProxyNoise { cx_error: 0.15 },
+            Selector::Oracle,
+        ],
         &pop,
         &ctx,
     );
-    let find = |name: &str| outcomes.iter().find(|o| o.selector == name).unwrap().chosen.score;
+    let find = |name: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.selector == name)
+            .unwrap()
+            .chosen
+            .score
+    };
     let oracle = find("oracle");
     let proxy = find("proxy-noise(0.15)");
     let min_hs = find("min-hs");
@@ -93,7 +112,10 @@ fn partitioned_synthesis_beats_reference_on_deep_circuits() {
     let params = TfimParams::paper_defaults(3);
     let reference = tfim_circuit(&params, 10); // 40 CNOTs
     let topo = Topology::linear(3);
-    let cfg = PartitionConfig { segment_cnots: 8, qsearch: quick_qsearch() };
+    let cfg = PartitionConfig {
+        segment_cnots: 8,
+        qsearch: quick_qsearch(),
+    };
     let result = synthesize_partitioned(&reference, &topo, &cfg);
     assert!(
         result.circuit.cx_count() < reference.cx_count(),
@@ -104,7 +126,9 @@ fn partitioned_synthesis_beats_reference_on_deep_circuits() {
 
     // Score by full output distribution (TVD), which cannot cancel the way a
     // scalar observable can.
-    let cal = devices::toronto().induced(&[0, 1, 2]).with_scaled_cx_error(2.0);
+    let cal = devices::toronto()
+        .induced(&[0, 1, 2])
+        .with_scaled_cx_error(2.0);
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
     let ideal = qaprox_sim::statevector::probabilities(&reference);
     let tvd = |p: &[f64]| qaprox_metrics::total_variation(p, &ideal);
@@ -128,8 +152,9 @@ fn metric_predictive_power_shifts_with_noise() {
     let base = devices::ourense().induced(&[0, 1, 2]);
 
     let spearman_at = |eps: f64, metric: &str| -> f64 {
-        let backend =
-            Backend::Noisy(NoiseModel::from_calibration(base.with_uniform_cx_error(eps)));
+        let backend = Backend::Noisy(NoiseModel::from_calibration(
+            base.with_uniform_cx_error(eps),
+        ));
         correlate(&pop, &ideal, &backend)
             .iter()
             .find(|r| r.metric == metric)
@@ -138,7 +163,10 @@ fn metric_predictive_power_shifts_with_noise() {
     };
 
     let tvd_low = spearman_at(0.0, "ideal_tvd");
-    assert!(tvd_low > 0.7, "ideal TVD must predict truth at zero noise: {tvd_low}");
+    assert!(
+        tvd_low > 0.7,
+        "ideal TVD must predict truth at zero noise: {tvd_low}"
+    );
 
     let depth_low = spearman_at(0.001, "cnot_count");
     let depth_high = spearman_at(0.24, "cnot_count");

@@ -61,20 +61,32 @@ impl Calibration {
         }
         for &(a, b) in self.topology.edges() {
             if !self.edges.contains_key(&(a, b)) {
-                return Err(format!("{}: edge ({a},{b}) lacks calibration", self.machine));
+                return Err(format!(
+                    "{}: edge ({a},{b}) lacks calibration",
+                    self.machine
+                ));
             }
         }
         for (i, q) in self.qubits.iter().enumerate() {
             if !(0.0..=1.0).contains(&q.readout_error) {
-                return Err(format!("{}: qubit {i} readout error out of range", self.machine));
+                return Err(format!(
+                    "{}: qubit {i} readout error out of range",
+                    self.machine
+                ));
             }
             if q.t1_us <= 0.0 || q.t2_us <= 0.0 {
-                return Err(format!("{}: qubit {i} nonpositive coherence time", self.machine));
+                return Err(format!(
+                    "{}: qubit {i} nonpositive coherence time",
+                    self.machine
+                ));
             }
         }
         for (&(a, b), e) in &self.edges {
             if !(0.0..=1.0).contains(&e.cx_error) {
-                return Err(format!("{}: edge ({a},{b}) cx error out of range", self.machine));
+                return Err(format!(
+                    "{}: edge ({a},{b}) cx error out of range",
+                    self.machine
+                ));
             }
         }
         Ok(())
@@ -127,9 +139,12 @@ impl Calibration {
     /// `magnitude`. Models the day-to-day calibration drift the paper notes
     /// ("reflect the constant changes of NISQ devices").
     pub fn with_drift(&self, seed: u64, magnitude: f64) -> Calibration {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        assert!((0.0..1.0).contains(&magnitude), "drift magnitude must be in [0, 1)");
+        use qaprox_linalg::random::Rng;
+        use qaprox_linalg::random::SplitMix64 as StdRng;
+        assert!(
+            (0.0..1.0).contains(&magnitude),
+            "drift magnitude must be in [0, 1)"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let factor = |rng: &mut StdRng| -> f64 {
             // symmetric multiplicative jitter around 1
@@ -223,7 +238,10 @@ impl Calibration {
             }
         }
         let cx_avg = if cx_n > 0 { cx_sum / cx_n as f64 } else { 1.0 };
-        let ro_avg = qubits.iter().map(|&q| self.qubits[q].readout_error).sum::<f64>()
+        let ro_avg = qubits
+            .iter()
+            .map(|&q| self.qubits[q].readout_error)
+            .sum::<f64>()
             / qubits.len().max(1) as f64;
         cx_avg + ro_avg
     }
@@ -245,10 +263,33 @@ mod tests {
             })
             .collect();
         let mut edges = BTreeMap::new();
-        edges.insert((0, 1), EdgeCal { cx_error: 0.01, cx_time_ns: 300.0 });
-        edges.insert((1, 2), EdgeCal { cx_error: 0.02, cx_time_ns: 350.0 });
-        edges.insert((2, 3), EdgeCal { cx_error: 0.03, cx_time_ns: 400.0 });
-        Calibration { machine: "toy".into(), topology, qubits, edges }
+        edges.insert(
+            (0, 1),
+            EdgeCal {
+                cx_error: 0.01,
+                cx_time_ns: 300.0,
+            },
+        );
+        edges.insert(
+            (1, 2),
+            EdgeCal {
+                cx_error: 0.02,
+                cx_time_ns: 350.0,
+            },
+        );
+        edges.insert(
+            (2, 3),
+            EdgeCal {
+                cx_error: 0.03,
+                cx_time_ns: 400.0,
+            },
+        );
+        Calibration {
+            machine: "toy".into(),
+            topology,
+            qubits,
+            edges,
+        }
     }
 
     #[test]
@@ -303,7 +344,10 @@ mod tests {
         assert_ne!(a, c, "different seed -> different drift");
         for (orig, drifted) in base.edges.values().zip(a.edges.values()) {
             let ratio = drifted.cx_error / orig.cx_error;
-            assert!((0.8..=1.2).contains(&ratio), "ratio {ratio} outside drift band");
+            assert!(
+                (0.8..=1.2).contains(&ratio),
+                "ratio {ratio} outside drift band"
+            );
         }
         assert!(a.validate().is_ok());
     }

@@ -9,8 +9,8 @@
 
 use crate::calibration::{Calibration, EdgeCal, QubitCal};
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use std::collections::BTreeMap;
 
 /// Average CNOT errors as of 2021/01/18 — the paper's Table 1.
@@ -98,11 +98,23 @@ fn build(spec: DeviceSpec) -> Calibration {
     for (&e, &r) in spec.topology.edges().iter().zip(&raw) {
         let cx_error = (r * scale).clamp(1e-4, 0.9);
         let cx_time_ns = 250.0 + 300.0 * rng.gen::<f64>();
-        edges.insert(e, EdgeCal { cx_error, cx_time_ns });
+        edges.insert(
+            e,
+            EdgeCal {
+                cx_error,
+                cx_time_ns,
+            },
+        );
     }
 
-    let cal = Calibration { machine: spec.name.to_string(), topology: spec.topology, qubits, edges };
-    cal.validate().expect("generated calibration must be internally consistent");
+    let cal = Calibration {
+        machine: spec.name.to_string(),
+        topology: spec.topology,
+        qubits,
+        edges,
+    };
+    cal.validate()
+        .expect("generated calibration must be internally consistent");
     cal
 }
 
@@ -237,7 +249,10 @@ mod tests {
         let errs: Vec<f64> = cal.edges.values().map(|e| e.cx_error).collect();
         let min = errs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = errs.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max / min > 1.5, "edge errors implausibly uniform: {min}..{max}");
+        assert!(
+            max / min > 1.5,
+            "edge errors implausibly uniform: {min}..{max}"
+        );
     }
 
     #[test]

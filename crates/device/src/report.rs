@@ -53,7 +53,11 @@ pub fn render(cal: &Calibration) -> String {
 /// * `median` — a middle-of-the-ranking subset.
 pub fn standard_mappings(cal: &Calibration, k: usize) -> Vec<Mapping> {
     let ranked = cal.rank_subsets(k, 4096);
-    assert!(!ranked.is_empty(), "no connected {k}-subsets on {}", cal.machine);
+    assert!(
+        !ranked.is_empty(),
+        "no connected {k}-subsets on {}",
+        cal.machine
+    );
     let best = ranked.first().unwrap().0.clone();
     let worst = ranked.last().unwrap().0.clone();
     let median = ranked[ranked.len() / 2].0.clone();
@@ -62,18 +66,36 @@ pub fn standard_mappings(cal: &Calibration, k: usize) -> Vec<Mapping> {
     let mut by_readout = ranked.clone();
     by_readout.sort_by(|a, b| {
         let ra: f64 =
-            a.0.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() / a.0.len() as f64;
+            a.0.iter()
+                .map(|&q| cal.qubits[q].readout_error)
+                .sum::<f64>()
+                / a.0.len() as f64;
         let rb: f64 =
-            b.0.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() / b.0.len() as f64;
+            b.0.iter()
+                .map(|&q| cal.qubits[q].readout_error)
+                .sum::<f64>()
+                / b.0.len() as f64;
         ra.total_cmp(&rb)
     });
     let best_readout = by_readout.first().unwrap().0.clone();
 
     vec![
-        Mapping { name: "blue(best)".into(), qubits: best },
-        Mapping { name: "red(worst)".into(), qubits: worst },
-        Mapping { name: "green(best-readout)".into(), qubits: best_readout },
-        Mapping { name: "yellow(median)".into(), qubits: median },
+        Mapping {
+            name: "blue(best)".into(),
+            qubits: best,
+        },
+        Mapping {
+            name: "red(worst)".into(),
+            qubits: worst,
+        },
+        Mapping {
+            name: "green(best-readout)".into(),
+            qubits: best_readout,
+        },
+        Mapping {
+            name: "yellow(median)".into(),
+            qubits: median,
+        },
     ]
 }
 
@@ -88,8 +110,12 @@ mod tests {
         let text = render(&cal);
         assert!(text.contains("# Noise report: toronto"));
         // 27 qubit rows + 28 edge rows + headers
-        assert_eq!(text.lines().filter(|l| l.contains(',') && !l.starts_with('#')).count(),
-                   27 + cal.topology.edges().len() + 2);
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains(',') && !l.starts_with('#'))
+                .count(),
+            27 + cal.topology.edges().len() + 2
+        );
     }
 
     #[test]
@@ -117,7 +143,11 @@ mod tests {
         assert_eq!(maps.len(), 4);
         for m in &maps {
             assert_eq!(m.qubits.len(), 4);
-            assert!(cal.topology.induced(&m.qubits).is_connected(), "{} not connected", m.name);
+            assert!(
+                cal.topology.induced(&m.qubits).is_connected(),
+                "{} not connected",
+                m.name
+            );
         }
         // best and worst must differ in noise score
         let best_score = cal.subset_score(&maps[0].qubits);

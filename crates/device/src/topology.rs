@@ -21,14 +21,20 @@ impl Topology {
         let mut norm: Vec<(usize, usize)> = edges
             .iter()
             .map(|&(a, b)| {
-                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                assert!(
+                    a < num_qubits && b < num_qubits,
+                    "edge ({a},{b}) out of range"
+                );
                 assert_ne!(a, b, "self-loop in coupling map");
                 (a.min(b), a.max(b))
             })
             .collect();
         norm.sort_unstable();
         norm.dedup();
-        Topology { num_qubits, edges: norm }
+        Topology {
+            num_qubits,
+            edges: norm,
+        }
     }
 
     /// A linear chain `0 - 1 - ... - (n-1)`.

@@ -132,7 +132,13 @@ impl Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 
@@ -185,6 +191,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }

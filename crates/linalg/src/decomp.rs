@@ -68,7 +68,12 @@ pub fn zyz_decompose(u: &Matrix) -> Zyz {
         phi = u10.arg() - alpha;
         lambda = (-u01).arg() - alpha;
     }
-    Zyz { theta, phi, lambda, alpha }
+    Zyz {
+        theta,
+        phi,
+        lambda,
+        alpha,
+    }
 }
 
 impl Zyz {
@@ -83,8 +88,7 @@ mod tests {
     use super::*;
     use crate::matrix::{pauli_x, pauli_y, pauli_z};
     use crate::random::haar_unitary;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::random::SplitMix64 as StdRng;
 
     fn assert_round_trip(u: &Matrix, tol: f64) {
         let zyz = zyz_decompose(u);
@@ -97,7 +101,11 @@ mod tests {
 
     #[test]
     fn u3_matrix_is_unitary() {
-        for &(t, p, l) in &[(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (std::f64::consts::PI, -0.5, 0.7)] {
+        for &(t, p, l) in &[
+            (0.0, 0.0, 0.0),
+            (1.0, 2.0, 3.0),
+            (std::f64::consts::PI, -0.5, 0.7),
+        ] {
             assert!(u3_matrix(t, p, l).is_unitary(1e-13));
         }
     }
@@ -119,10 +127,7 @@ mod tests {
     #[test]
     fn hadamard_round_trips_with_expected_theta() {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let h = Matrix::from_rows(&[
-            &[c64(s, 0.0), c64(s, 0.0)],
-            &[c64(s, 0.0), c64(-s, 0.0)],
-        ]);
+        let h = Matrix::from_rows(&[&[c64(s, 0.0), c64(s, 0.0)], &[c64(s, 0.0), c64(-s, 0.0)]]);
         let zyz = zyz_decompose(&h);
         assert!((zyz.theta - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         assert_round_trip(&h, 1e-12);
@@ -136,7 +141,10 @@ mod tests {
             let u = u3_matrix(t, p, l);
             assert_round_trip(&u, 1e-12);
             let zyz = zyz_decompose(&u);
-            assert!((zyz.theta - t).abs() < 1e-9, "theta mismatch for ({t},{p},{l})");
+            assert!(
+                (zyz.theta - t).abs() < 1e-9,
+                "theta mismatch for ({t},{p},{l})"
+            );
         }
     }
 

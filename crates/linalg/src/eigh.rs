@@ -90,7 +90,7 @@ fn apply_rotation(
     let n = a.rows();
     let e_m = phase.conj(); // e^{-i phi}
     let e_p = phase; // e^{+i phi}
-    // A <- A J (columns)
+                     // A <- A J (columns)
     for r in 0..n {
         let arp = a[(r, p)];
         let arq = a[(r, q)];
@@ -128,7 +128,7 @@ impl Eigh {
 /// `exp(i H)` via the spectral decomposition — an independent cross-check of
 /// the Padé implementation in [`crate::expm`].
 pub fn expm_i_hermitian_spectral(h: &Matrix) -> Matrix {
-    eigh(h).apply_function(|w| Complex64::cis(w))
+    eigh(h).apply_function(Complex64::cis)
 }
 
 /// Von Neumann entropy `-Tr(rho ln rho)` (nats) of a density matrix.
@@ -150,8 +150,8 @@ mod tests {
     use crate::matrix::{pauli_x, pauli_y, pauli_z};
     use crate::pauli::{hermitian_from_coeffs, su_basis};
     use crate::random::haar_unitary;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::random::Rng;
+    use crate::random::SplitMix64 as StdRng;
 
     fn random_hermitian(n: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -253,7 +253,10 @@ mod tests {
             let u = haar_unitary(4, &mut rng);
             u.matmul(&d).matmul(&u.adjoint())
         };
-        let expect: f64 = -[0.5f64, 0.3, 0.15, 0.05].iter().map(|p| p * p.ln()).sum::<f64>();
+        let expect: f64 = -[0.5f64, 0.3, 0.15, 0.05]
+            .iter()
+            .map(|p| p * p.ln())
+            .sum::<f64>();
         assert!((von_neumann_entropy(&rho) - expect).abs() < 1e-8);
     }
 }

@@ -102,7 +102,12 @@ pub fn apply_2q_mat_left(mat: &mut Matrix, a: usize, b: usize, u: &[Complex64; 1
             (base | ma | mb) * cols,
         ];
         for j in 0..cols {
-            let amp = [data[r[0] + j], data[r[1] + j], data[r[2] + j], data[r[3] + j]];
+            let amp = [
+                data[r[0] + j],
+                data[r[1] + j],
+                data[r[2] + j],
+                data[r[3] + j],
+            ];
             for (ri, &row_off) in r.iter().enumerate() {
                 let mut acc = Complex64::ZERO;
                 for (ci, &amp_c) in amp.iter().enumerate() {
@@ -225,7 +230,11 @@ mod tests {
         // basis index bit q: kron ordering is qubit n-1 (x) ... (x) qubit 0
         let mut m = Matrix::identity(1);
         for k in (0..n).rev() {
-            let f = if k == q { u.clone() } else { Matrix::identity(2) };
+            let f = if k == q {
+                u.clone()
+            } else {
+                Matrix::identity(2)
+            };
             m = m.kron(&f);
         }
         m
@@ -245,10 +254,7 @@ mod tests {
                 for p in [pauli_x(), pauli_y(), pauli_z()] {
                     let fast = embed_1q(n, q, &mat2_to_array(&p));
                     let slow = kron_embed_1q(n, q, &p);
-                    assert!(
-                        fast.approx_eq(&slow, 1e-13),
-                        "embed mismatch n={n} q={q}"
-                    );
+                    assert!(fast.approx_eq(&slow, 1e-13), "embed mismatch n={n} q={q}");
                 }
             }
         }
@@ -268,7 +274,12 @@ mod tests {
     #[test]
     fn cnot_truth_table_on_vec() {
         // control = qubit 1, target = qubit 0; gate on (a=1, b=0)
-        for (inp, expect) in [(0b00usize, 0b00usize), (0b01, 0b01), (0b10, 0b11), (0b11, 0b10)] {
+        for (inp, expect) in [
+            (0b00usize, 0b00usize),
+            (0b01, 0b01),
+            (0b10, 0b11),
+            (0b11, 0b10),
+        ] {
             let mut state = vec![Complex64::ZERO; 4];
             state[inp] = Complex64::ONE;
             apply_2q_vec(&mut state, 1, 0, &cnot_gate());
@@ -282,7 +293,12 @@ mod tests {
     #[test]
     fn cnot_reversed_qubit_order() {
         // gate on (a=0, b=1): control = qubit 0, target = qubit 1
-        for (inp, expect) in [(0b00usize, 0b00usize), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+        for (inp, expect) in [
+            (0b00usize, 0b00usize),
+            (0b01, 0b11),
+            (0b10, 0b10),
+            (0b11, 0b01),
+        ] {
             let mut state = vec![Complex64::ZERO; 4];
             state[inp] = Complex64::ONE;
             apply_2q_vec(&mut state, 0, 1, &cnot_gate());
@@ -300,8 +316,9 @@ mod tests {
         let n = 3;
         let u = h_gate();
         let emb = embed_1q(n, 2, &u);
-        let mut state: Vec<Complex64> =
-            (0..8).map(|i| c64(i as f64 * 0.1, -(i as f64) * 0.05)).collect();
+        let mut state: Vec<Complex64> = (0..8)
+            .map(|i| c64(i as f64 * 0.1, -(i as f64) * 0.05))
+            .collect();
         let expect = emb.matvec(&state);
         apply_1q_vec(&mut state, 2, &u);
         for (a, b) in state.iter().zip(&expect) {
@@ -316,8 +333,9 @@ mod tests {
         for (a, b) in [(0usize, 3usize), (3, 0), (1, 2), (2, 1)] {
             let emb = embed_2q(n, a, b, &u);
             assert!(emb.is_unitary(1e-13), "embedding not unitary for ({a},{b})");
-            let mut state: Vec<Complex64> =
-                (0..16).map(|i| c64((i as f64).sin(), (i as f64).cos())).collect();
+            let mut state: Vec<Complex64> = (0..16)
+                .map(|i| c64((i as f64).sin(), (i as f64).cos()))
+                .collect();
             let expect = emb.matvec(&state);
             apply_2q_vec(&mut state, a, b, &u);
             for (x, y) in state.iter().zip(&expect) {

@@ -15,7 +15,10 @@
 //! * [`eigh`](crate::eigh::eigh) — Hermitian eigendecomposition (Jacobi),
 //!   spectral matrix functions, von Neumann entropy;
 //! * [`pauli`] — Pauli strings and the su(2^n) Hermitian basis;
-//! * [`random`] — Haar-distributed unitaries and random states.
+//! * [`random`] — a seedable in-repo RNG ([`random::SplitMix64`]),
+//!   Haar-distributed unitaries, and random states;
+//! * [`parallel`] — order-preserving parallel map / join, sequential by
+//!   default and threaded behind the `parallel` feature.
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,7 @@ pub mod eigh;
 pub mod expm;
 pub mod kernels;
 pub mod matrix;
+pub mod parallel;
 pub mod pauli;
 pub mod polar;
 pub mod random;
@@ -36,4 +40,5 @@ pub use eigh::{eigh, expm_i_hermitian_spectral, von_neumann_entropy, Eigh};
 pub use expm::{expm, expm_i_hermitian};
 pub use matrix::Matrix;
 pub use polar::{nearest_unitary, polar_unitary};
+pub use random::{Rng, SplitMix64};
 pub use solve::{invert, solve, SingularMatrix};

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -49,7 +53,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged matrix rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a diagonal matrix from its diagonal entries.
@@ -141,13 +149,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = Complex64::ZERO;
             for (a, b) in row.iter().zip(v) {
                 acc = acc.mul_add(*a, *b);
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -177,7 +185,11 @@ impl Matrix {
     /// Elementwise complex conjugate.
     pub fn conj(&self) -> Matrix {
         let data = self.data.iter().map(|z| z.conj()).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Trace (sum of diagonal entries). Requires a square matrix.
@@ -231,13 +243,21 @@ impl Matrix {
     /// Scales every entry by a complex factor.
     pub fn scale(&self, k: Complex64) -> Matrix {
         let data = self.data.iter().map(|&z| z * k).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every entry by a real factor.
     pub fn scale_re(&self, k: f64) -> Matrix {
         let data = self.data.iter().map(|&z| z * k).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += k * rhs` (axpy).
@@ -253,7 +273,11 @@ impl Matrix {
     pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
         self.rows == rhs.rows
             && self.cols == rhs.cols
-            && self.data.iter().zip(&rhs.data).all(|(a, b)| a.approx_eq(*b, tol))
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// True when `self^dagger * self` is the identity to within `tol`.
@@ -312,8 +336,17 @@ impl Add for &Matrix {
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "add shape mismatch");
         assert_eq!(self.cols, rhs.cols, "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a + *b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -322,8 +355,17 @@ impl Sub for &Matrix {
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "sub shape mismatch");
         assert_eq!(self.cols, rhs.cols, "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a - *b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

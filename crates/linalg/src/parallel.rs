@@ -1,0 +1,132 @@
+//! Data-parallel mapping helpers.
+//!
+//! The paper pipeline fans out over *populations* of circuits, not over
+//! individual amplitudes, so the only primitive the workspace needs is an
+//! order-preserving parallel map (plus a two-way `join`). By default these
+//! run sequentially so the workspace builds with zero dependencies; enabling
+//! the `parallel` feature fans the same calls out over `std::thread::scope`
+//! with one chunk per available core. Results are identical either way —
+//! every worker owns a disjoint slice of the output.
+
+/// Maps `f` over `items`, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Maps `f(index, item)` over `items`, preserving order.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Maps `f` over `0..n`, preserving order.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    (0..n).map(f).collect()
+}
+
+/// Maps `f` over `0..n` across worker threads, preserving order.
+#[cfg(feature = "parallel")]
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs two closures (concurrently under the `parallel` feature) and returns
+/// both results.
+#[cfg(not(feature = "parallel"))]
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    FA: FnOnce() -> A,
+    FB: FnOnce() -> B,
+{
+    (fa(), fb())
+}
+
+/// Runs two closures concurrently and returns both results.
+#[cfg(feature = "parallel")]
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        (a, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let squares = par_map(&items, |&x| x * x);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_passes_matching_index() {
+        let items = vec!["a", "b", "c"];
+        let tagged = par_map_indexed(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(tagged, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn par_map_range_handles_empty_and_single() {
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert_eq!(par_map_range(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -34,7 +34,14 @@ impl Pauli {
             Pauli::I => (b, Complex64::ONE),
             Pauli::X => (b ^ 1, Complex64::ONE),
             Pauli::Y => (b ^ 1, if b == 0 { Complex64::I } else { c64(0.0, -1.0) }),
-            Pauli::Z => (b, if b == 0 { Complex64::ONE } else { c64(-1.0, 0.0) }),
+            Pauli::Z => (
+                b,
+                if b == 0 {
+                    Complex64::ONE
+                } else {
+                    c64(-1.0, 0.0)
+                },
+            ),
         }
     }
 }
@@ -90,12 +97,16 @@ impl std::fmt::Display for PauliString {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Print qubit n-1 .. 0, the usual ket ordering.
         for &p in self.0.iter().rev() {
-            write!(f, "{}", match p {
-                Pauli::I => 'I',
-                Pauli::X => 'X',
-                Pauli::Y => 'Y',
-                Pauli::Z => 'Z',
-            })?;
+            write!(
+                f,
+                "{}",
+                match p {
+                    Pauli::I => 'I',
+                    Pauli::X => 'X',
+                    Pauli::Y => 'Y',
+                    Pauli::Z => 'Z',
+                }
+            )?;
         }
         Ok(())
     }
@@ -129,9 +140,15 @@ mod tests {
 
     #[test]
     fn single_qubit_strings_match_dense_paulis() {
-        assert!(PauliString(vec![Pauli::X]).to_matrix().approx_eq(&pauli_x(), 1e-15));
-        assert!(PauliString(vec![Pauli::Y]).to_matrix().approx_eq(&pauli_y(), 1e-15));
-        assert!(PauliString(vec![Pauli::Z]).to_matrix().approx_eq(&pauli_z(), 1e-15));
+        assert!(PauliString(vec![Pauli::X])
+            .to_matrix()
+            .approx_eq(&pauli_x(), 1e-15));
+        assert!(PauliString(vec![Pauli::Y])
+            .to_matrix()
+            .approx_eq(&pauli_y(), 1e-15));
+        assert!(PauliString(vec![Pauli::Z])
+            .to_matrix()
+            .approx_eq(&pauli_z(), 1e-15));
     }
 
     #[test]

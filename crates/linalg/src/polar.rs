@@ -13,7 +13,10 @@ use crate::solve::{invert, SingularMatrix};
 ///
 /// Returns an error if the matrix is singular (no unique nearest unitary).
 pub fn polar_unitary(a: &Matrix) -> Result<Matrix, SingularMatrix> {
-    assert!(a.is_square(), "polar decomposition requires a square matrix");
+    assert!(
+        a.is_square(),
+        "polar decomposition requires a square matrix"
+    );
     let mut x = a.clone();
     // Newton with a cheap scaling step: normalize by sqrt(|det|-ish) using
     // the Frobenius norm so the first iterations don't overshoot.

@@ -1,13 +1,130 @@
-//! Random quantum objects: Haar-distributed unitaries and random states.
+//! Deterministic randomness and random quantum objects.
 //!
-//! Haar sampling follows Mezzadri's recipe: fill a Ginibre matrix with
-//! standard complex Gaussians, QR-factorize by modified Gram-Schmidt, and fix
-//! the phase ambiguity with the sign of the R diagonal. Gaussians come from a
-//! hand-rolled Box-Muller so we stay inside the approved `rand` crate.
+//! The workspace must build and test with no network access, so instead of
+//! the `rand` crate this module carries a small, seedable generator
+//! ([`SplitMix64`]) plus the thin [`Rng`] trait the rest of the stack is
+//! written against. Haar sampling follows Mezzadri's recipe: fill a Ginibre
+//! matrix with standard complex Gaussians, QR-factorize by modified
+//! Gram-Schmidt, and fix the phase ambiguity with a fresh uniform phase.
 
 use crate::complex::{c64, Complex64};
 use crate::matrix::Matrix;
-use rand::Rng;
+
+/// A seedable pseudo-random generator. Implemented by [`SplitMix64`]; kept as
+/// a trait so call sites stay generic (mirroring the `rand` API shape the
+/// workspace was originally written against).
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (uniform `[0, 1)` for `f64`).
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a range, e.g. `-1.0..1.0`, `0..4`, `a..=b`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Fisher-Yates shuffle of a slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Sebastiano Vigna's SplitMix64: a tiny, fast, full-period 64-bit generator
+/// with excellent equidistribution for this workspace's statistical needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed (same seed, same stream).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from raw generator output via [`Rng::gen`].
+pub trait FromRng: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty range");
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i64);
 
 /// Samples a standard normal via Box-Muller.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -36,19 +153,19 @@ pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
         .map(|_| (0..n).map(|_| complex_normal(rng)).collect())
         .collect();
 
-    let mut r_diag = vec![Complex64::ONE; n];
     for j in 0..n {
         // Orthogonalize against previous columns (modified Gram-Schmidt,
         // applied twice for numerical robustness).
+        let (done, rest) = cols.split_at_mut(j);
+        let col_j = &mut rest[0];
         for _ in 0..2 {
-            for k in 0..j {
+            for col_k in done.iter() {
                 let mut proj = Complex64::ZERO;
-                for i in 0..n {
-                    proj = proj.mul_add(cols[k][i].conj(), cols[j][i]);
+                for (zk, zj) in col_k.iter().zip(col_j.iter()) {
+                    proj = proj.mul_add(zk.conj(), *zj);
                 }
-                for i in 0..n {
-                    let ck = cols[k][i];
-                    cols[j][i] -= proj * ck;
+                for (zj, &ck) in col_j.iter_mut().zip(col_k) {
+                    *zj -= proj * ck;
                 }
             }
         }
@@ -62,12 +179,11 @@ pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
         // fresh uniform phase per column (phase * Haar == Haar).
         let inv = 1.0 / norm;
         for z in cols[j].iter_mut() {
-            *z = *z * inv;
+            *z *= inv;
         }
         let phase = Complex64::cis(rng.gen::<f64>() * std::f64::consts::TAU);
-        r_diag[j] = phase;
         for z in cols[j].iter_mut() {
-            *z = *z * phase;
+            *z *= phase;
         }
     }
 
@@ -93,8 +209,8 @@ pub fn random_statevector<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vec<Compl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    type StdRng = SplitMix64;
 
     #[test]
     fn haar_unitaries_are_unitary() {
@@ -118,7 +234,11 @@ mod tests {
             mean += haar_unitary(4, &mut rng).trace();
         }
         mean = mean / samples as f64;
-        assert!(mean.abs() < 0.25, "Haar trace mean too large: {}", mean.abs());
+        assert!(
+            mean.abs() < 0.25,
+            "Haar trace mean too large: {}",
+            mean.abs()
+        );
     }
 
     #[test]
@@ -153,5 +273,45 @@ mod tests {
         let a = haar_unitary(4, &mut StdRng::seed_from_u64(5));
         let b = haar_unitary(4, &mut StdRng::seed_from_u64(5));
         assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_unit_interval_with_uniform_mean() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_for_ints_and_floats() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let k: u8 = rng.gen_range(0..4);
+            assert!(k < 4);
+            seen[k as usize] = true;
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn shuffle_permutes_without_loss() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut v: Vec<usize> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 20-element shuffle should move something");
     }
 }

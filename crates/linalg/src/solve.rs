@@ -101,8 +101,10 @@ mod tests {
         let mut a = Matrix::zeros(4, 4);
         for i in 0..4 {
             for j in 0..4 {
-                a[(i, j)] = c64(((i * 4 + j) as f64).sin() + if i == j { 3.0 } else { 0.0 },
-                                ((i + 2 * j) as f64).cos() * 0.3);
+                a[(i, j)] = c64(
+                    ((i * 4 + j) as f64).sin() + if i == j { 3.0 } else { 0.0 },
+                    ((i + 2 * j) as f64).cos() * 0.3,
+                );
             }
         }
         let inv = invert(&a).unwrap();
@@ -148,10 +150,7 @@ mod tests {
     fn inverse_of_unitary_is_adjoint() {
         // H gate: inverse should equal adjoint
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let h = Matrix::from_rows(&[
-            &[c64(s, 0.0), c64(s, 0.0)],
-            &[c64(s, 0.0), c64(-s, 0.0)],
-        ]);
+        let h = Matrix::from_rows(&[&[c64(s, 0.0), c64(s, 0.0)], &[c64(s, 0.0), c64(-s, 0.0)]]);
         let inv = invert(&h).unwrap();
         assert!(inv.approx_eq(&h.adjoint(), 1e-13));
     }

@@ -11,7 +11,10 @@ use qaprox_linalg::Matrix;
 /// `1 - |Tr(A^dagger B)| / d`, in `[0, 1]`, zero iff `A = e^{i phi} B`.
 pub fn hs_distance(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!(a.rows(), b.rows(), "hs_distance dimension mismatch");
-    assert!(a.is_square() && b.is_square(), "hs_distance expects square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "hs_distance expects square matrices"
+    );
     let d = a.rows() as f64;
     (1.0 - a.hs_inner(b).abs() / d).max(0.0)
 }
@@ -47,9 +50,8 @@ mod tests {
     use super::*;
     use qaprox_linalg::matrix::{pauli_x, pauli_z};
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_linalg::Complex64;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn identical_unitaries_have_zero_distance() {

@@ -92,7 +92,10 @@ pub fn cross_entropy(p: &[f64], q: &[f64]) -> f64 {
 /// Shannon entropy in nats.
 pub fn entropy(p: &[f64]) -> f64 {
     let p = checked(p);
-    -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>()
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.ln())
+        .sum::<f64>()
 }
 
 #[cfg(test)]
@@ -132,7 +135,10 @@ mod tests {
         let p = delta(4, 0);
         let q = delta(4, 1);
         let jsd = js_divergence(&p, &q);
-        assert!((jsd - std::f64::consts::LN_2).abs() < 1e-12, "disjoint support -> ln 2");
+        assert!(
+            (jsd - std::f64::consts::LN_2).abs() < 1e-12,
+            "disjoint support -> ln 2"
+        );
     }
 
     #[test]
@@ -178,7 +184,10 @@ mod tests {
     fn hellinger_bounds_and_relations() {
         let p = delta(4, 0);
         let q = delta(4, 1);
-        assert!((hellinger(&p, &q) - 1.0).abs() < 1e-12, "disjoint support -> 1");
+        assert!(
+            (hellinger(&p, &q) - 1.0).abs() < 1e-12,
+            "disjoint support -> 1"
+        );
         assert!(hellinger(&p, &p) < 1e-9);
         // Hellinger^2 <= TVD <= sqrt(2) * Hellinger
         let a = vec![0.6, 0.2, 0.1, 0.1];

@@ -17,6 +17,8 @@ pub mod observables;
 pub mod stats;
 
 pub use distance::{average_gate_fidelity, frobenius_distance, hs_distance, hs_distance_sqrt};
-pub use divergence::{cross_entropy, entropy, hellinger, js_distance, js_divergence, kl_divergence, total_variation};
-pub use stats::{pearson, spearman};
+pub use divergence::{
+    cross_entropy, entropy, hellinger, js_distance, js_divergence, kl_divergence, total_variation,
+};
 pub use observables::{magnetization, probabilities, success_probability, z_expectation};
+pub use stats::{pearson, spearman};

@@ -7,7 +7,10 @@
 /// Expectation of `Z` on qubit `q` from a basis-state distribution
 /// (`probs[b]` = probability of bitstring `b`, qubit 0 = LSB).
 pub fn z_expectation(probs: &[f64], q: usize) -> f64 {
-    assert!(probs.len().is_power_of_two(), "distribution length must be 2^n");
+    assert!(
+        probs.len().is_power_of_two(),
+        "distribution length must be 2^n"
+    );
     assert!((1usize << q) < probs.len(), "qubit out of range");
     let mut acc = 0.0;
     for (b, &p) in probs.iter().enumerate() {

@@ -1,117 +1,160 @@
-//! Property-based tests for the metric suite.
+//! Property-style tests for the metric suite, driven by the in-repo seeded
+//! RNG.
 
-use proptest::prelude::*;
+use qaprox_linalg::random::{Rng, SplitMix64};
 use qaprox_metrics::*;
 
-fn distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1.0, n).prop_filter_map("nonzero mass", |v| {
+const CASES: usize = 48;
+
+fn distribution(n: usize, rng: &mut SplitMix64) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         let sum: f64 = v.iter().sum();
-        if sum < 1e-6 {
-            None
-        } else {
-            Some(v.into_iter().map(|x| x / sum).collect())
+        if sum >= 1e-6 {
+            return v.into_iter().map(|x| x / sum).collect();
         }
-    })
+    }
 }
 
-proptest! {
-    #[test]
-    fn js_distance_is_a_bounded_metric(p in distribution(8), q in distribution(8)) {
+#[test]
+fn js_distance_is_a_bounded_metric() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
+        let q = distribution(8, &mut rng);
         let d = js_distance(&p, &q);
-        prop_assert!((0.0..=(std::f64::consts::LN_2.sqrt() + 1e-9)).contains(&d));
+        assert!((0.0..=(std::f64::consts::LN_2.sqrt() + 1e-9)).contains(&d));
         // symmetry
-        prop_assert!((d - js_distance(&q, &p)).abs() < 1e-12);
+        assert!((d - js_distance(&q, &p)).abs() < 1e-12);
         // identity of indiscernibles (one direction)
-        prop_assert!(js_distance(&p, &p) < 1e-7);
+        assert!(js_distance(&p, &p) < 1e-7);
     }
+}
 
-    #[test]
-    fn js_triangle_inequality(p in distribution(6), q in distribution(6), r in distribution(6)) {
+#[test]
+fn js_triangle_inequality() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let p = distribution(6, &mut rng);
+        let q = distribution(6, &mut rng);
+        let r = distribution(6, &mut rng);
         let pq = js_distance(&p, &q);
         let qr = js_distance(&q, &r);
         let pr = js_distance(&p, &r);
-        prop_assert!(pr <= pq + qr + 1e-9);
+        assert!(pr <= pq + qr + 1e-9);
     }
+}
 
-    #[test]
-    fn tvd_bounds_and_symmetry(p in distribution(8), q in distribution(8)) {
+#[test]
+fn tvd_bounds_and_symmetry() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
+        let q = distribution(8, &mut rng);
         let d = total_variation(&p, &q);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
-        prop_assert!((d - total_variation(&q, &p)).abs() < 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&d));
+        assert!((d - total_variation(&q, &p)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn pinsker_inequality(p in distribution(8), q in distribution(8)) {
+#[test]
+fn pinsker_inequality() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
+        let q = distribution(8, &mut rng);
         // KL(P||Q) >= 2 * TVD^2 (in nats) whenever KL is finite
         let kl = kl_divergence(&p, &q);
         if kl.is_finite() {
             let tvd = total_variation(&p, &q);
-            prop_assert!(kl + 1e-9 >= 2.0 * tvd * tvd);
+            assert!(kl + 1e-9 >= 2.0 * tvd * tvd);
         }
     }
+}
 
-    #[test]
-    fn kl_nonnegative_and_zero_iff_equal(p in distribution(8)) {
-        prop_assert!(kl_divergence(&p, &p).abs() < 1e-10);
+#[test]
+fn kl_nonnegative_and_zero_iff_equal() {
+    let mut rng = SplitMix64::seed_from_u64(5);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
+        assert!(kl_divergence(&p, &p).abs() < 1e-10);
     }
+}
 
-    #[test]
-    fn entropy_bounds(p in distribution(16)) {
+#[test]
+fn entropy_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(6);
+    for _ in 0..CASES {
+        let p = distribution(16, &mut rng);
         let h = entropy(&p);
-        prop_assert!(h >= -1e-12);
-        prop_assert!(h <= (16f64).ln() + 1e-9);
+        assert!(h >= -1e-12);
+        assert!(h <= (16f64).ln() + 1e-9);
     }
+}
 
-    #[test]
-    fn magnetization_bounds(p in distribution(8)) {
+#[test]
+fn magnetization_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(7);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
         let m = magnetization(&p);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&m));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&m));
     }
+}
 
-    #[test]
-    fn magnetization_is_mean_of_z_expectations(p in distribution(8)) {
+#[test]
+fn magnetization_is_mean_of_z_expectations() {
+    let mut rng = SplitMix64::seed_from_u64(8);
+    for _ in 0..CASES {
+        let p = distribution(8, &mut rng);
         let m = magnetization(&p);
         let mean = (0..3).map(|q| z_expectation(&p, q)).sum::<f64>() / 3.0;
-        prop_assert!((m - mean).abs() < 1e-12);
+        assert!((m - mean).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn bit_flip_symmetry_of_magnetization(p in distribution(8)) {
+#[test]
+fn bit_flip_symmetry_of_magnetization() {
+    let mut rng = SplitMix64::seed_from_u64(9);
+    for _ in 0..CASES {
         // flipping every bit negates the magnetization
+        let p = distribution(8, &mut rng);
         let flipped: Vec<f64> = (0..8).map(|i| p[i ^ 0b111]).collect();
-        prop_assert!((magnetization(&p) + magnetization(&flipped)).abs() < 1e-12);
+        assert!((magnetization(&p) + magnetization(&flipped)).abs() < 1e-12);
     }
 }
 
 mod hs_properties {
     use super::*;
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_linalg::Complex64;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    proptest! {
-        #[test]
-        fn hs_distance_bounds_and_phase_invariance(seed in 0u64..300, phase in 0.0f64..6.28) {
+    #[test]
+    fn hs_distance_bounds_and_phase_invariance() {
+        for seed in 0..CASES as u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let a = haar_unitary(4, &mut rng);
             let b = haar_unitary(4, &mut rng);
             let d = hs_distance(&a, &b);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+            assert!((0.0..=1.0 + 1e-12).contains(&d));
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
             let b_phased = b.scale(Complex64::cis(phase));
-            prop_assert!((hs_distance(&a, &b_phased) - d).abs() < 1e-10);
+            assert!((hs_distance(&a, &b_phased) - d).abs() < 1e-10);
         }
+    }
 
-        #[test]
-        fn fidelity_distance_duality(seed in 0u64..300) {
+    #[test]
+    fn fidelity_distance_duality() {
+        for seed in 0..CASES as u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let a = haar_unitary(4, &mut rng);
             let b = haar_unitary(4, &mut rng);
             // identical unitaries: fidelity 1, distance 0
-            prop_assert!((average_gate_fidelity(&a, &a) - 1.0).abs() < 1e-10);
+            assert!((average_gate_fidelity(&a, &a) - 1.0).abs() < 1e-10);
             // distance 0 implies fidelity 1
             if hs_distance(&a, &b) < 1e-10 {
-                prop_assert!((average_gate_fidelity(&a, &b) - 1.0).abs() < 1e-8);
+                assert!((average_gate_fidelity(&a, &b) - 1.0).abs() < 1e-8);
             }
         }
     }

@@ -52,7 +52,10 @@ mod tests {
     fn matches_trigonometric_gradient() {
         let f = |x: &[f64]| (x[0] * 2.0).sin() * x[1].cos();
         let grad = |x: &[f64]| {
-            vec![2.0 * (x[0] * 2.0).cos() * x[1].cos(), -(x[0] * 2.0).sin() * x[1].sin()]
+            vec![
+                2.0 * (x[0] * 2.0).cos() * x[1].cos(),
+                -(x[0] * 2.0).sin() * x[1].sin(),
+            ]
         };
         let err = check_gradient(&f, &grad, &[0.4, 1.1], 1e-6);
         assert!(err < 1e-8);

@@ -163,7 +163,14 @@ pub fn lbfgs<O: GradObjective>(obj: &O, x0: &[f64], params: &LbfgsParams) -> Lbf
     }
 
     let grad_norm = inf_norm(&g);
-    LbfgsResult { x, f, grad_norm, iters, evals, converged }
+    LbfgsResult {
+        x,
+        f,
+        grad_norm,
+        iters,
+        evals,
+        converged,
+    }
 }
 
 /// Strong-Wolfe bracketing line search. Returns `(alpha, f(x+ad), grad)`.
@@ -209,7 +216,9 @@ fn wolfe_search<O: GradObjective>(
             break;
         }
         if dg_a >= 0.0 {
-            best = zoom(obj, x, f0, d, dg0, alpha, f_a, dg_a, alpha_prev, f_prev, params, evals);
+            best = zoom(
+                obj, x, f0, d, dg0, alpha, f_a, dg_a, alpha_prev, f_prev, params, evals,
+            );
             break;
         }
         alpha_prev = alpha;
@@ -306,7 +315,7 @@ mod tests {
 
     #[test]
     fn minimizes_quadratic_exactly() {
-        let r = lbfgs(&quadratic, &vec![5.0; 6], &LbfgsParams::default());
+        let r = lbfgs(&quadratic, &[5.0; 6], &LbfgsParams::default());
         assert!(r.converged, "did not converge: {r:?}");
         for (i, v) in r.x.iter().enumerate() {
             assert!((v - i as f64).abs() < 1e-6, "x[{i}] = {v}");
@@ -316,7 +325,14 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let r = lbfgs(&rosenbrock, &[-1.2, 1.0], &LbfgsParams { max_iters: 500, ..Default::default() });
+        let r = lbfgs(
+            &rosenbrock,
+            &[-1.2, 1.0],
+            &LbfgsParams {
+                max_iters: 500,
+                ..Default::default()
+            },
+        );
         assert!(r.f < 1e-8, "rosenbrock residual {}", r.f);
         assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
     }
@@ -325,8 +341,11 @@ mod tests {
     fn higher_dim_rosenbrock() {
         let r = lbfgs(
             &rosenbrock,
-            &vec![0.0; 10],
-            &LbfgsParams { max_iters: 2000, ..Default::default() },
+            &[0.0; 10],
+            &LbfgsParams {
+                max_iters: 2000,
+                ..Default::default()
+            },
         );
         assert!(r.f < 1e-6, "10-d rosenbrock residual {}", r.f);
     }
@@ -356,7 +375,10 @@ mod tests {
         let r = lbfgs(
             &rosenbrock,
             &[-1.2, 1.0],
-            &LbfgsParams { max_iters: 3, ..Default::default() },
+            &LbfgsParams {
+                max_iters: 3,
+                ..Default::default()
+            },
         );
         assert!(r.iters <= 3);
     }
@@ -365,7 +387,14 @@ mod tests {
     fn result_never_worse_than_start() {
         let x0 = [3.0, -4.0, 0.5, 9.0];
         let (f0, _) = rosenbrock(&x0);
-        let r = lbfgs(&rosenbrock, &x0, &LbfgsParams { max_iters: 50, ..Default::default() });
+        let r = lbfgs(
+            &rosenbrock,
+            &x0,
+            &LbfgsParams {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
         assert!(r.f <= f0);
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::lbfgs::{lbfgs, LbfgsParams, LbfgsResult};
 use crate::GradObjective;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 
 /// Tuning knobs for [`multistart_minimize`].
 #[derive(Debug, Clone)]
@@ -55,11 +55,14 @@ pub fn multistart_minimize<O: GradObjective>(
                 .collect()
         };
         let r = lbfgs(obj, &x_init, &params.local);
-        let improved = best.as_ref().map_or(true, |b| r.f < b.f);
+        let improved = best.as_ref().is_none_or(|b| r.f < b.f);
         if improved {
             best = Some(r);
         }
-        if best.as_ref().is_some_and(|b| b.f <= params.success_threshold) {
+        if best
+            .as_ref()
+            .is_some_and(|b| b.f <= params.success_threshold)
+        {
             break;
         }
     }
@@ -88,16 +91,28 @@ mod tests {
         // Starting inside the shallow basin at x=3, a single L-BFGS run stays
         // there; multistart should find the global basin.
         let single = lbfgs(&deceptive, &[3.2], &LbfgsParams::default());
-        assert!(single.f > 0.4, "single run unexpectedly escaped: {single:?}");
+        assert!(
+            single.f > 0.4,
+            "single run unexpectedly escaped: {single:?}"
+        );
 
-        let params = MultistartParams { starts: 8, range: 5.0, seed: 7, ..Default::default() };
+        let params = MultistartParams {
+            starts: 8,
+            range: 5.0,
+            seed: 7,
+            ..Default::default()
+        };
         let multi = multistart_minimize(&deceptive, &[3.2], &params);
         assert!(multi.f < 1e-8, "multistart failed: {multi:?}");
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let params = MultistartParams { starts: 5, seed: 42, ..Default::default() };
+        let params = MultistartParams {
+            starts: 5,
+            seed: 42,
+            ..Default::default()
+        };
         let a = multistart_minimize(&deceptive, &[3.2], &params);
         let b = multistart_minimize(&deceptive, &[3.2], &params);
         assert_eq!(a.x, b.x);

@@ -20,7 +20,12 @@ pub struct NelderMeadParams {
 
 impl Default for NelderMeadParams {
     fn default() -> Self {
-        NelderMeadParams { max_evals: 20_000, f_tol: 1e-12, x_tol: 1e-10, initial_step: 0.5 }
+        NelderMeadParams {
+            max_evals: 20_000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -39,11 +44,7 @@ pub struct NmResult {
 
 /// Minimizes `f` from `x0` with the Nelder-Mead simplex algorithm
 /// (standard reflection/expansion/contraction/shrink coefficients).
-pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
-    f: &F,
-    x0: &[f64],
-    params: &NelderMeadParams,
-) -> NmResult {
+pub fn nelder_mead<F: Fn(&[f64]) -> f64>(f: &F, x0: &[f64], params: &NelderMeadParams) -> NmResult {
     let n = x0.len();
     assert!(n > 0, "cannot optimize a zero-dimensional point");
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
@@ -53,7 +54,11 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
     simplex.push(x0.to_vec());
     for i in 0..n {
         let mut v = x0.to_vec();
-        v[i] += if v[i].abs() > 1e-8 { params.initial_step * v[i].signum() } else { params.initial_step };
+        v[i] += if v[i].abs() > 1e-8 {
+            params.initial_step * v[i].signum()
+        } else {
+            params.initial_step
+        };
         simplex.push(v);
     }
     let mut evals = 0usize;
@@ -161,7 +166,12 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
             best_i = i;
         }
     }
-    NmResult { x: simplex[best_i].clone(), f: values[best_i], evals, converged }
+    NmResult {
+        x: simplex[best_i].clone(),
+        f: values[best_i],
+        evals,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -179,9 +189,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let f = |x: &[f64]| {
-            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
-        };
+        let f = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
         let r = nelder_mead(&f, &[-1.2, 1.0], &NelderMeadParams::default());
         assert!(r.f < 1e-8, "residual {}", r.f);
     }
@@ -199,7 +207,10 @@ mod tests {
         let r = nelder_mead(
             &f,
             &[10.0; 5],
-            &NelderMeadParams { max_evals: 50, ..Default::default() },
+            &NelderMeadParams {
+                max_evals: 50,
+                ..Default::default()
+            },
         );
         assert!(r.evals <= 60); // cap plus at most one shrink round
     }

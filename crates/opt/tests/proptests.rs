@@ -1,7 +1,13 @@
-//! Property-based tests for the optimizers.
+//! Property-style tests for the optimizers, driven by the in-repo seeded RNG.
 
-use proptest::prelude::*;
+use qaprox_linalg::random::{Rng, SplitMix64};
 use qaprox_opt::{lbfgs, nelder_mead, LbfgsParams, NelderMeadParams};
+
+const CASES: usize = 32;
+
+fn vec_in(lo: f64, hi: f64, len: usize, rng: &mut SplitMix64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 /// A positive-definite quadratic with a known minimizer.
 fn quadratic(center: Vec<f64>, scales: Vec<f64>) -> impl Fn(&[f64]) -> (f64, Vec<f64>) {
@@ -17,25 +23,28 @@ fn quadratic(center: Vec<f64>, scales: Vec<f64>) -> impl Fn(&[f64]) -> (f64, Vec
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lbfgs_finds_quadratic_minima(
-        center in proptest::collection::vec(-5.0f64..5.0, 1..6),
-        raw_scales in proptest::collection::vec(0.1f64..10.0, 1..6),
-        start in proptest::collection::vec(-5.0f64..5.0, 1..6),
-    ) {
-        let n = center.len().min(raw_scales.len()).min(start.len());
-        let obj = quadratic(center[..n].to_vec(), raw_scales[..n].to_vec());
-        let r = lbfgs(&obj, &start[..n], &LbfgsParams::default());
-        for (xi, ci) in r.x.iter().zip(&center[..n]) {
-            prop_assert!((xi - ci).abs() < 1e-4, "x {xi} vs center {ci}");
+#[test]
+fn lbfgs_finds_quadratic_minima() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..6);
+        let center = vec_in(-5.0, 5.0, n, &mut rng);
+        let scales = vec_in(0.1, 10.0, n, &mut rng);
+        let start = vec_in(-5.0, 5.0, n, &mut rng);
+        let obj = quadratic(center.clone(), scales);
+        let r = lbfgs(&obj, &start, &LbfgsParams::default());
+        for (xi, ci) in r.x.iter().zip(&center) {
+            assert!((xi - ci).abs() < 1e-4, "x {xi} vs center {ci}");
         }
     }
+}
 
-    #[test]
-    fn lbfgs_monotone_improvement(start in proptest::collection::vec(-3.0f64..3.0, 2..5)) {
+#[test]
+fn lbfgs_monotone_improvement() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..5);
+        let start = vec_in(-3.0, 3.0, n, &mut rng);
         // smooth nonconvex objective: never end worse than the start
         let obj = |x: &[f64]| {
             let f: f64 = x.iter().map(|v| (v * 1.7).sin() + 0.1 * v * v).sum();
@@ -43,40 +52,68 @@ proptest! {
             (f, g)
         };
         let (f0, _) = obj(&start);
-        let r = lbfgs(&obj, &start, &LbfgsParams { max_iters: 50, ..Default::default() });
-        prop_assert!(r.f <= f0 + 1e-12);
+        let r = lbfgs(
+            &obj,
+            &start,
+            &LbfgsParams {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
+        assert!(r.f <= f0 + 1e-12);
     }
+}
 
-    #[test]
-    fn nelder_mead_never_worse_than_start(start in proptest::collection::vec(-3.0f64..3.0, 1..5)) {
+#[test]
+fn nelder_mead_never_worse_than_start() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..5);
+        let start = vec_in(-3.0, 3.0, n, &mut rng);
         let f = |x: &[f64]| -> f64 {
-            x.iter().map(|v| (v - 0.5).powi(2) + (v * 2.0).cos() * 0.3).sum()
+            x.iter()
+                .map(|v| (v - 0.5).powi(2) + (v * 2.0).cos() * 0.3)
+                .sum()
         };
         let f0 = f(&start);
-        let r = nelder_mead(&f, &start, &NelderMeadParams { max_evals: 2000, ..Default::default() });
-        prop_assert!(r.f <= f0 + 1e-12);
+        let r = nelder_mead(
+            &f,
+            &start,
+            &NelderMeadParams {
+                max_evals: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(r.f <= f0 + 1e-12);
     }
+}
 
-    #[test]
-    fn nelder_mead_solves_separable_quadratics(center in proptest::collection::vec(-2.0f64..2.0, 1..4)) {
+#[test]
+fn nelder_mead_solves_separable_quadratics() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..4);
+        let center = vec_in(-2.0, 2.0, n, &mut rng);
         let c = center.clone();
-        let f = move |x: &[f64]| -> f64 {
-            x.iter().zip(&c).map(|(v, ci)| (v - ci).powi(2)).sum()
-        };
+        let f = move |x: &[f64]| -> f64 { x.iter().zip(&c).map(|(v, ci)| (v - ci).powi(2)).sum() };
         let start = vec![0.0; center.len()];
         let r = nelder_mead(&f, &start, &NelderMeadParams::default());
-        prop_assert!(r.f < 1e-6, "residual {}", r.f);
+        assert!(r.f < 1e-6, "residual {}", r.f);
     }
+}
 
-    #[test]
-    fn central_difference_linear_functions_are_exact(coeffs in proptest::collection::vec(-3.0f64..3.0, 1..5),
-                                                     at in proptest::collection::vec(-2.0f64..2.0, 1..5)) {
-        let n = coeffs.len().min(at.len());
-        let c = coeffs[..n].to_vec();
+#[test]
+fn central_difference_linear_functions_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(5);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..5);
+        let coeffs = vec_in(-3.0, 3.0, n, &mut rng);
+        let at = vec_in(-2.0, 2.0, n, &mut rng);
+        let c = coeffs.clone();
         let f = move |x: &[f64]| -> f64 { x.iter().zip(&c).map(|(a, b)| a * b).sum() };
-        let g = qaprox_opt::gradient::central_difference(&f, &at[..n], 1e-5);
-        for (gi, ci) in g.iter().zip(&coeffs[..n]) {
-            prop_assert!((gi - ci).abs() < 1e-7);
+        let g = qaprox_opt::gradient::central_difference(&f, &at, 1e-5);
+        for (gi, ci) in g.iter().zip(&coeffs) {
+            assert!((gi - ci).abs() < 1e-7);
         }
     }
 }

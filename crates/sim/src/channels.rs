@@ -60,7 +60,11 @@ pub fn depolarizing_2q(lambda: f64) -> Vec<Matrix> {
     let mut out = Vec::with_capacity(16);
     for (i, a) in singles.iter().enumerate() {
         for (j, b) in singles.iter().enumerate() {
-            let weight = if i == 0 && j == 0 { (1.0 - 15.0 * p).max(0.0) } else { p };
+            let weight = if i == 0 && j == 0 {
+                (1.0 - 15.0 * p).max(0.0)
+            } else {
+                p
+            };
             out.push(a.kron(b).scale_re(weight.sqrt()));
         }
     }

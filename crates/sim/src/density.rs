@@ -98,7 +98,11 @@ impl DensityMatrix {
 
     /// Applies a whole circuit without noise.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.num_qubits, "circuit width mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "circuit width mismatch"
+        );
         for inst in circuit.iter() {
             self.apply_gate(&inst.gate, &inst.qubits);
         }
@@ -107,6 +111,8 @@ impl DensityMatrix {
     /// Applies a one-qubit Kraus channel `{K_i}` on qubit `q`:
     /// `rho <- sum_i K_i rho K_i^dagger`.
     pub fn apply_kraus_1q(&mut self, q: usize, kraus: &[Matrix]) {
+        #[cfg(feature = "strict-invariants")]
+        let trace_before = self.trace();
         let mut acc = Matrix::zeros(self.dim(), self.dim());
         for k in kraus {
             let ka = mat2_to_array(k);
@@ -116,10 +122,17 @@ impl DensityMatrix {
             acc.axpy(Complex64::ONE, &term);
         }
         self.rho = acc;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            (self.trace() - trace_before).abs() < 1e-8,
+            "1q Kraus set on qubit {q} is not trace preserving"
+        );
     }
 
     /// Applies a two-qubit Kraus channel on `(a, b)`.
     pub fn apply_kraus_2q(&mut self, a: usize, b: usize, kraus: &[Matrix]) {
+        #[cfg(feature = "strict-invariants")]
+        let trace_before = self.trace();
         let mut acc = Matrix::zeros(self.dim(), self.dim());
         for k in kraus {
             let ka = mat4_to_array(k);
@@ -129,6 +142,11 @@ impl DensityMatrix {
             acc.axpy(Complex64::ONE, &term);
         }
         self.rho = acc;
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            (self.trace() - trace_before).abs() < 1e-8,
+            "2q Kraus set on qubits ({a}, {b}) is not trace preserving"
+        );
     }
 
     /// Depolarizes the given qubits with strength `lambda`:
@@ -145,8 +163,9 @@ impl DensityMatrix {
         let dq = 1usize << qubits.len();
         // Rebuild lambda * (I/dq (x) reduced) embedded at the right qubit positions.
         let dim = self.dim();
-        let rest_qubits: Vec<usize> =
-            (0..self.num_qubits).filter(|q| !qubits.contains(q)).collect();
+        let rest_qubits: Vec<usize> = (0..self.num_qubits)
+            .filter(|q| !qubits.contains(q))
+            .collect();
         let mut mixed = Matrix::zeros(dim, dim);
         // index helpers: compose a full index from (rest_index_bits, traced_bits)
         for ri in 0..(1usize << rest_qubits.len()) {
@@ -182,7 +201,9 @@ impl DensityMatrix {
         for &q in qubits {
             assert!(q < self.num_qubits, "trace qubit out of range");
         }
-        let rest: Vec<usize> = (0..self.num_qubits).filter(|q| !qubits.contains(q)).collect();
+        let rest: Vec<usize> = (0..self.num_qubits)
+            .filter(|q| !qubits.contains(q))
+            .collect();
         let rdim = 1usize << rest.len();
         let tdim = 1usize << qubits.len();
         let mut out = Matrix::zeros(rdim, rdim);
@@ -211,7 +232,9 @@ impl DensityMatrix {
 
     /// Measurement distribution: the real diagonal of rho.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim()).map(|i| self.rho[(i, i)].re.max(0.0)).collect()
+        (0..self.dim())
+            .map(|i| self.rho[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// Trace (should stay 1 under trace-preserving evolution).
@@ -299,7 +322,9 @@ mod tests {
         let mut dm = DensityMatrix::ground(2);
         dm.apply_circuit(&c);
         dm.depolarize(&[0, 1], 1.0);
-        assert!(dm.matrix().approx_eq(DensityMatrix::maximally_mixed(2).matrix(), 1e-12));
+        assert!(dm
+            .matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(2).matrix(), 1e-12));
     }
 
     #[test]
@@ -334,7 +359,7 @@ mod tests {
         let mut dm = DensityMatrix::ground(2);
         dm.apply_circuit(&c);
         let reduced = dm.partial_trace(&[1]); // keep qubit 0
-        // |+><+| has purity 1
+                                              // |+><+| has purity 1
         let purity: f64 = reduced.data().iter().map(|z| z.norm_sqr()).sum();
         assert!((purity - 1.0).abs() < 1e-12);
         assert!((reduced[(0, 1)].re - 0.5).abs() < 1e-13);
@@ -377,7 +402,10 @@ mod tests {
         let mut dm = DensityMatrix::ground(2);
         dm.apply_circuit(&c);
         let s = dm.entanglement_entropy(&[1]);
-        assert!((s - std::f64::consts::LN_2).abs() < 1e-9, "Bell entropy {s}");
+        assert!(
+            (s - std::f64::consts::LN_2).abs() < 1e-9,
+            "Bell entropy {s}"
+        );
         // product state: zero entanglement
         let mut prod = DensityMatrix::ground(2);
         let mut pc = Circuit::new(2);

@@ -2,13 +2,13 @@
 //!
 //! Every figure in the paper runs *hundreds* of approximate circuits (often
 //! x21 timesteps x several noise levels). Individual density matrices are
-//! tiny, so the parallelism lives here: a rayon `par_iter` over circuits.
+//! tiny, so the parallelism lives here: a parallel map over circuits.
 
 use crate::hardware::HardwareBackend;
 use crate::noise_model::NoiseModel;
 use crate::statevector;
 use qaprox_circuit::Circuit;
-use rayon::prelude::*;
+use qaprox_linalg::parallel::par_map_indexed;
 
 /// Where a circuit executes — mirrors the paper's three execution methods
 /// (ideal simulator, device-noise-model simulator, physical machine).
@@ -23,9 +23,33 @@ pub enum Backend {
 }
 
 impl Backend {
+    /// Statically validates a circuit before execution: any deny-level
+    /// finding from `qaprox-verify`'s circuit lints (out-of-range operands,
+    /// duplicate operands, wrong arity, non-finite parameters, non-unitary
+    /// embedded gates) is returned as an error with the rendered report.
+    ///
+    /// With the `strict-invariants` feature enabled, every execution entry
+    /// point asserts this automatically.
+    pub fn validate(circuit: &Circuit) -> Result<(), String> {
+        let cfg = qaprox_verify::LintConfig::new();
+        let report = qaprox_verify::lint_circuit(circuit, None, &cfg);
+        if report.has_errors() {
+            Err(format!(
+                "circuit failed pre-run validation:\n{}",
+                report.to_text()
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Output distribution of one circuit. `job_seed` matters only for the
     /// hardware backend's shot sampling.
     pub fn probabilities(&self, circuit: &Circuit, job_seed: u64) -> Vec<f64> {
+        #[cfg(feature = "strict-invariants")]
+        if let Err(e) = Backend::validate(circuit) {
+            panic!("{e}");
+        }
         match self {
             Backend::Ideal => statevector::probabilities(circuit),
             Backend::Noisy(model) => model.probabilities(circuit),
@@ -35,11 +59,7 @@ impl Backend {
 
     /// Executes a batch of circuits in parallel; result order matches input.
     pub fn run_batch(&self, circuits: &[Circuit]) -> Vec<Vec<f64>> {
-        circuits
-            .par_iter()
-            .enumerate()
-            .map(|(i, c)| self.probabilities(c, i as u64))
-            .collect()
+        par_map_indexed(circuits, |i, c| self.probabilities(c, i as u64))
     }
 
     /// Maps an arbitrary evaluation over circuits in parallel, giving each
@@ -49,11 +69,7 @@ impl Backend {
         T: Send,
         F: Fn(&Circuit, Vec<f64>) -> T + Sync,
     {
-        circuits
-            .par_iter()
-            .enumerate()
-            .map(|(i, c)| f(c, self.probabilities(c, i as u64)))
-            .collect()
+        par_map_indexed(circuits, |i, c| f(c, self.probabilities(c, i as u64)))
     }
 }
 
@@ -124,7 +140,11 @@ mod tests {
         let hw = HardwareBackend::new(NoiseModel::from_calibration(cal));
         let b = Backend::Hardware(hw);
         let c = some_circuits(1).pop().unwrap();
-        assert_ne!(b.probabilities(&c, 0), b.probabilities(&c, 1), "shots must differ by seed");
+        assert_ne!(
+            b.probabilities(&c, 0),
+            b.probabilities(&c, 1),
+            "shots must differ by seed"
+        );
     }
 
     #[test]

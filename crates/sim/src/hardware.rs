@@ -93,7 +93,10 @@ fn edge_hash(seed: u64, a: usize, b: usize) -> f64 {
     let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
     let mut h = seed ^ 0x9E3779B97F4A7C15;
     for v in [lo, hi] {
-        h ^= v.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h ^= v
+            .wrapping_add(0x9E3779B97F4A7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
         h = h.wrapping_mul(0xBF58476D1CE4E5B9);
         h ^= h >> 31;
     }
@@ -103,7 +106,10 @@ fn edge_hash(seed: u64, a: usize, b: usize) -> f64 {
 impl HardwareBackend {
     /// Wraps a noise model with default hardware effects.
     pub fn new(model: NoiseModel) -> Self {
-        HardwareBackend { model, effects: HardwareEffects::default() }
+        HardwareBackend {
+            model,
+            effects: HardwareEffects::default(),
+        }
     }
 
     /// Wraps with explicit effect strengths.
@@ -125,7 +131,11 @@ impl HardwareBackend {
     /// coherent hardware effects (no readout or shot noise yet).
     pub fn run_density(&self, circuit: &Circuit) -> DensityMatrix {
         let n = circuit.num_qubits();
-        assert_eq!(n, self.model.num_qubits(), "circuit width must match device");
+        assert_eq!(
+            n,
+            self.model.num_qubits(),
+            "circuit width must match device"
+        );
         let topo = self.model.calibration().topology.clone();
         let mut dm = DensityMatrix::ground(n);
         for inst in circuit.iter() {
@@ -232,8 +242,12 @@ mod tests {
         c.h(0).cx(0, 1).cx(1, 2);
         let exact = hw.exact_probabilities(&c);
         let sampled = hw.probabilities(&c, 11);
-        let tvd: f64 =
-            0.5 * exact.iter().zip(&sampled).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let tvd: f64 = 0.5
+            * exact
+                .iter()
+                .zip(&sampled)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
         assert!(tvd > 0.0, "shot noise should perturb the distribution");
         assert!(tvd < 0.05, "8192 shots should keep TVD small, got {tvd}");
     }

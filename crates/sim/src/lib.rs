@@ -15,15 +15,15 @@
 //! * [`trajectory`] — Monte-Carlo trajectory simulation (cross-validates the
 //!   density matrix; scales to wider circuits);
 //! * [`mitigation`] — readout-error mitigation (confusion-matrix inversion);
-//! * [`executor`] — rayon-parallel batch execution over circuit populations.
+//! * [`executor`] — parallel batch execution over circuit populations.
 
 #![warn(missing_docs)]
 
 pub mod channels;
-pub mod mitigation;
 pub mod density;
 pub mod executor;
 pub mod hardware;
+pub mod mitigation;
 pub mod noise_model;
 pub mod readout;
 pub mod sampler;
@@ -33,8 +33,8 @@ pub mod trajectory;
 pub use density::DensityMatrix;
 pub use executor::Backend;
 pub use hardware::{HardwareBackend, HardwareEffects};
-pub use noise_model::NoiseModel;
 pub use mitigation::mitigate_readout;
+pub use noise_model::NoiseModel;
 pub use readout::ReadoutError;
-pub use trajectory::trajectory_probabilities;
 pub use sampler::{counts_to_probs, sample_counts, DEFAULT_SHOTS};
+pub use trajectory::trajectory_probabilities;

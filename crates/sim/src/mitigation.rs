@@ -74,7 +74,10 @@ mod tests {
     fn mitigation_inverts_confusion_exactly_on_exact_distributions() {
         let true_dist = vec![0.55, 0.05, 0.15, 0.25];
         let errors = vec![
-            ReadoutError { e01: 0.03, e10: 0.08 },
+            ReadoutError {
+                e01: 0.03,
+                e10: 0.08,
+            },
             ReadoutError::symmetric(0.05),
         ];
         let mut measured = true_dist.clone();
@@ -115,9 +118,8 @@ mod tests {
         // add shot noise
         let measured = counts_to_probs(&sample_counts(&confused, 8192, 3));
         let mitigated = mitigate_readout(&measured, &errors);
-        let tvd = |a: &[f64], b: &[f64]| {
-            0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
-        };
+        let tvd =
+            |a: &[f64], b: &[f64]| 0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>();
         assert!(
             tvd(&mitigated, &true_dist) < tvd(&measured, &true_dist),
             "mitigation should reduce readout bias"

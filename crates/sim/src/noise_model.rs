@@ -26,7 +26,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// Builds the standard model from a calibration snapshot.
     pub fn from_calibration(cal: Calibration) -> Self {
-        NoiseModel { cal, include_relaxation: true, include_readout: true }
+        NoiseModel {
+            cal,
+            include_relaxation: true,
+            include_readout: true,
+        }
     }
 
     /// The underlying calibration.
@@ -146,9 +150,20 @@ mod tests {
         ];
         let mut edges = BTreeMap::new();
         for &e in topology.edges() {
-            edges.insert(e, EdgeCal { cx_error: 0.0, cx_time_ns: 0.0 });
+            edges.insert(
+                e,
+                EdgeCal {
+                    cx_error: 0.0,
+                    cx_time_ns: 0.0,
+                },
+            );
         }
-        Calibration { machine: "noiseless".into(), topology, qubits, edges }
+        Calibration {
+            machine: "noiseless".into(),
+            topology,
+            qubits,
+            edges,
+        }
     }
 
     #[test]
@@ -179,7 +194,10 @@ mod tests {
             assert!(fid <= fid_prev + 1e-9, "fidelity should fall with depth");
             fid_prev = fid;
         }
-        assert!(fid_prev < 0.7, "deep circuit should be visibly degraded: {fid_prev}");
+        assert!(
+            fid_prev < 0.7,
+            "deep circuit should be visibly degraded: {fid_prev}"
+        );
     }
 
     #[test]
@@ -196,7 +214,10 @@ mod tests {
             let fid = model.run_density(&c).fidelity_pure(&ideal);
             fids.push(fid);
         }
-        assert!(fids[0] > fids[1] && fids[1] > fids[2], "fidelity vs cx error: {fids:?}");
+        assert!(
+            fids[0] > fids[1] && fids[1] > fids[2],
+            "fidelity vs cx error: {fids:?}"
+        );
     }
 
     #[test]
@@ -237,6 +258,9 @@ mod tests {
         let pw = with.probabilities(&c);
         let po = without.probabilities(&c);
         let diff: f64 = pw.iter().zip(&po).map(|(a, b)| (a - b).abs()).sum();
-        assert!(diff > 1e-4, "relaxation should be visible on a deep circuit");
+        assert!(
+            diff > 1e-4,
+            "relaxation should be visible on a deep circuit"
+        );
     }
 }

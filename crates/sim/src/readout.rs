@@ -72,7 +72,13 @@ mod tests {
     fn asymmetric_error_biases_toward_zero() {
         // excited state more likely to relax during readout: e10 > e01
         let mut p = vec![0.0, 1.0]; // |1>
-        apply_confusion(&mut p, &[ReadoutError { e01: 0.01, e10: 0.2 }]);
+        apply_confusion(
+            &mut p,
+            &[ReadoutError {
+                e01: 0.01,
+                e10: 0.2,
+            }],
+        );
         assert!((p[0] - 0.2).abs() < 1e-12);
         assert!((p[1] - 0.8).abs() < 1e-12);
     }
@@ -82,7 +88,13 @@ mod tests {
         let mut p = vec![0.25, 0.25, 0.3, 0.2];
         apply_confusion(
             &mut p,
-            &[ReadoutError { e01: 0.05, e10: 0.12 }, ReadoutError::symmetric(0.07)],
+            &[
+                ReadoutError {
+                    e01: 0.05,
+                    e10: 0.12,
+                },
+                ReadoutError::symmetric(0.07),
+            ],
         );
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(p.iter().all(|&x| x >= 0.0));

@@ -4,8 +4,8 @@
 //! backend samples rather than reporting exact probabilities so that shot
 //! noise is part of the reproduction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 
 /// Default shot count used across experiments (matches IBM's common setting).
 pub const DEFAULT_SHOTS: usize = 8192;

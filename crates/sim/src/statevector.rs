@@ -9,7 +9,16 @@ use qaprox_linalg::Complex64;
 
 /// Runs `circuit` on `|0...0>` and returns the final statevector.
 pub fn run(circuit: &Circuit) -> Vec<Complex64> {
-    circuit.statevector()
+    let state = circuit.statevector();
+    #[cfg(feature = "strict-invariants")]
+    {
+        let norm: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+        debug_assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "statevector norm drifted to {norm}"
+        );
+    }
+    state
 }
 
 /// Runs `circuit` from an arbitrary initial basis state.
@@ -29,7 +38,10 @@ pub fn probabilities(circuit: &Circuit) -> Vec<f64> {
 
 /// Ideal measurement distribution from a given basis state.
 pub fn probabilities_from_basis(circuit: &Circuit, basis: usize) -> Vec<f64> {
-    run_from_basis(circuit, basis).iter().map(|z| z.norm_sqr()).collect()
+    run_from_basis(circuit, basis)
+        .iter()
+        .map(|z| z.norm_sqr())
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,10 +11,10 @@ use crate::noise_model::NoiseModel;
 use qaprox_circuit::{Circuit, Instruction};
 use qaprox_linalg::kernels::{apply_1q_vec, apply_2q_vec, mat2_to_array};
 use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::parallel::par_map_range;
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_linalg::Complex64;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Applies one Kraus channel stochastically to a statevector: branch `i` is
 /// chosen with probability `||K_i psi||^2`, then the state is renormalized.
@@ -88,8 +88,8 @@ pub fn run_trajectory(circuit: &Circuit, model: &NoiseModel, seed: u64) -> Vec<C
 
     for inst in circuit.iter() {
         apply_instruction(&mut state, inst);
-        match inst.qubits.as_slice() {
-            &[q] => {
+        match *inst.qubits.as_slice() {
+            [q] => {
                 let lambda = (cal.qubits[q].sx_error * 2.0).clamp(0.0, 1.0);
                 depolarize_stochastic(&mut state, &[q], lambda, &mut rng);
                 if model.include_relaxation {
@@ -99,7 +99,7 @@ pub fn run_trajectory(circuit: &Circuit, model: &NoiseModel, seed: u64) -> Vec<C
                     apply_kraus_1q_stochastic(&mut state, q, &kraus, &mut rng);
                 }
             }
-            &[a, b] => {
+            [a, b] => {
                 let err = cal
                     .edge(a, b)
                     .map(|e| e.cx_error)
@@ -122,11 +122,11 @@ pub fn run_trajectory(circuit: &Circuit, model: &NoiseModel, seed: u64) -> Vec<C
 }
 
 fn apply_instruction(state: &mut [Complex64], inst: &Instruction) {
-    match inst.qubits.as_slice() {
-        &[q] => {
+    match *inst.qubits.as_slice() {
+        [q] => {
             apply_1q_vec(state, q, &mat2_to_array(&inst.gate.matrix()));
         }
-        &[a, b] => {
+        [a, b] => {
             let u = qaprox_linalg::kernels::mat4_to_array(&inst.gate.matrix());
             apply_2q_vec(state, a, b, &u);
         }
@@ -143,13 +143,10 @@ pub fn trajectory_probabilities(
     seed: u64,
 ) -> Vec<f64> {
     let dim = circuit.dim();
-    let partials: Vec<Vec<f64>> = (0..trajectories)
-        .into_par_iter()
-        .map(|t| {
-            let state = run_trajectory(circuit, model, seed ^ (t as u64).wrapping_mul(0x9E3779B9));
-            state.iter().map(|z| z.norm_sqr()).collect()
-        })
-        .collect();
+    let partials: Vec<Vec<f64>> = par_map_range(trajectories, |t| {
+        let state = run_trajectory(circuit, model, seed ^ (t as u64).wrapping_mul(0x9E3779B9));
+        state.iter().map(|z| z.norm_sqr()).collect()
+    });
     let mut probs = vec![0.0; dim];
     for p in &partials {
         for (acc, x) in probs.iter_mut().zip(p) {
@@ -208,7 +205,10 @@ mod tests {
         let dm_probs = model.probabilities(&c);
         let tj_probs = trajectory_probabilities(&c, &model, 4000, 7);
         let tvd = total_variation(&dm_probs, &tj_probs);
-        assert!(tvd < 0.03, "trajectory average should match density matrix: TVD {tvd}");
+        assert!(
+            tvd < 0.03,
+            "trajectory average should match density matrix: TVD {tvd}"
+        );
     }
 
     #[test]
@@ -278,9 +278,20 @@ mod tests {
             ];
             let mut edges = BTreeMap::new();
             for &e in topology.edges() {
-                edges.insert(e, EdgeCal { cx_error: 0.01, cx_time_ns: 300.0 });
+                edges.insert(
+                    e,
+                    EdgeCal {
+                        cx_error: 0.01,
+                        cx_time_ns: 300.0,
+                    },
+                );
             }
-            Calibration { machine: "line10".into(), topology, qubits, edges }
+            Calibration {
+                machine: "line10".into(),
+                topology,
+                qubits,
+                edges,
+            }
         };
         let model = NoiseModel::from_calibration(cal);
         let probs = trajectory_probabilities(&c, &model, 20, 3);

@@ -23,7 +23,11 @@ impl ApproxCircuit {
     /// Builds a record, caching the CNOT count.
     pub fn new(circuit: Circuit, hs_distance: f64) -> Self {
         let cnots = circuit.cx_count();
-        ApproxCircuit { circuit, cnots, hs_distance }
+        ApproxCircuit {
+            circuit,
+            cnots,
+            hs_distance,
+        }
     }
 }
 
@@ -38,11 +42,37 @@ pub struct SynthesisOutput {
     pub nodes_evaluated: usize,
 }
 
-/// Keeps circuits with `hs_distance <= max_hs` — the paper's selection rule.
+/// Admission check for one synthesized candidate: its recorded distance must
+/// be a finite non-negative number and its circuit must pass the structural
+/// lints of `qaprox-verify` (in-range operands, finite parameters, unitary
+/// embedded gates). Optimizers that diverge produce exactly these defects —
+/// NaN angles after a line-search blowup being the classic one — and a bad
+/// candidate admitted here poisons every downstream noise evaluation.
+pub fn admit(candidate: &ApproxCircuit) -> Result<(), String> {
+    if !candidate.hs_distance.is_finite() || candidate.hs_distance < -1e-12 {
+        return Err(format!(
+            "candidate hs_distance {} is not a valid distance",
+            candidate.hs_distance
+        ));
+    }
+    let cfg = qaprox_verify::LintConfig::new();
+    let report = qaprox_verify::lint_circuit(&candidate.circuit, None, &cfg);
+    if report.has_errors() {
+        Err(format!(
+            "candidate failed admission lints:\n{}",
+            report.to_text()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Keeps circuits with `hs_distance <= max_hs` — the paper's selection rule
+/// — after dropping any candidate that fails [`admit`].
 pub fn select_by_threshold(circuits: &[ApproxCircuit], max_hs: f64) -> Vec<ApproxCircuit> {
     circuits
         .iter()
-        .filter(|c| c.hs_distance <= max_hs)
+        .filter(|c| c.hs_distance <= max_hs && admit(c).is_ok())
         .cloned()
         .collect()
 }
@@ -101,6 +131,22 @@ mod tests {
         let sel = select_by_threshold(&pop, 0.1);
         assert_eq!(sel.len(), 3);
         assert!(sel.iter().all(|c| c.hs_distance <= 0.1));
+    }
+
+    #[test]
+    fn admission_rejects_defective_candidates() {
+        // NaN distance
+        assert!(admit(&fake(1, f64::NAN)).is_err());
+        // NaN rotation angle inside the circuit
+        let mut c = Circuit::new(2);
+        c.rz(f64::NAN, 0);
+        let bad = ApproxCircuit::new(c, 0.01);
+        assert!(admit(&bad).is_err());
+        // both are also silently excluded from selection
+        let pop = vec![fake(1, 0.05), bad, fake(2, f64::NAN)];
+        assert_eq!(select_by_threshold(&pop, 0.1).len(), 1);
+        // a clean candidate passes
+        assert!(admit(&fake(2, 0.0)).is_ok());
     }
 
     #[test]

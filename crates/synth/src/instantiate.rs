@@ -8,9 +8,7 @@
 
 use crate::template::{u3_partials, AnsatzOp, Structure};
 use qaprox_circuit::Gate;
-use qaprox_linalg::kernels::{
-    apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array,
-};
+use qaprox_linalg::kernels::{apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array};
 use qaprox_linalg::matrix::Matrix;
 use qaprox_linalg::{u3_matrix, Complex64};
 use qaprox_opt::{multistart_minimize, GradObjective, LbfgsParams, MultistartParams};
@@ -53,7 +51,10 @@ impl<'a> HsObjective<'a> {
 /// passing the dagger.
 fn apply_right(m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
     match *op {
-        AnsatzOp::U3 { qubit, param_offset } => {
+        AnsatzOp::U3 {
+            qubit,
+            param_offset,
+        } => {
             let g = u3_matrix(
                 params[param_offset],
                 params[param_offset + 1],
@@ -72,7 +73,10 @@ fn apply_right(m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
 
 fn apply_left(m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
     match *op {
-        AnsatzOp::U3 { qubit, param_offset } => {
+        AnsatzOp::U3 {
+            qubit,
+            param_offset,
+        } => {
             let g = mat2_to_array(&u3_matrix(
                 params[param_offset],
                 params[param_offset + 1],
@@ -133,7 +137,11 @@ impl GradObjective for HsObjective<'_> {
         let scale = t.conj() / (t_abs * d);
 
         for (k, op) in self.ops.iter().enumerate() {
-            if let AnsatzOp::U3 { qubit, param_offset } = *op {
+            if let AnsatzOp::U3 {
+                qubit,
+                param_offset,
+            } = *op
+            {
                 let partials = u3_partials(
                     params[param_offset],
                     params[param_offset + 1],
@@ -171,7 +179,10 @@ impl Default for InstantiateConfig {
             starts: 3,
             seed: 0x5EED,
             success_threshold: 1e-12,
-            lbfgs: LbfgsParams { max_iters: 150, ..Default::default() },
+            lbfgs: LbfgsParams {
+                max_iters: 150,
+                ..Default::default()
+            },
         }
     }
 }
@@ -202,7 +213,10 @@ pub fn instantiate(
         local: cfg.lbfgs.clone(),
     };
     let r = multistart_minimize(&obj, warm_start, &ms);
-    Instantiated { params: r.x, distance: r.f.max(0.0) }
+    Instantiated {
+        params: r.x,
+        distance: r.f.max(0.0),
+    }
 }
 
 #[cfg(test)]
@@ -210,10 +224,9 @@ mod tests {
     use super::*;
     use qaprox_circuit::Circuit;
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_metrics::hs_distance;
     use qaprox_opt::gradient::central_difference;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn analytic_gradient_matches_finite_differences() {
@@ -221,7 +234,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let target = haar_unitary(4, &mut rng);
         let obj = HsObjective::new(&s, &target);
-        let x: Vec<f64> = (0..s.num_params()).map(|i| 0.3 * ((i as f64).sin() + 0.5)).collect();
+        let x: Vec<f64> = (0..s.num_params())
+            .map(|i| 0.3 * ((i as f64).sin() + 0.5))
+            .collect();
         let (_, analytic) = obj.eval(&x);
         let numeric = central_difference(&|p: &[f64]| obj.distance(p), &x, 1e-6);
         for (a, n) in analytic.iter().zip(&numeric) {
@@ -234,8 +249,12 @@ mod tests {
         let s = Structure::root(1);
         let mut rng = StdRng::seed_from_u64(5);
         let target = haar_unitary(2, &mut rng);
-        let r = instantiate(&s, &target, &vec![0.0; 3], &InstantiateConfig::default());
-        assert!(r.distance < 1e-9, "1q instantiation distance {}", r.distance);
+        let r = instantiate(&s, &target, &[0.0; 3], &InstantiateConfig::default());
+        assert!(
+            r.distance < 1e-9,
+            "1q instantiation distance {}",
+            r.distance
+        );
     }
 
     #[test]
@@ -243,10 +262,14 @@ mod tests {
         // Build a circuit from the ansatz itself; instantiation must drive
         // the distance to ~0 with the same structure.
         let s = Structure::root(2).extended(0, 1);
-        let true_params: Vec<f64> =
-            (0..s.num_params()).map(|i| 0.2 + 0.37 * i as f64).collect();
+        let true_params: Vec<f64> = (0..s.num_params()).map(|i| 0.2 + 0.37 * i as f64).collect();
         let target = s.unitary(&true_params);
-        let r = instantiate(&s, &target, &vec![0.1; s.num_params()], &InstantiateConfig::default());
+        let r = instantiate(
+            &s,
+            &target,
+            &vec![0.1; s.num_params()],
+            &InstantiateConfig::default(),
+        );
         assert!(r.distance < 1e-8, "distance {}", r.distance);
         let got = s.unitary(&r.params);
         assert!(hs_distance(&got, &target) < 1e-7);
@@ -259,22 +282,46 @@ mod tests {
         let target = cx.unitary();
         // zero blocks cannot reach a CNOT...
         let s0 = Structure::root(2);
-        let r0 = instantiate(&s0, &target, &vec![0.0; s0.num_params()], &InstantiateConfig::default());
+        let r0 = instantiate(
+            &s0,
+            &target,
+            &vec![0.0; s0.num_params()],
+            &InstantiateConfig::default(),
+        );
         assert!(r0.distance > 0.2, "CNOT is entangling: {}", r0.distance);
         // ...one block can
         let s1 = s0.extended(0, 1);
-        let r1 = instantiate(&s1, &target, &s1.warm_start_from(&r0.params), &InstantiateConfig::default());
-        assert!(r1.distance < 1e-8, "one block should be exact: {}", r1.distance);
+        let r1 = instantiate(
+            &s1,
+            &target,
+            &s1.warm_start_from(&r0.params),
+            &InstantiateConfig::default(),
+        );
+        assert!(
+            r1.distance < 1e-8,
+            "one block should be exact: {}",
+            r1.distance
+        );
     }
 
     #[test]
     fn random_two_qubit_unitary_reachable_with_three_blocks() {
         let mut rng = StdRng::seed_from_u64(23);
         let target = haar_unitary(4, &mut rng);
-        let s = Structure::root(2).extended(0, 1).extended(1, 0).extended(0, 1);
-        let cfg = InstantiateConfig { starts: 5, ..Default::default() };
+        let s = Structure::root(2)
+            .extended(0, 1)
+            .extended(1, 0)
+            .extended(0, 1);
+        let cfg = InstantiateConfig {
+            starts: 5,
+            ..Default::default()
+        };
         let r = instantiate(&s, &target, &vec![0.0; s.num_params()], &cfg);
-        assert!(r.distance < 1e-6, "3 CNOTs are universal for 2 qubits: {}", r.distance);
+        assert!(
+            r.distance < 1e-6,
+            "3 CNOTs are universal for 2 qubits: {}",
+            r.distance
+        );
     }
 
     #[test]

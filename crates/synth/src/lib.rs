@@ -28,7 +28,9 @@ pub mod qfast;
 pub mod qsearch;
 pub mod template;
 
-pub use approx::{best_per_cnot_count, dedupe, select_by_threshold, ApproxCircuit, SynthesisOutput};
+pub use approx::{
+    admit, best_per_cnot_count, dedupe, select_by_threshold, ApproxCircuit, SynthesisOutput,
+};
 pub use instantiate::{instantiate, HsObjective, InstantiateConfig, Instantiated};
 pub use partitioned::{partition, synthesize_partitioned, PartitionConfig, PartitionedResult};
 pub use qfactor::{qfactor_optimize, QFactorConfig, QFactorResult};

@@ -12,7 +12,7 @@ use crate::approx::ApproxCircuit;
 use crate::qsearch::{qsearch, QSearchConfig};
 use qaprox_circuit::Circuit;
 use qaprox_device::Topology;
-use rayon::prelude::*;
+use qaprox_linalg::parallel::par_map;
 
 /// Partitioning and per-segment synthesis settings.
 #[derive(Debug, Clone)]
@@ -25,7 +25,10 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { segment_cnots: 6, qsearch: QSearchConfig::default() }
+        PartitionConfig {
+            segment_cnots: 6,
+            qsearch: QSearchConfig::default(),
+        }
     }
 }
 
@@ -51,7 +54,10 @@ pub fn partition(circuit: &Circuit, segment_cnots: usize) -> Vec<Circuit> {
     for inst in circuit.iter() {
         let cost = inst.gate.cnot_cost();
         if budget + cost > segment_cnots && !current.is_empty() {
-            segments.push(std::mem::replace(&mut current, Circuit::new(circuit.num_qubits())));
+            segments.push(std::mem::replace(
+                &mut current,
+                Circuit::new(circuit.num_qubits()),
+            ));
             budget = 0;
         }
         current.push(inst.gate.clone(), &inst.qubits);
@@ -77,10 +83,9 @@ pub fn synthesize_partitioned(
     let segments = partition(reference, cfg.segment_cnots);
     let segment_lengths: Vec<usize> = segments.iter().map(Circuit::len).collect();
 
-    let per_segment: Vec<ApproxCircuit> = segments
-        .par_iter()
-        .map(|seg| qsearch(&seg.unitary(), topology, &cfg.qsearch).best)
-        .collect();
+    let per_segment: Vec<ApproxCircuit> = par_map(&segments, |seg| {
+        qsearch(&seg.unitary(), topology, &cfg.qsearch).best
+    });
 
     let mut circuit = Circuit::new(reference.num_qubits());
     let mut segment_distances = Vec::with_capacity(per_segment.len());
@@ -88,7 +93,11 @@ pub fn synthesize_partitioned(
         circuit.extend(&ap.circuit);
         segment_distances.push(ap.hs_distance);
     }
-    PartitionedResult { circuit, segment_distances, segment_lengths }
+    PartitionedResult {
+        circuit,
+        segment_distances,
+        segment_lengths,
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +114,10 @@ mod tests {
                 max_cnots,
                 max_nodes: 60,
                 beam_width: 3,
-                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         }
@@ -164,7 +176,10 @@ mod tests {
                 max_cnots: 2, // force approximation
                 max_nodes: 20,
                 beam_width: 2,
-                instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         };

@@ -9,7 +9,7 @@
 
 use qaprox_circuit::{Circuit, Gate, Instruction};
 use qaprox_linalg::kernels::{
-    apply_1q_mat_left, apply_2q_mat_left, apply_1q_mat_right_dag, apply_2q_mat_right_dag,
+    apply_1q_mat_left, apply_1q_mat_right_dag, apply_2q_mat_left, apply_2q_mat_right_dag,
     mat2_to_array, mat4_to_array,
 };
 use qaprox_linalg::matrix::Matrix;
@@ -30,7 +30,11 @@ pub struct QFactorConfig {
 
 impl Default for QFactorConfig {
     fn default() -> Self {
-        QFactorConfig { max_sweeps: 100, improvement_tol: 1e-12, optimize_two_qubit: false }
+        QFactorConfig {
+            max_sweeps: 100,
+            improvement_tol: 1e-12,
+            optimize_two_qubit: false,
+        }
     }
 }
 
@@ -46,21 +50,21 @@ pub struct QFactorResult {
 }
 
 fn apply_gate_left(m: &mut Matrix, inst: &Instruction) {
-    match inst.qubits.as_slice() {
-        &[q] => apply_1q_mat_left(m, q, &mat2_to_array(&inst.gate.matrix())),
-        &[a, b] => apply_2q_mat_left(m, a, b, &mat4_to_array(&inst.gate.matrix())),
+    match *inst.qubits.as_slice() {
+        [q] => apply_1q_mat_left(m, q, &mat2_to_array(&inst.gate.matrix())),
+        [a, b] => apply_2q_mat_left(m, a, b, &mat4_to_array(&inst.gate.matrix())),
         _ => unreachable!(),
     }
 }
 
 /// `M <- M * G_embed` via the right-dag kernel with the daggered gate.
 fn apply_gate_right(m: &mut Matrix, inst: &Instruction) {
-    match inst.qubits.as_slice() {
-        &[q] => {
+    match *inst.qubits.as_slice() {
+        [q] => {
             let gd = mat2_to_array(&inst.gate.matrix().adjoint());
             apply_1q_mat_right_dag(m, q, &gd);
         }
-        &[a, b] => {
+        [a, b] => {
             let gd = mat4_to_array(&inst.gate.matrix().adjoint());
             apply_2q_mat_right_dag(m, a, b, &gd);
         }
@@ -165,7 +169,11 @@ pub fn qfactor_optimize(circuit: &Circuit, target: &Matrix, cfg: &QFactorConfig)
     for inst in insts {
         out.push(inst.gate, &inst.qubits);
     }
-    QFactorResult { circuit: out, distance: best_dist, sweeps }
+    QFactorResult {
+        circuit: out,
+        distance: best_dist,
+        sweeps,
+    }
 }
 
 #[cfg(test)]
@@ -173,8 +181,7 @@ mod tests {
     use super::*;
     use crate::template::Structure;
     use qaprox_linalg::random::haar_unitary;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
 
     #[test]
     fn environment_trace_identity() {
@@ -204,7 +211,10 @@ mod tests {
                 }
                 acc
             };
-            assert!((direct - via_env).abs() < 1e-10, "qubit {q}: {direct:?} vs {via_env:?}");
+            assert!(
+                (direct - via_env).abs() < 1e-10,
+                "qubit {q}: {direct:?} vs {via_env:?}"
+            );
         }
     }
 
@@ -241,7 +251,9 @@ mod tests {
         // Build a 2-CNOT ansatz circuit, perturb its 1q gates, and let
         // QFactor recover the target.
         let s = Structure::root(2).extended(0, 1).extended(1, 0);
-        let true_params: Vec<f64> = (0..s.num_params()).map(|i| 0.31 * (i as f64 + 1.0)).collect();
+        let true_params: Vec<f64> = (0..s.num_params())
+            .map(|i| 0.31 * (i as f64 + 1.0))
+            .collect();
         let target = s.unitary(&true_params);
         let perturbed: Vec<f64> = true_params.iter().map(|p| p + 0.15).collect();
         let start = s.to_circuit(&perturbed);
@@ -253,14 +265,28 @@ mod tests {
     fn distance_is_monotone_nonincreasing() {
         let mut rng = StdRng::seed_from_u64(7);
         let target = haar_unitary(8, &mut rng);
-        let s = Structure::root(3).extended(0, 1).extended(1, 2).extended(0, 1);
+        let s = Structure::root(3)
+            .extended(0, 1)
+            .extended(1, 2)
+            .extended(0, 1);
         let start = s.to_circuit(&vec![0.3; s.num_params()]);
         let d0 = {
             let dim = 8.0;
             (1.0 - target.adjoint().matmul(&start.unitary()).trace().abs() / dim).max(0.0)
         };
-        let r = qfactor_optimize(&start, &target, &QFactorConfig { max_sweeps: 5, ..Default::default() });
-        assert!(r.distance <= d0 + 1e-12, "{} should not exceed {d0}", r.distance);
+        let r = qfactor_optimize(
+            &start,
+            &target,
+            &QFactorConfig {
+                max_sweeps: 5,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.distance <= d0 + 1e-12,
+            "{} should not exceed {d0}",
+            r.distance
+        );
     }
 
     #[test]
@@ -273,10 +299,17 @@ mod tests {
         let free = qfactor_optimize(
             &start,
             &target,
-            &QFactorConfig { optimize_two_qubit: true, ..Default::default() },
+            &QFactorConfig {
+                optimize_two_qubit: true,
+                ..Default::default()
+            },
         );
         // with the CX replaced by a free SU(4) block, one block is universal
-        assert!(free.distance < 1e-8, "free-block distance {}", free.distance);
+        assert!(
+            free.distance < 1e-8,
+            "free-block distance {}",
+            free.distance
+        );
         assert!(free.distance <= fixed.distance + 1e-12);
     }
 }

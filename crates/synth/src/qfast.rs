@@ -15,13 +15,13 @@ use crate::instantiate::{instantiate, InstantiateConfig};
 use crate::template::Structure;
 use qaprox_circuit::Circuit;
 use qaprox_device::Topology;
+use qaprox_linalg::expm::expm_i_hermitian;
 use qaprox_linalg::kernels::{apply_2q_mat_left, mat4_to_array};
 use qaprox_linalg::matrix::Matrix;
+use qaprox_linalg::parallel::{par_map, par_map_indexed};
 use qaprox_linalg::pauli::{hermitian_from_coeffs, su_basis};
-use qaprox_linalg::expm::expm_i_hermitian;
 use qaprox_opt::gradient::central_difference;
 use qaprox_opt::{lbfgs, LbfgsParams};
-use rayon::prelude::*;
 
 /// QFast configuration.
 #[derive(Debug, Clone)]
@@ -46,7 +46,11 @@ impl Default for QFastConfig {
         QFastConfig {
             success_threshold: 1e-8,
             max_blocks: 8,
-            coarse_lbfgs: LbfgsParams { max_iters: 60, grad_tol: 1e-8, ..Default::default() },
+            coarse_lbfgs: LbfgsParams {
+                max_iters: 60,
+                grad_tol: 1e-8,
+                ..Default::default()
+            },
             coarse_starts: 3,
             seed: 0xFA57,
             refine: InstantiateConfig::default(),
@@ -86,13 +90,19 @@ fn optimize_blocks(
     target_dag: &Matrix,
     lb: &LbfgsParams,
 ) -> f64 {
-    let flat0: Vec<f64> = blocks.iter().flat_map(|b| b.coeffs.iter().copied()).collect();
+    let flat0: Vec<f64> = blocks
+        .iter()
+        .flat_map(|b| b.coeffs.iter().copied())
+        .collect();
     let edges: Vec<(usize, usize)> = blocks.iter().map(|b| b.edge).collect();
     let rebuild = |flat: &[f64]| -> Vec<Block> {
         edges
             .iter()
             .enumerate()
-            .map(|(i, &edge)| Block { edge, coeffs: flat[i * 15..(i + 1) * 15].to_vec() })
+            .map(|(i, &edge)| Block {
+                edge,
+                coeffs: flat[i * 15..(i + 1) * 15].to_vec(),
+            })
             .collect()
     };
     let value = |flat: &[f64]| coarse_distance(n, &rebuild(flat), basis, target_dag);
@@ -123,7 +133,7 @@ fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Cir
         let inst = instantiate(&s, &u, &warm, cfg);
         warm = inst.params.clone();
         let circuit = s.to_circuit(&inst.params);
-        if best.as_ref().map_or(true, |(_, d)| inst.distance < *d) {
+        if best.as_ref().is_none_or(|(_, d)| inst.distance < *d) {
             let done = inst.distance < 1e-9;
             best = Some((circuit, inst.distance));
             if done {
@@ -144,10 +154,7 @@ fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Cir
 /// Assembles the native-gate circuit for a refined block sequence and
 /// re-instantiates nothing (each block is already near-exact).
 fn assemble(n: usize, blocks: &[Block], basis: &[Matrix], cfg: &InstantiateConfig) -> Circuit {
-    let refined: Vec<Circuit> = blocks
-        .par_iter()
-        .map(|b| refine_block(b, basis, cfg))
-        .collect();
+    let refined: Vec<Circuit> = par_map(blocks, |b| refine_block(b, basis, cfg));
     let mut c = Circuit::new(n);
     for (block, rc) in blocks.iter().zip(&refined) {
         let _ = block;
@@ -185,24 +192,20 @@ pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> Synthes
         // Try a new block on every edge (both orientations are equivalent for
         // a generic SU(4) block, so undirected edges suffice).
         let depth_salt = blocks.len() as u64;
-        let candidates: Vec<(usize, Vec<Block>, f64)> = topology
-            .edges()
-            .par_iter()
-            .enumerate()
-            .map(|(ei, &edge)| {
+        let candidates: Vec<(usize, Vec<Block>, f64)> =
+            par_map_indexed(topology.edges(), |ei, &edge| {
                 let mut best_trial: Option<(Vec<Block>, f64)> = None;
                 for start in 0..cfg.coarse_starts.max(1) {
-                    use rand::{Rng, SeedableRng};
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    use qaprox_linalg::random::Rng;
+                    let mut rng = qaprox_linalg::random::SplitMix64::seed_from_u64(
                         cfg.seed ^ (depth_salt << 24) ^ ((ei as u64) << 8) ^ start as u64,
                     );
-                    let coeffs: Vec<f64> =
-                        (0..15).map(|_| rng.gen_range(-0.8..0.8)).collect();
+                    let coeffs: Vec<f64> = (0..15).map(|_| rng.gen_range(-0.8..0.8)).collect();
                     let mut trial = blocks.clone();
                     trial.push(Block { edge, coeffs });
                     let dist =
                         optimize_blocks(n, &mut trial, &basis, &target_dag, &cfg.coarse_lbfgs);
-                    if best_trial.as_ref().map_or(true, |(_, d)| dist < *d) {
+                    if best_trial.as_ref().is_none_or(|(_, d)| dist < *d) {
                         let done = dist < cfg.success_threshold;
                         best_trial = Some((trial, dist));
                         if done {
@@ -212,8 +215,7 @@ pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> Synthes
                 }
                 let (trial, dist) = best_trial.expect("at least one start");
                 (ei, trial, dist)
-            })
-            .collect();
+            });
         nodes_evaluated += candidates.len();
 
         let (_, best_blocks, best_dist) = candidates
@@ -252,15 +254,20 @@ mod tests {
     use super::*;
     use qaprox_circuit::Gate;
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_metrics::hs_distance;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn quick_cfg() -> QFastConfig {
         QFastConfig {
             max_blocks: 3,
-            coarse_lbfgs: LbfgsParams { max_iters: 40, ..Default::default() },
-            refine: InstantiateConfig { starts: 2, ..Default::default() },
+            coarse_lbfgs: LbfgsParams {
+                max_iters: 40,
+                ..Default::default()
+            },
+            refine: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }

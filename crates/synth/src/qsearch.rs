@@ -13,8 +13,8 @@ use crate::approx::{ApproxCircuit, SynthesisOutput};
 use crate::instantiate::{instantiate, InstantiateConfig};
 use crate::template::Structure;
 use qaprox_device::Topology;
+use qaprox_linalg::parallel::par_map_indexed;
 use qaprox_linalg::Matrix;
-use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -82,7 +82,11 @@ impl Ord for Node {
 /// full intermediate stream.
 pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> SynthesisOutput {
     let n = topology.num_qubits();
-    assert_eq!(target.rows(), 1 << n, "target dimension mismatch vs topology width");
+    assert_eq!(
+        target.rows(),
+        1 << n,
+        "target dimension mismatch vs topology width"
+    );
     assert!(target.is_square(), "target must be square");
 
     // Directed placements: both orientations of every edge.
@@ -126,7 +130,13 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
     // Root: U3 layer only.
     let root_structure = Structure::root(n);
     let root_warm = vec![0.0; root_structure.num_params()];
-    let root = evaluate(root_structure, &root_warm, 0, &mut nodes_evaluated, &mut intermediates);
+    let root = evaluate(
+        root_structure,
+        &root_warm,
+        0,
+        &mut nodes_evaluated,
+        &mut intermediates,
+    );
 
     let mut best_idx = 0usize; // index into intermediates
     let mut best_dist = root.distance;
@@ -158,10 +168,8 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
             expanded_dists[depth].push(node.distance);
 
             // Instantiate all children in parallel, then record them.
-            let children: Vec<(Structure, Vec<f64>, f64)> = placements
-                .par_iter()
-                .enumerate()
-                .map(|(pi, &(c, t))| {
+            let children: Vec<(Structure, Vec<f64>, f64)> =
+                par_map_indexed(&placements, |pi, &(c, t)| {
                     let child = node.structure.extended(c, t);
                     let warm = child.warm_start_from(&node.params);
                     let mut icfg = cfg.instantiate.clone();
@@ -171,8 +179,7 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
                         .wrapping_add(pi as u64);
                     let inst = instantiate(&child, target, &warm, &icfg);
                     (child, inst.params, inst.distance)
-                })
-                .collect();
+                });
 
             let mut stop = false;
             for (structure, params, distance) in children {
@@ -188,7 +195,12 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
                     break;
                 }
                 let priority = structure.cnots() as f64 + cfg.heuristic_weight * distance;
-                frontier.push(Node { structure, params, distance, priority });
+                frontier.push(Node {
+                    structure,
+                    params,
+                    distance,
+                    priority,
+                });
             }
             if stop || nodes_evaluated >= cfg.max_nodes {
                 break;
@@ -216,16 +228,18 @@ mod tests {
     use super::*;
     use qaprox_circuit::Circuit;
     use qaprox_linalg::random::haar_unitary;
+    use qaprox_linalg::random::SplitMix64 as StdRng;
     use qaprox_metrics::hs_distance;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn quick_cfg() -> QSearchConfig {
         QSearchConfig {
             max_cnots: 4,
             max_nodes: 120,
             beam_width: 4,
-            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -264,11 +278,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let target = haar_unitary(4, &mut rng);
         let out = qsearch(&target, &Topology::linear(2), &quick_cfg());
-        assert!(out.intermediates.len() >= 3, "stream too thin: {}", out.intermediates.len());
+        assert!(
+            out.intermediates.len() >= 3,
+            "stream too thin: {}",
+            out.intermediates.len()
+        );
         assert_eq!(out.nodes_evaluated, out.intermediates.len());
         for ap in &out.intermediates {
             let d = hs_distance(&ap.circuit.unitary(), &target);
-            assert!((d - ap.hs_distance).abs() < 1e-7, "recorded {} vs {}", ap.hs_distance, d);
+            assert!(
+                (d - ap.hs_distance).abs() < 1e-7,
+                "recorded {} vs {}",
+                ap.hs_distance,
+                d
+            );
             assert_eq!(ap.cnots, ap.circuit.cx_count());
         }
     }
@@ -280,7 +303,10 @@ mod tests {
         let out = qsearch(&target, &Topology::linear(2), &quick_cfg());
         let depths: std::collections::HashSet<usize> =
             out.intermediates.iter().map(|c| c.cnots).collect();
-        assert!(depths.len() >= 3, "expected a range of depths, got {depths:?}");
+        assert!(
+            depths.len() >= 3,
+            "expected a range of depths, got {depths:?}"
+        );
     }
 
     #[test]
@@ -292,7 +318,10 @@ mod tests {
             max_cnots: 3,
             max_nodes: 60,
             beam_width: 2,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = qsearch(&target, &Topology::linear(3), &cfg);
@@ -317,11 +346,18 @@ mod tests {
             max_cnots: 6,
             max_nodes: 30,
             beam_width: 2,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = qsearch(&target, &Topology::linear(3), &cfg);
-        assert!(out.nodes_evaluated <= 30 + 4, "evaluated {}", out.nodes_evaluated);
+        assert!(
+            out.nodes_evaluated <= 30 + 4,
+            "evaluated {}",
+            out.nodes_evaluated
+        );
     }
 }
 
@@ -351,7 +387,10 @@ mod diversity_tests {
         let without = qsearch(
             &target,
             &topo,
-            &QSearchConfig { diversity_pruning: false, ..base },
+            &QSearchConfig {
+                diversity_pruning: false,
+                ..base
+            },
         );
         assert!(
             with.best.hs_distance < without.best.hs_distance - 0.02,

@@ -7,9 +7,7 @@
 //! (`3 * (n + 2 * blocks)` of them).
 
 use qaprox_circuit::{Circuit, Gate};
-use qaprox_linalg::kernels::{
-    apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array,
-};
+use qaprox_linalg::kernels::{apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array};
 use qaprox_linalg::matrix::Matrix;
 use qaprox_linalg::{u3_matrix, Complex64};
 
@@ -44,14 +42,20 @@ pub struct Structure {
 impl Structure {
     /// The root structure: no CNOTs, just the initial U3 layer.
     pub fn root(num_qubits: usize) -> Self {
-        Structure { num_qubits, placements: Vec::new() }
+        Structure {
+            num_qubits,
+            placements: Vec::new(),
+        }
     }
 
     /// Child structure extended by one block on `(control, target)`.
     pub fn extended(&self, control: usize, target: usize) -> Self {
         let mut placements = self.placements.clone();
         placements.push((control, target));
-        Structure { num_qubits: self.num_qubits, placements }
+        Structure {
+            num_qubits: self.num_qubits,
+            placements,
+        }
     }
 
     /// Number of CNOTs.
@@ -70,14 +74,26 @@ impl Structure {
         let mut ops = Vec::with_capacity(self.num_qubits + 3 * self.placements.len());
         let mut offset = 0;
         for q in 0..self.num_qubits {
-            ops.push(AnsatzOp::U3 { qubit: q, param_offset: offset });
+            ops.push(AnsatzOp::U3 {
+                qubit: q,
+                param_offset: offset,
+            });
             offset += 3;
         }
         for &(c, t) in &self.placements {
-            ops.push(AnsatzOp::Cx { control: c, target: t });
-            ops.push(AnsatzOp::U3 { qubit: c, param_offset: offset });
+            ops.push(AnsatzOp::Cx {
+                control: c,
+                target: t,
+            });
+            ops.push(AnsatzOp::U3 {
+                qubit: c,
+                param_offset: offset,
+            });
             offset += 3;
-            ops.push(AnsatzOp::U3 { qubit: t, param_offset: offset });
+            ops.push(AnsatzOp::U3 {
+                qubit: t,
+                param_offset: offset,
+            });
             offset += 3;
         }
         ops
@@ -89,7 +105,10 @@ impl Structure {
         let mut c = Circuit::new(self.num_qubits);
         for op in self.ops() {
             match op {
-                AnsatzOp::U3 { qubit, param_offset } => {
+                AnsatzOp::U3 {
+                    qubit,
+                    param_offset,
+                } => {
                     c.push(
                         Gate::U3(
                             params[param_offset],
@@ -115,7 +134,10 @@ impl Structure {
         let cx = mat4_to_array(&Gate::CX.matrix());
         for op in self.ops() {
             match op {
-                AnsatzOp::U3 { qubit, param_offset } => {
+                AnsatzOp::U3 {
+                    qubit,
+                    param_offset,
+                } => {
                     let g = mat2_to_array(&u3_matrix(
                         params[param_offset],
                         params[param_offset + 1],
@@ -185,7 +207,9 @@ mod tests {
     #[test]
     fn circuit_and_direct_unitary_agree() {
         let s = Structure::root(2).extended(0, 1).extended(1, 0);
-        let params: Vec<f64> = (0..s.num_params()).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let params: Vec<f64> = (0..s.num_params())
+            .map(|i| 0.1 * (i as f64 + 1.0))
+            .collect();
         let via_circuit = s.to_circuit(&params).unitary();
         let direct = s.unitary(&params);
         assert!(hs_distance(&via_circuit, &direct) < 1e-12);
@@ -246,9 +270,8 @@ mod tests {
             }
             let up = u3_matrix(tp, pp, lp);
             let um = u3_matrix(tm, pm, lm);
-            for idx in 0..4 {
+            for (idx, &an) in partials[k].iter().enumerate() {
                 let fd = (up.data()[idx] - um.data()[idx]) / (2.0 * h);
-                let an = partials[k][idx];
                 assert!(
                     (fd - an).abs() < 1e-8,
                     "partial {k} entry {idx}: fd {fd:?} vs analytic {an:?}"

@@ -1,17 +1,18 @@
-//! Property-based tests for synthesis: structures, instantiation, and the
-//! approximate-circuit bookkeeping.
+//! Property-style tests for synthesis: structures, instantiation, and the
+//! approximate-circuit bookkeeping, driven by the in-repo seeded RNG.
 
-use proptest::prelude::*;
 use qaprox_circuit::Circuit;
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::Rng;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_metrics::hs_distance;
 use qaprox_opt::gradient::central_difference;
 use qaprox_synth::{
     best_per_cnot_count, instantiate, select_by_threshold, ApproxCircuit, HsObjective,
     InstantiateConfig, Structure,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: usize = 24;
 
 fn structure_2q(blocks: usize) -> Structure {
     let mut s = Structure::root(2);
@@ -22,73 +23,103 @@ fn structure_2q(blocks: usize) -> Structure {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn vec_in(lo: f64, hi: f64, len: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn ansatz_unitary_is_unitary(params in proptest::collection::vec(-3.0f64..3.0, 21)) {
+#[test]
+fn ansatz_unitary_is_unitary() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
         let s = structure_2q(2);
-        prop_assert_eq!(s.num_params(), 18);
-        let u = s.unitary(&params[..18]);
-        prop_assert!(u.is_unitary(1e-10));
+        assert_eq!(s.num_params(), 18);
+        let params = vec_in(-3.0, 3.0, 18, &mut rng);
+        let u = s.unitary(&params);
+        assert!(u.is_unitary(1e-10));
     }
+}
 
-    #[test]
-    fn objective_is_in_unit_interval(params in proptest::collection::vec(-3.0f64..3.0, 18),
-                                     seed in 0u64..200) {
+#[test]
+fn objective_is_in_unit_interval() {
+    for seed in 0..CASES as u64 {
         let s = structure_2q(2);
         let mut rng = StdRng::seed_from_u64(seed);
         let target = haar_unitary(4, &mut rng);
+        let params = vec_in(-3.0, 3.0, 18, &mut rng);
         let obj = HsObjective::new(&s, &target);
         let d = obj.distance(&params);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        assert!((0.0..=1.0 + 1e-12).contains(&d));
     }
+}
 
-    #[test]
-    fn analytic_gradient_matches_numeric(params in proptest::collection::vec(-2.0f64..2.0, 12),
-                                         seed in 0u64..100) {
-        use qaprox_opt::GradObjective;
+#[test]
+fn analytic_gradient_matches_numeric() {
+    use qaprox_opt::GradObjective;
+    for seed in 0..CASES as u64 {
         let s = structure_2q(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let target = haar_unitary(4, &mut rng);
+        let params = vec_in(-2.0, 2.0, 12, &mut rng);
         let obj = HsObjective::new(&s, &target);
         let (_, analytic) = obj.eval(&params);
         let numeric = central_difference(&|p: &[f64]| obj.distance(p), &params, 1e-6);
         for (a, n) in analytic.iter().zip(&numeric) {
-            prop_assert!((a - n).abs() < 1e-5, "analytic {a} vs numeric {n}");
+            assert!((a - n).abs() < 1e-5, "analytic {a} vs numeric {n}");
         }
     }
+}
 
-    #[test]
-    fn instantiation_never_exceeds_warm_start_value(seed in 0u64..100) {
+#[test]
+fn instantiation_never_exceeds_warm_start_value() {
+    for seed in 0..CASES as u64 {
         let s = structure_2q(2);
         let mut rng = StdRng::seed_from_u64(seed);
         let target = haar_unitary(4, &mut rng);
         let warm = vec![0.5; s.num_params()];
         let obj = HsObjective::new(&s, &target);
         let f0 = obj.distance(&warm);
-        let r = instantiate(&s, &target, &warm, &InstantiateConfig { starts: 1, ..Default::default() });
-        prop_assert!(r.distance <= f0 + 1e-12);
+        let r = instantiate(
+            &s,
+            &target,
+            &warm,
+            &InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
+        );
+        assert!(r.distance <= f0 + 1e-12);
         // recorded distance must match a recomputation
         let circuit = s.to_circuit(&r.params);
-        prop_assert!((hs_distance(&circuit.unitary(), &target) - r.distance).abs() < 1e-7);
+        assert!((hs_distance(&circuit.unitary(), &target) - r.distance).abs() < 1e-7);
     }
+}
 
-    #[test]
-    fn selection_respects_threshold(dists in proptest::collection::vec(0.0f64..1.0, 1..40),
-                                    thr in 0.0f64..1.0) {
+#[test]
+fn selection_respects_threshold() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let dists = vec_in(0.0, 1.0, len, &mut rng);
+        let thr = rng.gen_range(0.0..1.0);
         let pop: Vec<ApproxCircuit> = dists
             .iter()
             .map(|&d| ApproxCircuit::new(Circuit::new(2), d))
             .collect();
         let sel = select_by_threshold(&pop, thr);
-        prop_assert!(sel.iter().all(|c| c.hs_distance <= thr));
+        assert!(sel.iter().all(|c| c.hs_distance <= thr));
         let expect = dists.iter().filter(|&&d| d <= thr).count();
-        prop_assert_eq!(sel.len(), expect);
+        assert_eq!(sel.len(), expect);
     }
+}
 
-    #[test]
-    fn best_per_cnot_is_a_lower_envelope(entries in proptest::collection::vec((0usize..6, 0.0f64..1.0), 1..40)) {
+#[test]
+fn best_per_cnot_is_a_lower_envelope() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let entries: Vec<(usize, f64)> = (0..len)
+            .map(|_| (rng.gen_range(0usize..6), rng.gen_range(0.0..1.0)))
+            .collect();
         let pop: Vec<ApproxCircuit> = entries
             .iter()
             .map(|&(cnots, d)| {
@@ -107,25 +138,29 @@ proptest! {
                 .filter(|c| c.cnots == f.cnots)
                 .map(|c| c.hs_distance)
                 .fold(f64::INFINITY, f64::min);
-            prop_assert!((f.hs_distance - min_at_depth).abs() < 1e-12);
+            assert!((f.hs_distance - min_at_depth).abs() < 1e-12);
         }
         // frontier depths are strictly increasing
         for w in frontier.windows(2) {
-            prop_assert!(w[0].cnots < w[1].cnots);
+            assert!(w[0].cnots < w[1].cnots);
         }
     }
+}
 
-    #[test]
-    fn warm_start_extension_is_consistent(params in proptest::collection::vec(-2.0f64..2.0, 12)) {
+#[test]
+fn warm_start_extension_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let params = vec_in(-2.0, 2.0, 12, &mut rng);
         let parent = structure_2q(1);
         let child = parent.extended(1, 0);
         let warm = child.warm_start_from(&params);
-        prop_assert_eq!(warm.len(), child.num_params());
+        assert_eq!(warm.len(), child.num_params());
         // the warm start evaluates to CX(1,0) * parent (identity U3s on the new block)
         let pu = parent.unitary(&params);
         let mut cx = Circuit::new(2);
         cx.cx(1, 0);
         let expect = cx.unitary().matmul(&pu);
-        prop_assert!(hs_distance(&child.unitary(&warm), &expect) < 1e-10);
+        assert!(hs_distance(&child.unitary(&warm), &expect) < 1e-10);
     }
 }

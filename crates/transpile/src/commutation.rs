@@ -20,8 +20,8 @@ pub fn commutation_cancel_cx(circuit: &Circuit) -> Circuit {
             if matches!(insts[i].gate, Gate::CX) {
                 let candidate = insts[i].clone();
                 for j in i + 1..insts.len() {
-                    let same_cx = matches!(insts[j].gate, Gate::CX)
-                        && insts[j].qubits == candidate.qubits;
+                    let same_cx =
+                        matches!(insts[j].gate, Gate::CX) && insts[j].qubits == candidate.qubits;
                     if same_cx {
                         insts.remove(j);
                         insts.remove(i);
@@ -113,7 +113,11 @@ mod tests {
         let mut c = Circuit::new(3);
         c.cx(0, 1).cx(0, 2).cx(0, 2).cx(0, 1);
         let opt = commutation_cancel_cx(&c);
-        assert!(opt.is_empty(), "both pairs should vanish, got {} gates", opt.len());
+        assert!(
+            opt.is_empty(),
+            "both pairs should vanish, got {} gates",
+            opt.len()
+        );
     }
 
     #[test]

@@ -63,9 +63,7 @@ pub fn to_basis(circuit: &Circuit) -> Circuit {
 fn push_u3_of(out: &mut Circuit, gate: &Gate, q: usize) {
     let zyz = zyz_decompose(&gate.matrix());
     // Skip exact identities to avoid useless gates.
-    if zyz.theta.abs() < 1e-14
-        && ((zyz.phi + zyz.lambda) % std::f64::consts::TAU).abs() < 1e-14
-    {
+    if zyz.theta.abs() < 1e-14 && ((zyz.phi + zyz.lambda) % std::f64::consts::TAU).abs() < 1e-14 {
         return;
     }
     out.u3(zyz.theta, zyz.phi, zyz.lambda, q);

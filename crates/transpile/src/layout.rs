@@ -66,8 +66,12 @@ pub fn best_permutation_onto(circuit: &Circuit, cal: &Calibration, subset: &[usi
             cost += w as f64 * (edge_err + 0.01 * (d - 1.0).max(0.0));
         }
         // prefer low readout error on measured (all) qubits
-        cost += layout.iter().map(|&q| cal.qubits[q].readout_error).sum::<f64>() * 0.1;
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        cost += layout
+            .iter()
+            .map(|&q| cal.qubits[q].readout_error)
+            .sum::<f64>()
+            * 0.1;
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, layout));
         }
     });

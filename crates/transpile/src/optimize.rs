@@ -20,8 +20,8 @@ pub fn merge_1q_runs(circuit: &Circuit) -> Circuit {
     let flush = |out: &mut Circuit, pending: &mut Vec<Option<Matrix>>, q: usize| {
         if let Some(m) = pending[q].take() {
             let zyz = zyz_decompose(&m);
-            let near_identity = zyz.theta.abs() < 1e-12
-                && phase_mod_tau(zyz.phi + zyz.lambda) < 1e-12;
+            let near_identity =
+                zyz.theta.abs() < 1e-12 && phase_mod_tau(zyz.phi + zyz.lambda) < 1e-12;
             if !near_identity {
                 out.u3(zyz.theta, zyz.phi, zyz.lambda, q);
             }
@@ -29,13 +29,13 @@ pub fn merge_1q_runs(circuit: &Circuit) -> Circuit {
     };
 
     for inst in circuit.iter() {
-        match inst.qubits.as_slice() {
-            &[q] => {
+        match *inst.qubits.as_slice() {
+            [q] => {
                 let acc = pending[q].get_or_insert_with(|| Matrix::identity(2));
                 let g = mat2_to_array(&inst.gate.matrix());
                 apply_1q_mat_left(acc, 0, &g);
             }
-            &[a, b] => {
+            [a, b] => {
                 flush(&mut out, &mut pending, a);
                 flush(&mut out, &mut pending, b);
                 out.push(inst.gate.clone(), &inst.qubits);
@@ -188,7 +188,14 @@ mod tests {
     #[test]
     fn optimize_pipeline_preserves_semantics() {
         let mut c = Circuit::new(3);
-        c.h(0).h(0).cx(0, 1).rz(0.1, 1).rz(-0.1, 1).cx(0, 1).ry(0.7, 2).cx(1, 2);
+        c.h(0)
+            .h(0)
+            .cx(0, 1)
+            .rz(0.1, 1)
+            .rz(-0.1, 1)
+            .cx(0, 1)
+            .ry(0.7, 2)
+            .cx(1, 2);
         let opt = optimize(&c);
         assert!(opt.len() < c.len());
         assert_same_unitary(&c, &opt);

@@ -51,11 +51,11 @@ pub fn route(circuit: &Circuit, topology: &Topology, layout: &Layout) -> Routed 
     let mut swaps_inserted = 0usize;
 
     for inst in circuit.iter() {
-        match inst.qubits.as_slice() {
-            &[q] => {
+        match *inst.qubits.as_slice() {
+            [q] => {
                 out.push(inst.gate.clone(), &[log2phys[q]]);
             }
-            &[a, b] => {
+            [a, b] => {
                 // walk a's physical position toward b's until adjacent
                 loop {
                     let (pa, pb) = (log2phys[a], log2phys[b]);
@@ -158,13 +158,12 @@ mod tests {
                 s
             };
             // compare amplitudes through the final layout permutation
-            for out_idx in 0..out_state.len() {
+            for (out_idx, &amp) in out_state.iter().enumerate() {
                 // map compact output index to logical index via final layout
                 let mut logical_idx = 0usize;
                 let mut extra_bits = false;
-                for c in 0..used.len() {
+                for (c, &p) in used.iter().enumerate() {
                     if (out_idx >> c) & 1 == 1 {
-                        let p = used[c];
                         if let Some(l) = routed.final_layout.iter().position(|&x| x == p) {
                             logical_idx |= 1 << l;
                         } else {
@@ -178,7 +177,7 @@ mod tests {
                     logical_out[logical_idx]
                 };
                 assert!(
-                    (out_state[out_idx] - expect).abs() < 1e-9,
+                    (amp - expect).abs() < 1e-9,
                     "basis {basis}: output index {out_idx} mismatch"
                 );
             }

@@ -10,10 +10,10 @@
 //!   allows IBM to map virtual qubits to the best available physical
 //!   qubits").
 
+use crate::commutation::commutation_cancel_cx;
 use crate::decompose::to_basis;
 use crate::layout::{best_permutation_onto, noise_aware_layout, trivial_layout, Layout};
-use crate::commutation::commutation_cancel_cx;
-use crate::optimize::{merge_1q_runs, cancel_cx_pairs, optimize};
+use crate::optimize::{cancel_cx_pairs, merge_1q_runs, optimize};
 use crate::routing::{compact, route};
 use qaprox_circuit::Circuit;
 use qaprox_device::Calibration;
@@ -63,8 +63,7 @@ impl Transpiled {
     pub fn logical_probabilities(&self, compact_probs: &[f64], num_logical: usize) -> Vec<f64> {
         let mut out = vec![0.0; 1 << num_logical];
         // compact index -> physical -> logical (via final layout)
-        let mut compact_to_logical: Vec<Option<usize>> =
-            vec![None; self.physical_qubits.len()];
+        let mut compact_to_logical: Vec<Option<usize>> = vec![None; self.physical_qubits.len()];
         for (c, &p) in self.physical_qubits.iter().enumerate() {
             if let Some(l) = self.final_layout.iter().position(|&x| x == p) {
                 compact_to_logical[c] = Some(l);
@@ -124,7 +123,29 @@ pub fn transpile(
         OptLevel::L2 => optimize(&expanded),
         OptLevel::L3 => optimize(&commutation_cancel_cx(&expanded)),
     };
+    // post-pass invariant: the optimize passes must not change the unitary
+    // (up to global phase). Expensive, so only under `strict-invariants`, and
+    // only at widths where the 2^n x 2^n unitary is materializable at all —
+    // routed circuits live on the full device, which can be 27+ qubits.
+    #[cfg(feature = "strict-invariants")]
+    if expanded.num_qubits() <= 10 {
+        let a = expanded.unitary();
+        let b = optimized.unitary();
+        let overlap = a.hs_inner(&b).abs() / a.rows() as f64;
+        debug_assert!(
+            (overlap - 1.0).abs() < 1e-7,
+            "optimization changed the circuit unitary (overlap {overlap})"
+        );
+    }
     let (compacted, physical_qubits) = compact(&optimized);
+
+    // post-pass invariant: every 2-qubit gate in the output must sit on a
+    // coupling-map edge once mapped back to physical qubits. Cheap, so it
+    // runs in every debug build.
+    #[cfg(debug_assertions)]
+    if let Err(e) = check_routed(&compacted, &physical_qubits, cal) {
+        panic!("{e}");
+    }
 
     Transpiled {
         circuit: compacted,
@@ -132,6 +153,49 @@ pub fn transpile(
         initial_layout: routed.initial_layout,
         final_layout: routed.final_layout,
         swaps_inserted: routed.swaps_inserted,
+    }
+}
+
+/// Validates a transpiled circuit against the device: runs the structural
+/// circuit lints with connectivity promoted to deny, after mapping each
+/// compacted index back to its physical qubit via `physical_qubits`.
+///
+/// Returns the rendered diagnostics of the first failing report.
+pub fn check_routed(
+    circuit: &Circuit,
+    physical_qubits: &[usize],
+    cal: &Calibration,
+) -> Result<(), String> {
+    let cfg = qaprox_verify::LintConfig::strict_connectivity();
+    // lift the compacted circuit onto physical indices so the coupling-map
+    // lint sees real device edges
+    let mut physical = Vec::with_capacity(circuit.len());
+    for inst in circuit.iter() {
+        let mut mapped = inst.clone();
+        for q in &mut mapped.qubits {
+            let phys = physical_qubits.get(*q).copied();
+            match phys {
+                Some(p) => *q = p,
+                None => return Err(format!("compacted qubit {q} has no physical assignment")),
+            }
+        }
+        physical.push(mapped);
+    }
+    let report = qaprox_verify::lint_instructions(
+        cal.topology.num_qubits(),
+        &physical,
+        Some(&cal.topology),
+        &cfg,
+    );
+    // dead-gate findings are advisory here: optimization may legitimately
+    // leave cancellable pairs behind at low levels
+    if report.error_count() > 0 {
+        Err(format!(
+            "transpiled circuit failed device validation:\n{}",
+            report.to_text()
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -190,7 +254,11 @@ mod tests {
         let subset = vec![12, 13, 14];
         let t = transpile(&sample_circuit(), &cal, OptLevel::L1, Some(&subset));
         for &p in &t.initial_layout {
-            assert!(subset.contains(&p), "layout {:?} escapes subset", t.initial_layout);
+            assert!(
+                subset.contains(&p),
+                "layout {:?} escapes subset",
+                t.initial_layout
+            );
         }
     }
 

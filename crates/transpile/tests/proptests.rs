@@ -1,90 +1,110 @@
-//! Property-based tests for the transpiler: every pass must preserve
-//! circuit semantics (up to global phase / qubit relabeling).
+//! Property-style tests for the transpiler: every pass must preserve
+//! circuit semantics (up to global phase / qubit relabeling). Driven by the
+//! in-repo seeded RNG.
 
-use proptest::prelude::*;
 use qaprox_circuit::{Circuit, Gate};
 use qaprox_device::Topology;
+use qaprox_linalg::random::{Rng, SplitMix64};
 use qaprox_metrics::hs_distance;
 use qaprox_transpile::{cancel_cx_pairs, merge_1q_runs, optimize, route, to_basis};
 
-fn random_circuit(n: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0usize..8, 0..n, 0..n, -3.0f64..3.0), 0..18).prop_map(
-        move |ops| {
-            let mut c = Circuit::new(n);
-            for (kind, a, b, t) in ops {
-                match kind {
-                    0 => {
-                        c.h(a);
-                    }
-                    1 => {
-                        c.rx(t, a);
-                    }
-                    2 => {
-                        c.rz(t, a);
-                    }
-                    3 => {
-                        c.push(Gate::S, &[a]);
-                    }
-                    4 if a != b => {
-                        c.cx(a, b);
-                    }
-                    5 if a != b => {
-                        c.cz(a, b);
-                    }
-                    6 if a != b => {
-                        c.swap(a, b);
-                    }
-                    7 if a != b => {
-                        c.push(Gate::CP(t), &[a, b]);
-                    }
-                    _ => {}
-                }
+const CASES: usize = 48;
+
+fn random_circuit(n: usize, rng: &mut SplitMix64) -> Circuit {
+    let len = rng.gen_range(0usize..18);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        let kind = rng.gen_range(0usize..8);
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let t = rng.gen_range(-3.0..3.0);
+        match kind {
+            0 => {
+                c.h(a);
             }
-            c
-        },
-    )
+            1 => {
+                c.rx(t, a);
+            }
+            2 => {
+                c.rz(t, a);
+            }
+            3 => {
+                c.push(Gate::S, &[a]);
+            }
+            4 if a != b => {
+                c.cx(a, b);
+            }
+            5 if a != b => {
+                c.cz(a, b);
+            }
+            6 if a != b => {
+                c.swap(a, b);
+            }
+            7 if a != b => {
+                c.push(Gate::CP(t), &[a, b]);
+            }
+            _ => {}
+        }
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn basis_translation_preserves_unitary(c in random_circuit(3)) {
+#[test]
+fn basis_translation_preserves_unitary() {
+    let mut rng = SplitMix64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let c = random_circuit(3, &mut rng);
         let t = to_basis(&c);
-        prop_assert!(qaprox_transpile::is_in_basis(&t));
-        prop_assert!(hs_distance(&c.unitary(), &t.unitary()) < 1e-8);
+        assert!(qaprox_transpile::is_in_basis(&t));
+        assert!(hs_distance(&c.unitary(), &t.unitary()) < 1e-8);
     }
+}
 
-    #[test]
-    fn merge_1q_preserves_unitary(c in random_circuit(3)) {
+#[test]
+fn merge_1q_preserves_unitary() {
+    let mut rng = SplitMix64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let c = random_circuit(3, &mut rng);
         let m = merge_1q_runs(&to_basis(&c));
-        prop_assert!(hs_distance(&c.unitary(), &m.unitary()) < 1e-8);
+        assert!(hs_distance(&c.unitary(), &m.unitary()) < 1e-8);
     }
+}
 
-    #[test]
-    fn cx_cancellation_preserves_unitary(c in random_circuit(3)) {
+#[test]
+fn cx_cancellation_preserves_unitary() {
+    let mut rng = SplitMix64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let c = random_circuit(3, &mut rng);
         let b = to_basis(&c);
         let x = cancel_cx_pairs(&b);
-        prop_assert!(hs_distance(&b.unitary(), &x.unitary()) < 1e-9);
-        prop_assert!(x.cx_count() <= b.cx_count());
+        assert!(hs_distance(&b.unitary(), &x.unitary()) < 1e-9);
+        assert!(x.cx_count() <= b.cx_count());
     }
+}
 
-    #[test]
-    fn optimize_never_grows_and_preserves(c in random_circuit(3)) {
+#[test]
+fn optimize_never_grows_and_preserves() {
+    let mut rng = SplitMix64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let c = random_circuit(3, &mut rng);
         let b = to_basis(&c);
         let o = optimize(&b);
-        prop_assert!(o.len() <= b.len());
-        prop_assert!(hs_distance(&b.unitary(), &o.unitary()) < 1e-8);
+        assert!(o.len() <= b.len());
+        assert!(hs_distance(&b.unitary(), &o.unitary()) < 1e-8);
     }
+}
 
-    #[test]
-    fn routing_respects_coupling(c in random_circuit(4)) {
+#[test]
+fn routing_respects_coupling() {
+    let mut rng = SplitMix64::seed_from_u64(5);
+    for _ in 0..CASES {
+        let c = random_circuit(4, &mut rng);
         let topo = Topology::linear(5);
         let layout: Vec<usize> = vec![0, 1, 2, 3];
         let routed = route(&to_basis(&c), &topo, &layout);
         for inst in routed.circuit.iter() {
             if inst.qubits.len() == 2 {
-                prop_assert!(
+                assert!(
                     topo.has_edge(inst.qubits[0], inst.qubits[1]),
                     "routed gate on uncoupled pair {:?}",
                     inst.qubits
@@ -95,19 +115,23 @@ proptest! {
         let mut fin = routed.final_layout.clone();
         fin.sort_unstable();
         fin.dedup();
-        prop_assert_eq!(fin.len(), 4);
+        assert_eq!(fin.len(), 4);
     }
+}
 
-    #[test]
-    fn routing_preserves_measurement_distribution(c in random_circuit(3)) {
+#[test]
+fn routing_preserves_measurement_distribution() {
+    let mut rng = SplitMix64::seed_from_u64(6);
+    for _ in 0..CASES {
         // Route onto a chain, simulate, and map outcomes back through the
         // final layout: distributions must match the unrouted circuit.
+        let c = random_circuit(3, &mut rng);
         let topo = Topology::linear(4);
         let layout = vec![0usize, 1, 2];
         let routed = route(&c, &topo, &layout);
         let (compact, used) = qaprox_transpile::compact(&routed.circuit);
         if compact.num_qubits() == 0 {
-            return Ok(());
+            continue;
         }
         let compact_probs = qaprox_sim::statevector::probabilities(&compact);
         let logical_expect = qaprox_sim::statevector::probabilities(&c);
@@ -125,7 +149,7 @@ proptest! {
             got[logical] += p;
         }
         for (a, b) in got.iter().zip(&logical_expect) {
-            prop_assert!((a - b).abs() < 1e-8, "{got:?} vs {logical_expect:?}");
+            assert!((a - b).abs() < 1e-8, "{got:?} vs {logical_expect:?}");
         }
     }
 }

@@ -1,0 +1,122 @@
+//! Lints over device calibration data: error rates must be probabilities,
+//! coherence times must be positive, and edge calibrations must refer to
+//! actual coupling-map edges.
+
+use crate::channel_lints::lint_probability;
+use crate::config::{LintCode, LintConfig};
+use crate::diagnostics::{Diagnostic, Location, Report};
+use qaprox_device::Calibration;
+
+/// Audits a calibration snapshot.
+pub fn lint_calibration(cal: &Calibration, cfg: &LintConfig) -> Report {
+    let mut report = Report::new();
+
+    for (q, qc) in cal.qubits.iter().enumerate() {
+        let loc = Location::Qubit(q);
+        report.extend(lint_probability(
+            &format!("qubit {q} readout_error"),
+            qc.readout_error,
+            loc.clone(),
+            cfg,
+        ));
+        report.extend(lint_probability(
+            &format!("qubit {q} sx_error"),
+            qc.sx_error,
+            loc.clone(),
+            cfg,
+        ));
+        if let Some(severity) = cfg.severity(LintCode::ProbabilityOutOfRange) {
+            for (name, value) in [
+                ("t1_us", qc.t1_us),
+                ("t2_us", qc.t2_us),
+                ("sx_time_ns", qc.sx_time_ns),
+            ] {
+                if !value.is_finite() || value <= 0.0 {
+                    report.diagnostics.push(Diagnostic {
+                        code: LintCode::ProbabilityOutOfRange.as_str(),
+                        severity,
+                        location: loc.clone(),
+                        message: format!("qubit {q} {name} = {value} must be positive and finite"),
+                    });
+                }
+            }
+        }
+    }
+
+    for (&(a, b), ec) in &cal.edges {
+        let loc = Location::Edge(a, b);
+        report.extend(lint_probability(
+            &format!("edge ({a}, {b}) cx_error"),
+            ec.cx_error,
+            loc.clone(),
+            cfg,
+        ));
+        if let Some(severity) = cfg.severity(LintCode::ConnectivityViolation) {
+            if !cal.topology.has_edge(a, b) {
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::ConnectivityViolation.as_str(),
+                    severity,
+                    location: loc,
+                    message: format!(
+                        "calibration lists edge ({a}, {b}) which is absent from the topology"
+                    ),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_device::devices::ourense;
+
+    #[test]
+    fn shipped_device_calibrations_are_clean() {
+        let report = lint_calibration(&ourense(), &LintConfig::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn flags_negative_readout_error() {
+        let mut cal = ourense();
+        cal.qubits[2].readout_error = -0.05;
+        let report = lint_calibration(&cal, &LintConfig::new());
+        assert!(report.has_errors());
+        assert!(report.to_text().contains("readout_error"));
+        assert_eq!(report.diagnostics[0].location, Location::Qubit(2));
+    }
+
+    #[test]
+    fn flags_non_positive_coherence_time() {
+        let mut cal = ourense();
+        cal.qubits[0].t1_us = 0.0;
+        let report = lint_calibration(&cal, &LintConfig::new());
+        assert!(report.has_errors());
+        assert!(report.to_text().contains("t1_us"));
+    }
+
+    #[test]
+    fn flags_phantom_edge_calibration() {
+        let mut cal = ourense();
+        let phantom = (0usize, 4usize);
+        assert!(
+            !cal.topology.has_edge(phantom.0, phantom.1),
+            "pick a real non-edge"
+        );
+        cal.edges.insert(
+            phantom,
+            qaprox_device::EdgeCal {
+                cx_error: 0.01,
+                cx_time_ns: 300.0,
+            },
+        );
+        let report = lint_calibration(&cal, &LintConfig::new());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "QA106" && d.location == Location::Edge(0, 4)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Channel and probability lints: CPTP audits of Kraus sets and
+//! stochasticity checks on readout confusion matrices.
+//!
+//! These operate on plain matrices and probability rows so that any layer —
+//! the simulator's channel constructors, a noise model's confusion matrix, a
+//! hand-written Kraus set in a test — can be audited without this crate
+//! depending on the simulator.
+
+use crate::config::{LintCode, LintConfig};
+use crate::diagnostics::{Diagnostic, Location, Report};
+use qaprox_linalg::Matrix;
+
+/// Maximum absolute deviation of `sum_k K†K` from the identity — the scalar
+/// that quantifies how far a Kraus set is from trace preserving. Returns
+/// `f64::INFINITY` for an empty set or mismatched dimensions.
+pub fn kraus_completeness_defect(kraus: &[Matrix]) -> f64 {
+    let Some(first) = kraus.first() else {
+        return f64::INFINITY;
+    };
+    let dim = first.rows();
+    if kraus.iter().any(|k| k.rows() != dim || k.cols() != dim) {
+        return f64::INFINITY;
+    }
+    let mut sum = Matrix::zeros(dim, dim);
+    for k in kraus {
+        let kk = k.adjoint().matmul(k);
+        for (s, v) in sum.data_mut().iter_mut().zip(kk.data()) {
+            *s += *v;
+        }
+    }
+    sum.max_diff(&Matrix::identity(dim))
+}
+
+/// Audits one Kraus set: entries must be finite, dimensions consistent and
+/// square, and the completeness relation `sum K†K = I` must hold within the
+/// configured tolerance.
+pub fn lint_kraus_set(label: &str, kraus: &[Matrix], cfg: &LintConfig) -> Report {
+    let mut out = Vec::new();
+    let Some(severity) = cfg.severity(LintCode::NonCptpKraus) else {
+        return Report::new();
+    };
+    let code = LintCode::NonCptpKraus.as_str();
+
+    if kraus.is_empty() {
+        out.push(Diagnostic {
+            code,
+            severity,
+            location: Location::Global,
+            message: format!("{label}: empty Kraus set (no channel action defined)"),
+        });
+        return Report::from_diagnostics(out);
+    }
+
+    let dim = kraus[0].rows();
+    let mut structurally_ok = true;
+    for (k, m) in kraus.iter().enumerate() {
+        if m.rows() != m.cols() || m.rows() != dim {
+            structurally_ok = false;
+            out.push(Diagnostic {
+                code,
+                severity,
+                location: Location::Kraus(k),
+                message: format!(
+                    "{label}: operator {k} is {}x{} but the channel dimension is {dim}",
+                    m.rows(),
+                    m.cols()
+                ),
+            });
+        }
+        if m.data()
+            .iter()
+            .any(|z| !z.re.is_finite() || !z.im.is_finite())
+        {
+            structurally_ok = false;
+            out.push(Diagnostic {
+                code,
+                severity,
+                location: Location::Kraus(k),
+                message: format!("{label}: operator {k} contains NaN or infinite entries"),
+            });
+        }
+    }
+
+    if structurally_ok {
+        let defect = kraus_completeness_defect(kraus);
+        if defect > cfg.tolerance {
+            out.push(Diagnostic {
+                code,
+                severity,
+                location: Location::Global,
+                message: format!(
+                    "{label}: sum K†K deviates from identity by {defect:.3e} (tolerance {:.1e})",
+                    cfg.tolerance
+                ),
+            });
+        }
+    }
+
+    Report::from_diagnostics(out)
+}
+
+/// Checks that a single probability-like value lies in `[0, 1]`.
+pub fn lint_probability(label: &str, value: f64, location: Location, cfg: &LintConfig) -> Report {
+    let mut out = Vec::new();
+    if let Some(severity) = cfg.severity(LintCode::ProbabilityOutOfRange) {
+        if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+            out.push(Diagnostic {
+                code: LintCode::ProbabilityOutOfRange.as_str(),
+                severity,
+                location,
+                message: format!("{label} = {value} is not a probability in [0, 1]"),
+            });
+        }
+    }
+    Report::from_diagnostics(out)
+}
+
+/// Audits a row-stochastic matrix given as rows: every entry must be a
+/// probability and every row must sum to 1 within tolerance. This is the
+/// shape of a readout confusion matrix (row = true state, column = observed
+/// state).
+pub fn lint_stochastic_rows(label: &str, rows: &[Vec<f64>], cfg: &LintConfig) -> Report {
+    let mut report = Report::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (c, &p) in row.iter().enumerate() {
+            report.extend(lint_probability(
+                &format!("{label}[{r}][{c}]"),
+                p,
+                Location::Row(r),
+                cfg,
+            ));
+        }
+        if let Some(severity) = cfg.severity(LintCode::NonStochasticRow) {
+            let sum: f64 = row.iter().sum();
+            if !sum.is_finite() || (sum - 1.0).abs() > cfg.tolerance {
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::NonStochasticRow.as_str(),
+                    severity,
+                    location: Location::Row(r),
+                    message: format!("{label}: row {r} sums to {sum} (expected 1)"),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_linalg::{c64, Complex64};
+
+    fn scaled_identity(dim: usize, s: f64) -> Matrix {
+        let mut m = Matrix::identity(dim);
+        for z in m.data_mut() {
+            *z *= s;
+        }
+        m
+    }
+
+    #[test]
+    fn identity_channel_is_cptp() {
+        let report = lint_kraus_set("id", &[Matrix::identity(2)], &LintConfig::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn bit_flip_style_decomposition_is_cptp() {
+        let p: f64 = 0.3;
+        let k0 = scaled_identity(2, (1.0 - p).sqrt());
+        let mut k1 = Matrix::zeros(2, 2);
+        k1[(0, 1)] = c64(p.sqrt(), 0.0);
+        k1[(1, 0)] = c64(p.sqrt(), 0.0);
+        let report = lint_kraus_set("bitflip", &[k0, k1], &LintConfig::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn flags_trace_losing_kraus_set() {
+        // a lone sqrt(0.5)*I loses half the trace
+        let report = lint_kraus_set(
+            "lossy",
+            &[scaled_identity(2, 0.5f64.sqrt())],
+            &LintConfig::new(),
+        );
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "QA201");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn flags_empty_and_misshapen_sets() {
+        let cfg = LintConfig::new();
+        assert!(lint_kraus_set("empty", &[], &cfg).has_errors());
+        let mixed = vec![Matrix::identity(2), Matrix::identity(4)];
+        let report = lint_kraus_set("mixed", &mixed, &cfg);
+        assert!(report.has_errors());
+        assert!(report.to_text().contains("4x4"));
+    }
+
+    #[test]
+    fn flags_non_finite_kraus_entries() {
+        let mut k = Matrix::identity(2);
+        k[(0, 0)] = Complex64 {
+            re: f64::NAN,
+            im: 0.0,
+        };
+        let report = lint_kraus_set("nan", &[k], &LintConfig::new());
+        assert!(report.has_errors());
+        assert!(report.to_text().contains("NaN"));
+    }
+
+    #[test]
+    fn completeness_defect_is_zero_for_unitary_and_positive_for_lossy() {
+        assert!(kraus_completeness_defect(&[Matrix::identity(4)]) < 1e-15);
+        let lossy = [scaled_identity(2, 0.9)];
+        assert!(kraus_completeness_defect(&lossy) > 0.1);
+        assert!(kraus_completeness_defect(&[]).is_infinite());
+    }
+
+    #[test]
+    fn stochastic_rows_pass_and_fail_as_expected() {
+        let cfg = LintConfig::new();
+        let good = vec![vec![0.97, 0.03], vec![0.05, 0.95]];
+        assert!(lint_stochastic_rows("confusion", &good, &cfg).is_clean());
+
+        let bad_sum = vec![vec![0.9, 0.3]];
+        let report = lint_stochastic_rows("confusion", &bad_sum, &cfg);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "QA203");
+
+        let bad_entry = vec![vec![1.2, -0.2]];
+        let report = lint_stochastic_rows("confusion", &bad_entry, &cfg);
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"QA202"));
+    }
+
+    #[test]
+    fn probability_lint_rejects_nan_and_out_of_range() {
+        let cfg = LintConfig::new();
+        assert!(lint_probability("p", 0.5, Location::Global, &cfg).is_clean());
+        assert!(lint_probability("p", -0.01, Location::Global, &cfg).has_errors());
+        assert!(lint_probability("p", 1.01, Location::Global, &cfg).has_errors());
+        assert!(lint_probability("p", f64::NAN, Location::Global, &cfg).has_errors());
+    }
+}

@@ -1,0 +1,365 @@
+//! Structural lints over circuit IR: operand sanity, gate-matrix unitarity,
+//! coupling-map conformance, and dead-gate detection.
+//!
+//! The entry points accept raw instruction lists (not just [`Circuit`]) so
+//! that *defective* programs — the very thing a linter exists to flag — can
+//! be analyzed even though `Circuit::push` would reject them at construction
+//! time.
+
+use crate::config::{LintCode, LintConfig};
+use crate::diagnostics::{Diagnostic, Location, Report};
+use qaprox_circuit::commute::commutes;
+use qaprox_circuit::{Circuit, Gate, Instruction};
+use qaprox_device::Topology;
+
+/// Scalar parameters (or raw matrix entries) carried by a gate, for
+/// finiteness checking.
+fn gate_params(gate: &Gate) -> Vec<f64> {
+    match gate {
+        Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) => vec![*t],
+        Gate::CRX(t) | Gate::CRZ(t) | Gate::CP(t) => vec![*t],
+        Gate::U3(a, b, c) => vec![*a, *b, *c],
+        Gate::Unitary1(m) | Gate::Unitary2(m) => {
+            m.data().iter().flat_map(|z| [z.re, z.im]).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Lints a raw instruction list against a declared qubit count and an
+/// optional device coupling map.
+pub fn lint_instructions(
+    num_qubits: usize,
+    instructions: &[Instruction],
+    topology: Option<&Topology>,
+    cfg: &LintConfig,
+) -> Report {
+    let mut out = Vec::new();
+
+    for (i, inst) in instructions.iter().enumerate() {
+        let loc = Location::Instruction(i);
+        let arity_ok = inst.qubits.len() == inst.gate.arity();
+        if !arity_ok {
+            emit(
+                &mut out,
+                cfg,
+                LintCode::ArityMismatch,
+                loc.clone(),
+                format!(
+                    "{} expects {} operand(s) but got {}",
+                    inst.gate.name(),
+                    inst.gate.arity(),
+                    inst.qubits.len()
+                ),
+            );
+        }
+
+        let mut bounds_ok = true;
+        for &q in &inst.qubits {
+            if q >= num_qubits {
+                bounds_ok = false;
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::QubitOutOfRange,
+                    loc.clone(),
+                    format!(
+                        "{} addresses qubit {q} but the circuit has {num_qubits} qubit(s)",
+                        inst.gate.name()
+                    ),
+                );
+            }
+        }
+
+        for (a, &qa) in inst.qubits.iter().enumerate() {
+            if inst.qubits[..a].contains(&qa) {
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::DuplicateOperands,
+                    loc.clone(),
+                    format!("{} lists qubit {qa} more than once", inst.gate.name()),
+                );
+            }
+        }
+
+        let params = gate_params(&inst.gate);
+        let finite = params.iter().all(|p| p.is_finite());
+        if !finite {
+            emit(
+                &mut out,
+                cfg,
+                LintCode::NonFiniteParam,
+                loc.clone(),
+                format!("{} carries a NaN or infinite parameter", inst.gate.name()),
+            );
+        }
+
+        // Unitarity only makes sense for finite entries.
+        if finite {
+            let m = inst.gate.matrix();
+            let dim = 1usize << inst.gate.arity();
+            if m.rows() != dim || m.cols() != dim {
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::NonUnitaryGate,
+                    loc.clone(),
+                    format!(
+                        "{} matrix is {}x{} but a {}-qubit gate needs {dim}x{dim}",
+                        inst.gate.name(),
+                        m.rows(),
+                        m.cols(),
+                        inst.gate.arity()
+                    ),
+                );
+            } else if !m.is_unitary(cfg.tolerance) {
+                let defect = m
+                    .adjoint()
+                    .matmul(&m)
+                    .max_diff(&qaprox_linalg::Matrix::identity(dim));
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::NonUnitaryGate,
+                    loc.clone(),
+                    format!(
+                        "{} matrix deviates from unitarity by {defect:.3e} (tolerance {:.1e})",
+                        inst.gate.name(),
+                        cfg.tolerance
+                    ),
+                );
+            }
+        }
+
+        if let (Some(topo), true, true, &[a, b]) =
+            (topology, arity_ok, bounds_ok, inst.qubits.as_slice())
+        {
+            if a < topo.num_qubits() && b < topo.num_qubits() && !topo.has_edge(a, b) {
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::ConnectivityViolation,
+                    loc.clone(),
+                    format!(
+                        "{} on ({a}, {b}) is not an edge of the device coupling map",
+                        inst.gate.name()
+                    ),
+                );
+            }
+        }
+
+        if arity_ok && bounds_ok && finite {
+            if let Some(j) = find_cancelling_adjoint(instructions, i) {
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::DeadGate,
+                    loc,
+                    format!(
+                    "{} cancels with its adjoint at instruction {j} (everything between commutes)",
+                    inst.gate.name()
+                ),
+                );
+            }
+        }
+    }
+
+    Report::from_diagnostics(out)
+}
+
+/// Lints a well-formed [`Circuit`] (bounds and duplicates are guaranteed by
+/// construction, but the remaining checks still apply).
+pub fn lint_circuit(circuit: &Circuit, topology: Option<&Topology>, cfg: &LintConfig) -> Report {
+    lint_instructions(circuit.num_qubits(), circuit.instructions(), topology, cfg)
+}
+
+/// Looks for a later instruction that is the exact adjoint of
+/// `instructions[i]` on the same operands, with every intermediate
+/// instruction commuting with it — i.e. the pair multiplies to identity and
+/// is removable.
+fn find_cancelling_adjoint(instructions: &[Instruction], i: usize) -> Option<usize> {
+    let inst = &instructions[i];
+    let adjoint = inst.gate.dagger();
+    for (j, later) in instructions.iter().enumerate().skip(i + 1) {
+        if later.qubits == inst.qubits && later.gate == adjoint {
+            return Some(j);
+        }
+        if !commutes(inst, later) {
+            return None;
+        }
+    }
+    None
+}
+
+fn emit(
+    out: &mut Vec<Diagnostic>,
+    cfg: &LintConfig,
+    code: LintCode,
+    location: Location,
+    message: String,
+) {
+    if let Some(severity) = cfg.severity(code) {
+        out.push(Diagnostic {
+            code: code.as_str(),
+            severity,
+            location,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintLevel;
+    use qaprox_linalg::Matrix;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_circuit_yields_no_findings() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.5, 1).cx(1, 2);
+        let report = lint_circuit(&c, None, &LintConfig::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn flags_out_of_range_qubit() {
+        let insts = vec![Instruction {
+            gate: Gate::H,
+            qubits: vec![5],
+        }];
+        let report = lint_instructions(2, &insts, None, &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA101"]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn flags_duplicate_operands() {
+        let insts = vec![Instruction {
+            gate: Gate::CX,
+            qubits: vec![1, 1],
+        }];
+        let report = lint_instructions(2, &insts, None, &LintConfig::new());
+        assert!(codes(&report).contains(&"QA102"));
+    }
+
+    #[test]
+    fn flags_arity_mismatch() {
+        let insts = vec![Instruction {
+            gate: Gate::CX,
+            qubits: vec![0],
+        }];
+        let report = lint_instructions(2, &insts, None, &LintConfig::new());
+        assert!(codes(&report).contains(&"QA103"));
+    }
+
+    #[test]
+    fn flags_non_finite_parameter() {
+        let insts = vec![Instruction {
+            gate: Gate::RZ(f64::NAN),
+            qubits: vec![0],
+        }];
+        let report = lint_instructions(1, &insts, None, &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA104"]);
+    }
+
+    #[test]
+    fn flags_non_unitary_custom_gate() {
+        let m = Matrix::zeros(2, 2); // the zero matrix is maximally non-unitary
+        let insts = vec![Instruction {
+            gate: Gate::Unitary1(Box::new(m)),
+            qubits: vec![0],
+        }];
+        let report = lint_instructions(1, &insts, None, &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA105"]);
+    }
+
+    #[test]
+    fn flags_wrongly_sized_custom_gate() {
+        let m = Matrix::identity(4); // 4x4 under a one-qubit wrapper
+        let insts = vec![Instruction {
+            gate: Gate::Unitary1(Box::new(m)),
+            qubits: vec![0],
+        }];
+        let report = lint_instructions(1, &insts, None, &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA105"]);
+    }
+
+    #[test]
+    fn flags_connectivity_violation_against_topology() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2); // linear(3) has edges (0,1) and (1,2) only
+        let topo = Topology::linear(3);
+        let report = lint_circuit(&c, Some(&topo), &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA106"]);
+        assert!(!report.has_errors(), "QA106 defaults to warn");
+        let strict = lint_circuit(&c, Some(&topo), &LintConfig::strict_connectivity());
+        assert!(strict.has_errors());
+    }
+
+    #[test]
+    fn detects_adjacent_cancelling_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(0);
+        let report = lint_circuit(&c, None, &LintConfig::new());
+        assert_eq!(codes(&report), vec!["QA107"]);
+    }
+
+    #[test]
+    fn detects_cancellation_across_commuting_gates() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0); // dead: cancels with the -0.3 rotation two slots later
+        c.rz(1.0, 0); // diagonal, commutes with rz
+        c.rz(-0.3, 0);
+        let report = lint_circuit(&c, None, &LintConfig::new());
+        // the middle rz also sees no cancelling partner, so exactly one finding
+        assert_eq!(codes(&report), vec!["QA107"]);
+        assert_eq!(report.diagnostics[0].location, Location::Instruction(0));
+    }
+
+    #[test]
+    fn no_dead_gate_when_blocked_by_non_commuting_gate() {
+        let mut c = Circuit::new(1);
+        c.z(0);
+        c.x(0); // X anticommutes with Z: the two Zs do not cancel
+        c.z(0);
+        let report = lint_circuit(&c, None, &LintConfig::new());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn allow_level_suppresses_findings() {
+        let mut cfg = LintConfig::new();
+        cfg.set(LintCode::DeadGate, LintLevel::Allow);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.x(0);
+        let report = lint_circuit(&c, None, &cfg);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn multiple_defects_are_all_reported() {
+        let insts = vec![
+            Instruction {
+                gate: Gate::CX,
+                qubits: vec![7, 7],
+            },
+            Instruction {
+                gate: Gate::RX(f64::INFINITY),
+                qubits: vec![0],
+            },
+        ];
+        let report = lint_instructions(2, &insts, None, &LintConfig::new());
+        let cs = codes(&report);
+        assert!(cs.contains(&"QA101"));
+        assert!(cs.contains(&"QA102"));
+        assert!(cs.contains(&"QA104"));
+    }
+}

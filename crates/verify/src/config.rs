@@ -1,0 +1,232 @@
+//! The lint catalog and per-code level configuration.
+//!
+//! Every check the verifier performs has a stable `QA…` code. `QA1xx` codes
+//! are circuit-structure lints; `QA2xx` codes are channel/probability lints.
+//! Each code carries a default [`LintLevel`] that a [`LintConfig`] can
+//! override (the CLI's `--allow/--warn/--deny CODE` flags map directly onto
+//! [`LintConfig::set`]).
+
+use crate::diagnostics::Severity;
+use std::collections::BTreeMap;
+
+/// Identifies one check in the lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// QA101: a gate operand exceeds the circuit's qubit count.
+    QubitOutOfRange,
+    /// QA102: a multi-qubit instruction lists the same qubit twice.
+    DuplicateOperands,
+    /// QA103: operand count disagrees with the gate's `arity()`.
+    ArityMismatch,
+    /// QA104: a gate parameter or matrix entry is NaN/infinite.
+    NonFiniteParam,
+    /// QA105: a gate's matrix is not unitary within tolerance.
+    NonUnitaryGate,
+    /// QA106: a two-qubit gate acts on a pair outside the coupling map.
+    ConnectivityViolation,
+    /// QA107: a gate cancels against a later adjoint with only commuting
+    /// gates in between (dead weight the optimizer should have removed).
+    DeadGate,
+    /// QA201: a Kraus set is not CPTP (`sum K†K != I`) within tolerance.
+    NonCptpKraus,
+    /// QA202: a probability-like calibration value lies outside `[0, 1]`
+    /// (or a coherence time is non-positive / non-finite).
+    ProbabilityOutOfRange,
+    /// QA203: a row of a readout confusion matrix is not stochastic.
+    NonStochasticRow,
+}
+
+impl LintCode {
+    /// Every catalogued code, in code order.
+    pub const ALL: [LintCode; 10] = [
+        LintCode::QubitOutOfRange,
+        LintCode::DuplicateOperands,
+        LintCode::ArityMismatch,
+        LintCode::NonFiniteParam,
+        LintCode::NonUnitaryGate,
+        LintCode::ConnectivityViolation,
+        LintCode::DeadGate,
+        LintCode::NonCptpKraus,
+        LintCode::ProbabilityOutOfRange,
+        LintCode::NonStochasticRow,
+    ];
+
+    /// The stable `QA…` string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::QubitOutOfRange => "QA101",
+            LintCode::DuplicateOperands => "QA102",
+            LintCode::ArityMismatch => "QA103",
+            LintCode::NonFiniteParam => "QA104",
+            LintCode::NonUnitaryGate => "QA105",
+            LintCode::ConnectivityViolation => "QA106",
+            LintCode::DeadGate => "QA107",
+            LintCode::NonCptpKraus => "QA201",
+            LintCode::ProbabilityOutOfRange => "QA202",
+            LintCode::NonStochasticRow => "QA203",
+        }
+    }
+
+    /// Resolves a `QA…` string back to its code.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// One-line description for catalogs and `--help` output.
+    pub fn title(self) -> &'static str {
+        match self {
+            LintCode::QubitOutOfRange => "qubit operand out of range",
+            LintCode::DuplicateOperands => "duplicate qubit operands",
+            LintCode::ArityMismatch => "operand count does not match gate arity",
+            LintCode::NonFiniteParam => "non-finite gate parameter",
+            LintCode::NonUnitaryGate => "gate matrix is not unitary",
+            LintCode::ConnectivityViolation => "two-qubit gate outside the coupling map",
+            LintCode::DeadGate => "gate cancels with a later adjoint",
+            LintCode::NonCptpKraus => "Kraus set is not trace preserving",
+            LintCode::ProbabilityOutOfRange => "probability outside [0, 1]",
+            LintCode::NonStochasticRow => "confusion-matrix row is not stochastic",
+        }
+    }
+
+    /// The level this code starts at before any overrides.
+    pub fn default_level(self) -> LintLevel {
+        match self {
+            // structural defects make circuits unexecutable -> deny
+            LintCode::QubitOutOfRange
+            | LintCode::DuplicateOperands
+            | LintCode::ArityMismatch
+            | LintCode::NonFiniteParam
+            | LintCode::NonUnitaryGate
+            | LintCode::NonCptpKraus
+            | LintCode::ProbabilityOutOfRange
+            | LintCode::NonStochasticRow => LintLevel::Deny,
+            // suspicious-but-runnable -> warn
+            LintCode::ConnectivityViolation | LintCode::DeadGate => LintLevel::Warn,
+        }
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a lint code should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress findings for this code entirely.
+    Allow,
+    /// Report findings as warnings (never fail the run).
+    Warn,
+    /// Report findings as errors (non-zero exit / rejected admission).
+    Deny,
+}
+
+/// Per-code level overrides plus numeric tolerances used by the matrix and
+/// channel checks.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    overrides: BTreeMap<LintCode, LintLevel>,
+    /// Tolerance for unitarity / CPTP / row-sum checks.
+    pub tolerance: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            overrides: BTreeMap::new(),
+            tolerance: 1e-8,
+        }
+    }
+}
+
+impl LintConfig {
+    /// A config with every code at its default level.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// A config where connectivity violations are deny-level — the right
+    /// posture when a circuit claims to be routed for a concrete device.
+    pub fn strict_connectivity() -> Self {
+        let mut cfg = LintConfig::default();
+        cfg.set(LintCode::ConnectivityViolation, LintLevel::Deny);
+        cfg
+    }
+
+    /// Overrides one code's level.
+    pub fn set(&mut self, code: LintCode, level: LintLevel) -> &mut Self {
+        self.overrides.insert(code, level);
+        self
+    }
+
+    /// The effective level for a code.
+    pub fn level(&self, code: LintCode) -> LintLevel {
+        self.overrides
+            .get(&code)
+            .copied()
+            .unwrap_or_else(|| code.default_level())
+    }
+
+    /// The severity findings of `code` should be emitted at, or `None` when
+    /// the code is allowed (suppressed).
+    pub fn severity(&self, code: LintCode) -> Option<Severity> {
+        match self.level(code) {
+            LintLevel::Allow => None,
+            LintLevel::Warn => Some(Severity::Warning),
+            LintLevel::Deny => Some(Severity::Error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_strings() {
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(LintCode::parse("qa105"), Some(LintCode::NonUnitaryGate));
+        assert_eq!(LintCode::parse("QA999"), None);
+    }
+
+    #[test]
+    fn default_levels_follow_severity_classes() {
+        let cfg = LintConfig::new();
+        assert_eq!(cfg.level(LintCode::QubitOutOfRange), LintLevel::Deny);
+        assert_eq!(cfg.level(LintCode::DeadGate), LintLevel::Warn);
+        assert_eq!(cfg.severity(LintCode::NonCptpKraus), Some(Severity::Error));
+    }
+
+    #[test]
+    fn overrides_change_effective_level() {
+        let mut cfg = LintConfig::new();
+        cfg.set(LintCode::DeadGate, LintLevel::Deny);
+        cfg.set(LintCode::QubitOutOfRange, LintLevel::Allow);
+        assert_eq!(cfg.severity(LintCode::DeadGate), Some(Severity::Error));
+        assert_eq!(cfg.severity(LintCode::QubitOutOfRange), None);
+    }
+
+    #[test]
+    fn strict_connectivity_denies_qa106() {
+        let cfg = LintConfig::strict_connectivity();
+        assert_eq!(cfg.level(LintCode::ConnectivityViolation), LintLevel::Deny);
+    }
+
+    #[test]
+    fn all_codes_have_distinct_strings_and_titles() {
+        let mut strings: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        strings.sort_unstable();
+        strings.dedup();
+        assert_eq!(strings.len(), LintCode::ALL.len());
+        for code in LintCode::ALL {
+            assert!(!code.title().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # qaprox-verify
+//!
+//! Static analysis for the qaprox stack: a lint pass over circuit IR, noise
+//! channels, and device data that catches defects *before* they reach a
+//! simulator or synthesis run. Every check has a stable `QA…` code
+//! (catalogued in `docs/LINTS.md`) and a configurable level, so callers can
+//! gate pipelines on deny-level findings while keeping advisory checks as
+//! warnings.
+//!
+//! The crate deliberately depends only on `qaprox-linalg`, `qaprox-circuit`,
+//! and `qaprox-device`; higher layers (simulator, transpiler, synthesis,
+//! CLI) call *into* it at their admission points:
+//!
+//! * `qaprox lint <file.qasm>` — standalone analysis of a program;
+//! * `sim::executor` — pre-run validation of circuits and noise data;
+//! * `transpile` — post-pass invariant checks (routing really conforms to
+//!   the coupling map, optimization preserved the unitary);
+//! * `synth` — admission checks before a candidate enters threshold
+//!   selection.
+//!
+//! ```
+//! use qaprox_verify::{lint_circuit, LintConfig};
+//! use qaprox_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let report = lint_circuit(&c, None, &LintConfig::new());
+//! assert!(report.is_clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration_lints;
+pub mod channel_lints;
+pub mod circuit_lints;
+pub mod config;
+pub mod diagnostics;
+
+pub use calibration_lints::lint_calibration;
+pub use channel_lints::{
+    kraus_completeness_defect, lint_kraus_set, lint_probability, lint_stochastic_rows,
+};
+pub use circuit_lints::{lint_circuit, lint_instructions};
+pub use config::{LintCode, LintConfig, LintLevel};
+pub use diagnostics::{Diagnostic, Location, Report, Severity};

@@ -1,0 +1,59 @@
+//! Acceptance criterion: the linter must report **zero errors** on every
+//! circuit the workload generators produce — QFT, Grover, QAOA, TFIM, and
+//! multi-controlled Toffoli references.
+
+use qaprox_algos::grover::{grover_circuit, optimal_iterations};
+use qaprox_algos::mct::mct_reference;
+use qaprox_algos::qaoa::{qaoa_circuit, MaxCutGraph};
+use qaprox_algos::qft::qft_circuit;
+use qaprox_algos::tfim::{tfim_circuit, TfimParams};
+use qaprox_circuit::Circuit;
+use qaprox_verify::{lint_circuit, LintConfig};
+
+fn assert_clean(name: &str, c: &Circuit) {
+    let report = lint_circuit(c, None, &LintConfig::new());
+    assert!(
+        !report.has_errors(),
+        "{name} must lint clean, got:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn qft_circuits_lint_clean() {
+    for n in 2..=5 {
+        assert_clean(&format!("qft({n})"), &qft_circuit(n));
+    }
+}
+
+#[test]
+fn grover_circuits_lint_clean() {
+    for n in 2..=4 {
+        let c = grover_circuit(n, (1 << n) - 1, optimal_iterations(n));
+        assert_clean(&format!("grover({n})"), &c);
+    }
+}
+
+#[test]
+fn qaoa_circuits_lint_clean() {
+    for n in [3usize, 4, 5] {
+        let graph = MaxCutGraph::cycle(n);
+        let c = qaoa_circuit(&graph, &[0.4], &[0.7]);
+        assert_clean(&format!("qaoa(cycle {n})"), &c);
+    }
+}
+
+#[test]
+fn tfim_circuits_lint_clean() {
+    for steps in [1usize, 5, 10] {
+        let c = tfim_circuit(&TfimParams::paper_defaults(3), steps);
+        assert_clean(&format!("tfim(3q, {steps} steps)"), &c);
+    }
+}
+
+#[test]
+fn mct_references_lint_clean() {
+    for n in 2..=5 {
+        assert_clean(&format!("mct({n})"), &mct_reference(n));
+    }
+}

@@ -1,0 +1,166 @@
+//! One negative test per defect class: each feeds the linter a minimal
+//! defective artifact and asserts the finding carries the *distinct* code
+//! for that class (the acceptance criterion for `qaprox lint`).
+
+use qaprox_circuit::{Circuit, Gate, Instruction};
+use qaprox_device::devices::ourense;
+use qaprox_linalg::{Complex64, Matrix};
+use qaprox_verify::{
+    lint_calibration, lint_instructions, lint_kraus_set, lint_stochastic_rows, LintConfig, Report,
+};
+
+fn codes(report: &Report) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+fn lint_one(inst: Instruction, num_qubits: usize) -> Report {
+    lint_instructions(num_qubits, &[inst], None, &LintConfig::new())
+}
+
+#[test]
+fn qa101_out_of_range_qubit() {
+    let r = lint_one(
+        Instruction {
+            gate: Gate::H,
+            qubits: vec![7],
+        },
+        2,
+    );
+    assert!(codes(&r).contains(&"QA101"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa102_duplicate_operands() {
+    let r = lint_one(
+        Instruction {
+            gate: Gate::CX,
+            qubits: vec![1, 1],
+        },
+        2,
+    );
+    assert!(codes(&r).contains(&"QA102"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa103_arity_mismatch() {
+    let r = lint_one(
+        Instruction {
+            gate: Gate::CX,
+            qubits: vec![0],
+        },
+        2,
+    );
+    assert!(codes(&r).contains(&"QA103"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa104_non_finite_parameter() {
+    let r = lint_one(
+        Instruction {
+            gate: Gate::RZ(f64::NAN),
+            qubits: vec![0],
+        },
+        1,
+    );
+    assert!(codes(&r).contains(&"QA104"), "{}", r.to_text());
+    let r = lint_one(
+        Instruction {
+            gate: Gate::RX(f64::INFINITY),
+            qubits: vec![0],
+        },
+        1,
+    );
+    assert!(codes(&r).contains(&"QA104"), "{}", r.to_text());
+}
+
+#[test]
+fn qa105_non_unitary_matrix() {
+    // rank-deficient 2x2: |0><0|
+    let m = Matrix::from_rows(&[
+        &[Complex64::ONE, Complex64::ZERO],
+        &[Complex64::ZERO, Complex64::ZERO],
+    ]);
+    let r = lint_one(
+        Instruction {
+            gate: Gate::Unitary1(Box::new(m)),
+            qubits: vec![0],
+        },
+        1,
+    );
+    assert!(codes(&r).contains(&"QA105"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa106_connectivity_violation() {
+    // (0, 4) is not an edge of ourense's T-shaped coupling map
+    let cal = ourense();
+    let inst = Instruction {
+        gate: Gate::CX,
+        qubits: vec![0, 4],
+    };
+    let warn = lint_instructions(
+        5,
+        std::slice::from_ref(&inst),
+        Some(&cal.topology),
+        &LintConfig::new(),
+    );
+    assert!(codes(&warn).contains(&"QA106"), "{}", warn.to_text());
+    assert!(!warn.has_errors(), "QA106 defaults to warn");
+    let deny = lint_instructions(
+        5,
+        &[inst],
+        Some(&cal.topology),
+        &LintConfig::strict_connectivity(),
+    );
+    assert!(deny.has_errors(), "strict config promotes QA106 to deny");
+}
+
+#[test]
+fn qa107_dead_gate() {
+    let mut c = Circuit::new(1);
+    c.push(Gate::S, &[0]);
+    c.push(Gate::Sdg, &[0]);
+    let r = qaprox_verify::lint_circuit(&c, None, &LintConfig::new());
+    assert!(codes(&r).contains(&"QA107"), "{}", r.to_text());
+    assert!(!r.has_errors(), "QA107 defaults to warn");
+}
+
+#[test]
+fn qa201_non_cptp_kraus() {
+    // a lone sqrt(0.5)*I is trace decreasing
+    let k = Matrix::identity(2).scale_re(0.5f64.sqrt());
+    let r = lint_kraus_set("lossy", &[k], &LintConfig::new());
+    assert!(codes(&r).contains(&"QA201"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa202_probability_out_of_range() {
+    let mut cal = ourense();
+    cal.qubits[0].readout_error = -0.25;
+    let r = lint_calibration(&cal, &LintConfig::new());
+    assert!(codes(&r).contains(&"QA202"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn qa203_non_stochastic_row() {
+    let rows = vec![vec![0.9, 0.3], vec![0.5, 0.5]];
+    let r = lint_stochastic_rows("confusion", &rows, &LintConfig::new());
+    assert!(codes(&r).contains(&"QA203"), "{}", r.to_text());
+    assert!(r.has_errors());
+}
+
+#[test]
+fn every_defect_class_has_a_distinct_code() {
+    let mut seen: Vec<&str> = vec![
+        "QA101", "QA102", "QA103", "QA104", "QA105", "QA106", "QA107", "QA201", "QA202", "QA203",
+    ];
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 10);
+}

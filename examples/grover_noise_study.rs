@@ -25,13 +25,19 @@ fn main() {
             max_cnots: 6,
             max_nodes: 120,
             beam_width: 4,
-            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.12,
     };
     let pop = workflow.generate(&study.target_unitary());
-    println!("kept {} approximate circuits (HS <= 0.12)\n", pop.circuits.len());
+    println!(
+        "kept {} approximate circuits (HS <= 0.12)\n",
+        pop.circuits.len()
+    );
 
     // Sweep the CNOT error and watch the crossover.
     println!("cx_error | P(correct) reference | best approximate (CNOTs) | winner");
@@ -45,7 +51,11 @@ fn main() {
             .iter()
             .max_by(|a, b| a.score.total_cmp(&b.score))
             .expect("population not empty");
-        let winner = if best.score > ref_p { "approximate" } else { "reference" };
+        let winner = if best.score > ref_p {
+            "approximate"
+        } else {
+            "reference"
+        };
         println!(
             "{eps:>8} | {ref_p:>20.4} | {:>7.4} ({:>2})          | {winner}",
             best.score, best.cnots

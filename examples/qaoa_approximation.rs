@@ -29,7 +29,10 @@ fn main() {
             max_cnots: 6,
             max_nodes: 150,
             beam_width: 4,
-            instantiate: InstantiateConfig { starts: 3, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 3,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.25,

@@ -57,8 +57,15 @@ fn main() {
     best.sort_by(|a, b| a.score.total_cmp(&b.score));
     println!("top approximate circuits (TVD to ideal | CNOTs | HS distance):");
     for s in best.iter().take(5) {
-        let marker = if s.score < ref_tvd { "BEATS REFERENCE" } else { "" };
-        println!("  {:.4} | {:>2} | {:.4}  {marker}", s.score, s.cnots, s.hs_distance);
+        let marker = if s.score < ref_tvd {
+            "BEATS REFERENCE"
+        } else {
+            ""
+        };
+        println!(
+            "  {:.4} | {:>2} | {:.4}  {marker}",
+            s.score, s.cnots, s.hs_distance
+        );
     }
     let wins = scored.iter().filter(|s| s.score < ref_tvd).count();
     println!(

@@ -21,7 +21,10 @@ fn main() {
             max_cnots: 6,
             max_nodes: 120,
             beam_width: 4,
-            instantiate: InstantiateConfig { starts: 2, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.12,

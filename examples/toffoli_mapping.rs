@@ -14,13 +14,22 @@ use qaprox_synth::InstantiateConfig;
 
 fn main() {
     let device = devices::toronto();
-    println!("device: {} ({} qubits)", device.machine, device.topology.num_qubits());
+    println!(
+        "device: {} ({} qubits)",
+        device.machine,
+        device.topology.num_qubits()
+    );
 
     // The candidate mapping "circles" of Fig. 16.
     let maps = standard_mappings(&device, 3);
     println!("candidate mappings (3 qubits):");
     for m in &maps {
-        println!("  {:<22} qubits {:?}  noise score {:.4}", m.name, m.qubits, device.subset_score(&m.qubits));
+        println!(
+            "  {:<22} qubits {:?}  noise score {:.4}",
+            m.name,
+            m.qubits,
+            device.subset_score(&m.qubits)
+        );
     }
 
     // A small approximate population for the 3-qubit Toffoli.
@@ -30,7 +39,10 @@ fn main() {
             max_cnots: 5,
             max_nodes: 60,
             beam_width: 3,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.12,
@@ -40,11 +52,20 @@ fn main() {
 
     let reference = mct_reference(3);
     let placements = vec![
-        ("blue(best)".to_string(), Placement::Manual(maps[0].qubits.clone())),
-        ("red(worst)".to_string(), Placement::Manual(maps[1].qubits.clone())),
+        (
+            "blue(best)".to_string(),
+            Placement::Manual(maps[0].qubits.clone()),
+        ),
+        (
+            "red(worst)".to_string(),
+            Placement::Manual(maps[1].qubits.clone()),
+        ),
         ("auto(level-3)".to_string(), Placement::Auto),
     ];
-    let effects = HardwareEffects { shots: 4096, ..Default::default() };
+    let effects = HardwareEffects {
+        shots: 4096,
+        ..Default::default()
+    };
     let results = compare_mappings(&device, &placements, &reference, &pop.circuits, &effects);
 
     println!("\nmapping                | reference JS | best approx JS | beats ref");
@@ -60,6 +81,11 @@ fn main() {
             scored.len()
         );
     }
-    println!("\nrandom-noise JS floor for this battery: {:.4}", random_noise_js(3));
-    println!("different mappings shift both series: CNOT error is not the only contributor (Obs. 9).");
+    println!(
+        "\nrandom-noise JS floor for this battery: {:.4}",
+        random_noise_js(3)
+    );
+    println!(
+        "different mappings shift both series: CNOT error is not the only contributor (Obs. 9)."
+    );
 }

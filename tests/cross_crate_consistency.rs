@@ -3,9 +3,8 @@
 
 use qaprox::prelude::*;
 use qaprox_linalg::random::haar_unitary;
+use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_sim::DensityMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Random-ish test circuit touching most of the gate set.
 fn mixed_circuit(n: usize) -> Circuit {
@@ -56,7 +55,10 @@ fn transpiled_circuit_has_same_unitary_up_to_layout() {
     c.h(0).cx(0, 1).cx(1, 2).rz(0.4, 1);
     let cal = devices::santiago();
     let t = transpile(&c, &cal, OptLevel::L1, None);
-    assert_eq!(t.swaps_inserted, 0, "chain circuit on a chain needs no SWAPs");
+    assert_eq!(
+        t.swaps_inserted, 0,
+        "chain circuit on a chain needs no SWAPs"
+    );
     assert!(
         hs_distance(&t.circuit.unitary(), &c.unitary()) < 1e-9,
         "L1 transpilation must preserve semantics"
@@ -70,7 +72,11 @@ fn synthesis_distance_agrees_with_metrics_crate() {
     let out = qsearch(
         &target,
         &Topology::linear(2),
-        &QSearchConfig { max_cnots: 3, max_nodes: 30, ..Default::default() },
+        &QSearchConfig {
+            max_cnots: 3,
+            max_nodes: 30,
+            ..Default::default()
+        },
     );
     for ap in &out.intermediates {
         let d = hs_distance(&ap.circuit.unitary(), &target);
@@ -88,9 +94,27 @@ fn qfast_and_qsearch_converge_to_same_target() {
     let mut rng = StdRng::seed_from_u64(77);
     let target = haar_unitary(4, &mut rng);
     let topo = Topology::linear(2);
-    let qs = qsearch(&target, &topo, &QSearchConfig { max_cnots: 3, max_nodes: 40, ..Default::default() });
-    let qf = qfast(&target, &topo, &QFastConfig { max_blocks: 2, ..Default::default() });
-    assert!(qs.best.hs_distance < 1e-6, "QSearch should nail a 2q target");
+    let qs = qsearch(
+        &target,
+        &topo,
+        &QSearchConfig {
+            max_cnots: 3,
+            max_nodes: 40,
+            ..Default::default()
+        },
+    );
+    let qf = qfast(
+        &target,
+        &topo,
+        &QFastConfig {
+            max_blocks: 2,
+            ..Default::default()
+        },
+    );
+    assert!(
+        qs.best.hs_distance < 1e-6,
+        "QSearch should nail a 2q target"
+    );
     assert!(qf.best.hs_distance < 1e-4, "QFast should nail a 2q target");
     // and both circuits implement (approximately) the same unitary
     let d = hs_distance(&qs.best.circuit.unitary(), &qf.best.circuit.unitary());
@@ -119,7 +143,10 @@ fn qasm_dump_reflects_circuit_content() {
     let text = qaprox_circuit::qasm::to_qasm(&c);
     assert!(text.contains("qreg q[3];"));
     // every instruction appears as a line
-    let gate_lines = text.lines().filter(|l| l.ends_with(';') && !l.starts_with("qreg")).count();
+    let gate_lines = text
+        .lines()
+        .filter(|l| l.ends_with(';') && !l.starts_with("qreg"))
+        .count();
     assert_eq!(gate_lines, c.len());
 }
 
@@ -143,7 +170,11 @@ fn trajectory_simulation_tracks_density_matrix_on_approximations() {
     let out = qsearch(
         &target,
         &Topology::linear(2),
-        &QSearchConfig { max_cnots: 2, max_nodes: 20, ..Default::default() },
+        &QSearchConfig {
+            max_cnots: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
     );
     let cal = devices::rome().induced(&[0, 1]);
     let model = NoiseModel::from_calibration(cal);
@@ -160,7 +191,11 @@ fn qasm_round_trip_preserves_synthesized_circuits() {
     let out = qsearch(
         &target,
         &Topology::linear(2),
-        &QSearchConfig { max_cnots: 3, max_nodes: 30, ..Default::default() },
+        &QSearchConfig {
+            max_cnots: 3,
+            max_nodes: 30,
+            ..Default::default()
+        },
     );
     for ap in out.intermediates.iter().take(5) {
         let text = qaprox_circuit::qasm::to_qasm(&ap.circuit);
@@ -188,7 +223,10 @@ fn mitigation_recovers_noise_model_readout_exactly() {
     let mitigated = qaprox_sim::mitigate_readout(&raw, &errors);
     let expect = no_readout.probabilities(&c);
     for (a, b) in mitigated.iter().zip(&expect) {
-        assert!((a - b).abs() < 1e-9, "mitigation should undo modelled readout");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "mitigation should undo modelled readout"
+        );
     }
 }
 
@@ -200,5 +238,9 @@ fn spectral_and_pade_expm_agree_inside_qfast_blocks() {
     let h = hermitian_from_coeffs(&basis, &coeffs);
     let a = qaprox_linalg::expm_i_hermitian(&h);
     let b = qaprox_linalg::expm_i_hermitian_spectral(&h);
-    assert!(a.approx_eq(&b, 1e-8), "expm paths disagree by {}", a.max_diff(&b));
+    assert!(
+        a.approx_eq(&b, 1e-8),
+        "expm paths disagree by {}",
+        a.max_diff(&b)
+    );
 }

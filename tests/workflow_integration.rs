@@ -11,7 +11,10 @@ fn quick_qsearch(_n: usize, max_cnots: usize) -> QSearchConfig {
         max_cnots,
         max_nodes: 60,
         beam_width: 3,
-        instantiate: InstantiateConfig { starts: 1, ..Default::default() },
+        instantiate: InstantiateConfig {
+            starts: 1,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -32,7 +35,9 @@ fn tfim_pipeline_produces_better_than_reference_under_heavy_noise() {
     let population = workflow.generate(&Workflow::target_unitary(&reference));
     assert!(population.circuits.len() >= 5, "population too thin");
 
-    let cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.12);
+    let cal = devices::ourense()
+        .induced(&[0, 1, 2])
+        .with_uniform_cx_error(0.12);
     let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
 
     let ideal_m = magnetization(&qaprox_sim::statevector::probabilities(&reference));
@@ -103,7 +108,9 @@ fn toffoli_pipeline_reference_vs_approximation_ordering() {
         "noise-free: exact ({ideal_ref:.4}) must not lose to approximate ({ideal_approx:.4})"
     );
 
-    let noisy_cal = devices::ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.20);
+    let noisy_cal = devices::ourense()
+        .induced(&[0, 1, 2])
+        .with_uniform_cx_error(0.20);
     let noisy = Backend::Noisy(NoiseModel::from_calibration(noisy_cal));
     let noisy_ref = battery_js(&reference, &noisy, 0);
     let noisy_approx = battery_js(&best_short.circuit, &noisy, 0);
@@ -148,7 +155,9 @@ fn full_grover_pipeline_runs_on_all_backends() {
     assert!(!pop.circuits.is_empty());
     for backend in [
         Backend::Ideal,
-        Backend::Noisy(NoiseModel::from_calibration(devices::rome().induced(&[0, 1, 2]))),
+        Backend::Noisy(NoiseModel::from_calibration(
+            devices::rome().induced(&[0, 1, 2]),
+        )),
         Backend::Hardware(HardwareBackend::new(NoiseModel::from_calibration(
             devices::rome().induced(&[0, 1, 2]),
         ))),
@@ -156,7 +165,10 @@ fn full_grover_pipeline_runs_on_all_backends() {
         let scored = study.evaluate_population(&pop.circuits, &backend);
         assert_eq!(scored.len(), pop.circuits.len());
         for s in &scored {
-            assert!((0.0..=1.0 + 1e-9).contains(&s.score), "probability out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&s.score),
+                "probability out of range"
+            );
         }
     }
 }
