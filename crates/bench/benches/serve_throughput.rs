@@ -1,0 +1,115 @@
+//! Job-service throughput: jobs/sec through the full TCP stack (server,
+//! scheduler, store) at several worker counts, cold store vs warm store,
+//! plus the per-job round-trip latency of a cache hit.
+//!
+//! Output is CSV; the checked-in snapshot lives at
+//! `artifacts/serve_throughput.csv` (regenerate with
+//! `cargo bench -p qaprox-bench --bench serve_throughput`).
+
+use qaprox_bench::timing::{bench, header};
+use qaprox_serve::{Client, JobSpec, SchedulerConfig, Server, ServerConfig, SynthSpec};
+use qaprox_store::Store;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const JOBS: usize = 16;
+const WAIT: Duration = Duration::from_secs(300);
+
+fn tiny(seed: u64) -> JobSpec {
+    JobSpec::Synth(SynthSpec {
+        workload: "tfim".into(),
+        qubits: 2,
+        steps: 2,
+        max_cnots: 3,
+        max_nodes: 25,
+        max_hs: 0.4,
+        seed,
+    })
+}
+
+fn fresh_store(tag: &str) -> Arc<Store> {
+    let dir = std::env::temp_dir().join(format!(
+        "qaprox-serve-throughput-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Arc::new(Store::open(dir).expect("temp store opens"))
+}
+
+fn start_server(workers: usize, store: Arc<Store>) -> Server {
+    Server::start(
+        ServerConfig {
+            scheduler: SchedulerConfig {
+                workers,
+                queue_capacity: JOBS * 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Some(store),
+    )
+    .expect("server starts")
+}
+
+/// Submits `JOBS` distinct jobs and waits for all of them; returns jobs/sec.
+fn drain(client: &mut Client) -> f64 {
+    let t0 = Instant::now();
+    let ids: Vec<u64> = (0..JOBS)
+        .map(|i| client.submit(&tiny(i as u64)).expect("submit accepted").0)
+        .collect();
+    for id in ids {
+        client.wait_for_result(id, WAIT).expect("job completes");
+    }
+    JOBS as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    header("serve_throughput");
+
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let mut worker_counts = vec![1usize, 4, max_workers];
+    worker_counts.dedup();
+    worker_counts.retain(|&w| w <= max_workers || w == 1);
+
+    // Throughput rows use the shared CSV shape with iters=JOBS and the
+    // per-job wall time in the ns columns; jobs/sec is printed alongside
+    // as a comment for direct reading.
+    for &workers in &worker_counts {
+        let store = fresh_store(&format!("w{workers}"));
+        let server = start_server(workers, Arc::clone(&store));
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).expect("client connects");
+
+        let cold = drain(&mut client); // synthesizes every job
+        let warm = drain(&mut client); // identical resubmits: store hits
+        let per_job_cold = (1e9 / cold) as u64;
+        let per_job_warm = (1e9 / warm) as u64;
+        println!(
+            "throughput/cold/workers={workers},{JOBS},{per_job_cold},{per_job_cold},{per_job_cold}"
+        );
+        println!(
+            "throughput/warm/workers={workers},{JOBS},{per_job_warm},{per_job_warm},{per_job_warm}"
+        );
+        println!("# workers={workers}: cold {cold:.1} jobs/s, warm {warm:.1} jobs/s");
+
+        server.shutdown();
+    }
+
+    // Per-request latency of a cache hit through the full TCP round trip.
+    let store = fresh_store("latency");
+    let server = start_server(2, Arc::clone(&store));
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects");
+    let (id, _, _) = client.submit(&tiny(0)).expect("seed job accepted");
+    client
+        .wait_for_result(id, WAIT)
+        .expect("seed job completes");
+    bench("cache_hit_round_trip", || {
+        let (id, _, _) = client.submit(&tiny(0)).expect("resubmit accepted");
+        client.wait_for_result(id, WAIT).expect("hit completes")
+    });
+    server.shutdown();
+}

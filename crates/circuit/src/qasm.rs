@@ -20,15 +20,19 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     for inst in circuit.iter() {
         let qs: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
         let qs = qs.join(",");
+        // Angles print with {:.17e}: 17 significant digits round-trip every
+        // IEEE-754 double exactly, so dump -> parse preserves the unitary
+        // bit-for-bit (the 12-digit dump it replaces lost up to ~1e-12 per
+        // angle, enough to corrupt content-addressed store keys).
         let line = match &inst.gate {
-            Gate::RX(t) => format!("rx({t:.12}) {qs};"),
-            Gate::RY(t) => format!("ry({t:.12}) {qs};"),
-            Gate::RZ(t) => format!("rz({t:.12}) {qs};"),
-            Gate::P(l) => format!("p({l:.12}) {qs};"),
-            Gate::U3(t, p, l) => format!("u3({t:.12},{p:.12},{l:.12}) {qs};"),
-            Gate::CRX(t) => format!("crx({t:.12}) {qs};"),
-            Gate::CRZ(t) => format!("crz({t:.12}) {qs};"),
-            Gate::CP(l) => format!("cp({l:.12}) {qs};"),
+            Gate::RX(t) => format!("rx({t:.17e}) {qs};"),
+            Gate::RY(t) => format!("ry({t:.17e}) {qs};"),
+            Gate::RZ(t) => format!("rz({t:.17e}) {qs};"),
+            Gate::P(l) => format!("p({l:.17e}) {qs};"),
+            Gate::U3(t, p, l) => format!("u3({t:.17e},{p:.17e},{l:.17e}) {qs};"),
+            Gate::CRX(t) => format!("crx({t:.17e}) {qs};"),
+            Gate::CRZ(t) => format!("crz({t:.17e}) {qs};"),
+            Gate::CP(l) => format!("cp({l:.17e}) {qs};"),
             Gate::Unitary1(_) => format!("// unitary1 {qs};"),
             Gate::Unitary2(_) => format!("// unitary2 {qs};"),
             g => format!("{} {qs};", g.name()),
@@ -36,6 +40,14 @@ pub fn to_qasm(circuit: &Circuit) -> String {
         let _ = writeln!(out, "{line}");
     }
     out
+}
+
+/// Canonical byte serialization of a circuit for content addressing: the
+/// [`to_qasm`] dump as UTF-8. Because angles print with full 17-digit
+/// precision, two circuits serialize identically iff their instruction
+/// streams are identical — a stable input for store cache keys.
+pub fn canonical_bytes(circuit: &Circuit) -> Vec<u8> {
+    to_qasm(circuit).into_bytes()
 }
 
 /// One-line summary used in experiment tables: gate counts and depth.
@@ -63,18 +75,34 @@ mod tests {
         assert!(text.contains("qreg q[2];"));
         assert!(text.contains("h q[0];"));
         assert!(text.contains("cx q[0],q[1];"));
-        assert!(text.contains("rz(0.5"));
+        assert!(text.contains("rz(5.00000000000000000e-1"), "{text}");
     }
 
     #[test]
-    fn qasm_renders_parameterized_gates_with_precision() {
+    fn qasm_renders_parameterized_gates_losslessly() {
+        // 17 significant digits round-trip any double exactly
+        let theta = 0.123_456_789_012_345_68_f64;
         let mut c = Circuit::new(1);
-        c.u3(0.123456789012, -1.0, 2.0, 0);
+        c.u3(theta, -1.0, 2.0, 0);
         let text = to_qasm(&c);
-        assert!(
-            text.contains("u3(0.123456789012"),
-            "12-digit angles: {text}"
-        );
+        let angle = text
+            .split("u3(")
+            .nth(1)
+            .and_then(|r| r.split(',').next())
+            .expect("u3 angle present");
+        assert_eq!(angle.parse::<f64>().unwrap().to_bits(), theta.to_bits());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_angles_at_full_precision() {
+        let mut a = Circuit::new(1);
+        a.rz(0.1, 0);
+        let mut b = Circuit::new(1);
+        b.rz(0.1 + 1e-15, 0);
+        assert_ne!(canonical_bytes(&a), canonical_bytes(&b));
+        let mut a2 = Circuit::new(1);
+        a2.rz(0.1, 0);
+        assert_eq!(canonical_bytes(&a), canonical_bytes(&a2));
     }
 
     #[test]

@@ -2,7 +2,12 @@
 
 use crate::args::Args;
 use qaprox::prelude::*;
-use qaprox_synth::InstantiateConfig;
+use qaprox_serve::{Client, ExecCtl, JobSpec, RunSpec, SynthSpec};
+use qaprox_serve::{SchedulerConfig, Server, ServerConfig};
+use qaprox_store::json::Json;
+use qaprox_store::Store;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Help text.
 pub const USAGE: &str = "\
@@ -11,6 +16,11 @@ qaprox - approximate quantum circuits on noisy devices
 USAGE:
   qaprox <subcommand> [--option value]...
 
+GLOBAL OPTIONS:
+  --jobs N        cap worker threads (default: QAPROX_THREADS env, then all cores)
+  --store DIR     artifact-store root (default: QAPROX_STORE env, then .qaprox-store)
+  --no-store      disable the artifact store (synth/run recompute from scratch)
+
 SUBCOMMANDS:
   synth     synthesize an approximate-circuit population for a workload
               --workload tfim|grover|toffoli   (default tfim)
@@ -18,11 +28,28 @@ SUBCOMMANDS:
               --steps K      TFIM timestep     (default 6)
               --max-cnots D                    (default 6)
               --max-hs T     selection cutoff  (default 0.12)
+              --max-nodes N  search budget     (default 150)
+              --seed S       instantiation seed (default 0)
   run       evaluate the population against the reference under noise
               (synth options plus:)
               --device NAME  ourense|rome|santiago|toronto|manhattan
               --cx-error E   override uniform CNOT error
               --hardware     use the hardware-emulation backend
+              --job-seed S   backend noise seed (default 0)
+  serve     start the TCP job service (blocks until a client sends shutdown)
+              --addr HOST:PORT                 (default 127.0.0.1:7878)
+              --workers N    worker threads    (default 2)
+              --queue N      queue capacity    (default 64)
+              --timeout-secs T  per-job wall-clock budget (default: none)
+  submit    submit a job to a running service and print its result
+              --addr HOST:PORT                 (default 127.0.0.1:7878)
+              --op synth|run                   (default synth)
+              (synth/run options as above)
+              --no-wait      print the job id and return immediately
+              --timeout-secs T  wait budget    (default 600)
+  store     inspect the artifact store
+              qaprox store stats               cache counters and sizes
+              qaprox store gc --max-bytes N    evict least-recently-used artifacts
   devices   list the built-in calibration snapshots
   report    print a device noise report (--device NAME)
   show      dump the reference circuit as QASM (workload options)
@@ -36,9 +63,13 @@ SUBCOMMANDS:
 
 /// Routes a parsed command line.
 pub fn dispatch(args: &Args) -> Result<(), String> {
+    apply_jobs(args)?;
     match args.command.as_str() {
         "synth" => cmd_synth(args),
         "run" => cmd_run(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
+        "store" => cmd_store(args),
         "devices" => cmd_devices(),
         "report" => cmd_report(args),
         "show" => cmd_show(args),
@@ -49,6 +80,68 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         }
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
+}
+
+/// Applies the global `--jobs N` thread cap before any computation starts.
+fn apply_jobs(args: &Args) -> Result<(), String> {
+    if let Some(raw) = args.options.get("jobs") {
+        let n: usize = raw
+            .parse()
+            .map_err(|_| format!("--jobs: cannot parse '{raw}'"))?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        qaprox_linalg::parallel::set_max_threads(n);
+    }
+    Ok(())
+}
+
+/// Resolves the artifact store: `--no-store` disables it; otherwise the root
+/// comes from `--store DIR`, then `QAPROX_STORE`, then `.qaprox-store`.
+fn store_from(args: &Args) -> Result<Option<Store>, String> {
+    if args.flag("no-store") {
+        return Ok(None);
+    }
+    let root = match args.options.get("store") {
+        Some(dir) => dir.clone(),
+        None => std::env::var("QAPROX_STORE").unwrap_or_else(|_| ".qaprox-store".into()),
+    };
+    Store::open(&root)
+        .map(Some)
+        .map_err(|e| format!("cannot open store '{root}': {e}"))
+}
+
+/// Builds a [`SynthSpec`] from the shared workload/synthesis options.
+fn synth_spec_from(args: &Args) -> Result<SynthSpec, String> {
+    let d = SynthSpec::default();
+    Ok(SynthSpec {
+        workload: args.str_or("workload", &d.workload),
+        qubits: args.get_or("qubits", d.qubits)?,
+        steps: args.get_or("steps", d.steps)?,
+        max_cnots: args.get_or("max-cnots", d.max_cnots)?,
+        max_nodes: args.get_or("max-nodes", d.max_nodes)?,
+        max_hs: args.get_or("max-hs", d.max_hs)?,
+        seed: args.get_or("seed", d.seed)?,
+    })
+}
+
+/// Builds a [`RunSpec`] from the synth options plus the backend options.
+fn run_spec_from(args: &Args) -> Result<RunSpec, String> {
+    let d = RunSpec::default();
+    let cx_error = match args.options.get("cx-error") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?,
+        ),
+        None => None,
+    };
+    Ok(RunSpec {
+        synth: synth_spec_from(args)?,
+        device: args.str_or("device", &d.device),
+        cx_error,
+        hardware: args.flag("hardware"),
+        job_seed: args.get_or("job-seed", d.job_seed)?,
+    })
 }
 
 /// Builds the reference circuit for the requested workload.
@@ -74,40 +167,33 @@ fn reference_circuit(args: &Args) -> Result<Circuit, String> {
     }
 }
 
-fn workflow_from(args: &Args, qubits: usize) -> Result<Workflow, String> {
-    let max_cnots: usize = args.get_or("max-cnots", 6)?;
-    let max_hs: f64 = args.get_or("max-hs", 0.12)?;
-    Ok(Workflow {
-        topology: Topology::linear(qubits),
-        engine: Engine::QSearch(QSearchConfig {
-            max_cnots,
-            max_nodes: args.get_or("max-nodes", 150)?,
-            beam_width: 4,
-            instantiate: InstantiateConfig {
-                starts: 2,
-                ..Default::default()
-            },
-            ..Default::default()
-        }),
-        max_hs,
-    })
+fn cache_note(cached: bool, resumed_from: usize, key_hex: &str, store: Option<&Store>) -> String {
+    match (store, cached, resumed_from) {
+        (None, ..) => "# store: disabled".to_string(),
+        (Some(_), true, _) => format!("# store: hit key={key_hex}"),
+        (Some(_), false, 0) => format!("# store: miss key={key_hex}"),
+        (Some(_), false, n) => format!("# store: miss key={key_hex} (resumed from {n} nodes)"),
+    }
 }
 
 fn cmd_synth(args: &Args) -> Result<(), String> {
-    let reference = reference_circuit(args)?;
-    let qubits = reference.num_qubits();
-    let wf = workflow_from(args, qubits)?;
-    let target = Workflow::target_unitary(&reference);
-    let pop = wf.generate(&target);
+    let spec = synth_spec_from(args)?;
+    let reference = spec.reference_circuit()?;
+    let store = store_from(args)?;
+    let pop = qaprox_serve::obtain_population(store.as_ref(), &spec, &ExecCtl::default())?;
+    println!(
+        "{}",
+        cache_note(pop.cached, pop.resumed_from, &pop.key.hex(), store.as_ref())
+    );
     println!(
         "# reference: {} gates, {} CNOTs; explored {} candidates, kept {}",
         reference.len(),
         reference.cx_count(),
-        pop.explored,
-        pop.circuits.len()
+        pop.population.explored,
+        pop.population.circuits.len()
     );
     println!("cnots,hs_distance,gates,depth");
-    for ap in &pop.circuits {
+    for ap in &pop.population.circuits {
         println!(
             "{},{:.5},{},{}",
             ap.cnots,
@@ -118,69 +204,198 @@ fn cmd_synth(args: &Args) -> Result<(), String> {
     }
     println!(
         "# minimal-HS: {} CNOTs at {:.2e}",
-        pop.minimal_hs.cnots, pop.minimal_hs.hs_distance
+        pop.population.minimal_hs.cnots, pop.population.minimal_hs.hs_distance
     );
     Ok(())
-}
-
-fn backend_from(args: &Args, qubits: usize) -> Result<Backend, String> {
-    let device = args.str_or("device", "ourense");
-    let cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
-    if qubits > cal.topology.num_qubits() {
-        return Err(format!(
-            "device {device} has too few qubits for --qubits {qubits}"
-        ));
-    }
-    let mut induced = cal.induced(&(0..qubits).collect::<Vec<_>>());
-    if let Some(raw) = args.options.get("cx-error") {
-        let eps: f64 = raw
-            .parse()
-            .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?;
-        induced = induced.with_uniform_cx_error(eps);
-    }
-    let model = NoiseModel::from_calibration(induced);
-    Ok(if args.flag("hardware") {
-        Backend::Hardware(HardwareBackend::new(model))
-    } else {
-        Backend::Noisy(model)
-    })
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let reference = reference_circuit(args)?;
-    let qubits = reference.num_qubits();
-    let wf = workflow_from(args, qubits)?;
-    let backend = backend_from(args, qubits)?;
-
-    let target = Workflow::target_unitary(&reference);
-    let pop = wf.generate(&target);
-    if pop.circuits.is_empty() {
-        return Err("selection kept no circuits; raise --max-hs or --max-cnots".into());
-    }
-
-    let ideal = qaprox_sim::statevector::probabilities(&reference);
-    let ref_probs = backend.probabilities(&reference, 0);
-    let ref_tvd = qaprox_metrics::total_variation(&ref_probs, &ideal);
+    let spec = run_spec_from(args)?;
+    let reference = spec.synth.reference_circuit()?;
+    spec.backend()?; // fail fast on a bad device before any synthesis
+    let store = store_from(args)?;
+    let (key, result, cached, pop) =
+        qaprox_serve::obtain_run(store.as_ref(), &spec, &ExecCtl::default())?;
     println!(
-        "# reference: {} CNOTs, TVD to ideal under noise = {ref_tvd:.4}",
-        reference.cx_count()
+        "{}",
+        cache_note(
+            cached,
+            pop.as_ref().map_or(0, |p| p.resumed_from),
+            &key.hex(),
+            store.as_ref()
+        )
     );
-
-    let scored = execute_and_score(&pop.circuits, &backend, |_, probs| {
-        qaprox_metrics::total_variation(probs, &ideal)
-    });
+    println!(
+        "# reference: {} CNOTs, TVD to ideal under noise = {:.4}",
+        reference.cx_count(),
+        result.ref_score
+    );
     println!("cnots,hs_distance,tvd_to_ideal,beats_reference");
     let mut wins = 0usize;
-    for s in &scored {
-        let beats = s.score < ref_tvd;
+    for row in &result.rows {
+        let beats = row.score < result.ref_score;
         wins += beats as usize;
-        println!("{},{:.5},{:.4},{}", s.cnots, s.hs_distance, s.score, beats);
+        println!(
+            "{},{:.5},{:.4},{}",
+            row.cnots, row.hs_distance, row.score, beats
+        );
     }
     println!(
         "# {wins}/{} approximate circuits beat the exact reference",
-        scored.len()
+        result.rows.len()
     );
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let store = store_from(args)?.map(Arc::new);
+    let d = SchedulerConfig::default();
+    let workers: usize = args.get_or("workers", d.workers)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let scheduler = SchedulerConfig {
+        workers,
+        queue_capacity: args.get_or("queue", d.queue_capacity)?,
+        job_timeout: match args.options.get("timeout-secs") {
+            Some(raw) => {
+                Some(Duration::from_secs(raw.parse().map_err(|_| {
+                    format!("--timeout-secs: cannot parse '{raw}'")
+                })?))
+            }
+            None => None,
+        },
+        checkpoint_every: d.checkpoint_every,
+    };
+    let cfg = ServerConfig {
+        addr: args.str_or("addr", "127.0.0.1:7878"),
+        scheduler,
+    };
+    let server = Server::start(cfg, store).map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "# qaprox-serve listening on {} ({workers} workers)",
+        server.local_addr()
+    );
+    server.wait_for_shutdown();
+    Ok(())
+}
+
+/// Renders a service response payload in the same CSV-ish shape the local
+/// `synth`/`run` subcommands print.
+fn print_payload(payload: &Json) -> Result<(), String> {
+    match payload.get_str("kind") {
+        Some("synth") => {
+            println!(
+                "# key={} cached={} resumed_from={} explored={}",
+                payload.get_str("key").unwrap_or("?"),
+                payload.get_bool("cached").unwrap_or(false),
+                payload.get_u64("resumed_from").unwrap_or(0),
+                payload.get_u64("explored").unwrap_or(0),
+            );
+            println!("cnots,hs_distance,gates,depth");
+            if let Some(Json::Arr(rows)) = payload.get("circuits") {
+                for row in rows {
+                    println!(
+                        "{},{:.5},{},{}",
+                        row.get_u64("cnots").unwrap_or(0),
+                        row.get_f64("hs_distance").unwrap_or(f64::NAN),
+                        row.get_u64("gates").unwrap_or(0),
+                        row.get_u64("depth").unwrap_or(0),
+                    );
+                }
+            }
+            println!(
+                "# minimal-HS: {} CNOTs at {:.2e}",
+                payload.get_u64("minimal_cnots").unwrap_or(0),
+                payload.get_f64("minimal_hs").unwrap_or(f64::NAN),
+            );
+            Ok(())
+        }
+        Some("run") => {
+            let ref_score = payload.get_f64("ref_score").unwrap_or(f64::NAN);
+            println!(
+                "# key={} cached={} population_cached={}",
+                payload.get_str("key").unwrap_or("?"),
+                payload.get_bool("cached").unwrap_or(false),
+                payload.get_bool("population_cached").unwrap_or(false),
+            );
+            println!("# reference TVD to ideal under noise = {ref_score:.4}");
+            println!("cnots,hs_distance,tvd_to_ideal,beats_reference");
+            let mut total = 0usize;
+            if let Some(Json::Arr(rows)) = payload.get("rows") {
+                total = rows.len();
+                for row in rows {
+                    if let Json::Arr(cells) = row {
+                        if let [Json::Num(cnots), Json::Num(hs), Json::Num(score)] = &cells[..] {
+                            println!(
+                                "{},{hs:.5},{score:.4},{}",
+                                *cnots as usize,
+                                *score < ref_score
+                            );
+                        }
+                    }
+                }
+            }
+            println!(
+                "# {}/{total} approximate circuits beat the exact reference",
+                payload.get_u64("wins").unwrap_or(0)
+            );
+            Ok(())
+        }
+        other => Err(format!("unexpected payload kind {other:?}: {payload}")),
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let spec = match args.str_or("op", "synth").as_str() {
+        "synth" => JobSpec::Synth(synth_spec_from(args)?),
+        "run" => JobSpec::Run(run_spec_from(args)?),
+        other => return Err(format!("--op: expected synth|run, got '{other}'")),
+    };
+    let addr = args.str_or("addr", "127.0.0.1:7878");
+    let mut client = Client::connect(&addr)?;
+    let (id, key, deduped) = client.submit(&spec)?;
+    println!("# job id={id} key={key} deduped={deduped}");
+    if args.flag("no-wait") {
+        return Ok(());
+    }
+    let timeout = Duration::from_secs(args.get_or("timeout-secs", 600u64)?);
+    let payload = client.wait_for_result(id, timeout)?;
+    print_payload(&payload)
+}
+
+fn cmd_store(args: &Args) -> Result<(), String> {
+    let store = store_from(args)?
+        .ok_or_else(|| "store commands need a store (drop --no-store)".to_string())?;
+    match args.positional.first().map(String::as_str) {
+        Some("stats") => {
+            let s = store.stats();
+            println!("hits,misses,puts,populations,partials,results,total_bytes");
+            println!(
+                "{},{},{},{},{},{},{}",
+                s.hits, s.misses, s.puts, s.entries.0, s.entries.1, s.entries.2, s.total_bytes
+            );
+            Ok(())
+        }
+        Some("gc") => {
+            let raw = args
+                .options
+                .get("max-bytes")
+                .ok_or("store gc needs --max-bytes N")?;
+            let max_bytes: u64 = raw
+                .parse()
+                .map_err(|_| format!("--max-bytes: cannot parse '{raw}'"))?;
+            let report = store.gc(max_bytes).map_err(|e| e.to_string())?;
+            println!("evicted,reclaimed_bytes,remaining_bytes");
+            println!(
+                "{},{},{}",
+                report.evicted, report.reclaimed_bytes, report.remaining_bytes
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("store: expected stats|gc, got '{other}'")),
+        None => Err("store: give a subcommand (stats|gc)".into()),
+    }
 }
 
 fn cmd_devices() -> Result<(), String> {
@@ -312,48 +527,118 @@ mod tests {
         assert!(run(&["show", "--workload", "unknown"]).is_err());
     }
 
+    fn temp_store(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("qaprox-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    const TINY: &[&str] = &[
+        "--workload",
+        "tfim",
+        "--qubits",
+        "2",
+        "--steps",
+        "2",
+        "--max-cnots",
+        "3",
+        "--max-nodes",
+        "25",
+        "--max-hs",
+        "0.4",
+    ];
+
+    fn with_tiny(front: &[&str], back: &[&str]) -> Vec<&'static str> {
+        // leak is fine in tests; keeps the call sites readable
+        let mut v: Vec<&str> = front.to_vec();
+        v.extend_from_slice(TINY);
+        v.extend_from_slice(back);
+        v.iter()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .collect()
+    }
+
     #[test]
-    fn synth_small_population() {
-        assert!(run(&[
-            "synth",
-            "--workload",
-            "tfim",
-            "--qubits",
-            "2",
-            "--steps",
-            "2",
-            "--max-cnots",
-            "3",
-            "--max-nodes",
-            "25",
-            "--max-hs",
-            "0.4",
-        ])
-        .is_ok());
+    fn synth_small_population_without_store() {
+        assert!(run(&with_tiny(&["synth"], &["--no-store"])).is_ok());
+    }
+
+    #[test]
+    fn synth_populates_and_then_hits_the_store() {
+        let dir = temp_store("synth");
+        assert!(run(&with_tiny(&["synth"], &["--store", &dir])).is_ok());
+        assert!(run(&with_tiny(&["synth"], &["--store", &dir])).is_ok());
+        let stats = qaprox_store::Store::open(&dir).unwrap().stats();
+        assert!(stats.puts >= 1, "{stats:?}");
+        assert!(stats.hits >= 1, "second invocation must hit: {stats:?}");
     }
 
     #[test]
     fn run_small_end_to_end() {
-        assert!(run(&[
-            "run",
-            "--workload",
-            "tfim",
-            "--qubits",
-            "2",
-            "--steps",
-            "3",
-            "--max-cnots",
-            "3",
-            "--max-nodes",
-            "25",
-            "--max-hs",
-            "0.4",
-            "--device",
-            "ourense",
-            "--cx-error",
-            "0.1",
-        ])
-        .is_ok());
+        let dir = temp_store("run");
+        let tail = ["--device", "ourense", "--cx-error", "0.1", "--store"];
+        let mut back: Vec<&str> = tail.to_vec();
+        back.push(&dir);
+        assert!(run(&with_tiny(&["run"], &back)).is_ok());
+        // the result itself is now cached
+        assert!(run(&with_tiny(&["run"], &back)).is_ok());
+        let stats = qaprox_store::Store::open(&dir).unwrap().stats();
+        assert!(stats.entries.2 >= 1, "a result artifact exists: {stats:?}");
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn store_stats_and_gc_commands() {
+        let dir = temp_store("storecmd");
+        assert!(run(&with_tiny(&["synth"], &["--store", &dir])).is_ok());
+        assert!(run(&["store", "stats", "--store", &dir]).is_ok());
+        assert!(run(&["store", "gc", "--max-bytes", "0", "--store", &dir]).is_ok());
+        let stats = qaprox_store::Store::open(&dir).unwrap().stats();
+        assert_eq!(stats.total_bytes, 0, "gc to zero empties the store");
+        // usage errors
+        assert!(run(&["store", "gc", "--store", &dir]).is_err());
+        assert!(run(&["store", "frobnicate", "--store", &dir]).is_err());
+        assert!(run(&["store", "stats", "--no-store"]).is_err());
+    }
+
+    #[test]
+    fn submit_round_trips_through_a_live_server() {
+        let store = std::sync::Arc::new(qaprox_store::Store::open(temp_store("submit")).unwrap());
+        let server =
+            qaprox_serve::Server::start(qaprox_serve::ServerConfig::default(), Some(store))
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(run(&with_tiny(&["submit"], &["--addr", &addr])).is_ok());
+        // resubmit: served from the store this time
+        assert!(run(&with_tiny(&["submit"], &["--addr", &addr])).is_ok());
+        let mut back: Vec<&str> = vec!["--addr", &addr, "--op", "run", "--cx-error", "0.1"];
+        back.push("--no-wait");
+        assert!(run(&with_tiny(&["submit"], &back)).is_ok());
+        assert!(run(&["submit", "--addr", &addr, "--op", "frobnicate"]).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_reports_connection_failures() {
+        // a port nothing listens on
+        let e = run(&["submit", "--addr", "127.0.0.1:1", "--no-wait"]).unwrap_err();
+        assert!(e.contains("connect"), "{e}");
+    }
+
+    #[test]
+    fn jobs_flag_validates_and_applies() {
+        assert!(run(&["devices", "--jobs", "0"]).is_err());
+        assert!(run(&["devices", "--jobs", "abc"]).is_err());
+        assert!(run(&["devices", "--jobs", "2"]).is_ok());
+        assert_eq!(qaprox_linalg::parallel::max_threads(), 2);
+        qaprox_linalg::parallel::set_max_threads(0); // restore the default
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        assert!(run(&["serve", "--workers", "0", "--no-store"]).is_err());
+        assert!(run(&["serve", "--timeout-secs", "abc", "--no-store"]).is_err());
+        assert!(run(&["serve", "--addr", "256.0.0.1:99999", "--no-store"]).is_err());
     }
 
     fn temp_qasm(name: &str, body: &str) -> String {

@@ -5,12 +5,22 @@
 //!                 [--max-cnots D] [--max-hs T]        synthesize + list population
 //! qaprox run      --workload ... --device NAME [--hardware] [--cx-error E]
 //!                 [--steps K]                          evaluate population vs reference
+//! qaprox serve    [--addr H:P] [--workers N] [--queue N]
+//!                 [--timeout-secs T]                   start the TCP job service
+//! qaprox submit   --op synth|run [--addr H:P] [--no-wait]
+//!                 [synth/run options]                  submit a job, print the result
+//! qaprox store    stats | gc --max-bytes N             inspect/trim the artifact store
 //! qaprox devices                                       list calibration snapshots
 //! qaprox report   --device NAME                        print the noise report
 //! qaprox show     --workload ... [--steps K]           dump the reference as QASM
 //! qaprox lint     FILE... [--format text|json] [--device NAME]
 //!                 [--allow/--warn/--deny CODE,...]     static analysis, exit 1 on errors
 //! ```
+//!
+//! Global options: `--jobs N` caps worker threads (default `QAPROX_THREADS`,
+//! then all cores); `--store DIR` / `--no-store` select the content-addressed
+//! artifact store (default `QAPROX_STORE`, then `.qaprox-store`) that makes
+//! `synth`/`run` cache-first. See `docs/SERVE.md` for the service protocol.
 //!
 //! Every subcommand prints CSV-ish rows; see `docs/TUTORIAL.md` for the API
 //! behind each step.

@@ -54,11 +54,15 @@ pub mod tfim_study;
 pub mod toffoli_study;
 pub mod workflow;
 
-pub use workflow::{execute_and_score, Engine, Population, Scored, Workflow};
+pub use workflow::{
+    execute_and_score, Engine, GenerateControl, Generation, Population, Scored, Workflow,
+};
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::workflow::{execute_and_score, Engine, Population, Scored, Workflow};
+    pub use crate::workflow::{
+        execute_and_score, Engine, GenerateControl, Generation, Population, Scored, Workflow,
+    };
     pub use qaprox_algos::grover::grover_circuit;
     pub use qaprox_algos::mct::{mct_reference, mct_unitary};
     pub use qaprox_algos::tfim::{tfim_circuit, tfim_series, FieldSchedule, TfimParams};

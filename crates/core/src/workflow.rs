@@ -13,8 +13,8 @@ use qaprox_linalg::Matrix;
 use qaprox_metrics::hs_distance;
 use qaprox_sim::Backend;
 use qaprox_synth::{
-    dedupe, qfast, qsearch, select_by_threshold, ApproxCircuit, QFastConfig, QSearchConfig,
-    SynthesisOutput,
+    dedupe, qfast, qfast_with_hooks, qsearch, qsearch_with_hooks, select_by_threshold,
+    ApproxCircuit, ProgressFn, QFastConfig, QSearchConfig, SearchHooks, SynthesisOutput,
 };
 
 /// Which synthesis engine generates the candidate stream.
@@ -108,6 +108,159 @@ impl Workflow {
     pub fn generate_series(&self, targets: &[Matrix]) -> Vec<Population> {
         par_map(targets, |t| self.generate(t))
     }
+
+    /// [`Workflow::generate`] under external control: resume credit,
+    /// cooperative cancellation, and checkpoint streaming.
+    ///
+    /// Engines run **sequentially** (QSearch then QFast for
+    /// [`Engine::Both`]) so that resume credit maps onto a deterministic
+    /// order: the first `max_nodes` of credit pay down the QSearch budget,
+    /// the remainder pays down QFast blocks. A credited run explores with a
+    /// salted seed so its nodes complement (rather than replay) the prior
+    /// run's; the caller unions `prior` with the new stream, which
+    /// [`GenerateControl::prior`] + selection do automatically here.
+    pub fn generate_with(&self, target: &Matrix, ctl: GenerateControl<'_>) -> Generation {
+        let GenerateControl {
+            prior,
+            nodes_credit: credit,
+            cancel,
+            mut checkpoint,
+        } = ctl;
+        let salt = (credit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let cancelled = || cancel.as_ref().is_some_and(|f| f());
+
+        let (qs_cfg, qf_cfg): (Option<&QSearchConfig>, Option<&QFastConfig>) = match &self.engine {
+            Engine::QSearch(c) => (Some(c), None),
+            Engine::QFast(c) => (None, Some(c)),
+            Engine::Both(a, b) => (Some(a), Some(b)),
+        };
+
+        let mut outputs: Vec<SynthesisOutput> = Vec::new();
+        let mut live_nodes = 0usize;
+
+        if let Some(cfg) = qs_cfg {
+            let mut adj = cfg.clone();
+            adj.max_nodes = cfg.max_nodes.saturating_sub(credit);
+            adj.instantiate.seed = adj.instantiate.seed.wrapping_add(salt);
+            // with the budget fully credited and prior results in hand there
+            // is nothing left for this engine to add
+            if (adj.max_nodes > 0 || prior.is_empty()) && !cancelled() {
+                let mut hooks = SearchHooks {
+                    on_progress: checkpoint.as_mut().map(|cb| {
+                        Box::new(move |n: usize, inter: &[ApproxCircuit]| cb(credit + n, inter))
+                            as Box<dyn FnMut(usize, &[ApproxCircuit])>
+                    }),
+                    cancel: cancel
+                        .as_ref()
+                        .map(|f| Box::new(f) as Box<dyn Fn() -> bool + '_>),
+                };
+                let out = qsearch_with_hooks(target, &self.topology, &adj, &mut hooks);
+                live_nodes += out.nodes_evaluated;
+                outputs.push(out);
+            }
+        }
+
+        if let Some(cfg) = qf_cfg {
+            // QFast evaluates one candidate per edge per block depth, so
+            // leftover credit converts to completed depths exactly
+            let edges = self.topology.edges().len().max(1);
+            let qf_credit = credit.saturating_sub(qs_cfg.map_or(0, |c| c.max_nodes));
+            let mut adj = cfg.clone();
+            adj.max_blocks = cfg.max_blocks.saturating_sub(qf_credit / edges);
+            adj.seed = adj.seed.wrapping_add(salt);
+            let run_anyway = prior.is_empty() && outputs.is_empty();
+            if (adj.max_blocks > 0 || run_anyway) && !cancelled() {
+                // checkpoints must carry everything from THIS invocation, so
+                // prepend the finished QSearch stream (QFast rounds are few)
+                let prefix: Vec<ApproxCircuit> = outputs
+                    .iter()
+                    .flat_map(|o| o.intermediates.iter().cloned())
+                    .collect();
+                let base = credit + live_nodes;
+                let mut hooks = SearchHooks {
+                    on_progress: checkpoint.as_mut().map(|cb| {
+                        Box::new(move |n: usize, inter: &[ApproxCircuit]| {
+                            let mut all = prefix.clone();
+                            all.extend_from_slice(inter);
+                            cb(base + n, &all);
+                        }) as Box<dyn FnMut(usize, &[ApproxCircuit])>
+                    }),
+                    cancel: cancel
+                        .as_ref()
+                        .map(|f| Box::new(f) as Box<dyn Fn() -> bool + '_>),
+                };
+                let out = qfast_with_hooks(target, &self.topology, &adj, &mut hooks);
+                live_nodes += out.nodes_evaluated;
+                outputs.push(out);
+            }
+        }
+
+        let completed = !cancelled();
+        let mut all: Vec<ApproxCircuit> = prior;
+        for o in &outputs {
+            all.extend(o.intermediates.iter().cloned());
+        }
+        if all.is_empty() {
+            // cancelled before anything ran and no prior: fall back to the
+            // empty circuit so the population stays well-formed
+            let empty = Circuit::new(self.topology.num_qubits());
+            let d = hs_distance(&empty.unitary(), target);
+            all.push(ApproxCircuit::new(empty, d));
+        }
+        let minimal_hs = all
+            .iter()
+            .min_by(|a, b| a.hs_distance.total_cmp(&b.hs_distance))
+            .cloned()
+            .expect("union is non-empty by construction");
+        let circuits = dedupe(&select_by_threshold(&all, self.max_hs));
+        Generation {
+            population: Population {
+                circuits,
+                minimal_hs,
+                explored: credit + live_nodes,
+            },
+            completed,
+        }
+    }
+}
+
+/// Control block for [`Workflow::generate_with`].
+#[derive(Default)]
+pub struct GenerateControl<'a> {
+    /// Intermediates recovered from a prior partial run; unioned into the
+    /// final population.
+    pub prior: Vec<ApproxCircuit>,
+    /// Nodes already evaluated by prior runs. Credited against the engines'
+    /// budgets, and salts the instantiation seeds so a resumed run explores
+    /// complementary candidates instead of replaying the credited prefix.
+    pub nodes_credit: usize,
+    /// Polled between synthesis rounds; `true` stops generation early.
+    pub cancel: Option<Box<dyn Fn() -> bool + 'a>>,
+    /// Called after each synthesis round with `(total nodes including
+    /// credit, every intermediate generated by this invocation)`. The caller
+    /// merges in its own `prior` when persisting a checkpoint.
+    pub checkpoint: Option<ProgressFn<'a>>,
+}
+
+impl std::fmt::Debug for GenerateControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerateControl")
+            .field("prior", &self.prior.len())
+            .field("nodes_credit", &self.nodes_credit)
+            .field("cancel", &self.cancel.is_some())
+            .field("checkpoint", &self.checkpoint.is_some())
+            .finish()
+    }
+}
+
+/// What [`Workflow::generate_with`] produced.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// The (possibly partial) population: prior ∪ new, selected and deduped.
+    pub population: Population,
+    /// False when the run was stopped by [`GenerateControl::cancel`]; the
+    /// population is then a checkpoint, not a finished artifact.
+    pub completed: bool,
 }
 
 /// One executed-and-scored circuit (a dot on the paper's figures).
@@ -224,6 +377,98 @@ mod tests {
         assert_eq!(series.len(), 2);
         let solo = wf.generate(&t1);
         assert_eq!(series[0].circuits.len(), solo.circuits.len());
+    }
+
+    #[test]
+    fn generate_with_defaults_matches_generate() {
+        let wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        let plain = wf.generate(&target);
+        let gen = wf.generate_with(&target, GenerateControl::default());
+        assert!(gen.completed);
+        assert_eq!(gen.population.explored, plain.explored);
+        assert_eq!(gen.population.circuits.len(), plain.circuits.len());
+        assert_eq!(
+            gen.population.minimal_hs.hs_distance,
+            plain.minimal_hs.hs_distance
+        );
+    }
+
+    #[test]
+    fn cancelled_generation_resumes_from_checkpoint() {
+        let wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        let budget = match &wf.engine {
+            Engine::QSearch(c) => c.max_nodes,
+            _ => unreachable!(),
+        };
+
+        // first run: cancel after the first checkpoint, capturing it
+        let checkpointed: std::cell::RefCell<(usize, Vec<ApproxCircuit>)> =
+            std::cell::RefCell::new((0, Vec::new()));
+        let first = wf.generate_with(
+            &target,
+            GenerateControl {
+                cancel: Some(Box::new(|| checkpointed.borrow().0 > 0)),
+                checkpoint: Some(Box::new(|nodes, inter| {
+                    *checkpointed.borrow_mut() = (nodes, inter.to_vec());
+                })),
+                ..Default::default()
+            },
+        );
+        assert!(!first.completed, "cancel must mark the run incomplete");
+        let (nodes_done, circuits) = checkpointed.into_inner();
+        assert!(nodes_done > 0 && nodes_done < budget);
+        assert!(!circuits.is_empty());
+
+        // second run: resume with credit — must finish within the remaining
+        // budget and fold the prior circuits into the population
+        let resumed = wf.generate_with(
+            &target,
+            GenerateControl {
+                prior: circuits.clone(),
+                nodes_credit: nodes_done,
+                ..Default::default()
+            },
+        );
+        assert!(resumed.completed);
+        assert!(
+            resumed.population.explored <= budget + 4,
+            "credit must bound total work: {} vs {budget}",
+            resumed.population.explored
+        );
+        assert!(
+            resumed.population.explored > nodes_done,
+            "resume ran fresh nodes"
+        );
+        // prior selected circuits survive into the resumed population
+        let selected_prior = dedupe(&select_by_threshold(&circuits, wf.max_hs));
+        assert!(resumed.population.circuits.len() >= selected_prior.len());
+    }
+
+    #[test]
+    fn fully_credited_run_does_no_new_work() {
+        let wf = quick_workflow(2);
+        let target = Workflow::target_unitary(&ghz_reference());
+        let full = wf.generate(&target);
+        let budget = match &wf.engine {
+            Engine::QSearch(c) => c.max_nodes,
+            _ => unreachable!(),
+        };
+        let gen = wf.generate_with(
+            &target,
+            GenerateControl {
+                prior: full.circuits.clone(),
+                nodes_credit: budget,
+                ..Default::default()
+            },
+        );
+        assert!(gen.completed);
+        assert_eq!(
+            gen.population.explored, budget,
+            "a fully credited budget leaves nothing to explore"
+        );
+        assert_eq!(gen.population.circuits.len(), full.circuits.len());
     }
 
     #[test]

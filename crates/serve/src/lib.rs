@@ -1,0 +1,34 @@
+//! # qaprox-serve
+//!
+//! A long-lived job service over the content-addressed store.
+//!
+//! Synthesis dominates every experiment's wall clock, and identical targets
+//! recur constantly (the same workload at the same settings across figure
+//! sweeps). This crate turns the one-shot CLI pipeline into a service:
+//!
+//! * [`spec`] — [`JobSpec`]: wire-level job descriptions that mirror the
+//!   `qaprox synth` / `qaprox run` options and define the cache keys;
+//! * [`exec`] — cache-first execution: store hit → answer immediately;
+//!   partial checkpoint → resume with the remaining node budget; miss →
+//!   synthesize, streaming checkpoints so a killed job resumes, not
+//!   restarts;
+//! * [`scheduler`] — a worker pool with a bounded queue (backpressure),
+//!   in-flight dedup, cooperative cancellation, per-job timeouts, and
+//!   panic isolation;
+//! * [`server`] / [`client`] — newline-delimited JSON over
+//!   `std::net::TcpListener`, ops `synth`, `run`, `status`, `result`,
+//!   `cancel`, `stats`, `shutdown`.
+//!
+//! The protocol and store layout are documented in `docs/SERVE.md`.
+
+pub mod client;
+pub mod exec;
+pub mod scheduler;
+pub mod server;
+pub mod spec;
+
+pub use client::Client;
+pub use exec::{obtain_population, obtain_run, run_spec, ExecCtl, ExecResult, PopulationOutcome};
+pub use scheduler::{JobState, JobView, Scheduler, SchedulerConfig, Submitted};
+pub use server::{Server, ServerConfig};
+pub use spec::{JobSpec, RunSpec, SynthSpec};

@@ -1,0 +1,684 @@
+//! The worker-pool scheduler.
+//!
+//! A fixed pool of worker threads drains a bounded FIFO queue of jobs.
+//! Guarantees:
+//!
+//! * **backpressure** — a full queue rejects new submissions immediately
+//!   (the server surfaces this as `backpressure: true`) instead of growing
+//!   without bound;
+//! * **dedup** — a submission identical to a queued/running job returns the
+//!   existing job id instead of queueing duplicate work (identical *after*
+//!   one completes hits the store instead);
+//! * **cancellation** — `cancel` flips the job's atomic flag; synthesis
+//!   notices at the next round boundary and suspends with a checkpoint;
+//! * **timeout** — each job gets a deadline; overruns suspend the same way
+//!   and the job reports `timed-out`;
+//! * **panic isolation** — a panicking job poisons nothing: the worker
+//!   catches the unwind, marks the job failed, and moves on.
+
+use crate::exec::{run_spec, ExecCtl, ExecResult};
+use crate::spec::JobSpec;
+use qaprox_store::json::Json;
+use qaprox_store::Store;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue length; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Per-job wall-clock budget (None = unbounded).
+    pub job_timeout: Option<Duration>,
+    /// Checkpoint cadence in synthesis nodes (0 = only on suspension).
+    pub checkpoint_every: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            job_timeout: None,
+            checkpoint_every: 20,
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the payload is available via `result`.
+    Done,
+    /// Failed with an error message.
+    Failed(String),
+    /// Cancelled by request (suspended with a checkpoint if it was running).
+    Cancelled,
+    /// Exceeded its deadline (suspended with a checkpoint).
+    TimedOut,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed-out",
+        }
+    }
+
+    /// True once the job can never run again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    result: Option<Json>,
+    fingerprint: String,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    timed_out: u64,
+    rejected: u64,
+    deduped: u64,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    inflight: HashMap<String, u64>,
+    next_id: u64,
+    stopping: bool,
+    counters: Counters,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    job_done: Condvar,
+    store: Option<Arc<Store>>,
+    cfg: SchedulerConfig,
+}
+
+/// What `submit` decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// Queued as a new job.
+    Accepted(u64),
+    /// Identical to an in-flight job; its id is returned instead.
+    Deduped(u64),
+    /// The queue is full; retry later.
+    Rejected,
+}
+
+/// A point-in-time view of one job.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// Current state.
+    pub state: JobState,
+    /// Response payload, present once `Done`.
+    pub result: Option<Json>,
+}
+
+/// The worker-pool scheduler. Dropping it shuts the pool down.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Starts the pool.
+    pub fn start(cfg: SchedulerConfig, store: Option<Arc<Store>>) -> Scheduler {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                inflight: HashMap::new(),
+                next_id: 1,
+                stopping: false,
+                counters: Counters::default(),
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            store,
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qaprox-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler { inner, workers }
+    }
+
+    /// Submits a job; validation errors are returned before queueing.
+    pub fn submit(&self, spec: JobSpec) -> Result<Submitted, String> {
+        spec.validate()?;
+        let fingerprint = spec.dedup_fingerprint();
+        let mut st = self.inner.state.lock().expect("scheduler state poisoned");
+        if st.stopping {
+            return Err("scheduler is shutting down".into());
+        }
+        if let Some(&id) = st.inflight.get(&fingerprint) {
+            st.counters.deduped += 1;
+            return Ok(Submitted::Deduped(id));
+        }
+        if st.queue.len() >= self.inner.cfg.queue_capacity {
+            st.counters.rejected += 1;
+            return Ok(Submitted::Rejected);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.counters.submitted += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                spec,
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                result: None,
+                fingerprint: fingerprint.clone(),
+            },
+        );
+        st.inflight.insert(fingerprint, id);
+        st.queue.push_back(id);
+        #[cfg(feature = "strict-invariants")]
+        debug_assert!(
+            st.queue.len() <= self.inner.cfg.queue_capacity,
+            "strict-invariants: queue over capacity"
+        );
+        drop(st);
+        self.inner.work_ready.notify_one();
+        Ok(Submitted::Accepted(id))
+    }
+
+    /// A snapshot of one job, if it exists.
+    pub fn job(&self, id: u64) -> Option<JobView> {
+        let st = self.inner.state.lock().expect("scheduler state poisoned");
+        st.jobs.get(&id).map(|j| JobView {
+            id,
+            state: j.state.clone(),
+            result: j.result.clone(),
+        })
+    }
+
+    /// Requests cancellation. Queued jobs cancel immediately; running jobs
+    /// suspend at their next synthesis round. Returns false for unknown or
+    /// already-terminal jobs.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut guard = self.inner.state.lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.cancel.store(true, Ordering::Relaxed);
+                st.inflight.remove(&job.fingerprint);
+                st.queue.retain(|&q| q != id);
+                st.counters.cancelled += 1;
+                drop(guard);
+                self.inner.job_done.notify_all();
+                true
+            }
+            JobState::Running => {
+                job.cancel.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state (or the timeout).
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobView> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("scheduler state poisoned");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(j) if j.state.is_terminal() => {
+                    return Some(JobView {
+                        id,
+                        state: j.state.clone(),
+                        result: j.result.clone(),
+                    })
+                }
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return self.snapshot_locked(&st, id);
+            }
+            let (guard, _) = self
+                .inner
+                .job_done
+                .wait_timeout(st, deadline - now)
+                .expect("scheduler state poisoned");
+            st = guard;
+        }
+    }
+
+    fn snapshot_locked(&self, st: &State, id: u64) -> Option<JobView> {
+        st.jobs.get(&id).map(|j| JobView {
+            id,
+            state: j.state.clone(),
+            result: j.result.clone(),
+        })
+    }
+
+    /// Scheduler + store statistics as a JSON payload.
+    pub fn stats(&self) -> Json {
+        let st = self.inner.state.lock().expect("scheduler state poisoned");
+        let c = &st.counters;
+        let mut fields = vec![
+            ("workers".to_string(), Json::Num(self.workers.len() as f64)),
+            ("queued".to_string(), Json::Num(st.queue.len() as f64)),
+            (
+                "running".to_string(),
+                Json::Num(
+                    st.jobs
+                        .values()
+                        .filter(|j| j.state == JobState::Running)
+                        .count() as f64,
+                ),
+            ),
+            ("submitted".to_string(), Json::Num(c.submitted as f64)),
+            ("completed".to_string(), Json::Num(c.completed as f64)),
+            ("failed".to_string(), Json::Num(c.failed as f64)),
+            ("cancelled".to_string(), Json::Num(c.cancelled as f64)),
+            ("timed_out".to_string(), Json::Num(c.timed_out as f64)),
+            ("rejected".to_string(), Json::Num(c.rejected as f64)),
+            ("deduped".to_string(), Json::Num(c.deduped as f64)),
+        ];
+        if let Some(store) = &self.inner.store {
+            let s = store.stats();
+            fields.push((
+                "store".to_string(),
+                Json::obj(vec![
+                    ("hits", Json::Num(s.hits as f64)),
+                    ("misses", Json::Num(s.misses as f64)),
+                    ("puts", Json::Num(s.puts as f64)),
+                    ("populations", Json::Num(s.entries.0 as f64)),
+                    ("partials", Json::Num(s.entries.1 as f64)),
+                    ("results", Json::Num(s.entries.2 as f64)),
+                    ("total_bytes", Json::Num(s.total_bytes as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Stops accepting work, cancels running jobs, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut guard = self.inner.state.lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        st.stopping = true;
+        // drain the queue: queued jobs become cancelled
+        while let Some(id) = st.queue.pop_front() {
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+                st.inflight.remove(&job.fingerprint);
+                st.counters.cancelled += 1;
+            }
+        }
+        // running jobs get their cancel flags flipped
+        for job in st.jobs.values() {
+            if job.state == JobState::Running {
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+        drop(guard);
+        self.inner.work_ready.notify_all();
+        self.inner.job_done.notify_all();
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, spec, cancel) = {
+            let mut st = inner.state.lock().expect("scheduler state poisoned");
+            loop {
+                if st.stopping {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    break (id, job.spec.clone(), Arc::clone(&job.cancel));
+                }
+                st = inner.work_ready.wait(st).expect("scheduler state poisoned");
+            }
+        };
+
+        let ctl = ExecCtl {
+            cancel: Some(Arc::clone(&cancel)),
+            deadline: inner.cfg.job_timeout.map(|t| Instant::now() + t),
+            node_budget: None,
+            checkpoint_every: inner.cfg.checkpoint_every,
+        };
+        let store = inner.store.as_deref();
+        let spec_for_run = spec.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_spec(store, &spec_for_run, &ctl)
+        }));
+
+        let mut guard = inner.state.lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        if st.jobs.contains_key(&id) {
+            let (state, result) = match outcome {
+                Ok(Ok(ExecResult::Done(payload))) => (JobState::Done, Some(payload)),
+                Ok(Ok(ExecResult::Suspended)) => {
+                    if cancel.load(Ordering::Relaxed) {
+                        (JobState::Cancelled, None)
+                    } else {
+                        (JobState::TimedOut, None)
+                    }
+                }
+                Ok(Err(e)) => (JobState::Failed(e), None),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    (JobState::Failed(format!("job panicked: {msg}")), None)
+                }
+            };
+            match state {
+                JobState::Done => st.counters.completed += 1,
+                JobState::Failed(_) => st.counters.failed += 1,
+                JobState::Cancelled => st.counters.cancelled += 1,
+                JobState::TimedOut => st.counters.timed_out += 1,
+                _ => {}
+            }
+            let job = st.jobs.get_mut(&id).expect("job still present");
+            job.state = state;
+            job.result = result;
+            st.inflight.remove(&job.fingerprint);
+        }
+        drop(guard);
+        inner.job_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SynthSpec;
+    use std::path::PathBuf;
+
+    fn tmp_store(tag: &str) -> Arc<Store> {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("qaprox-serve-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Store::open(dir).unwrap())
+    }
+
+    fn tiny(seed: u64) -> JobSpec {
+        JobSpec::Synth(SynthSpec {
+            workload: "tfim".into(),
+            qubits: 2,
+            steps: 2,
+            max_cnots: 3,
+            max_nodes: 20,
+            max_hs: 0.4,
+            seed,
+        })
+    }
+
+    const WAIT: Duration = Duration::from_secs(120);
+
+    #[test]
+    fn jobs_complete_and_expose_results() {
+        let sched = Scheduler::start(SchedulerConfig::default(), Some(tmp_store("basic")));
+        let id = match sched.submit(tiny(0)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Done);
+        let payload = view.result.unwrap();
+        assert_eq!(payload.get_str("kind"), Some("synth"));
+        assert_eq!(payload.get_bool("cached"), Some(false));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn identical_inflight_submissions_dedup() {
+        // one worker so the first job occupies it while we resubmit
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Some(tmp_store("dedup")),
+        );
+        let a = sched.submit(tiny(0)).unwrap();
+        let b = sched.submit(tiny(0)).unwrap();
+        let id = match a {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(b, Submitted::Deduped(id));
+        let stats = sched.stats();
+        assert_eq!(stats.get_u64("deduped"), Some(1));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                ..Default::default()
+            },
+            None,
+        );
+        // distinct seeds defeat dedup; capacity 2 → some must be rejected
+        let outcomes: Vec<Submitted> = (0..12).map(|s| sched.submit(tiny(s)).unwrap()).collect();
+        assert!(outcomes.contains(&Submitted::Rejected), "{outcomes:?}");
+        assert!(sched.stats().get_u64("rejected").unwrap() > 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn thirty_two_concurrent_submissions_settle_cleanly() {
+        let sched = Arc::new(Scheduler::start(
+            SchedulerConfig {
+                workers: 4,
+                queue_capacity: 16,
+                ..Default::default()
+            },
+            Some(tmp_store("load")),
+        ));
+        let handles: Vec<_> = (0..32u64)
+            .map(|i| {
+                let sched = Arc::clone(&sched);
+                std::thread::spawn(move || sched.submit(tiny(i % 8)).unwrap())
+            })
+            .collect();
+        let outcomes: Vec<Submitted> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let mut ids: Vec<u64> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Submitted::Accepted(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.is_empty());
+        let accepted = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), accepted, "accepted ids must be unique");
+
+        // every accepted job settles into a terminal state; none is lost
+        for id in &ids {
+            let view = sched
+                .wait(*id, WAIT)
+                .unwrap_or_else(|| panic!("job {id} lost"));
+            assert!(
+                matches!(view.state, JobState::Done),
+                "job {id} ended {:?}",
+                view.state
+            );
+        }
+        // deduped references point at real jobs
+        for o in &outcomes {
+            if let Submitted::Deduped(id) = o {
+                assert!(sched.wait(*id, WAIT).is_some());
+            }
+        }
+        let stats = Arc::try_unwrap(sched)
+            .map(|s| {
+                let st = s.stats();
+                s.shutdown();
+                st
+            })
+            .unwrap_or_else(|_| panic!("scheduler still shared"));
+        let done = stats.get_u64("completed").unwrap();
+        assert_eq!(done as usize, accepted, "all accepted jobs completed");
+    }
+
+    #[test]
+    fn cancel_stops_a_queued_job() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            None,
+        );
+        // occupy the worker, then queue a second job and cancel it
+        let _busy = sched.submit(tiny(100)).unwrap();
+        let id = match sched.submit(tiny(101)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert!(sched.cancel(id));
+        let view = sched.wait(id, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Cancelled);
+        assert!(!sched.cancel(id), "terminal jobs cannot re-cancel");
+        assert!(!sched.cancel(9999), "unknown ids report false");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let sched = Scheduler::start(SchedulerConfig::default(), None);
+        let boom = JobSpec::Synth(SynthSpec {
+            workload: "__panic".into(),
+            qubits: 2,
+            ..Default::default()
+        });
+        // validation runs the reference builder, which panics for __panic —
+        // submit must therefore bypass validation to reach the worker; use
+        // the panic-free path: queue it directly via a crafted spec clone.
+        let id = {
+            let mut st = sched.inner.state.lock().unwrap();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.counters.submitted += 1;
+            st.jobs.insert(
+                id,
+                Job {
+                    spec: boom,
+                    state: JobState::Queued,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    result: None,
+                    fingerprint: "boom".into(),
+                },
+            );
+            st.inflight.insert("boom".into(), id);
+            st.queue.push_back(id);
+            drop(st);
+            sched.inner.work_ready.notify_one();
+            id
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        match view.state {
+            JobState::Failed(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // the pool survives: a normal job still completes afterwards
+        let ok = match sched.submit(tiny(7)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sched.wait(ok, WAIT).unwrap().state, JobState::Done);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn tight_timeout_suspends_the_job() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                job_timeout: Some(Duration::from_millis(0)),
+                checkpoint_every: 1,
+                ..Default::default()
+            },
+            Some(tmp_store("timeout")),
+        );
+        let id = match sched.submit(tiny(0)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        assert_eq!(view.state, JobState::TimedOut);
+        sched.shutdown();
+    }
+}

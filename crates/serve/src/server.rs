@@ -1,0 +1,268 @@
+//! The TCP job service.
+//!
+//! Wire protocol: newline-delimited JSON over TCP (one request object per
+//! line, one response object per line, in order). Requests carry an `op`:
+//!
+//! | op         | fields                         | response                         |
+//! |------------|--------------------------------|----------------------------------|
+//! | `synth`    | [`SynthSpec`] fields           | `{ok, id, key, deduped}` or backpressure |
+//! | `run`      | [`RunSpec`] fields             | same                             |
+//! | `status`   | `id`                           | `{ok, id, state}`                |
+//! | `result`   | `id`                           | `{ok, id, state, result}`        |
+//! | `cancel`   | `id`                           | `{ok, cancelled}`                |
+//! | `stats`    | —                              | scheduler + store counters       |
+//! | `shutdown` | —                              | `{ok: true}` then the server stops |
+//!
+//! Errors are `{ok: false, error: "..."}`; a full queue additionally sets
+//! `backpressure: true` so clients know to retry rather than give up.
+//! See `docs/SERVE.md` for the full protocol description.
+
+use crate::scheduler::{Scheduler, SchedulerConfig, Submitted};
+use crate::spec::JobSpec;
+use qaprox_store::json::{parse, Json};
+use qaprox_store::Store;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Scheduler knobs.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// A running job service.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    scheduler: Arc<Scheduler>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, starts the scheduler, and begins accepting connections.
+    pub fn start(cfg: ServerConfig, store: Option<Arc<Store>>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let scheduler = Arc::new(Scheduler::start(cfg.scheduler, store));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let scheduler = Arc::clone(&scheduler);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("qaprox-serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let scheduler = Arc::clone(&scheduler);
+                        let stop = Arc::clone(&stop);
+                        // one thread per connection: clients are few (CLI,
+                        // CI, benches) and connections are short-lived
+                        let _ = std::thread::Builder::new()
+                            .name("qaprox-serve-conn".into())
+                            .spawn(move || handle_connection(stream, &scheduler, &stop));
+                    }
+                })?
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            scheduler,
+        })
+    }
+
+    /// The bound address (real port even when configured with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Direct access to the scheduler (in-process submission, stats).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// True once a client issued `shutdown` (the accept loop has stopped).
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a client issues `shutdown`.
+    pub fn wait_for_shutdown(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, shuts the scheduler down, and joins the threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // wake the blocked accept() with a throwaway connection
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn err_response(msg: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &Arc<AtomicBool>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse(&line) {
+            Ok(request) => handle_request(&request, scheduler, stop),
+            Err(e) => err_response(&format!("bad request json: {e}")),
+        };
+        let mut text = response.to_string();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if stop.load(Ordering::Relaxed) {
+            // wake the accept loop (blocked in accept()) so it observes the
+            // stop flag; our local address IS the server's listening address
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+    }
+}
+
+fn handle_request(request: &Json, scheduler: &Scheduler, stop: &Arc<AtomicBool>) -> Json {
+    match request.get_str("op") {
+        Some("synth") | Some("run") => {
+            let spec = match JobSpec::from_json(request) {
+                Ok(s) => s,
+                Err(e) => return err_response(&e),
+            };
+            let key = match spec.key() {
+                Ok(k) => k.hex(),
+                Err(e) => return err_response(&e),
+            };
+            match scheduler.submit(spec) {
+                Ok(Submitted::Accepted(id)) => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::Num(id as f64)),
+                    ("key", Json::Str(key)),
+                    ("deduped", Json::Bool(false)),
+                ]),
+                Ok(Submitted::Deduped(id)) => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::Num(id as f64)),
+                    ("key", Json::Str(key)),
+                    ("deduped", Json::Bool(true)),
+                ]),
+                Ok(Submitted::Rejected) => Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("queue full".into())),
+                    ("backpressure", Json::Bool(true)),
+                ]),
+                Err(e) => err_response(&e),
+            }
+        }
+        Some("status") => match request.get_u64("id").and_then(|id| scheduler.job(id)) {
+            Some(view) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("id", Json::Num(view.id as f64)),
+                ("state", Json::Str(view.state.name().into())),
+            ]),
+            None => err_response("unknown job id"),
+        },
+        Some("result") => match request.get_u64("id").and_then(|id| scheduler.job(id)) {
+            Some(view) => {
+                let mut fields = vec![
+                    ("id".to_string(), Json::Num(view.id as f64)),
+                    ("state".to_string(), Json::Str(view.state.name().into())),
+                ];
+                match view.result {
+                    Some(payload) => {
+                        fields.insert(0, ("ok".to_string(), Json::Bool(true)));
+                        fields.push(("result".to_string(), payload));
+                    }
+                    None => {
+                        fields.insert(0, ("ok".to_string(), Json::Bool(false)));
+                        let why = match &view.state {
+                            crate::scheduler::JobState::Failed(e) => e.clone(),
+                            s if s.is_terminal() => format!("job {}", s.name()),
+                            _ => "not finished".to_string(),
+                        };
+                        fields.push(("error".to_string(), Json::Str(why)));
+                    }
+                }
+                Json::Obj(fields)
+            }
+            None => err_response("unknown job id"),
+        },
+        Some("cancel") => match request.get_u64("id") {
+            Some(id) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cancelled", Json::Bool(scheduler.cancel(id))),
+            ]),
+            None => err_response("cancel needs an id"),
+        },
+        Some("stats") => {
+            let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+            if let Json::Obj(rest) = scheduler.stats() {
+                fields.extend(rest);
+            }
+            Json::Obj(fields)
+        }
+        Some("shutdown") => {
+            stop.store(true, Ordering::Relaxed);
+            Json::obj(vec![("ok", Json::Bool(true))])
+        }
+        Some(other) => err_response(&format!("unknown op '{other}'")),
+        None => err_response("missing 'op' field"),
+    }
+}

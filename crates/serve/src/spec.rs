@@ -1,0 +1,380 @@
+//! Job specifications and their content-address fingerprints.
+//!
+//! A [`JobSpec`] is the wire-level description of one unit of work: either
+//! synthesize a population ([`SynthSpec`]) or synthesize-and-execute it on a
+//! backend ([`RunSpec`]). Specs deliberately mirror the `qaprox synth` /
+//! `qaprox run` CLI options so a spec, a command line, and a cache key all
+//! describe the same computation. Fingerprints are canonical `k=v;` strings
+//! (floats printed `{:.17e}`) and feed the store's 128-bit keys.
+
+use qaprox::prelude::*;
+use qaprox_store::json::Json;
+use qaprox_store::key::{population_key, result_key, Key};
+use qaprox_synth::InstantiateConfig;
+
+/// A synthesis job: workload + synthesis budget + seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Reference workload: `tfim`, `grover`, or `toffoli`.
+    pub workload: String,
+    /// Circuit width (2..=6, as in the CLI).
+    pub qubits: usize,
+    /// TFIM timestep count (ignored by other workloads).
+    pub steps: usize,
+    /// QSearch CNOT cap.
+    pub max_cnots: usize,
+    /// QSearch node budget.
+    pub max_nodes: usize,
+    /// Selection threshold on HS distance.
+    pub max_hs: f64,
+    /// Instantiation seed.
+    pub seed: u64,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            workload: "tfim".into(),
+            qubits: 3,
+            steps: 6,
+            max_cnots: 6,
+            max_nodes: 150,
+            max_hs: 0.12,
+            seed: 0,
+        }
+    }
+}
+
+/// An execution job: a synthesis spec plus the backend to score it on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// What to synthesize.
+    pub synth: SynthSpec,
+    /// Device calibration name (`ourense`, `rome`, ...).
+    pub device: String,
+    /// Optional uniform CNOT-error override.
+    pub cx_error: Option<f64>,
+    /// Use the hardware-emulation backend.
+    pub hardware: bool,
+    /// Seed for the backend's stochastic noise channels.
+    pub job_seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            synth: SynthSpec::default(),
+            device: "ourense".into(),
+            cx_error: None,
+            hardware: false,
+            job_seed: 0,
+        }
+    }
+}
+
+/// One unit of work the service schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Synthesize a population.
+    Synth(SynthSpec),
+    /// Synthesize and execute on a backend.
+    Run(RunSpec),
+}
+
+impl SynthSpec {
+    /// Builds the reference circuit (mirrors the CLI's workload options).
+    pub fn reference_circuit(&self) -> Result<Circuit, String> {
+        if !(2..=6).contains(&self.qubits) {
+            return Err("supported qubits range is 2..=6".into());
+        }
+        match self.workload.as_str() {
+            "tfim" => {
+                let params = TfimParams::paper_defaults(self.qubits);
+                Ok(tfim_circuit(&params, self.steps))
+            }
+            "grover" => {
+                let target = (1usize << self.qubits) - 1;
+                let iters = qaprox_algos::grover::optimal_iterations(self.qubits);
+                Ok(grover_circuit(self.qubits, target, iters))
+            }
+            "toffoli" => Ok(mct_reference(self.qubits)),
+            #[cfg(test)]
+            "__panic" => panic!("injected panic for scheduler isolation tests"),
+            other => Err(format!("unknown workload '{other}' (tfim|grover|toffoli)")),
+        }
+    }
+
+    /// The workflow this spec describes (the CLI's defaults, seeded).
+    pub fn workflow(&self) -> Workflow {
+        Workflow {
+            topology: Topology::linear(self.qubits),
+            engine: Engine::QSearch(QSearchConfig {
+                max_cnots: self.max_cnots,
+                max_nodes: self.max_nodes,
+                beam_width: 4,
+                instantiate: InstantiateConfig {
+                    starts: 2,
+                    seed: self.seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            max_hs: self.max_hs,
+        }
+    }
+
+    /// Canonical config fingerprint (everything but target and seed, which
+    /// hash separately in [`population_key`]).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "synth/v1;workload={};qubits={};steps={};max_cnots={};max_nodes={};max_hs={:.17e};beam=4;starts=2",
+            self.workload, self.qubits, self.steps, self.max_cnots, self.max_nodes, self.max_hs
+        )
+    }
+
+    /// The store key for this spec's population.
+    pub fn population_key(&self) -> Result<Key, String> {
+        let reference = self.reference_circuit()?;
+        let target = Workflow::target_unitary(&reference);
+        Ok(population_key(&target, &self.fingerprint(), self.seed))
+    }
+
+    /// JSON form (spec fields only; the `op` tag belongs to the envelope).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("qubits", Json::Num(self.qubits as f64)),
+            ("steps", Json::Num(self.steps as f64)),
+            ("max_cnots", Json::Num(self.max_cnots as f64)),
+            ("max_nodes", Json::Num(self.max_nodes as f64)),
+            ("max_hs", Json::Num(self.max_hs)),
+            ("seed", Json::Num(self.seed as f64)),
+        ])
+    }
+
+    /// Reads spec fields from a JSON object, defaulting absent ones.
+    pub fn from_json(v: &Json) -> Result<SynthSpec, String> {
+        let d = SynthSpec::default();
+        Ok(SynthSpec {
+            workload: v.get_str("workload").unwrap_or(&d.workload).to_string(),
+            qubits: v.get_usize("qubits").unwrap_or(d.qubits),
+            steps: v.get_usize("steps").unwrap_or(d.steps),
+            max_cnots: v.get_usize("max_cnots").unwrap_or(d.max_cnots),
+            max_nodes: v.get_usize("max_nodes").unwrap_or(d.max_nodes),
+            max_hs: v.get_f64("max_hs").unwrap_or(d.max_hs),
+            seed: v.get_u64("seed").unwrap_or(d.seed),
+        })
+    }
+}
+
+impl RunSpec {
+    /// Builds the backend this spec scores on (mirrors the CLI).
+    pub fn backend(&self) -> Result<Backend, String> {
+        let cal = devices::by_name(&self.device)
+            .ok_or_else(|| format!("unknown device '{}'", self.device))?;
+        if self.synth.qubits > cal.topology.num_qubits() {
+            return Err(format!(
+                "device {} has too few qubits for qubits={}",
+                self.device, self.synth.qubits
+            ));
+        }
+        let mut induced = cal.induced(&(0..self.synth.qubits).collect::<Vec<_>>());
+        if let Some(eps) = self.cx_error {
+            induced = induced.with_uniform_cx_error(eps);
+        }
+        let model = NoiseModel::from_calibration(induced);
+        Ok(if self.hardware {
+            Backend::Hardware(HardwareBackend::new(model))
+        } else {
+            Backend::Noisy(model)
+        })
+    }
+
+    /// Canonical backend fingerprint.
+    pub fn backend_fingerprint(&self) -> String {
+        let cx = match self.cx_error {
+            Some(e) => format!("{e:.17e}"),
+            None => "none".into(),
+        };
+        format!(
+            "backend/v1;device={};cx_error={cx};hardware={}",
+            self.device, self.hardware
+        )
+    }
+
+    /// The store key for this spec's execution result.
+    pub fn result_key(&self) -> Result<Key, String> {
+        let pop = self.synth.population_key()?;
+        Ok(result_key(&pop, &self.backend_fingerprint(), self.job_seed))
+    }
+
+    /// JSON form (spec fields only).
+    pub fn to_json(&self) -> Json {
+        let mut fields = match self.synth.to_json() {
+            Json::Obj(f) => f,
+            _ => unreachable!("synth spec serializes to an object"),
+        };
+        fields.push(("device".into(), Json::Str(self.device.clone())));
+        if let Some(e) = self.cx_error {
+            fields.push(("cx_error".into(), Json::Num(e)));
+        }
+        fields.push(("hardware".into(), Json::Bool(self.hardware)));
+        fields.push(("job_seed".into(), Json::Num(self.job_seed as f64)));
+        Json::Obj(fields)
+    }
+
+    /// Reads spec fields from a JSON object, defaulting absent ones.
+    pub fn from_json(v: &Json) -> Result<RunSpec, String> {
+        let d = RunSpec::default();
+        Ok(RunSpec {
+            synth: SynthSpec::from_json(v)?,
+            device: v.get_str("device").unwrap_or(&d.device).to_string(),
+            cx_error: v.get_f64("cx_error"),
+            hardware: v.get_bool("hardware").unwrap_or(d.hardware),
+            job_seed: v.get_u64("job_seed").unwrap_or(d.job_seed),
+        })
+    }
+}
+
+impl JobSpec {
+    /// Validates the spec eagerly (so bad submissions fail at submit time,
+    /// not inside a worker).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            JobSpec::Synth(s) => s.reference_circuit().map(|_| ()),
+            JobSpec::Run(r) => {
+                r.synth.reference_circuit()?;
+                r.backend().map(|_| ())
+            }
+        }
+    }
+
+    /// The spec's store key (population key for synth, result key for run).
+    pub fn key(&self) -> Result<Key, String> {
+        match self {
+            JobSpec::Synth(s) => s.population_key(),
+            JobSpec::Run(r) => r.result_key(),
+        }
+    }
+
+    /// A canonical fingerprint for in-flight deduplication.
+    pub fn dedup_fingerprint(&self) -> String {
+        match self {
+            JobSpec::Synth(s) => format!("synth:{};seed={}", s.fingerprint(), s.seed),
+            JobSpec::Run(r) => format!(
+                "run:{};seed={};{};job_seed={}",
+                r.synth.fingerprint(),
+                r.synth.seed,
+                r.backend_fingerprint(),
+                r.job_seed
+            ),
+        }
+    }
+
+    /// JSON form including the `op` tag (the request-envelope shape).
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobSpec::Synth(s) => {
+                let mut fields = vec![("op".to_string(), Json::Str("synth".into()))];
+                if let Json::Obj(rest) = s.to_json() {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+            JobSpec::Run(r) => {
+                let mut fields = vec![("op".to_string(), Json::Str("run".into()))];
+                if let Json::Obj(rest) = r.to_json() {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    /// Reads a spec from a request envelope (dispatching on `op`).
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        match v.get_str("op") {
+            Some("synth") => Ok(JobSpec::Synth(SynthSpec::from_json(v)?)),
+            Some("run") => Ok(JobSpec::Run(RunSpec::from_json(v)?)),
+            Some(other) => Err(format!("'{other}' is not a job op (synth|run)")),
+            None => Err("missing 'op' field".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let synth = JobSpec::Synth(SynthSpec {
+            workload: "grover".into(),
+            qubits: 2,
+            max_hs: 0.25,
+            seed: 9,
+            ..Default::default()
+        });
+        let run = JobSpec::Run(RunSpec {
+            synth: SynthSpec::default(),
+            device: "rome".into(),
+            cx_error: Some(0.05),
+            hardware: true,
+            job_seed: 3,
+        });
+        for spec in [synth, run] {
+            let text = spec.to_json().to_string();
+            let back = JobSpec::from_json(&qaprox_store::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let spec = SynthSpec {
+            qubits: 2,
+            steps: 2,
+            ..Default::default()
+        };
+        let k1 = spec.population_key().unwrap();
+        assert_eq!(spec.population_key().unwrap(), k1);
+        let mut other = spec.clone();
+        other.seed = 1;
+        assert_ne!(other.population_key().unwrap(), k1);
+        let mut other = spec.clone();
+        other.max_nodes += 1;
+        assert_ne!(other.population_key().unwrap(), k1);
+
+        let run = RunSpec {
+            synth: spec,
+            ..Default::default()
+        };
+        let rk = run.result_key().unwrap();
+        let mut other = run.clone();
+        other.cx_error = Some(0.1);
+        assert_ne!(other.result_key().unwrap(), rk);
+        let mut other = run.clone();
+        other.job_seed = 7;
+        assert_ne!(other.result_key().unwrap(), rk);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let bad = JobSpec::Synth(SynthSpec {
+            workload: "frobnicate".into(),
+            ..Default::default()
+        });
+        assert!(bad.validate().is_err());
+        let bad = JobSpec::Synth(SynthSpec {
+            qubits: 9,
+            ..Default::default()
+        });
+        assert!(bad.validate().is_err());
+        let bad = JobSpec::Run(RunSpec {
+            device: "nowhere".into(),
+            ..Default::default()
+        });
+        assert!(bad.validate().is_err());
+        assert!(JobSpec::Synth(SynthSpec::default()).validate().is_ok());
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end service tests: a real TCP server, a real client, a real store.
+
+use qaprox_serve::{Client, JobSpec, RunSpec, SchedulerConfig, Server, ServerConfig, SynthSpec};
+use qaprox_store::Store;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp_store(tag: &str) -> Arc<Store> {
+    let dir = std::env::temp_dir().join(format!("qaprox-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Arc::new(Store::open(dir).unwrap())
+}
+
+fn tiny(seed: u64) -> SynthSpec {
+    SynthSpec {
+        workload: "tfim".into(),
+        qubits: 2,
+        steps: 2,
+        max_cnots: 3,
+        max_nodes: 25,
+        max_hs: 0.4,
+        seed,
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn synth_and_run_round_trip_with_cache_hits() {
+    let server = Server::start(ServerConfig::default(), Some(tmp_store("roundtrip"))).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // synth: first submission computes
+    let spec = JobSpec::Synth(tiny(0));
+    let (id, key, deduped) = client.submit(&spec).unwrap();
+    assert!(!deduped);
+    assert_eq!(key.len(), 32);
+    let payload = client.wait_for_result(id, WAIT).unwrap();
+    assert_eq!(payload.get_str("kind"), Some("synth"));
+    assert_eq!(payload.get_bool("cached"), Some(false));
+    assert_eq!(payload.get_str("key"), Some(key.as_str()));
+    let explored = payload.get_u64("explored").unwrap();
+    assert!(explored > 0);
+
+    // identical resubmit: hits the store, no new synthesis nodes
+    let (id2, key2, _) = client.submit(&spec).unwrap();
+    assert_ne!(id2, id, "a finished job is re-submittable");
+    assert_eq!(key2, key, "content address is stable");
+    let payload2 = client.wait_for_result(id2, WAIT).unwrap();
+    assert_eq!(payload2.get_bool("cached"), Some(true));
+    assert_eq!(payload2.get_u64("explored"), Some(explored));
+
+    // run: reuses the cached population, then caches its own result
+    let run = JobSpec::Run(RunSpec {
+        synth: tiny(0),
+        device: "ourense".into(),
+        cx_error: Some(0.1),
+        hardware: false,
+        job_seed: 0,
+    });
+    let (rid, _, _) = client.submit(&run).unwrap();
+    let rpayload = client.wait_for_result(rid, WAIT).unwrap();
+    assert_eq!(rpayload.get_str("kind"), Some("run"));
+    assert_eq!(rpayload.get_bool("cached"), Some(false));
+    assert_eq!(rpayload.get_bool("population_cached"), Some(true));
+    assert!(rpayload.get_f64("ref_score").unwrap() > 0.0);
+
+    let (rid2, _, _) = client.submit(&run).unwrap();
+    let rpayload2 = client.wait_for_result(rid2, WAIT).unwrap();
+    assert_eq!(rpayload2.get_bool("cached"), Some(true));
+
+    // stats reflect the cache traffic
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("completed").unwrap() >= 4);
+    let store_stats = stats.get("store").unwrap();
+    assert!(store_stats.get_u64("hits").unwrap() >= 2, "{stats:?}");
+    assert!(store_stats.get_u64("populations").unwrap() >= 1);
+    assert!(store_stats.get_u64("results").unwrap() >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_rejects_malformed_requests_without_dying() {
+    let server = Server::start(ServerConfig::default(), None).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    use qaprox_store::json::Json;
+    let bad_op = client
+        .request(&Json::obj(vec![("op", Json::Str("frobnicate".into()))]))
+        .unwrap();
+    assert_eq!(bad_op.get_bool("ok"), Some(false));
+
+    let bad_spec = client
+        .request(&Json::obj(vec![
+            ("op", Json::Str("synth".into())),
+            ("workload", Json::Str("nope".into())),
+        ]))
+        .unwrap();
+    assert_eq!(bad_spec.get_bool("ok"), Some(false));
+
+    let unknown_id = client.status(123456).unwrap_err();
+    assert!(unknown_id.contains("unknown"), "{unknown_id}");
+
+    // the connection is still usable afterwards
+    let (id, _, _) = client.submit(&JobSpec::Synth(tiny(1))).unwrap();
+    assert!(client.wait_for_result(id, WAIT).is_ok());
+
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_and_cancel_over_the_wire() {
+    let server = Server::start(
+        ServerConfig {
+            scheduler: SchedulerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // keep the single worker busy, fill the queue of one, then overflow
+    let (_busy, _, _) = client.submit(&JobSpec::Synth(tiny(10))).unwrap();
+    let (queued, _, _) = client.submit(&JobSpec::Synth(tiny(11))).unwrap();
+    let mut saw_backpressure = false;
+    for seed in 12..24 {
+        match client.submit(&JobSpec::Synth(tiny(seed))) {
+            Err(e) if e.contains("queue full") => {
+                saw_backpressure = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(saw_backpressure, "a 1-deep queue must reject overflow");
+
+    // cancel the queued job before the worker reaches it
+    assert!(client.cancel(queued).unwrap());
+    let state = client.status(queued).unwrap();
+    assert_eq!(state, "cancelled");
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_stops_the_accept_loop() {
+    let server = Server::start(ServerConfig::default(), None).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    // joins promptly because the handler wakes the accept loop
+    server.wait_for_shutdown();
+}

@@ -71,6 +71,40 @@ impl Backend {
     {
         par_map_indexed(circuits, |i, c| f(c, self.probabilities(c, i as u64)))
     }
+
+    /// [`Backend::run_batch`] with failures surfaced instead of swallowed.
+    ///
+    /// Every circuit is statically validated first: a deny-lint circuit
+    /// turns the whole batch into an error naming the offending index, so a
+    /// bad member never costs the batch's compute. A circuit that *panics*
+    /// during simulation (an engine bug, not an input bug) is likewise
+    /// reported by index rather than poisoning the worker pool. Successful
+    /// batches preserve input order exactly.
+    pub fn probabilities_batch(&self, circuits: &[Circuit]) -> Result<Vec<Vec<f64>>, String> {
+        for (i, c) in circuits.iter().enumerate() {
+            Backend::validate(c).map_err(|e| format!("circuit {i} of {}: {e}", circuits.len()))?;
+        }
+        let runs: Vec<std::thread::Result<Vec<f64>>> = par_map_indexed(circuits, |i, c| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.probabilities(c, i as u64)
+            }))
+        });
+        let mut out = Vec::with_capacity(runs.len());
+        for (i, r) in runs.into_iter().enumerate() {
+            match r {
+                Ok(p) => out.push(p),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    return Err(format!("circuit {i} panicked during simulation: {msg}"));
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +185,46 @@ mod tests {
     fn empty_batch_is_empty() {
         let b = Backend::Ideal;
         assert!(b.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn probabilities_batch_preserves_input_order() {
+        let circuits = some_circuits(8);
+        let backend = Backend::Ideal;
+        let batch = backend.probabilities_batch(&circuits).unwrap();
+        assert_eq!(batch.len(), circuits.len());
+        for (i, c) in circuits.iter().enumerate() {
+            let solo = statevector::probabilities(c);
+            assert_eq!(batch[i].len(), solo.len());
+            for (a, b) in batch[i].iter().zip(&solo) {
+                assert!((a - b).abs() < 1e-14, "row {i} out of order");
+            }
+        }
+        assert!(backend.probabilities_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn probabilities_batch_names_the_offending_circuit() {
+        let mut circuits = some_circuits(3);
+        circuits[1].rz(f64::NAN, 0); // non-finite parameter is a deny lint
+        let err = Backend::Ideal.probabilities_batch(&circuits).unwrap_err();
+        assert!(err.contains("circuit 1 of 3"), "{err}");
+        assert!(err.contains("validation"), "{err}");
+        // the clean prefix/suffix did not mask the failure into a partial batch
+        assert!(Backend::Ideal.probabilities_batch(&circuits[..1]).is_ok());
+    }
+
+    #[test]
+    fn probabilities_batch_matches_run_batch_seeding() {
+        // hardware sampling is seeded by index, so both entry points agree
+        let cal = ourense().induced(&[0, 1, 2]);
+        let hw = HardwareBackend::new(NoiseModel::from_calibration(cal));
+        let backend = Backend::Hardware(hw);
+        let circuits = some_circuits(4);
+        assert_eq!(
+            backend.probabilities_batch(&circuits).unwrap(),
+            backend.run_batch(&circuits)
+        );
     }
 
     #[test]

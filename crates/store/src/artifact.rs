@@ -1,0 +1,387 @@
+//! On-disk artifact shapes: populations, partial checkpoints, results.
+//!
+//! A population is stored as two files — a QASM dump of every circuit and a
+//! versioned JSON manifest carrying the `ApproxCircuit` metadata (cnots,
+//! depth, hs_distance) plus a checksum of the QASM bytes for corruption
+//! detection. Partial checkpoints reuse the same shape with a node-progress
+//! counter so a killed synthesis job resumes instead of restarting. Results
+//! are a single JSON file of scored rows.
+
+use crate::json::{parse, Json};
+use qaprox_circuit::{from_qasm, qasm::to_qasm, Circuit};
+use qaprox_linalg::hashing::hash128_hex;
+use qaprox_synth::ApproxCircuit;
+
+/// Manifest format version; bump on any incompatible layout change.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Separator line between circuits in a population QASM dump.
+pub const QASM_SEPARATOR: &str = "// ---qaprox-circuit---";
+
+/// A persisted population: selected circuits plus the minimal-HS circuit and
+/// the synthesis-exploration counter.
+#[derive(Debug, Clone)]
+pub struct PopulationArtifact {
+    /// Selected approximate circuits.
+    pub circuits: Vec<ApproxCircuit>,
+    /// The best (minimum-HS) circuit synthesis found.
+    pub minimal_hs: ApproxCircuit,
+    /// Total synthesis nodes evaluated to produce this population.
+    pub explored: usize,
+}
+
+/// A partial synthesis checkpoint: everything evaluated so far plus the node
+/// count already spent, so a resumed job gets budget credit.
+#[derive(Debug, Clone)]
+pub struct PartialCheckpoint {
+    /// Candidates recorded so far (unselected intermediate stream).
+    pub circuits: Vec<ApproxCircuit>,
+    /// Synthesis nodes already evaluated.
+    pub nodes_done: usize,
+}
+
+/// One scored row of an execution result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// CNOT count of the executed circuit.
+    pub cnots: usize,
+    /// HS distance recorded at synthesis time.
+    pub hs_distance: f64,
+    /// Scalar score (metric-dependent).
+    pub score: f64,
+}
+
+/// A persisted execution result: scored rows plus the reference score.
+#[derive(Debug, Clone)]
+pub struct ResultArtifact {
+    /// Reference-circuit score under the same backend/metric.
+    pub ref_score: f64,
+    /// Scored rows, in population order.
+    pub rows: Vec<ResultRow>,
+}
+
+/// Corruption or format mismatch found while decoding an artifact.
+#[derive(Debug, Clone)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bad(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+fn circuit_meta(ap: &ApproxCircuit) -> Json {
+    Json::obj(vec![
+        ("cnots", Json::Num(ap.cnots as f64)),
+        ("depth", Json::Num(ap.circuit.depth() as f64)),
+        ("hs_distance", Json::Num(ap.hs_distance)),
+    ])
+}
+
+/// Encodes a circuit list as one QASM blob (separator-delimited dumps) plus
+/// the per-circuit metadata array.
+fn encode_circuits(circuits: &[ApproxCircuit]) -> (String, Json) {
+    let mut blob = String::new();
+    let mut metas = Vec::with_capacity(circuits.len());
+    for (i, ap) in circuits.iter().enumerate() {
+        if i > 0 {
+            blob.push_str(QASM_SEPARATOR);
+            blob.push('\n');
+        }
+        blob.push_str(&to_qasm(&ap.circuit));
+        metas.push(circuit_meta(ap));
+    }
+    (blob, Json::Arr(metas))
+}
+
+fn decode_circuits(blob: &str, metas: &[Json]) -> Result<Vec<ApproxCircuit>, DecodeError> {
+    let dumps: Vec<&str> = if blob.is_empty() {
+        Vec::new()
+    } else {
+        blob.split(&format!("{QASM_SEPARATOR}\n")).collect()
+    };
+    if dumps.len() != metas.len() {
+        return Err(bad(format!(
+            "manifest lists {} circuits but dump holds {}",
+            metas.len(),
+            dumps.len()
+        )));
+    }
+    dumps
+        .iter()
+        .zip(metas)
+        .enumerate()
+        .map(|(i, (dump, meta))| {
+            let circuit: Circuit = from_qasm(dump).map_err(|e| bad(format!("circuit {i}: {e}")))?;
+            let hs = meta
+                .get_f64("hs_distance")
+                .ok_or_else(|| bad(format!("circuit {i}: missing hs_distance")))?;
+            let cnots = meta
+                .get_usize("cnots")
+                .ok_or_else(|| bad(format!("circuit {i}: missing cnots")))?;
+            let ap = ApproxCircuit::new(circuit, hs);
+            if ap.cnots != cnots {
+                return Err(bad(format!(
+                    "circuit {i}: manifest says {cnots} CNOTs, dump has {}",
+                    ap.cnots
+                )));
+            }
+            Ok(ap)
+        })
+        .collect()
+}
+
+impl PopulationArtifact {
+    /// Serializes to `(manifest_json_line, qasm_blob)`. The manifest embeds
+    /// a hash of the QASM bytes; [`PopulationArtifact::decode`] verifies it.
+    pub fn encode(&self) -> (String, String) {
+        let mut all: Vec<ApproxCircuit> = self.circuits.clone();
+        all.push(self.minimal_hs.clone());
+        let (blob, metas) = encode_circuits(&all);
+        let manifest = Json::obj(vec![
+            ("version", Json::Num(MANIFEST_VERSION as f64)),
+            ("kind", Json::Str("population".into())),
+            ("explored", Json::Num(self.explored as f64)),
+            // minimal_hs rides as the last dumped circuit
+            ("selected", Json::Num(self.circuits.len() as f64)),
+            ("qasm_hash", Json::Str(hash128_hex(blob.as_bytes()))),
+            ("circuits", metas),
+        ]);
+        (manifest.to_string(), blob)
+    }
+
+    /// Decodes and verifies a manifest + QASM pair.
+    pub fn decode(manifest: &str, blob: &str) -> Result<PopulationArtifact, DecodeError> {
+        let m = parse(manifest).map_err(|e| bad(e.to_string()))?;
+        if m.get_u64("version") != Some(MANIFEST_VERSION) {
+            return Err(bad("unsupported manifest version"));
+        }
+        if m.get_str("kind") != Some("population") {
+            return Err(bad("manifest kind is not 'population'"));
+        }
+        if m.get_str("qasm_hash") != Some(hash128_hex(blob.as_bytes()).as_str()) {
+            return Err(bad("qasm dump checksum mismatch (corrupt artifact)"));
+        }
+        let metas = m
+            .get("circuits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing circuits array"))?;
+        let selected = m
+            .get_usize("selected")
+            .ok_or_else(|| bad("missing selected count"))?;
+        let mut all = decode_circuits(blob, metas)?;
+        if all.len() != selected + 1 {
+            return Err(bad("selected count does not match dumped circuits"));
+        }
+        let minimal_hs = all.pop().expect("len >= 1 checked above");
+        Ok(PopulationArtifact {
+            circuits: all,
+            minimal_hs,
+            explored: m.get_usize("explored").unwrap_or(0),
+        })
+    }
+}
+
+impl PartialCheckpoint {
+    /// Serializes to `(manifest_json_line, qasm_blob)`.
+    pub fn encode(&self) -> (String, String) {
+        let (blob, metas) = encode_circuits(&self.circuits);
+        let manifest = Json::obj(vec![
+            ("version", Json::Num(MANIFEST_VERSION as f64)),
+            ("kind", Json::Str("partial".into())),
+            ("nodes_done", Json::Num(self.nodes_done as f64)),
+            ("qasm_hash", Json::Str(hash128_hex(blob.as_bytes()))),
+            ("circuits", metas),
+        ]);
+        (manifest.to_string(), blob)
+    }
+
+    /// Decodes and verifies a manifest + QASM pair.
+    pub fn decode(manifest: &str, blob: &str) -> Result<PartialCheckpoint, DecodeError> {
+        let m = parse(manifest).map_err(|e| bad(e.to_string()))?;
+        if m.get_u64("version") != Some(MANIFEST_VERSION) {
+            return Err(bad("unsupported manifest version"));
+        }
+        if m.get_str("kind") != Some("partial") {
+            return Err(bad("manifest kind is not 'partial'"));
+        }
+        if m.get_str("qasm_hash") != Some(hash128_hex(blob.as_bytes()).as_str()) {
+            return Err(bad("qasm dump checksum mismatch (corrupt checkpoint)"));
+        }
+        let metas = m
+            .get("circuits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing circuits array"))?;
+        Ok(PartialCheckpoint {
+            circuits: decode_circuits(blob, metas)?,
+            nodes_done: m
+                .get_usize("nodes_done")
+                .ok_or_else(|| bad("missing nodes_done"))?,
+        })
+    }
+}
+
+impl ResultArtifact {
+    /// Serializes to one JSON line.
+    pub fn encode(&self) -> String {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Arr(vec![
+                    Json::Num(r.cnots as f64),
+                    Json::Num(r.hs_distance),
+                    Json::Num(r.score),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::Num(MANIFEST_VERSION as f64)),
+            ("kind", Json::Str("result".into())),
+            ("ref_score", Json::Num(self.ref_score)),
+            ("rows", Json::Arr(rows)),
+        ])
+        .to_string()
+    }
+
+    /// Decodes a JSON line.
+    pub fn decode(text: &str) -> Result<ResultArtifact, DecodeError> {
+        let m = parse(text).map_err(|e| bad(e.to_string()))?;
+        if m.get_u64("version") != Some(MANIFEST_VERSION) {
+            return Err(bad("unsupported result version"));
+        }
+        if m.get_str("kind") != Some("result") {
+            return Err(bad("manifest kind is not 'result'"));
+        }
+        let rows = m
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing rows"))?
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let cells = row.as_arr().filter(|c| c.len() == 3);
+                let cells = cells.ok_or_else(|| bad(format!("row {i}: not a 3-tuple")))?;
+                Ok(ResultRow {
+                    cnots: cells[0]
+                        .as_usize()
+                        .ok_or_else(|| bad(format!("row {i}: bad cnots")))?,
+                    hs_distance: cells[1]
+                        .as_f64()
+                        .ok_or_else(|| bad(format!("row {i}: bad hs")))?,
+                    score: cells[2]
+                        .as_f64()
+                        .ok_or_else(|| bad(format!("row {i}: bad score")))?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        Ok(ResultArtifact {
+            ref_score: m
+                .get_f64("ref_score")
+                .ok_or_else(|| bad("missing ref_score"))?,
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some_population() -> PopulationArtifact {
+        let mk = |cnots: usize, angle: f64, dist: f64| {
+            let mut c = Circuit::new(2);
+            c.h(0);
+            for _ in 0..cnots {
+                c.cx(0, 1);
+            }
+            c.rz(angle, 1);
+            ApproxCircuit::new(c, dist)
+        };
+        PopulationArtifact {
+            circuits: vec![mk(1, 0.123_456_789_012_345_68, 0.05), mk(2, -2.5, 0.01)],
+            minimal_hs: mk(3, 1e-17, 1e-12),
+            explored: 77,
+        }
+    }
+
+    #[test]
+    fn population_round_trips_exactly() {
+        let pop = some_population();
+        let (manifest, blob) = pop.encode();
+        let back = PopulationArtifact::decode(&manifest, &blob).unwrap();
+        assert_eq!(back.explored, 77);
+        assert_eq!(back.circuits.len(), 2);
+        assert_eq!(back.minimal_hs.cnots, 3);
+        for (a, b) in pop.circuits.iter().zip(&back.circuits) {
+            assert_eq!(a.circuit, b.circuit, "instruction-exact round trip");
+            assert_eq!(a.hs_distance.to_bits(), b.hs_distance.to_bits());
+        }
+        assert_eq!(pop.minimal_hs.circuit, back.minimal_hs.circuit);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (manifest, blob) = some_population().encode();
+        let mut corrupt = blob.clone();
+        corrupt.replace_range(0..1, "z");
+        assert!(PopulationArtifact::decode(&manifest, &corrupt).is_err());
+        assert!(PopulationArtifact::decode("not json", &blob).is_err());
+        assert!(PopulationArtifact::decode(&manifest, "").is_err());
+    }
+
+    #[test]
+    fn partial_checkpoint_round_trips() {
+        let pop = some_population();
+        let part = PartialCheckpoint {
+            circuits: pop.circuits.clone(),
+            nodes_done: 31,
+        };
+        let (manifest, blob) = part.encode();
+        let back = PartialCheckpoint::decode(&manifest, &blob).unwrap();
+        assert_eq!(back.nodes_done, 31);
+        assert_eq!(back.circuits.len(), 2);
+        assert_eq!(back.circuits[1].circuit, pop.circuits[1].circuit);
+    }
+
+    #[test]
+    fn empty_partial_round_trips() {
+        let part = PartialCheckpoint {
+            circuits: Vec::new(),
+            nodes_done: 0,
+        };
+        let (manifest, blob) = part.encode();
+        assert!(blob.is_empty());
+        let back = PartialCheckpoint::decode(&manifest, &blob).unwrap();
+        assert!(back.circuits.is_empty());
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let res = ResultArtifact {
+            ref_score: 0.125,
+            rows: vec![
+                ResultRow {
+                    cnots: 1,
+                    hs_distance: 0.05,
+                    score: 0.3,
+                },
+                ResultRow {
+                    cnots: 4,
+                    hs_distance: 1e-9,
+                    score: 0.001,
+                },
+            ],
+        };
+        let back = ResultArtifact::decode(&res.encode()).unwrap();
+        assert_eq!(back.ref_score, 0.125);
+        assert_eq!(back.rows, res.rows);
+        assert!(ResultArtifact::decode("{}").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Content-address keys.
+//!
+//! A [`Key`] is the stable 128-bit hash of an artifact's identity:
+//!
+//! * **populations** — `{target-unitary canonical bytes, synthesis-config
+//!   fingerprint, seed}`;
+//! * **results** — `{population key, backend-config fingerprint, job seed}`.
+//!
+//! Config fingerprints are canonical `k=v;k=v` strings (floats printed with
+//! `{:.17e}` so numerically identical configs always fingerprint equal).
+
+use qaprox_linalg::hashing::Hash128;
+use qaprox_linalg::Matrix;
+
+/// A 128-bit content-address key, displayed as 32 hex characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Key {
+    /// The 32-character lowercase hex form (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the 32-character hex form.
+    pub fn parse(hex: &str) -> Option<Key> {
+        if hex.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&hex[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&hex[16..], 16).ok()?;
+        Some(Key { hi, lo })
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// The population key for a synthesis job: target unitary + config + seed.
+pub fn population_key(target: &Matrix, config_fingerprint: &str, seed: u64) -> Key {
+    let mut h = Hash128::new();
+    h.update(b"qaprox-store/pop/v1\0");
+    h.update(&target.canonical_bytes());
+    h.update(b"\0");
+    h.update(config_fingerprint.as_bytes());
+    h.update(b"\0");
+    h.update_u64(seed);
+    let (hi, lo) = h.finish();
+    Key { hi, lo }
+}
+
+/// The result key for an execution job: population key + backend + job seed.
+pub fn result_key(population: &Key, backend_fingerprint: &str, job_seed: u64) -> Key {
+    let mut h = Hash128::new();
+    h.update(b"qaprox-store/res/v1\0");
+    h.update_u64(population.hi);
+    h.update_u64(population.lo);
+    h.update(backend_fingerprint.as_bytes());
+    h.update(b"\0");
+    h.update_u64(job_seed);
+    let (hi, lo) = h.finish();
+    Key { hi, lo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_linalg::c64;
+
+    fn some_matrix(phase: f64) -> Matrix {
+        let mut m = Matrix::identity(4);
+        m[(0, 0)] = c64(phase.cos(), phase.sin());
+        m
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = population_key(&some_matrix(0.3), "max_cnots=3", 7);
+        assert_eq!(Key::parse(&k.hex()), Some(k));
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(Key::parse("not-a-key"), None);
+        assert_eq!(Key::parse(&"z".repeat(32)), None);
+    }
+
+    #[test]
+    fn keys_separate_by_every_component() {
+        let base = population_key(&some_matrix(0.3), "cfg", 0);
+        assert_eq!(base, population_key(&some_matrix(0.3), "cfg", 0));
+        assert_ne!(base, population_key(&some_matrix(0.31), "cfg", 0));
+        assert_ne!(base, population_key(&some_matrix(0.3), "cfg2", 0));
+        assert_ne!(base, population_key(&some_matrix(0.3), "cfg", 1));
+    }
+
+    #[test]
+    fn result_keys_separate_from_population_keys() {
+        let pop = population_key(&some_matrix(0.1), "cfg", 0);
+        let res = result_key(&pop, "device=ourense", 0);
+        assert_ne!(pop, res);
+        assert_ne!(res, result_key(&pop, "device=rome", 0));
+        assert_ne!(res, result_key(&pop, "device=ourense", 1));
+    }
+}

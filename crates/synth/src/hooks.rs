@@ -1,0 +1,128 @@
+//! Progress/cancellation hooks for long-running synthesis.
+//!
+//! The job service streams partial populations into the store and cancels
+//! jobs cooperatively; both need a seam into the synthesis inner loops.
+//! [`SearchHooks`] is that seam: `on_progress` fires after every expansion
+//! round with the evaluated-node count and the full intermediate stream so
+//! far (checkpointing), and `cancel` is polled between rounds (cooperative
+//! cancellation and deadline enforcement). Both are optional; the plain
+//! [`qsearch`](crate::qsearch::qsearch) / [`qfast`](crate::qfast::qfast)
+//! entry points pass a no-op set.
+
+use crate::approx::ApproxCircuit;
+
+/// A progress callback: `(nodes_evaluated, intermediates_so_far)`.
+pub type ProgressFn<'a> = Box<dyn FnMut(usize, &[ApproxCircuit]) + 'a>;
+
+/// Callbacks threaded through a synthesis run. See the module docs.
+#[derive(Default)]
+pub struct SearchHooks<'a> {
+    /// Called after each expansion round with `(nodes_evaluated,
+    /// intermediates_so_far)`. Must be cheap relative to a round; the store
+    /// layer throttles its own checkpoint writes.
+    pub on_progress: Option<ProgressFn<'a>>,
+    /// Polled between expansion rounds; returning `true` stops the search,
+    /// which then returns everything evaluated so far.
+    pub cancel: Option<Box<dyn Fn() -> bool + 'a>>,
+}
+
+impl<'a> SearchHooks<'a> {
+    /// Hooks that do nothing (the plain entry points use this).
+    pub fn none() -> Self {
+        SearchHooks::default()
+    }
+
+    /// True when the caller asked the search to stop.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|f| f())
+    }
+
+    /// Reports one completed expansion round.
+    pub fn progress(&mut self, nodes_evaluated: usize, intermediates: &[ApproxCircuit]) {
+        if let Some(f) = self.on_progress.as_mut() {
+            f(nodes_evaluated, intermediates);
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchHooks")
+            .field("on_progress", &self.on_progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instantiate::InstantiateConfig;
+    use crate::qsearch::{qsearch, qsearch_with_hooks, QSearchConfig};
+    use qaprox_device::Topology;
+    use qaprox_linalg::random::{haar_unitary, SplitMix64};
+    use std::cell::Cell;
+
+    fn cfg() -> QSearchConfig {
+        QSearchConfig {
+            max_cnots: 4,
+            max_nodes: 120,
+            beam_width: 4,
+            instantiate: InstantiateConfig {
+                starts: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn progress_fires_with_monotone_node_counts() {
+        let mut rng = SplitMix64::seed_from_u64(21);
+        let target = haar_unitary(4, &mut rng);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut hooks = SearchHooks {
+            on_progress: Some(Box::new(|nodes, inter| {
+                seen.push(nodes);
+                counts.push(inter.len());
+            })),
+            cancel: None,
+        };
+        let out = qsearch_with_hooks(&target, &Topology::linear(2), &cfg(), &mut hooks);
+        drop(hooks);
+        assert!(!seen.is_empty(), "progress never fired");
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "non-monotone {seen:?}"
+        );
+        assert_eq!(*seen.last().unwrap(), out.nodes_evaluated);
+        assert_eq!(seen, counts, "intermediates must track node count");
+    }
+
+    #[test]
+    fn cancel_after_first_round_yields_partial_output() {
+        let mut rng = SplitMix64::seed_from_u64(21);
+        let target = haar_unitary(4, &mut rng);
+        let full = qsearch(&target, &Topology::linear(2), &cfg());
+
+        let rounds = Cell::new(0usize);
+        let mut hooks = SearchHooks {
+            on_progress: Some(Box::new(|_, _| rounds.set(rounds.get() + 1))),
+            cancel: Some(Box::new(|| rounds.get() >= 1)),
+        };
+        let partial = qsearch_with_hooks(&target, &Topology::linear(2), &cfg(), &mut hooks);
+        assert!(
+            partial.nodes_evaluated < full.nodes_evaluated,
+            "cancel did not stop early: {} vs {}",
+            partial.nodes_evaluated,
+            full.nodes_evaluated
+        );
+        // what was evaluated is still a coherent population
+        assert_eq!(partial.nodes_evaluated, partial.intermediates.len());
+        assert!(partial
+            .intermediates
+            .iter()
+            .any(|c| c.hs_distance == partial.best.hs_distance));
+    }
+}

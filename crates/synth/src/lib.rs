@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod hooks;
 pub mod instantiate;
 pub mod partitioned;
 pub mod qfactor;
@@ -31,9 +32,10 @@ pub mod template;
 pub use approx::{
     admit, best_per_cnot_count, dedupe, select_by_threshold, ApproxCircuit, SynthesisOutput,
 };
+pub use hooks::{ProgressFn, SearchHooks};
 pub use instantiate::{instantiate, HsObjective, InstantiateConfig, Instantiated};
 pub use partitioned::{partition, synthesize_partitioned, PartitionConfig, PartitionedResult};
 pub use qfactor::{qfactor_optimize, QFactorConfig, QFactorResult};
-pub use qfast::{qfast, QFastConfig};
-pub use qsearch::{qsearch, QSearchConfig};
+pub use qfast::{qfast, qfast_with_hooks, QFastConfig};
+pub use qsearch::{qsearch, qsearch_with_hooks, QSearchConfig};
 pub use template::Structure;

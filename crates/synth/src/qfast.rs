@@ -11,6 +11,7 @@
 //! paper's Sec. 4.
 
 use crate::approx::{ApproxCircuit, SynthesisOutput};
+use crate::hooks::SearchHooks;
 use crate::instantiate::{instantiate, InstantiateConfig};
 use crate::template::Structure;
 use qaprox_circuit::Circuit;
@@ -167,6 +168,19 @@ fn assemble(n: usize, blocks: &[Block], basis: &[Matrix], cfg: &InstantiateConfi
 
 /// Runs QFast-style synthesis of `target` over `topology`.
 pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> SynthesisOutput {
+    qfast_with_hooks(target, topology, cfg, &mut SearchHooks::none())
+}
+
+/// [`qfast`] with progress/cancellation hooks (see [`SearchHooks`]).
+///
+/// Cancellation is checked once per block depth (the natural round size);
+/// the output then covers every depth completed before the stop.
+pub fn qfast_with_hooks(
+    target: &Matrix,
+    topology: &Topology,
+    cfg: &QFastConfig,
+    hooks: &mut SearchHooks<'_>,
+) -> SynthesisOutput {
     let n = topology.num_qubits();
     assert_eq!(target.rows(), 1 << n, "target dimension mismatch");
     let basis = su_basis(2);
@@ -186,7 +200,7 @@ pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> Synthes
     let mut best_coarse = d0;
 
     for _depth in 0..cfg.max_blocks {
-        if best_coarse < cfg.success_threshold {
+        if best_coarse < cfg.success_threshold || hooks.cancelled() {
             break;
         }
         // Try a new block on every edge (both orientations are equivalent for
@@ -233,6 +247,7 @@ pub fn qfast(target: &Matrix, topology: &Topology, cfg: &QFastConfig) -> Synthes
             (1.0 - target_dag.matmul(&native.unitary()).trace().abs() / dim).max(0.0)
         };
         intermediates.push(ApproxCircuit::new(native, d));
+        hooks.progress(nodes_evaluated, &intermediates);
     }
 
     let best_idx = intermediates

@@ -10,6 +10,7 @@
 //! the paper switches to QFast.
 
 use crate::approx::{ApproxCircuit, SynthesisOutput};
+use crate::hooks::SearchHooks;
 use crate::instantiate::{instantiate, InstantiateConfig};
 use crate::template::Structure;
 use qaprox_device::Topology;
@@ -81,6 +82,19 @@ impl Ord for Node {
 /// Synthesizes `target` over `topology`, returning the best circuit and the
 /// full intermediate stream.
 pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> SynthesisOutput {
+    qsearch_with_hooks(target, topology, cfg, &mut SearchHooks::none())
+}
+
+/// [`qsearch`] with progress/cancellation hooks (see [`SearchHooks`]).
+///
+/// When cancelled, the output covers everything evaluated up to the stop
+/// point — a valid (if smaller) population, suitable for checkpointing.
+pub fn qsearch_with_hooks(
+    target: &Matrix,
+    topology: &Topology,
+    cfg: &QSearchConfig,
+    hooks: &mut SearchHooks<'_>,
+) -> SynthesisOutput {
     let n = topology.num_qubits();
     assert_eq!(
         target.rows(),
@@ -147,7 +161,7 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
 
     if !done {
         while let Some(node) = frontier.pop() {
-            if nodes_evaluated >= cfg.max_nodes {
+            if nodes_evaluated >= cfg.max_nodes || hooks.cancelled() {
                 break;
             }
             let depth = node.structure.cnots();
@@ -202,6 +216,7 @@ pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> Syn
                     priority,
                 });
             }
+            hooks.progress(nodes_evaluated, &intermediates);
             if stop || nodes_evaluated >= cfg.max_nodes {
                 break;
             }

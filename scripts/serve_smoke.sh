@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the job service: start `qaprox serve` on a
+# random port, submit a tiny synth + run job, assert the identical resubmit
+# answers from the artifact store, then exercise `store stats` / `store gc`.
+# Used by CI (serve-smoke job); runnable locally after
+# `cargo build --release -p qaprox-cli`.
+set -euo pipefail
+
+bin=${QAPROX_BIN:-target/release/qaprox}
+store=$(mktemp -d)
+log=$(mktemp)
+
+"$bin" serve --addr 127.0.0.1:0 --workers 2 --store "$store" >"$log" 2>&1 &
+server_pid=$!
+cleanup() {
+    kill "$server_pid" 2>/dev/null || true
+    rm -rf "$store" "$log"
+}
+trap cleanup EXIT
+
+# the server prints "# qaprox-serve listening on HOST:PORT (...)" once bound
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^# qaprox-serve listening on \([0-9.:]*\).*/\1/p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "serve_smoke: server did not start" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "serve_smoke: server at $addr (store: $store)"
+
+tiny=(--workload tfim --qubits 2 --steps 2 --max-cnots 3 --max-nodes 25 --max-hs 0.4)
+
+echo "--- synth (cold)"
+out=$("$bin" submit --addr "$addr" --op synth "${tiny[@]}")
+echo "$out"
+grep -q "cached=false" <<<"$out" || { echo "serve_smoke: first synth must compute" >&2; exit 1; }
+
+echo "--- synth (resubmit must hit the store)"
+out=$("$bin" submit --addr "$addr" --op synth "${tiny[@]}")
+echo "$out"
+grep -q "cached=true" <<<"$out" || { echo "serve_smoke: resubmit did not hit the cache" >&2; exit 1; }
+
+echo "--- run (reuses the cached population)"
+out=$("$bin" submit --addr "$addr" --op run "${tiny[@]}" --device ourense --cx-error 0.1)
+echo "$out"
+grep -q "population_cached=true" <<<"$out" || { echo "serve_smoke: run did not reuse the population" >&2; exit 1; }
+
+echo "--- store stats + gc"
+"$bin" store stats --store "$store"
+"$bin" store gc --max-bytes 0 --store "$store"
+
+echo "serve_smoke: OK"

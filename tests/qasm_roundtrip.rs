@@ -1,0 +1,126 @@
+//! QASM round-trip property test: for every workload reference circuit (and
+//! a grid of adversarial rotation angles) the dump -> parse cycle must
+//! reproduce the unitary to within 1e-12 — in practice exactly, because
+//! angles print with `{:.17e}` (17 significant digits round-trip every
+//! IEEE-754 double). This pins the serialization contract the
+//! content-addressed store's cache keys depend on.
+
+use qaprox::prelude::*;
+use qaprox_circuit::qasm::{canonical_bytes, to_qasm};
+use qaprox_circuit::{from_qasm, Gate};
+
+/// Largest element-wise deviation between two unitaries.
+fn max_abs_diff(a: &qaprox_linalg::Matrix, b: &qaprox_linalg::Matrix) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).norm_sqr().sqrt())
+        .fold(0.0, f64::max)
+}
+
+/// Dump -> parse -> compare; also checks the canonical bytes are a fixpoint
+/// (re-dumping the parsed circuit yields identical text, which is what makes
+/// the serialization usable as a store key input).
+fn assert_round_trips(circuit: &qaprox_circuit::Circuit, label: &str) {
+    let text = to_qasm(circuit);
+    let parsed = from_qasm(&text).unwrap_or_else(|e| panic!("{label}: parse failed: {e}\n{text}"));
+    assert_eq!(
+        parsed.num_qubits(),
+        circuit.num_qubits(),
+        "{label}: qubit count"
+    );
+    assert_eq!(parsed.len(), circuit.len(), "{label}: gate count");
+    let diff = max_abs_diff(&circuit.unitary(), &parsed.unitary());
+    assert!(diff <= 1e-12, "{label}: unitary drifted by {diff:.3e}");
+    assert_eq!(
+        canonical_bytes(&parsed),
+        canonical_bytes(circuit),
+        "{label}: canonical bytes must be a fixpoint"
+    );
+}
+
+#[test]
+fn every_workload_reference_round_trips() {
+    for qubits in 2..=5 {
+        for steps in [1, 3, 6] {
+            let params = TfimParams::paper_defaults(qubits);
+            assert_round_trips(
+                &tfim_circuit(&params, steps),
+                &format!("tfim q={qubits} steps={steps}"),
+            );
+        }
+        let iters = qaprox_algos::grover::optimal_iterations(qubits);
+        for target in [0, (1usize << qubits) - 1] {
+            assert_round_trips(
+                &grover_circuit(qubits, target, iters),
+                &format!("grover q={qubits} target={target}"),
+            );
+        }
+        assert_round_trips(&mct_reference(qubits), &format!("toffoli q={qubits}"));
+    }
+}
+
+#[test]
+fn adversarial_rotation_angles_round_trip() {
+    // Angles chosen to stress decimal printing: subnormals, negative zero
+    // survivors, irrational multiples, and values near the f64 extremes.
+    let angles = [
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        std::f64::consts::PI,
+        -std::f64::consts::PI,
+        2.0 * std::f64::consts::PI - 1e-15,
+        1e-300,
+        -1e-300,
+        f64::MIN_POSITIVE,
+        1e17,
+        -123.456_789_012_345_67,
+        f64::EPSILON,
+    ];
+    // deterministic LCG so the property set is reproducible
+    let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // uniform-ish angle in (-8, 8): wide enough to exercise multi-turn values
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 16.0 - 8.0
+    };
+
+    for (case, &theta) in angles.iter().enumerate() {
+        let mut c = qaprox_circuit::Circuit::new(3);
+        c.rx(theta, 0).ry(next(), 1).rz(next(), 2);
+        c.push(Gate::P(theta), &[1]);
+        c.u3(theta, next(), next(), 0);
+        c.cx(0, 1);
+        c.push(Gate::CRX(next()), &[1, 2]);
+        c.push(Gate::CRZ(theta), &[0, 2]);
+        c.push(Gate::CP(next()), &[2, 1]);
+        c.h(2).cz(0, 2).swap(1, 2);
+        assert_round_trips(&c, &format!("adversarial case {case} theta={theta:e}"));
+    }
+}
+
+#[test]
+fn synthesized_populations_round_trip() {
+    // The store persists synthesized circuits as QASM; they must survive the
+    // same cycle as the references do.
+    let spec_wf = Workflow {
+        topology: Topology::linear(2),
+        engine: Engine::QSearch(QSearchConfig {
+            max_cnots: 3,
+            max_nodes: 25,
+            ..Default::default()
+        }),
+        max_hs: 0.4,
+    };
+    let params = TfimParams::paper_defaults(2);
+    let target = Workflow::target_unitary(&tfim_circuit(&params, 2));
+    let pop = spec_wf.generate(&target);
+    assert!(!pop.circuits.is_empty());
+    for (i, ap) in pop.circuits.iter().enumerate() {
+        assert_round_trips(&ap.circuit, &format!("synthesized circuit {i}"));
+    }
+}
