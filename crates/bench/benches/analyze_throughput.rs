@@ -1,0 +1,71 @@
+//! Throughput of the static-analysis layer: CircuitDag construction, the
+//! dataflow lints, and the noise-budget interpreter, across circuit shapes
+//! from the paper's workloads plus a wide 16-qubit stress case.
+//!
+//! The point of the estimator is to be cheap enough to pre-rank whole
+//! populations before any density-matrix simulation, so the commentary
+//! reports gates/sec alongside the raw per-call timings. Output is CSV;
+//! the checked-in snapshot lives at `artifacts/analyze_throughput.csv`
+//! (regenerate with `cargo bench -p qaprox-bench --bench analyze_throughput`).
+
+use qaprox_algos::{grover_circuit, optimal_iterations, tfim_circuit, TfimParams};
+use qaprox_bench::timing::{bench, header};
+use qaprox_circuit::Circuit;
+use qaprox_device::devices::{ourense, toronto};
+use qaprox_verify::{analyze, find_cancellations, AnalyzeOptions, CircuitDag};
+
+fn wide_ladder(num_qubits: usize, rounds: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for r in 0..rounds {
+        for q in 0..num_qubits {
+            c.rz(0.1 * (r + q) as f64, q);
+        }
+        for q in 0..num_qubits - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+fn main() {
+    header("analyze_throughput");
+
+    let params = TfimParams::paper_defaults(3);
+    let cases: Vec<(&str, Circuit)> = vec![
+        ("tfim3q/4steps", tfim_circuit(&params, 4)),
+        ("tfim3q/16steps", tfim_circuit(&params, 16)),
+        ("grover3q", grover_circuit(3, 7, optimal_iterations(3))),
+        ("ladder16q/8rounds", wide_ladder(16, 8)),
+    ];
+
+    let cal3 = ourense().induced(&[0, 1, 2]);
+    let cal16 = toronto().induced(&(0..16).collect::<Vec<_>>());
+    let opts = AnalyzeOptions::default();
+
+    for (name, circuit) in &cases {
+        let cal = if circuit.num_qubits() > 3 {
+            &cal16
+        } else {
+            &cal3
+        };
+        let gates = circuit.len() as f64;
+
+        let dag = bench(&format!("dag_build/{name}"), || {
+            CircuitDag::from_circuit(circuit)
+        });
+        let built = CircuitDag::from_circuit(circuit);
+        let lints = bench(&format!("cancellations/{name}"), || {
+            find_cancellations(&built)
+        });
+        let full = bench(&format!("analyze/{name}"), || analyze(circuit, cal, &opts));
+
+        let rate = gates / full.median.as_secs_f64();
+        println!(
+            "# {name}: {} gates, dag {:?}, cancellations {:?}, analyze {:?} ({rate:.0} gates/s)",
+            circuit.len(),
+            dag.median,
+            lints.median,
+            full.median
+        );
+    }
+}

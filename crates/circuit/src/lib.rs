@@ -22,4 +22,4 @@ pub mod qasm;
 pub use circuit::{Circuit, Instruction};
 pub use commute::commutes;
 pub use gate::{controlled, Gate};
-pub use parser::{from_qasm, from_qasm_lenient, ParseError, RawProgram};
+pub use parser::{from_qasm, from_qasm_lenient, ParseError, RawMeasure, RawProgram};

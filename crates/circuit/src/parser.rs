@@ -76,6 +76,26 @@ fn parse_qubit(s: &str, line: usize) -> Result<usize, ParseError> {
         .map_err(|_| err(line, format!("bad qubit index in '{t}'")))
 }
 
+/// A measurement statement kept by the lenient parser.
+///
+/// The core [`Circuit`] IR is pure unitary evolution (measurement is implied
+/// at the end), so `measure q[i] -> c[j];` lines never become
+/// [`Instruction`]s. They are recorded here for dataflow analysis: lints
+/// like "gate after final measurement" and "unread classical bit" need to
+/// know *where* in the gate stream each measurement sits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawMeasure {
+    /// Measured qubit index (unchecked, like gate operands).
+    pub qubit: usize,
+    /// Destination classical bit index (unchecked).
+    pub clbit: usize,
+    /// Number of gate instructions parsed *before* this measurement — its
+    /// position in the merged program order.
+    pub after: usize,
+    /// 1-based source line.
+    pub line: usize,
+}
+
 /// A leniently parsed program: the declared register width plus the raw
 /// instruction stream, with **no** structural validation applied.
 ///
@@ -86,10 +106,26 @@ fn parse_qubit(s: &str, line: usize) -> Result<usize, ParseError> {
 pub struct RawProgram {
     /// Width of the `qreg` declaration.
     pub num_qubits: usize,
+    /// Width of the `creg` declaration (0 when absent).
+    pub num_clbits: usize,
     /// Instructions in program order, operands unchecked.
     pub instructions: Vec<Instruction>,
     /// 1-based source line of each instruction (parallel to `instructions`).
     pub lines: Vec<usize>,
+    /// Measurement statements in program order, operands unchecked.
+    pub measures: Vec<RawMeasure>,
+}
+
+/// Parses `c[3]` into `3`.
+fn parse_clbit(s: &str, line: usize) -> Result<usize, ParseError> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix("c[")
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected c[i], got '{t}'")))?;
+    inner
+        .parse()
+        .map_err(|_| err(line, format!("bad classical bit index in '{t}'")))
 }
 
 /// Parses the text format produced by [`crate::qasm::to_qasm`] without
@@ -99,6 +135,9 @@ pub struct RawProgram {
 /// Only *syntactic* problems fail: missing `qreg`, unknown gate names,
 /// malformed angles or operands, wrong parameter counts. Out-of-range
 /// qubits, duplicate operands, and wrong operand counts parse fine.
+/// `creg c[n];`, `measure q[i] -> c[j];`, and `barrier …;` statements from
+/// real OpenQASM-2 programs are accepted: measurements are kept in
+/// [`RawProgram::measures`], barriers are skipped (they carry no dataflow).
 pub fn from_qasm_lenient(text: &str) -> Result<RawProgram, ParseError> {
     let mut program: Option<RawProgram> = None;
     for (i, raw) in text.lines().enumerate() {
@@ -124,15 +163,53 @@ pub fn from_qasm_lenient(text: &str) -> Result<RawProgram, ParseError> {
             }
             program = Some(RawProgram {
                 num_qubits: n,
+                num_clbits: 0,
                 instructions: Vec::new(),
                 lines: Vec::new(),
+                measures: Vec::new(),
             });
+            continue;
+        }
+
+        if let Some(rest) = stmt.strip_prefix("creg") {
+            let n = rest
+                .trim()
+                .strip_prefix("c[")
+                .and_then(|r| r.strip_suffix(']'))
+                .and_then(|r| r.parse::<usize>().ok())
+                .ok_or_else(|| err(line_no, "malformed creg declaration"))?;
+            let p = program
+                .as_mut()
+                .ok_or_else(|| err(line_no, "creg before qreg declaration"))?;
+            if p.num_clbits != 0 {
+                return Err(err(line_no, "duplicate creg declaration"));
+            }
+            p.num_clbits = n;
             continue;
         }
 
         let p = program
             .as_mut()
             .ok_or_else(|| err(line_no, "gate before qreg declaration"))?;
+
+        if let Some(rest) = stmt.strip_prefix("measure") {
+            let (lhs, rhs) = rest
+                .split_once("->")
+                .ok_or_else(|| err(line_no, "measure needs 'q[i] -> c[j]'"))?;
+            let qubit = parse_qubit(lhs, line_no)?;
+            let clbit = parse_clbit(rhs, line_no)?;
+            p.measures.push(RawMeasure {
+                qubit,
+                clbit,
+                after: p.instructions.len(),
+                line: line_no,
+            });
+            continue;
+        }
+
+        if stmt.starts_with("barrier") {
+            continue; // no dataflow: purely a scheduling hint
+        }
 
         // split "name(params) operands" or "name operands"
         let (head, operands) = match stmt.find(' ') {
@@ -220,7 +297,9 @@ pub fn from_qasm_lenient(text: &str) -> Result<RawProgram, ParseError> {
 
 /// Parses the text format produced by [`crate::qasm::to_qasm`] back into a
 /// circuit, validating operand counts (arity) here and operand ranges via
-/// [`Circuit::push`].
+/// [`Circuit::push`]. Final `measure` statements are dropped — the IR is
+/// pure unitary evolution with measurement implied at the end — so a real
+/// OpenQASM-2 dump with a trailing measurement block loads cleanly.
 pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
     let raw = from_qasm_lenient(text)?;
     let mut c = Circuit::new(raw.num_qubits);
@@ -332,6 +411,52 @@ mod tests {
         assert!(from_qasm_lenient("qreg q[1];\nfoo q[0];\n").is_err());
         assert!(from_qasm_lenient("qreg q[1];\nrz(abc) q[0];\n").is_err());
         assert!(from_qasm_lenient("h q[0];\n").is_err());
+    }
+
+    #[test]
+    fn parses_creg_measure_and_barrier() {
+        let src = "qreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0],q[1];\n\
+                   measure q[0] -> c[0];\nx q[1];\nmeasure q[1] -> c[1];\n";
+        let raw = from_qasm_lenient(src).unwrap();
+        assert_eq!(raw.num_qubits, 2);
+        assert_eq!(raw.num_clbits, 2);
+        assert_eq!(raw.instructions.len(), 2, "barrier and measures skipped");
+        assert_eq!(
+            raw.measures,
+            vec![
+                RawMeasure {
+                    qubit: 0,
+                    clbit: 0,
+                    after: 1,
+                    line: 5
+                },
+                RawMeasure {
+                    qubit: 1,
+                    clbit: 1,
+                    after: 2,
+                    line: 7
+                },
+            ]
+        );
+        // the strict parser drops measurements but still round-trips gates
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn measure_operands_are_unchecked_like_gates() {
+        let raw = from_qasm_lenient("qreg q[1];\ncreg c[1];\nmeasure q[9] -> c[9];\n").unwrap();
+        assert_eq!(raw.measures[0].qubit, 9);
+        assert_eq!(raw.measures[0].clbit, 9);
+    }
+
+    #[test]
+    fn malformed_measure_and_creg_fail() {
+        assert!(from_qasm_lenient("qreg q[1];\nmeasure q[0];\n").is_err());
+        assert!(from_qasm_lenient("qreg q[1];\nmeasure q[0] -> q[0];\n").is_err());
+        assert!(from_qasm_lenient("qreg q[1];\ncreg c[x];\n").is_err());
+        assert!(from_qasm_lenient("creg c[1];\nqreg q[1];\n").is_err());
+        assert!(from_qasm_lenient("qreg q[1];\ncreg c[1];\ncreg c[2];\n").is_err());
     }
 
     #[test]

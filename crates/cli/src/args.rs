@@ -17,7 +17,14 @@ pub struct Args {
 /// Flags that never take a value — without this list the parser would
 /// swallow a following positional as the flag's value
 /// (`lint --strict-connectivity file.qasm` must keep `file.qasm`).
-const BOOLEAN_FLAGS: &[&str] = &["hardware", "strict-connectivity", "no-store", "no-wait"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "hardware",
+    "strict-connectivity",
+    "no-store",
+    "no-wait",
+    "no-relaxation",
+    "no-readout",
+];
 
 /// Parses an argument list (excluding the program name).
 pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {

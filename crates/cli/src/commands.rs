@@ -54,9 +54,22 @@ SUBCOMMANDS:
   report    print a device noise report (--device NAME)
   show      dump the reference circuit as QASM (workload options)
   lint      statically analyze QASM files for defects (exit 1 on errors)
-              qaprox lint FILE... [--format text|json]
-              --device NAME  check connectivity + calibration sanity
+              qaprox lint PATH... [--format text|json]
+              (a directory PATH is scanned recursively for *.qasm files)
+              --device NAME  check connectivity + calibration sanity;
+                             implies --strict-connectivity unless QA106 is
+                             explicitly re-leveled via --allow/--warn/--deny
               --strict-connectivity  treat coupling violations as errors
+              --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
+  analyze   static noise-budget estimate for a circuit (no simulation)
+              qaprox analyze [PATH...] [--format text|json]
+              (no PATH: analyze the workload reference; workload options apply)
+              --device NAME  calibration snapshot     (default ourense)
+              --cx-error E   override uniform CNOT error
+              --min-fidelity F        flag QA401 below this bound
+              --min-qubit-fidelity F  flag QA402 below this per-qubit budget
+              --no-relaxation  ignore T1/T2 during idle+gate windows
+              --no-readout     ignore measurement error
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
   help      this text
 ";
@@ -74,6 +87,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "report" => cmd_report(args),
         "show" => cmd_show(args),
         "lint" => cmd_lint(args),
+        "analyze" => cmd_analyze(args),
         "help" => {
             print!("{USAGE}");
             Ok(())
@@ -230,14 +244,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         reference.cx_count(),
         result.ref_score
     );
-    println!("cnots,hs_distance,tvd_to_ideal,beats_reference");
+    let analysis = qaprox_verify::analyze(&reference, &spec.calibration()?, &Default::default());
+    println!(
+        "# analysis: fidelity_bound={:.4} esp={:.4} cnot_critical_path={:.0} depth={}",
+        analysis.fidelity_bound, analysis.esp, analysis.cnot_critical_path, analysis.depth
+    );
+    println!("cnots,hs_distance,predicted,tvd_to_ideal,beats_reference");
     let mut wins = 0usize;
     for row in &result.rows {
         let beats = row.score < result.ref_score;
         wins += beats as usize;
         println!(
-            "{},{:.5},{:.4},{}",
-            row.cnots, row.hs_distance, row.score, beats
+            "{},{:.5},{:.4},{:.4},{}",
+            row.cnots, row.hs_distance, row.predicted, row.score, beats
         );
     }
     println!(
@@ -320,15 +339,26 @@ fn print_payload(payload: &Json) -> Result<(), String> {
                 payload.get_bool("population_cached").unwrap_or(false),
             );
             println!("# reference TVD to ideal under noise = {ref_score:.4}");
-            println!("cnots,hs_distance,tvd_to_ideal,beats_reference");
+            if let Some(analysis) = payload.get("analysis") {
+                println!(
+                    "# analysis: fidelity_bound={:.4} esp={:.4} cnot_critical_path={:.0} depth={}",
+                    analysis.get_f64("fidelity_bound").unwrap_or(f64::NAN),
+                    analysis.get_f64("esp").unwrap_or(f64::NAN),
+                    analysis.get_f64("cnot_critical_path").unwrap_or(f64::NAN),
+                    analysis.get_u64("depth").unwrap_or(0),
+                );
+            }
+            println!("cnots,hs_distance,predicted,tvd_to_ideal,beats_reference");
             let mut total = 0usize;
             if let Some(Json::Arr(rows)) = payload.get("rows") {
                 total = rows.len();
                 for row in rows {
                     if let Json::Arr(cells) = row {
-                        if let [Json::Num(cnots), Json::Num(hs), Json::Num(score)] = &cells[..] {
+                        if let [Json::Num(cnots), Json::Num(hs), Json::Num(predicted), Json::Num(score)] =
+                            &cells[..]
+                        {
                             println!(
-                                "{},{hs:.5},{score:.4},{}",
+                                "{},{hs:.5},{predicted:.4},{score:.4},{}",
                                 *cnots as usize,
                                 *score < ref_score
                             );
@@ -427,6 +457,11 @@ fn cmd_show(args: &Args) -> Result<(), String> {
 
 /// Builds a [`LintConfig`](qaprox_verify::LintConfig) from
 /// `--allow/--warn/--deny CODE[,CODE...]` and `--strict-connectivity`.
+///
+/// Giving `--device` implies strict connectivity (QA106 at deny): a lint run
+/// against a concrete coupling map is a routing check, and an unrouted gate
+/// can never execute there. An explicit QA106 entry in `--allow/--warn/--deny`
+/// overrides the implication.
 fn lint_config_from(args: &Args) -> Result<qaprox_verify::LintConfig, String> {
     use qaprox_verify::{LintCode, LintConfig, LintLevel};
     let mut cfg = if args.flag("strict-connectivity") {
@@ -434,6 +469,7 @@ fn lint_config_from(args: &Args) -> Result<qaprox_verify::LintConfig, String> {
     } else {
         LintConfig::new()
     };
+    let mut qa106_explicit = false;
     for (key, level) in [
         ("allow", LintLevel::Allow),
         ("warn", LintLevel::Warn),
@@ -443,19 +479,59 @@ fn lint_config_from(args: &Args) -> Result<qaprox_verify::LintConfig, String> {
             for tok in raw.split(',') {
                 let code = LintCode::parse(tok.trim())
                     .ok_or_else(|| format!("--{key}: unknown lint code '{}'", tok.trim()))?;
+                qa106_explicit |= code == LintCode::ConnectivityViolation;
                 cfg.set(code, level);
             }
         }
     }
+    if args.options.contains_key("device") && !qa106_explicit {
+        cfg.set(LintCode::ConnectivityViolation, LintLevel::Deny);
+    }
     Ok(cfg)
+}
+
+/// Expands lint/analyze positionals: a directory is scanned recursively for
+/// `*.qasm` files (sorted for stable output), anything else passes through.
+fn expand_qasm_paths(positional: &[String]) -> Result<Vec<String>, String> {
+    fn walk(dir: &std::path::Path, out: &mut Vec<String>) -> Result<(), String> {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read '{}': {e}", dir.display()))?;
+        let mut paths: Vec<_> = entries
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("cannot read '{}': {e}", dir.display()))?;
+        paths.sort();
+        for p in paths {
+            if p.is_dir() {
+                walk(&p, out)?;
+            } else if p.extension().is_some_and(|x| x == "qasm") {
+                out.push(p.to_string_lossy().into_owned());
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for path in positional {
+        if std::path::Path::new(path).is_dir() {
+            let before = files.len();
+            walk(std::path::Path::new(path), &mut files)?;
+            if files.len() == before {
+                return Err(format!("no .qasm files under '{path}'"));
+            }
+        } else {
+            files.push(path.clone());
+        }
+    }
+    Ok(files)
 }
 
 /// Statically analyzes QASM files (and optionally a device calibration) and
 /// reports diagnostics; returns `Err` — i.e. a non-zero exit — when any
-/// deny-level finding is produced.
+/// deny-level finding is produced. Directory arguments are scanned
+/// recursively for `*.qasm` files.
 fn cmd_lint(args: &Args) -> Result<(), String> {
     if args.positional.is_empty() {
-        return Err("lint: give at least one QASM file".into());
+        return Err("lint: give at least one QASM file or directory".into());
     }
     let cfg = lint_config_from(args)?;
     let format = args.str_or("format", "text");
@@ -470,14 +546,16 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     };
 
     let mut total_errors = 0usize;
-    for path in &args.positional {
+    for path in &expand_qasm_paths(&args.positional)? {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
         let raw = qaprox_circuit::from_qasm_lenient(&text)
             .map_err(|e| format!("{path}: parse error: {e}"))?;
-        let mut report = qaprox_verify::lint_instructions(
+        let mut report = qaprox_verify::lint_program(
             raw.num_qubits,
+            raw.num_clbits,
             &raw.instructions,
+            &raw.measures,
             calibration.as_ref().map(|cal| &cal.topology),
             &cfg,
         );
@@ -495,6 +573,90 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     }
     if total_errors > 0 {
         Err(format!("lint found {total_errors} error(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Builds [`AnalyzeOptions`](qaprox_verify::AnalyzeOptions) from the
+/// `--no-relaxation/--no-readout/--min-fidelity/--min-qubit-fidelity` flags.
+fn analyze_options_from(args: &Args) -> Result<qaprox_verify::AnalyzeOptions, String> {
+    let threshold = |key: &str| -> Result<Option<f64>, String> {
+        match args.options.get(key) {
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+            None => Ok(None),
+        }
+    };
+    Ok(qaprox_verify::AnalyzeOptions {
+        include_relaxation: !args.flag("no-relaxation"),
+        include_readout: !args.flag("no-readout"),
+        min_fidelity: threshold("min-fidelity")?,
+        min_qubit_fidelity: threshold("min-qubit-fidelity")?,
+    })
+}
+
+/// Static noise-budget estimate (`qaprox analyze`): no simulation, just the
+/// dataflow analyses plus the abstract success-probability interpreter from
+/// `qaprox-verify`. Analyzes QASM files when paths are given, the workload
+/// reference circuit otherwise. Exits non-zero when any deny-level finding
+/// fires (e.g. `--min-fidelity` with QA401 at deny).
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let cfg = lint_config_from(args)?;
+    let opts = analyze_options_from(args)?;
+    let format = args.str_or("format", "text");
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("--format: expected text|json, got '{format}'"));
+    }
+    let device = args.str_or("device", "ourense");
+    let mut cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
+    if let Some(raw) = args.options.get("cx-error") {
+        let eps: f64 = raw
+            .parse()
+            .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?;
+        cal = cal.with_uniform_cx_error(eps);
+    }
+
+    let circuits: Vec<(String, Circuit)> = if args.positional.is_empty() {
+        vec![(
+            format!("{} reference", args.str_or("workload", "tfim")),
+            reference_circuit(args)?,
+        )]
+    } else {
+        let mut v = Vec::new();
+        for path in expand_qasm_paths(&args.positional)? {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let circuit = qaprox_circuit::from_qasm(&text)
+                .map_err(|e| format!("{path}: parse error: {e}"))?;
+            v.push((path, circuit));
+        }
+        v
+    };
+
+    let mut total_errors = 0usize;
+    for (name, circuit) in &circuits {
+        if circuit.num_qubits() > cal.topology.num_qubits() {
+            return Err(format!(
+                "{name}: {} qubits exceed device '{device}' ({} qubits)",
+                circuit.num_qubits(),
+                cal.topology.num_qubits()
+            ));
+        }
+        let report = qaprox_verify::analyze_with_config(circuit, &cal, &opts, &cfg);
+        total_errors += report.findings.error_count();
+        match format.as_str() {
+            "json" => println!("{}", report.to_json()),
+            _ => {
+                println!("# {name}");
+                print!("{}", report.to_text());
+            }
+        }
+    }
+    if total_errors > 0 {
+        Err(format!("analyze found {total_errors} error(s)"))
     } else {
         Ok(())
     }
@@ -674,10 +836,78 @@ mod tests {
 
     #[test]
     fn lint_strict_connectivity_flags_unrouted_gates() {
-        // ourense has no (0,4) edge: warn by default, error under --strict-connectivity
+        // ourense has no (0,4) edge: --device now implies strict connectivity,
+        // so the unrouted gate errors unless QA106 is explicitly demoted
         let p = temp_qasm("qaprox_lint_conn.qasm", "qreg q[5];\ncx q[0],q[4];\n");
-        assert!(run(&["lint", &p, "--device", "ourense"]).is_ok());
+        assert!(run(&["lint", &p, "--device", "ourense"]).is_err());
+        assert!(run(&["lint", &p, "--device", "ourense", "--warn", "QA106"]).is_ok());
         assert!(run(&["lint", &p, "--device", "ourense", "--strict-connectivity"]).is_err());
+        // without a device there is no coupling map to violate
+        assert!(run(&["lint", &p]).is_ok());
+    }
+
+    #[test]
+    fn lint_recurses_directories_and_reports_dataflow_codes() {
+        let dir = std::env::temp_dir().join(format!("qaprox-lint-dir-{}", std::process::id()));
+        let sub = dir.join("nested");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(
+            dir.join("clean.qasm"),
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        )
+        .unwrap();
+        // h;h cancels: QA302 fires (warn by default, deniable)
+        std::fs::write(sub.join("pair.qasm"), "qreg q[1];\nh q[0];\nh q[0];\n").unwrap();
+        std::fs::write(sub.join("notes.txt"), "not qasm").unwrap();
+        let d = dir.to_string_lossy().into_owned();
+        assert!(run(&["lint", &d]).is_ok());
+        assert!(run(&["lint", &d, "--deny", "QA302"]).is_err());
+        // a directory without any .qasm files is a usage error
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let e = empty.to_string_lossy().into_owned();
+        assert!(run(&["lint", &e]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_understands_measurement_programs() {
+        // gate after final measurement (QA304) + unread clbit via out-of-range
+        // measure target (QA306) both surface through the CLI
+        let p = temp_qasm(
+            "qaprox_lint_meas.qasm",
+            "qreg q[2];\ncreg c[1];\nmeasure q[0] -> c[0];\nx q[0];\n",
+        );
+        assert!(run(&["lint", &p]).is_ok());
+        assert!(run(&["lint", &p, "--deny", "QA304"]).is_err());
+    }
+
+    #[test]
+    fn analyze_reference_circuit_and_thresholds() {
+        assert!(run(&["analyze", "--qubits", "3", "--steps", "2"]).is_ok());
+        assert!(run(&["analyze", "--format", "json"]).is_ok());
+        // an impossible fidelity floor at deny level fails the command
+        assert!(run(&["analyze", "--min-fidelity", "1.5", "--deny", "QA401"]).is_err());
+        // same floor at the default warn level merely reports
+        assert!(run(&["analyze", "--min-fidelity", "1.5"]).is_ok());
+        assert!(run(&["analyze", "--device", "nowhere"]).is_err());
+        assert!(run(&["analyze", "--format", "yaml"]).is_err());
+        assert!(run(&["analyze", "--cx-error", "abc"]).is_err());
+    }
+
+    #[test]
+    fn analyze_qasm_files_and_relaxation_toggle() {
+        let p = temp_qasm(
+            "qaprox_analyze.qasm",
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n",
+        );
+        assert!(run(&["analyze", &p]).is_ok());
+        assert!(run(&["analyze", &p, "--no-relaxation", "--no-readout"]).is_ok());
+        assert!(run(&["analyze", &p, "--cx-error", "0.2", "--format", "json"]).is_ok());
+        // a 6-qubit circuit exceeds 5-qubit ourense but fits 27-qubit toronto
+        let big = temp_qasm("qaprox_analyze_big.qasm", "qreg q[6];\nh q[0];\n");
+        assert!(run(&["analyze", &big, "--device", "ourense"]).is_err());
+        assert!(run(&["analyze", &big, "--device", "toronto"]).is_ok());
     }
 
     #[test]

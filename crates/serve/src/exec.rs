@@ -227,21 +227,20 @@ pub fn obtain_run(
     let ref_probs = backend.probabilities(&reference, spec.job_seed);
     let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
 
-    let circuits: Vec<Circuit> = pop
-        .population
-        .circuits
-        .iter()
-        .map(|ap| ap.circuit.clone())
-        .collect();
+    // static pre-rank: order candidates by the O(gates) noise-budget score
+    // (best first) before any O(4^n) density-matrix work, so rows come out
+    // in the analyzer's preference order and consumers can truncate cheaply
+    let cal = spec.calibration()?;
+    let ranked = qaprox_synth::rank_by_predicted(&pop.population.circuits, &cal);
+    let circuits: Vec<Circuit> = ranked.iter().map(|(ap, _)| ap.circuit.clone()).collect();
     let probs = backend.probabilities_batch(&circuits)?;
-    let rows: Vec<ResultRow> = pop
-        .population
-        .circuits
+    let rows: Vec<ResultRow> = ranked
         .iter()
         .zip(&probs)
-        .map(|(ap, p)| ResultRow {
+        .map(|((ap, predicted), p)| ResultRow {
             cnots: ap.cnots,
             hs_distance: ap.hs_distance,
+            predicted: *predicted,
             score: qaprox_metrics::total_variation(p, &ideal),
         })
         .collect();
@@ -312,6 +311,7 @@ pub fn run_spec(
                         Json::Arr(vec![
                             Json::Num(row.cnots as f64),
                             Json::Num(row.hs_distance),
+                            Json::Num(row.predicted),
                             Json::Num(row.score),
                         ])
                     })
@@ -321,6 +321,15 @@ pub fn run_spec(
                     .iter()
                     .filter(|row| row.score < result.ref_score)
                     .count();
+                // the reference circuit's static analysis rides along with
+                // every run result (cached ones included — it's O(gates))
+                let analysis_report = qaprox_verify::analyze(
+                    &r.synth.reference_circuit()?,
+                    &r.calibration()?,
+                    &Default::default(),
+                );
+                let analysis = qaprox_store::json::parse(&analysis_report.to_json())
+                    .map_err(|e| e.to_string())?;
                 Ok(ExecResult::Done(Json::obj(vec![
                     ("kind", Json::Str("run".into())),
                     ("key", Json::Str(key.hex())),
@@ -331,6 +340,7 @@ pub fn run_spec(
                     ),
                     ("ref_score", Json::Num(result.ref_score)),
                     ("wins", Json::Num(wins as f64)),
+                    ("analysis", analysis),
                     ("rows", Json::Arr(rows)),
                 ])))
             }
@@ -444,6 +454,30 @@ mod tests {
         assert!(pop2.is_none(), "a result hit skips synthesis entirely");
         assert_eq!(key2, key);
         assert_eq!(result2.rows, result.rows);
+    }
+
+    #[test]
+    fn run_rows_come_out_pre_ranked_by_predicted_score() {
+        let spec = RunSpec {
+            synth: tiny_synth(5),
+            device: "ourense".into(),
+            cx_error: Some(0.08),
+            hardware: false,
+            job_seed: 0,
+        };
+        let (_, result, _, _) = obtain_run(None, &spec, &ExecCtl::default()).unwrap();
+        assert!(
+            result
+                .rows
+                .windows(2)
+                .all(|w| w[0].predicted >= w[1].predicted),
+            "rows must be sorted by predicted score desc: {:?}",
+            result.rows.iter().map(|r| r.predicted).collect::<Vec<_>>()
+        );
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.predicted > 0.0 && r.predicted <= 1.0));
     }
 
     #[test]

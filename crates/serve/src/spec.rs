@@ -168,8 +168,9 @@ impl SynthSpec {
 }
 
 impl RunSpec {
-    /// Builds the backend this spec scores on (mirrors the CLI).
-    pub fn backend(&self) -> Result<Backend, String> {
+    /// The induced (and possibly cx-error-overridden) calibration this spec
+    /// runs on — shared by the backend and the static analyzer.
+    pub fn calibration(&self) -> Result<qaprox_device::Calibration, String> {
         let cal = devices::by_name(&self.device)
             .ok_or_else(|| format!("unknown device '{}'", self.device))?;
         if self.synth.qubits > cal.topology.num_qubits() {
@@ -182,12 +183,29 @@ impl RunSpec {
         if let Some(eps) = self.cx_error {
             induced = induced.with_uniform_cx_error(eps);
         }
-        let model = NoiseModel::from_calibration(induced);
+        Ok(induced)
+    }
+
+    /// Builds the backend this spec scores on (mirrors the CLI).
+    pub fn backend(&self) -> Result<Backend, String> {
+        let model = NoiseModel::from_calibration(self.calibration()?);
         Ok(if self.hardware {
             Backend::Hardware(HardwareBackend::new(model))
         } else {
             Backend::Noisy(model)
         })
+    }
+
+    /// Fingerprint of the reference circuit's static analysis under this
+    /// spec's calibration. Folded into [`RunSpec::result_key`] so cached
+    /// results are keyed by the predicted fidelity too: a new estimator (or
+    /// changed calibration math) makes old artifacts unreachable instead of
+    /// silently stale.
+    pub fn analysis_fingerprint(&self) -> Result<String, String> {
+        let reference = self.synth.reference_circuit()?;
+        let cal = self.calibration()?;
+        let report = qaprox_verify::analyze(&reference, &cal, &Default::default());
+        Ok(report.fingerprint())
     }
 
     /// Canonical backend fingerprint.
@@ -205,7 +223,12 @@ impl RunSpec {
     /// The store key for this spec's execution result.
     pub fn result_key(&self) -> Result<Key, String> {
         let pop = self.synth.population_key()?;
-        Ok(result_key(&pop, &self.backend_fingerprint(), self.job_seed))
+        let fp = format!(
+            "{};{}",
+            self.backend_fingerprint(),
+            self.analysis_fingerprint()?
+        );
+        Ok(result_key(&pop, &fp, self.job_seed))
     }
 
     /// JSON form (spec fields only).
@@ -356,6 +379,25 @@ mod tests {
         let mut other = run.clone();
         other.job_seed = 7;
         assert_ne!(other.result_key().unwrap(), rk);
+    }
+
+    #[test]
+    fn result_keys_record_the_predicted_fidelity_fingerprint() {
+        let run = RunSpec {
+            synth: SynthSpec {
+                qubits: 2,
+                steps: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let fp = run.analysis_fingerprint().unwrap();
+        assert!(fp.starts_with("analyze/v1;bound="), "{fp}");
+        // a noisier device changes the predicted fidelity, hence the key,
+        // even when the backend fingerprint would also differ
+        let mut noisier = run.clone();
+        noisier.cx_error = Some(0.2);
+        assert_ne!(noisier.analysis_fingerprint().unwrap(), fp);
     }
 
     #[test]

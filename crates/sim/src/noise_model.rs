@@ -112,6 +112,20 @@ impl NoiseModel {
         dm
     }
 
+    /// Static analysis of `circuit` under this model's parameters, without
+    /// simulating: delegates to [`qaprox_verify::analyze`] with this model's
+    /// relaxation/readout switches. The returned `fidelity_bound` upper
+    /// bounds what [`NoiseModel::run_density`] +
+    /// `DensityMatrix::fidelity_pure` would measure.
+    pub fn analyze(&self, circuit: &Circuit) -> qaprox_verify::AnalysisReport {
+        let opts = qaprox_verify::AnalyzeOptions {
+            include_relaxation: self.include_relaxation,
+            include_readout: self.include_readout,
+            ..Default::default()
+        };
+        qaprox_verify::analyze(circuit, &self.cal, &opts)
+    }
+
     /// Full noisy output distribution, including readout confusion.
     pub fn probabilities(&self, circuit: &Circuit) -> Vec<f64> {
         let dm = self.run_density(circuit);
@@ -241,6 +255,23 @@ mod tests {
         // ground state should be misread with roughly the readout error rate
         assert!(p[0] < 1.0 - ro / 2.0);
         assert!(p[0] > 0.8);
+    }
+
+    #[test]
+    fn static_bound_upper_bounds_measured_fidelity() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        for eps in [0.0, 0.02, 0.1] {
+            let model = NoiseModel::from_calibration(cal.with_uniform_cx_error(eps));
+            let mut c = Circuit::new(3);
+            c.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2).cx(0, 1);
+            let measured = model.run_density(&c).fidelity_pure(&c.statevector());
+            let report = model.analyze(&c);
+            assert!(
+                report.fidelity_bound >= measured - 1e-12,
+                "bound {} undercuts measured {measured} at eps={eps}",
+                report.fidelity_bound
+            );
+        }
     }
 
     #[test]

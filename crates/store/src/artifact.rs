@@ -47,6 +47,9 @@ pub struct ResultRow {
     pub cnots: usize,
     /// HS distance recorded at synthesis time.
     pub hs_distance: f64,
+    /// Static predicted score from the noise-budget estimator (computed
+    /// before simulation; the pre-ranking signal).
+    pub predicted: f64,
     /// Scalar score (metric-dependent).
     pub score: f64,
 }
@@ -237,6 +240,7 @@ impl ResultArtifact {
                 Json::Arr(vec![
                     Json::Num(r.cnots as f64),
                     Json::Num(r.hs_distance),
+                    Json::Num(r.predicted),
                     Json::Num(r.score),
                 ])
             })
@@ -266,8 +270,8 @@ impl ResultArtifact {
             .iter()
             .enumerate()
             .map(|(i, row)| {
-                let cells = row.as_arr().filter(|c| c.len() == 3);
-                let cells = cells.ok_or_else(|| bad(format!("row {i}: not a 3-tuple")))?;
+                let cells = row.as_arr().filter(|c| c.len() == 4);
+                let cells = cells.ok_or_else(|| bad(format!("row {i}: not a 4-tuple")))?;
                 Ok(ResultRow {
                     cnots: cells[0]
                         .as_usize()
@@ -275,7 +279,10 @@ impl ResultArtifact {
                     hs_distance: cells[1]
                         .as_f64()
                         .ok_or_else(|| bad(format!("row {i}: bad hs")))?,
-                    score: cells[2]
+                    predicted: cells[2]
+                        .as_f64()
+                        .ok_or_else(|| bad(format!("row {i}: bad predicted")))?,
+                    score: cells[3]
                         .as_f64()
                         .ok_or_else(|| bad(format!("row {i}: bad score")))?,
                 })
@@ -370,11 +377,13 @@ mod tests {
                 ResultRow {
                     cnots: 1,
                     hs_distance: 0.05,
+                    predicted: 0.84,
                     score: 0.3,
                 },
                 ResultRow {
                     cnots: 4,
                     hs_distance: 1e-9,
+                    predicted: 0.62,
                     score: 0.001,
                 },
             ],

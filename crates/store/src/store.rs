@@ -588,6 +588,7 @@ mod tests {
             rows: vec![ResultRow {
                 cnots: 2,
                 hs_distance: 0.03,
+                predicted: 0.9,
                 score: 0.2,
             }],
         };

@@ -91,6 +91,35 @@ pub fn dedupe(circuits: &[ApproxCircuit]) -> Vec<ApproxCircuit> {
     out
 }
 
+/// Static pre-ranking score for one candidate under a device calibration:
+/// the estimated success probability from `qaprox-verify`'s noise-budget
+/// interpreter times the candidate's closeness to the synthesis target
+/// (`1 - hs_distance`). This is the paper's trade-off in one number — a
+/// shorter circuit pays less noise (higher ESP) but may sit further from
+/// the target unitary — computed in O(gates) with no simulation.
+pub fn predicted_score(candidate: &ApproxCircuit, cal: &qaprox_device::Calibration) -> f64 {
+    let opts = qaprox_verify::AnalyzeOptions::default();
+    let report = qaprox_verify::analyze(&candidate.circuit, cal, &opts);
+    report.esp * (1.0 - candidate.hs_distance.clamp(0.0, 1.0))
+}
+
+/// Sorts candidates by [`predicted_score`] descending (best first), each
+/// paired with its score. Serve uses this to pre-rank a population before
+/// any density-matrix simulation; at high noise the ranking puts fewer-CNOT
+/// approximations above the exact circuit — the paper's crossover —
+/// without running the O(4^n) simulator.
+pub fn rank_by_predicted(
+    circuits: &[ApproxCircuit],
+    cal: &qaprox_device::Calibration,
+) -> Vec<(ApproxCircuit, f64)> {
+    let mut ranked: Vec<(ApproxCircuit, f64)> = circuits
+        .iter()
+        .map(|c| (c.clone(), predicted_score(c, cal)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
 /// The minimum-HS circuit per CNOT count — the "best per depth" frontier
 /// used by the paper's depth-vs-noise analysis (Fig. 11).
 pub fn best_per_cnot_count(circuits: &[ApproxCircuit]) -> Vec<ApproxCircuit> {
@@ -153,6 +182,39 @@ mod tests {
     fn dedupe_removes_identical_classes() {
         let pop = vec![fake(2, 0.05), fake(2, 0.05), fake(2, 0.06)];
         assert_eq!(dedupe(&pop).len(), 2);
+    }
+
+    #[test]
+    fn predicted_ranking_prefers_fewer_cnots_at_high_noise() {
+        let cal = qaprox_device::devices::ourense()
+            .induced(&[0, 1])
+            .with_uniform_cx_error(0.1);
+        // exact but long vs slightly-off but short: under 10% CX error the
+        // short approximation must win the static ranking
+        let exact = fake(8, 0.0);
+        let approx = fake(2, 0.05);
+        let ranked = rank_by_predicted(&[exact, approx], &cal);
+        assert_eq!(
+            ranked[0].0.cnots, 2,
+            "short approximation should rank first"
+        );
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn predicted_ranking_prefers_exactness_at_low_noise() {
+        let mut cal = qaprox_device::devices::ourense()
+            .induced(&[0, 1])
+            .with_uniform_cx_error(1e-5);
+        for q in &mut cal.qubits {
+            // long coherence times: the gate-error term dominates
+            q.t1_us = 1e9;
+            q.t2_us = 1e9;
+        }
+        let exact = fake(8, 0.0);
+        let approx = fake(2, 0.05);
+        let ranked = rank_by_predicted(&[exact, approx], &cal);
+        assert_eq!(ranked[0].0.cnots, 8, "exact circuit should rank first");
     }
 
     #[test]

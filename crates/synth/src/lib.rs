@@ -30,7 +30,8 @@ pub mod qsearch;
 pub mod template;
 
 pub use approx::{
-    admit, best_per_cnot_count, dedupe, select_by_threshold, ApproxCircuit, SynthesisOutput,
+    admit, best_per_cnot_count, dedupe, predicted_score, rank_by_predicted, select_by_threshold,
+    ApproxCircuit, SynthesisOutput,
 };
 pub use hooks::{ProgressFn, SearchHooks};
 pub use instantiate::{instantiate, HsObjective, InstantiateConfig, Instantiated};

@@ -21,4 +21,4 @@ pub use decompose::{is_in_basis, to_basis};
 pub use layout::{best_permutation_onto, noise_aware_layout, trivial_layout, Layout};
 pub use optimize::{cancel_cx_pairs, merge_1q_runs, optimize};
 pub use routing::{compact, route, used_qubits, Routed};
-pub use transpiler::{check_routed, transpile, OptLevel, Transpiled};
+pub use transpiler::{check_routed, check_routed_with, transpile, OptLevel, Transpiled};

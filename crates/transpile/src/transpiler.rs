@@ -166,7 +166,23 @@ pub fn check_routed(
     physical_qubits: &[usize],
     cal: &Calibration,
 ) -> Result<(), String> {
-    let cfg = qaprox_verify::LintConfig::strict_connectivity();
+    check_routed_with(
+        circuit,
+        physical_qubits,
+        cal,
+        &qaprox_verify::LintConfig::strict_connectivity(),
+    )
+}
+
+/// [`check_routed`] with a caller-supplied lint configuration, for pipelines
+/// that want to re-level individual codes (e.g. tolerate QA106 on a device
+/// snapshot known to be stale) instead of the strict-connectivity default.
+pub fn check_routed_with(
+    circuit: &Circuit,
+    physical_qubits: &[usize],
+    cal: &Calibration,
+    cfg: &qaprox_verify::LintConfig,
+) -> Result<(), String> {
     // lift the compacted circuit onto physical indices so the coupling-map
     // lint sees real device edges
     let mut physical = Vec::with_capacity(circuit.len());
@@ -185,7 +201,7 @@ pub fn check_routed(
         cal.topology.num_qubits(),
         &physical,
         Some(&cal.topology),
-        &cfg,
+        cfg,
     );
     // dead-gate findings are advisory here: optimization may legitimately
     // leave cancellable pairs behind at low levels
@@ -209,6 +225,23 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cz(1, 2).rz(0.4, 2).cx(0, 2).h(1);
         c
+    }
+
+    #[test]
+    fn check_routed_with_honors_relaxed_configs() {
+        // cx(0,4) is off the ourense line: strict default rejects it, a
+        // config that demotes QA106 back to warn lets it through
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        let cal = ourense();
+        let phys: Vec<usize> = (0..5).collect();
+        assert!(check_routed(&c, &phys, &cal).is_err());
+        let mut relaxed = qaprox_verify::LintConfig::new();
+        relaxed.set(
+            qaprox_verify::LintCode::ConnectivityViolation,
+            qaprox_verify::LintLevel::Warn,
+        );
+        assert!(check_routed_with(&c, &phys, &cal, &relaxed).is_ok());
     }
 
     #[test]

@@ -192,7 +192,7 @@ fn find_cancelling_adjoint(instructions: &[Instruction], i: usize) -> Option<usi
     None
 }
 
-fn emit(
+pub(crate) fn emit(
     out: &mut Vec<Diagnostic>,
     cfg: &LintConfig,
     code: LintCode,

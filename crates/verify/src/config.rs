@@ -1,7 +1,10 @@
 //! The lint catalog and per-code level configuration.
 //!
 //! Every check the verifier performs has a stable `QA…` code. `QA1xx` codes
-//! are circuit-structure lints; `QA2xx` codes are channel/probability lints.
+//! are circuit-structure lints; `QA2xx` codes are channel/probability lints;
+//! `QA3xx` codes are whole-circuit dataflow lints over the [`crate::CircuitDag`];
+//! `QA4xx` codes come from the static noise-budget estimator
+//! ([`crate::analyze`]).
 //! Each code carries a default [`LintLevel`] that a [`LintConfig`] can
 //! override (the CLI's `--allow/--warn/--deny CODE` flags map directly onto
 //! [`LintConfig::set`]).
@@ -34,11 +37,34 @@ pub enum LintCode {
     ProbabilityOutOfRange,
     /// QA203: a row of a readout confusion matrix is not stochastic.
     NonStochasticRow,
+    /// QA301: a declared qubit no gate or measurement ever touches.
+    DeadQubit,
+    /// QA302: a gate provably cancels against a later adjoint on the same
+    /// wires (dataflow-aware: intermediate gates commute, no measurement in
+    /// between). Supersedes the syntactic QA107 scan.
+    CancellingPair,
+    /// QA303: two same-axis rotations adjacent on their wires that merge
+    /// exactly into one rotation with the summed angle.
+    MergeableRotations,
+    /// QA304: a gate acts on a qubit after that qubit's final measurement.
+    OpAfterMeasurement,
+    /// QA305: the active qubits split into two or more partitions no
+    /// multi-qubit gate ever connects.
+    UnentangledPartition,
+    /// QA306: a declared classical bit no measurement ever writes, or a
+    /// measurement writes outside the declared classical register.
+    UnreachableClbit,
+    /// QA401: the static fidelity upper bound falls below the configured
+    /// threshold.
+    LowFidelityBound,
+    /// QA402: one qubit's error budget (survival factor) falls below the
+    /// configured per-qubit threshold.
+    QubitBudgetExceeded,
 }
 
 impl LintCode {
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::QubitOutOfRange,
         LintCode::DuplicateOperands,
         LintCode::ArityMismatch,
@@ -49,6 +75,14 @@ impl LintCode {
         LintCode::NonCptpKraus,
         LintCode::ProbabilityOutOfRange,
         LintCode::NonStochasticRow,
+        LintCode::DeadQubit,
+        LintCode::CancellingPair,
+        LintCode::MergeableRotations,
+        LintCode::OpAfterMeasurement,
+        LintCode::UnentangledPartition,
+        LintCode::UnreachableClbit,
+        LintCode::LowFidelityBound,
+        LintCode::QubitBudgetExceeded,
     ];
 
     /// The stable `QA…` string for this code.
@@ -64,6 +98,14 @@ impl LintCode {
             LintCode::NonCptpKraus => "QA201",
             LintCode::ProbabilityOutOfRange => "QA202",
             LintCode::NonStochasticRow => "QA203",
+            LintCode::DeadQubit => "QA301",
+            LintCode::CancellingPair => "QA302",
+            LintCode::MergeableRotations => "QA303",
+            LintCode::OpAfterMeasurement => "QA304",
+            LintCode::UnentangledPartition => "QA305",
+            LintCode::UnreachableClbit => "QA306",
+            LintCode::LowFidelityBound => "QA401",
+            LintCode::QubitBudgetExceeded => "QA402",
         }
     }
 
@@ -88,6 +130,14 @@ impl LintCode {
             LintCode::NonCptpKraus => "Kraus set is not trace preserving",
             LintCode::ProbabilityOutOfRange => "probability outside [0, 1]",
             LintCode::NonStochasticRow => "confusion-matrix row is not stochastic",
+            LintCode::DeadQubit => "declared qubit is never used",
+            LintCode::CancellingPair => "gate pair cancels along its dataflow wires",
+            LintCode::MergeableRotations => "adjacent rotations merge into one",
+            LintCode::OpAfterMeasurement => "operation after the qubit's final measurement",
+            LintCode::UnentangledPartition => "circuit factorizes into unentangled partitions",
+            LintCode::UnreachableClbit => "classical bit is never written",
+            LintCode::LowFidelityBound => "static fidelity bound below threshold",
+            LintCode::QubitBudgetExceeded => "per-qubit error budget exceeded",
         }
     }
 
@@ -104,7 +154,16 @@ impl LintCode {
             | LintCode::ProbabilityOutOfRange
             | LintCode::NonStochasticRow => LintLevel::Deny,
             // suspicious-but-runnable -> warn
-            LintCode::ConnectivityViolation | LintCode::DeadGate => LintLevel::Warn,
+            LintCode::ConnectivityViolation
+            | LintCode::DeadGate
+            | LintCode::DeadQubit
+            | LintCode::CancellingPair
+            | LintCode::MergeableRotations
+            | LintCode::OpAfterMeasurement
+            | LintCode::UnentangledPartition
+            | LintCode::UnreachableClbit
+            | LintCode::LowFidelityBound
+            | LintCode::QubitBudgetExceeded => LintLevel::Warn,
         }
     }
 }
@@ -162,6 +221,13 @@ impl LintConfig {
     pub fn set(&mut self, code: LintCode, level: LintLevel) -> &mut Self {
         self.overrides.insert(code, level);
         self
+    }
+
+    /// True when the user (or caller) explicitly overrode this code's level.
+    /// Lets combined passes demote a superseded code's default without
+    /// fighting an explicit `--warn`/`--deny` request.
+    pub fn is_overridden(&self, code: LintCode) -> bool {
+        self.overrides.contains_key(&code)
     }
 
     /// The effective level for a code.

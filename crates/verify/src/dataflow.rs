@@ -1,0 +1,500 @@
+//! Dataflow lint passes (the `QA3xx` family) over a [`CircuitDag`].
+//!
+//! Unlike the per-gate structural lints of [`crate::circuit_lints`], these
+//! passes reason about the whole wire structure: which qubits are ever used,
+//! which gate pairs provably cancel or merge along their def-use chains,
+//! what happens after a qubit's final measurement, and whether the register
+//! factorizes into unentangled partitions.
+//!
+//! Every cancellation finding is *sound by construction*: a pair is only
+//! reported when removing (or merging) it provably preserves the circuit
+//! unitary — intermediate gates must commute with the first gate of the
+//! pair ([`qaprox_circuit::commutes`] only returns `true` on proof) and a
+//! measurement on a shared wire acts as a hard barrier. The property tests
+//! in `tests/dataflow_soundness.rs` apply every suggested rewrite and check
+//! the unitary is unchanged.
+
+use crate::circuit_lints::{emit, lint_instructions};
+use crate::config::{LintCode, LintConfig, LintLevel};
+use crate::dag::{CircuitDag, DagNode};
+use crate::diagnostics::{Location, Report};
+use qaprox_circuit::commutes;
+use qaprox_circuit::{Gate, Instruction, RawMeasure};
+use qaprox_device::Topology;
+
+/// What to do about a cancellable pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CancellationKind {
+    /// The two gates multiply to the identity: delete both.
+    RemovePair,
+    /// The two rotations merge exactly: replace the first with `merged`,
+    /// delete the second.
+    Merge {
+        /// The single rotation carrying the summed angle.
+        merged: Instruction,
+    },
+}
+
+/// One provably-sound rewrite found by the cancellation pass. Indices refer
+/// to the *gate instruction list* the DAG was built from (not DAG node ids),
+/// so a rewrite can be applied directly to the original program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cancellation {
+    /// Instruction index of the earlier gate of the pair.
+    pub first: usize,
+    /// Instruction index of the later gate of the pair.
+    pub second: usize,
+    /// The rewrite that removes the redundancy.
+    pub kind: CancellationKind,
+}
+
+impl Cancellation {
+    /// Applies this rewrite to an instruction list, returning the shortened
+    /// program. The result has the same unitary as the input (this is the
+    /// property `tests/dataflow_soundness.rs` checks mechanically).
+    pub fn apply(&self, instructions: &[Instruction]) -> Vec<Instruction> {
+        let mut out = Vec::with_capacity(instructions.len());
+        for (i, inst) in instructions.iter().enumerate() {
+            if i == self.second {
+                continue;
+            }
+            if i == self.first {
+                if let CancellationKind::Merge { merged } = &self.kind {
+                    out.push(merged.clone());
+                }
+                continue;
+            }
+            out.push(inst.clone());
+        }
+        out
+    }
+}
+
+/// When `a` and `b` are same-axis rotations, the single rotation carrying
+/// the summed angle (`R(x) R(y) = R(x + y)` is an exact matrix identity for
+/// every axis-rotation family in the gate set).
+fn merged_rotation(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::RX(x), Gate::RX(y)) => Some(Gate::RX(x + y)),
+        (Gate::RY(x), Gate::RY(y)) => Some(Gate::RY(x + y)),
+        (Gate::RZ(x), Gate::RZ(y)) => Some(Gate::RZ(x + y)),
+        (Gate::P(x), Gate::P(y)) => Some(Gate::P(x + y)),
+        (Gate::CRX(x), Gate::CRX(y)) => Some(Gate::CRX(x + y)),
+        (Gate::CRZ(x), Gate::CRZ(y)) => Some(Gate::CRZ(x + y)),
+        (Gate::CP(x), Gate::CP(y)) => Some(Gate::CP(x + y)),
+        _ => None,
+    }
+}
+
+/// Finds every provably-sound cancellation in the DAG: adjoint pairs that
+/// multiply to identity and same-axis rotation pairs that merge, in both
+/// cases separated only by gates that commute with the first gate (and by
+/// no measurement on a shared wire). At most one finding is reported per
+/// leading gate; overlapping findings for different leading gates may share
+/// a partner, which is fine because each rewrite is applied independently.
+pub fn find_cancellations(dag: &CircuitDag) -> Vec<Cancellation> {
+    let nodes = dag.nodes();
+    let mut out = Vec::new();
+    for (id, node) in nodes.iter().enumerate() {
+        let DagNode::Gate { index: i, inst } = node else {
+            continue;
+        };
+        if inst.qubits.len() != inst.gate.arity() {
+            continue; // malformed arity is QA103's business; skip for safety
+        }
+        let adjoint = inst.gate.dagger();
+        for later in &nodes[id + 1..] {
+            match later {
+                DagNode::Measure { qubit, .. } => {
+                    if inst.qubits.contains(qubit) {
+                        break; // measurement is a barrier on its wire
+                    }
+                }
+                DagNode::Gate { index: j, inst: lj } => {
+                    if lj.qubits == inst.qubits {
+                        if lj.gate == adjoint {
+                            out.push(Cancellation {
+                                first: *i,
+                                second: *j,
+                                kind: CancellationKind::RemovePair,
+                            });
+                            break;
+                        }
+                        if let Some(gate) = merged_rotation(&inst.gate, &lj.gate) {
+                            out.push(Cancellation {
+                                first: *i,
+                                second: *j,
+                                kind: CancellationKind::Merge {
+                                    merged: Instruction {
+                                        gate,
+                                        qubits: inst.qubits.clone(),
+                                    },
+                                },
+                            });
+                            break;
+                        }
+                    }
+                    if !commutes(inst, lj) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs every QA3xx dataflow pass over a prebuilt DAG.
+pub fn lint_dataflow(dag: &CircuitDag, cfg: &LintConfig) -> Report {
+    let mut out = Vec::new();
+
+    // QA301: declared qubits nothing ever touches
+    for q in dag.dead_qubits() {
+        emit(
+            &mut out,
+            cfg,
+            LintCode::DeadQubit,
+            Location::Qubit(q),
+            format!("qubit {q} is declared but no gate or measurement touches it"),
+        );
+    }
+
+    // QA302 / QA303: provably cancelling or mergeable pairs
+    for c in find_cancellations(dag) {
+        match &c.kind {
+            CancellationKind::RemovePair => emit(
+                &mut out,
+                cfg,
+                LintCode::CancellingPair,
+                Location::Instruction(c.first),
+                format!(
+                    "gate cancels with its adjoint at instruction {}; removing both \
+                     leaves the unitary unchanged",
+                    c.second
+                ),
+            ),
+            CancellationKind::Merge { merged } => emit(
+                &mut out,
+                cfg,
+                LintCode::MergeableRotations,
+                Location::Instruction(c.first),
+                format!(
+                    "rotation merges with instruction {} into a single {}",
+                    c.second,
+                    merged.gate.name()
+                ),
+            ),
+        }
+    }
+
+    // QA304: gates on a qubit after its final measurement
+    for q in 0..dag.num_qubits() {
+        for id in dag.gates_after_final_measure(q) {
+            if let DagNode::Gate { index, inst } = &dag.nodes()[id] {
+                emit(
+                    &mut out,
+                    cfg,
+                    LintCode::OpAfterMeasurement,
+                    Location::Instruction(*index),
+                    format!(
+                        "{} acts on qubit {q} after its final measurement; the effect \
+                         is never observed",
+                        inst.gate.name()
+                    ),
+                );
+            }
+        }
+    }
+
+    // QA305: the active register factorizes
+    let components = dag.entangled_components();
+    if components.len() > 1 {
+        let parts: Vec<String> = components.iter().map(|c| format!("{c:?}")).collect();
+        emit(
+            &mut out,
+            cfg,
+            LintCode::UnentangledPartition,
+            Location::Global,
+            format!(
+                "active qubits split into {} unentangled partitions {}; each could be \
+                 analyzed independently",
+                components.len(),
+                parts.join(" | ")
+            ),
+        );
+    }
+
+    // QA306: declared classical bits nothing ever writes
+    for c in dag.unread_clbits() {
+        emit(
+            &mut out,
+            cfg,
+            LintCode::UnreachableClbit,
+            Location::Clbit(c),
+            format!("clbit {c} is declared but no measurement writes it"),
+        );
+    }
+
+    Report::from_diagnostics(out)
+}
+
+/// The combined whole-program entry point: structural lints (QA1xx) plus the
+/// dataflow passes (QA3xx) over one parsed program. Because QA302 supersedes
+/// the syntactic QA107 scan with a measurement-aware version of the same
+/// check, QA107 is demoted to allow here unless the caller overrode either
+/// code explicitly.
+pub fn lint_program(
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: &[Instruction],
+    measures: &[RawMeasure],
+    topology: Option<&Topology>,
+    cfg: &LintConfig,
+) -> Report {
+    let mut structural_cfg = cfg.clone();
+    if !cfg.is_overridden(LintCode::DeadGate) && cfg.severity(LintCode::CancellingPair).is_some() {
+        structural_cfg.set(LintCode::DeadGate, LintLevel::Allow);
+    }
+    let mut report = lint_instructions(num_qubits, instructions, topology, &structural_cfg);
+
+    // measurement operands are outside lint_instructions' scope
+    let mut measure_findings = Vec::new();
+    for m in measures {
+        if m.qubit >= num_qubits {
+            emit(
+                &mut measure_findings,
+                cfg,
+                LintCode::QubitOutOfRange,
+                Location::Qubit(m.qubit),
+                format!(
+                    "measure reads qubit {} but the circuit has {num_qubits} qubit(s) (line {})",
+                    m.qubit, m.line
+                ),
+            );
+        }
+        if m.clbit >= num_clbits {
+            emit(
+                &mut measure_findings,
+                cfg,
+                LintCode::UnreachableClbit,
+                Location::Clbit(m.clbit),
+                format!(
+                    "measure writes clbit {} outside the {num_clbits}-bit classical \
+                     register (line {})",
+                    m.clbit, m.line
+                ),
+            );
+        }
+    }
+    report.extend(Report::from_diagnostics(measure_findings));
+
+    // dataflow passes need a well-formed wire structure; when the program is
+    // too defective to lift into a DAG, the structural findings above have
+    // already said why
+    if let Ok(dag) = CircuitDag::from_program(num_qubits, num_clbits, instructions, measures) {
+        report.extend(lint_dataflow(&dag, cfg));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaprox_circuit::Circuit;
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    fn dag_of(c: &Circuit) -> CircuitDag {
+        CircuitDag::from_circuit(c)
+    }
+
+    #[test]
+    fn dead_qubit_is_flagged() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2);
+        let report = lint_dataflow(&dag_of(&c), &LintConfig::new());
+        assert!(codes(&report).contains(&"QA301"));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.location == Location::Qubit(1)));
+    }
+
+    #[test]
+    fn adjoint_pair_reported_once_as_qa302() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1);
+        let report = lint_dataflow(&dag_of(&c), &LintConfig::new());
+        assert_eq!(codes(&report).iter().filter(|&&s| s == "QA302").count(), 1);
+    }
+
+    #[test]
+    fn rotation_merge_reported_as_qa303() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0);
+        let cs = find_cancellations(&dag_of(&c));
+        assert_eq!(cs.len(), 1);
+        assert!(matches!(
+            &cs[0].kind,
+            CancellationKind::Merge { merged } if merged.gate == Gate::RZ(0.3 + 0.4)
+        ));
+        let report = lint_dataflow(&dag_of(&c), &LintConfig::new());
+        assert!(codes(&report).contains(&"QA303"));
+    }
+
+    #[test]
+    fn exact_inverse_rotation_is_a_remove_pair_not_a_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(-0.3, 0);
+        let cs = find_cancellations(&dag_of(&c));
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].kind, CancellationKind::RemovePair);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let insts = vec![
+            Instruction {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+            Instruction {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+        ];
+        let measures = vec![RawMeasure {
+            qubit: 0,
+            clbit: 0,
+            after: 1, // between the two H gates
+            line: 1,
+        }];
+        let dag = CircuitDag::from_program(1, 1, &insts, &measures).unwrap();
+        assert!(find_cancellations(&dag).is_empty());
+        // ...but a measurement on an unrelated qubit does not block
+        let dag2 = CircuitDag::from_program(
+            2,
+            1,
+            &insts,
+            &[RawMeasure {
+                qubit: 1,
+                clbit: 0,
+                after: 1,
+                line: 1,
+            }],
+        )
+        .unwrap();
+        assert_eq!(find_cancellations(&dag2).len(), 1);
+    }
+
+    #[test]
+    fn cancellation_across_commuting_gates_survives() {
+        let mut c = Circuit::new(2);
+        c.rz(0.5, 0); // cancels with -0.5 across the diagonal CZ
+        c.cz(0, 1);
+        c.rz(-0.5, 0);
+        let cs = find_cancellations(&dag_of(&c));
+        assert_eq!(cs.len(), 1);
+        assert_eq!((cs[0].first, cs[0].second), (0, 2));
+    }
+
+    #[test]
+    fn apply_rewrites_preserve_the_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0.3, 1).rz(0.4, 1).h(0).cx(0, 1);
+        let reference = c.unitary();
+        for cancellation in find_cancellations(&dag_of(&c)) {
+            let rewritten = cancellation.apply(c.instructions());
+            let mut rc = Circuit::new(2);
+            for inst in &rewritten {
+                rc.push(inst.gate.clone(), &inst.qubits);
+            }
+            let diff = rc.unitary().max_diff(&reference);
+            assert!(diff < 1e-12, "rewrite {cancellation:?} drifted by {diff}");
+        }
+    }
+
+    #[test]
+    fn op_after_final_measurement_is_flagged() {
+        let insts = vec![
+            Instruction {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+            Instruction {
+                gate: Gate::X,
+                qubits: vec![0],
+            },
+        ];
+        let measures = vec![RawMeasure {
+            qubit: 0,
+            clbit: 0,
+            after: 1,
+            line: 4,
+        }];
+        let report = lint_program(1, 1, &insts, &measures, None, &LintConfig::new());
+        assert!(codes(&report).contains(&"QA304"));
+    }
+
+    #[test]
+    fn unentangled_partition_and_unread_clbit() {
+        let insts = vec![
+            Instruction {
+                gate: Gate::CX,
+                qubits: vec![0, 1],
+            },
+            Instruction {
+                gate: Gate::CX,
+                qubits: vec![2, 3],
+            },
+        ];
+        let report = lint_program(4, 2, &insts, &[], None, &LintConfig::new());
+        let cs = codes(&report);
+        assert!(cs.contains(&"QA305"));
+        // both clbits are declared but never written
+        assert_eq!(cs.iter().filter(|&&s| s == "QA306").count(), 2);
+    }
+
+    #[test]
+    fn lint_program_demotes_qa107_in_favor_of_qa302() {
+        let insts = vec![
+            Instruction {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+            Instruction {
+                gate: Gate::H,
+                qubits: vec![0],
+            },
+        ];
+        let report = lint_program(1, 0, &insts, &[], None, &LintConfig::new());
+        let cs = codes(&report);
+        assert!(cs.contains(&"QA302"));
+        assert!(!cs.contains(&"QA107"), "QA107 superseded by QA302");
+        // an explicit QA107 override wins over the demotion
+        let mut cfg = LintConfig::new();
+        cfg.set(LintCode::DeadGate, LintLevel::Deny);
+        let both = lint_program(1, 0, &insts, &[], None, &cfg);
+        assert!(codes(&both).contains(&"QA107"));
+    }
+
+    #[test]
+    fn out_of_range_measure_operands_are_reported() {
+        let insts = vec![Instruction {
+            gate: Gate::H,
+            qubits: vec![0],
+        }];
+        let measures = vec![RawMeasure {
+            qubit: 7,
+            clbit: 9,
+            after: 1,
+            line: 3,
+        }];
+        let report = lint_program(1, 1, &insts, &measures, None, &LintConfig::new());
+        let cs = codes(&report);
+        assert!(cs.contains(&"QA101"));
+        assert!(cs.contains(&"QA306"));
+    }
+}

@@ -41,6 +41,8 @@ pub enum Location {
     Instruction(usize),
     /// A specific qubit.
     Qubit(usize),
+    /// A specific classical bit.
+    Clbit(usize),
     /// A coupling-map edge.
     Edge(usize, usize),
     /// Kraus operator at this index within a channel.
@@ -55,6 +57,7 @@ impl fmt::Display for Location {
             Location::Global => write!(f, "global"),
             Location::Instruction(i) => write!(f, "instruction {i}"),
             Location::Qubit(q) => write!(f, "qubit {q}"),
+            Location::Clbit(c) => write!(f, "clbit {c}"),
             Location::Edge(a, b) => write!(f, "edge ({a}, {b})"),
             Location::Kraus(k) => write!(f, "kraus operator {k}"),
             Location::Row(r) => write!(f, "row {r}"),
@@ -86,6 +89,10 @@ impl fmt::Display for Diagnostic {
         )
     }
 }
+
+/// Version stamped into every JSON report so CI consumers can pin the
+/// format. Bump when the JSON shape changes incompatibly.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// An ordered collection of findings from one or more lint passes.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -154,11 +161,12 @@ impl Report {
     }
 
     /// Renders the report as a JSON object (hand-rolled; the workspace has no
-    /// serde): `{"errors": N, "warnings": N, "diagnostics": [...]}`.
+    /// serde): `{"schema_version": V, "errors": N, "warnings": N,
+    /// "diagnostics": [...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            "\"schema_version\":{REPORT_SCHEMA_VERSION},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
             self.error_count(),
             self.warning_count()
         ));
@@ -238,6 +246,7 @@ mod tests {
     fn json_rendering_is_well_formed() {
         let json = sample().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema_version\":1"));
         assert!(json.contains("\"errors\":1"));
         assert!(json.contains("\"code\":\"QA101\""));
         // no raw newlines or unescaped quotes inside

@@ -30,16 +30,24 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod calibration_lints;
 pub mod channel_lints;
 pub mod circuit_lints;
 pub mod config;
+pub mod dag;
+pub mod dataflow;
 pub mod diagnostics;
 
+pub use budget::{analyze, analyze_with_config, AnalysisReport, AnalyzeOptions, QubitBudget};
 pub use calibration_lints::lint_calibration;
 pub use channel_lints::{
     kraus_completeness_defect, lint_kraus_set, lint_probability, lint_stochastic_rows,
 };
 pub use circuit_lints::{lint_circuit, lint_instructions};
 pub use config::{LintCode, LintConfig, LintLevel};
-pub use diagnostics::{Diagnostic, Location, Report, Severity};
+pub use dag::{CircuitDag, CriticalPath, DagError, DagNode};
+pub use dataflow::{
+    find_cancellations, lint_dataflow, lint_program, Cancellation, CancellationKind,
+};
+pub use diagnostics::{Diagnostic, Location, Report, Severity, REPORT_SCHEMA_VERSION};

@@ -1,0 +1,103 @@
+//! Validation of the static noise-budget estimator against the
+//! density-matrix simulator: the abstract interpreter's `fidelity_bound`
+//! must upper-bound the fidelity the simulator actually measures, across
+//! workloads, noise strengths, and analyzer configurations.
+
+use qaprox_algos::{grover_circuit, optimal_iterations, tfim_circuit, TfimParams};
+use qaprox_circuit::Circuit;
+use qaprox_device::devices::ourense;
+use qaprox_sim::NoiseModel;
+use qaprox_verify::{analyze, AnalyzeOptions};
+
+fn workloads() -> Vec<(&'static str, Circuit)> {
+    let params = TfimParams::paper_defaults(3);
+    vec![
+        ("tfim-2steps", tfim_circuit(&params, 2)),
+        ("tfim-4steps", tfim_circuit(&params, 4)),
+        ("grover", grover_circuit(3, 7, optimal_iterations(3))),
+    ]
+}
+
+/// The documented soundness claim: for every workload and every CNOT error
+/// in the paper's sweep range, `fidelity_bound >= F(rho_noisy, psi_ideal)`.
+#[test]
+fn static_bound_upper_bounds_density_matrix_fidelity() {
+    let cal = ourense().induced(&[0, 1, 2]);
+    for (name, circuit) in workloads() {
+        for eps in [0.0, 0.01, 0.05, 0.1] {
+            let noisy_cal = cal.with_uniform_cx_error(eps);
+            let model = NoiseModel::from_calibration(noisy_cal.clone());
+            let measured = model
+                .run_density(&circuit)
+                .fidelity_pure(&circuit.statevector());
+            let report = analyze(&circuit, &noisy_cal, &AnalyzeOptions::default());
+            assert!(
+                report.fidelity_bound >= measured - 1e-12,
+                "{name} eps={eps}: bound {} undercuts measured {measured}",
+                report.fidelity_bound
+            );
+            // the depolarizing part of the bound is not trivially 1 once
+            // real noise is in play (relaxation slack may saturate the
+            // combined bound on shallow circuits, so test it in isolation)
+            if eps > 0.0 {
+                let opts = AnalyzeOptions {
+                    include_relaxation: false,
+                    ..Default::default()
+                };
+                let tight = analyze(&circuit, &noisy_cal, &opts);
+                assert!(tight.fidelity_bound < 1.0, "{name} eps={eps}");
+            }
+        }
+    }
+}
+
+/// With relaxation excluded on both sides, the tighter pure-depolarizing
+/// bound still holds against a depolarizing-only simulation.
+#[test]
+fn depolarizing_only_bound_is_tighter_and_still_sound() {
+    let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+    let opts = AnalyzeOptions {
+        include_relaxation: false,
+        ..Default::default()
+    };
+    for (name, circuit) in workloads() {
+        let mut model = NoiseModel::from_calibration(cal.clone());
+        model.include_relaxation = false;
+        let measured = model
+            .run_density(&circuit)
+            .fidelity_pure(&circuit.statevector());
+        let tight = analyze(&circuit, &cal, &opts);
+        let slack = analyze(&circuit, &cal, &AnalyzeOptions::default());
+        assert!(
+            tight.fidelity_bound >= measured - 1e-12,
+            "{name}: bound {} undercuts measured {measured}",
+            tight.fidelity_bound
+        );
+        assert!(
+            slack.fidelity_bound >= tight.fidelity_bound - 1e-12,
+            "{name}: relaxation slack must only loosen the bound"
+        );
+    }
+}
+
+/// `NoiseModel::analyze` is a faithful wrapper over `verify::analyze` —
+/// same calibration, flags mapped across.
+#[test]
+fn noise_model_analyze_matches_direct_analyze() {
+    let cal = ourense().induced(&[0, 1, 2]);
+    let model = NoiseModel::from_calibration(cal.clone());
+    let circuit = workloads().remove(0).1;
+    let via_model = model.analyze(&circuit);
+    let direct = analyze(
+        &circuit,
+        &cal,
+        &AnalyzeOptions {
+            include_relaxation: model.include_relaxation,
+            include_readout: model.include_readout,
+            ..Default::default()
+        },
+    );
+    assert_eq!(via_model.fingerprint(), direct.fingerprint());
+    assert_eq!(via_model.depth, direct.depth);
+    assert_eq!(via_model.qubit_budgets.len(), direct.qubit_budgets.len());
+}

@@ -1,0 +1,196 @@
+//! Soundness of the QA3xx dataflow rewrites plus adversarial CircuitDag
+//! construction cases.
+//!
+//! The property: every cancellation suggested by
+//! [`qaprox_verify::find_cancellations`] — adjoint-pair removal or rotation
+//! merge — must leave the circuit unitary unchanged up to global phase.
+//! Random circuits are drawn from a gate pool heavy in self-inverse and
+//! rotation gates so the finder actually has material to work with.
+
+use qaprox_circuit::{Circuit, Gate, Instruction, RawMeasure};
+use qaprox_linalg::random::{Rng, SplitMix64};
+use qaprox_linalg::Matrix;
+use qaprox_verify::{find_cancellations, CircuitDag, DagError};
+
+fn rebuild(num_qubits: usize, instructions: &[Instruction]) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for inst in instructions {
+        c.push(inst.gate.clone(), &inst.qubits);
+    }
+    c
+}
+
+/// Global-phase-invariant unitary equality: `|Tr(A^dagger B)| = d` iff
+/// `A = e^{i phi} B`.
+fn same_up_to_phase(a: &Matrix, b: &Matrix) -> bool {
+    let d = a.rows() as f64;
+    (a.hs_inner(b).abs() - d).abs() < 1e-9 * d
+}
+
+fn random_circuit(rng: &mut SplitMix64, num_qubits: usize, len: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..len {
+        // a quarter of the stream repeats an earlier instruction verbatim:
+        // repeating a self-inverse gate plants adjoint pairs, repeating a
+        // rotation plants merge candidates
+        if !c.is_empty() && rng.gen_range(0..4u32) == 0 {
+            let i = rng.gen_range(0..c.len());
+            let inst = c.instructions()[i].clone();
+            c.push(inst.gate, &inst.qubits);
+            continue;
+        }
+        let q = rng.gen_range(0..num_qubits);
+        let theta = rng.gen_range(-3.0..3.0);
+        match rng.gen_range(0..10u32) {
+            0 => {
+                c.h(q);
+            }
+            1 => {
+                c.x(q);
+            }
+            2 => c.push(Gate::S, &[q]),
+            3 => c.push(Gate::T, &[q]),
+            4 => {
+                c.rx(theta, q);
+            }
+            5 => {
+                c.ry(theta, q);
+            }
+            6 => {
+                c.rz(theta, q);
+            }
+            7 => c.push(Gate::P(theta), &[q]),
+            _ => {
+                let mut p = rng.gen_range(0..num_qubits);
+                while p == q {
+                    p = rng.gen_range(0..num_qubits);
+                }
+                if rng.gen_range(0..2u32) == 0 {
+                    c.cx(q, p);
+                } else {
+                    c.cz(q, p);
+                }
+            }
+        };
+    }
+    c
+}
+
+/// Every suggested cancellation, applied on its own, preserves the unitary.
+#[test]
+fn every_cancellation_suggestion_is_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_da7a);
+    let mut found = 0usize;
+    for trial in 0..120 {
+        let num_qubits = rng.gen_range(2..5usize);
+        let len = rng.gen_range(6..15usize);
+        let circuit = random_circuit(&mut rng, num_qubits, len);
+        let dag = CircuitDag::from_circuit(&circuit);
+        let reference = circuit.unitary();
+        for cancellation in find_cancellations(&dag) {
+            found += 1;
+            let rewritten = rebuild(num_qubits, &cancellation.apply(circuit.instructions()));
+            assert!(
+                rewritten.len() < circuit.len(),
+                "trial {trial}: a rewrite must shrink the circuit"
+            );
+            assert!(
+                same_up_to_phase(&reference, &rewritten.unitary()),
+                "trial {trial}: unsound rewrite of gates {} and {} in {:?}",
+                cancellation.first,
+                cancellation.second,
+                circuit.instructions()
+            );
+        }
+    }
+    // the property must not hold vacuously
+    assert!(found >= 50, "only {found} cancellations over 120 trials");
+}
+
+// --- adversarial CircuitDag construction -------------------------------
+
+fn measure(qubit: usize, clbit: usize, after: usize) -> RawMeasure {
+    RawMeasure {
+        qubit,
+        clbit,
+        after,
+        line: 0,
+    }
+}
+
+#[test]
+fn mid_circuit_measurement_orders_against_later_gates() {
+    // h q0; measure q0 -> c0; x q0 — the measure is mid-circuit, so the X is
+    // both a successor of the measure and flagged as post-measurement
+    let mut c = Circuit::new(1);
+    c.h(0).x(0);
+    let dag = CircuitDag::from_program(
+        1,
+        1,
+        c.instructions(),
+        &[measure(0, 0, 1)], // after the H, before the X
+    )
+    .unwrap();
+    assert_eq!(dag.len(), 3);
+    assert_eq!(dag.gates_after_final_measure(0).len(), 1);
+    assert!(dag.unread_clbits().is_empty());
+    // wire order pins the layering: H < measure < X
+    assert_eq!(dag.depth(), 3);
+}
+
+#[test]
+fn repeated_qubit_operands_are_rejected() {
+    let inst = Instruction {
+        gate: Gate::CX,
+        qubits: vec![1, 1],
+    };
+    let err = CircuitDag::from_program(2, 0, &[inst], &[]).err();
+    assert!(
+        matches!(err, Some(DagError::RepeatedQubit { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn empty_circuit_builds_a_trivial_dag() {
+    let dag = CircuitDag::from_circuit(&Circuit::new(3));
+    assert!(dag.is_empty());
+    assert_eq!(dag.depth(), 0);
+    assert_eq!(dag.dead_qubits(), vec![0, 1, 2]);
+    assert_eq!(dag.cnot_critical_path().weight, 0.0);
+    assert!(find_cancellations(&dag).is_empty());
+}
+
+#[test]
+fn single_qubit_only_circuit_has_no_entanglement() {
+    let mut c = Circuit::new(3);
+    c.h(0).rz(0.3, 1).x(2).h(0);
+    let dag = CircuitDag::from_circuit(&c);
+    // every component is a singleton — nothing couples the qubits
+    for comp in dag.entangled_components() {
+        assert_eq!(comp.len(), 1, "{:?}", dag.entangled_components());
+    }
+    assert_eq!(dag.cnot_critical_path().weight, 0.0);
+}
+
+#[test]
+fn wide_shallow_circuit_layers_flat() {
+    // 16 qubits, one H each: depth 1, no critical CNOT path, no dead qubits
+    let mut c = Circuit::new(16);
+    for q in 0..16 {
+        c.h(q);
+    }
+    let dag = CircuitDag::from_circuit(&c);
+    assert_eq!(dag.len(), 16);
+    assert_eq!(dag.depth(), 1);
+    assert!(dag.dead_qubits().is_empty());
+    assert_eq!(dag.cnot_critical_path().weight, 0.0);
+    // a ladder of CNOTs across the same 16 qubits stacks serially
+    let mut ladder = Circuit::new(16);
+    for q in 0..15 {
+        ladder.cx(q, q + 1);
+    }
+    let ldag = CircuitDag::from_circuit(&ladder);
+    assert_eq!(ldag.depth(), 15);
+    assert_eq!(ldag.cnot_critical_path().weight, 15.0);
+}
