@@ -24,6 +24,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "no-wait",
     "no-relaxation",
     "no-readout",
+    "stats",
 ];
 
 /// Parses an argument list (excluding the program name).

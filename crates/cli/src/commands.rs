@@ -17,7 +17,9 @@ USAGE:
   qaprox <subcommand> [--option value]...
 
 GLOBAL OPTIONS:
-  --jobs N        cap worker threads (default: QAPROX_THREADS env, then all cores)
+  --jobs N        cap worker threads
+                  (precedence: --jobs, then QAPROX_JOBS env, then
+                  QAPROX_THREADS env, then all cores)
   --store DIR     artifact-store root (default: QAPROX_STORE env, then .qaprox-store)
   --no-store      disable the artifact store (synth/run recompute from scratch)
 
@@ -30,6 +32,7 @@ SUBCOMMANDS:
               --max-hs T     selection cutoff  (default 0.12)
               --max-nodes N  search budget     (default 150)
               --seed S       instantiation seed (default 0)
+              --stats        print synthesis perf counters (memo hits/misses)
   run       evaluate the population against the reference under noise
               (synth options plus:)
               --device NAME  ourense|rome|santiago|toronto|manhattan
@@ -220,6 +223,19 @@ fn cmd_synth(args: &Args) -> Result<(), String> {
         "# minimal-HS: {} CNOTs at {:.2e}",
         pop.population.minimal_hs.cnots, pop.population.minimal_hs.hs_distance
     );
+    if args.flag("stats") {
+        let s = &pop.population.stats;
+        let total = s.memo_hits + s.memo_misses;
+        let rate = if total > 0 {
+            100.0 * s.memo_hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "# stats: memo_hits={} memo_misses={} hit_rate={rate:.1}%",
+            s.memo_hits, s.memo_misses
+        );
+    }
     Ok(())
 }
 

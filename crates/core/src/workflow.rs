@@ -14,7 +14,8 @@ use qaprox_metrics::hs_distance;
 use qaprox_sim::Backend;
 use qaprox_synth::{
     dedupe, qfast, qfast_with_hooks, qsearch, qsearch_with_hooks, select_by_threshold,
-    ApproxCircuit, ProgressFn, QFastConfig, QSearchConfig, SearchHooks, SynthesisOutput,
+    ApproxCircuit, ProgressFn, QFastConfig, QSearchConfig, SearchHooks, SynthStats,
+    SynthesisOutput,
 };
 
 /// Which synthesis engine generates the candidate stream.
@@ -56,6 +57,8 @@ pub struct Population {
     pub minimal_hs: ApproxCircuit,
     /// Total candidates evaluated by synthesis before selection.
     pub explored: usize,
+    /// Memo-cache counters aggregated over every engine that ran.
+    pub stats: SynthStats,
 }
 
 impl Workflow {
@@ -89,6 +92,10 @@ impl Workflow {
             }
         };
         let explored = outputs.iter().map(|o| o.nodes_evaluated).sum();
+        let mut stats = SynthStats::default();
+        for o in &outputs {
+            stats.absorb(&o.stats);
+        }
         let minimal_hs = outputs
             .iter()
             .map(|o| o.best.clone())
@@ -100,6 +107,7 @@ impl Workflow {
             circuits,
             minimal_hs,
             explored,
+            stats,
         }
     }
 
@@ -196,6 +204,10 @@ impl Workflow {
         }
 
         let completed = !cancelled();
+        let mut stats = SynthStats::default();
+        for o in &outputs {
+            stats.absorb(&o.stats);
+        }
         let mut all: Vec<ApproxCircuit> = prior;
         for o in &outputs {
             all.extend(o.intermediates.iter().cloned());
@@ -218,6 +230,7 @@ impl Workflow {
                 circuits,
                 minimal_hs,
                 explored: credit + live_nodes,
+                stats,
             },
             completed,
         }

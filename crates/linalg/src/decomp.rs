@@ -35,6 +35,18 @@ pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> Matrix {
     ])
 }
 
+/// [`u3_matrix`] as the fixed-size row-major array the gate kernels take —
+/// no heap allocation, for the synthesis hot path.
+pub fn u3_array(theta: f64, phi: f64, lambda: f64) -> [Complex64; 4] {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        c64(ct, 0.0),
+        -Complex64::cis(lambda) * st,
+        Complex64::cis(phi) * st,
+        Complex64::cis(phi + lambda) * ct,
+    ]
+}
+
 /// Decomposes a 2x2 unitary into ZYZ Euler angles plus global phase.
 ///
 /// # Panics

@@ -174,6 +174,214 @@ pub fn apply_2q_mat_right_dag(mat: &mut Matrix, a: usize, b: usize, u: &[Complex
     }
 }
 
+/// Out-of-place variant of [`apply_1q_mat_left`]: `dst <- U_embed * src`,
+/// leaving `src` untouched. Shapes must match. Used by the allocation-free
+/// instantiation workspace, where prefix products must stay readable while
+/// the next product is formed.
+pub fn apply_1q_mat_left_into(dst: &mut Matrix, src: &Matrix, q: usize, u: &[Complex64; 4]) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    let mask = 1usize << q;
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..rows / 2 {
+        let r0 = insert_zero_bit(i, q) * cols;
+        let r1 = r0 + mask * cols;
+        for j in 0..cols {
+            let a = s[r0 + j];
+            let b = s[r1 + j];
+            d[r0 + j] = a * u[0] + b * u[1];
+            d[r1 + j] = a * u[2] + b * u[3];
+        }
+    }
+}
+
+/// Out-of-place variant of [`apply_2q_mat_left`]: `dst <- U_embed * src`.
+pub fn apply_2q_mat_left_into(
+    dst: &mut Matrix,
+    src: &Matrix,
+    a: usize,
+    b: usize,
+    u: &[Complex64; 16],
+) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    debug_assert!(a != b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..rows / 4 {
+        let base = insert_zero_bit(insert_zero_bit(i, lo), hi);
+        let r = [
+            base * cols,
+            (base | mb) * cols,
+            (base | ma) * cols,
+            (base | ma | mb) * cols,
+        ];
+        for j in 0..cols {
+            let amp = [s[r[0] + j], s[r[1] + j], s[r[2] + j], s[r[3] + j]];
+            for (ri, &row_off) in r.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (ci, &amp_c) in amp.iter().enumerate() {
+                    acc = acc.mul_add(u[ri * 4 + ci], amp_c);
+                }
+                d[row_off + j] = acc;
+            }
+        }
+    }
+}
+
+/// Out-of-place variant of [`apply_1q_mat_right_dag`]:
+/// `dst <- src * U_embed^dagger`.
+pub fn apply_1q_mat_right_dag_into(dst: &mut Matrix, src: &Matrix, q: usize, u: &[Complex64; 4]) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    let mask = 1usize << q;
+    let s = src.data();
+    let d = dst.data_mut();
+    for row in 0..rows {
+        let off = row * cols;
+        for j in 0..cols / 2 {
+            let j0 = insert_zero_bit(j, q);
+            let j1 = j0 | mask;
+            let a = s[off + j0];
+            let b = s[off + j1];
+            d[off + j0] = a * u[0].conj() + b * u[1].conj();
+            d[off + j1] = a * u[2].conj() + b * u[3].conj();
+        }
+    }
+}
+
+/// Out-of-place variant of [`apply_2q_mat_right_dag`]:
+/// `dst <- src * U_embed^dagger`.
+pub fn apply_2q_mat_right_dag_into(
+    dst: &mut Matrix,
+    src: &Matrix,
+    a: usize,
+    b: usize,
+    u: &[Complex64; 16],
+) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    debug_assert!(a != b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let s = src.data();
+    let d = dst.data_mut();
+    for row in 0..rows {
+        let off = row * cols;
+        for j in 0..cols / 4 {
+            let base = insert_zero_bit(insert_zero_bit(j, lo), hi);
+            let idx = [base, base | mb, base | ma, base | ma | mb];
+            let amp = [
+                s[off + idx[0]],
+                s[off + idx[1]],
+                s[off + idx[2]],
+                s[off + idx[3]],
+            ];
+            for (ci, &col_i) in idx.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (ki, &amp_k) in amp.iter().enumerate() {
+                    acc = acc.mul_add(u[ci * 4 + ki].conj(), amp_k);
+                }
+                d[off + col_i] = acc;
+            }
+        }
+    }
+}
+
+/// Accumulates the conjugation of `src` by an embedded one-qubit gate:
+/// `dst += U_embed * src * U_embed^dagger`, with no intermediate matrix.
+/// This is one Kraus term `K rho K^dagger` of a channel sum — the 2x2
+/// sub-block `T = u S u^dagger` is formed in registers per (row-pair,
+/// column-pair) and added straight into `dst`.
+pub fn accum_conj_1q(dst: &mut Matrix, src: &Matrix, q: usize, u: &[Complex64; 4]) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    let mask = 1usize << q;
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..rows / 2 {
+        let r0 = insert_zero_bit(i, q);
+        let r1 = r0 | mask;
+        for j in 0..cols / 2 {
+            let c0 = insert_zero_bit(j, q);
+            let c1 = c0 | mask;
+            let s00 = s[r0 * cols + c0];
+            let s01 = s[r0 * cols + c1];
+            let s10 = s[r1 * cols + c0];
+            let s11 = s[r1 * cols + c1];
+            // A = u * S
+            let a00 = u[0] * s00 + u[1] * s10;
+            let a01 = u[0] * s01 + u[1] * s11;
+            let a10 = u[2] * s00 + u[3] * s10;
+            let a11 = u[2] * s01 + u[3] * s11;
+            // dst += A * u^dagger   ((u^dag)[k][c] = conj(u[c*2+k]))
+            d[r0 * cols + c0] += a00 * u[0].conj() + a01 * u[1].conj();
+            d[r0 * cols + c1] += a00 * u[2].conj() + a01 * u[3].conj();
+            d[r1 * cols + c0] += a10 * u[0].conj() + a11 * u[1].conj();
+            d[r1 * cols + c1] += a10 * u[2].conj() + a11 * u[3].conj();
+        }
+    }
+}
+
+/// Accumulates the conjugation of `src` by an embedded two-qubit gate:
+/// `dst += U_embed * src * U_embed^dagger` (one 4x4 Kraus term of a channel).
+pub fn accum_conj_2q(dst: &mut Matrix, src: &Matrix, a: usize, b: usize, u: &[Complex64; 16]) {
+    let rows = src.rows();
+    let cols = src.cols();
+    debug_assert_eq!((dst.rows(), dst.cols()), (rows, cols));
+    debug_assert!(a != b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..rows / 4 {
+        let rbase = insert_zero_bit(insert_zero_bit(i, lo), hi);
+        let ridx = [rbase, rbase | mb, rbase | ma, rbase | ma | mb];
+        for j in 0..cols / 4 {
+            let cbase = insert_zero_bit(insert_zero_bit(j, lo), hi);
+            let cidx = [cbase, cbase | mb, cbase | ma, cbase | ma | mb];
+            let mut sblk = [[Complex64::ZERO; 4]; 4];
+            for (r, &ri) in ridx.iter().enumerate() {
+                for (c, &ci) in cidx.iter().enumerate() {
+                    sblk[r][c] = s[ri * cols + ci];
+                }
+            }
+            // A = u * S
+            let mut ablk = [[Complex64::ZERO; 4]; 4];
+            for (r, arow) in ablk.iter_mut().enumerate() {
+                for (c, aval) in arow.iter_mut().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (k, srow) in sblk.iter().enumerate() {
+                        acc = acc.mul_add(u[r * 4 + k], srow[c]);
+                    }
+                    *aval = acc;
+                }
+            }
+            // dst += A * u^dagger
+            for (r, &ri) in ridx.iter().enumerate() {
+                for (c, &ci) in cidx.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (k, &aval) in ablk[r].iter().enumerate() {
+                        acc = acc.mul_add(u[c * 4 + k].conj(), aval);
+                    }
+                    d[ri * cols + ci] += acc;
+                }
+            }
+        }
+    }
+}
+
 /// Builds the full `2^n x 2^n` embedding of a one-qubit gate (test oracle and
 /// occasional cold-path use; hot paths use the `apply_*` kernels instead).
 pub fn embed_1q(n: usize, q: usize, u: &[Complex64; 4]) -> Matrix {
@@ -379,6 +587,77 @@ mod tests {
         apply_2q_mat_left(&mut rho, a, b, &u);
         apply_2q_mat_right_dag(&mut rho, a, b, &u);
         assert!(rho.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn into_variants_match_in_place() {
+        let u1 = h_gate();
+        let u2 = cnot_gate();
+        let mut src = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                src[(i, j)] = c64((i * 3 + j) as f64 * 0.07, (j * 11 + i) as f64 * 0.013);
+            }
+        }
+        for q in 0..3 {
+            let mut expect = src.clone();
+            apply_1q_mat_left(&mut expect, q, &u1);
+            let mut dst = Matrix::zeros(8, 8);
+            apply_1q_mat_left_into(&mut dst, &src, q, &u1);
+            assert!(dst.approx_eq(&expect, 1e-13), "1q left_into q={q}");
+
+            let mut expect = src.clone();
+            apply_1q_mat_right_dag(&mut expect, q, &u1);
+            let mut dst = Matrix::zeros(8, 8);
+            apply_1q_mat_right_dag_into(&mut dst, &src, q, &u1);
+            assert!(dst.approx_eq(&expect, 1e-13), "1q right_dag_into q={q}");
+        }
+        for (a, b) in [(0usize, 1usize), (2, 0), (1, 2)] {
+            let mut expect = src.clone();
+            apply_2q_mat_left(&mut expect, a, b, &u2);
+            let mut dst = Matrix::zeros(8, 8);
+            apply_2q_mat_left_into(&mut dst, &src, a, b, &u2);
+            assert!(dst.approx_eq(&expect, 1e-13), "2q left_into ({a},{b})");
+
+            let mut expect = src.clone();
+            apply_2q_mat_right_dag(&mut expect, a, b, &u2);
+            let mut dst = Matrix::zeros(8, 8);
+            apply_2q_mat_right_dag_into(&mut dst, &src, a, b, &u2);
+            assert!(dst.approx_eq(&expect, 1e-13), "2q right_dag_into ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn accum_conj_matches_explicit_kraus_term() {
+        // dst += U src U^dag against the explicit embed-and-matmul oracle,
+        // on top of a nonzero dst to exercise the accumulation
+        let mut src = Matrix::zeros(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                src[(i, j)] = c64((i + 2 * j) as f64 * 0.05, (i as f64 - j as f64) * 0.04);
+            }
+        }
+        let seed = Matrix::identity(8);
+
+        let u1 = h_gate();
+        for q in 0..3 {
+            let emb = embed_1q(3, q, &u1);
+            let mut expect = seed.clone();
+            expect.axpy(Complex64::ONE, &emb.matmul(&src).matmul(&emb.adjoint()));
+            let mut dst = seed.clone();
+            accum_conj_1q(&mut dst, &src, q, &u1);
+            assert!(dst.approx_eq(&expect, 1e-12), "accum_conj_1q q={q}");
+        }
+
+        let u2 = cnot_gate();
+        for (a, b) in [(0usize, 2usize), (2, 1), (1, 0)] {
+            let emb = embed_2q(3, a, b, &u2);
+            let mut expect = seed.clone();
+            expect.axpy(Complex64::ONE, &emb.matmul(&src).matmul(&emb.adjoint()));
+            let mut dst = seed.clone();
+            accum_conj_2q(&mut dst, &src, a, b, &u2);
+            assert!(dst.approx_eq(&expect, 1e-12), "accum_conj_2q ({a},{b})");
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod random;
 pub mod solve;
 
 pub use complex::{c64, Complex64};
-pub use decomp::{u3_matrix, zyz_decompose, Zyz};
+pub use decomp::{u3_array, u3_matrix, zyz_decompose, Zyz};
 pub use eigh::{eigh, expm_i_hermitian_spectral, von_neumann_entropy, Eigh};
 pub use expm::{expm, expm_i_hermitian};
 pub use hashing::{hash128, hash128_hex, Hash128};

@@ -105,6 +105,31 @@ impl Matrix {
         self.data
     }
 
+    /// Overwrites `self` with the contents of `src` (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrites `self` with the identity (no allocation).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "set_identity needs a square matrix");
+        self.data.fill(Complex64::ZERO);
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] = Complex64::ONE;
+        }
+    }
+
     /// Returns row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[Complex64] {

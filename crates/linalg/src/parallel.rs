@@ -14,43 +14,103 @@
 //! full machine). On shared machines — or inside the `qaprox serve` worker
 //! pool, where several jobs already run side by side — cap it with either:
 //!
-//! * the `QAPROX_THREADS` environment variable (`QAPROX_THREADS=2`), or
-//! * [`set_max_threads`] (what the CLI's `--jobs N` flag calls).
+//! * the `QAPROX_JOBS` environment variable (`QAPROX_JOBS=2`; the legacy
+//!   `QAPROX_THREADS` spelling is still honoured when `QAPROX_JOBS` is
+//!   absent), or
+//! * [`set_max_threads`] (what the CLI's global `--jobs N` flag calls).
 //!
-//! A programmatic [`set_max_threads`] override wins over the environment;
-//! `set_max_threads(0)` restores the env-then-auto default. Caps only shape
-//! thread counts under the `parallel` feature; sequential builds ignore them.
+//! Precedence: `--jobs` / [`set_max_threads`] > `QAPROX_JOBS` >
+//! `QAPROX_THREADS` > `available_parallelism`. `set_max_threads(0)` restores
+//! the env-then-auto default. Caps only shape thread counts under the
+//! `parallel` feature; sequential builds ignore them.
+//!
+//! ## Nested parallelism
+//!
+//! `par_map*` calls may nest (the synthesis search parallelizes candidate
+//! waves, and each candidate's multistart optimizer may parallelize again).
+//! To keep the total thread count at the cap instead of multiplying, each
+//! worker thread inherits a *budget*: the share of [`max_threads`] its parent
+//! wave did not consume. [`thread_budget`] reports the budget of the calling
+//! thread; a nested `par_map*` spawns at most that many workers, each with a
+//! further-divided budget. The top level's budget is [`max_threads`] itself.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide thread cap: 0 = no override (env, then auto).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+#[cfg(feature = "parallel")]
+thread_local! {
+    /// Per-thread nested-parallelism budget; 0 = top level (use [`max_threads`]).
+    static THREAD_BUDGET: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// Caps the number of worker threads every subsequent `par_map*` call may
-/// spawn. `0` removes the cap (falling back to `QAPROX_THREADS`, then to
-/// `available_parallelism`).
+/// spawn. `0` removes the cap (falling back to `QAPROX_JOBS`, then
+/// `QAPROX_THREADS`, then `available_parallelism`).
 pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::Relaxed);
 }
 
 /// The effective worker-thread budget: the [`set_max_threads`] override if
-/// set, else `QAPROX_THREADS` if parseable and nonzero, else
+/// set, else `QAPROX_JOBS` / `QAPROX_THREADS` if parseable and nonzero, else
 /// `available_parallelism` (minimum 1).
 pub fn max_threads() -> usize {
     let forced = MAX_THREADS.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
-    if let Ok(raw) = std::env::var("QAPROX_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    for var in ["QAPROX_JOBS", "QAPROX_THREADS"] {
+        if let Ok(raw) = std::env::var(var) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
     }
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
+}
+
+/// The number of worker threads a `par_map*` call issued from the *current*
+/// thread may use: [`max_threads`] at the top level, or the remaining share
+/// of that cap inside a worker spawned by an enclosing `par_map*` wave.
+/// Layers that would parallelize redundantly (e.g. multistart optimization
+/// under an already-saturating search wave) consult this to stay serial.
+pub fn thread_budget() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        let local = THREAD_BUDGET.with(|b| b.get());
+        if local != 0 {
+            return local;
+        }
+        max_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Runs `f` with the calling thread's budget set to `n` (minimum 1),
+/// restoring the previous budget afterwards. Thread-pool hosts (the serve
+/// scheduler's worker loop) wrap each job in this so `workers` concurrent
+/// jobs share [`max_threads`] instead of each claiming the whole cap.
+pub fn with_thread_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "parallel")]
+    {
+        let prev = THREAD_BUDGET.with(|b| b.replace(n.max(1)));
+        let out = f();
+        THREAD_BUDGET.with(|b| b.set(prev));
+        out
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = n;
+        f()
+    }
 }
 
 /// Maps `f` over `items`, preserving order.
@@ -90,16 +150,21 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = max_threads().min(n.max(1));
+    let budget = thread_budget();
+    let workers = budget.min(n.max(1));
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    // Each worker thread inherits an equal share of the unused budget so
+    // nested par_map* calls divide the cap instead of multiplying it.
+    let inner_budget = (budget / workers).max(1);
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         for (w, slot_chunk) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                THREAD_BUDGET.with(|b| b.set(inner_budget));
                 let base = w * chunk;
                 for (off, slot) in slot_chunk.iter_mut().enumerate() {
                     *slot = Some(f(base + off));
@@ -132,9 +197,17 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
+    let budget = thread_budget();
+    let half = (budget / 2).max(1);
     std::thread::scope(|scope| {
-        let hb = scope.spawn(fb);
+        let hb = scope.spawn(move || {
+            THREAD_BUDGET.with(|b| b.set(half));
+            fb()
+        });
+        // run `fa` on the current thread under the other half of the budget
+        let prev = THREAD_BUDGET.with(|b| b.replace((budget - budget / 2).max(1)));
         let a = fa();
+        THREAD_BUDGET.with(|b| b.set(prev));
         (a, hb.join().expect("join worker panicked"))
     })
 }
@@ -170,6 +243,23 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_budget_is_positive_and_capped() {
+        assert!(thread_budget() >= 1);
+        #[cfg(feature = "parallel")]
+        {
+            // at the top level the budget equals the process-wide cap
+            assert_eq!(thread_budget(), max_threads());
+            // inside a wave, each worker sees a divided budget
+            set_max_threads(4);
+            let budgets = par_map_range(4, |_| thread_budget());
+            for b in budgets {
+                assert!((1..=4).contains(&b));
+            }
+            set_max_threads(0);
+        }
     }
 
     #[test]

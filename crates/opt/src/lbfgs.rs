@@ -65,12 +65,21 @@ fn inf_norm(a: &[f64]) -> f64 {
     a.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
 }
 
+/// Evaluates through [`GradObjective::eval_into`] so objectives with an
+/// internal workspace stay allocation-free; only the O(n) gradient vector
+/// the optimizer keeps is allocated here.
+fn eval_owned<O: GradObjective>(obj: &O, x: &[f64]) -> (f64, Vec<f64>) {
+    let mut g = vec![0.0; x.len()];
+    let f = obj.eval_into(x, &mut g);
+    (f, g)
+}
+
 /// Minimizes `obj` starting from `x0`.
 pub fn lbfgs<O: GradObjective>(obj: &O, x0: &[f64], params: &LbfgsParams) -> LbfgsResult {
     let n = x0.len();
     let mut x = x0.to_vec();
     let mut evals = 0usize;
-    let (mut f, mut g) = obj.eval(&x);
+    let (mut f, mut g) = eval_owned(obj, &x);
     evals += 1;
 
     // Curvature history.
@@ -188,7 +197,7 @@ fn wolfe_search<O: GradObjective>(
     let eval_at = |alpha: f64, evals: &mut usize| {
         let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + alpha * di).collect();
         *evals += 1;
-        let (f, g) = obj.eval(&xt);
+        let (f, g) = eval_owned(obj, &xt);
         let dg = dot(&g, d);
         (f, g, dg)
     };
@@ -253,7 +262,7 @@ fn zoom<O: GradObjective>(
         }
         let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + alpha * di).collect();
         *evals += 1;
-        let (f_a, g_a) = obj.eval(&xt);
+        let (f_a, g_a) = eval_owned(obj, &xt);
         let dg_a = dot(&g_a, d);
         if f_a > f0 + params.c1 * alpha * dg0 || f_a >= f_lo {
             alpha_hi = alpha;
@@ -275,7 +284,7 @@ fn zoom<O: GradObjective>(
     if f_lo < f0 && alpha_lo > 0.0 {
         let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + alpha_lo * di).collect();
         *evals += 1;
-        let (f_a, g_a) = obj.eval(&xt);
+        let (f_a, g_a) = eval_owned(obj, &xt);
         return Some((alpha_lo, f_a, g_a));
     }
     None

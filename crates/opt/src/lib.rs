@@ -18,13 +18,30 @@ pub mod multistart;
 pub mod nelder_mead;
 
 pub use lbfgs::{lbfgs, LbfgsParams, LbfgsResult};
-pub use multistart::{multistart_minimize, MultistartParams};
+pub use multistart::{multistart_minimize, multistart_minimize_par, MultistartParams};
 pub use nelder_mead::{nelder_mead, NelderMeadParams};
 
-/// An objective with an analytic gradient: returns `(f(x), grad f(x))`.
+/// An objective with an analytic gradient.
+///
+/// Implementors must override at least one of [`eval`](Self::eval) /
+/// [`eval_into`](Self::eval_into) — each has a default in terms of the other.
+/// Hot-path objectives override `eval_into` so a caller-provided gradient
+/// buffer makes the evaluation allocation-free.
 pub trait GradObjective {
     /// Evaluates the objective and its gradient at `x`.
-    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>);
+    fn eval(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; x.len()];
+        let f = self.eval_into(x, &mut grad);
+        (f, grad)
+    }
+
+    /// Evaluates the objective, writing the gradient into `grad`
+    /// (`grad.len() == x.len()`), and returns the objective value.
+    fn eval_into(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        let (f, g) = self.eval(x);
+        grad.copy_from_slice(&g);
+        f
+    }
 
     /// Evaluates only the objective (default: discard the gradient).
     fn value(&self, x: &[f64]) -> f64 {

@@ -37,6 +37,41 @@ impl Default for MultistartParams {
     }
 }
 
+/// Derives the RNG seed for one start. Each start owns an independent stream
+/// (instead of all starts sharing one sequential RNG), so the serial and
+/// parallel drivers generate bit-identical start points.
+fn start_seed(seed: u64, start: usize) -> u64 {
+    seed ^ (start as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The initial point for start `start`: `x0` itself for start 0, otherwise a
+/// uniform draw from the start's own seeded stream.
+fn start_point(x0: &[f64], start: usize, params: &MultistartParams) -> Vec<f64> {
+    if start == 0 {
+        return x0.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(start_seed(params.seed, start));
+    (0..x0.len())
+        .map(|_| rng.gen_range(-params.range..=params.range))
+        .collect()
+}
+
+/// Scans results in start order with the serial driver's exact rules: strict
+/// improvement (ties go to the lower start index), stop at the first start
+/// whose best-so-far reaches the success threshold.
+fn pick_best(results: impl IntoIterator<Item = LbfgsResult>, threshold: f64) -> LbfgsResult {
+    let mut best: Option<LbfgsResult> = None;
+    for r in results {
+        if best.as_ref().is_none_or(|b| r.f < b.f) {
+            best = Some(r);
+        }
+        if best.as_ref().is_some_and(|b| b.f <= threshold) {
+            break;
+        }
+    }
+    best.expect("at least one start ran")
+}
+
 /// Runs L-BFGS from `x0` and from `starts - 1` random points, returning the
 /// best local minimum found.
 pub fn multistart_minimize<O: GradObjective>(
@@ -44,19 +79,10 @@ pub fn multistart_minimize<O: GradObjective>(
     x0: &[f64],
     params: &MultistartParams,
 ) -> LbfgsResult {
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let mut best: Option<LbfgsResult> = None;
     for start in 0..params.starts.max(1) {
-        let x_init: Vec<f64> = if start == 0 {
-            x0.to_vec()
-        } else {
-            (0..x0.len())
-                .map(|_| rng.gen_range(-params.range..=params.range))
-                .collect()
-        };
-        let r = lbfgs(obj, &x_init, &params.local);
-        let improved = best.as_ref().is_none_or(|b| r.f < b.f);
-        if improved {
+        let r = lbfgs(obj, &start_point(x0, start, params), &params.local);
+        if best.as_ref().is_none_or(|b| r.f < b.f) {
             best = Some(r);
         }
         if best
@@ -67,6 +93,26 @@ pub fn multistart_minimize<O: GradObjective>(
         }
     }
     best.expect("at least one start ran")
+}
+
+/// [`multistart_minimize`] with the starts run concurrently.
+///
+/// Returns a result bit-identical to the serial driver: start points come
+/// from the same per-start seeded streams, and the winner is picked by
+/// scanning completed starts in index order under the serial rules. The only
+/// observable difference is that starts the serial loop would have skipped
+/// after an early success are still evaluated (their results are discarded).
+/// Callers should consult [`qaprox_linalg::parallel::thread_budget`] and
+/// prefer the serial driver when an enclosing wave already saturates it.
+pub fn multistart_minimize_par<O: GradObjective + Sync>(
+    obj: &O,
+    x0: &[f64],
+    params: &MultistartParams,
+) -> LbfgsResult {
+    let results = qaprox_linalg::parallel::par_map_range(params.starts.max(1), |start| {
+        lbfgs(obj, &start_point(x0, start, params), &params.local)
+    });
+    pick_best(results, params.success_threshold)
 }
 
 #[cfg(test)]
@@ -117,6 +163,23 @@ mod tests {
         let b = multistart_minimize(&deceptive, &[3.2], &params);
         assert_eq!(a.x, b.x);
         assert_eq!(a.f, b.f);
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_exactly() {
+        for seed in [7u64, 42, 0xA11CE] {
+            let params = MultistartParams {
+                starts: 6,
+                range: 5.0,
+                seed,
+                ..Default::default()
+            };
+            let serial = multistart_minimize(&deceptive, &[3.2], &params);
+            let par = multistart_minimize_par(&deceptive, &[3.2], &params);
+            assert_eq!(serial.x, par.x, "seed {seed}");
+            assert_eq!(serial.f, par.f, "seed {seed}");
+            assert_eq!(serial.iters, par.iters, "seed {seed}");
+        }
     }
 
     #[test]

@@ -105,6 +105,9 @@ pub fn obtain_population(
                     circuits: art.circuits,
                     minimal_hs: art.minimal_hs,
                     explored: art.explored,
+                    // artifacts predate memo counters; a cache hit ran no
+                    // synthesis, so zeroed stats are also the truth
+                    stats: Default::default(),
                 },
                 cached: true,
                 resumed_from: 0,

@@ -410,8 +410,16 @@ fn worker_loop(inner: &Inner) {
         };
         let store = inner.store.as_deref();
         let spec_for_run = spec.clone();
+        // Confine each job to a fair share of the process thread cap: with
+        // `workers` jobs running side by side, letting every job's nested
+        // par_map* claim the full cap oversubscribes the host `workers`-fold
+        // (measurably slower on the cold path, see
+        // artifacts/serve_throughput.csv).
+        let share = qaprox_linalg::parallel::max_threads() / inner.cfg.workers.max(1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_spec(store, &spec_for_run, &ctl)
+            qaprox_linalg::parallel::with_thread_budget(share, || {
+                run_spec(store, &spec_for_run, &ctl)
+            })
         }));
 
         let mut guard = inner.state.lock().expect("scheduler state poisoned");

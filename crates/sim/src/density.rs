@@ -9,8 +9,8 @@
 
 use qaprox_circuit::{Circuit, Gate};
 use qaprox_linalg::kernels::{
-    apply_1q_mat_left, apply_1q_mat_right_dag, apply_2q_mat_left, apply_2q_mat_right_dag,
-    mat2_to_array, mat4_to_array,
+    accum_conj_1q, accum_conj_2q, apply_1q_mat_left, apply_1q_mat_right_dag, apply_2q_mat_left,
+    apply_2q_mat_right_dag, mat2_to_array, mat4_to_array,
 };
 use qaprox_linalg::matrix::Matrix;
 use qaprox_linalg::{c64, Complex64};
@@ -113,13 +113,14 @@ impl DensityMatrix {
     pub fn apply_kraus_1q(&mut self, q: usize, kraus: &[Matrix]) {
         #[cfg(feature = "strict-invariants")]
         let trace_before = self.trace();
+        // One scratch accumulator for the whole channel: each Kraus term is
+        // accumulated as `acc += K rho K^dagger` block-wise in registers
+        // (previously: one full `rho.clone()` per Kraus operator — 4 clones
+        // for a depolarizing channel; now exactly one allocation per call).
         let mut acc = Matrix::zeros(self.dim(), self.dim());
         for k in kraus {
             let ka = mat2_to_array(k);
-            let mut term = self.rho.clone();
-            apply_1q_mat_left(&mut term, q, &ka);
-            apply_1q_mat_right_dag(&mut term, q, &ka);
-            acc.axpy(Complex64::ONE, &term);
+            accum_conj_1q(&mut acc, &self.rho, q, &ka);
         }
         self.rho = acc;
         #[cfg(feature = "strict-invariants")]
@@ -133,13 +134,13 @@ impl DensityMatrix {
     pub fn apply_kraus_2q(&mut self, a: usize, b: usize, kraus: &[Matrix]) {
         #[cfg(feature = "strict-invariants")]
         let trace_before = self.trace();
+        // Same single-scratch pattern as `apply_kraus_1q`: one accumulator
+        // allocation per call instead of one `rho.clone()` per Kraus operator
+        // (a 2q amplitude-damping pair of channels used to clone 16 times).
         let mut acc = Matrix::zeros(self.dim(), self.dim());
         for k in kraus {
             let ka = mat4_to_array(k);
-            let mut term = self.rho.clone();
-            apply_2q_mat_left(&mut term, a, b, &ka);
-            apply_2q_mat_right_dag(&mut term, a, b, &ka);
-            acc.axpy(Complex64::ONE, &term);
+            accum_conj_2q(&mut acc, &self.rho, a, b, &ka);
         }
         self.rho = acc;
         #[cfg(feature = "strict-invariants")]

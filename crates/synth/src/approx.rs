@@ -31,6 +31,24 @@ impl ApproxCircuit {
     }
 }
 
+/// Performance counters from one synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Structure-memo hits: instantiations served from cache because the
+    /// search re-derived a commuting-equivalent structure.
+    pub memo_hits: usize,
+    /// Structure-memo misses: structures actually optimized (then cached).
+    pub memo_misses: usize,
+}
+
+impl SynthStats {
+    /// Element-wise accumulation (for population-level aggregation).
+    pub fn absorb(&mut self, other: &SynthStats) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+}
+
 /// Output of a synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisOutput {
@@ -40,6 +58,8 @@ pub struct SynthesisOutput {
     pub intermediates: Vec<ApproxCircuit>,
     /// Search nodes evaluated.
     pub nodes_evaluated: usize,
+    /// Memo-cache counters for the run.
+    pub stats: SynthStats,
 }
 
 /// Admission check for one synthesized candidate: its recorded distance must

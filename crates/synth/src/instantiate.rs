@@ -8,10 +8,74 @@
 
 use crate::template::{u3_partials, AnsatzOp, Structure};
 use qaprox_circuit::Gate;
-use qaprox_linalg::kernels::{apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array};
+use qaprox_linalg::kernels::{
+    apply_1q_mat_left_into, apply_1q_mat_right_dag, apply_2q_mat_left_into, apply_2q_mat_right_dag,
+    mat4_to_array,
+};
 use qaprox_linalg::matrix::Matrix;
-use qaprox_linalg::{u3_matrix, Complex64};
+use qaprox_linalg::{u3_array, Complex64};
 use qaprox_opt::{multistart_minimize, GradObjective, LbfgsParams, MultistartParams};
+use std::cell::RefCell;
+
+/// Reusable buffers for one objective/gradient evaluation: the prefix and
+/// suffix product chains plus scratch matrices. After the first evaluation at
+/// a given (dimension, op-count) every later evaluation does **zero** heap
+/// allocation inside the objective — the optimizer's hot loop touches only
+/// these warm buffers.
+pub struct InstantiateWorkspace {
+    dim: usize,
+    /// `prefixes[k] = G_{k-1} ... G_0` (so `prefixes[0] = I`).
+    prefixes: Vec<Matrix>,
+    /// `suffixes[k] = V^dag G_{m-1} ... G_{k+1}`.
+    suffixes: Vec<Matrix>,
+    /// Partial-derivative scratch `dG_embed * prefixes[k]`.
+    scratch: Matrix,
+    /// Running suffix accumulator (ends as `V^dag U`).
+    cur: Matrix,
+}
+
+impl Default for InstantiateWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstantiateWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        InstantiateWorkspace {
+            dim: 0,
+            prefixes: Vec::new(),
+            suffixes: Vec::new(),
+            scratch: Matrix::zeros(0, 0),
+            cur: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Grows the buffers to hold an evaluation of `m` ops at dimension `dim`.
+    fn ensure(&mut self, dim: usize, m: usize) {
+        if self.dim != dim {
+            self.prefixes.clear();
+            self.suffixes.clear();
+            self.scratch = Matrix::zeros(dim, dim);
+            self.cur = Matrix::zeros(dim, dim);
+            self.dim = dim;
+        }
+        while self.prefixes.len() < m + 1 {
+            self.prefixes.push(Matrix::zeros(dim, dim));
+        }
+        while self.suffixes.len() < m {
+            self.suffixes.push(Matrix::zeros(dim, dim));
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace behind [`HsObjective`]'s `GradObjective` impl, so
+    /// the objective stays `Sync` (parallel search waves share it immutably)
+    /// while evaluations reuse buffers.
+    static WORKSPACE: RefCell<InstantiateWorkspace> = RefCell::new(InstantiateWorkspace::new());
+}
 
 /// The Hilbert-Schmidt instantiation objective for a fixed structure.
 pub struct HsObjective<'a> {
@@ -19,6 +83,9 @@ pub struct HsObjective<'a> {
     target_dag: Matrix,
     dim: usize,
     ops: Vec<AnsatzOp>,
+    /// The CX gate array, materialized once per structure instead of once per
+    /// op per evaluation (the fixed-CX part of the ansatz never changes).
+    cx: [Complex64; 16],
 }
 
 impl<'a> HsObjective<'a> {
@@ -31,6 +98,7 @@ impl<'a> HsObjective<'a> {
             target_dag: target.adjoint(),
             dim,
             ops: structure.ops(),
+            cx: mat4_to_array(&Gate::CX.matrix()),
         }
     }
 
@@ -44,95 +112,86 @@ impl<'a> HsObjective<'a> {
     pub fn distance(&self, params: &[f64]) -> f64 {
         (1.0 - self.trace_overlap(params).abs() / self.dim as f64).max(0.0)
     }
-}
 
-/// Right-multiplies `m` by the embedded gate (not its adjoint):
-/// `M <- M * G_embed`. Implemented through the `right_dag` kernels by
-/// passing the dagger.
-fn apply_right(m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
-    match *op {
-        AnsatzOp::U3 {
-            qubit,
-            param_offset,
-        } => {
-            let g = u3_matrix(
-                params[param_offset],
-                params[param_offset + 1],
-                params[param_offset + 2],
-            );
-            let gd = mat2_to_array(&g.adjoint());
-            qaprox_linalg::kernels::apply_1q_mat_right_dag(m, qubit, &gd);
-        }
-        AnsatzOp::Cx { control, target } => {
-            // CX is self-adjoint
-            let cx = mat4_to_array(&Gate::CX.matrix());
-            qaprox_linalg::kernels::apply_2q_mat_right_dag(m, control, target, &cx);
+    /// Left-multiplies into `dst`: `dst <- G_embed * src`.
+    fn apply_left_into(&self, dst: &mut Matrix, src: &Matrix, op: &AnsatzOp, params: &[f64]) {
+        match *op {
+            AnsatzOp::U3 {
+                qubit,
+                param_offset,
+            } => {
+                let g = u3_array(
+                    params[param_offset],
+                    params[param_offset + 1],
+                    params[param_offset + 2],
+                );
+                apply_1q_mat_left_into(dst, src, qubit, &g);
+            }
+            AnsatzOp::Cx { control, target } => {
+                apply_2q_mat_left_into(dst, src, control, target, &self.cx);
+            }
         }
     }
-}
 
-fn apply_left(m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
-    match *op {
-        AnsatzOp::U3 {
-            qubit,
-            param_offset,
-        } => {
-            let g = mat2_to_array(&u3_matrix(
-                params[param_offset],
-                params[param_offset + 1],
-                params[param_offset + 2],
-            ));
-            apply_1q_mat_left(m, qubit, &g);
-        }
-        AnsatzOp::Cx { control, target } => {
-            let cx = mat4_to_array(&Gate::CX.matrix());
-            apply_2q_mat_left(m, control, target, &cx);
-        }
-    }
-}
-
-/// Trace of the product `L * M` without forming it: `sum_ij L[i,j] M[j,i]`.
-fn trace_product(l: &Matrix, m: &Matrix) -> Complex64 {
-    let n = l.rows();
-    let mut acc = Complex64::ZERO;
-    for i in 0..n {
-        for j in 0..n {
-            acc = acc.mul_add(l[(i, j)], m[(j, i)]);
+    /// Right-multiplies in place by the embedded gate (not its adjoint):
+    /// `M <- M * G_embed`, through the `right_dag` kernels by passing the
+    /// dagger (built on the stack — no heap allocation).
+    fn apply_right(&self, m: &mut Matrix, op: &AnsatzOp, params: &[f64]) {
+        match *op {
+            AnsatzOp::U3 {
+                qubit,
+                param_offset,
+            } => {
+                let g = u3_array(
+                    params[param_offset],
+                    params[param_offset + 1],
+                    params[param_offset + 2],
+                );
+                // dagger = conjugate transpose, so (g^dag)^dag = g applies G
+                let gd = [g[0].conj(), g[2].conj(), g[1].conj(), g[3].conj()];
+                apply_1q_mat_right_dag(m, qubit, &gd);
+            }
+            AnsatzOp::Cx { control, target } => {
+                // CX is self-adjoint
+                apply_2q_mat_right_dag(m, control, target, &self.cx);
+            }
         }
     }
-    acc
-}
 
-impl GradObjective for HsObjective<'_> {
-    fn eval(&self, params: &[f64]) -> (f64, Vec<f64>) {
+    /// The full objective+gradient evaluation against an explicit workspace.
+    /// [`GradObjective::eval_into`] routes here through a thread-local one.
+    pub fn eval_with_workspace(
+        &self,
+        ws: &mut InstantiateWorkspace,
+        params: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
         let d = self.dim as f64;
         let m = self.ops.len();
+        ws.ensure(self.dim, m);
 
         // prefix products: a[k] = G_{k-1} ... G_0 (a[0] = I)
-        let mut prefixes: Vec<Matrix> = Vec::with_capacity(m + 1);
-        prefixes.push(Matrix::identity(self.dim));
-        for op in &self.ops {
-            let mut next = prefixes.last().unwrap().clone();
-            apply_left(&mut next, op, params);
-            prefixes.push(next);
+        ws.prefixes[0].set_identity();
+        for (k, op) in self.ops.iter().enumerate() {
+            let (done, rest) = ws.prefixes.split_at_mut(k + 1);
+            self.apply_left_into(&mut rest[0], &done[k], op, params);
         }
 
         // suffix products: l[k] = V^dag G_{m-1} ... G_{k+1} (l[m-1] = V^dag)
         // built backward: l[k-1] = l[k] * G_k
-        let mut suffixes: Vec<Matrix> = vec![Matrix::zeros(0, 0); m];
-        let mut cur = self.target_dag.clone();
+        ws.cur.copy_from(&self.target_dag);
         for k in (0..m).rev() {
-            suffixes[k] = cur.clone();
-            apply_right(&mut cur, &self.ops[k], params);
+            ws.suffixes[k].copy_from(&ws.cur);
+            self.apply_right(&mut ws.cur, &self.ops[k], params);
         }
         // after the loop, cur = V^dag U; trace overlap:
-        let t = cur.trace();
+        let t = ws.cur.trace();
         let t_abs = t.abs();
         let f = (1.0 - t_abs / d).max(0.0);
 
-        let mut grad = vec![0.0; params.len()];
+        grad.fill(0.0);
         if t_abs < 1e-300 {
-            return (f, grad);
+            return f;
         }
         let scale = t.conj() / (t_abs * d);
 
@@ -149,14 +208,31 @@ impl GradObjective for HsObjective<'_> {
                 );
                 for (which, dg) in partials.iter().enumerate() {
                     // dT = Tr(l[k] * dG_embed * a[k])
-                    let mut da = prefixes[k].clone();
-                    apply_1q_mat_left(&mut da, qubit, dg);
-                    let dt = trace_product(&suffixes[k], &da);
+                    apply_1q_mat_left_into(&mut ws.scratch, &ws.prefixes[k], qubit, dg);
+                    let dt = trace_product(&ws.suffixes[k], &ws.scratch);
                     grad[param_offset + which] = -(scale * dt).re;
                 }
             }
         }
-        (f, grad)
+        f
+    }
+}
+
+/// Trace of the product `L * M` without forming it: `sum_ij L[i,j] M[j,i]`.
+fn trace_product(l: &Matrix, m: &Matrix) -> Complex64 {
+    let n = l.rows();
+    let mut acc = Complex64::ZERO;
+    for i in 0..n {
+        for j in 0..n {
+            acc = acc.mul_add(l[(i, j)], m[(j, i)]);
+        }
+    }
+    acc
+}
+
+impl GradObjective for HsObjective<'_> {
+    fn eval_into(&self, params: &[f64], grad: &mut [f64]) -> f64 {
+        WORKSPACE.with(|ws| self.eval_with_workspace(&mut ws.borrow_mut(), params, grad))
     }
 }
 
@@ -212,7 +288,16 @@ pub fn instantiate(
         success_threshold: cfg.success_threshold,
         local: cfg.lbfgs.clone(),
     };
-    let r = multistart_minimize(&obj, warm_start, &ms);
+    // Nested-parallelism guard: the search layer's candidate waves normally
+    // saturate the thread budget, in which case the serial multistart driver
+    // avoids oversubscription. When budget is left (few candidates, many
+    // cores) the parallel driver fans the starts out — both drivers return
+    // bit-identical results, so this choice never changes the synthesis.
+    let r = if cfg.starts > 1 && qaprox_linalg::parallel::thread_budget() > 1 {
+        qaprox_opt::multistart_minimize_par(&obj, warm_start, &ms)
+    } else {
+        multistart_minimize(&obj, warm_start, &ms)
+    };
     Instantiated {
         params: r.x,
         distance: r.f.max(0.0),
@@ -241,6 +326,29 @@ mod tests {
         let numeric = central_difference(&|p: &[f64]| obj.distance(p), &x, 1e-6);
         for (a, n) in analytic.iter().zip(&numeric) {
             assert!((a - n).abs() < 1e-6, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn explicit_workspace_reuse_matches_fresh_evaluation() {
+        // One workspace reused across evaluations — and across different
+        // dimensions — must reproduce the thread-local path bit-for-bit.
+        let mut ws = InstantiateWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(91);
+        for n in [1usize, 2] {
+            let s = if n == 1 {
+                Structure::root(1)
+            } else {
+                Structure::root(2).extended(0, 1).extended(1, 0)
+            };
+            let target = haar_unitary(1 << n, &mut rng);
+            let obj = HsObjective::new(&s, &target);
+            let x: Vec<f64> = (0..s.num_params()).map(|i| 0.1 * i as f64 - 0.4).collect();
+            let (f_fresh, g_fresh) = obj.eval(&x);
+            let mut g_ws = vec![0.0; x.len()];
+            let f_ws = obj.eval_with_workspace(&mut ws, &x, &mut g_ws);
+            assert_eq!(f_fresh, f_ws);
+            assert_eq!(g_fresh, g_ws);
         }
     }
 

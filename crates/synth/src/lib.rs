@@ -23,6 +23,7 @@
 pub mod approx;
 pub mod hooks;
 pub mod instantiate;
+pub mod memo;
 pub mod partitioned;
 pub mod qfactor;
 pub mod qfast;
@@ -31,10 +32,13 @@ pub mod template;
 
 pub use approx::{
     admit, best_per_cnot_count, dedupe, predicted_score, rank_by_predicted, select_by_threshold,
-    ApproxCircuit, SynthesisOutput,
+    ApproxCircuit, SynthStats, SynthesisOutput,
 };
 pub use hooks::{ProgressFn, SearchHooks};
-pub use instantiate::{instantiate, HsObjective, InstantiateConfig, Instantiated};
+pub use instantiate::{
+    instantiate, HsObjective, InstantiateConfig, InstantiateWorkspace, Instantiated,
+};
+pub use memo::{canonicalize, CanonicalForm, StructureMemo};
 pub use partitioned::{partition, synthesize_partitioned, PartitionConfig, PartitionedResult};
 pub use qfactor::{qfactor_optimize, QFactorConfig, QFactorResult};
 pub use qfast::{qfast, qfast_with_hooks, QFastConfig};

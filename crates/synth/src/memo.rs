@@ -1,0 +1,203 @@
+//! Structure memoization for the synthesis search.
+//!
+//! QSearch re-derives the same ansatz along different A* paths whenever CNOT
+//! placements commute: appending `(0,1)` then `(2,3)` produces the same
+//! unitary family as `(2,3)` then `(0,1)`, because blocks on disjoint qubit
+//! pairs commute (the trace-monoid equivalence of the placement word). The
+//! memo canonicalizes each structure to its lexicographically-minimal
+//! commuting reordering, fingerprints it with [`qaprox_linalg::hashing`],
+//! and serves repeat instantiations from cache — remapping the cached
+//! parameters back into the query's own placement order, so the emitted
+//! circuit still matches the query structure gate for gate.
+//!
+//! All memo operations run on the merge thread of a search wave (lookups
+//! before the wave, insertions after, both in task order), so cache behavior
+//! is deterministic and thread-count-invariant.
+
+use crate::template::Structure;
+use qaprox_linalg::hashing::Hash128;
+use std::collections::HashMap;
+
+/// A structure's canonical commuting reordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// Fingerprint of (num_qubits, canonical placement word).
+    pub key: (u64, u64),
+    /// `perm[i]` = index into the *original* placement list of the placement
+    /// at canonical position `i`.
+    pub perm: Vec<usize>,
+}
+
+/// Two placements commute iff their qubit pairs are disjoint.
+fn commutes(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 != b.0 && a.0 != b.1 && a.1 != b.0 && a.1 != b.1
+}
+
+/// Computes the canonical form: bubble-sorts adjacent commuting placements
+/// into lexicographically minimal order (the normal form of the trace
+/// monoid), tracking the permutation.
+pub fn canonicalize(s: &Structure) -> CanonicalForm {
+    let mut word: Vec<(usize, usize)> = s.placements.clone();
+    let mut perm: Vec<usize> = (0..word.len()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..word.len().saturating_sub(1) {
+            if commutes(word[i], word[i + 1]) && word[i + 1] < word[i] {
+                word.swap(i, i + 1);
+                perm.swap(i, i + 1);
+                changed = true;
+            }
+        }
+    }
+    let mut h = Hash128::new();
+    h.update_u64(s.num_qubits as u64);
+    for &(c, t) in &word {
+        h.update_u64(c as u64);
+        h.update_u64(t as u64);
+    }
+    CanonicalForm {
+        key: h.finish(),
+        perm,
+    }
+}
+
+/// Parameter layout: `3 * num_qubits` initial-layer angles, then 6 angles
+/// per placement block. Remaps a parameter vector from the original
+/// placement order into canonical order.
+pub fn params_to_canonical(num_qubits: usize, perm: &[usize], params: &[f64]) -> Vec<f64> {
+    let head = 3 * num_qubits;
+    let mut out = params[..head].to_vec();
+    for &orig in perm {
+        let off = head + 6 * orig;
+        out.extend_from_slice(&params[off..off + 6]);
+    }
+    out
+}
+
+/// Inverse of [`params_to_canonical`]: remaps canonical-order parameters
+/// back into the original placement order.
+pub fn params_from_canonical(num_qubits: usize, perm: &[usize], canonical: &[f64]) -> Vec<f64> {
+    let head = 3 * num_qubits;
+    let mut out = vec![0.0; canonical.len()];
+    out[..head].copy_from_slice(&canonical[..head]);
+    for (i, &orig) in perm.iter().enumerate() {
+        let src = head + 6 * i;
+        let dst = head + 6 * orig;
+        out[dst..dst + 6].copy_from_slice(&canonical[src..src + 6]);
+    }
+    out
+}
+
+/// One cached instantiation, stored in canonical placement order.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    canonical_params: Vec<f64>,
+    distance: f64,
+}
+
+/// Per-search-run memo of instantiated structures (the target is fixed for
+/// the run, so the canonical fingerprint alone is the key).
+#[derive(Debug, Default)]
+pub struct StructureMemo {
+    map: HashMap<(u64, u64), MemoEntry>,
+    /// Instantiations served from cache.
+    pub hits: usize,
+    /// Instantiations actually optimized (and then cached).
+    pub misses: usize,
+}
+
+impl StructureMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a structure's cached instantiation, remapped into the
+    /// query's own placement order. Counts a hit or a miss.
+    pub fn lookup(&mut self, num_qubits: usize, cf: &CanonicalForm) -> Option<(Vec<f64>, f64)> {
+        match self.map.get(&cf.key) {
+            Some(e) => {
+                self.hits += 1;
+                Some((
+                    params_from_canonical(num_qubits, &cf.perm, &e.canonical_params),
+                    e.distance,
+                ))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches an instantiation given in the query's own placement order.
+    pub fn insert(&mut self, num_qubits: usize, cf: &CanonicalForm, params: &[f64], distance: f64) {
+        self.map.insert(
+            cf.key,
+            MemoEntry {
+                canonical_params: params_to_canonical(num_qubits, &cf.perm, params),
+                distance,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commuting_reorderings_share_a_key() {
+        let a = Structure::root(4).extended(0, 1).extended(2, 3);
+        let b = Structure::root(4).extended(2, 3).extended(0, 1);
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+    }
+
+    #[test]
+    fn non_commuting_reorderings_differ() {
+        let a = Structure::root(3).extended(0, 1).extended(1, 2);
+        let b = Structure::root(3).extended(1, 2).extended(0, 1);
+        assert_ne!(canonicalize(&a).key, canonicalize(&b).key);
+    }
+
+    #[test]
+    fn param_remap_round_trips_and_preserves_unitary() {
+        // a: (0,1) then (2,3); its canonical form is itself ((0,1) < (2,3)),
+        // while b's canonical form permutes — the remapped parameters must
+        // give b the same unitary a had.
+        let a = Structure::root(4).extended(0, 1).extended(2, 3);
+        let b = Structure::root(4).extended(2, 3).extended(0, 1);
+        let pa: Vec<f64> = (0..a.num_params()).map(|i| 0.1 * i as f64 - 0.7).collect();
+
+        let cfa = canonicalize(&a);
+        let canonical = params_to_canonical(4, &cfa.perm, &pa);
+        assert_eq!(params_from_canonical(4, &cfa.perm, &canonical), pa);
+
+        let cfb = canonicalize(&b);
+        let pb = params_from_canonical(4, &cfb.perm, &canonical);
+        let ua = a.unitary(&pa);
+        let ub = b.unitary(&pb);
+        assert!(
+            ua.approx_eq(&ub, 1e-12),
+            "remapped params changed the unitary"
+        );
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses_and_remaps() {
+        let a = Structure::root(4).extended(0, 1).extended(2, 3);
+        let b = Structure::root(4).extended(2, 3).extended(0, 1);
+        let mut memo = StructureMemo::new();
+        let cfa = canonicalize(&a);
+        assert!(memo.lookup(4, &cfa).is_none());
+        let pa: Vec<f64> = (0..a.num_params()).map(|i| (i as f64).sin()).collect();
+        memo.insert(4, &cfa, &pa, 0.25);
+
+        let cfb = canonicalize(&b);
+        let (pb, dist) = memo.lookup(4, &cfb).expect("hit");
+        assert_eq!(dist, 0.25);
+        assert!(a.unitary(&pa).approx_eq(&b.unitary(&pb), 1e-12));
+        assert_eq!((memo.hits, memo.misses), (1, 1));
+    }
+}

@@ -10,19 +10,21 @@
 //! emitted as an intermediate — the `partial_solution_callback` of the
 //! paper's Sec. 4.
 
-use crate::approx::{ApproxCircuit, SynthesisOutput};
+use crate::approx::{ApproxCircuit, SynthStats, SynthesisOutput};
 use crate::hooks::SearchHooks;
 use crate::instantiate::{instantiate, InstantiateConfig};
 use crate::template::Structure;
 use qaprox_circuit::Circuit;
 use qaprox_device::Topology;
 use qaprox_linalg::expm::expm_i_hermitian;
+use qaprox_linalg::hashing::hash128;
 use qaprox_linalg::kernels::{apply_2q_mat_left, mat4_to_array};
 use qaprox_linalg::matrix::Matrix;
-use qaprox_linalg::parallel::{par_map, par_map_indexed};
+use qaprox_linalg::parallel::par_map_range;
 use qaprox_linalg::pauli::{hermitian_from_coeffs, su_basis};
 use qaprox_opt::gradient::central_difference;
 use qaprox_opt::{lbfgs, LbfgsParams};
+use std::collections::HashMap;
 
 /// QFast configuration.
 #[derive(Debug, Clone)]
@@ -117,11 +119,15 @@ fn optimize_blocks(
     r.f.max(0.0)
 }
 
-/// Refines one SU(4) block into at most 3 CNOTs + U3s on its edge.
-fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Circuit {
+/// The 4x4 unitary a block's coefficients generate.
+fn block_unitary(block: &Block, basis: &[Matrix]) -> Matrix {
     let h = hermitian_from_coeffs(basis, &block.coeffs);
-    let u = expm_i_hermitian(&h);
-    // 2-qubit instantiation on a virtual pair (0, 1), depth up to 3
+    expm_i_hermitian(&h)
+}
+
+/// Refines one SU(4) unitary into at most 3 CNOTs + U3s on the virtual
+/// pair (0, 1); relabeling onto the physical edge happens at assembly.
+fn refine_unitary(u: &Matrix, cfg: &InstantiateConfig) -> Circuit {
     let mut best: Option<(Circuit, f64)> = None;
     let mut s = Structure::root(2);
     let mut warm = vec![0.0; s.num_params()];
@@ -131,7 +137,7 @@ fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Cir
             s = s.extended(c, t);
             warm = s.warm_start_from(&warm);
         }
-        let inst = instantiate(&s, &u, &warm, cfg);
+        let inst = instantiate(&s, u, &warm, cfg);
         warm = inst.params.clone();
         let circuit = s.to_circuit(&inst.params);
         if best.as_ref().is_none_or(|(_, d)| inst.distance < *d) {
@@ -142,23 +148,95 @@ fn refine_block(block: &Block, basis: &[Matrix], cfg: &InstantiateConfig) -> Cir
             }
         }
     }
-    let (mut local, _) = best.expect("refinement always produces a circuit");
-    // Relabel the virtual pair onto the block's physical edge. The coarse
-    // kernel treats `edge.0` as the HIGH bit of the block's 4x4 matrix, while
-    // the refined circuit's qubit 0 is the LOW bit - so the map is reversed.
-    let mut out = Circuit::new(block.edge.0.max(block.edge.1) + 1);
-    out.extend_mapped(&local, &[block.edge.1, block.edge.0]);
-    std::mem::swap(&mut local, &mut out);
-    local
+    best.expect("refinement always produces a circuit").0
+}
+
+/// Relabels a virtual-pair circuit onto the block's physical edge. The coarse
+/// kernel treats `edge.0` as the HIGH bit of the block's 4x4 matrix, while
+/// the refined circuit's qubit 0 is the LOW bit - so the map is reversed.
+fn relabel(local: &Circuit, edge: (usize, usize)) -> Circuit {
+    let mut out = Circuit::new(edge.0.max(edge.1) + 1);
+    out.extend_mapped(local, &[edge.1, edge.0]);
+    out
+}
+
+/// Cache of refined blocks across assembly rounds, keyed by the exact bytes
+/// of the block unitary. Greedy QFast re-assembles the whole block list at
+/// every depth, so blocks the joint optimizer left untouched (and duplicate
+/// blocks inside one round) refine once instead of once per depth. All cache
+/// traffic happens on the merge thread, in block order — deterministic for
+/// any thread count.
+#[derive(Default)]
+struct RefineMemo {
+    map: HashMap<(u64, u64), Circuit>,
+    hits: usize,
+    misses: usize,
+}
+
+/// How one block resolves in an assembly wave.
+enum RefineKind {
+    /// Served from [`RefineMemo`].
+    Cached(Circuit),
+    /// Same unitary as an earlier block in this wave (by block index).
+    Dup(usize),
+    /// Refine in the parallel wave.
+    Live,
 }
 
 /// Assembles the native-gate circuit for a refined block sequence and
 /// re-instantiates nothing (each block is already near-exact).
-fn assemble(n: usize, blocks: &[Block], basis: &[Matrix], cfg: &InstantiateConfig) -> Circuit {
-    let refined: Vec<Circuit> = par_map(blocks, |b| refine_block(b, basis, cfg));
+fn assemble(
+    n: usize,
+    blocks: &[Block],
+    basis: &[Matrix],
+    cfg: &InstantiateConfig,
+    memo: &mut RefineMemo,
+) -> Circuit {
+    // Pre-scan (sequential): resolve each block against the memo.
+    let mut unitaries: Vec<Matrix> = Vec::with_capacity(blocks.len());
+    let mut kinds: Vec<RefineKind> = Vec::with_capacity(blocks.len());
+    let mut keys: Vec<(u64, u64)> = Vec::with_capacity(blocks.len());
+    let mut wave_seen: HashMap<(u64, u64), usize> = HashMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        let u = block_unitary(b, basis);
+        let key = hash128(&u.canonical_bytes());
+        let kind = if let Some(local) = memo.map.get(&key) {
+            memo.hits += 1;
+            RefineKind::Cached(local.clone())
+        } else if let Some(&first) = wave_seen.get(&key) {
+            memo.hits += 1;
+            RefineKind::Dup(first)
+        } else {
+            memo.misses += 1;
+            wave_seen.insert(key, i);
+            RefineKind::Live
+        };
+        unitaries.push(u);
+        keys.push(key);
+        kinds.push(kind);
+    }
+
+    // The wave: refine every live block concurrently.
+    let refined: Vec<Option<Circuit>> = par_map_range(blocks.len(), |i| match kinds[i] {
+        RefineKind::Live => Some(refine_unitary(&unitaries[i], cfg)),
+        _ => None,
+    });
+
+    // Merge (sequential, block order): resolve, cache, relabel, append.
+    let mut locals: Vec<Circuit> = Vec::with_capacity(blocks.len());
     let mut c = Circuit::new(n);
-    for (block, rc) in blocks.iter().zip(&refined) {
-        let _ = block;
+    for (i, block) in blocks.iter().enumerate() {
+        let local = match &kinds[i] {
+            RefineKind::Cached(l) => l.clone(),
+            RefineKind::Dup(j) => locals[*j].clone(),
+            RefineKind::Live => {
+                let l = refined[i].clone().expect("live block refined in the wave");
+                memo.map.insert(keys[i], l.clone());
+                l
+            }
+        };
+        let rc = relabel(&local, block.edge);
+        locals.push(local);
         for inst in rc.iter() {
             c.push(inst.gate.clone(), &inst.qubits);
         }
@@ -189,6 +267,7 @@ pub fn qfast_with_hooks(
     let mut blocks: Vec<Block> = Vec::new();
     let mut intermediates: Vec<ApproxCircuit> = Vec::new();
     let mut nodes_evaluated = 0usize;
+    let mut refine_memo = RefineMemo::default();
 
     // Depth-0 "circuit": identity (only meaningful for near-identity targets).
     let empty = Circuit::new(n);
@@ -204,44 +283,59 @@ pub fn qfast_with_hooks(
             break;
         }
         // Try a new block on every edge (both orientations are equivalent for
-        // a generic SU(4) block, so undirected edges suffice).
+        // a generic SU(4) block, so undirected edges suffice). Every
+        // (edge, random start) pair is an independent task, so the whole
+        // depth optimizes in one flat parallel wave instead of serial starts
+        // inside an edge-wide wave.
         let depth_salt = blocks.len() as u64;
-        let candidates: Vec<(usize, Vec<Block>, f64)> =
-            par_map_indexed(topology.edges(), |ei, &edge| {
-                let mut best_trial: Option<(Vec<Block>, f64)> = None;
-                for start in 0..cfg.coarse_starts.max(1) {
-                    use qaprox_linalg::random::Rng;
-                    let mut rng = qaprox_linalg::random::SplitMix64::seed_from_u64(
-                        cfg.seed ^ (depth_salt << 24) ^ ((ei as u64) << 8) ^ start as u64,
-                    );
-                    let coeffs: Vec<f64> = (0..15).map(|_| rng.gen_range(-0.8..0.8)).collect();
-                    let mut trial = blocks.clone();
-                    trial.push(Block { edge, coeffs });
-                    let dist =
-                        optimize_blocks(n, &mut trial, &basis, &target_dag, &cfg.coarse_lbfgs);
-                    if best_trial.as_ref().is_none_or(|(_, d)| dist < *d) {
-                        let done = dist < cfg.success_threshold;
-                        best_trial = Some((trial, dist));
-                        if done {
-                            break;
-                        }
+        let edges = topology.edges();
+        let starts = cfg.coarse_starts.max(1);
+        let trials: Vec<(Vec<Block>, f64)> = par_map_range(edges.len() * starts, |ti| {
+            let (ei, start) = (ti / starts, ti % starts);
+            use qaprox_linalg::random::Rng;
+            let mut rng = qaprox_linalg::random::SplitMix64::seed_from_u64(
+                cfg.seed ^ (depth_salt << 24) ^ ((ei as u64) << 8) ^ start as u64,
+            );
+            let coeffs: Vec<f64> = (0..15).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let mut trial = blocks.clone();
+            trial.push(Block {
+                edge: edges[ei],
+                coeffs,
+            });
+            let dist = optimize_blocks(n, &mut trial, &basis, &target_dag, &cfg.coarse_lbfgs);
+            (trial, dist)
+        });
+        // Per-edge reduce in start order with the serial driver's exact
+        // rules (strict improvement, stop at the first success), so the
+        // chosen candidate is thread-count-invariant. Starts the serial loop
+        // would have skipped after a success are computed then discarded.
+        let candidates: Vec<(usize, &(Vec<Block>, f64))> = (0..edges.len())
+            .map(|ei| {
+                let mut best_start = ei * starts;
+                for s in 0..starts {
+                    let ti = ei * starts + s;
+                    if trials[ti].1 < trials[best_start].1 {
+                        best_start = ti;
+                    }
+                    if trials[best_start].1 < cfg.success_threshold {
+                        break;
                     }
                 }
-                let (trial, dist) = best_trial.expect("at least one start");
-                (ei, trial, dist)
-            });
+                (ei, &trials[best_start])
+            })
+            .collect();
         nodes_evaluated += candidates.len();
 
-        let (_, best_blocks, best_dist) = candidates
+        let (_, (best_blocks, best_dist)) = candidates
             .into_iter()
-            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
             .expect("topology has at least one edge");
 
-        blocks = best_blocks;
-        best_coarse = best_dist;
+        blocks = best_blocks.clone();
+        best_coarse = *best_dist;
 
         // Emit the refined native circuit for this depth.
-        let native = assemble(n, &blocks, &basis, &cfg.refine);
+        let native = assemble(n, &blocks, &basis, &cfg.refine, &mut refine_memo);
         let d = {
             let dim = (1 << n) as f64;
             (1.0 - target_dag.matmul(&native.unitary()).trace().abs() / dim).max(0.0)
@@ -261,6 +355,10 @@ pub fn qfast_with_hooks(
         best: intermediates[best_idx].clone(),
         intermediates,
         nodes_evaluated,
+        stats: SynthStats {
+            memo_hits: refine_memo.hits,
+            memo_misses: refine_memo.misses,
+        },
     }
 }
 

@@ -9,9 +9,10 @@
 //! (4+ qubits), where exhaustive A* is intractable — the same regime where
 //! the paper switches to QFast.
 
-use crate::approx::{ApproxCircuit, SynthesisOutput};
+use crate::approx::{ApproxCircuit, SynthStats, SynthesisOutput};
 use crate::hooks::SearchHooks;
 use crate::instantiate::{instantiate, InstantiateConfig};
+use crate::memo::{self, CanonicalForm, StructureMemo};
 use crate::template::Structure;
 use qaprox_device::Topology;
 use qaprox_linalg::parallel::par_map_indexed;
@@ -79,6 +80,35 @@ impl Ord for Node {
     }
 }
 
+/// Stable child seed salt from structural coordinates only — (CNOT depth,
+/// expansion rank within that depth, placement index) — so the instantiation
+/// seed stream is identical for any thread count and any wave size.
+fn child_salt(depth: usize, rank: usize, pi: usize) -> u64 {
+    (depth as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((rank as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(pi as u64)
+}
+
+/// How one wave task resolves its instantiation.
+enum TaskKind {
+    /// Optimize in the parallel wave.
+    Live,
+    /// Served from the structure memo: (params in this task's order, distance).
+    Hit(Vec<f64>, f64),
+    /// Duplicate of an earlier task in the same wave (by task index).
+    Dup(usize),
+}
+
+/// One child instantiation queued for a search wave.
+struct WaveTask {
+    structure: Structure,
+    warm: Vec<f64>,
+    salt: u64,
+    cf: CanonicalForm,
+    kind: TaskKind,
+}
+
 /// Synthesizes `target` over `topology`, returning the best circuit and the
 /// full intermediate stream.
 pub fn qsearch(target: &Matrix, topology: &Topology, cfg: &QSearchConfig) -> SynthesisOutput {
@@ -119,51 +149,59 @@ pub fn qsearch_with_hooks(
     // duplicates starves the (temporarily worse) paths that escape the
     // plateau. Only one representative of each distance class expands.
     let mut expanded_dists: Vec<Vec<f64>> = vec![Vec::new(); cfg.max_cnots + 1];
-
-    let evaluate = |structure: Structure,
-                    warm: &[f64],
-                    seed_salt: u64,
-                    nodes_evaluated: &mut usize,
-                    intermediates: &mut Vec<ApproxCircuit>|
-     -> Node {
-        let mut icfg = cfg.instantiate.clone();
-        icfg.seed = icfg.seed.wrapping_add(seed_salt);
-        let inst = instantiate(&structure, target, warm, &icfg);
-        *nodes_evaluated += 1;
-        let circuit = structure.to_circuit(&inst.params);
-        intermediates.push(ApproxCircuit::new(circuit, inst.distance));
-        let priority = structure.cnots() as f64 + cfg.heuristic_weight * inst.distance;
-        Node {
-            params: inst.params,
-            distance: inst.distance,
-            priority,
-            structure,
-        }
-    };
+    let mut memo_cache = StructureMemo::new();
 
     // Root: U3 layer only.
     let root_structure = Structure::root(n);
     let root_warm = vec![0.0; root_structure.num_params()];
-    let root = evaluate(
-        root_structure,
-        &root_warm,
-        0,
-        &mut nodes_evaluated,
-        &mut intermediates,
-    );
+    let root = {
+        let inst = instantiate(&root_structure, target, &root_warm, &cfg.instantiate);
+        memo_cache.misses += 1;
+        memo_cache.insert(
+            n,
+            &memo::canonicalize(&root_structure),
+            &inst.params,
+            inst.distance,
+        );
+        nodes_evaluated += 1;
+        let circuit = root_structure.to_circuit(&inst.params);
+        intermediates.push(ApproxCircuit::new(circuit, inst.distance));
+        let priority = root_structure.cnots() as f64 + cfg.heuristic_weight * inst.distance;
+        Node {
+            params: inst.params,
+            distance: inst.distance,
+            priority,
+            structure: root_structure,
+        }
+    };
 
     let mut best_idx = 0usize; // index into intermediates
     let mut best_dist = root.distance;
 
     let mut frontier = BinaryHeap::new();
-    let done = root.distance < cfg.success_threshold;
+    let mut done = root.distance < cfg.success_threshold;
     frontier.push(root);
 
-    if !done {
-        while let Some(node) = frontier.pop() {
-            if nodes_evaluated >= cfg.max_nodes || hooks.cancelled() {
-                break;
-            }
+    'search: while !done {
+        if nodes_evaluated >= cfg.max_nodes || hooks.cancelled() {
+            done = true;
+            continue;
+        }
+
+        // --- Selection: pop the top-K admissible frontier nodes. K is the
+        // beam budget, further capped so one wave never overshoots the node
+        // budget by more than one node's children (the same overshoot bound
+        // as single-node rounds). Inadmissible pops are discarded, exactly as
+        // the single-node loop discarded them.
+        let remaining = cfg.max_nodes - nodes_evaluated;
+        let max_sel = cfg
+            .beam_width
+            .min(remaining.div_ceil(placements.len().max(1)))
+            .max(1);
+        // (depth, rank-within-depth) per selected node, for stable seeds.
+        let mut selected: Vec<(Node, usize)> = Vec::new();
+        while selected.len() < max_sel {
+            let Some(node) = frontier.pop() else { break };
             let depth = node.structure.cnots();
             if depth >= cfg.max_cnots {
                 continue;
@@ -178,49 +216,106 @@ pub fn qsearch_with_hooks(
             {
                 continue; // a same-distance sibling already expanded here
             }
+            let rank = depth_expansions[depth];
             depth_expansions[depth] += 1;
             expanded_dists[depth].push(node.distance);
+            selected.push((node, rank));
+        }
+        if selected.is_empty() {
+            break;
+        }
 
-            // Instantiate all children in parallel, then record them.
-            let children: Vec<(Structure, Vec<f64>, f64)> =
-                par_map_indexed(&placements, |pi, &(c, t)| {
-                    let child = node.structure.extended(c, t);
-                    let warm = child.warm_start_from(&node.params);
-                    let mut icfg = cfg.instantiate.clone();
-                    icfg.seed = icfg
-                        .seed
-                        .wrapping_add((depth as u64) << 32)
-                        .wrapping_add(pi as u64);
-                    let inst = instantiate(&child, target, &warm, &icfg);
-                    (child, inst.params, inst.distance)
-                });
-
-            let mut stop = false;
-            for (structure, params, distance) in children {
-                nodes_evaluated += 1;
-                let circuit = structure.to_circuit(&params);
-                intermediates.push(ApproxCircuit::new(circuit, distance));
-                if distance < best_dist {
-                    best_dist = distance;
-                    best_idx = intermediates.len() - 1;
-                }
-                if distance < cfg.success_threshold {
-                    stop = true;
-                    break;
-                }
-                let priority = structure.cnots() as f64 + cfg.heuristic_weight * distance;
-                frontier.push(Node {
+        // --- Wave setup (sequential, in selection x placement order): build
+        // every child task and resolve it against the structure memo, so the
+        // parallel wave only optimizes structures not seen before.
+        let mut tasks: Vec<WaveTask> = Vec::with_capacity(selected.len() * placements.len());
+        let mut wave_seen: std::collections::HashMap<(u64, u64), usize> =
+            std::collections::HashMap::new();
+        for (node, rank) in &selected {
+            let depth = node.structure.cnots();
+            for (pi, &(c, t)) in placements.iter().enumerate() {
+                let structure = node.structure.extended(c, t);
+                let warm = structure.warm_start_from(&node.params);
+                let cf = memo::canonicalize(&structure);
+                let kind = if let Some((params, dist)) = memo_cache.lookup(n, &cf) {
+                    TaskKind::Hit(params, dist)
+                } else if let Some(&first) = wave_seen.get(&cf.key) {
+                    // same canonical structure earlier in this very wave:
+                    // served from that task's result, so it is a cache hit,
+                    // not a fresh optimization
+                    memo_cache.misses -= 1;
+                    memo_cache.hits += 1;
+                    TaskKind::Dup(first)
+                } else {
+                    wave_seen.insert(cf.key, tasks.len());
+                    TaskKind::Live
+                };
+                tasks.push(WaveTask {
                     structure,
-                    params,
-                    distance,
-                    priority,
+                    warm,
+                    salt: child_salt(depth, *rank, pi),
+                    cf,
+                    kind,
                 });
-            }
-            hooks.progress(nodes_evaluated, &intermediates);
-            if stop || nodes_evaluated >= cfg.max_nodes {
-                break;
             }
         }
+
+        // --- The wave: every live child instantiates in one parallel map.
+        let wave: Vec<Option<(Vec<f64>, f64)>> =
+            par_map_indexed(&tasks, |_, task| match task.kind {
+                TaskKind::Live => {
+                    let mut icfg = cfg.instantiate.clone();
+                    icfg.seed = icfg.seed.wrapping_add(task.salt);
+                    let inst = instantiate(&task.structure, target, &task.warm, &icfg);
+                    Some((inst.params, inst.distance))
+                }
+                _ => None,
+            });
+
+        // --- Merge (sequential, in task order — deterministic for any
+        // thread count): record every child, cache live results, and expand
+        // the frontier. Success mid-merge discards the rest of the wave,
+        // exactly as the single-node loop discarded unmerged siblings.
+        let mut resolved: Vec<(Vec<f64>, f64)> = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.iter().enumerate() {
+            let (params, distance) = match &task.kind {
+                TaskKind::Live => {
+                    let r = wave[i].clone().expect("live task ran in the wave");
+                    memo_cache.insert(n, &task.cf, &r.0, r.1);
+                    r
+                }
+                TaskKind::Hit(p, d) => (p.clone(), *d),
+                TaskKind::Dup(j) => {
+                    let (pj, dj) = &resolved[*j];
+                    let canonical = memo::params_to_canonical(n, &tasks[*j].cf.perm, pj);
+                    (
+                        memo::params_from_canonical(n, &task.cf.perm, &canonical),
+                        *dj,
+                    )
+                }
+            };
+            resolved.push((params.clone(), distance));
+
+            nodes_evaluated += 1;
+            let circuit = task.structure.to_circuit(&params);
+            intermediates.push(ApproxCircuit::new(circuit, distance));
+            if distance < best_dist {
+                best_dist = distance;
+                best_idx = intermediates.len() - 1;
+            }
+            if distance < cfg.success_threshold {
+                hooks.progress(nodes_evaluated, &intermediates);
+                break 'search;
+            }
+            let priority = task.structure.cnots() as f64 + cfg.heuristic_weight * distance;
+            frontier.push(Node {
+                structure: task.structure.clone(),
+                params,
+                distance,
+                priority,
+            });
+        }
+        hooks.progress(nodes_evaluated, &intermediates);
     }
 
     // Track the overall best across every recorded intermediate (the root may
@@ -235,6 +330,10 @@ pub fn qsearch_with_hooks(
         best: intermediates[best_idx].clone(),
         intermediates,
         nodes_evaluated,
+        stats: SynthStats {
+            memo_hits: memo_cache.hits,
+            memo_misses: memo_cache.misses,
+        },
     }
 }
 

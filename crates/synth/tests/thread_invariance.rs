@@ -1,0 +1,75 @@
+//! Thread-count invariance of the synthesis engines.
+//!
+//! The parallel search waves (qsearch) and block trials (qfast) must be
+//! *bit-for-bit deterministic* regardless of worker-thread count: serve's
+//! resume-by-checkpoint keys hash the intermediate stream, so a thread-count
+//! change on a redeployed host must not invalidate stored artifacts. Seeds
+//! derive from structural positions (depth, node rank, placement index),
+//! never from thread identity, and wave merges happen in task order — so
+//! 1, 2, and 8 workers must produce identical intermediate streams
+//! (fingerprints + distance bits) and the identical best circuit.
+
+use qaprox_device::Topology;
+use qaprox_linalg::hashing::Hash128;
+use qaprox_linalg::parallel::set_max_threads;
+use qaprox_linalg::random::{haar_unitary, SplitMix64};
+use qaprox_synth::{qfast, qsearch, QFastConfig, QSearchConfig, SynthesisOutput};
+
+/// Exact fingerprint of a full synthesis output: every intermediate's
+/// circuit (gates + parameter bits via the `Debug` round-trip repr) and
+/// distance bits, in stream order, plus the best circuit and counters.
+fn fingerprint(out: &SynthesisOutput) -> (u64, u64) {
+    let mut h = Hash128::new();
+    h.update_u64(out.nodes_evaluated as u64);
+    h.update_u64(out.stats.memo_hits as u64);
+    h.update_u64(out.stats.memo_misses as u64);
+    h.update_f64(out.best.hs_distance);
+    h.update(format!("{:?}", out.best.circuit).as_bytes());
+    for ap in &out.intermediates {
+        h.update_u64(ap.cnots as u64);
+        h.update_f64(ap.hs_distance);
+        h.update(format!("{:?}", ap.circuit).as_bytes());
+    }
+    h.finish()
+}
+
+/// One test function (not several) so `set_max_threads`, a process-global
+/// override, is never raced by a concurrently running sibling test.
+#[test]
+fn streams_are_identical_at_1_2_and_8_threads() {
+    let cases: Vec<(usize, u64)> = vec![(2, 11), (2, 12), (3, 21)];
+    for &(n, seed) in &cases {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let target = haar_unitary(1 << n, &mut rng);
+        let topo = Topology::linear(n);
+
+        let qs_cfg = QSearchConfig {
+            max_nodes: if n == 2 { 40 } else { 25 },
+            ..Default::default()
+        };
+        let qf_cfg = QFastConfig {
+            max_blocks: 3,
+            ..Default::default()
+        };
+
+        let mut qs_prints = Vec::new();
+        let mut qf_prints = Vec::new();
+        for threads in [1usize, 2, 8] {
+            set_max_threads(threads);
+            qs_prints.push((threads, fingerprint(&qsearch(&target, &topo, &qs_cfg))));
+            qf_prints.push((threads, fingerprint(&qfast(&target, &topo, &qf_cfg))));
+        }
+        set_max_threads(0);
+
+        for prints in [&qs_prints, &qf_prints] {
+            let (_, base) = prints[0];
+            for &(threads, fp) in &prints[1..] {
+                assert_eq!(
+                    fp, base,
+                    "stream changed between 1 and {threads} threads \
+                     (n={n}, seed={seed})"
+                );
+            }
+        }
+    }
+}
