@@ -44,6 +44,9 @@ SUBCOMMANDS:
               --workers N    worker threads    (default 2)
               --queue N      queue capacity    (default 64)
               --timeout-secs T  per-job wall-clock budget (default: none)
+              --journal DIR  durable job journal: replayed on restart,
+                             lost jobs re-enqueue and resume from their
+                             last store checkpoint (see docs/FAULTS.md)
   submit    submit a job to a running service and print its result
               --addr HOST:PORT                 (default 127.0.0.1:7878)
               --op synth|run                   (default synth)
@@ -301,7 +304,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             None => None,
         },
         checkpoint_every: d.checkpoint_every,
+        journal_dir: args.options.get("journal").map(std::path::PathBuf::from),
+        retry: d.retry,
+        breaker: d.breaker,
     };
+    let journaled = scheduler.journal_dir.clone();
     let cfg = ServerConfig {
         addr: args.str_or("addr", "127.0.0.1:7878"),
         scheduler,
@@ -311,6 +318,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "# qaprox-serve listening on {} ({workers} workers)",
         server.local_addr()
     );
+    if let Some(dir) = journaled {
+        let report = server
+            .scheduler()
+            .recovery_report()
+            .unwrap_or(Json::Bool(false));
+        println!("# journal at {}: recovery {report}", dir.display());
+    }
     server.wait_for_shutdown();
     Ok(())
 }
@@ -318,6 +332,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 /// Renders a service response payload in the same CSV-ish shape the local
 /// `synth`/`run` subcommands print.
 fn print_payload(payload: &Json) -> Result<(), String> {
+    if payload.get_bool("degraded") == Some(true) {
+        println!(
+            "# DEGRADED result (fallback from {}): {}",
+            payload
+                .get_str("degraded_from")
+                .unwrap_or("static analysis"),
+            payload.get_str("error").unwrap_or("retries exhausted"),
+        );
+    }
     match payload.get_str("kind") {
         Some("synth") => {
             println!(
@@ -400,7 +423,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     };
     let addr = args.str_or("addr", "127.0.0.1:7878");
     let mut client = Client::connect(&addr)?;
-    let (id, key, deduped) = client.submit(&spec)?;
+    let (id, key, deduped) = client.submit(&spec).map_err(|e| e.to_string())?;
     println!("# job id={id} key={key} deduped={deduped}");
     if args.flag("no-wait") {
         return Ok(());

@@ -6,7 +6,7 @@
 //! qaprox run      --workload ... --device NAME [--hardware] [--cx-error E]
 //!                 [--steps K]                          evaluate population vs reference
 //! qaprox serve    [--addr H:P] [--workers N] [--queue N]
-//!                 [--timeout-secs T]                   start the TCP job service
+//!                 [--timeout-secs T] [--journal DIR]   start the TCP job service
 //! qaprox submit   --op synth|run [--addr H:P] [--no-wait]
 //!                 [synth/run options]                  submit a job, print the result
 //! qaprox store    stats | gc --max-bytes N             inspect/trim the artifact store

@@ -55,13 +55,15 @@ pub mod toffoli_study;
 pub mod workflow;
 
 pub use workflow::{
-    execute_and_score, Engine, GenerateControl, Generation, Population, Scored, Workflow,
+    execute_and_score, Engine, GenerateControl, Generation, Population, ResumeMode, Scored,
+    Workflow,
 };
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::workflow::{
-        execute_and_score, Engine, GenerateControl, Generation, Population, Scored, Workflow,
+        execute_and_score, Engine, GenerateControl, Generation, Population, ResumeMode, Scored,
+        Workflow,
     };
     pub use qaprox_algos::grover::grover_circuit;
     pub use qaprox_algos::mct::{mct_reference, mct_unitary};

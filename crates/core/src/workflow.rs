@@ -13,9 +13,9 @@ use qaprox_linalg::Matrix;
 use qaprox_metrics::hs_distance;
 use qaprox_sim::Backend;
 use qaprox_synth::{
-    dedupe, qfast, qfast_with_hooks, qsearch, qsearch_with_hooks, select_by_threshold,
-    ApproxCircuit, ProgressFn, QFastConfig, QSearchConfig, SearchHooks, SynthStats,
-    SynthesisOutput,
+    dedupe, qfast, qfast_with_hooks, qsearch, qsearch_resume, qsearch_with_hooks,
+    select_by_threshold, ApproxCircuit, ProgressFn, QFastConfig, QSearchConfig, SearchHooks,
+    SynthStats, SynthesisOutput,
 };
 
 /// Which synthesis engine generates the candidate stream.
@@ -121,20 +121,36 @@ impl Workflow {
     /// cooperative cancellation, and checkpoint streaming.
     ///
     /// Engines run **sequentially** (QSearch then QFast for
-    /// [`Engine::Both`]) so that resume credit maps onto a deterministic
-    /// order: the first `max_nodes` of credit pay down the QSearch budget,
-    /// the remainder pays down QFast blocks. A credited run explores with a
-    /// salted seed so its nodes complement (rather than replay) the prior
-    /// run's; the caller unions `prior` with the new stream, which
-    /// [`GenerateControl::prior`] + selection do automatically here.
+    /// [`Engine::Both`]) so that resume maps onto a deterministic order.
+    /// What a resumed run does with `prior`/`nodes_credit` depends on
+    /// [`GenerateControl::resume`]:
+    ///
+    /// * [`ResumeMode::Complement`] (the default): the first `max_nodes` of
+    ///   credit pay down the QSearch budget, the remainder pays down QFast
+    ///   blocks, and the instantiation seed is salted by the credit so the
+    ///   resumed nodes complement (rather than replay) the prior run's. The
+    ///   final population unions `prior` with the new stream.
+    /// * [`ResumeMode::Replay`]: the run keeps its full budget and original
+    ///   seed, and `prior` pre-warms the QSearch structure memo instead —
+    ///   the search replays the identical trajectory from node 0, serving
+    ///   already-evaluated structures from cache, so the output is
+    ///   **bit-identical** to an uninterrupted run while skipping most of
+    ///   the re-instantiation cost. This is what the job service uses, so a
+    ///   crash-recovered job fingerprints identically to a clean one.
     pub fn generate_with(&self, target: &Matrix, ctl: GenerateControl<'_>) -> Generation {
         let GenerateControl {
             prior,
             nodes_credit: credit,
+            resume,
             cancel,
             mut checkpoint,
         } = ctl;
-        let salt = (credit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let replaying = matches!(resume, ResumeMode::Replay);
+        let salt = if replaying {
+            0
+        } else {
+            (credit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
         let cancelled = || cancel.as_ref().is_some_and(|f| f());
 
         let (qs_cfg, qf_cfg): (Option<&QSearchConfig>, Option<&QFastConfig>) = match &self.engine {
@@ -148,21 +164,30 @@ impl Workflow {
 
         if let Some(cfg) = qs_cfg {
             let mut adj = cfg.clone();
-            adj.max_nodes = cfg.max_nodes.saturating_sub(credit);
-            adj.instantiate.seed = adj.instantiate.seed.wrapping_add(salt);
+            if !replaying {
+                adj.max_nodes = cfg.max_nodes.saturating_sub(credit);
+                adj.instantiate.seed = adj.instantiate.seed.wrapping_add(salt);
+            }
             // with the budget fully credited and prior results in hand there
-            // is nothing left for this engine to add
-            if (adj.max_nodes > 0 || prior.is_empty()) && !cancelled() {
+            // is nothing left for this engine to add (complement mode only;
+            // a replay always re-traverses its full budget)
+            if (replaying || adj.max_nodes > 0 || prior.is_empty()) && !cancelled() {
                 let mut hooks = SearchHooks {
                     on_progress: checkpoint.as_mut().map(|cb| {
-                        Box::new(move |n: usize, inter: &[ApproxCircuit]| cb(credit + n, inter))
+                        // replay counts are already absolute (from node 0)
+                        let base = if replaying { 0 } else { credit };
+                        Box::new(move |n: usize, inter: &[ApproxCircuit]| cb(base + n, inter))
                             as Box<dyn FnMut(usize, &[ApproxCircuit])>
                     }),
                     cancel: cancel
                         .as_ref()
                         .map(|f| Box::new(f) as Box<dyn Fn() -> bool + '_>),
                 };
-                let out = qsearch_with_hooks(target, &self.topology, &adj, &mut hooks);
+                let out = if replaying {
+                    qsearch_resume(target, &self.topology, &adj, &prior, &mut hooks)
+                } else {
+                    qsearch_with_hooks(target, &self.topology, &adj, &mut hooks)
+                };
                 live_nodes += out.nodes_evaluated;
                 outputs.push(out);
             }
@@ -170,13 +195,17 @@ impl Workflow {
 
         if let Some(cfg) = qf_cfg {
             // QFast evaluates one candidate per edge per block depth, so
-            // leftover credit converts to completed depths exactly
+            // leftover credit converts to completed depths exactly. In
+            // replay mode QFast has no memo to warm, so it simply re-runs in
+            // full — deterministic, hence still bit-identical.
             let edges = self.topology.edges().len().max(1);
             let qf_credit = credit.saturating_sub(qs_cfg.map_or(0, |c| c.max_nodes));
             let mut adj = cfg.clone();
-            adj.max_blocks = cfg.max_blocks.saturating_sub(qf_credit / edges);
-            adj.seed = adj.seed.wrapping_add(salt);
-            let run_anyway = prior.is_empty() && outputs.is_empty();
+            if !replaying {
+                adj.max_blocks = cfg.max_blocks.saturating_sub(qf_credit / edges);
+                adj.seed = adj.seed.wrapping_add(salt);
+            }
+            let run_anyway = replaying || (prior.is_empty() && outputs.is_empty());
             if (adj.max_blocks > 0 || run_anyway) && !cancelled() {
                 // checkpoints must carry everything from THIS invocation, so
                 // prepend the finished QSearch stream (QFast rounds are few)
@@ -184,7 +213,11 @@ impl Workflow {
                     .iter()
                     .flat_map(|o| o.intermediates.iter().cloned())
                     .collect();
-                let base = credit + live_nodes;
+                let base = if replaying {
+                    live_nodes
+                } else {
+                    credit + live_nodes
+                };
                 let mut hooks = SearchHooks {
                     on_progress: checkpoint.as_mut().map(|cb| {
                         Box::new(move |n: usize, inter: &[ApproxCircuit]| {
@@ -208,7 +241,15 @@ impl Workflow {
         for o in &outputs {
             stats.absorb(&o.stats);
         }
-        let mut all: Vec<ApproxCircuit> = prior;
+        // A replay regenerates the full stream from node 0, so folding the
+        // prior prefix back in would double it; complement mode unions. A
+        // replay that was cancelled before any engine ran falls back to the
+        // prior checkpoint unchanged.
+        let mut all: Vec<ApproxCircuit> = if replaying && !outputs.is_empty() {
+            Vec::new()
+        } else {
+            prior
+        };
         for o in &outputs {
             all.extend(o.intermediates.iter().cloned());
         }
@@ -225,11 +266,16 @@ impl Workflow {
             .cloned()
             .expect("union is non-empty by construction");
         let circuits = dedupe(&select_by_threshold(&all, self.max_hs));
+        let explored = if replaying && !outputs.is_empty() {
+            live_nodes
+        } else {
+            credit + live_nodes
+        };
         Generation {
             population: Population {
                 circuits,
                 minimal_hs,
-                explored: credit + live_nodes,
+                explored,
                 stats,
             },
             completed,
@@ -237,21 +283,42 @@ impl Workflow {
     }
 }
 
+/// How [`Workflow::generate_with`] treats a prior partial run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Credit the prior nodes against the budget and explore complementary
+    /// candidates under a salted seed; union `prior` into the result. Total
+    /// work across both runs stays within one budget, but the combined
+    /// stream differs from an uninterrupted run's.
+    #[default]
+    Complement,
+    /// Replay the original trajectory from node 0 with the full budget and
+    /// unsalted seed, using `prior` only to pre-warm the structure memo.
+    /// The result is bit-identical to an uninterrupted run; the prior
+    /// prefix costs only memo lookups instead of re-instantiation.
+    Replay,
+}
+
 /// Control block for [`Workflow::generate_with`].
 #[derive(Default)]
 pub struct GenerateControl<'a> {
     /// Intermediates recovered from a prior partial run; unioned into the
-    /// final population.
+    /// final population (complement) or used as a memo warm-start (replay).
     pub prior: Vec<ApproxCircuit>,
-    /// Nodes already evaluated by prior runs. Credited against the engines'
-    /// budgets, and salts the instantiation seeds so a resumed run explores
-    /// complementary candidates instead of replaying the credited prefix.
+    /// Nodes already evaluated by prior runs. In complement mode this is
+    /// credited against the engines' budgets and salts the instantiation
+    /// seeds; in replay mode it is informational only (progress counts
+    /// restart from zero and cover the replayed prefix).
     pub nodes_credit: usize,
+    /// What to do with `prior` (see [`ResumeMode`]).
+    pub resume: ResumeMode,
     /// Polled between synthesis rounds; `true` stops generation early.
     pub cancel: Option<Box<dyn Fn() -> bool + 'a>>,
-    /// Called after each synthesis round with `(total nodes including
-    /// credit, every intermediate generated by this invocation)`. The caller
-    /// merges in its own `prior` when persisting a checkpoint.
+    /// Called after each synthesis round with `(total nodes, every
+    /// intermediate generated by this invocation)`. In complement mode the
+    /// total includes the credit and the caller merges in its own `prior`
+    /// when persisting a checkpoint; in replay mode both the count and the
+    /// stream are absolute (they include the replayed prefix).
     pub checkpoint: Option<ProgressFn<'a>>,
 }
 
@@ -260,6 +327,7 @@ impl std::fmt::Debug for GenerateControl<'_> {
         f.debug_struct("GenerateControl")
             .field("prior", &self.prior.len())
             .field("nodes_credit", &self.nodes_credit)
+            .field("resume", &self.resume)
             .field("cancel", &self.cancel.is_some())
             .field("checkpoint", &self.checkpoint.is_some())
             .finish()
@@ -457,6 +525,87 @@ mod tests {
         // prior selected circuits survive into the resumed population
         let selected_prior = dedupe(&select_by_threshold(&circuits, wf.max_hs));
         assert!(resumed.population.circuits.len() >= selected_prior.len());
+    }
+
+    #[test]
+    fn replay_resume_is_bit_identical_to_an_uninterrupted_run() {
+        // a 3-qubit GHZ-with-phase target keeps the search running to its
+        // node cap, so the cancelled run really stops mid-stream
+        let wf = Workflow {
+            topology: Topology::linear(3),
+            engine: Engine::QSearch(QSearchConfig {
+                max_cnots: 4,
+                max_nodes: 50,
+                beam_width: 2,
+                instantiate: InstantiateConfig {
+                    starts: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }),
+            max_hs: 0.5,
+        };
+        let mut reference = Circuit::new(3);
+        reference.h(0).cx(0, 1).cx(1, 2).rz(0.4, 2).cx(0, 1);
+        let target = Workflow::target_unitary(&reference);
+        let uninterrupted = wf.generate_with(&target, GenerateControl::default());
+        assert!(uninterrupted.completed);
+
+        // crash simulation: cancel after the first checkpoint
+        let checkpointed: std::cell::RefCell<(usize, Vec<ApproxCircuit>)> =
+            std::cell::RefCell::new((0, Vec::new()));
+        let first = wf.generate_with(
+            &target,
+            GenerateControl {
+                cancel: Some(Box::new(|| checkpointed.borrow().0 > 0)),
+                checkpoint: Some(Box::new(|nodes, inter| {
+                    *checkpointed.borrow_mut() = (nodes, inter.to_vec());
+                })),
+                ..Default::default()
+            },
+        );
+        assert!(!first.completed);
+        let (nodes_done, circuits) = checkpointed.into_inner();
+        assert!(nodes_done > 0 && nodes_done < uninterrupted.population.explored);
+
+        let resumed = wf.generate_with(
+            &target,
+            GenerateControl {
+                prior: circuits,
+                nodes_credit: nodes_done,
+                resume: ResumeMode::Replay,
+                ..Default::default()
+            },
+        );
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.population.explored,
+            uninterrupted.population.explored
+        );
+        let fp = |p: &Population| -> Vec<(String, u64)> {
+            p.circuits
+                .iter()
+                .map(|c| {
+                    (
+                        qaprox_circuit::qasm::to_qasm(&c.circuit),
+                        c.hs_distance.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            fp(&resumed.population),
+            fp(&uninterrupted.population),
+            "replayed population must be bit-identical"
+        );
+        assert_eq!(
+            resumed.population.minimal_hs.hs_distance.to_bits(),
+            uninterrupted.population.minimal_hs.hs_distance.to_bits()
+        );
+        assert!(
+            resumed.population.stats.memo_misses < uninterrupted.population.stats.memo_misses,
+            "replay must reuse the checkpointed work"
+        );
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Per-backend circuit breakers.
+//!
+//! A backend that starts failing (an emulated device dropping jobs, a store
+//! volume going bad) should not absorb every worker's full retry budget on
+//! every job. Each backend fingerprint gets a breaker:
+//!
+//! * **closed** — calls pass through; outcomes land in a sliding window.
+//!   When at least [`BreakerConfig::window`] outcomes are recorded and the
+//!   failure count reaches [`BreakerConfig::failure_threshold`], the
+//!   breaker opens.
+//! * **open** — the next [`BreakerConfig::cooldown`] calls are rejected
+//!   immediately with a transient error (cheap, no backend work), then the
+//!   breaker moves to half-open.
+//! * **half-open** — exactly one probe call passes through; success closes
+//!   the breaker (window reset), failure re-opens it.
+//!
+//! Transitions count *calls*, not wall-clock time, so breaker behavior in
+//! tests and chaos runs is deterministic under any scheduling.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, OnceLock};
+
+/// Breaker tuning. One config applies to the whole process registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding-window length (outcomes).
+    pub window: usize,
+    /// Failures within the window that open the breaker.
+    pub failure_threshold: usize,
+    /// Rejected calls before an open breaker allows a half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 4,
+            cooldown: 3,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum BreakerState {
+    Closed { recent: VecDeque<bool> },
+    Open { rejected: u32 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed {
+                recent: VecDeque::new(),
+            },
+        }
+    }
+
+    /// Returns an error when the call must be rejected; otherwise the caller
+    /// may proceed (and must report the outcome via `record`).
+    fn admit(&mut self, name: &str) -> Result<(), String> {
+        match &mut self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { rejected } => {
+                if *rejected < self.cfg.cooldown {
+                    *rejected += 1;
+                    Err(format!(
+                        "{} circuit open for {name} ({}/{} cooldown)",
+                        qaprox_fault::TRANSIENT_PREFIX,
+                        rejected,
+                        self.cfg.cooldown
+                    ))
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, success: bool) {
+        match &mut self.state {
+            BreakerState::Closed { recent } => {
+                recent.push_back(success);
+                while recent.len() > self.cfg.window {
+                    recent.pop_front();
+                }
+                let failures = recent.iter().filter(|ok| !**ok).count();
+                if recent.len() >= self.cfg.window && failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open { rejected: 0 };
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = if success {
+                    BreakerState::Closed {
+                        recent: VecDeque::new(),
+                    }
+                } else {
+                    BreakerState::Open { rejected: 0 }
+                };
+            }
+            BreakerState::Open { .. } => {} // late result of an earlier call
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Breaker>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Breaker>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs `f` through the breaker registered for `name` (created closed on
+/// first use with `cfg`). Open-state rejections carry the transient prefix
+/// so the worker retry loop drives the cooldown toward the half-open probe.
+pub fn call<T>(
+    name: &str,
+    cfg: &BreakerConfig,
+    f: impl FnOnce() -> Result<T, String>,
+) -> Result<T, String> {
+    {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let breaker = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Breaker::new(cfg.clone()));
+        breaker.admit(name)?;
+    }
+    // run without holding the registry lock: other backends stay live
+    let out = f();
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(breaker) = reg.get_mut(name) {
+        breaker.record(out.is_ok());
+    }
+    out
+}
+
+/// The named breaker's state (`closed` / `open` / `half-open`), or `closed`
+/// when it has never been used.
+pub fn state(name: &str) -> &'static str {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(name).map_or("closed", Breaker::state_name)
+}
+
+/// Drops every breaker (tests; the registry is process-global).
+pub fn reset_all() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            failure_threshold: 2,
+            cooldown: 2,
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let name = "test.walk";
+        reset_all();
+        let cfg = tiny();
+        let fail = || call::<()>(name, &cfg, || Err("boom".into()));
+        let ok = || call(name, &cfg, || Ok(1u32));
+
+        // under window: failures pass through while observations accumulate
+        assert_eq!(fail().unwrap_err(), "boom");
+        assert_eq!(ok().unwrap(), 1);
+        assert_eq!(fail().unwrap_err(), "boom");
+        assert_eq!(ok().unwrap(), 1);
+        assert_eq!(state(name), "open", "2 failures in a window of 4");
+
+        // open: cooldown calls reject fast with a transient message
+        for _ in 0..2 {
+            let err = ok().unwrap_err();
+            assert!(qaprox_fault::is_transient(&err), "{err}");
+            assert!(err.contains(name), "{err}");
+        }
+        // next call is the half-open probe; success closes the breaker
+        assert_eq!(ok().unwrap(), 1);
+        assert_eq!(state(name), "closed");
+
+        // the window was reset: two fresh failures alone cannot re-open
+        assert_eq!(fail().unwrap_err(), "boom");
+        assert_eq!(fail().unwrap_err(), "boom");
+        assert_eq!(state(name), "closed", "window not yet full after reset");
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let name = "test.reopen";
+        reset_all();
+        let cfg = tiny();
+        for _ in 0..2 {
+            let _ = call::<()>(name, &cfg, || Err("boom".into()));
+            let _ = call(name, &cfg, || Ok(()));
+        }
+        assert_eq!(state(name), "open");
+        for _ in 0..2 {
+            let _ = call(name, &cfg, || Ok(()));
+        }
+        // probe fails → straight back to open, full cooldown again
+        let err = call::<()>(name, &cfg, || Err("still down".into())).unwrap_err();
+        assert_eq!(err, "still down");
+        assert_eq!(state(name), "open");
+        let err = call(name, &cfg, || Ok(())).unwrap_err();
+        assert!(qaprox_fault::is_transient(&err), "{err}");
+    }
+
+    #[test]
+    fn breakers_are_isolated_per_name() {
+        reset_all();
+        let cfg = tiny();
+        for _ in 0..4 {
+            let _ = call::<()>("test.iso.bad", &cfg, || Err("x".into()));
+        }
+        assert_eq!(state("test.iso.bad"), "open");
+        assert_eq!(state("test.iso.good"), "closed");
+        assert_eq!(call("test.iso.good", &cfg, || Ok(7)).unwrap(), 7);
+    }
+}

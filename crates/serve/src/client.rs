@@ -1,17 +1,48 @@
 //! A small NDJSON client for the job service (used by `qaprox submit`, the
 //! CI smoke test, and the throughput bench).
 
+use crate::retry::RetryPolicy;
 use crate::spec::JobSpec;
 use qaprox_store::json::{parse, Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// What went wrong talking to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The queue stayed full through every retry; `attempts` submissions
+    /// were made before giving up.
+    Backpressure {
+        /// Submission attempts made (≥ 1).
+        attempts: u32,
+    },
+    /// The server rejected the request (bad spec, unknown job, ...).
+    Remote(String),
+    /// Transport or framing trouble (connection dropped, bad JSON).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Backpressure { attempts } => {
+                write!(f, "queue full after {attempts} submission attempts")
+            }
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
 /// A connected client. One request/response pair per call, in order.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    retry: RetryPolicy,
 }
 
 impl Client {
@@ -22,7 +53,15 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(read_half),
             writer: stream,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the backpressure retry policy (`max_attempts: 1` disables
+    /// retrying entirely).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
     }
 
     /// Sends one request object and reads one response object.
@@ -44,21 +83,40 @@ impl Client {
         parse(&line).map_err(|e| format!("bad response json: {e}"))
     }
 
-    /// Submits a job; returns `(id, key, deduped)` or the error (with
-    /// `"queue full"` signalling backpressure).
-    pub fn submit(&mut self, spec: &JobSpec) -> Result<(u64, String, bool), String> {
-        let resp = self.request(&spec.to_json())?;
-        if resp.get_bool("ok") != Some(true) {
-            return Err(resp
-                .get_str("error")
-                .unwrap_or("submission failed")
-                .to_string());
+    /// Submits a job; returns `(id, key, deduped)`. Backpressure rejections
+    /// (`backpressure: true`) are retried through the client's
+    /// [`RetryPolicy`]; when the queue stays full the typed
+    /// [`ClientError::Backpressure`] reports how many attempts were made —
+    /// callers no longer have to string-match `"queue full"`.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<(u64, String, bool), ClientError> {
+        let policy = self.retry.clone();
+        let max = policy.max_attempts.max(1);
+        for attempt in 1..=max {
+            let resp = self
+                .request(&spec.to_json())
+                .map_err(ClientError::Protocol)?;
+            if resp.get_bool("ok") == Some(true) {
+                return Ok((
+                    resp.get_u64("id")
+                        .ok_or_else(|| ClientError::Protocol("response missing id".into()))?,
+                    resp.get_str("key").unwrap_or_default().to_string(),
+                    resp.get_bool("deduped").unwrap_or(false),
+                ));
+            }
+            if resp.get_bool("backpressure") == Some(true) {
+                if attempt < max {
+                    std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                    continue;
+                }
+                return Err(ClientError::Backpressure { attempts: attempt });
+            }
+            return Err(ClientError::Remote(
+                resp.get_str("error")
+                    .unwrap_or("submission failed")
+                    .to_string(),
+            ));
         }
-        Ok((
-            resp.get_u64("id").ok_or("response missing id")?,
-            resp.get_str("key").unwrap_or_default().to_string(),
-            resp.get_bool("deduped").unwrap_or(false),
-        ))
+        Err(ClientError::Backpressure { attempts: max })
     }
 
     /// Current state name of a job.
@@ -87,13 +145,15 @@ impl Client {
         }
     }
 
-    /// Polls until the job finishes, then returns its payload.
+    /// Polls until the job finishes, then returns its payload. A `degraded`
+    /// job has a payload too (with `"degraded": true`), so it is treated
+    /// like `done`.
     pub fn wait_for_result(&mut self, id: u64, timeout: Duration) -> Result<Json, String> {
         let deadline = Instant::now() + timeout;
         loop {
             let state = self.status(id)?;
             match state.as_str() {
-                "done" => return self.result(id),
+                "done" | "degraded" => return self.result(id),
                 "queued" | "running" => {
                     if Instant::now() >= deadline {
                         return Err(format!("timed out waiting for job {id} ({state})"));
@@ -117,6 +177,12 @@ impl Client {
     /// Scheduler + store statistics.
     pub fn stats(&mut self) -> Result<Json, String> {
         self.request(&Json::obj(vec![("op", Json::Str("stats".into()))]))
+    }
+
+    /// What the server replayed from its journal at startup (`ok: false`
+    /// when the server runs without a journal).
+    pub fn recover(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj(vec![("op", Json::Str("recover".into()))]))
     }
 
     /// Asks the server to shut down.

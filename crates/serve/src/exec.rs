@@ -16,9 +16,11 @@
 //! both use the same suspension path). A suspended job leaves a checkpoint
 //! behind and reports [`ExecResult::Suspended`].
 
+use crate::breaker::BreakerConfig;
 use crate::spec::{JobSpec, RunSpec, SynthSpec};
 use qaprox::prelude::*;
-use qaprox::GenerateControl;
+use qaprox::{GenerateControl, ResumeMode};
+use qaprox_linalg::Matrix;
 use qaprox_store::json::Json;
 use qaprox_store::key::Key;
 use qaprox_store::{
@@ -30,7 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Execution control: all fields optional; default = run to completion.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ExecCtl {
     /// Cooperative cancel flag (the scheduler's per-job flag).
     pub cancel: Option<Arc<AtomicBool>>,
@@ -42,6 +44,24 @@ pub struct ExecCtl {
     /// Persist a partial checkpoint every this many fresh nodes (0 =
     /// only on suspension).
     pub checkpoint_every: usize,
+    /// Called with the absolute node count whenever a partial checkpoint
+    /// lands in the store (the scheduler journals it).
+    pub on_checkpoint: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    /// Circuit-breaker tuning for backend execution.
+    pub breaker: BreakerConfig,
+}
+
+impl std::fmt::Debug for ExecCtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtl")
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("node_budget", &self.node_budget)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .field("breaker", &self.breaker)
+            .finish()
+    }
 }
 
 impl ExecCtl {
@@ -125,27 +145,32 @@ pub fn obtain_population(
         None => (Vec::new(), 0),
     };
 
-    // Checkpoints carry the RAW intermediate stream (selection happens only
-    // on completion), so a resumed run loses nothing. `latest` tracks the
-    // newest snapshot so suspension can persist rounds the throttle skipped.
+    // Replay resume: the run keeps its full budget and original seed, warms
+    // the memo from the prior checkpoint, and streams FULL absolute
+    // snapshots — so a resumed run is bit-identical to an uninterrupted one
+    // and checkpoints never need prior-merging. `latest` tracks the newest
+    // snapshot so suspension can persist rounds the throttle skipped.
     let latest: RefCell<Option<(usize, Vec<ApproxCircuit>)>> = RefCell::new(None);
     let last_persisted = RefCell::new(credit);
-    let prior_for_merge = prior.clone();
     let generation = {
-        let checkpoint = |nodes: usize, fresh: &[ApproxCircuit]| {
-            *latest.borrow_mut() = Some((nodes, fresh.to_vec()));
+        let checkpoint = |nodes: usize, stream: &[ApproxCircuit]| {
+            *latest.borrow_mut() = Some((nodes, stream.to_vec()));
             if let Some(store) = store {
+                // saturating: under replay the absolute count starts below
+                // the recovered credit, and a shorter prefix must never
+                // overwrite a longer checkpoint
                 let due = ctl.checkpoint_every > 0
-                    && nodes - *last_persisted.borrow() >= ctl.checkpoint_every;
+                    && nodes.saturating_sub(*last_persisted.borrow()) >= ctl.checkpoint_every;
                 if due {
-                    let mut circuits = prior_for_merge.clone();
-                    circuits.extend_from_slice(fresh);
                     let part = PartialCheckpoint {
-                        circuits,
+                        circuits: stream.to_vec(),
                         nodes_done: nodes,
                     };
                     if store.put_partial(&key, &part).is_ok() {
                         *last_persisted.borrow_mut() = nodes;
+                        if let Some(hook) = &ctl.on_checkpoint {
+                            hook(nodes);
+                        }
                     }
                 }
             }
@@ -162,6 +187,7 @@ pub fn obtain_population(
             GenerateControl {
                 prior,
                 nodes_credit: credit,
+                resume: ResumeMode::Replay,
                 cancel: Some(Box::new(cancel)),
                 checkpoint: Some(Box::new(checkpoint)),
             },
@@ -175,18 +201,18 @@ pub fn obtain_population(
                 minimal_hs: generation.population.minimal_hs.clone(),
                 explored: generation.population.explored,
             };
+            // tagged by target so graceful degradation can find sibling
+            // populations (other configs/seeds, same unitary)
             store
-                .put_population(&key, &art)
+                .put_population_tagged(&key, &art, Some(&qaprox_store::key::target_tag(&target)))
                 .map_err(|e| e.to_string())?;
         }
     } else if let Some(store) = store {
         // persist the final snapshot so the next attempt resumes from here
-        if let Some((nodes, fresh)) = latest.into_inner() {
+        if let Some((nodes, stream)) = latest.into_inner() {
             if nodes > *last_persisted.borrow() {
-                let mut circuits = prior_for_merge;
-                circuits.extend(fresh);
                 let part = PartialCheckpoint {
-                    circuits,
+                    circuits: stream,
                     nodes_done: nodes,
                 };
                 store.put_partial(&key, &part).map_err(|e| e.to_string())?;
@@ -236,7 +262,12 @@ pub fn obtain_run(
     let cal = spec.calibration()?;
     let ranked = qaprox_synth::rank_by_predicted(&pop.population.circuits, &cal);
     let circuits: Vec<Circuit> = ranked.iter().map(|(ap, _)| ap.circuit.clone()).collect();
-    let probs = backend.probabilities_batch(&circuits)?;
+    // backend execution goes through the per-backend circuit breaker: a
+    // backend that keeps failing rejects fast instead of absorbing every
+    // worker's full retry budget
+    let probs = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
+        backend.probabilities_batch(&circuits)
+    })?;
     let rows: Vec<ResultRow> = ranked
         .iter()
         .zip(&probs)
@@ -350,6 +381,109 @@ pub fn run_spec(
             Err(e) if e == SUSPENDED_SENTINEL => Ok(ExecResult::Suspended),
             Err(e) => Err(e),
         },
+    }
+}
+
+/// The best (lowest minimal HS distance) decodable population stored for
+/// this target under ANY synthesis config/seed (see `Store::populations_tagged`).
+fn best_tagged_population(store: &Store, target: &Matrix) -> Option<(Key, PopulationArtifact)> {
+    let tag = qaprox_store::key::target_tag(target);
+    let mut best: Option<(Key, PopulationArtifact)> = None;
+    for key in store.populations_tagged(&tag) {
+        if let Ok(Some(art)) = ignore_corruption(store.get_population(&key)) {
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| art.minimal_hs.hs_distance < b.minimal_hs.hs_distance);
+            if better {
+                best = Some((key, art));
+            }
+        }
+    }
+    best
+}
+
+fn push_degraded_fields(payload: Json, degraded_from: Option<String>, error: &str) -> Json {
+    let Json::Obj(mut fields) = payload else {
+        return payload;
+    };
+    fields.push(("degraded".to_string(), Json::Bool(true)));
+    if let Some(key) = degraded_from {
+        fields.push(("degraded_from".to_string(), Json::Str(key)));
+    }
+    fields.push(("error".to_string(), Json::Str(error.to_string())));
+    Json::Obj(fields)
+}
+
+/// The graceful-degradation fallback, built when a job exhausts its retry
+/// budget on transient faults. Best-effort, never an error:
+///
+/// * **synth** — the best store-cached population for the *same target*
+///   under any config/seed (`degraded_from` names its key);
+/// * **run** — the static `analyze` noise-budget prediction, plus
+///   predicted-only rows when a fallback population exists.
+///
+/// `None` means nothing useful is available (no store, no sibling
+/// population) and the job should fail outright.
+pub fn degraded_payload(store: Option<&Store>, spec: &JobSpec, error: &str) -> Option<Json> {
+    match spec {
+        JobSpec::Synth(s) => {
+            let store = store?;
+            let reference = s.reference_circuit().ok()?;
+            let target = Workflow::target_unitary(&reference);
+            let (source, art) = best_tagged_population(store, &target)?;
+            let pop = PopulationOutcome {
+                key: source,
+                population: Population {
+                    circuits: art.circuits,
+                    minimal_hs: art.minimal_hs,
+                    explored: art.explored,
+                    stats: Default::default(),
+                },
+                cached: true,
+                resumed_from: 0,
+                suspended: false,
+            };
+            Some(push_degraded_fields(
+                population_payload(&pop),
+                Some(source.hex()),
+                error,
+            ))
+        }
+        JobSpec::Run(r) => {
+            let reference = r.synth.reference_circuit().ok()?;
+            let cal = r.calibration().ok()?;
+            let report = qaprox_verify::analyze(&reference, &cal, &Default::default());
+            let analysis = qaprox_store::json::parse(&report.to_json()).ok()?;
+            let target = Workflow::target_unitary(&reference);
+            let fallback = store.and_then(|s| best_tagged_population(s, &target));
+            let mut degraded_from = None;
+            let rows: Vec<Json> = match &fallback {
+                Some((source, art)) => {
+                    degraded_from = Some(source.hex());
+                    qaprox_synth::rank_by_predicted(&art.circuits, &cal)
+                        .iter()
+                        .map(|(ap, predicted)| {
+                            Json::Arr(vec![
+                                Json::Num(ap.cnots as f64),
+                                Json::Num(ap.hs_distance),
+                                Json::Num(*predicted),
+                            ])
+                        })
+                        .collect()
+                }
+                None => Vec::new(),
+            };
+            Some(push_degraded_fields(
+                Json::obj(vec![
+                    ("kind", Json::Str("run".into())),
+                    ("predicted_only", Json::Bool(true)),
+                    ("analysis", analysis),
+                    ("rows", Json::Arr(rows)),
+                ]),
+                degraded_from,
+                error,
+            ))
+        }
     }
 }
 

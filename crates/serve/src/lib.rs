@@ -17,18 +17,35 @@
 //!   panic isolation;
 //! * [`server`] / [`client`] — newline-delimited JSON over
 //!   `std::net::TcpListener`, ops `synth`, `run`, `status`, `result`,
-//!   `cancel`, `stats`, `shutdown`.
+//!   `cancel`, `stats`, `recover`, `shutdown`.
+//!
+//! Robustness (documented in `docs/FAULTS.md`):
+//!
+//! * [`journal`] — a durable append-only NDJSON write-ahead log of job
+//!   transitions; a scheduler opened on the same journal directory replays
+//!   it, re-enqueues lost jobs, and resumes synthesis from the last store
+//!   checkpoint;
+//! * [`retry`] — deterministic exponential backoff with seeded jitter, used
+//!   by workers for transient faults and by clients for backpressure;
+//! * [`breaker`] — per-backend circuit breakers (closed → open → half-open)
+//!   that stop a failing backend from absorbing every worker's retry budget.
 //!
 //! The protocol and store layout are documented in `docs/SERVE.md`.
 
+pub mod breaker;
 pub mod client;
 pub mod exec;
+pub mod journal;
+pub mod retry;
 pub mod scheduler;
 pub mod server;
 pub mod spec;
 
-pub use client::Client;
+pub use breaker::BreakerConfig;
+pub use client::{Client, ClientError};
 pub use exec::{obtain_population, obtain_run, run_spec, ExecCtl, ExecResult, PopulationOutcome};
+pub use journal::{Journal, ReplayedJournal};
+pub use retry::RetryPolicy;
 pub use scheduler::{JobState, JobView, Scheduler, SchedulerConfig, Submitted};
 pub use server::{Server, ServerConfig};
 pub use spec::{JobSpec, RunSpec, SynthSpec};

@@ -1,0 +1,172 @@
+//! Deterministic retry with exponential backoff and seeded jitter.
+//!
+//! Both sides of the service retry transient failures: workers retry
+//! failpoint-classified transient errors (injected faults, flaky store
+//! reads, emulated backend drops) before degrading, and clients retry
+//! `backpressure: true` rejections before surfacing a typed error. Retry
+//! storms synchronize when every retrier sleeps the same schedule, so each
+//! delay is jittered — but from the in-repo SplitMix64, keyed by `(seed,
+//! attempt)`, so a policy's full schedule is a pure function of its fields
+//! and unit-testable against fixed values.
+
+use qaprox_linalg::random::{Rng, SplitMix64};
+use std::time::Duration;
+
+/// A bounded exponential-backoff-with-jitter schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff base: the un-jittered first delay, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per failed attempt.
+    pub factor: f64,
+    /// Ceiling on the un-jittered delay, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter stream seed; equal seeds give equal schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 10,
+            factor: 2.0,
+            cap_ms: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (1-based: `delay_ms(1)` is
+    /// slept after the first failure). Deterministic: the jitter draw is
+    /// keyed by `(seed, retry)`, not by call order.
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        let exp = self.factor.powi(retry.saturating_sub(1) as i32);
+        let raw = ((self.base_ms as f64) * exp).min(self.cap_ms as f64);
+        let mut rng = SplitMix64::seed_from_u64(
+            self.seed ^ (retry as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // half-open jitter in [0.5, 1.0): desynchronizes retriers while
+        // keeping the delay within a factor of two of the nominal backoff
+        (raw * (0.5 + 0.5 * rng.gen::<f64>())) as u64
+    }
+
+    /// The full schedule: one delay per possible retry.
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..self.max_attempts).map(|r| self.delay_ms(r)).collect()
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping the schedule between
+    /// attempts. Only errors `retryable` accepts are retried; the rest (and
+    /// the final exhausted error) return immediately. `op` receives the
+    /// 1-based attempt number.
+    pub fn run<T>(
+        &self,
+        retryable: impl Fn(&str) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < attempts && retryable(&e) => {
+                    std::thread::sleep(Duration::from_millis(self.delay_ms(attempt)));
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn fast(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ms: 1,
+            factor: 2.0,
+            cap_ms: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_fixed_function_of_the_policy() {
+        // Pinned values: changing the backoff math is a behavior change and
+        // must show up here.
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_ms: 100,
+            factor: 2.0,
+            cap_ms: 1_000,
+            seed: 42,
+        };
+        assert_eq!(policy.schedule(), vec![57, 137, 279, 415, 598]);
+        // deterministic: same policy, same schedule, any call order
+        assert_eq!(policy.delay_ms(3), 279);
+        assert_eq!(policy.schedule(), vec![57, 137, 279, 415, 598]);
+        // a different seed re-jitters but stays in [raw/2, raw)
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(other.schedule(), vec![57, 137, 279, 415, 598]);
+        for (i, d) in other.schedule().iter().enumerate() {
+            let raw = (100.0 * 2.0f64.powi(i as i32)).min(1_000.0);
+            assert!(
+                (*d as f64) >= raw * 0.5 && (*d as f64) < raw,
+                "{d} vs {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_retries_transient_errors_until_success() {
+        let calls = Cell::new(0u32);
+        let out = fast(1).run(
+            |e| e.starts_with("transient"),
+            |attempt| {
+                calls.set(calls.get() + 1);
+                assert_eq!(attempt, calls.get());
+                if attempt < 3 {
+                    Err("transient: flaky".into())
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn run_gives_up_after_max_attempts_and_on_permanent_errors() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), String> = fast(1).run(
+            |e| e.starts_with("transient"),
+            |_| {
+                calls.set(calls.get() + 1);
+                Err("transient: always".into())
+            },
+        );
+        assert_eq!(out.unwrap_err(), "transient: always");
+        assert_eq!(calls.get(), 4, "max_attempts bounds the loop");
+
+        calls.set(0);
+        let out: Result<(), String> = fast(1).run(
+            |e| e.starts_with("transient"),
+            |_| {
+                calls.set(calls.get() + 1);
+                Err("fatal: bad spec".into())
+            },
+        );
+        assert_eq!(out.unwrap_err(), "fatal: bad spec");
+        assert_eq!(calls.get(), 1, "permanent errors never retry");
+    }
+}

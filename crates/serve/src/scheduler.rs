@@ -14,13 +14,27 @@
 //! * **timeout** — each job gets a deadline; overruns suspend the same way
 //!   and the job reports `timed-out`;
 //! * **panic isolation** — a panicking job poisons nothing: the worker
-//!   catches the unwind, marks the job failed, and moves on.
+//!   catches the unwind, marks the job failed, and moves on;
+//! * **durability** — with [`SchedulerConfig::journal_dir`] set, every job
+//!   transition is appended to the [`crate::journal`] WAL; a scheduler
+//!   started on the same directory replays it, restores finished jobs'
+//!   results, and re-enqueues (same ids) whatever never reached a terminal
+//!   state — synthesis then resumes from the last store checkpoint;
+//! * **retry + degradation** — workers retry transient failures through the
+//!   configured [`RetryPolicy`]; when retries exhaust, the job degrades to
+//!   the best available fallback (see [`crate::exec::degraded_payload`])
+//!   instead of failing outright, reporting `degraded` with a flagged
+//!   payload.
 
-use crate::exec::{run_spec, ExecCtl, ExecResult};
+use crate::breaker::BreakerConfig;
+use crate::exec::{degraded_payload, run_spec, ExecCtl, ExecResult};
+use crate::journal::{self, Journal};
+use crate::retry::RetryPolicy;
 use crate::spec::JobSpec;
 use qaprox_store::json::Json;
 use qaprox_store::Store;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -36,6 +50,12 @@ pub struct SchedulerConfig {
     pub job_timeout: Option<Duration>,
     /// Checkpoint cadence in synthesis nodes (0 = only on suspension).
     pub checkpoint_every: usize,
+    /// Journal directory (None = no durability).
+    pub journal_dir: Option<PathBuf>,
+    /// Worker-side retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-backend circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -45,6 +65,9 @@ impl Default for SchedulerConfig {
             queue_capacity: 64,
             job_timeout: None,
             checkpoint_every: 20,
+            journal_dir: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -64,6 +87,9 @@ pub enum JobState {
     Cancelled,
     /// Exceeded its deadline (suspended with a checkpoint).
     TimedOut,
+    /// Retries exhausted; a fallback payload (flagged `degraded: true`) is
+    /// available via `result`.
+    Degraded,
 }
 
 impl JobState {
@@ -76,6 +102,7 @@ impl JobState {
             JobState::Failed(_) => "failed",
             JobState::Cancelled => "cancelled",
             JobState::TimedOut => "timed-out",
+            JobState::Degraded => "degraded",
         }
     }
 
@@ -102,6 +129,7 @@ struct Counters {
     timed_out: u64,
     rejected: u64,
     deduped: u64,
+    degraded: u64,
 }
 
 struct State {
@@ -118,6 +146,8 @@ struct Inner {
     work_ready: Condvar,
     job_done: Condvar,
     store: Option<Arc<Store>>,
+    journal: Option<Journal>,
+    recovery: Option<Json>,
     cfg: SchedulerConfig,
 }
 
@@ -139,7 +169,7 @@ pub struct JobView {
     pub id: u64,
     /// Current state.
     pub state: JobState,
-    /// Response payload, present once `Done`.
+    /// Response payload, present once `Done` (or `Degraded`).
     pub result: Option<Json>,
 }
 
@@ -157,21 +187,116 @@ impl std::fmt::Debug for Scheduler {
     }
 }
 
+/// One journal-replayed job, accumulated in record order.
+#[derive(Default)]
+struct Rebuilt {
+    spec: Option<JobSpec>,
+    terminal: Option<(JobState, Option<Json>)>,
+    checkpoint_nodes: usize,
+}
+
 impl Scheduler {
-    /// Starts the pool.
-    pub fn start(cfg: SchedulerConfig, store: Option<Arc<Store>>) -> Scheduler {
+    /// Starts the pool. With a journal directory configured, replays the
+    /// journal first: finished jobs get their states and payloads restored
+    /// (queryable as before the restart), unfinished ones are re-enqueued
+    /// under their original ids, in id order.
+    pub fn start(cfg: SchedulerConfig, store: Option<Arc<Store>>) -> Result<Scheduler, String> {
+        let mut state = State {
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            inflight: HashMap::new(),
+            next_id: 1,
+            stopping: false,
+            counters: Counters::default(),
+        };
+        let mut journal = None;
+        let mut recovery = None;
+        if let Some(dir) = &cfg.journal_dir {
+            let replayed = journal::replay(dir)?;
+            // BTreeMap: replay visits jobs in id order, so re-enqueueing
+            // preserves the original submission order
+            let mut seen: BTreeMap<u64, Rebuilt> = BTreeMap::new();
+            for rec in &replayed.records {
+                let (Some(event), Some(id)) = (rec.get_str("event"), rec.get_u64("job")) else {
+                    continue;
+                };
+                let r = seen.entry(id).or_default();
+                match event {
+                    "submit" => r.spec = rec.get("spec").and_then(|s| JobSpec::from_json(s).ok()),
+                    "checkpoint" => {
+                        r.checkpoint_nodes = rec.get_usize("nodes").unwrap_or(r.checkpoint_nodes)
+                    }
+                    "done" => r.terminal = Some((JobState::Done, rec.get("payload").cloned())),
+                    "degraded" => {
+                        r.terminal = Some((JobState::Degraded, rec.get("payload").cloned()))
+                    }
+                    "failed" => {
+                        let e = rec.get_str("error").unwrap_or("unknown failure");
+                        r.terminal = Some((JobState::Failed(e.to_string()), None));
+                    }
+                    "cancelled" => r.terminal = Some((JobState::Cancelled, None)),
+                    "timed-out" => r.terminal = Some((JobState::TimedOut, None)),
+                    _ => {} // "start" and future event kinds carry no state
+                }
+            }
+            let mut reenqueued = Vec::new();
+            let mut restored_terminal = 0u64;
+            for (id, r) in &seen {
+                state.next_id = state.next_id.max(id + 1);
+                let Some(spec) = &r.spec else { continue };
+                let fingerprint = spec.dedup_fingerprint();
+                match &r.terminal {
+                    Some((js, payload)) => {
+                        restored_terminal += 1;
+                        state.jobs.insert(
+                            *id,
+                            Job {
+                                spec: spec.clone(),
+                                state: js.clone(),
+                                cancel: Arc::new(AtomicBool::new(false)),
+                                result: payload.clone(),
+                                fingerprint,
+                            },
+                        );
+                    }
+                    None => {
+                        state.jobs.insert(
+                            *id,
+                            Job {
+                                spec: spec.clone(),
+                                state: JobState::Queued,
+                                cancel: Arc::new(AtomicBool::new(false)),
+                                result: None,
+                                fingerprint: fingerprint.clone(),
+                            },
+                        );
+                        state.inflight.entry(fingerprint).or_insert(*id);
+                        state.queue.push_back(*id);
+                        reenqueued.push(Json::obj(vec![
+                            ("id", Json::Num(*id as f64)),
+                            ("checkpoint", Json::Num(r.checkpoint_nodes as f64)),
+                        ]));
+                    }
+                }
+            }
+            state.counters.submitted = reenqueued.len() as u64;
+            recovery = Some(Json::obj(vec![
+                ("journal", Json::Str(dir.display().to_string())),
+                ("records", Json::Num(replayed.records.len() as f64)),
+                ("skipped_lines", Json::Num(replayed.skipped_lines as f64)),
+                ("jobs_seen", Json::Num(seen.len() as f64)),
+                ("restored_terminal", Json::Num(restored_terminal as f64)),
+                ("reenqueued", Json::Arr(reenqueued)),
+            ]));
+            journal = Some(Journal::open(dir)?);
+        }
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                jobs: HashMap::new(),
-                inflight: HashMap::new(),
-                next_id: 1,
-                stopping: false,
-                counters: Counters::default(),
-            }),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
             store,
+            journal,
+            recovery,
             cfg,
         });
         let workers = (0..inner.cfg.workers.max(1))
@@ -183,12 +308,22 @@ impl Scheduler {
                     .expect("spawn worker")
             })
             .collect();
-        Scheduler { inner, workers }
+        Ok(Scheduler { inner, workers })
+    }
+
+    /// What startup replayed from the journal (None when journal-less).
+    pub fn recovery_report(&self) -> Option<Json> {
+        self.inner.recovery.clone()
     }
 
     /// Submits a job; validation errors are returned before queueing.
     pub fn submit(&self, spec: JobSpec) -> Result<Submitted, String> {
         spec.validate()?;
+        // Failpoint `serve.scheduler.enqueue`: submission machinery failing
+        // before the job becomes visible (transient → clients retry).
+        qaprox_fault::fail_point!("serve.scheduler.enqueue", |_action| {
+            Err(qaprox_fault::injected_error("serve.scheduler.enqueue"))
+        });
         let fingerprint = spec.dedup_fingerprint();
         let mut st = self.inner.state.lock().expect("scheduler state poisoned");
         if st.stopping {
@@ -203,6 +338,11 @@ impl Scheduler {
             return Ok(Submitted::Rejected);
         }
         let id = st.next_id;
+        // durable before visible: if the WAL cannot record the submission,
+        // the job must not exist
+        if let Some(j) = &self.inner.journal {
+            j.append(&journal::submit_event(id, &spec))?;
+        }
         st.next_id += 1;
         st.counters.submitted += 1;
         st.jobs.insert(
@@ -253,6 +393,13 @@ impl Scheduler {
                 st.inflight.remove(&job.fingerprint);
                 st.queue.retain(|&q| q != id);
                 st.counters.cancelled += 1;
+                // an explicit cancel is durable (unlike shutdown-drain
+                // cancels, which a restart re-enqueues)
+                if !st.stopping {
+                    if let Some(j) = &self.inner.journal {
+                        let _ = j.append(&journal::terminal_event(id, "cancelled", None, None));
+                    }
+                }
                 drop(guard);
                 self.inner.job_done.notify_all();
                 true
@@ -325,6 +472,7 @@ impl Scheduler {
             ("timed_out".to_string(), Json::Num(c.timed_out as f64)),
             ("rejected".to_string(), Json::Num(c.rejected as f64)),
             ("deduped".to_string(), Json::Num(c.deduped as f64)),
+            ("degraded".to_string(), Json::Num(c.degraded as f64)),
         ];
         if let Some(store) = &self.inner.store {
             let s = store.stats();
@@ -356,7 +504,8 @@ impl Scheduler {
         let mut guard = self.inner.state.lock().expect("scheduler state poisoned");
         let st = &mut *guard;
         st.stopping = true;
-        // drain the queue: queued jobs become cancelled
+        // drain the queue: queued jobs become cancelled — NOT journaled, so
+        // a restart on the same journal re-enqueues them
         while let Some(id) = st.queue.pop_front() {
             if let Some(job) = st.jobs.get_mut(&id) {
                 job.state = JobState::Cancelled;
@@ -385,7 +534,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let (id, spec, cancel) = {
             let mut st = inner.state.lock().expect("scheduler state poisoned");
@@ -402,11 +551,24 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
+        if let Some(j) = &inner.journal {
+            let _ = j.append(&journal::event("start", id));
+        }
+        let on_checkpoint = inner.journal.as_ref().map(|_| {
+            let inner = Arc::clone(inner);
+            Arc::new(move |nodes: usize| {
+                if let Some(j) = &inner.journal {
+                    let _ = j.append(&journal::checkpoint_event(id, nodes));
+                }
+            }) as Arc<dyn Fn(usize) + Send + Sync>
+        });
         let ctl = ExecCtl {
             cancel: Some(Arc::clone(&cancel)),
             deadline: inner.cfg.job_timeout.map(|t| Instant::now() + t),
             node_budget: None,
             checkpoint_every: inner.cfg.checkpoint_every,
+            on_checkpoint,
+            breaker: inner.cfg.breaker.clone(),
         };
         let store = inner.store.as_deref();
         let spec_for_run = spec.clone();
@@ -418,38 +580,103 @@ fn worker_loop(inner: &Inner) {
         let share = qaprox_linalg::parallel::max_threads() / inner.cfg.workers.max(1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             qaprox_linalg::parallel::with_thread_budget(share, || {
-                run_spec(store, &spec_for_run, &ctl)
+                // transient failures (injected faults, flaky store reads,
+                // emulated backend drops, open circuit breakers) retry on
+                // the deterministic backoff schedule before degrading
+                inner.cfg.retry.run(qaprox_fault::is_transient, |_attempt| {
+                    // Failpoint `serve.worker.pre_exec`: a worker failing to
+                    // set a job up (transient → retried).
+                    qaprox_fault::fail_point!("serve.worker.pre_exec", |_action| {
+                        Err(qaprox_fault::injected_error("serve.worker.pre_exec"))
+                    });
+                    let result = run_spec(store, &spec_for_run, &ctl);
+                    // Failpoint `serve.worker.complete` (panic action): a
+                    // crash AFTER execution but BEFORE the state update and
+                    // terminal journal record land — the classic
+                    // recovery-window crash.
+                    qaprox_fault::fail_point!("serve.worker.complete");
+                    result
+                })
             })
         }));
+
+        // Resolve the outcome (including the degradation fallback, which
+        // reads the store) BEFORE taking the state lock.
+        let mut injected_crash = false;
+        let (state, result) = match outcome {
+            Ok(Ok(ExecResult::Done(payload))) => (JobState::Done, Some(payload)),
+            Ok(Ok(ExecResult::Suspended)) => {
+                if cancel.load(Ordering::Relaxed) {
+                    (JobState::Cancelled, None)
+                } else {
+                    (JobState::TimedOut, None)
+                }
+            }
+            Ok(Err(e)) => {
+                let fallback = if qaprox_fault::is_transient(&e) {
+                    degraded_payload(store, &spec, &e)
+                } else {
+                    None
+                };
+                match fallback {
+                    Some(payload) => (JobState::Degraded, Some(payload)),
+                    None => (JobState::Failed(e), None),
+                }
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                injected_crash = qaprox_fault::is_injected_panic(msg);
+                (JobState::Failed(format!("job panicked: {msg}")), None)
+            }
+        };
 
         let mut guard = inner.state.lock().expect("scheduler state poisoned");
         let st = &mut *guard;
         if st.jobs.contains_key(&id) {
-            let (state, result) = match outcome {
-                Ok(Ok(ExecResult::Done(payload))) => (JobState::Done, Some(payload)),
-                Ok(Ok(ExecResult::Suspended)) => {
-                    if cancel.load(Ordering::Relaxed) {
-                        (JobState::Cancelled, None)
-                    } else {
-                        (JobState::TimedOut, None)
-                    }
-                }
-                Ok(Err(e)) => (JobState::Failed(e), None),
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("non-string panic payload");
-                    (JobState::Failed(format!("job panicked: {msg}")), None)
-                }
-            };
             match state {
                 JobState::Done => st.counters.completed += 1,
                 JobState::Failed(_) => st.counters.failed += 1,
                 JobState::Cancelled => st.counters.cancelled += 1,
                 JobState::TimedOut => st.counters.timed_out += 1,
+                JobState::Degraded => st.counters.degraded += 1,
                 _ => {}
+            }
+            // Journal the terminal transition — EXCEPT for emulated crashes
+            // (an injected panic stands in for the process dying, and a dead
+            // process appends nothing) and during shutdown drain (those jobs
+            // re-enqueue on restart).
+            if !st.stopping && !injected_crash {
+                if let Some(j) = &inner.journal {
+                    let record = match &state {
+                        JobState::Done => {
+                            journal::terminal_event(id, "done", result.as_ref(), None)
+                        }
+                        JobState::Degraded => {
+                            journal::terminal_event(id, "degraded", result.as_ref(), None)
+                        }
+                        JobState::Failed(e) => journal::terminal_event(id, "failed", None, Some(e)),
+                        JobState::Cancelled => journal::terminal_event(id, "cancelled", None, None),
+                        JobState::TimedOut => journal::terminal_event(id, "timed-out", None, None),
+                        JobState::Queued | JobState::Running => unreachable!("terminal only"),
+                    };
+                    let _ = j.append(&record);
+                    if j.needs_rotation() {
+                        // compact to the live (non-terminal) jobs; finished
+                        // jobs' results live in the store, their history is
+                        // no longer needed for recovery
+                        let live: Vec<Json> = st
+                            .jobs
+                            .iter()
+                            .filter(|(&jid, job)| jid != id && !job.state.is_terminal())
+                            .map(|(&jid, job)| journal::submit_event(jid, &job.spec))
+                            .collect();
+                        let _ = j.rotate(&live);
+                    }
+                }
             }
             let job = st.jobs.get_mut(&id).expect("job still present");
             job.state = state;
@@ -467,11 +694,17 @@ mod tests {
     use crate::spec::SynthSpec;
     use std::path::PathBuf;
 
-    fn tmp_store(tag: &str) -> Arc<Store> {
-        let dir: PathBuf =
-            std::env::temp_dir().join(format!("qaprox-serve-sched-{tag}-{}", std::process::id()));
+    fn tmp_dir(prefix: &str, tag: &str) -> PathBuf {
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "qaprox-serve-{prefix}-{tag}-{}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&dir);
-        Arc::new(Store::open(dir).unwrap())
+        dir
+    }
+
+    fn tmp_store(tag: &str) -> Arc<Store> {
+        Arc::new(Store::open(tmp_dir("sched", tag)).unwrap())
     }
 
     fn tiny(seed: u64) -> JobSpec {
@@ -490,7 +723,7 @@ mod tests {
 
     #[test]
     fn jobs_complete_and_expose_results() {
-        let sched = Scheduler::start(SchedulerConfig::default(), Some(tmp_store("basic")));
+        let sched = Scheduler::start(SchedulerConfig::default(), Some(tmp_store("basic"))).unwrap();
         let id = match sched.submit(tiny(0)).unwrap() {
             Submitted::Accepted(id) => id,
             other => panic!("{other:?}"),
@@ -500,6 +733,7 @@ mod tests {
         let payload = view.result.unwrap();
         assert_eq!(payload.get_str("kind"), Some("synth"));
         assert_eq!(payload.get_bool("cached"), Some(false));
+        assert!(sched.recovery_report().is_none(), "no journal configured");
         sched.shutdown();
     }
 
@@ -512,7 +746,8 @@ mod tests {
                 ..Default::default()
             },
             Some(tmp_store("dedup")),
-        );
+        )
+        .unwrap();
         let a = sched.submit(tiny(0)).unwrap();
         let b = sched.submit(tiny(0)).unwrap();
         let id = match a {
@@ -534,7 +769,8 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         // distinct seeds defeat dedup; capacity 2 → some must be rejected
         let outcomes: Vec<Submitted> = (0..12).map(|s| sched.submit(tiny(s)).unwrap()).collect();
         assert!(outcomes.contains(&Submitted::Rejected), "{outcomes:?}");
@@ -544,14 +780,17 @@ mod tests {
 
     #[test]
     fn thirty_two_concurrent_submissions_settle_cleanly() {
-        let sched = Arc::new(Scheduler::start(
-            SchedulerConfig {
-                workers: 4,
-                queue_capacity: 16,
-                ..Default::default()
-            },
-            Some(tmp_store("load")),
-        ));
+        let sched = Arc::new(
+            Scheduler::start(
+                SchedulerConfig {
+                    workers: 4,
+                    queue_capacity: 16,
+                    ..Default::default()
+                },
+                Some(tmp_store("load")),
+            )
+            .unwrap(),
+        );
         let handles: Vec<_> = (0..32u64)
             .map(|i| {
                 let sched = Arc::clone(&sched);
@@ -609,7 +848,8 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         // occupy the worker, then queue a second job and cancel it
         let _busy = sched.submit(tiny(100)).unwrap();
         let id = match sched.submit(tiny(101)).unwrap() {
@@ -626,7 +866,7 @@ mod tests {
 
     #[test]
     fn panicking_job_is_isolated_and_reported() {
-        let sched = Scheduler::start(SchedulerConfig::default(), None);
+        let sched = Scheduler::start(SchedulerConfig::default(), None).unwrap();
         let boom = JobSpec::Synth(SynthSpec {
             workload: "__panic".into(),
             qubits: 2,
@@ -680,13 +920,86 @@ mod tests {
                 ..Default::default()
             },
             Some(tmp_store("timeout")),
-        );
+        )
+        .unwrap();
         let id = match sched.submit(tiny(0)).unwrap() {
             Submitted::Accepted(id) => id,
             other => panic!("{other:?}"),
         };
         let view = sched.wait(id, WAIT).unwrap();
         assert_eq!(view.state, JobState::TimedOut);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn journaled_scheduler_restores_finished_jobs_across_restart() {
+        let journal_dir = tmp_dir("journal", "restore");
+        let store = tmp_store("journal-restore");
+        let cfg = SchedulerConfig {
+            workers: 1,
+            journal_dir: Some(journal_dir.clone()),
+            ..Default::default()
+        };
+        let (id, payload) = {
+            let sched = Scheduler::start(cfg.clone(), Some(Arc::clone(&store))).unwrap();
+            let id = match sched.submit(tiny(0)).unwrap() {
+                Submitted::Accepted(id) => id,
+                other => panic!("{other:?}"),
+            };
+            let view = sched.wait(id, WAIT).unwrap();
+            assert_eq!(view.state, JobState::Done);
+            sched.shutdown();
+            (id, view.result.unwrap())
+        };
+
+        // restart on the same journal: the finished job is queryable again
+        let sched = Scheduler::start(cfg, Some(store)).unwrap();
+        let report = sched.recovery_report().expect("journal configured");
+        assert_eq!(report.get_u64("jobs_seen"), Some(1));
+        assert_eq!(report.get_u64("restored_terminal"), Some(1));
+        assert_eq!(report.get_u64("skipped_lines"), Some(0));
+        let view = sched.job(id).expect("job restored");
+        assert_eq!(view.state, JobState::Done);
+        assert_eq!(
+            view.result.unwrap().to_string(),
+            payload.to_string(),
+            "restored payload is bit-identical"
+        );
+        // ids continue past the recovered ones
+        match sched.submit(tiny(1)).unwrap() {
+            Submitted::Accepted(new_id) => assert!(new_id > id),
+            other => panic!("{other:?}"),
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn unfinished_journal_entries_reenqueue_and_complete() {
+        let journal_dir = tmp_dir("journal", "reenqueue");
+        // hand-write a journal whose job never reached a terminal state
+        // (the classic crash: submit + start, then nothing)
+        {
+            let j = Journal::open(&journal_dir).unwrap();
+            j.append(&journal::submit_event(1, &tiny(3))).unwrap();
+            j.append(&journal::event("start", 1)).unwrap();
+        }
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                journal_dir: Some(journal_dir),
+                ..Default::default()
+            },
+            Some(tmp_store("journal-reenqueue")),
+        )
+        .unwrap();
+        let report = sched.recovery_report().unwrap();
+        let reenqueued = report.get("reenqueued").and_then(Json::as_arr).unwrap();
+        assert_eq!(reenqueued.len(), 1);
+        assert_eq!(reenqueued[0].get_u64("id"), Some(1));
+        // the lost job runs to completion under its original id
+        let view = sched.wait(1, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Done);
+        assert_eq!(view.result.unwrap().get_str("kind"), Some("synth"));
         sched.shutdown();
     }
 }

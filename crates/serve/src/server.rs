@@ -11,6 +11,7 @@
 //! | `result`   | `id`                           | `{ok, id, state, result}`        |
 //! | `cancel`   | `id`                           | `{ok, cancelled}`                |
 //! | `stats`    | —                              | scheduler + store counters       |
+//! | `recover`  | —                              | what startup replayed from the journal |
 //! | `shutdown` | —                              | `{ok: true}` then the server stops |
 //!
 //! Errors are `{ok: false, error: "..."}`; a full queue additionally sets
@@ -65,7 +66,8 @@ impl Server {
     pub fn start(cfg: ServerConfig, store: Option<Arc<Store>>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let scheduler = Arc::new(Scheduler::start(cfg.scheduler, store));
+        let scheduler =
+            Arc::new(Scheduler::start(cfg.scheduler, store).map_err(std::io::Error::other)?);
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_thread = {
@@ -78,6 +80,10 @@ impl Server {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        // Failpoint `serve.server.accept` (panic/sleep): the
+                        // accept loop hiccuping; connections are dropped,
+                        // never half-served.
+                        qaprox_fault::fail_point!("serve.server.accept");
                         let Ok(stream) = conn else { continue };
                         let scheduler = Arc::clone(&scheduler);
                         let stop = Arc::clone(&stop);
@@ -163,6 +169,10 @@ fn handle_connection(stream: TcpStream, scheduler: &Scheduler, stop: &Arc<Atomic
             Ok(request) => handle_request(&request, scheduler, stop),
             Err(e) => err_response(&format!("bad request json: {e}")),
         };
+        // Failpoint `serve.server.reply` (panic/sleep): a connection dying
+        // between the state change and the reply — the client must cope
+        // with a dropped connection after a possibly-applied request.
+        qaprox_fault::fail_point!("serve.server.reply");
         let mut text = response.to_string();
         text.push('\n');
         if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
@@ -258,6 +268,16 @@ fn handle_request(request: &Json, scheduler: &Scheduler, stop: &Arc<AtomicBool>)
             }
             Json::Obj(fields)
         }
+        Some("recover") => match scheduler.recovery_report() {
+            Some(report) => {
+                let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+                if let Json::Obj(rest) = report {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+            None => err_response("server is running without a journal"),
+        },
         Some("shutdown") => {
             stop.store(true, Ordering::Relaxed);
             Json::obj(vec![("ok", Json::Bool(true))])

@@ -1,0 +1,150 @@
+//! Chaos property test (requires `--features failpoints`).
+//!
+//! Many seeded random failpoint schedules against a mixed synth/run
+//! workload. The property under test is *liveness plus accounting*, not any
+//! particular outcome:
+//!
+//! * no deadlock — every `wait` returns within its bound and `shutdown`
+//!   joins;
+//! * no lost or duplicated job ids — every accepted id is unique and still
+//!   queryable at the end;
+//! * every job terminates — the final state is terminal
+//!   (done / failed / degraded / cancelled / timed-out), never stuck in
+//!   queued/running.
+//!
+//! `QAPROX_QUICK=1` trims the schedule count for smoke runs (CI).
+#![cfg(feature = "failpoints")]
+
+use qaprox_fault::Scenario;
+use qaprox_serve::{
+    breaker, JobSpec, JobState, RetryPolicy, RunSpec, Scheduler, SchedulerConfig, Submitted,
+    SynthSpec,
+};
+use qaprox_store::Store;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(180);
+
+fn tiny(seed: u64) -> SynthSpec {
+    SynthSpec {
+        workload: "tfim".into(),
+        qubits: 2,
+        steps: 2,
+        max_cnots: 3,
+        max_nodes: 20,
+        max_hs: 0.4,
+        seed,
+    }
+}
+
+/// One seeded fault schedule: every instrumented layer misbehaves with some
+/// probability, each from its own deterministic stream.
+fn fault_spec(seed: u64) -> String {
+    format!(
+        "store.read=prob:0.25;seed={}->error,\
+         store.write=prob:0.15;seed={}->torn,\
+         hardware.shot=prob:0.3;seed={}->error,\
+         serve.worker.pre_exec=prob:0.2;seed={}->error,\
+         synth.round=prob:0.002;seed={}->panic",
+        seed,
+        seed.wrapping_add(1),
+        seed.wrapping_add(2),
+        seed.wrapping_add(3),
+        seed.wrapping_add(4),
+    )
+}
+
+#[test]
+fn seeded_fault_schedules_never_lose_or_wedge_jobs() {
+    let quick = std::env::var("QAPROX_QUICK").is_ok_and(|v| v != "0");
+    let schedules: u64 = if quick { 12 } else { 100 };
+
+    for chaos_seed in 0..schedules {
+        breaker::reset_all(); // isolate breaker state between schedules
+        let store_dir =
+            std::env::temp_dir().join(format!("qaprox-chaos-{chaos_seed}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let store = Arc::new(Store::open(&store_dir).unwrap());
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 2,
+                checkpoint_every: 5,
+                // fast retries: chaos runs many schedules
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_ms: 1,
+                    cap_ms: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Some(store),
+        )
+        .unwrap();
+
+        // arm AFTER startup so setup itself is deterministic
+        let _scenario = Scenario::setup(&fault_spec(chaos_seed * 101));
+
+        // mixed workload: four synth jobs, two run jobs (distinct specs)
+        let mut specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::Synth(tiny(chaos_seed * 10 + i)))
+            .collect();
+        for i in 0..2 {
+            specs.push(JobSpec::Run(RunSpec {
+                synth: tiny(chaos_seed * 10 + i),
+                device: "ourense".into(),
+                cx_error: Some(0.1),
+                hardware: false,
+                job_seed: chaos_seed,
+            }));
+        }
+
+        let mut accepted = Vec::new();
+        for spec in specs {
+            match sched.submit(spec) {
+                Ok(Submitted::Accepted(id)) => accepted.push(id),
+                Ok(Submitted::Deduped(id)) => assert!(
+                    accepted.contains(&id),
+                    "schedule {chaos_seed}: dedup pointed at an unknown id {id}"
+                ),
+                Ok(Submitted::Rejected) => {} // backpressure is a legal outcome
+                // the enqueue failpoint is not armed, so submission errors
+                // can only be validation — and these specs are valid
+                Err(e) => panic!("schedule {chaos_seed}: submit failed: {e}"),
+            }
+        }
+
+        let mut unique = accepted.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            accepted.len(),
+            "schedule {chaos_seed}: duplicated job ids {accepted:?}"
+        );
+
+        for &id in &accepted {
+            let view = sched
+                .wait(id, WAIT)
+                .unwrap_or_else(|| panic!("schedule {chaos_seed}: job {id} lost"));
+            assert!(
+                view.state.is_terminal(),
+                "schedule {chaos_seed}: job {id} wedged in {:?}",
+                view.state
+            );
+            match &view.state {
+                JobState::Done | JobState::Degraded => assert!(
+                    view.result.is_some(),
+                    "schedule {chaos_seed}: job {id} finished without a payload"
+                ),
+                JobState::Failed(_) | JobState::Cancelled | JobState::TimedOut => {}
+                other => panic!("schedule {chaos_seed}: job {id} non-terminal {other:?}"),
+            }
+        }
+
+        // no deadlock: shutdown joins the pool
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+}

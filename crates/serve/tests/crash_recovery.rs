@@ -1,0 +1,142 @@
+//! Crash-recovery integration test (requires `--features failpoints`).
+//!
+//! The scenario the journal exists for: a worker dies mid-synthesis (here:
+//! an injected panic, which the scheduler deliberately does NOT journal —
+//! a dead process appends nothing), the process restarts on the same
+//! journal + store directories, the lost job is re-enqueued under its
+//! original id, resumes from the last store checkpoint, and — because
+//! resume is replay-based — finishes with a payload bit-identical to a run
+//! that never crashed.
+#![cfg(feature = "failpoints")]
+
+use qaprox_fault::Scenario;
+use qaprox_serve::{JobSpec, JobState, Scheduler, SchedulerConfig, Submitted, SynthSpec};
+use qaprox_store::json::Json;
+use qaprox_store::Store;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qaprox-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> JobSpec {
+    JobSpec::Synth(SynthSpec {
+        workload: "tfim".into(),
+        qubits: 2,
+        steps: 2,
+        max_cnots: 3,
+        max_nodes: 25,
+        max_hs: 0.4,
+        seed: 11,
+    })
+}
+
+fn cfg(journal: PathBuf) -> SchedulerConfig {
+    SchedulerConfig {
+        workers: 1,
+        checkpoint_every: 1,
+        journal_dir: Some(journal),
+        ..Default::default()
+    }
+}
+
+/// The synthesis content of a payload, with provenance fields (`cached`,
+/// `resumed_from`) stripped: those legitimately differ between a crashed-
+/// and-recovered run and an uninterrupted one.
+fn essence(payload: &Json) -> String {
+    let Json::Obj(fields) = payload else {
+        panic!("payload is not an object: {payload}");
+    };
+    Json::Obj(
+        fields
+            .iter()
+            .filter(|(k, _)| k != "cached" && k != "resumed_from")
+            .cloned()
+            .collect(),
+    )
+    .to_string()
+}
+
+#[test]
+fn recovered_job_resumes_from_checkpoint_and_matches_the_no_crash_run() {
+    let journal_dir = tmp_dir("journal");
+    let store_dir = tmp_dir("store");
+
+    // Life A: the worker panics mid-synthesis (this spec runs exactly two
+    // expansion rounds; `after:1` lets round 1 checkpoint and kills round 2)
+    // — an emulated process crash.
+    {
+        let scenario = Scenario::setup("synth.round=after:1->panic");
+        let store = Arc::new(Store::open(&store_dir).unwrap());
+        let sched = Scheduler::start(cfg(journal_dir.clone()), Some(store)).unwrap();
+        let id = match sched.submit(spec()).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(id, 1);
+        let view = sched.wait(id, WAIT).unwrap();
+        match view.state {
+            JobState::Failed(msg) => {
+                assert!(
+                    msg.contains("injected"),
+                    "expected the injected crash: {msg}"
+                )
+            }
+            other => panic!("expected the injected crash, got {other:?}"),
+        }
+        drop(scenario); // disarm before the recovery run
+        sched.shutdown();
+    }
+
+    // Life B: same journal + store. The crash was never journaled, so the
+    // job replays as unfinished, re-enqueues under id 1, and resumes from
+    // the persisted checkpoint.
+    let recovered = {
+        let store = Arc::new(Store::open(&store_dir).unwrap());
+        let sched = Scheduler::start(cfg(journal_dir), Some(store)).unwrap();
+        let report = sched.recovery_report().unwrap();
+        let reenqueued = report.get("reenqueued").and_then(Json::as_arr).unwrap();
+        assert_eq!(reenqueued.len(), 1, "{report}");
+        assert_eq!(reenqueued[0].get_u64("id"), Some(1));
+        assert!(
+            reenqueued[0].get_u64("checkpoint").unwrap() > 0,
+            "the crash left a journaled checkpoint: {report}"
+        );
+        let view = sched.wait(1, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Done);
+        let payload = view.result.unwrap();
+        assert!(
+            payload.get_u64("resumed_from").unwrap() > 0,
+            "the recovered run resumed, not restarted: {payload}"
+        );
+        sched.shutdown();
+        payload
+    };
+
+    // Life C: the same spec, fresh directories, no crash — the control run.
+    let uninterrupted = {
+        let store = Arc::new(Store::open(tmp_dir("control-store")).unwrap());
+        let sched = Scheduler::start(cfg(tmp_dir("control-journal")), Some(store)).unwrap();
+        let id = match sched.submit(spec()).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Done);
+        let payload = view.result.unwrap();
+        sched.shutdown();
+        payload
+    };
+
+    assert_eq!(
+        essence(&recovered),
+        essence(&uninterrupted),
+        "replay resume must be bit-identical to the uninterrupted run"
+    );
+}

@@ -1,6 +1,8 @@
 //! End-to-end service tests: a real TCP server, a real client, a real store.
 
-use qaprox_serve::{Client, JobSpec, RunSpec, SchedulerConfig, Server, ServerConfig, SynthSpec};
+use qaprox_serve::{
+    Client, JobSpec, RetryPolicy, RunSpec, SchedulerConfig, Server, ServerConfig, SynthSpec,
+};
 use qaprox_store::Store;
 use std::sync::Arc;
 use std::time::Duration;
@@ -126,7 +128,13 @@ fn backpressure_and_cancel_over_the_wire() {
     )
     .unwrap();
     let addr = server.local_addr().to_string();
-    let mut client = Client::connect(&addr).unwrap();
+    // fast retries so the worker is still busy when they exhaust
+    let mut client = Client::connect(&addr).unwrap().with_retry(RetryPolicy {
+        max_attempts: 2,
+        base_ms: 1,
+        cap_ms: 2,
+        ..Default::default()
+    });
 
     // keep the single worker busy, fill the queue of one, then overflow
     let (_busy, _, _) = client.submit(&JobSpec::Synth(tiny(10))).unwrap();
@@ -134,7 +142,8 @@ fn backpressure_and_cancel_over_the_wire() {
     let mut saw_backpressure = false;
     for seed in 12..24 {
         match client.submit(&JobSpec::Synth(tiny(seed))) {
-            Err(e) if e.contains("queue full") => {
+            Err(qaprox_serve::ClientError::Backpressure { attempts }) => {
+                assert!(attempts >= 2, "the client retried before giving up");
                 saw_backpressure = true;
                 break;
             }
@@ -150,6 +159,45 @@ fn backpressure_and_cancel_over_the_wire() {
     assert_eq!(state, "cancelled");
 
     server.shutdown();
+}
+
+#[test]
+fn recover_op_reports_the_replayed_journal() {
+    let journal_dir =
+        std::env::temp_dir().join(format!("qaprox-serve-e2e-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journaled = ServerConfig {
+        scheduler: SchedulerConfig {
+            journal_dir: Some(journal_dir.clone()),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // first life: run one job to completion, shut down
+    {
+        let server = Server::start(journaled.clone(), Some(tmp_store("recover-a"))).unwrap();
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        let (id, _, _) = client.submit(&JobSpec::Synth(tiny(0))).unwrap();
+        client.wait_for_result(id, WAIT).unwrap();
+        server.shutdown();
+    }
+
+    // second life: the recover op reports what the journal replayed
+    let server = Server::start(journaled, Some(tmp_store("recover-b"))).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    let report = client.recover().unwrap();
+    assert_eq!(report.get_bool("ok"), Some(true));
+    assert_eq!(report.get_u64("jobs_seen"), Some(1));
+    assert_eq!(report.get_u64("restored_terminal"), Some(1));
+    server.shutdown();
+
+    // a journal-less server rejects the op
+    let plain = Server::start(ServerConfig::default(), None).unwrap();
+    let mut client = Client::connect(&plain.local_addr().to_string()).unwrap();
+    let err = client.recover().unwrap();
+    assert_eq!(err.get_bool("ok"), Some(false));
+    plain.shutdown();
 }
 
 #[test]

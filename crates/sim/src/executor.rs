@@ -81,6 +81,13 @@ impl Backend {
     /// reported by index rather than poisoning the worker pool. Successful
     /// batches preserve input order exactly.
     pub fn probabilities_batch(&self, circuits: &[Circuit]) -> Result<Vec<Vec<f64>>, String> {
+        // Failpoint `hardware.shot`: the emulated analogue of a physical
+        // backend rejecting or dropping a submitted job. `error` fails the
+        // whole batch with a transient (retryable) message, `panic` emulates
+        // the executing worker crashing mid-job.
+        qaprox_fault::fail_point!("hardware.shot", |_action| {
+            Err(qaprox_fault::injected_error("hardware.shot"))
+        });
         for (i, c) in circuits.iter().enumerate() {
             Backend::validate(c).map_err(|e| format!("circuit {i} of {}: {e}", circuits.len()))?;
         }
@@ -225,6 +232,18 @@ mod tests {
             backend.probabilities_batch(&circuits).unwrap(),
             backend.run_batch(&circuits)
         );
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_shot_fault_fails_the_batch_transiently() {
+        let _guard = qaprox_fault::Scenario::setup("hardware.shot=after:0");
+        let backend = Backend::Ideal;
+        let circuits = some_circuits(2);
+        let err = backend.probabilities_batch(&circuits).unwrap_err();
+        assert!(qaprox_fault::is_transient(&err), "{err}");
+        // after:N disarms once fired: the retry succeeds
+        assert_eq!(backend.probabilities_batch(&circuits).unwrap().len(), 2);
     }
 
     #[test]

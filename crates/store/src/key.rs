@@ -57,6 +57,17 @@ pub fn population_key(target: &Matrix, config_fingerprint: &str, seed: u64) -> K
     Key { hi, lo }
 }
 
+/// A target-only grouping tag: the stable hash of the target unitary alone,
+/// ignoring synthesis config and seed. Populations stored under different
+/// configs/seeds for the same target share it, which is what the service's
+/// graceful-degradation fallback scans for (see `Store::populations_tagged`).
+pub fn target_tag(target: &Matrix) -> String {
+    let mut h = Hash128::new();
+    h.update(b"qaprox-store/target/v1\0");
+    h.update(&target.canonical_bytes());
+    h.finish_hex()
+}
+
 /// The result key for an execution job: population key + backend + job seed.
 pub fn result_key(population: &Key, backend_fingerprint: &str, job_seed: u64) -> Key {
     let mut h = Hash128::new();
@@ -97,6 +108,19 @@ mod tests {
         assert_ne!(base, population_key(&some_matrix(0.31), "cfg", 0));
         assert_ne!(base, population_key(&some_matrix(0.3), "cfg2", 0));
         assert_ne!(base, population_key(&some_matrix(0.3), "cfg", 1));
+    }
+
+    #[test]
+    fn target_tags_depend_only_on_the_target() {
+        let tag = target_tag(&some_matrix(0.3));
+        assert_eq!(tag, target_tag(&some_matrix(0.3)));
+        assert_ne!(tag, target_tag(&some_matrix(0.4)));
+        assert_eq!(tag.len(), 32);
+        // a tag is not a population key: configs/seeds never enter it
+        assert_ne!(
+            Some(population_key(&some_matrix(0.3), "cfg", 0)),
+            Key::parse(&tag)
+        );
     }
 
     #[test]

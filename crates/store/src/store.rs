@@ -67,6 +67,10 @@ struct Entry {
     kind: Kind,
     bytes: u64,
     last_used: u64,
+    /// Optional caller-supplied grouping label (e.g. a target fingerprint):
+    /// lets degradation fall back to "any cached population for this target"
+    /// when an exact content-addressed lookup misses.
+    tag: Option<String>,
 }
 
 #[derive(Debug, Default)]
@@ -138,6 +142,19 @@ pub struct Store {
 }
 
 fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    // Failpoint `store.write`: `error` rejects the write, `torn` lands the
+    // first half of the payload at the *final* path (bypassing the tmp +
+    // rename discipline) — exactly the state a mid-write crash would leave
+    // if writes were not atomic, which checksums must catch on read.
+    qaprox_fault::fail_point!("store.write", |action| match action {
+        qaprox_fault::FaultAction::Torn => {
+            std::fs::write(path, &bytes[..bytes.len() / 2])?;
+            Ok(())
+        }
+        _ => Err(StoreError::Io(std::io::Error::other(
+            qaprox_fault::injected_error("store.write"),
+        ))),
+    });
     // unique tmp name: concurrent writers of the same key (same content,
     // since keys are content addresses) must not interleave on one tmp file
     static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -195,6 +212,7 @@ impl Store {
                     kind,
                     bytes: item.get_u64("bytes")?,
                     last_used: item.get_u64("last_used")?,
+                    tag: item.get_str("tag").map(str::to_string),
                 },
             );
         }
@@ -206,12 +224,16 @@ impl Store {
             .entries
             .iter()
             .map(|((_, key), e)| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("kind", Json::Str(e.kind.prefix().into())),
                     ("key", Json::Str(key.hex())),
                     ("bytes", Json::Num(e.bytes as f64)),
                     ("last_used", Json::Num(e.last_used as f64)),
-                ])
+                ];
+                if let Some(tag) = &e.tag {
+                    fields.push(("tag", Json::Str(tag.clone())));
+                }
+                Json::obj(fields)
             })
             .collect();
         let v = Json::obj(vec![
@@ -257,7 +279,13 @@ impl Store {
         self.write_index(&idx)
     }
 
-    fn record_put(&self, kind: Kind, key: &Key, bytes: u64) -> Result<(), StoreError> {
+    fn record_put(
+        &self,
+        kind: Kind,
+        key: &Key,
+        bytes: u64,
+        tag: Option<&str>,
+    ) -> Result<(), StoreError> {
         let mut idx = self.index.lock().expect("store index poisoned");
         idx.puts += 1;
         idx.seq += 1;
@@ -268,12 +296,19 @@ impl Store {
                 kind,
                 bytes,
                 last_used: seq,
+                tag: tag.map(str::to_string),
             },
         );
         self.write_index(&idx)
     }
 
     fn remove_entry(&self, kind: Kind, key: &Key) -> Result<(), StoreError> {
+        // Failpoint `store.evict`: an eviction that fails mid-way.
+        qaprox_fault::fail_point!("store.evict", |_action| {
+            Err(StoreError::Io(std::io::Error::other(
+                qaprox_fault::injected_error("store.evict"),
+            )))
+        });
         for path in self.files_for(kind, key) {
             match std::fs::remove_file(&path) {
                 Ok(()) => {}
@@ -287,6 +322,12 @@ impl Store {
     }
 
     fn read_pair(&self, kind: Kind, key: &Key) -> Result<Option<(String, String)>, StoreError> {
+        // Failpoint `store.read`: a transient read failure (flaky disk/NFS).
+        qaprox_fault::fail_point!("store.read", |_action| {
+            Err(StoreError::Io(std::io::Error::other(
+                qaprox_fault::injected_error("store.read"),
+            )))
+        });
         let manifest_path = self.object_path(kind, key, "json");
         let manifest = match std::fs::read_to_string(&manifest_path) {
             Ok(t) => t,
@@ -310,6 +351,7 @@ impl Store {
         key: &Key,
         manifest: &str,
         blob: &str,
+        tag: Option<&str>,
     ) -> Result<(), StoreError> {
         #[cfg(feature = "strict-invariants")]
         {
@@ -326,7 +368,7 @@ impl Store {
         // manifest, so the entry simply reads as absent
         atomic_write(&self.object_path(kind, key, "qasm"), blob.as_bytes())?;
         atomic_write(&self.object_path(kind, key, "json"), manifest.as_bytes())?;
-        self.record_put(kind, key, (manifest.len() + blob.len()) as u64)
+        self.record_put(kind, key, (manifest.len() + blob.len()) as u64, tag)
     }
 
     /// Looks up a completed population. Counts a hit or miss; corrupt
@@ -350,9 +392,37 @@ impl Store {
     /// Persists a completed population and clears any partial checkpoint for
     /// the same key.
     pub fn put_population(&self, key: &Key, pop: &PopulationArtifact) -> Result<(), StoreError> {
+        self.put_population_tagged(key, pop, None)
+    }
+
+    /// Like [`Store::put_population`] but attaches an optional tag (e.g. a
+    /// target fingerprint) so [`Store::populations_tagged`] can later find
+    /// every cached population for the same target, whatever config/seed
+    /// produced it.
+    pub fn put_population_tagged(
+        &self,
+        key: &Key,
+        pop: &PopulationArtifact,
+        tag: Option<&str>,
+    ) -> Result<(), StoreError> {
         let (manifest, blob) = pop.encode();
-        self.put_pair(Kind::Population, key, &manifest, &blob)?;
+        self.put_pair(Kind::Population, key, &manifest, &blob, tag)?;
         self.remove_entry(Kind::Partial, key)
+    }
+
+    /// Keys of every live population carrying `tag`, most recently used
+    /// first. Does not touch hit/miss statistics — this is the degradation
+    /// fallback's discovery scan, not a cache lookup.
+    pub fn populations_tagged(&self, tag: &str) -> Vec<Key> {
+        let idx = self.index.lock().expect("store index poisoned");
+        let mut found: Vec<(u64, Key)> = idx
+            .entries
+            .iter()
+            .filter(|((_, _), e)| e.kind == Kind::Population && e.tag.as_deref() == Some(tag))
+            .map(|((_, key), e)| (e.last_used, *key))
+            .collect();
+        found.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.hex().cmp(&b.1.hex())));
+        found.into_iter().map(|(_, key)| key).collect()
     }
 
     /// Looks up a partial synthesis checkpoint. Does **not** count toward
@@ -379,7 +449,7 @@ impl Store {
     /// Persists a partial synthesis checkpoint.
     pub fn put_partial(&self, key: &Key, part: &PartialCheckpoint) -> Result<(), StoreError> {
         let (manifest, blob) = part.encode();
-        self.put_pair(Kind::Partial, key, &manifest, &blob)
+        self.put_pair(Kind::Partial, key, &manifest, &blob, None)
     }
 
     /// Removes a partial checkpoint (called when its population completes).
@@ -417,7 +487,7 @@ impl Store {
             &self.object_path(Kind::Result, key, "json"),
             text.as_bytes(),
         )?;
-        self.record_put(Kind::Result, key, text.len() as u64)
+        self.record_put(Kind::Result, key, text.len() as u64, None)
     }
 
     /// Aggregate statistics.
@@ -481,18 +551,18 @@ mod tests {
     use qaprox_circuit::Circuit;
     use qaprox_synth::ApproxCircuit;
 
-    fn tmp_root(tag: &str) -> PathBuf {
+    pub(crate) fn tmp_root(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("qaprox-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
 
-    fn key_of(n: u64) -> Key {
+    pub(crate) fn key_of(n: u64) -> Key {
         Key { hi: n, lo: !n }
     }
 
-    fn some_pop(tag: f64) -> PopulationArtifact {
+    pub(crate) fn some_pop(tag: f64) -> PopulationArtifact {
         let mk = |cnots: usize, dist: f64| {
             let mut c = Circuit::new(2);
             c.h(0);
@@ -631,5 +701,97 @@ mod tests {
         assert_eq!(report.evicted, 0);
         assert_eq!(report.reclaimed_bytes, 0);
         assert!(store.get_population(&key_of(20)).unwrap().is_some());
+    }
+
+    #[test]
+    fn tagged_populations_are_discoverable_most_recent_first() {
+        let root = tmp_root("tags");
+        let (a, b, c) = (key_of(30), key_of(31), key_of(32));
+        {
+            let store = Store::open(&root).unwrap();
+            store
+                .put_population_tagged(&a, &some_pop(0.1), Some("target-x"))
+                .unwrap();
+            store
+                .put_population_tagged(&b, &some_pop(0.2), Some("target-x"))
+                .unwrap();
+            store
+                .put_population_tagged(&c, &some_pop(0.3), Some("target-y"))
+                .unwrap();
+            store.put_population(&key_of(33), &some_pop(0.4)).unwrap();
+            assert_eq!(store.populations_tagged("target-x"), vec![b, a]);
+            // a read bumps the LRU clock, reordering the scan
+            store.get_population(&a).unwrap().unwrap();
+            assert_eq!(store.populations_tagged("target-x"), vec![a, b]);
+            assert_eq!(store.populations_tagged("target-y"), vec![c]);
+            assert!(store.populations_tagged("target-z").is_empty());
+        }
+        // tags survive an index round trip through disk
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.populations_tagged("target-x"), vec![a, b]);
+        // eviction forgets the tag with the entry
+        store.remove_entry(Kind::Population, &b).unwrap();
+        assert_eq!(store.populations_tagged("target-x"), vec![a]);
+    }
+}
+
+// Requires `--features failpoints`; `Scenario` serializes these with every
+// other failpoint test in the process.
+#[cfg(all(test, feature = "failpoints"))]
+mod fault_tests {
+    use super::tests::{key_of, some_pop, tmp_root};
+    use super::*;
+    use qaprox_fault::Scenario;
+
+    /// The satellite corruption drill from the issue: a torn write lands a
+    /// half-payload at the final path, the checksum catches it on read, the
+    /// entry is evicted, and a recompute (fresh put) fully recovers.
+    #[test]
+    fn torn_write_is_detected_evicted_and_recovered_by_recompute() {
+        let store = Store::open(tmp_root("torn")).unwrap();
+        let k = key_of(40);
+        {
+            // fire exactly once, on the first write of the put (the qasm
+            // dump), leaving an intact manifest whose checksum cannot match
+            let _guard = Scenario::setup("store.write=after:0->torn");
+            store.put_population(&k, &some_pop(0.5)).unwrap();
+            assert_eq!(qaprox_fault::fires("store.write"), 1);
+        }
+        match store.get_population(&k) {
+            Err(StoreError::Corrupt(_)) => {}
+            other => panic!("torn artifact not flagged corrupt: {other:?}"),
+        }
+        // evicted: the follow-up read is a clean miss, the index is clean
+        assert!(store.get_population(&k).unwrap().is_none());
+        assert_eq!(store.stats().entries.0, 0);
+        // recompute path: a fresh put round-trips again
+        store.put_population(&k, &some_pop(0.5)).unwrap();
+        let got = store.get_population(&k).unwrap().unwrap();
+        assert_eq!(got.explored, 50);
+    }
+
+    #[test]
+    fn injected_write_and_read_errors_are_transient_io_errors() {
+        let store = Store::open(tmp_root("injected")).unwrap();
+        let k = key_of(41);
+        {
+            let _guard = Scenario::setup("store.write=always");
+            let err = store.put_population(&k, &some_pop(0.6)).unwrap_err();
+            assert!(matches!(err, StoreError::Io(_)));
+            assert!(qaprox_fault::is_transient(&err.to_string()), "{err}");
+        }
+        store.put_population(&k, &some_pop(0.6)).unwrap();
+        {
+            let _guard = Scenario::setup("store.read=after:0");
+            let err = store.get_population(&k).unwrap_err();
+            assert!(qaprox_fault::is_transient(&err.to_string()), "{err}");
+            // after:N disarms after firing: the retry goes through
+            assert!(store.get_population(&k).unwrap().is_some());
+        }
+        {
+            let _guard = Scenario::setup("store.evict=always");
+            let err = store.clear_partial(&k).unwrap_err();
+            assert!(qaprox_fault::is_transient(&err.to_string()), "{err}");
+        }
     }
 }

@@ -37,8 +37,12 @@ impl<'a> SearchHooks<'a> {
         self.cancel.as_ref().is_some_and(|f| f())
     }
 
-    /// Reports one completed expansion round.
+    /// Reports one completed expansion round. Failpoint `synth.round` fires
+    /// here — the synthesis round boundary — where a `panic` action emulates
+    /// a crash between checkpoints and a `sleep` action emulates a slow
+    /// optimizer round.
     pub fn progress(&mut self, nodes_evaluated: usize, intermediates: &[ApproxCircuit]) {
+        qaprox_fault::fail_point!("synth.round");
         if let Some(f) = self.on_progress.as_mut() {
             f(nodes_evaluated, intermediates);
         }

@@ -42,5 +42,5 @@ pub use memo::{canonicalize, CanonicalForm, StructureMemo};
 pub use partitioned::{partition, synthesize_partitioned, PartitionConfig, PartitionedResult};
 pub use qfactor::{qfactor_optimize, QFactorConfig, QFactorResult};
 pub use qfast::{qfast, qfast_with_hooks, QFastConfig};
-pub use qsearch::{qsearch, qsearch_with_hooks, QSearchConfig};
+pub use qsearch::{qsearch, qsearch_resume, qsearch_with_hooks, warm_memo, QSearchConfig};
 pub use template::Structure;

@@ -125,6 +125,50 @@ pub fn qsearch_with_hooks(
     cfg: &QSearchConfig,
     hooks: &mut SearchHooks<'_>,
 ) -> SynthesisOutput {
+    qsearch_core(target, topology, cfg, StructureMemo::new(), hooks)
+}
+
+/// Pre-warms the structure memo from a checkpointed intermediate stream.
+///
+/// Each circuit that parses back into an ansatz ([`Structure::from_circuit`])
+/// is cached under its canonical form with its recorded distance; anything
+/// else (QFast output, the empty-population placeholder) is skipped. Because
+/// checkpoint serialization is bit-exact, the warmed entries are identical to
+/// the ones the original search inserted.
+pub fn warm_memo(prior: &[ApproxCircuit]) -> StructureMemo {
+    let mut cache = StructureMemo::new();
+    for ap in prior {
+        if let Some((s, params)) = Structure::from_circuit(&ap.circuit) {
+            let cf = memo::canonicalize(&s);
+            cache.insert(s.num_qubits, &cf, &params, ap.hs_distance);
+        }
+    }
+    cache
+}
+
+/// [`qsearch_with_hooks`] resumed from a checkpointed prefix of its own
+/// intermediate stream: `prior` pre-warms the structure memo, so the search
+/// replays the identical trajectory from node 0 — already-evaluated
+/// structures resolve as memo hits (skipping re-instantiation) and the
+/// emitted stream is bit-identical to an uninterrupted run. See
+/// `docs/SERVE.md` ("Resume semantics") for why this holds.
+pub fn qsearch_resume(
+    target: &Matrix,
+    topology: &Topology,
+    cfg: &QSearchConfig,
+    prior: &[ApproxCircuit],
+    hooks: &mut SearchHooks<'_>,
+) -> SynthesisOutput {
+    qsearch_core(target, topology, cfg, warm_memo(prior), hooks)
+}
+
+fn qsearch_core(
+    target: &Matrix,
+    topology: &Topology,
+    cfg: &QSearchConfig,
+    mut memo_cache: StructureMemo,
+    hooks: &mut SearchHooks<'_>,
+) -> SynthesisOutput {
     let n = topology.num_qubits();
     assert_eq!(
         target.rows(),
@@ -149,7 +193,6 @@ pub fn qsearch_with_hooks(
     // duplicates starves the (temporarily worse) paths that escape the
     // plateau. Only one representative of each distance class expands.
     let mut expanded_dists: Vec<Vec<f64>> = vec![Vec::new(); cfg.max_cnots + 1];
-    let mut memo_cache = StructureMemo::new();
 
     // Root: U3 layer only.
     let root_structure = Structure::root(n);
@@ -471,6 +514,101 @@ mod tests {
             out.nodes_evaluated <= 30 + 4,
             "evaluated {}",
             out.nodes_evaluated
+        );
+    }
+}
+
+#[cfg(test)]
+mod resume_tests {
+    use super::*;
+    use qaprox_circuit::qasm::to_qasm;
+    use qaprox_linalg::random::{haar_unitary, SplitMix64};
+    use std::cell::Cell;
+
+    // A 3-qubit haar target cannot hit the 1e-10 success threshold within
+    // these caps, so the search always runs multiple waves to the node cap —
+    // enough rounds to checkpoint in the middle of.
+    fn cfg() -> QSearchConfig {
+        QSearchConfig {
+            max_cnots: 5,
+            max_nodes: 60,
+            beam_width: 2,
+            instantiate: InstantiateConfig {
+                starts: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Serializes a stream the way the artifact store does (QASM text plus
+    /// the distance bits), so "bit-identical" here means what the acceptance
+    /// criterion means.
+    fn fingerprint(stream: &[ApproxCircuit]) -> Vec<(String, u64)> {
+        stream
+            .iter()
+            .map(|c| (to_qasm(&c.circuit), c.hs_distance.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn replay_from_checkpoint_is_bit_identical_and_skips_work() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let target = haar_unitary(8, &mut rng);
+        let topo = Topology::linear(3);
+        let full = qsearch(&target, &topo, &cfg());
+        assert!(full.nodes_evaluated > 10, "need a multi-round search");
+
+        // checkpoint: cancel after the second progress round
+        let rounds = Cell::new(0usize);
+        let mut hooks = SearchHooks {
+            on_progress: Some(Box::new(|_, _| rounds.set(rounds.get() + 1))),
+            cancel: Some(Box::new(|| rounds.get() >= 2)),
+        };
+        let partial = qsearch_with_hooks(&target, &topo, &cfg(), &mut hooks);
+        drop(hooks);
+        assert!(partial.nodes_evaluated < full.nodes_evaluated);
+        // the checkpointed prefix matches the uninterrupted stream
+        assert_eq!(
+            fingerprint(&partial.intermediates),
+            fingerprint(&full.intermediates)[..partial.intermediates.len()]
+        );
+
+        let resumed = qsearch_resume(
+            &target,
+            &topo,
+            &cfg(),
+            &partial.intermediates,
+            &mut SearchHooks::none(),
+        );
+        assert_eq!(
+            fingerprint(&resumed.intermediates),
+            fingerprint(&full.intermediates),
+            "replayed stream must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed.nodes_evaluated, full.nodes_evaluated);
+        assert_eq!(
+            resumed.best.hs_distance.to_bits(),
+            full.best.hs_distance.to_bits()
+        );
+        assert!(
+            resumed.stats.memo_misses < full.stats.memo_misses,
+            "warm memo should skip re-instantiation: {} vs {}",
+            resumed.stats.memo_misses,
+            full.stats.memo_misses
+        );
+    }
+
+    #[test]
+    fn resume_from_empty_prior_equals_a_fresh_run() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let target = haar_unitary(8, &mut rng);
+        let topo = Topology::linear(3);
+        let fresh = qsearch(&target, &topo, &cfg());
+        let resumed = qsearch_resume(&target, &topo, &cfg(), &[], &mut SearchHooks::none());
+        assert_eq!(
+            fingerprint(&resumed.intermediates),
+            fingerprint(&fresh.intermediates)
         );
     }
 }

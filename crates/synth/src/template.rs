@@ -6,7 +6,7 @@
 //! placement sequence; the continuous parameters are the U3 angles
 //! (`3 * (n + 2 * blocks)` of them).
 
-use qaprox_circuit::{Circuit, Gate};
+use qaprox_circuit::{Circuit, Gate, Instruction};
 use qaprox_linalg::kernels::{apply_1q_mat_left, apply_2q_mat_left, mat2_to_array, mat4_to_array};
 use qaprox_linalg::matrix::Matrix;
 use qaprox_linalg::{u3_matrix, Complex64};
@@ -160,6 +160,54 @@ impl Structure {
         params.resize(self.num_params(), 0.0);
         params
     }
+
+    /// Inverse of [`Structure::to_circuit`]: recovers the structure and its
+    /// parameter vector from an emitted ansatz circuit. The emitted layout is
+    /// rigid — one U3 per qubit in index order, then `CX(c,t); U3(c); U3(t)`
+    /// per placement, with parameters stored verbatim as U3 angles — so the
+    /// round trip is bit-exact. Returns `None` for any circuit not produced
+    /// by [`Structure::to_circuit`] (e.g. QFast output), which callers treat
+    /// as "cannot warm-start from this one".
+    pub fn from_circuit(circuit: &Circuit) -> Option<(Structure, Vec<f64>)> {
+        let n = circuit.num_qubits();
+        let insts: Vec<_> = circuit.iter().collect();
+        if insts.len() < n || !(insts.len() - n).is_multiple_of(3) {
+            return None;
+        }
+        fn u3_on(inst: &Instruction, expect: usize, params: &mut Vec<f64>) -> bool {
+            match (&inst.gate, inst.qubits.as_slice()) {
+                (Gate::U3(t, p, l), [q]) if *q == expect => {
+                    params.extend_from_slice(&[*t, *p, *l]);
+                    true
+                }
+                _ => false,
+            }
+        }
+        let mut params = Vec::with_capacity(3 * insts.len());
+        for (q, inst) in insts[..n].iter().enumerate() {
+            if !u3_on(inst, q, &mut params) {
+                return None;
+            }
+        }
+        let mut placements = Vec::with_capacity((insts.len() - n) / 3);
+        for block in insts[n..].chunks(3) {
+            let (c, t) = match (&block[0].gate, block[0].qubits.as_slice()) {
+                (Gate::CX, [c, t]) => (*c, *t),
+                _ => return None,
+            };
+            if !u3_on(block[1], c, &mut params) || !u3_on(block[2], t, &mut params) {
+                return None;
+            }
+            placements.push((c, t));
+        }
+        Some((
+            Structure {
+                num_qubits: n,
+                placements,
+            },
+            params,
+        ))
+    }
 }
 
 /// Partial derivatives of the U3 matrix with respect to its three angles.
@@ -243,6 +291,44 @@ mod tests {
         cx.cx(1, 0);
         let expect = cx.unitary().matmul(&pu);
         assert!(hs_distance(&cu, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn from_circuit_round_trips_bit_exactly() {
+        let s = Structure::root(3)
+            .extended(0, 1)
+            .extended(1, 2)
+            .extended(0, 1);
+        let params: Vec<f64> = (0..s.num_params())
+            .map(|i| (i as f64 * 0.37).sin() * 2.2)
+            .collect();
+        let c = s.to_circuit(&params);
+        let (s2, p2) = Structure::from_circuit(&c).expect("ansatz layout must parse");
+        assert_eq!(s2.num_qubits, s.num_qubits);
+        assert_eq!(s2.placements, s.placements);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p2), bits(&params), "params must survive bit-exactly");
+        // root-only structures parse too
+        let root = Structure::root(2);
+        let rp = vec![0.25; root.num_params()];
+        let (r2, _) = Structure::from_circuit(&root.to_circuit(&rp)).unwrap();
+        assert!(r2.placements.is_empty());
+    }
+
+    #[test]
+    fn from_circuit_rejects_non_ansatz_layouts() {
+        let mut other = Circuit::new(2);
+        other.h(0).cx(0, 1);
+        assert!(Structure::from_circuit(&other).is_none());
+        // a truncated block (CX without its trailing U3 pair) is rejected
+        let s = Structure::root(2).extended(0, 1);
+        let full = s.to_circuit(&vec![0.1; s.num_params()]);
+        let mut truncated = Circuit::new(2);
+        for inst in full.iter().take(full.iter().count() - 1) {
+            truncated.push(inst.gate.clone(), &inst.qubits);
+        }
+        assert!(Structure::from_circuit(&truncated).is_none());
+        assert!(Structure::from_circuit(&Circuit::new(2)).is_none());
     }
 
     #[test]
