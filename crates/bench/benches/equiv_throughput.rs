@@ -1,0 +1,104 @@
+//! Throughput of the certified noisy equivalence checker (the QA5xx
+//! family): how fast `check_equivalence` disposes of a circuit pair, across
+//! the regimes that matter for its consumers.
+//!
+//! The checker's job is to be cheap enough that synthesis admission and the
+//! serve fast path can afford to run it on *every* candidate before any
+//! density-matrix work, so the commentary reports gate-pairs/sec (total
+//! gates across both sides per call) alongside the raw timings. Output is
+//! CSV; the checked-in snapshot lives at `artifacts/equiv_throughput.csv`
+//! (regenerate with `cargo bench -p qaprox-bench --bench equiv_throughput`).
+
+use qaprox_algos::{grover_circuit, optimal_iterations, tfim_circuit, TfimParams};
+use qaprox_bench::timing::{bench, header};
+use qaprox_circuit::Circuit;
+use qaprox_device::devices::{ourense, toronto};
+use qaprox_verify::{check_equivalence, EquivOptions};
+
+/// One greedy left-to-right pass of adjacent disjoint-support swaps — the
+/// same reorder the `tfim-r` serve workload uses, reproduced here so the
+/// bench covers the tier-1 full-discharge regime the fast path relies on.
+fn commuting_reorder(c: &Circuit) -> Circuit {
+    let mut insts: Vec<_> = c.instructions().to_vec();
+    let mut i = 0;
+    while i + 1 < insts.len() {
+        let disjoint = insts[i]
+            .qubits
+            .iter()
+            .all(|q| !insts[i + 1].qubits.contains(q));
+        if disjoint {
+            insts.swap(i, i + 1);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = Circuit::new(c.num_qubits());
+    for inst in &insts {
+        out.push(inst.gate.clone(), &inst.qubits);
+    }
+    out
+}
+
+fn wide_ladder(num_qubits: usize, rounds: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for r in 0..rounds {
+        for q in 0..num_qubits {
+            c.rz(0.1 * (r + q) as f64, q);
+        }
+        for q in 0..num_qubits - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+fn main() {
+    header("equiv_throughput");
+    let quick = std::env::var("QAPROX_QUICK").is_ok_and(|v| v == "1");
+    let deep_steps = if quick { 8 } else { 16 };
+
+    let params = TfimParams::paper_defaults(3);
+    let tfim4 = tfim_circuit(&params, 4);
+    let tfim_deep = tfim_circuit(&params, deep_steps);
+    let grover = grover_circuit(3, 7, optimal_iterations(3));
+    let ladder = wide_ladder(16, if quick { 4 } else { 8 });
+
+    // (name, side A, side B): identical = pure tier-1 discharge; reordered =
+    // the fast-path regime (discharge across disjoint neighbours); distinct =
+    // worst case, full DP alignment + exact ideal-TV cross-check; wide =
+    // residual path only (16 qubits is past the ideal-TV width cap)
+    let cases: Vec<(&str, &Circuit, Circuit)> = vec![
+        ("identical/tfim3q_4steps", &tfim4, tfim4.clone()),
+        ("reordered/tfim3q_4steps", &tfim4, commuting_reorder(&tfim4)),
+        (
+            "reordered/tfim3q_deep",
+            &tfim_deep,
+            commuting_reorder(&tfim_deep),
+        ),
+        ("distinct/tfim_vs_grover_3q", &tfim4, grover.clone()),
+        ("wide/ladder16q", &ladder, commuting_reorder(&ladder)),
+    ];
+
+    let cal3 = ourense().induced(&[0, 1, 2]);
+    let cal16 = toronto().induced(&(0..16).collect::<Vec<_>>());
+    let opts = EquivOptions::default();
+
+    for (name, a, b) in &cases {
+        let cal = if a.num_qubits() > 3 { &cal16 } else { &cal3 };
+        let m = bench(&format!("check/{name}"), || {
+            check_equivalence(a, b, cal, &opts)
+        });
+        let report = check_equivalence(a, b, cal, &opts);
+        let pairs = (a.len() + b.len()) as f64;
+        let rate = pairs / m.median.as_secs_f64();
+        println!(
+            "# {name}: {}+{} gates, verdict {}, bound {:.3e}, check {:?} ({rate:.0} gate-pairs/s)",
+            a.len(),
+            b.len(),
+            report.verdict.as_str(),
+            report.bound,
+            m.median
+        );
+    }
+}

@@ -315,6 +315,21 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseError> {
                 ),
             ));
         }
+        // the semantic defects Circuit::push would panic on become parse
+        // errors here, so defective files fail cleanly (the lenient path +
+        // linter is the route that *keeps* them, to report QA101/QA102)
+        if let Some(&q) = inst.qubits.iter().find(|&&q| q >= raw.num_qubits) {
+            return Err(err(
+                line_no,
+                format!("qubit {q} out of range (n={})", raw.num_qubits),
+            ));
+        }
+        if inst.qubits.len() == 2 && inst.qubits[0] == inst.qubits[1] {
+            return Err(err(
+                line_no,
+                format!("duplicate qubit operand {}", inst.qubits[0]),
+            ));
+        }
         c.push(inst.gate, &inst.qubits);
     }
     Ok(c)
@@ -389,10 +404,13 @@ mod tests {
     }
 
     #[test]
-    fn error_on_out_of_range_qubit_is_a_panic_in_push() {
-        // the parser delegates range checking to Circuit::push
-        let res = std::panic::catch_unwind(|| from_qasm("qreg q[1];\nh q[5];\n"));
-        assert!(res.is_err());
+    fn strict_parse_rejects_semantic_defects_cleanly() {
+        // no panic: the defects Circuit::push would assert on come back as
+        // ParseError so CLI consumers (analyze, equiv) fail with a message
+        let e = from_qasm("qreg q[1];\nh q[5];\n").unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+        let e = from_qasm("qreg q[2];\ncx q[1],q[1];\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
     }
 
     #[test]

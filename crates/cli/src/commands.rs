@@ -9,12 +9,55 @@ use qaprox_store::Store;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How a failed invocation should terminate. The static-analysis
+/// subcommands (`lint`, `analyze`, `equiv`) distinguish "the tool found
+/// deny-level defects" (exit 3) from "the tool itself failed" (exit 1) so CI
+/// can gate on findings without swallowing operational errors; argument
+/// parse errors exit 2 (handled in `main`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Operational failure: bad usage, unreadable file, unknown device,
+    /// backend error. Exit code 1.
+    Failure(String),
+    /// The command ran to completion and produced deny-level findings.
+    /// Exit code 3.
+    Findings(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Findings(_) => 3,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failure(msg)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Failure(m) | CliError::Findings(m) => f.write_str(m),
+        }
+    }
+}
+
 /// Help text.
 pub const USAGE: &str = "\
 qaprox - approximate quantum circuits on noisy devices
 
 USAGE:
   qaprox <subcommand> [--option value]...
+
+EXIT CODES:
+  0  success          1  operational failure
+  2  bad arguments    3  deny-level findings (lint/analyze/equiv)
 
 GLOBAL OPTIONS:
   --jobs N        cap worker threads
@@ -25,7 +68,9 @@ GLOBAL OPTIONS:
 
 SUBCOMMANDS:
   synth     synthesize an approximate-circuit population for a workload
-              --workload tfim|grover|toffoli   (default tfim)
+              --workload tfim|tfim-r|grover|toffoli   (default tfim)
+                             (tfim-r: tfim under a commuting reorder --
+                              same physics, different cache keys)
               --qubits N                       (default 3)
               --steps K      TFIM timestep     (default 6)
               --max-cnots D                    (default 6)
@@ -39,6 +84,9 @@ SUBCOMMANDS:
               --cx-error E   override uniform CNOT error
               --hardware     use the hardware-emulation backend
               --job-seed S   backend noise seed (default 0)
+              --epsilon E    certify candidates at closeness E before
+                             simulating; enables the store's certified
+                             fast path (see docs/EQUIV.md, docs/SERVE.md)
   serve     start the TCP job service (blocks until a client sends shutdown)
               --addr HOST:PORT                 (default 127.0.0.1:7878)
               --workers N    worker threads    (default 2)
@@ -59,7 +107,7 @@ SUBCOMMANDS:
   devices   list the built-in calibration snapshots
   report    print a device noise report (--device NAME)
   show      dump the reference circuit as QASM (workload options)
-  lint      statically analyze QASM files for defects (exit 1 on errors)
+  lint      statically analyze QASM files for defects (exit 3 on errors)
               qaprox lint PATH... [--format text|json]
               (a directory PATH is scanned recursively for *.qasm files)
               --device NAME  check connectivity + calibration sanity;
@@ -77,28 +125,42 @@ SUBCOMMANDS:
               --no-relaxation  ignore T1/T2 during idle+gate windows
               --no-readout     ignore measurement error
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
+  equiv     certified noisy equivalence check between two circuits
+              qaprox equiv A.qasm B.qasm [--format text|json]
+              --device NAME   calibration snapshot    (default ourense)
+              --cx-error E    override uniform CNOT error
+              --epsilon E     closeness target        (default 0.1)
+              --no-relaxation ignore T1/T2 in the noise terms
+              --ideal-max-qubits N  width cap for the exact ideal-TV pass
+                                    (default 12; 0 disables)
+              --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
+              (QA501 epsilon-equivalence violated [deny], QA502 undecidable
+               [warn], QA503 noise dominates approximation [warn])
   help      this text
 ";
 
 /// Routes a parsed command line.
-pub fn dispatch(args: &Args) -> Result<(), String> {
+pub fn dispatch(args: &Args) -> Result<(), CliError> {
     apply_jobs(args)?;
     match args.command.as_str() {
-        "synth" => cmd_synth(args),
-        "run" => cmd_run(args),
-        "serve" => cmd_serve(args),
-        "submit" => cmd_submit(args),
-        "store" => cmd_store(args),
-        "devices" => cmd_devices(),
-        "report" => cmd_report(args),
-        "show" => cmd_show(args),
+        "synth" => cmd_synth(args).map_err(CliError::from),
+        "run" => cmd_run(args).map_err(CliError::from),
+        "serve" => cmd_serve(args).map_err(CliError::from),
+        "submit" => cmd_submit(args).map_err(CliError::from),
+        "store" => cmd_store(args).map_err(CliError::from),
+        "devices" => cmd_devices().map_err(CliError::from),
+        "report" => cmd_report(args).map_err(CliError::from),
+        "show" => cmd_show(args).map_err(CliError::from),
         "lint" => cmd_lint(args),
         "analyze" => cmd_analyze(args),
+        "equiv" => cmd_equiv(args),
         "help" => {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+        other => Err(CliError::Failure(format!(
+            "unknown subcommand '{other}'\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -155,12 +217,25 @@ fn run_spec_from(args: &Args) -> Result<RunSpec, String> {
         ),
         None => None,
     };
+    let epsilon = match args.options.get("epsilon") {
+        Some(raw) => {
+            let eps: f64 = raw
+                .parse()
+                .map_err(|_| format!("--epsilon: cannot parse '{raw}'"))?;
+            if eps.is_nan() || eps < 0.0 {
+                return Err(format!("--epsilon: must be non-negative, got {eps}"));
+            }
+            Some(eps)
+        }
+        None => None,
+    };
     Ok(RunSpec {
         synth: synth_spec_from(args)?,
         device: args.str_or("device", &d.device),
         cx_error,
         hardware: args.flag("hardware"),
         job_seed: args.get_or("job-seed", d.job_seed)?,
+        epsilon,
     })
 }
 
@@ -177,13 +252,22 @@ fn reference_circuit(args: &Args) -> Result<Circuit, String> {
             let params = TfimParams::paper_defaults(qubits);
             Ok(tfim_circuit(&params, steps))
         }
+        "tfim-r" => {
+            let steps: usize = args.get_or("steps", 6)?;
+            let params = TfimParams::paper_defaults(qubits);
+            Ok(qaprox_serve::spec::commuting_reorder(&tfim_circuit(
+                &params, steps,
+            )))
+        }
         "grover" => {
             let target = (1usize << qubits) - 1;
             let iters = qaprox_algos::grover::optimal_iterations(qubits);
             Ok(grover_circuit(qubits, target, iters))
         }
         "toffoli" => Ok(mct_reference(qubits)),
-        other => Err(format!("unknown workload '{other}' (tfim|grover|toffoli)")),
+        other => Err(format!(
+            "unknown workload '{other}' (tfim|tfim-r|grover|toffoli)"
+        )),
     }
 }
 
@@ -247,8 +331,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let reference = spec.synth.reference_circuit()?;
     spec.backend()?; // fail fast on a bad device before any synthesis
     let store = store_from(args)?;
-    let (key, result, cached, pop) =
-        qaprox_serve::obtain_run(store.as_ref(), &spec, &ExecCtl::default())?;
+    let out = qaprox_serve::obtain_run(store.as_ref(), &spec, &ExecCtl::default())?;
+    let (key, result, cached, pop) = (out.key, out.result, out.cached, out.population);
     println!(
         "{}",
         cache_note(
@@ -258,6 +342,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             store.as_ref()
         )
     );
+    if let Some((source, bound)) = &out.certified {
+        println!(
+            "# certified: reused result {} (equivalence bound {:.3e}, no simulation)",
+            source.hex(),
+            bound
+        );
+    }
     println!(
         "# reference: {} CNOTs, TVD to ideal under noise = {:.4}",
         reference.cx_count(),
@@ -568,14 +659,18 @@ fn expand_qasm_paths(positional: &[String]) -> Result<Vec<String>, String> {
 /// reports diagnostics; returns `Err` — i.e. a non-zero exit — when any
 /// deny-level finding is produced. Directory arguments are scanned
 /// recursively for `*.qasm` files.
-fn cmd_lint(args: &Args) -> Result<(), String> {
+fn cmd_lint(args: &Args) -> Result<(), CliError> {
     if args.positional.is_empty() {
-        return Err("lint: give at least one QASM file or directory".into());
+        return Err(CliError::Failure(
+            "lint: give at least one QASM file or directory".into(),
+        ));
     }
     let cfg = lint_config_from(args)?;
     let format = args.str_or("format", "text");
     if !matches!(format.as_str(), "text" | "json") {
-        return Err(format!("--format: expected text|json, got '{format}'"));
+        return Err(CliError::Failure(format!(
+            "--format: expected text|json, got '{format}'"
+        )));
     }
     let calibration = match args.options.get("device") {
         Some(name) => {
@@ -611,7 +706,9 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         }
     }
     if total_errors > 0 {
-        Err(format!("lint found {total_errors} error(s)"))
+        Err(CliError::Findings(format!(
+            "lint found {total_errors} error(s)"
+        )))
     } else {
         Ok(())
     }
@@ -642,21 +739,16 @@ fn analyze_options_from(args: &Args) -> Result<qaprox_verify::AnalyzeOptions, St
 /// `qaprox-verify`. Analyzes QASM files when paths are given, the workload
 /// reference circuit otherwise. Exits non-zero when any deny-level finding
 /// fires (e.g. `--min-fidelity` with QA401 at deny).
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     let cfg = lint_config_from(args)?;
     let opts = analyze_options_from(args)?;
     let format = args.str_or("format", "text");
     if !matches!(format.as_str(), "text" | "json") {
-        return Err(format!("--format: expected text|json, got '{format}'"));
+        return Err(CliError::Failure(format!(
+            "--format: expected text|json, got '{format}'"
+        )));
     }
-    let device = args.str_or("device", "ourense");
-    let mut cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
-    if let Some(raw) = args.options.get("cx-error") {
-        let eps: f64 = raw
-            .parse()
-            .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?;
-        cal = cal.with_uniform_cx_error(eps);
-    }
+    let (device, cal) = calibration_from(args)?;
 
     let circuits: Vec<(String, Circuit)> = if args.positional.is_empty() {
         vec![(
@@ -678,11 +770,11 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let mut total_errors = 0usize;
     for (name, circuit) in &circuits {
         if circuit.num_qubits() > cal.topology.num_qubits() {
-            return Err(format!(
+            return Err(CliError::Failure(format!(
                 "{name}: {} qubits exceed device '{device}' ({} qubits)",
                 circuit.num_qubits(),
                 cal.topology.num_qubits()
-            ));
+            )));
         }
         let report = qaprox_verify::analyze_with_config(circuit, &cal, &opts, &cfg);
         total_errors += report.findings.error_count();
@@ -695,7 +787,105 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         }
     }
     if total_errors > 0 {
-        Err(format!("analyze found {total_errors} error(s)"))
+        Err(CliError::Findings(format!(
+            "analyze found {total_errors} error(s)"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Resolves `--device` (default ourense) plus the optional `--cx-error`
+/// override into a calibration snapshot.
+fn calibration_from(args: &Args) -> Result<(String, qaprox_device::Calibration), String> {
+    let device = args.str_or("device", "ourense");
+    let mut cal = devices::by_name(&device).ok_or_else(|| format!("unknown device '{device}'"))?;
+    if let Some(raw) = args.options.get("cx-error") {
+        let eps: f64 = raw
+            .parse()
+            .map_err(|_| format!("--cx-error: cannot parse '{raw}'"))?;
+        cal = cal.with_uniform_cx_error(eps);
+    }
+    Ok((device, cal))
+}
+
+/// Certified noisy equivalence check (`qaprox equiv A.qasm B.qasm`): the
+/// QA5xx abstract interpreter from `qaprox-verify`, no simulation. Exits 3
+/// when any deny-level finding fires (QA501 by default).
+fn cmd_equiv(args: &Args) -> Result<(), CliError> {
+    if args.positional.len() != 2 {
+        return Err(CliError::Failure(
+            "equiv: give exactly two QASM files to compare".into(),
+        ));
+    }
+    let cfg = lint_config_from(args)?;
+    let format = args.str_or("format", "text");
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(CliError::Failure(format!(
+            "--format: expected text|json, got '{format}'"
+        )));
+    }
+    let (device, cal) = calibration_from(args)?;
+    let epsilon: f64 = match args.options.get("epsilon") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--epsilon: cannot parse '{raw}'"))?,
+        None => 0.1,
+    };
+    if epsilon.is_nan() || epsilon < 0.0 {
+        return Err(CliError::Failure(format!(
+            "--epsilon: must be non-negative, got {epsilon}"
+        )));
+    }
+    let ideal_max: usize = match args.options.get("ideal-max-qubits") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--ideal-max-qubits: cannot parse '{raw}'"))?,
+        None => 12,
+    };
+
+    let mut circuits = Vec::new();
+    for path in &args.positional {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let circuit =
+            qaprox_circuit::from_qasm(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+        circuits.push(circuit);
+    }
+    let (a, b) = (&circuits[0], &circuits[1]);
+    if a.num_qubits() != b.num_qubits() {
+        return Err(CliError::Failure(format!(
+            "equiv: width mismatch: '{}' has {} qubit(s), '{}' has {}",
+            args.positional[0],
+            a.num_qubits(),
+            args.positional[1],
+            b.num_qubits()
+        )));
+    }
+    if a.num_qubits() > cal.topology.num_qubits() {
+        return Err(CliError::Failure(format!(
+            "{} qubits exceed device '{device}' ({} qubits)",
+            a.num_qubits(),
+            cal.topology.num_qubits()
+        )));
+    }
+
+    let opts = qaprox_verify::EquivOptions {
+        epsilon,
+        include_relaxation: !args.flag("no-relaxation"),
+        ideal_tv_max_qubits: ideal_max,
+    };
+    let report = qaprox_verify::check_equivalence_with_config(a, b, &cal, &opts, &cfg);
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        _ => {
+            println!("# {} vs {}", args.positional[0], args.positional[1]);
+            print!("{}", report.to_text());
+        }
+    }
+    let errors = report.findings.error_count();
+    if errors > 0 {
+        Err(CliError::Findings(format!("equiv found {errors} error(s)")))
     } else {
         Ok(())
     }
@@ -706,7 +896,7 @@ mod tests {
     use super::*;
     use crate::args::parse;
 
-    fn run(v: &[&str]) -> Result<(), String> {
+    fn run(v: &[&str]) -> Result<(), CliError> {
         dispatch(&parse(v.iter().map(|s| s.to_string())).unwrap())
     }
 
@@ -719,7 +909,7 @@ mod tests {
 
     #[test]
     fn show_emits_qasm_for_all_workloads() {
-        for w in ["tfim", "grover", "toffoli"] {
+        for w in ["tfim", "tfim-r", "grover", "toffoli"] {
             assert!(
                 run(&["show", "--workload", w, "--qubits", "3"]).is_ok(),
                 "{w}"
@@ -823,7 +1013,7 @@ mod tests {
     fn submit_reports_connection_failures() {
         // a port nothing listens on
         let e = run(&["submit", "--addr", "127.0.0.1:1", "--no-wait"]).unwrap_err();
-        assert!(e.contains("connect"), "{e}");
+        assert!(e.to_string().contains("connect"), "{e}");
     }
 
     #[test]
@@ -866,7 +1056,8 @@ mod tests {
             "qreg q[2];\nh q[7];\ncx q[0],q[0];\n",
         );
         let e = run(&["lint", &p]).unwrap_err();
-        assert!(e.contains("error"), "{e}");
+        assert!(e.to_string().contains("error"), "{e}");
+        assert_eq!(e.exit_code(), 3, "findings map to the findings exit code");
         // demoting both codes to allow silences the failure
         assert!(run(&["lint", &p, "--allow", "QA101,QA102"]).is_ok());
         // an unknown code is rejected up front
@@ -962,5 +1153,104 @@ mod tests {
         assert!(run(&["run", "--qubits", "9"]).is_err());
         assert!(run(&["run", "--device", "nowhere"]).is_err());
         assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn equiv_certifies_identical_files_and_flags_distant_pairs() {
+        let a = temp_qasm(
+            "qaprox_equiv_a.qasm",
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        );
+        let b = temp_qasm("qaprox_equiv_b.qasm", "qreg q[2];\nx q[0];\nx q[1];\n");
+        assert!(run(&["equiv", &a, &a]).is_ok());
+        assert!(run(&["equiv", &a, &a, "--format", "json"]).is_ok());
+        // a provable violation is deny-level by default (QA501)
+        let e = run(&["equiv", &a, &b, "--epsilon", "0.01", "--cx-error", "0.0"]).unwrap_err();
+        assert!(matches!(e, CliError::Findings(_)), "{e}");
+        // demoting QA501 turns the same run into a warning-only pass
+        assert!(run(&[
+            "equiv",
+            &a,
+            &b,
+            "--epsilon",
+            "0.01",
+            "--cx-error",
+            "0.0",
+            "--warn",
+            "QA501"
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn equiv_rejects_bad_usage() {
+        let a = temp_qasm("qaprox_equiv_usage.qasm", "qreg q[1];\nx q[0];\n");
+        let wide = temp_qasm("qaprox_equiv_wide.qasm", "qreg q[2];\nx q[0];\n");
+        assert!(matches!(
+            run(&["equiv", &a]).unwrap_err(),
+            CliError::Failure(_)
+        ));
+        assert!(matches!(
+            run(&["equiv", &a, &wide]).unwrap_err(),
+            CliError::Failure(_)
+        ));
+        assert!(run(&["equiv", &a, &a, "--format", "yaml"]).is_err());
+        assert!(run(&["equiv", &a, &a, "--epsilon", "abc"]).is_err());
+        assert!(run(&["equiv", &a, &a, "--epsilon", "-1"]).is_err());
+        assert!(run(&["equiv", &a, &a, "--device", "nowhere"]).is_err());
+        assert!(run(&["equiv", &a, "/nonexistent/b.qasm"]).is_err());
+    }
+
+    /// The exit-code contract for every static-analysis subcommand: findings
+    /// exit 3, operational failures exit 1 — consistently across
+    /// lint/analyze/equiv.
+    #[test]
+    fn static_analysis_exit_codes_are_consistent() {
+        let bad = temp_qasm("qaprox_exit_bad.qasm", "qreg q[2];\nh q[7];\n");
+        let clean = temp_qasm("qaprox_exit_clean.qasm", "qreg q[1];\nx q[0];\n");
+        let wide2 = temp_qasm("qaprox_exit_wide.qasm", "qreg q[1];\nh q[0];\n");
+
+        // findings -> exit 3
+        assert_eq!(run(&["lint", &bad]).unwrap_err().exit_code(), 3);
+        assert_eq!(
+            run(&[
+                "analyze",
+                &clean,
+                "--min-fidelity",
+                "1.5",
+                "--deny",
+                "QA401"
+            ])
+            .unwrap_err()
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            run(&[
+                "equiv",
+                &clean,
+                &wide2,
+                "--epsilon",
+                "0.0",
+                "--cx-error",
+                "0.0"
+            ])
+            .unwrap_err()
+            .exit_code(),
+            3
+        );
+
+        // operational failures -> exit 1
+        assert_eq!(
+            run(&["lint", "/nonexistent.qasm"]).unwrap_err().exit_code(),
+            1
+        );
+        assert_eq!(
+            run(&["analyze", "--device", "nowhere"])
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
+        assert_eq!(run(&["equiv", &clean]).unwrap_err().exit_code(), 1);
     }
 }

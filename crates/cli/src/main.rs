@@ -1,10 +1,10 @@
 //! `qaprox` — the command-line face of the approximate-circuit toolkit.
 //!
 //! ```text
-//! qaprox synth    --workload tfim|grover|toffoli --qubits N [--steps K]
+//! qaprox synth    --workload tfim|tfim-r|grover|toffoli --qubits N [--steps K]
 //!                 [--max-cnots D] [--max-hs T]        synthesize + list population
 //! qaprox run      --workload ... --device NAME [--hardware] [--cx-error E]
-//!                 [--steps K]                          evaluate population vs reference
+//!                 [--steps K] [--epsilon E]            evaluate population vs reference
 //! qaprox serve    [--addr H:P] [--workers N] [--queue N]
 //!                 [--timeout-secs T] [--journal DIR]   start the TCP job service
 //! qaprox submit   --op synth|run [--addr H:P] [--no-wait]
@@ -14,8 +14,17 @@
 //! qaprox report   --device NAME                        print the noise report
 //! qaprox show     --workload ... [--steps K]           dump the reference as QASM
 //! qaprox lint     FILE... [--format text|json] [--device NAME]
-//!                 [--allow/--warn/--deny CODE,...]     static analysis, exit 1 on errors
+//!                 [--allow/--warn/--deny CODE,...]     static analysis
+//! qaprox analyze  [FILE...] [--device NAME] [--min-fidelity F]
+//!                                                      static noise-budget estimate
+//! qaprox equiv    A.qasm B.qasm [--device NAME] [--epsilon E]
+//!                                                      certified noisy equivalence check
 //! ```
+//!
+//! The analysis subcommands (`lint`, `analyze`, `equiv`) share an exit-code
+//! contract: 1 operational failure, 2 bad command-line arguments, 3
+//! deny-level findings — so CI can tell "found problems" from "could not
+//! run".
 //!
 //! Global options: `--jobs N` caps worker threads (default `QAPROX_THREADS`,
 //! then all cores); `--store DIR` / `--no-store` select the content-addressed
@@ -43,6 +52,6 @@ fn main() {
     };
     if let Err(e) = commands::dispatch(&parsed) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

@@ -98,6 +98,24 @@ pub enum ExecResult {
     Suspended,
 }
 
+/// How a run result was obtained.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The result's store key (this spec's own key).
+    pub key: Key,
+    /// The scored result.
+    pub result: ResultArtifact,
+    /// True when the artifact came straight from the store under this
+    /// spec's own key.
+    pub cached: bool,
+    /// Set when the certified fast path answered: the *source* result key
+    /// and the certified equivalence bound that justified the reuse. No
+    /// synthesis and no backend call happened.
+    pub certified: Option<(Key, f64)>,
+    /// The population outcome (absent on cache/certified hits).
+    pub population: Option<PopulationOutcome>,
+}
+
 fn ignore_corruption<T>(r: Result<Option<T>, StoreError>) -> Result<Option<T>, String> {
     match r {
         Ok(v) => Ok(v),
@@ -229,16 +247,88 @@ pub fn obtain_population(
     })
 }
 
+/// Scans the store for a result whose reference circuit is provably
+/// ε-equivalent to this spec's under its calibration. Returns the source
+/// key, the artifact, and the certified bound. Pure static analysis —
+/// no synthesis, no simulation.
+fn certified_lookup(
+    store: &Store,
+    spec: &RunSpec,
+    epsilon: f64,
+) -> Result<Option<(Key, ResultArtifact, f64)>, String> {
+    let reference = spec.synth.reference_circuit()?;
+    let cal = spec.calibration()?;
+    let opts = qaprox_verify::EquivOptions {
+        epsilon,
+        ..Default::default()
+    };
+    for source in store.results_tagged(&spec.equiv_tag()) {
+        let Some(res) = ignore_corruption(store.get_result(&source))? else {
+            continue;
+        };
+        let Some(qasm) = &res.reference_qasm else {
+            continue;
+        };
+        let Ok(stored_ref) = qaprox_circuit::from_qasm(qasm) else {
+            continue;
+        };
+        if stored_ref.num_qubits() != reference.num_qubits() {
+            continue;
+        }
+        let report = qaprox_verify::check_equivalence(&reference, &stored_ref, &cal, &opts);
+        if report.certified() {
+            return Ok(Some((source, res, report.bound)));
+        }
+    }
+    Ok(None)
+}
+
 /// Obtains the scored result for `spec`, cache-first.
+///
+/// With [`RunSpec::epsilon`] set, two QA5xx layers kick in before any
+/// expensive work:
+///
+/// 1. **certified fast path** — on a key miss, any stored result in the
+///    same [`RunSpec::equiv_tag`] class whose reference is *provably*
+///    ε-equivalent under this calibration is returned as-is (and re-filed
+///    under this spec's key), skipping synthesis and the backend entirely;
+/// 2. **bound-first scoring** — when the run does execute, candidates the
+///    checker certifies against the reference get a static upper-bound
+///    score (`ref_score + bound`, rows marked `certified`) and only the
+///    undecided band goes to the density-matrix backend.
 pub fn obtain_run(
     store: Option<&Store>,
     spec: &RunSpec,
     ctl: &ExecCtl,
-) -> Result<(Key, ResultArtifact, bool, Option<PopulationOutcome>), String> {
+) -> Result<RunOutcome, String> {
     let key = spec.result_key()?;
     if let Some(store) = store {
         if let Some(res) = ignore_corruption(store.get_result(&key))? {
-            return Ok((key, res, true, None));
+            return Ok(RunOutcome {
+                key,
+                result: res,
+                cached: true,
+                certified: None,
+                population: None,
+            });
+        }
+        if let Some(eps) = spec.epsilon {
+            if let Some((source, res, bound)) = certified_lookup(store, spec, eps)? {
+                // re-file under this spec's key (keeping the source's
+                // reference so future equivalence checks stay grounded in
+                // the circuit the rows were actually scored against): the
+                // next identical submission is a plain cache hit
+                store
+                    .put_result_tagged(&key, &res, Some(&spec.equiv_tag()))
+                    .map_err(|e| e.to_string())?;
+                return Ok(RunOutcome {
+                    key,
+                    result: res,
+                    cached: false,
+                    certified: Some((source, bound)),
+                    population: None,
+                });
+            }
         }
     }
 
@@ -252,38 +342,102 @@ pub fn obtain_run(
 
     let reference = spec.synth.reference_circuit()?;
     let backend = spec.backend()?;
-    let ideal = qaprox_sim::statevector::probabilities(&reference);
-    let ref_probs = backend.probabilities(&reference, spec.job_seed);
-    let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
+    let cal = spec.calibration()?;
 
     // static pre-rank: order candidates by the O(gates) noise-budget score
     // (best first) before any O(4^n) density-matrix work, so rows come out
     // in the analyzer's preference order and consumers can truncate cheaply
-    let cal = spec.calibration()?;
     let ranked = qaprox_synth::rank_by_predicted(&pop.population.circuits, &cal);
-    let circuits: Vec<Circuit> = ranked.iter().map(|(ap, _)| ap.circuit.clone()).collect();
+
+    // ε-aware runs try to discharge each candidate statically first; the
+    // bound (when it certifies) replaces the simulated score outright
+    let bounds: Vec<Option<f64>> = match spec.epsilon {
+        None => vec![None; ranked.len()],
+        Some(eps) => {
+            let opts = qaprox_verify::EquivOptions {
+                epsilon: eps,
+                ..Default::default()
+            };
+            ranked
+                .iter()
+                .map(|(ap, _)| {
+                    let report =
+                        qaprox_verify::check_equivalence(&ap.circuit, &reference, &cal, &opts);
+                    report.certified().then_some(report.bound)
+                })
+                .collect()
+        }
+    };
+    let undecided: Vec<Circuit> = ranked
+        .iter()
+        .zip(&bounds)
+        .filter(|(_, b)| b.is_none())
+        .map(|((ap, _), _)| ap.circuit.clone())
+        .collect();
+
+    // Failpoint `serve.backend`: evaluated once per job that reaches the
+    // backend, so tests can count invocations (a certified answer must
+    // leave the counter untouched); `error` injects a backend outage.
+    qaprox_fault::fail_point!("serve.backend", |_action| {
+        Err(qaprox_fault::injected_error("serve.backend"))
+    });
+
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let ref_probs = backend.probabilities(&reference, spec.job_seed);
+    let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
     // backend execution goes through the per-backend circuit breaker: a
     // backend that keeps failing rejects fast instead of absorbing every
     // worker's full retry budget
     let probs = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
-        backend.probabilities_batch(&circuits)
+        backend.probabilities_batch(&undecided)
     })?;
+    let mut simulated = probs.iter();
     let rows: Vec<ResultRow> = ranked
         .iter()
-        .zip(&probs)
-        .map(|((ap, predicted), p)| ResultRow {
-            cnots: ap.cnots,
-            hs_distance: ap.hs_distance,
-            predicted: *predicted,
-            score: qaprox_metrics::total_variation(p, &ideal),
+        .zip(&bounds)
+        .map(|((ap, predicted), bound)| {
+            let (score, certified) = match bound {
+                // `score` is TV-to-ideal, 1-Lipschitz in the output
+                // distribution, so the certified bound caps how far the
+                // candidate's score can sit above the reference's
+                Some(b) => ((ref_score + b).min(1.0), true),
+                None => {
+                    let p = simulated.next().expect("one batch row per undecided");
+                    (qaprox_metrics::total_variation(p, &ideal), false)
+                }
+            };
+            ResultRow {
+                cnots: ap.cnots,
+                hs_distance: ap.hs_distance,
+                predicted: *predicted,
+                score,
+                certified,
+            }
         })
         .collect();
 
-    let result = ResultArtifact { ref_score, rows };
+    let result = ResultArtifact {
+        ref_score,
+        rows,
+        // the reference rides along only on ε-aware runs: it is what makes
+        // this artifact reusable by the certified fast path later
+        reference_qasm: spec
+            .epsilon
+            .map(|_| qaprox_circuit::qasm::to_qasm(&reference)),
+    };
     if let Some(store) = store {
-        store.put_result(&key, &result).map_err(|e| e.to_string())?;
+        let tag = spec.epsilon.map(|_| spec.equiv_tag());
+        store
+            .put_result_tagged(&key, &result, tag.as_deref())
+            .map_err(|e| e.to_string())?;
     }
-    Ok((key, result, false, Some(pop)))
+    Ok(RunOutcome {
+        key,
+        result,
+        cached: false,
+        certified: None,
+        population: Some(pop),
+    })
 }
 
 // An error-channel marker for "the synthesis stage suspended" inside
@@ -337,17 +491,22 @@ pub fn run_spec(
             Ok(ExecResult::Done(population_payload(&pop)))
         }
         JobSpec::Run(r) => match obtain_run(store, r, ctl) {
-            Ok((key, result, cached, pop)) => {
+            Ok(out) => {
+                let result = &out.result;
                 let rows: Vec<Json> = result
                     .rows
                     .iter()
                     .map(|row| {
-                        Json::Arr(vec![
+                        let mut cells = vec![
                             Json::Num(row.cnots as f64),
                             Json::Num(row.hs_distance),
                             Json::Num(row.predicted),
                             Json::Num(row.score),
-                        ])
+                        ];
+                        if row.certified {
+                            cells.push(Json::Bool(true));
+                        }
+                        Json::Arr(cells)
                     })
                     .collect();
                 let wins = result
@@ -364,19 +523,27 @@ pub fn run_spec(
                 );
                 let analysis = qaprox_store::json::parse(&analysis_report.to_json())
                     .map_err(|e| e.to_string())?;
-                Ok(ExecResult::Done(Json::obj(vec![
-                    ("kind", Json::Str("run".into())),
-                    ("key", Json::Str(key.hex())),
-                    ("cached", Json::Bool(cached)),
+                let mut fields = vec![
+                    ("kind".to_string(), Json::Str("run".into())),
+                    ("key".to_string(), Json::Str(out.key.hex())),
+                    ("cached".to_string(), Json::Bool(out.cached)),
                     (
-                        "population_cached",
-                        Json::Bool(pop.as_ref().is_some_and(|p| p.cached)),
+                        "population_cached".to_string(),
+                        Json::Bool(out.population.as_ref().is_some_and(|p| p.cached)),
                     ),
-                    ("ref_score", Json::Num(result.ref_score)),
-                    ("wins", Json::Num(wins as f64)),
-                    ("analysis", analysis),
-                    ("rows", Json::Arr(rows)),
-                ])))
+                    ("certified".to_string(), Json::Bool(out.certified.is_some())),
+                ];
+                if let Some((source, bound)) = &out.certified {
+                    fields.push(("certified_from".to_string(), Json::Str(source.hex())));
+                    fields.push(("equiv_bound".to_string(), Json::Num(*bound)));
+                }
+                fields.extend([
+                    ("ref_score".to_string(), Json::Num(result.ref_score)),
+                    ("wins".to_string(), Json::Num(wins as f64)),
+                    ("analysis".to_string(), analysis),
+                    ("rows".to_string(), Json::Arr(rows)),
+                ]);
+                Ok(ExecResult::Done(Json::Obj(fields)))
             }
             Err(e) if e == SUSPENDED_SENTINEL => Ok(ExecResult::Suspended),
             Err(e) => Err(e),
@@ -577,20 +744,26 @@ mod tests {
             cx_error: Some(0.1),
             hardware: false,
             job_seed: 0,
+            epsilon: None,
         };
-        let (key, result, cached, pop) =
-            obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
-        assert!(!cached);
-        assert!(pop.is_some());
-        assert!(result.ref_score > 0.0, "noise must cost the reference");
-        assert!(!result.rows.is_empty());
+        let out = obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(!out.cached);
+        assert!(out.population.is_some());
+        assert!(out.result.ref_score > 0.0, "noise must cost the reference");
+        assert!(!out.result.rows.is_empty());
+        // without epsilon nothing is certified and no reference is stored
+        assert!(out.certified.is_none());
+        assert!(out.result.reference_qasm.is_none());
+        assert!(out.result.rows.iter().all(|r| !r.certified));
 
-        let (key2, result2, cached2, pop2) =
-            obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
-        assert!(cached2, "second run must hit the result cache");
-        assert!(pop2.is_none(), "a result hit skips synthesis entirely");
-        assert_eq!(key2, key);
-        assert_eq!(result2.rows, result.rows);
+        let second = obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(second.cached, "second run must hit the result cache");
+        assert!(
+            second.population.is_none(),
+            "a result hit skips synthesis entirely"
+        );
+        assert_eq!(second.key, out.key);
+        assert_eq!(second.result.rows, out.result.rows);
     }
 
     #[test]
@@ -601,8 +774,9 @@ mod tests {
             cx_error: Some(0.08),
             hardware: false,
             job_seed: 0,
+            epsilon: None,
         };
-        let (_, result, _, _) = obtain_run(None, &spec, &ExecCtl::default()).unwrap();
+        let result = obtain_run(None, &spec, &ExecCtl::default()).unwrap().result;
         assert!(
             result
                 .rows

@@ -43,7 +43,9 @@ pub mod spec;
 
 pub use breaker::BreakerConfig;
 pub use client::{Client, ClientError};
-pub use exec::{obtain_population, obtain_run, run_spec, ExecCtl, ExecResult, PopulationOutcome};
+pub use exec::{
+    obtain_population, obtain_run, run_spec, ExecCtl, ExecResult, PopulationOutcome, RunOutcome,
+};
 pub use journal::{Journal, ReplayedJournal};
 pub use retry::RetryPolicy;
 pub use scheduler::{JobState, JobView, Scheduler, SchedulerConfig, Submitted};

@@ -58,6 +58,13 @@ pub struct RunSpec {
     pub hardware: bool,
     /// Seed for the backend's stochastic noise channels.
     pub job_seed: u64,
+    /// ε-equivalence tolerance. `Some` opts the run into the QA5xx
+    /// certified machinery: candidates proven within ε of the reference are
+    /// scored statically (no backend), and a resubmission whose reference is
+    /// provably equivalent to an already-stored run's is answered from the
+    /// store without synthesizing or simulating at all. `None` (the
+    /// default) keeps the exact pre-certification behaviour and cache keys.
+    pub epsilon: Option<f64>,
 }
 
 impl Default for RunSpec {
@@ -68,6 +75,7 @@ impl Default for RunSpec {
             cx_error: None,
             hardware: false,
             job_seed: 0,
+            epsilon: None,
         }
     }
 }
@@ -81,6 +89,32 @@ pub enum JobSpec {
     Run(RunSpec),
 }
 
+/// Swaps adjacent instruction pairs with disjoint qubit support in one
+/// greedy left-to-right pass. The output implements the same noisy channel
+/// as the input (channels on disjoint subsystems commute) but serializes to
+/// different QASM, so it content-addresses differently everywhere.
+pub fn commuting_reorder(c: &Circuit) -> Circuit {
+    let mut insts: Vec<qaprox_circuit::Instruction> = c.instructions().to_vec();
+    let mut i = 0;
+    while i + 1 < insts.len() {
+        let disjoint = insts[i]
+            .qubits
+            .iter()
+            .all(|q| !insts[i + 1].qubits.contains(q));
+        if disjoint {
+            insts.swap(i, i + 1);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = Circuit::new(c.num_qubits());
+    for inst in &insts {
+        out.push(inst.gate.clone(), &inst.qubits);
+    }
+    out
+}
+
 impl SynthSpec {
     /// Builds the reference circuit (mirrors the CLI's workload options).
     pub fn reference_circuit(&self) -> Result<Circuit, String> {
@@ -92,6 +126,15 @@ impl SynthSpec {
                 let params = TfimParams::paper_defaults(self.qubits);
                 Ok(tfim_circuit(&params, self.steps))
             }
+            // `tfim` with a deterministic commuting reorder: a distinct
+            // workload (different circuit text, different cache keys) whose
+            // noisy channel is *provably identical* to `tfim`'s — the QA5xx
+            // checker certifies the pair at bound 0, which is what exercises
+            // the serve certified fast path end to end
+            "tfim-r" => {
+                let params = TfimParams::paper_defaults(self.qubits);
+                Ok(commuting_reorder(&tfim_circuit(&params, self.steps)))
+            }
             "grover" => {
                 let target = (1usize << self.qubits) - 1;
                 let iters = qaprox_algos::grover::optimal_iterations(self.qubits);
@@ -100,7 +143,9 @@ impl SynthSpec {
             "toffoli" => Ok(mct_reference(self.qubits)),
             #[cfg(test)]
             "__panic" => panic!("injected panic for scheduler isolation tests"),
-            other => Err(format!("unknown workload '{other}' (tfim|grover|toffoli)")),
+            other => Err(format!(
+                "unknown workload '{other}' (tfim|tfim-r|grover|toffoli)"
+            )),
         }
     }
 
@@ -220,15 +265,37 @@ impl RunSpec {
         )
     }
 
-    /// The store key for this spec's execution result.
+    /// The store key for this spec's execution result. `epsilon` folds in
+    /// only when set, so pre-certification artifacts keep their keys.
     pub fn result_key(&self) -> Result<Key, String> {
         let pop = self.synth.population_key()?;
-        let fp = format!(
+        let mut fp = format!(
             "{};{}",
             self.backend_fingerprint(),
             self.analysis_fingerprint()?
         );
+        if let Some(eps) = self.epsilon {
+            fp.push_str(&format!(";epsilon={eps:.17e}"));
+        }
         Ok(result_key(&pop, &fp, self.job_seed))
+    }
+
+    /// Grouping tag for the certified fast path: everything that must match
+    /// *exactly* for a stored result to be reusable — synthesis knobs,
+    /// backend, both seeds. The workload identity (`workload`, `steps`) is
+    /// deliberately excluded: whether two references are interchangeable is
+    /// exactly what the equivalence checker decides at lookup time.
+    pub fn equiv_tag(&self) -> String {
+        format!(
+            "equiv/v1;qubits={};max_cnots={};max_nodes={};max_hs={:.17e};seed={};{};job_seed={}",
+            self.synth.qubits,
+            self.synth.max_cnots,
+            self.synth.max_nodes,
+            self.synth.max_hs,
+            self.synth.seed,
+            self.backend_fingerprint(),
+            self.job_seed
+        )
     }
 
     /// JSON form (spec fields only).
@@ -243,6 +310,9 @@ impl RunSpec {
         }
         fields.push(("hardware".into(), Json::Bool(self.hardware)));
         fields.push(("job_seed".into(), Json::Num(self.job_seed as f64)));
+        if let Some(eps) = self.epsilon {
+            fields.push(("epsilon".into(), Json::Num(eps)));
+        }
         Json::Obj(fields)
     }
 
@@ -255,6 +325,7 @@ impl RunSpec {
             cx_error: v.get_f64("cx_error"),
             hardware: v.get_bool("hardware").unwrap_or(d.hardware),
             job_seed: v.get_u64("job_seed").unwrap_or(d.job_seed),
+            epsilon: v.get_f64("epsilon"),
         })
     }
 }
@@ -284,13 +355,19 @@ impl JobSpec {
     pub fn dedup_fingerprint(&self) -> String {
         match self {
             JobSpec::Synth(s) => format!("synth:{};seed={}", s.fingerprint(), s.seed),
-            JobSpec::Run(r) => format!(
-                "run:{};seed={};{};job_seed={}",
-                r.synth.fingerprint(),
-                r.synth.seed,
-                r.backend_fingerprint(),
-                r.job_seed
-            ),
+            JobSpec::Run(r) => {
+                let mut fp = format!(
+                    "run:{};seed={};{};job_seed={}",
+                    r.synth.fingerprint(),
+                    r.synth.seed,
+                    r.backend_fingerprint(),
+                    r.job_seed
+                );
+                if let Some(eps) = r.epsilon {
+                    fp.push_str(&format!(";epsilon={eps:.17e}"));
+                }
+                fp
+            }
         }
     }
 
@@ -344,6 +421,7 @@ mod tests {
             cx_error: Some(0.05),
             hardware: true,
             job_seed: 3,
+            epsilon: Some(0.1),
         });
         for spec in [synth, run] {
             let text = spec.to_json().to_string();
@@ -398,6 +476,57 @@ mod tests {
         let mut noisier = run.clone();
         noisier.cx_error = Some(0.2);
         assert_ne!(noisier.analysis_fingerprint().unwrap(), fp);
+    }
+
+    #[test]
+    fn epsilon_changes_keys_only_when_set() {
+        let run = RunSpec {
+            synth: SynthSpec {
+                qubits: 2,
+                steps: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let base_key = run.result_key().unwrap();
+        let base_dedup = JobSpec::Run(run.clone()).dedup_fingerprint();
+        let mut eps = run.clone();
+        eps.epsilon = Some(0.1);
+        assert_ne!(eps.result_key().unwrap(), base_key);
+        assert_ne!(JobSpec::Run(eps.clone()).dedup_fingerprint(), base_dedup);
+        // but the equivalence tag ignores ε and the workload identity: the
+        // reordered workload lands in the same reuse class
+        let mut reordered = eps.clone();
+        reordered.synth.workload = "tfim-r".into();
+        assert_eq!(reordered.equiv_tag(), eps.equiv_tag());
+        assert_ne!(
+            reordered.result_key().unwrap(),
+            eps.result_key().unwrap(),
+            "distinct workloads must still content-address apart"
+        );
+    }
+
+    #[test]
+    fn reordered_tfim_is_a_commuted_permutation_of_tfim() {
+        for qubits in [2usize, 3] {
+            let spec = SynthSpec {
+                qubits,
+                steps: 2,
+                ..Default::default()
+            };
+            let mut reordered = spec.clone();
+            reordered.workload = "tfim-r".into();
+            let a = spec.reference_circuit().unwrap();
+            let b = reordered.reference_circuit().unwrap();
+            assert_eq!(a.len(), b.len());
+            assert_ne!(
+                a.instructions(),
+                b.instructions(),
+                "the reorder must actually move something"
+            );
+            // same unitary: only disjoint-support neighbours were swapped
+            assert!(a.unitary().approx_eq(&b.unitary(), 1e-12));
+        }
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The certified fast path end to end: submitting a workload whose reference
+//! is provably ε-equivalent to an already-executed one must be answered
+//! straight from the store — no synthesis, no backend — with the stored rows
+//! bit-identical and the payload marked `certified`.
+//!
+//! Backend-invocation counting uses the `serve.backend` failpoint's
+//! evaluation counter, so those assertions only run under
+//! `--features failpoints` (the CI faults job); the store-level and
+//! payload-level assertions hold either way.
+
+use qaprox_serve::{obtain_run, run_spec, ExecCtl, ExecResult, JobSpec, RunSpec, SynthSpec};
+use qaprox_store::json::Json;
+use qaprox_store::Store;
+
+fn tmp_store(tag: &str) -> Store {
+    let dir = std::env::temp_dir().join(format!("qaprox-serve-cert-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Store::open(dir).unwrap()
+}
+
+/// A tiny run spec; `workload` is `tfim` or its commuting reorder `tfim-r`.
+fn spec(workload: &str) -> RunSpec {
+    RunSpec {
+        synth: SynthSpec {
+            workload: workload.into(),
+            qubits: 2,
+            steps: 2,
+            max_cnots: 3,
+            max_nodes: 25,
+            max_hs: 0.4,
+            seed: 0,
+        },
+        device: "ourense".into(),
+        cx_error: Some(0.1),
+        hardware: false,
+        job_seed: 0,
+        epsilon: Some(0.05),
+    }
+}
+
+fn done(r: ExecResult) -> Json {
+    match r {
+        ExecResult::Done(p) => p,
+        ExecResult::Suspended => panic!("unexpected suspension"),
+    }
+}
+
+#[test]
+fn certified_equivalent_resubmission_skips_synthesis_and_backend() {
+    let store = tmp_store("fastpath");
+
+    // arm the backend failpoint pass-through (`never` fires nothing) purely
+    // so its evaluation counter runs; unarmed points don't count
+    #[cfg(feature = "failpoints")]
+    let _scenario = qaprox_fault::Scenario::setup("serve.backend=never");
+    #[cfg(feature = "failpoints")]
+    let evals_start = qaprox_fault::evals("serve.backend");
+
+    // first submission: full pipeline (synthesize, simulate, persist)
+    let first = done(
+        run_spec(
+            Some(&store),
+            &JobSpec::Run(spec("tfim")),
+            &ExecCtl::default(),
+        )
+        .unwrap(),
+    );
+    assert_eq!(first.get_str("kind"), Some("run"));
+    assert_eq!(first.get_bool("cached"), Some(false));
+    assert_eq!(first.get_bool("certified"), Some(false));
+
+    #[cfg(feature = "failpoints")]
+    {
+        assert!(
+            qaprox_fault::evals("serve.backend") > evals_start,
+            "the first run must reach the backend"
+        );
+        assert_eq!(qaprox_fault::fires("serve.backend"), 0, "unarmed site");
+    }
+
+    let stats_mid = store.stats();
+    #[cfg(feature = "failpoints")]
+    let evals_mid = qaprox_fault::evals("serve.backend");
+
+    // resubmit as `tfim-r`: a commuting reorder of the same reference.
+    // Different circuit text, different cache keys everywhere — but the
+    // QA5xx checker certifies the pair at bound 0, so the stored result is
+    // reused outright.
+    let second = done(
+        run_spec(
+            Some(&store),
+            &JobSpec::Run(spec("tfim-r")),
+            &ExecCtl::default(),
+        )
+        .unwrap(),
+    );
+    assert_eq!(second.get_bool("cached"), Some(false), "own key was a miss");
+    assert_eq!(second.get_bool("certified"), Some(true));
+    assert!(second.get_str("certified_from").is_some());
+    assert!(
+        second.get_f64("equiv_bound").unwrap() < 1e-12,
+        "a pure commuting reorder certifies at bound 0, got {:?}",
+        second.get_f64("equiv_bound")
+    );
+
+    // the payload rows are bit-identical to the first run's
+    assert_eq!(
+        second.get("rows").unwrap().to_string(),
+        first.get("rows").unwrap().to_string(),
+        "certified reuse must return the stored rows verbatim"
+    );
+    assert_eq!(
+        second.get_f64("ref_score").unwrap().to_bits(),
+        first.get_f64("ref_score").unwrap().to_bits()
+    );
+
+    // zero backend invocations for the certified answer
+    #[cfg(feature = "failpoints")]
+    assert_eq!(
+        qaprox_fault::evals("serve.backend"),
+        evals_mid,
+        "certified fast path must never touch a backend"
+    );
+    // and zero synthesis: no new population (or partial) appeared; the only
+    // store growth is the result re-filed under the new key
+    let stats_end = store.stats();
+    assert_eq!(
+        stats_end.entries.0, stats_mid.entries.0,
+        "no new population"
+    );
+    assert_eq!(stats_end.entries.1, stats_mid.entries.1, "no new partial");
+    assert_eq!(
+        stats_end.entries.2,
+        stats_mid.entries.2 + 1,
+        "the reused result is re-filed under the new spec's key"
+    );
+
+    // a third identical submission is now a plain cache hit
+    let third = done(
+        run_spec(
+            Some(&store),
+            &JobSpec::Run(spec("tfim-r")),
+            &ExecCtl::default(),
+        )
+        .unwrap(),
+    );
+    assert_eq!(third.get_bool("cached"), Some(true));
+    assert_eq!(
+        third.get("rows").unwrap().to_string(),
+        first.get("rows").unwrap().to_string()
+    );
+}
+
+#[test]
+fn epsilon_runs_score_certified_rows_without_simulating_them() {
+    // storeless ε-run: any candidate the checker certifies against the
+    // reference carries a static upper-bound score and the certified flag
+    let out = obtain_run(None, &spec("tfim"), &ExecCtl::default()).unwrap();
+    assert!(out.certified.is_none(), "no store, so no fast path");
+    assert!(
+        out.result.reference_qasm.is_some(),
+        "ε-runs keep the reference"
+    );
+    for row in &out.result.rows {
+        assert!(row.score >= 0.0 && row.score <= 1.0);
+        if row.certified {
+            // a certified score is ref_score padded by at most ε
+            assert!(row.score <= (out.result.ref_score + 0.05 + 1e-12).min(1.0));
+        }
+    }
+}
+
+#[test]
+fn distant_references_are_not_certified() {
+    let store = tmp_store("nomatch");
+    let first = done(
+        run_spec(
+            Some(&store),
+            &JobSpec::Run(spec("tfim")),
+            &ExecCtl::default(),
+        )
+        .unwrap(),
+    );
+    assert_eq!(first.get_bool("certified"), Some(false));
+
+    // grover shares every synthesis/backend knob (same equiv tag) but its
+    // reference is far from tfim's: the checker must refuse to reuse
+    let second = done(
+        run_spec(
+            Some(&store),
+            &JobSpec::Run(spec("grover")),
+            &ExecCtl::default(),
+        )
+        .unwrap(),
+    );
+    assert_eq!(second.get_bool("certified"), Some(false));
+    assert_eq!(second.get_bool("cached"), Some(false));
+}

@@ -97,6 +97,7 @@ fn seeded_fault_schedules_never_lose_or_wedge_jobs() {
                 cx_error: Some(0.1),
                 hardware: false,
                 job_seed: chaos_seed,
+                epsilon: None,
             }));
         }
 

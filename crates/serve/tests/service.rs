@@ -60,6 +60,7 @@ fn synth_and_run_round_trip_with_cache_hits() {
         cx_error: Some(0.1),
         hardware: false,
         job_seed: 0,
+        epsilon: None,
     });
     let (rid, _, _) = client.submit(&run).unwrap();
     let rpayload = client.wait_for_result(rid, WAIT).unwrap();

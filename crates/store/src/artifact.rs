@@ -52,6 +52,10 @@ pub struct ResultRow {
     pub predicted: f64,
     /// Scalar score (metric-dependent).
     pub score: f64,
+    /// True when `score` is a certified static bound from the QA5xx
+    /// equivalence checker rather than a simulated measurement — the row
+    /// never touched a backend.
+    pub certified: bool,
 }
 
 /// A persisted execution result: scored rows plus the reference score.
@@ -61,6 +65,11 @@ pub struct ResultArtifact {
     pub ref_score: f64,
     /// Scored rows, in population order.
     pub rows: Vec<ResultRow>,
+    /// QASM dump of the reference circuit the rows were scored against.
+    /// Present only on ε-aware runs: it is what lets a later spec prove
+    /// its own reference equivalent and reuse this artifact without
+    /// simulating (the serve certified fast path).
+    pub reference_qasm: Option<String>,
 }
 
 /// Corruption or format mismatch found while decoding an artifact.
@@ -231,27 +240,36 @@ impl PartialCheckpoint {
 }
 
 impl ResultArtifact {
-    /// Serializes to one JSON line.
+    /// Serializes to one JSON line. Rows encode as 4-cell tuples unless a
+    /// row is certified (then a 5th boolean cell rides along), so artifacts
+    /// from pre-certification builds stay byte-identical.
     pub fn encode(&self) -> String {
         let rows: Vec<Json> = self
             .rows
             .iter()
             .map(|r| {
-                Json::Arr(vec![
+                let mut cells = vec![
                     Json::Num(r.cnots as f64),
                     Json::Num(r.hs_distance),
                     Json::Num(r.predicted),
                     Json::Num(r.score),
-                ])
+                ];
+                if r.certified {
+                    cells.push(Json::Bool(true));
+                }
+                Json::Arr(cells)
             })
             .collect();
-        Json::obj(vec![
-            ("version", Json::Num(MANIFEST_VERSION as f64)),
-            ("kind", Json::Str("result".into())),
-            ("ref_score", Json::Num(self.ref_score)),
-            ("rows", Json::Arr(rows)),
-        ])
-        .to_string()
+        let mut fields = vec![
+            ("version".to_string(), Json::Num(MANIFEST_VERSION as f64)),
+            ("kind".to_string(), Json::Str("result".into())),
+            ("ref_score".to_string(), Json::Num(self.ref_score)),
+            ("rows".to_string(), Json::Arr(rows)),
+        ];
+        if let Some(qasm) = &self.reference_qasm {
+            fields.push(("reference_qasm".to_string(), Json::Str(qasm.clone())));
+        }
+        Json::Obj(fields).to_string()
     }
 
     /// Decodes a JSON line.
@@ -270,8 +288,10 @@ impl ResultArtifact {
             .iter()
             .enumerate()
             .map(|(i, row)| {
-                let cells = row.as_arr().filter(|c| c.len() == 4);
-                let cells = cells.ok_or_else(|| bad(format!("row {i}: not a 4-tuple")))?;
+                // 4 cells = legacy simulated row; 5th boolean cell (newer
+                // artifacts) marks a certified static-bound row
+                let cells = row.as_arr().filter(|c| c.len() == 4 || c.len() == 5);
+                let cells = cells.ok_or_else(|| bad(format!("row {i}: not a 4/5-tuple")))?;
                 Ok(ResultRow {
                     cnots: cells[0]
                         .as_usize()
@@ -285,6 +305,11 @@ impl ResultArtifact {
                     score: cells[3]
                         .as_f64()
                         .ok_or_else(|| bad(format!("row {i}: bad score")))?,
+                    certified: match cells.get(4) {
+                        None => false,
+                        Some(Json::Bool(b)) => *b,
+                        Some(_) => return Err(bad(format!("row {i}: bad certified flag"))),
+                    },
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?;
@@ -293,6 +318,7 @@ impl ResultArtifact {
                 .get_f64("ref_score")
                 .ok_or_else(|| bad("missing ref_score"))?,
             rows,
+            reference_qasm: m.get_str("reference_qasm").map(str::to_string),
         })
     }
 }
@@ -379,18 +405,35 @@ mod tests {
                     hs_distance: 0.05,
                     predicted: 0.84,
                     score: 0.3,
+                    certified: false,
                 },
                 ResultRow {
                     cnots: 4,
                     hs_distance: 1e-9,
                     predicted: 0.62,
                     score: 0.001,
+                    certified: true,
                 },
             ],
+            reference_qasm: Some("OPENQASM 2.0;\n".into()),
         };
         let back = ResultArtifact::decode(&res.encode()).unwrap();
         assert_eq!(back.ref_score, 0.125);
         assert_eq!(back.rows, res.rows);
+        assert_eq!(back.reference_qasm, res.reference_qasm);
         assert!(ResultArtifact::decode("{}").is_err());
+    }
+
+    #[test]
+    fn legacy_four_cell_result_rows_still_decode() {
+        // the exact shape pre-certification builds wrote: 4-cell rows, no
+        // reference_qasm field
+        let text = r#"{"version":1,"kind":"result","ref_score":0.5,"rows":[[2,0.03,0.9,0.2]]}"#;
+        let back = ResultArtifact::decode(text).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert!(!back.rows[0].certified);
+        assert!(back.reference_qasm.is_none());
+        // and an uncertified artifact re-encodes to the same legacy shape
+        assert_eq!(back.encode(), text);
     }
 }

@@ -482,12 +482,39 @@ impl Store {
 
     /// Persists an execution result.
     pub fn put_result(&self, key: &Key, res: &ResultArtifact) -> Result<(), StoreError> {
+        self.put_result_tagged(key, res, None)
+    }
+
+    /// Like [`Store::put_result`] but attaches an optional tag (e.g. an
+    /// equivalence-class fingerprint) so [`Store::results_tagged`] can later
+    /// find every stored result that is a candidate for certified reuse.
+    pub fn put_result_tagged(
+        &self,
+        key: &Key,
+        res: &ResultArtifact,
+        tag: Option<&str>,
+    ) -> Result<(), StoreError> {
         let text = res.encode();
         atomic_write(
             &self.object_path(Kind::Result, key, "json"),
             text.as_bytes(),
         )?;
-        self.record_put(Kind::Result, key, text.len() as u64, None)
+        self.record_put(Kind::Result, key, text.len() as u64, tag)
+    }
+
+    /// Keys of every live result carrying `tag`, most recently used first.
+    /// Does not touch hit/miss statistics — this is the certified fast
+    /// path's discovery scan, not a cache lookup.
+    pub fn results_tagged(&self, tag: &str) -> Vec<Key> {
+        let idx = self.index.lock().expect("store index poisoned");
+        let mut found: Vec<(u64, Key)> = idx
+            .entries
+            .iter()
+            .filter(|((_, _), e)| e.kind == Kind::Result && e.tag.as_deref() == Some(tag))
+            .map(|((_, key), e)| (e.last_used, *key))
+            .collect();
+        found.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.hex().cmp(&b.1.hex())));
+        found.into_iter().map(|(_, key)| key).collect()
     }
 
     /// Aggregate statistics.
@@ -660,12 +687,33 @@ mod tests {
                 hs_distance: 0.03,
                 predicted: 0.9,
                 score: 0.2,
+                certified: false,
             }],
+            reference_qasm: None,
         };
         store.put_result(&k, &res).unwrap();
         let got = store.get_result(&k).unwrap().unwrap();
         assert_eq!(got.rows, res.rows);
         assert_eq!(got.ref_score, 0.4);
+    }
+
+    #[test]
+    fn tagged_results_are_discoverable_most_recent_first() {
+        let store = Store::open(tmp_root("restags")).unwrap();
+        let (a, b) = (key_of(50), key_of(51));
+        let res = ResultArtifact {
+            ref_score: 0.1,
+            rows: Vec::new(),
+            reference_qasm: Some("OPENQASM 2.0;\n".into()),
+        };
+        store.put_result_tagged(&a, &res, Some("equiv-x")).unwrap();
+        store.put_result_tagged(&b, &res, Some("equiv-x")).unwrap();
+        store.put_result(&key_of(52), &res).unwrap();
+        assert_eq!(store.results_tagged("equiv-x"), vec![b, a]);
+        // a read bumps the LRU clock, reordering the scan
+        store.get_result(&a).unwrap().unwrap();
+        assert_eq!(store.results_tagged("equiv-x"), vec![a, b]);
+        assert!(store.results_tagged("equiv-y").is_empty());
     }
 
     #[test]

@@ -198,7 +198,7 @@ impl AnalysisReport {
 /// `s = sqrt((1 - gamma)(1 - lambda_pd))` with the exact parameters the
 /// simulator's `thermal_relaxation` uses. Non-positive coherence times mean
 /// "no data" and yield 1 (no relaxation).
-fn relaxation_survival(t_ns: f64, t1_us: f64, t2_us: f64) -> f64 {
+pub(crate) fn relaxation_survival(t_ns: f64, t1_us: f64, t2_us: f64) -> f64 {
     if t_ns <= 0.0 || t1_us <= 0.0 || t2_us <= 0.0 {
         return 1.0;
     }
@@ -209,7 +209,7 @@ fn relaxation_survival(t_ns: f64, t1_us: f64, t2_us: f64) -> f64 {
     ((1.0 - gamma) * (1.0 - lambda_pd)).sqrt()
 }
 
-fn edge_cal(cal: &Calibration, a: usize, b: usize) -> EdgeCal {
+pub(crate) fn edge_cal(cal: &Calibration, a: usize, b: usize) -> EdgeCal {
     cal.edge(a, b).copied().unwrap_or(EdgeCal {
         cx_error: cal.avg_cx_error(),
         cx_time_ns: 400.0,

@@ -4,7 +4,8 @@
 //! are circuit-structure lints; `QA2xx` codes are channel/probability lints;
 //! `QA3xx` codes are whole-circuit dataflow lints over the [`crate::CircuitDag`];
 //! `QA4xx` codes come from the static noise-budget estimator
-//! ([`crate::analyze`]).
+//! ([`crate::analyze`]); `QA5xx` codes come from the two-circuit noisy
+//! equivalence checker ([`crate::check_equivalence`]).
 //! Each code carries a default [`LintLevel`] that a [`LintConfig`] can
 //! override (the CLI's `--allow/--warn/--deny CODE` flags map directly onto
 //! [`LintConfig::set`]).
@@ -60,11 +61,24 @@ pub enum LintCode {
     /// QA402: one qubit's error budget (survival factor) falls below the
     /// configured per-qubit threshold.
     QubitBudgetExceeded,
+    /// QA501: the certified *lower* bound on the noisy output-distribution
+    /// distance between two circuits exceeds the requested epsilon — the
+    /// pair is provably not ε-equivalent on the device.
+    EquivalenceViolated,
+    /// QA502: the certified upper bound exceeds epsilon but the lower bound
+    /// does not — the static analysis cannot decide ε-equivalence and a
+    /// simulation (or a tighter bound) is needed.
+    EquivalenceUndecidable,
+    /// QA503: the device's noise contribution dominates the approximation
+    /// error between the two circuits — past the paper's crossover, the
+    /// cheaper circuit is certified to cost nothing extra in distribution
+    /// distance.
+    NoiseDominatesApproximation,
 }
 
 impl LintCode {
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 18] = [
+    pub const ALL: [LintCode; 21] = [
         LintCode::QubitOutOfRange,
         LintCode::DuplicateOperands,
         LintCode::ArityMismatch,
@@ -83,6 +97,9 @@ impl LintCode {
         LintCode::UnreachableClbit,
         LintCode::LowFidelityBound,
         LintCode::QubitBudgetExceeded,
+        LintCode::EquivalenceViolated,
+        LintCode::EquivalenceUndecidable,
+        LintCode::NoiseDominatesApproximation,
     ];
 
     /// The stable `QA…` string for this code.
@@ -106,6 +123,9 @@ impl LintCode {
             LintCode::UnreachableClbit => "QA306",
             LintCode::LowFidelityBound => "QA401",
             LintCode::QubitBudgetExceeded => "QA402",
+            LintCode::EquivalenceViolated => "QA501",
+            LintCode::EquivalenceUndecidable => "QA502",
+            LintCode::NoiseDominatesApproximation => "QA503",
         }
     }
 
@@ -138,6 +158,9 @@ impl LintCode {
             LintCode::UnreachableClbit => "classical bit is never written",
             LintCode::LowFidelityBound => "static fidelity bound below threshold",
             LintCode::QubitBudgetExceeded => "per-qubit error budget exceeded",
+            LintCode::EquivalenceViolated => "epsilon-equivalence provably violated",
+            LintCode::EquivalenceUndecidable => "equivalence undecidable within the bound",
+            LintCode::NoiseDominatesApproximation => "device noise dominates approximation error",
         }
     }
 
@@ -152,7 +175,10 @@ impl LintCode {
             | LintCode::NonUnitaryGate
             | LintCode::NonCptpKraus
             | LintCode::ProbabilityOutOfRange
-            | LintCode::NonStochasticRow => LintLevel::Deny,
+            | LintCode::NonStochasticRow
+            // a *proof* that the pair is farther apart than requested is a
+            // hard admission failure, same class as a structural defect
+            | LintCode::EquivalenceViolated => LintLevel::Deny,
             // suspicious-but-runnable -> warn
             LintCode::ConnectivityViolation
             | LintCode::DeadGate
@@ -163,7 +189,9 @@ impl LintCode {
             | LintCode::UnentangledPartition
             | LintCode::UnreachableClbit
             | LintCode::LowFidelityBound
-            | LintCode::QubitBudgetExceeded => LintLevel::Warn,
+            | LintCode::QubitBudgetExceeded
+            | LintCode::EquivalenceUndecidable
+            | LintCode::NoiseDominatesApproximation => LintLevel::Warn,
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod config;
 pub mod dag;
 pub mod dataflow;
 pub mod diagnostics;
+pub mod equiv;
 
 pub use budget::{analyze, analyze_with_config, AnalysisReport, AnalyzeOptions, QubitBudget};
 pub use calibration_lints::lint_calibration;
@@ -51,3 +52,6 @@ pub use dataflow::{
     find_cancellations, lint_dataflow, lint_program, Cancellation, CancellationKind,
 };
 pub use diagnostics::{Diagnostic, Location, Report, Severity, REPORT_SCHEMA_VERSION};
+pub use equiv::{
+    check_equivalence, check_equivalence_with_config, EquivOptions, EquivReport, EquivVerdict,
+};

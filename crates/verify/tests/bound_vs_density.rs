@@ -101,3 +101,197 @@ fn noise_model_analyze_matches_direct_analyze() {
     assert_eq!(via_model.depth, direct.depth);
     assert_eq!(via_model.qubit_budgets.len(), direct.qubit_budgets.len());
 }
+
+// ---------------------------------------------------------------------------
+// Two-circuit soundness: the QA5xx equivalence bound vs the density-matrix
+// simulator. For seeded (circuit, perturbed-circuit, noise-model) triples the
+// certified upper bound must dominate the measured TV distance between the
+// noisy output distributions, and the certified lower bound must not exceed
+// it. Distributions are pre-readout (the bound's semantics; readout confusion
+// only contracts TV, so the upper bound covers post-readout too).
+// ---------------------------------------------------------------------------
+
+use qaprox_circuit::{commutes, Gate, Instruction};
+use qaprox_linalg::random::{Rng, SplitMix64};
+use qaprox_verify::{check_equivalence, EquivOptions, EquivVerdict};
+
+fn random_circuit(num_qubits: usize, gates: usize, rng: &mut SplitMix64) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..gates {
+        match rng.gen_range(0..5u32) {
+            0 => {
+                let q = rng.gen_range(0..num_qubits);
+                c.h(q);
+            }
+            1 => {
+                let q = rng.gen_range(0..num_qubits);
+                c.rx(rng.gen_range(-3.0..3.0), q);
+            }
+            2 => {
+                let q = rng.gen_range(0..num_qubits);
+                c.ry(rng.gen_range(-3.0..3.0), q);
+            }
+            3 => {
+                let q = rng.gen_range(0..num_qubits);
+                c.rz(rng.gen_range(-3.0..3.0), q);
+            }
+            _ => {
+                let a = rng.gen_range(0..num_qubits);
+                let mut b = rng.gen_range(0..num_qubits);
+                while b == a {
+                    b = rng.gen_range(0..num_qubits);
+                }
+                c.cx(a, b);
+            }
+        }
+    }
+    c
+}
+
+/// Reorder adjacent commuting instruction pairs (the adversarial case: the
+/// unitary is preserved but overlapping-support swaps change where the noise
+/// lands, so only tier-2 discharge is sound for them).
+fn commuting_shuffle(c: &Circuit, passes: usize, rng: &mut SplitMix64) -> Circuit {
+    let mut insts: Vec<Instruction> = c.instructions().to_vec();
+    for _ in 0..passes {
+        for i in 0..insts.len().saturating_sub(1) {
+            if commutes(&insts[i], &insts[i + 1]) && rng.gen_range(0..2u32) == 1 {
+                insts.swap(i, i + 1);
+            }
+        }
+    }
+    let mut out = Circuit::new(c.num_qubits());
+    for inst in insts {
+        out.push(inst.gate, &inst.qubits);
+    }
+    out
+}
+
+/// Perturb: jitter rotation angles, drop gates, and append a stray rotation.
+fn perturb(c: &Circuit, scale: f64, rng: &mut SplitMix64) -> Circuit {
+    let mut out = Circuit::new(c.num_qubits());
+    for inst in c.iter() {
+        if scale > 0.1 && rng.gen_range(0..8u32) == 0 {
+            continue; // dropped gate
+        }
+        let jitter = rng.gen_range(-scale..scale.max(1e-9));
+        let gate = match &inst.gate {
+            Gate::RX(t) => Gate::RX(t + jitter),
+            Gate::RY(t) => Gate::RY(t + jitter),
+            Gate::RZ(t) => Gate::RZ(t + jitter),
+            g => g.clone(),
+        };
+        out.push(gate, &inst.qubits);
+    }
+    if scale > 0.0 && rng.gen_range(0..3u32) == 0 {
+        let q = rng.gen_range(0..c.num_qubits());
+        out.ry(rng.gen_range(-scale..scale.max(1e-9)), q);
+    }
+    out
+}
+
+fn measured_tv(model: &NoiseModel, a: &Circuit, b: &Circuit) -> f64 {
+    let pa = model.run_density(a).probabilities();
+    let pb = model.run_density(b).probabilities();
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// The acceptance property: zero soundness violations over the whole seeded
+/// sweep of (base, perturbation, noise) triples, including adversarial
+/// reordered-but-commuting pairs.
+#[test]
+fn equiv_bound_upper_bounds_density_matrix_tv() {
+    let quick = std::env::var("QAPROX_QUICK").is_ok_and(|v| v == "1");
+    let seeds: Vec<u64> = if quick {
+        (0..3).collect()
+    } else {
+        (0..12).collect()
+    };
+    let cal = ourense().induced(&[0, 1, 2]);
+    let mut triples = 0usize;
+    for &seed in &seeds {
+        let mut rng = SplitMix64::seed_from_u64(0x5EED_0000 + seed);
+        let params = TfimParams::paper_defaults(3);
+        let bases: Vec<Circuit> = vec![
+            tfim_circuit(&params, 2),
+            grover_circuit(3, seed as usize % 8, optimal_iterations(3)),
+            random_circuit(3, 12, &mut rng),
+        ];
+        for base in &bases {
+            let variants: Vec<Circuit> = vec![
+                base.clone(),
+                commuting_shuffle(base, 3, &mut rng),
+                perturb(base, 0.02, &mut rng),
+                perturb(&commuting_shuffle(base, 2, &mut rng), 0.2, &mut rng),
+            ];
+            for (vi, variant) in variants.iter().enumerate() {
+                for eps in [0.0, 0.05] {
+                    let noisy_cal = cal.with_uniform_cx_error(eps);
+                    for relax in [true, false] {
+                        let mut model = NoiseModel::from_calibration(noisy_cal.clone());
+                        model.include_readout = false;
+                        model.include_relaxation = relax;
+                        let opts = EquivOptions {
+                            epsilon: 0.1,
+                            include_relaxation: relax,
+                            ..EquivOptions::default()
+                        };
+                        let report = check_equivalence(base, variant, &noisy_cal, &opts);
+                        let tv = measured_tv(&model, base, variant);
+                        assert!(
+                            report.bound >= tv - 1e-12,
+                            "seed {seed} variant {vi} eps {eps} relax {relax}: \
+                             bound {} undercuts measured TV {tv}\n{}",
+                            report.bound,
+                            report.to_text()
+                        );
+                        assert!(
+                            report.lower_bound <= tv + 1e-12,
+                            "seed {seed} variant {vi} eps {eps} relax {relax}: \
+                             lower bound {} exceeds measured TV {tv}",
+                            report.lower_bound
+                        );
+                        if report.verdict == EquivVerdict::Equivalent {
+                            assert!(tv <= opts.epsilon + 1e-12, "certification must be sound");
+                        }
+                        triples += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        triples >= if quick { 100 } else { 400 },
+        "property sweep shrank to {triples} triples"
+    );
+}
+
+/// A pure commuting reorder preserves the unitary, so the ideal TV is zero
+/// and the bound reduces to pure noise mass — it must still dominate the
+/// measured distance caused by noise landing in different places.
+#[test]
+fn adversarial_commuting_reorder_stays_sound() {
+    let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.08);
+    let params = TfimParams::paper_defaults(3);
+    let base = tfim_circuit(&params, 3);
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let shuffled = commuting_shuffle(&base, 4, &mut rng);
+        assert!(
+            base.unitary().approx_eq(&shuffled.unitary(), 1e-9),
+            "shuffle must preserve the unitary"
+        );
+        let mut model = NoiseModel::from_calibration(cal.clone());
+        model.include_readout = false;
+        let report = check_equivalence(&base, &shuffled, &cal, &EquivOptions::default());
+        let tv = measured_tv(&model, &base, &shuffled);
+        assert!(
+            report.bound >= tv - 1e-12,
+            "seed {seed}: bound {} undercuts measured TV {tv}\n{}",
+            report.bound,
+            report.to_text()
+        );
+        // the ideal gap is zero up to float error, so the checker knows it
+        assert!(report.ideal_tv.unwrap() < 1e-9, "{:?}", report.ideal_tv);
+    }
+}
