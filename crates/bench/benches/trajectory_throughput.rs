@@ -1,0 +1,88 @@
+//! Trajectory-backend throughput: per-shot cost, compile (gate-fusion)
+//! cost, and whole-job cost across circuit widths on the Toronto 27q
+//! heavy-hex calibration.
+//!
+//! Output is CSV; the checked-in snapshot lives at
+//! `artifacts/trajectory_throughput.csv` (regenerate with
+//! `cargo bench -p qaprox-bench --bench trajectory_throughput`), with a
+//! machine-readable summary in `BENCH_trajectory.json`. `QAPROX_QUICK=1`
+//! shrinks the run for CI smoke.
+//!
+//! What the rows mean:
+//! * `compile_{n}q` — one `FusedProgram::compile` (gate fusion + Kraus
+//!   table construction); paid once per circuit, not per shot;
+//! * `shot_{n}q` — one trajectory through the fused program, including
+//!   the `|0…0⟩` state reset (the per-shot marginal cost);
+//! * `job_{n}q/shots=S` — a full `TrajectoryBackend::probabilities` call
+//!   (compile + S shots + accumulation + readout confusion).
+//!
+//! Commentary lines record the fusion ratio (source gates per fused op)
+//! and the shots/sec each width sustains, so wide-device budgets
+//! (27q/65q runs) can be estimated from the snapshot.
+
+use qaprox_algos::tfim::{tfim_circuit, TfimParams};
+use qaprox_bench::timing::{bench, header};
+use qaprox_device::devices::toronto;
+use qaprox_linalg::random::SplitMix64;
+use qaprox_linalg::Complex64;
+use qaprox_sim::{FusedProgram, NoiseModel, TrajectoryBackend};
+
+fn main() {
+    header("trajectory_throughput");
+    let quick = std::env::var("QAPROX_QUICK").is_ok_and(|v| v == "1");
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# host_cores={host_cores} (shot-level scaling is bounded by this)");
+
+    let sizes: &[usize] = if quick { &[3, 8] } else { &[3, 8, 14, 18] };
+    let trotter_steps = 4;
+    let device = toronto();
+
+    for &n in sizes {
+        // a connected n-qubit chain out of the 27q heavy-hex, so every
+        // nearest-neighbour TFIM coupling is a calibrated edge
+        let path = device
+            .topology
+            .connected_path(n)
+            .expect("toronto supports chains well past these widths");
+        let cal = device.induced(&path);
+        let model = NoiseModel::from_calibration(cal);
+        let circuit = tfim_circuit(&TfimParams::paper_defaults(n), trotter_steps);
+
+        let program = FusedProgram::compile(&circuit, &model);
+        println!(
+            "# tfim_{n}q: {} source gates -> {} fused ops ({:.2} gates/op)",
+            circuit.len(),
+            program.len(),
+            circuit.len() as f64 / program.len().max(1) as f64
+        );
+
+        bench(&format!("compile_{n}q"), || {
+            FusedProgram::compile(&circuit, &model)
+        });
+
+        // per-shot marginal cost: reuse one state buffer, reset each shot
+        let mut state = vec![Complex64::ZERO; circuit.dim()];
+        let mut rng = SplitMix64::seed_from_u64(0x7261_6A00 ^ n as u64);
+        let m = bench(&format!("shot_{n}q"), || {
+            state.fill(Complex64::ZERO);
+            state[0] = Complex64::new(1.0, 0.0);
+            program.run_shot(&mut state, &mut rng);
+            state[0]
+        });
+        let shots_per_sec = 1e9 / m.median.as_nanos().max(1) as f64;
+        println!("# shot_{n}q: {shots_per_sec:.1} shots/sec");
+
+        // whole jobs only at the narrow widths — wide-job cost is
+        // shots x shot_{n}q + compile_{n}q and is reported above
+        if n <= 8 {
+            let shots = if quick { 16 } else { 64 };
+            let backend = TrajectoryBackend::with_shots(model.clone(), shots);
+            bench(&format!("job_{n}q/shots={shots}"), || {
+                backend.probabilities(&circuit, 7)
+            });
+        }
+    }
+}

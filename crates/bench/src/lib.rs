@@ -344,6 +344,7 @@ pub fn mapping_figure(id: &str, mapping_index: usize) {
         device,
         placement,
         effects: HardwareEffects::heavy_2021(),
+        shots: None,
     };
     let reference = mct_reference(4);
     let ref_js = study.reference_js(&reference);

@@ -83,6 +83,12 @@ SUBCOMMANDS:
               --device NAME  ourense|rome|santiago|toronto|manhattan
               --cx-error E   override uniform CNOT error
               --hardware     use the hardware-emulation backend
+              --backend B    trajectory: score on the Monte-Carlo trajectory
+                             backend (2^n per shot instead of the 4^n density
+                             matrix); required for --qubits above 6, which
+                             unlocks the 27q/65q devices (docs/SIM.md)
+                             (default: QAPROX_BACKEND env, then density)
+              --shots N      trajectory shot count (default 512)
               --job-seed S   backend noise seed (default 0)
               --epsilon E    certify candidates at closeness E before
                              simulating; enables the store's certified
@@ -122,6 +128,10 @@ SUBCOMMANDS:
               --cx-error E   override uniform CNOT error
               --min-fidelity F        flag QA401 below this bound
               --min-qubit-fidelity F  flag QA402 below this per-qubit budget
+              --check-shots N  cross-check the static prediction against an
+                               N-shot trajectory simulation (prints the
+                               simulated TVD and classical fidelity next to
+                               the static bound; --job-seed applies)
               --no-relaxation  ignore T1/T2 during idle+gate windows
               --no-readout     ignore measurement error
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
@@ -229,45 +239,42 @@ fn run_spec_from(args: &Args) -> Result<RunSpec, String> {
         }
         None => None,
     };
+    // --backend wins over the QAPROX_BACKEND env (mirrors --store/QAPROX_STORE)
+    let backend = match args.options.get("backend") {
+        Some(b) => Some(b.clone()),
+        None => std::env::var("QAPROX_BACKEND")
+            .ok()
+            .filter(|b| !b.is_empty()),
+    };
+    let shots = match args.options.get("shots") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--shots: cannot parse '{raw}'"))?,
+        ),
+        None => None,
+    };
     Ok(RunSpec {
         synth: synth_spec_from(args)?,
         device: args.str_or("device", &d.device),
         cx_error,
         hardware: args.flag("hardware"),
         job_seed: args.get_or("job-seed", d.job_seed)?,
+        backend,
+        shots,
         epsilon,
     })
 }
 
-/// Builds the reference circuit for the requested workload.
+/// Builds the reference circuit for the requested workload. Delegates to
+/// the serve-side spec so the CLI and the service agree on every workload,
+/// including the wide (> 6 qubit) TFIM references that only the trajectory
+/// path can execute but `show`/`analyze` can still inspect statically.
 fn reference_circuit(args: &Args) -> Result<Circuit, String> {
-    let workload = args.str_or("workload", "tfim");
-    let qubits: usize = args.get_or("qubits", 3)?;
-    if !(2..=6).contains(&qubits) {
-        return Err("supported --qubits range is 2..=6".into());
-    }
-    match workload.as_str() {
-        "tfim" => {
-            let steps: usize = args.get_or("steps", 6)?;
-            let params = TfimParams::paper_defaults(qubits);
-            Ok(tfim_circuit(&params, steps))
-        }
-        "tfim-r" => {
-            let steps: usize = args.get_or("steps", 6)?;
-            let params = TfimParams::paper_defaults(qubits);
-            Ok(qaprox_serve::spec::commuting_reorder(&tfim_circuit(
-                &params, steps,
-            )))
-        }
-        "grover" => {
-            let target = (1usize << qubits) - 1;
-            let iters = qaprox_algos::grover::optimal_iterations(qubits);
-            Ok(grover_circuit(qubits, target, iters))
-        }
-        "toffoli" => Ok(mct_reference(qubits)),
-        other => Err(format!(
-            "unknown workload '{other}' (tfim|tfim-r|grover|toffoli)"
-        )),
+    let spec = synth_spec_from(args)?;
+    if spec.qubits > qaprox_serve::MAX_SYNTH_QUBITS {
+        spec.wide_reference_circuit()
+    } else {
+        spec.reference_circuit()
     }
 }
 
@@ -328,7 +335,7 @@ fn cmd_synth(args: &Args) -> Result<(), String> {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let spec = run_spec_from(args)?;
-    let reference = spec.synth.reference_circuit()?;
+    let reference = spec.reference_circuit()?;
     spec.backend()?; // fail fast on a bad device before any synthesis
     let store = store_from(args)?;
     let out = qaprox_serve::obtain_run(store.as_ref(), &spec, &ExecCtl::default())?;
@@ -785,6 +792,31 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
                 print!("{}", report.to_text());
             }
         }
+        if let Some(raw) = args.options.get("check-shots") {
+            let shots: usize = raw
+                .parse()
+                .map_err(|_| format!("--check-shots: cannot parse '{raw}'"))?;
+            if shots == 0 {
+                return Err(CliError::Failure("--check-shots must be at least 1".into()));
+            }
+            let (tvd, fidelity) = trajectory_check(circuit, &cal, shots, args)?;
+            match format.as_str() {
+                "json" => println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("trajectory_shots", Json::Num(shots as f64)),
+                        ("tvd_to_ideal", Json::Num(tvd)),
+                        ("classical_fidelity", Json::Num(fidelity)),
+                        ("static_fidelity_bound", Json::Num(report.fidelity_bound)),
+                    ])
+                ),
+                _ => println!(
+                    "# trajectory check ({shots} shots): tvd_to_ideal={tvd:.4} \
+                     classical_fidelity={fidelity:.4} vs static fidelity_bound={:.4}",
+                    report.fidelity_bound
+                ),
+            }
+        }
     }
     if total_errors > 0 {
         Err(CliError::Findings(format!(
@@ -793,6 +825,28 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     } else {
         Ok(())
     }
+}
+
+/// The `analyze --check-shots N` dynamic cross-check: simulates the circuit
+/// on the trajectory backend under the same calibration the static analyzer
+/// used and returns `(tvd_to_ideal, classical_fidelity)`. The classical
+/// (Bhattacharyya) fidelity between the noisy and ideal distributions is
+/// directly comparable to the analyzer's `fidelity_bound` — the simulated
+/// value should sit at or above the sound static bound, shot noise aside.
+fn trajectory_check(
+    circuit: &Circuit,
+    cal: &qaprox_device::Calibration,
+    shots: usize,
+    args: &Args,
+) -> Result<(f64, f64), String> {
+    let model = qaprox_sim::NoiseModel::from_calibration(cal.clone());
+    let backend = qaprox_sim::TrajectoryBackend::with_shots(model, shots);
+    let job_seed: u64 = args.get_or("job-seed", 0u64)?;
+    let noisy = backend.probabilities(circuit, job_seed);
+    let ideal = qaprox_sim::statevector::probabilities(circuit);
+    let tvd = qaprox_metrics::total_variation(&noisy, &ideal);
+    let bhatt: f64 = noisy.iter().zip(&ideal).map(|(p, q)| (p * q).sqrt()).sum();
+    Ok((tvd, bhatt * bhatt))
 }
 
 /// Resolves `--device` (default ourense) plus the optional `--cx-error`
@@ -1153,6 +1207,111 @@ mod tests {
         assert!(run(&["run", "--qubits", "9"]).is_err());
         assert!(run(&["run", "--device", "nowhere"]).is_err());
         assert!(run(&["frobnicate"]).is_err());
+        // trajectory-specific usage errors
+        assert!(run(&["run", "--backend", "frobnicate", "--no-store"]).is_err());
+        assert!(run(&["run", "--backend", "trajectory", "--hardware", "--no-store"]).is_err());
+        assert!(run(&["run", "--shots", "abc", "--no-store"]).is_err());
+        // wide widths still need the trajectory backend...
+        assert!(run(&["run", "--qubits", "8", "--device", "toronto", "--no-store"]).is_err());
+        // ...and a device wide enough to hold them
+        assert!(run(&[
+            "run",
+            "--qubits",
+            "8",
+            "--backend",
+            "trajectory",
+            "--device",
+            "ourense",
+            "--no-store"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn run_trajectory_backend_narrow_and_wide() {
+        // narrow: the trajectory backend scores a synthesized population
+        assert!(run(&with_tiny(
+            &["run"],
+            &["--backend", "trajectory", "--shots", "16", "--no-store"]
+        ))
+        .is_ok());
+        // wide: past the synthesis cap, straight to Trotter truncations on
+        // the 27-qubit heavy-hex device (tiny shot count keeps it fast)
+        assert!(run(&[
+            "run",
+            "--workload",
+            "tfim",
+            "--qubits",
+            "8",
+            "--steps",
+            "2",
+            "--backend",
+            "trajectory",
+            "--shots",
+            "8",
+            "--device",
+            "toronto",
+            "--no-store",
+        ])
+        .is_ok());
+        // show/analyze inspect the wide reference statically
+        assert!(run(&[
+            "show",
+            "--workload",
+            "tfim",
+            "--qubits",
+            "27",
+            "--steps",
+            "2"
+        ])
+        .is_ok());
+        assert!(run(&["analyze", "--qubits", "27", "--steps", "2", "--device", "toronto"]).is_ok());
+    }
+
+    #[test]
+    fn backend_env_var_applies_when_flag_absent() {
+        let args = parse(["run", "--qubits", "2"].iter().map(|s| s.to_string())).unwrap();
+        std::env::set_var("QAPROX_BACKEND", "trajectory");
+        let spec = run_spec_from(&args).unwrap();
+        std::env::remove_var("QAPROX_BACKEND");
+        assert_eq!(spec.backend.as_deref(), Some("trajectory"));
+        // the explicit flag wins over the env
+        let args = parse(["run", "--backend", "other"].iter().map(|s| s.to_string())).unwrap();
+        std::env::set_var("QAPROX_BACKEND", "trajectory");
+        let spec = run_spec_from(&args).unwrap();
+        std::env::remove_var("QAPROX_BACKEND");
+        assert_eq!(spec.backend.as_deref(), Some("other"));
+        // and no flag, no env means the default density-matrix path
+        let args = parse(["run"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(run_spec_from(&args).unwrap().backend, None);
+    }
+
+    #[test]
+    fn analyze_check_shots_cross_checks_the_prediction() {
+        assert!(run(&[
+            "analyze",
+            "--qubits",
+            "3",
+            "--steps",
+            "2",
+            "--check-shots",
+            "64"
+        ])
+        .is_ok());
+        assert!(run(&[
+            "analyze",
+            "--qubits",
+            "3",
+            "--steps",
+            "2",
+            "--check-shots",
+            "32",
+            "--format",
+            "json"
+        ])
+        .is_ok());
+        assert!(run(&["analyze", "--check-shots", "abc"]).is_err());
+        assert!(run(&["analyze", "--check-shots", "0"]).is_err());
     }
 
     #[test]

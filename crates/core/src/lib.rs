@@ -72,7 +72,9 @@ pub mod prelude {
     pub use qaprox_device::devices;
     pub use qaprox_device::{Calibration, Topology};
     pub use qaprox_metrics::{hs_distance, js_distance, magnetization, success_probability};
-    pub use qaprox_sim::{Backend, HardwareBackend, HardwareEffects, NoiseModel};
+    pub use qaprox_sim::{
+        Backend, HardwareBackend, HardwareEffects, NoiseModel, TrajectoryBackend,
+    };
     pub use qaprox_synth::{
         qfast, qsearch, ApproxCircuit, QFastConfig, QSearchConfig, SynthesisOutput,
     };

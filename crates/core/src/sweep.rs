@@ -7,7 +7,7 @@
 
 use crate::tfim_study::{evaluate, TfimPopulations, TimestepResult};
 use qaprox_device::Calibration;
-use qaprox_sim::{Backend, NoiseModel};
+use qaprox_sim::{Backend, NoiseModel, TrajectoryBackend};
 
 /// The CNOT error levels highlighted by the paper (0, device-level, 0.12
 /// like the worst contemporary devices, and 0.24 beyond them).
@@ -36,6 +36,32 @@ pub fn cx_error_sweep(
         .map(|&eps| {
             let cal = base.with_uniform_cx_error(eps);
             let backend = Backend::Noisy(NoiseModel::from_calibration(cal));
+            SweepPoint {
+                cx_error: eps,
+                results: evaluate(pops, &backend),
+            }
+        })
+        .collect()
+}
+
+/// The same sweep on the quantum-trajectory backend: `shots` Monte-Carlo
+/// trajectories per circuit instead of a `4^n` density matrix, so the sweep
+/// scales to the 27q/65q device calibrations. Seeded per job — reruns are
+/// bit-identical at any thread count.
+pub fn cx_error_sweep_trajectory(
+    pops: &TfimPopulations,
+    base: &Calibration,
+    levels: &[f64],
+    shots: usize,
+) -> Vec<SweepPoint> {
+    levels
+        .iter()
+        .map(|&eps| {
+            let cal = base.with_uniform_cx_error(eps);
+            let backend = Backend::Trajectory(TrajectoryBackend::with_shots(
+                NoiseModel::from_calibration(cal),
+                shots,
+            ));
             SweepPoint {
                 cx_error: eps,
                 results: evaluate(pops, &backend),
@@ -127,6 +153,40 @@ mod tests {
             err_high > err_low,
             "0.24 error should hurt more: {err_low} vs {err_high}"
         );
+    }
+
+    #[test]
+    fn trajectory_sweep_tracks_the_density_sweep_on_a_27q_calibration() {
+        use qaprox_device::devices::toronto;
+        let pops = quick_pops();
+        // induce a 3-qubit line out of the 27q Toronto calibration: the
+        // trajectory sweep is what makes this device family reachable
+        let base = toronto().induced(&[0, 1, 2]);
+        let dense = cx_error_sweep(&pops, &base, &[0.0, 0.24]);
+        let traj = cx_error_sweep_trajectory(&pops, &base, &[0.0, 0.24], 2048);
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj[0].results.len(), 4);
+        // shot noise aside, the trajectory magnetizations estimate the
+        // density-matrix ones (Hoeffding at 2048 shots is well under 0.1)
+        for (d, t) in dense.iter().zip(&traj) {
+            for (dr, tr) in d.results.iter().zip(&t.results) {
+                assert!(
+                    (dr.noisy_ref - tr.noisy_ref).abs() < 0.15,
+                    "cx_error {}: density {} vs trajectory {}",
+                    d.cx_error,
+                    dr.noisy_ref,
+                    tr.noisy_ref
+                );
+            }
+        }
+        // seeded sampling: the whole sweep is reproducible bit for bit
+        let again = cx_error_sweep_trajectory(&pops, &base, &[0.0, 0.24], 2048);
+        for (a, b) in traj.iter().zip(&again) {
+            for (ra, rb) in a.results.iter().zip(&b.results) {
+                assert_eq!(ra.noisy_ref.to_bits(), rb.noisy_ref.to_bits());
+                assert_eq!(ra.minimal_hs.score.to_bits(), rb.minimal_hs.score.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -198,6 +198,65 @@ impl Topology {
         Topology::new(qubits.len(), &edges)
     }
 
+    /// Finds a simple path visiting exactly `len` distinct qubits — a chain
+    /// that nearest-neighbor workloads (TFIM) can run on without routing.
+    /// Depth-first search with backtracking from every start qubit, bounded
+    /// by a global work cap so pathological graphs cannot hang the caller;
+    /// returns `None` when no such path is found within the cap.
+    pub fn connected_path(&self, len: usize) -> Option<Vec<usize>> {
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        if len > self.num_qubits {
+            return None;
+        }
+        if len == 1 {
+            return Some(vec![0]);
+        }
+        let adj: Vec<Vec<usize>> = (0..self.num_qubits).map(|q| self.neighbors(q)).collect();
+        fn extend(
+            adj: &[Vec<usize>],
+            path: &mut Vec<usize>,
+            visited: &mut [bool],
+            len: usize,
+            budget: &mut usize,
+        ) -> bool {
+            if path.len() == len {
+                return true;
+            }
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            let last = *path.last().unwrap();
+            for &nb in &adj[last] {
+                if !visited[nb] {
+                    visited[nb] = true;
+                    path.push(nb);
+                    if extend(adj, path, visited, len, budget) {
+                        return true;
+                    }
+                    path.pop();
+                    visited[nb] = false;
+                }
+            }
+            false
+        }
+        let mut budget: usize = 500_000;
+        for start in 0..self.num_qubits {
+            let mut visited = vec![false; self.num_qubits];
+            visited[start] = true;
+            let mut path = vec![start];
+            if extend(&adj, &mut path, &mut visited, len, &mut budget) {
+                return Some(path);
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        None
+    }
+
     /// Enumerates connected subsets of `k` qubits (used by noise-aware
     /// layout). Capped at `limit` results to bound search cost.
     pub fn connected_subsets(&self, k: usize, limit: usize) -> Vec<Vec<usize>> {
@@ -323,6 +382,46 @@ mod tests {
             assert_eq!(s.len(), 4);
             assert!(t.induced(&s).is_connected());
         }
+    }
+
+    #[test]
+    fn connected_path_on_chain_is_the_chain() {
+        let t = Topology::linear(5);
+        let p = t.connected_path(5).expect("a chain is its own path");
+        assert_eq!(p.len(), 5);
+        for w in p.windows(2) {
+            assert!(t.has_edge(w[0], w[1]));
+        }
+        assert!(t.connected_path(6).is_none(), "cannot exceed qubit count");
+        assert_eq!(t.connected_path(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn connected_path_spans_heavy_hex_devices() {
+        // the wide-run serve path induces TFIM chains along these; the full
+        // 27q lattice has six degree-1 qubits, so a Hamiltonian path cannot
+        // exist (a simple path uses at most two leaves) — callers fall back
+        // to identity ordering for full-width chains
+        for (t, n, len) in [
+            (Topology::heavy_hex_27(), 27usize, 20usize),
+            (Topology::heavy_hex_65(), 65, 40),
+        ] {
+            let p = t
+                .connected_path(len)
+                .unwrap_or_else(|| panic!("no {len}-qubit path on {n}q heavy-hex"));
+            assert_eq!(p.len(), len);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), len, "path revisits a qubit");
+            for w in p.windows(2) {
+                assert!(t.has_edge(w[0], w[1]), "path uses a missing edge");
+            }
+        }
+        assert!(
+            Topology::heavy_hex_27().connected_path(27).is_none(),
+            "27q heavy-hex has >2 leaves: no Hamiltonian path"
+        );
     }
 
     #[test]

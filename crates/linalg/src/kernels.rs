@@ -61,6 +61,117 @@ pub fn apply_2q_vec(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64;
     }
 }
 
+/// Squared norm of `U psi` for a one-qubit gate `u` on qubit `q`, without
+/// mutating the state. This is the read-only half of stochastic Kraus
+/// sampling: branch probabilities `||K_i psi||^2` are computed with this
+/// kernel and only the *selected* branch is applied in place, so a channel
+/// application allocates nothing.
+pub fn norm_sqr_1q(state: &[Complex64], q: usize, u: &[Complex64; 4]) -> f64 {
+    let dim = state.len();
+    debug_assert!(dim.is_power_of_two());
+    debug_assert!(1 << q < dim, "qubit index out of range");
+    let mask = 1usize << q;
+    let mut total = 0.0f64;
+    for i in 0..dim / 2 {
+        let i0 = insert_zero_bit(i, q);
+        let i1 = i0 | mask;
+        let a = state[i0];
+        let b = state[i1];
+        total += (a * u[0] + b * u[1]).norm_sqr();
+        total += (a * u[2] + b * u[3]).norm_sqr();
+    }
+    total
+}
+
+/// Squared norm of `U psi` for a two-qubit gate `u` on `(a, b)` (first listed
+/// qubit = high bit), without mutating the state. See [`norm_sqr_1q`].
+pub fn norm_sqr_2q(state: &[Complex64], a: usize, b: usize, u: &[Complex64; 16]) -> f64 {
+    let dim = state.len();
+    debug_assert!(a != b, "two-qubit gate needs distinct qubits");
+    debug_assert!((1 << a) < dim && (1 << b) < dim, "qubit index out of range");
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let mut total = 0.0f64;
+    for i in 0..dim / 4 {
+        let base = insert_zero_bit(insert_zero_bit(i, lo), hi);
+        let amp = [
+            state[base],
+            state[base | mb],
+            state[base | ma],
+            state[base | ma | mb],
+        ];
+        for r in 0..4 {
+            let mut acc = Complex64::ZERO;
+            for (c, &amp_c) in amp.iter().enumerate() {
+                acc = acc.mul_add(u[r * 4 + c], amp_c);
+            }
+            total += acc.norm_sqr();
+        }
+    }
+    total
+}
+
+/// Cache-friendly variant of [`apply_1q_vec`]: instead of recomputing the
+/// bit-insert per index pair, iterate blocks of `2^q` contiguous amplitudes
+/// so the inner loop walks two contiguous streams. Identical results to the
+/// plain kernel (same operations in the same order per pair).
+pub fn apply_1q_vec_blocked(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
+    let dim = state.len();
+    debug_assert!(dim.is_power_of_two());
+    debug_assert!(1 << q < dim, "qubit index out of range");
+    let mask = 1usize << q;
+    let stride = mask << 1;
+    let mut base = 0usize;
+    while base < dim {
+        for off in 0..mask {
+            let i0 = base + off;
+            let i1 = i0 | mask;
+            let a = state[i0];
+            let b = state[i1];
+            state[i0] = a * u[0] + b * u[1];
+            state[i1] = a * u[2] + b * u[3];
+        }
+        base += stride;
+    }
+}
+
+/// Cache-friendly variant of [`apply_2q_vec`]: three nested loops over
+/// (high-bit block, mid block, contiguous low offsets), so the innermost
+/// loop reads and writes four contiguous amplitude streams — the layout the
+/// trajectory backend's fused 2q matrices are applied with. Identical
+/// results to the plain kernel.
+pub fn apply_2q_vec_blocked(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+    let dim = state.len();
+    debug_assert!(a != b, "two-qubit gate needs distinct qubits");
+    debug_assert!((1 << a) < dim && (1 << b) < dim, "qubit index out of range");
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let mlo = 1usize << lo;
+    let mhi = 1usize << hi;
+    let mut base_hi = 0usize;
+    while base_hi < dim {
+        let mut base_mid = base_hi;
+        while base_mid < base_hi + mhi {
+            for off in 0..mlo {
+                let base = base_mid + off;
+                let idx = [base, base | mb, base | ma, base | ma | mb];
+                let amp = [state[idx[0]], state[idx[1]], state[idx[2]], state[idx[3]]];
+                for (r, &out_i) in idx.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (c, &amp_c) in amp.iter().enumerate() {
+                        acc = acc.mul_add(u[r * 4 + c], amp_c);
+                    }
+                    state[out_i] = acc;
+                }
+            }
+            base_mid += mlo << 1;
+        }
+        base_hi += mhi << 1;
+    }
+}
+
 /// Left-multiplies a matrix by an embedded one-qubit gate: `M <- U_embed * M`.
 ///
 /// The row index of `mat` is the quantum index; every column is transformed
@@ -657,6 +768,55 @@ mod tests {
             let mut dst = seed.clone();
             accum_conj_2q(&mut dst, &src, a, b, &u2);
             assert!(dst.approx_eq(&expect, 1e-12), "accum_conj_2q ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn norm_sqr_kernels_match_apply_then_sum() {
+        let u1 = h_gate();
+        let u2 = cnot_gate();
+        let state: Vec<Complex64> = (0..16)
+            .map(|i| c64((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        for q in 0..4 {
+            let mut applied = state.clone();
+            apply_1q_vec(&mut applied, q, &u1);
+            let expect: f64 = applied.iter().map(|z| z.norm_sqr()).sum();
+            let got = norm_sqr_1q(&state, q, &u1);
+            assert!((got - expect).abs() < 1e-12, "norm_sqr_1q q={q}");
+        }
+        for (a, b) in [(0usize, 1usize), (3, 0), (1, 3), (2, 1)] {
+            let mut applied = state.clone();
+            apply_2q_vec(&mut applied, a, b, &u2);
+            let expect: f64 = applied.iter().map(|z| z.norm_sqr()).sum();
+            let got = norm_sqr_2q(&state, a, b, &u2);
+            assert!((got - expect).abs() < 1e-12, "norm_sqr_2q ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_plain() {
+        // the trajectory backend relies on blocked == plain *exactly* (not
+        // just approximately): both perform the same arithmetic per disjoint
+        // index group, only the group iteration order differs
+        let u1 = h_gate();
+        let u2 = cnot_gate();
+        let base: Vec<Complex64> = (0..32)
+            .map(|i| c64((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+            .collect();
+        for q in 0..5 {
+            let mut plain = base.clone();
+            let mut blocked = base.clone();
+            apply_1q_vec(&mut plain, q, &u1);
+            apply_1q_vec_blocked(&mut blocked, q, &u1);
+            assert_eq!(plain, blocked, "1q blocked mismatch q={q}");
+        }
+        for (a, b) in [(0usize, 1usize), (4, 0), (2, 3), (3, 1)] {
+            let mut plain = base.clone();
+            let mut blocked = base.clone();
+            apply_2q_vec(&mut plain, a, b, &u2);
+            apply_2q_vec_blocked(&mut blocked, a, b, &u2);
+            assert_eq!(plain, blocked, "2q blocked mismatch ({a},{b})");
         }
     }
 

@@ -256,7 +256,7 @@ fn certified_lookup(
     spec: &RunSpec,
     epsilon: f64,
 ) -> Result<Option<(Key, ResultArtifact, f64)>, String> {
-    let reference = spec.synth.reference_circuit()?;
+    let reference = spec.reference_circuit()?;
     let cal = spec.calibration()?;
     let opts = qaprox_verify::EquivOptions {
         epsilon,
@@ -312,7 +312,9 @@ pub fn obtain_run(
                 population: None,
             });
         }
-        if let Some(eps) = spec.epsilon {
+        // the certified fast path needs dense-unitary equivalence checking,
+        // which wide widths cannot afford; wide runs rely on plain key hits
+        if let Some(eps) = spec.epsilon.filter(|_| !spec.is_wide()) {
             if let Some((source, res, bound)) = certified_lookup(store, spec, eps)? {
                 // re-file under this spec's key (keeping the source's
                 // reference so future equivalence checks stay grounded in
@@ -332,6 +334,10 @@ pub fn obtain_run(
         }
     }
 
+    if spec.is_wide() {
+        return obtain_run_wide(store, spec, key, ctl);
+    }
+
     let pop = obtain_population(store, &spec.synth, ctl)?;
     if pop.suspended {
         return Err(SUSPENDED_SENTINEL.into());
@@ -340,7 +346,7 @@ pub fn obtain_run(
         return Err("selection kept no circuits; raise max_hs or max_cnots".into());
     }
 
-    let reference = spec.synth.reference_circuit()?;
+    let reference = spec.reference_circuit()?;
     let backend = spec.backend()?;
     let cal = spec.calibration()?;
 
@@ -440,6 +446,72 @@ pub fn obtain_run(
     })
 }
 
+/// The wide-run path (`qubits > MAX_SYNTH_QUBITS`, trajectory backend).
+///
+/// No synthesis happens here — QSearch needs the dense target unitary,
+/// which does not fit at 27+ qubits. Instead the candidate set is the same
+/// TFIM evolution Trotterized with every shallower step count (the paper's
+/// depth/accuracy trade-off in its rawest form), pre-ranked by the same
+/// O(gates) analyzer, and scored on the trajectory backend against the
+/// ideal statevector. Results cache under the spec's own key exactly like
+/// narrow runs.
+fn obtain_run_wide(
+    store: Option<&Store>,
+    spec: &RunSpec,
+    key: Key,
+    ctl: &ExecCtl,
+) -> Result<RunOutcome, String> {
+    let reference = spec.reference_circuit()?;
+    let backend = spec.backend()?;
+    let cal = spec.calibration()?;
+    let candidates = spec.synth.wide_population_circuits()?;
+    let ranked = qaprox_synth::rank_by_predicted(&candidates, &cal);
+    let batch: Vec<Circuit> = ranked.iter().map(|(ap, _)| ap.circuit.clone()).collect();
+
+    // same failpoint, same placement as the narrow path: evaluated once per
+    // job that reaches the backend, so chaos tests can count trajectory jobs
+    qaprox_fault::fail_point!("serve.backend", |_action| {
+        Err(qaprox_fault::injected_error("serve.backend"))
+    });
+
+    let ideal = qaprox_sim::statevector::probabilities(&reference);
+    let ref_probs = backend.probabilities(&reference, spec.job_seed);
+    let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
+    let probs = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
+        backend.probabilities_batch(&batch)
+    })?;
+    let rows: Vec<ResultRow> = ranked
+        .iter()
+        .zip(&probs)
+        .map(|((ap, predicted), p)| ResultRow {
+            cnots: ap.cnots,
+            hs_distance: ap.hs_distance,
+            predicted: *predicted,
+            score: qaprox_metrics::total_variation(p, &ideal),
+            certified: false,
+        })
+        .collect();
+
+    let result = ResultArtifact {
+        ref_score,
+        rows,
+        // no certified fast path at wide widths, so no reference rides along
+        reference_qasm: None,
+    };
+    if let Some(store) = store {
+        store
+            .put_result_tagged(&key, &result, None)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(RunOutcome {
+        key,
+        result,
+        cached: false,
+        certified: None,
+        population: None,
+    })
+}
+
 // An error-channel marker for "the synthesis stage suspended" inside
 // obtain_run, folded back into ExecResult::Suspended by run_spec.
 const SUSPENDED_SENTINEL: &str = "__qaprox_serve_suspended__";
@@ -517,7 +589,7 @@ pub fn run_spec(
                 // the reference circuit's static analysis rides along with
                 // every run result (cached ones included — it's O(gates))
                 let analysis_report = qaprox_verify::analyze(
-                    &r.synth.reference_circuit()?,
+                    &r.reference_circuit()?,
                     &r.calibration()?,
                     &Default::default(),
                 );
@@ -617,12 +689,18 @@ pub fn degraded_payload(store: Option<&Store>, spec: &JobSpec, error: &str) -> O
             ))
         }
         JobSpec::Run(r) => {
-            let reference = r.synth.reference_circuit().ok()?;
+            let reference = r.reference_circuit().ok()?;
             let cal = r.calibration().ok()?;
             let report = qaprox_verify::analyze(&reference, &cal, &Default::default());
             let analysis = qaprox_store::json::parse(&report.to_json()).ok()?;
-            let target = Workflow::target_unitary(&reference);
-            let fallback = store.and_then(|s| best_tagged_population(s, &target));
+            // never form the target unitary at wide widths: the degraded
+            // answer there is the O(gates) prediction, standing alone
+            let fallback = if r.is_wide() {
+                None
+            } else {
+                let target = Workflow::target_unitary(&reference);
+                store.and_then(|s| best_tagged_population(s, &target))
+            };
             let mut degraded_from = None;
             let rows: Vec<Json> = match &fallback {
                 Some((source, art)) => {
@@ -742,9 +820,7 @@ mod tests {
             synth: tiny_synth(2),
             device: "ourense".into(),
             cx_error: Some(0.1),
-            hardware: false,
-            job_seed: 0,
-            epsilon: None,
+            ..Default::default()
         };
         let out = obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
         assert!(!out.cached);
@@ -772,9 +848,7 @@ mod tests {
             synth: tiny_synth(5),
             device: "ourense".into(),
             cx_error: Some(0.08),
-            hardware: false,
-            job_seed: 0,
-            epsilon: None,
+            ..Default::default()
         };
         let result = obtain_run(None, &spec, &ExecCtl::default()).unwrap().result;
         assert!(
@@ -789,6 +863,53 @@ mod tests {
             .rows
             .iter()
             .all(|r| r.predicted > 0.0 && r.predicted <= 1.0));
+    }
+
+    #[test]
+    fn wide_trajectory_run_skips_synthesis_and_scores_truncations() {
+        let store = tmp_store("wide");
+        let spec = RunSpec {
+            synth: SynthSpec {
+                workload: "tfim".into(),
+                qubits: 8, // past MAX_SYNTH_QUBITS, still cheap to simulate
+                steps: 3,
+                ..Default::default()
+            },
+            device: "toronto".into(),
+            backend: Some("trajectory".into()),
+            shots: Some(32),
+            ..Default::default()
+        };
+        let out = obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(!out.cached);
+        assert!(out.population.is_none(), "wide runs never synthesize");
+        assert_eq!(out.result.rows.len(), 2, "steps 1 and 2 truncations");
+        assert!(out
+            .result
+            .rows
+            .iter()
+            .all(|r| r.hs_distance == 0.0 && !r.certified));
+        assert!(out.result.ref_score > 0.0, "noise must cost the reference");
+        assert!(
+            out.result
+                .rows
+                .windows(2)
+                .all(|w| w[0].predicted >= w[1].predicted),
+            "wide rows come out pre-ranked like narrow ones"
+        );
+
+        let second = obtain_run(Some(&store), &spec, &ExecCtl::default()).unwrap();
+        assert!(second.cached, "wide results cache under the spec key");
+        assert_eq!(second.result.rows, out.result.rows);
+
+        // the same spec runs end to end through the service entry point
+        match run_spec(None, &JobSpec::Run(spec), &ExecCtl::default()).unwrap() {
+            ExecResult::Done(payload) => {
+                assert_eq!(payload.get_str("kind"), Some("run"));
+                assert!(payload.get("analysis").is_some());
+            }
+            ExecResult::Suspended => panic!("nothing suspends a wide run"),
+        }
     }
 
     #[test]

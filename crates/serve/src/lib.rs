@@ -50,4 +50,4 @@ pub use journal::{Journal, ReplayedJournal};
 pub use retry::RetryPolicy;
 pub use scheduler::{JobState, JobView, Scheduler, SchedulerConfig, Submitted};
 pub use server::{Server, ServerConfig};
-pub use spec::{JobSpec, RunSpec, SynthSpec};
+pub use spec::{JobSpec, RunSpec, SynthSpec, MAX_SYNTH_QUBITS};

@@ -8,16 +8,23 @@
 //! (floats printed `{:.17e}`) and feed the store's 128-bit keys.
 
 use qaprox::prelude::*;
+use qaprox_sim::{TrajectoryBackend, DEFAULT_TRAJECTORY_SHOTS};
 use qaprox_store::json::Json;
 use qaprox_store::key::{population_key, result_key, Key};
 use qaprox_synth::InstantiateConfig;
+
+/// Widest circuit synthesis (and the density-matrix backend) accepts: both
+/// need the dense `2^n x 2^n` target unitary. Run jobs wider than this take
+/// the trajectory-only wide path (TFIM workloads, no synthesis).
+pub const MAX_SYNTH_QUBITS: usize = 6;
 
 /// A synthesis job: workload + synthesis budget + seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthSpec {
     /// Reference workload: `tfim`, `grover`, or `toffoli`.
     pub workload: String,
-    /// Circuit width (2..=6, as in the CLI).
+    /// Circuit width (2..=6 for synthesis; trajectory-backed run jobs may
+    /// go wider, see [`RunSpec::reference_circuit`]).
     pub qubits: usize,
     /// TFIM timestep count (ignored by other workloads).
     pub steps: usize,
@@ -58,6 +65,15 @@ pub struct RunSpec {
     pub hardware: bool,
     /// Seed for the backend's stochastic noise channels.
     pub job_seed: u64,
+    /// Backend override: `Some("trajectory")` scores on the Monte-Carlo
+    /// trajectory backend (`2^n` per shot) instead of the `4^n` density
+    /// matrix. Required — and the only valid value — for wide runs
+    /// (`qubits > MAX_SYNTH_QUBITS`). `None` keeps the pre-trajectory
+    /// behaviour and cache keys.
+    pub backend: Option<String>,
+    /// Trajectory shot count (`None` = [`DEFAULT_TRAJECTORY_SHOTS`]).
+    /// Ignored unless `backend` is set.
+    pub shots: Option<usize>,
     /// ε-equivalence tolerance. `Some` opts the run into the QA5xx
     /// certified machinery: candidates proven within ε of the reference are
     /// scored statically (no backend), and a resubmission whose reference is
@@ -75,6 +91,8 @@ impl Default for RunSpec {
             cx_error: None,
             hardware: false,
             job_seed: 0,
+            backend: None,
+            shots: None,
             epsilon: None,
         }
     }
@@ -117,10 +135,55 @@ pub fn commuting_reorder(c: &Circuit) -> Circuit {
 
 impl SynthSpec {
     /// Builds the reference circuit (mirrors the CLI's workload options).
+    /// Caps at [`MAX_SYNTH_QUBITS`]: synthesis jobs need the dense target
+    /// unitary. Wide TFIM references exist for trajectory-backed run jobs —
+    /// see [`SynthSpec::wide_reference_circuit`].
     pub fn reference_circuit(&self) -> Result<Circuit, String> {
-        if !(2..=6).contains(&self.qubits) {
-            return Err("supported qubits range is 2..=6".into());
+        if !(2..=MAX_SYNTH_QUBITS).contains(&self.qubits) {
+            return Err(format!("supported qubits range is 2..={MAX_SYNTH_QUBITS}"));
         }
+        self.build_reference()
+    }
+
+    /// Builds a wide reference circuit for the trajectory path. Only the
+    /// TFIM workloads scale: their circuits are `O(qubits * steps)` gates
+    /// and nothing on the wide path ever forms the `2^n` unitary.
+    pub fn wide_reference_circuit(&self) -> Result<Circuit, String> {
+        if !(2..=65).contains(&self.qubits) {
+            return Err("supported qubits range is 2..=65".into());
+        }
+        match self.workload.as_str() {
+            "tfim" | "tfim-r" => self.build_reference(),
+            other => Err(format!(
+                "workload '{other}' caps at {MAX_SYNTH_QUBITS} qubits; only tfim/tfim-r scale wider"
+            )),
+        }
+    }
+
+    /// The wide-run candidate set: the same TFIM evolution Trotterized with
+    /// every shallower step count `1..steps`. This replaces synthesis on the
+    /// wide path (QSearch cannot target a `2^27` unitary) while keeping the
+    /// paper's depth/accuracy trade-off: fewer Trotter steps pay less noise
+    /// but approximate the evolution more coarsely. `hs_distance` is 0.0 on
+    /// every candidate — there is no dense target to measure against.
+    pub fn wide_population_circuits(&self) -> Result<Vec<ApproxCircuit>, String> {
+        self.wide_reference_circuit()?;
+        if self.steps < 2 {
+            return Err("wide runs need steps >= 2 so truncation yields candidates".into());
+        }
+        let params = TfimParams::paper_defaults(self.qubits);
+        Ok((1..self.steps)
+            .map(|s| {
+                let mut c = tfim_circuit(&params, s);
+                if self.workload == "tfim-r" {
+                    c = commuting_reorder(&c);
+                }
+                ApproxCircuit::new(c, 0.0)
+            })
+            .collect())
+    }
+
+    fn build_reference(&self) -> Result<Circuit, String> {
         match self.workload.as_str() {
             "tfim" => {
                 let params = TfimParams::paper_defaults(self.qubits);
@@ -213,8 +276,40 @@ impl SynthSpec {
 }
 
 impl RunSpec {
+    /// True when the spec is wider than the synthesis/density-matrix cap
+    /// and takes the trajectory-only wide path.
+    pub fn is_wide(&self) -> bool {
+        self.synth.qubits > MAX_SYNTH_QUBITS
+    }
+
+    /// Effective trajectory shot count (only meaningful with `backend` set).
+    pub fn effective_shots(&self) -> usize {
+        self.shots.unwrap_or(DEFAULT_TRAJECTORY_SHOTS).max(1)
+    }
+
+    /// The reference circuit this run scores against: the synthesis-width
+    /// reference normally, the wide TFIM reference on the trajectory path.
+    /// A wide spec without `backend = trajectory` is an error — nothing
+    /// else can execute it.
+    pub fn reference_circuit(&self) -> Result<Circuit, String> {
+        if self.is_wide() {
+            if self.backend.as_deref() != Some("trajectory") {
+                return Err(format!(
+                    "qubits={} needs backend=trajectory (the density matrix caps at {MAX_SYNTH_QUBITS} qubits)",
+                    self.synth.qubits
+                ));
+            }
+            self.synth.wide_reference_circuit()
+        } else {
+            self.synth.reference_circuit()
+        }
+    }
+
     /// The induced (and possibly cx-error-overridden) calibration this spec
-    /// runs on — shared by the backend and the static analyzer.
+    /// runs on — shared by the backend and the static analyzer. Narrow specs
+    /// induce the identity slice `0..qubits` (unchanged keys); wide specs
+    /// induce along a connected path through the device topology when one
+    /// exists, so chained TFIM interactions land on real coupled edges.
     pub fn calibration(&self) -> Result<qaprox_device::Calibration, String> {
         let cal = devices::by_name(&self.device)
             .ok_or_else(|| format!("unknown device '{}'", self.device))?;
@@ -224,7 +319,17 @@ impl RunSpec {
                 self.device, self.synth.qubits
             ));
         }
-        let mut induced = cal.induced(&(0..self.synth.qubits).collect::<Vec<_>>());
+        let sites: Vec<usize> = if self.is_wide() {
+            // heavy-hex has no Hamiltonian path, so a full-device request
+            // falls back to identity order; the noise model's avg-error
+            // fallback covers any non-adjacent chain link
+            cal.topology
+                .connected_path(self.synth.qubits)
+                .unwrap_or_else(|| (0..self.synth.qubits).collect())
+        } else {
+            (0..self.synth.qubits).collect()
+        };
+        let mut induced = cal.induced(&sites);
         if let Some(eps) = self.cx_error {
             induced = induced.with_uniform_cx_error(eps);
         }
@@ -234,11 +339,23 @@ impl RunSpec {
     /// Builds the backend this spec scores on (mirrors the CLI).
     pub fn backend(&self) -> Result<Backend, String> {
         let model = NoiseModel::from_calibration(self.calibration()?);
-        Ok(if self.hardware {
-            Backend::Hardware(HardwareBackend::new(model))
-        } else {
-            Backend::Noisy(model)
-        })
+        match self.backend.as_deref() {
+            None => Ok(if self.hardware {
+                Backend::Hardware(HardwareBackend::new(model))
+            } else {
+                Backend::Noisy(model)
+            }),
+            Some("trajectory") => {
+                if self.hardware {
+                    return Err("backend=trajectory conflicts with hardware=true".into());
+                }
+                Ok(Backend::Trajectory(TrajectoryBackend::with_shots(
+                    model,
+                    self.effective_shots(),
+                )))
+            }
+            Some(other) => Err(format!("unknown backend '{other}' (trajectory)")),
+        }
     }
 
     /// Fingerprint of the reference circuit's static analysis under this
@@ -247,28 +364,56 @@ impl RunSpec {
     /// changed calibration math) makes old artifacts unreachable instead of
     /// silently stale.
     pub fn analysis_fingerprint(&self) -> Result<String, String> {
-        let reference = self.synth.reference_circuit()?;
+        let reference = self.reference_circuit()?;
         let cal = self.calibration()?;
         let report = qaprox_verify::analyze(&reference, &cal, &Default::default());
         Ok(report.fingerprint())
     }
 
-    /// Canonical backend fingerprint.
+    /// Canonical backend fingerprint. The trajectory override (and its
+    /// effective shot count) folds in only when set, so every pre-trajectory
+    /// artifact keeps its key.
     pub fn backend_fingerprint(&self) -> String {
         let cx = match self.cx_error {
             Some(e) => format!("{e:.17e}"),
             None => "none".into(),
         };
-        format!(
+        let mut fp = format!(
             "backend/v1;device={};cx_error={cx};hardware={}",
             self.device, self.hardware
-        )
+        );
+        if let Some(b) = &self.backend {
+            fp.push_str(&format!(";backend={b};shots={}", self.effective_shots()));
+        }
+        fp
+    }
+
+    /// Wide specs content-address their "population" from the reference
+    /// circuit's QASM text: the `2^n x 2^n` target unitary that
+    /// [`SynthSpec::population_key`] hashes cannot exist at 27+ qubits.
+    /// Narrow specs never take this path, so pre-existing keys are stable.
+    fn wide_population_key(&self) -> Result<Key, String> {
+        let reference = self.reference_circuit()?;
+        let qasm = qaprox_circuit::qasm::to_qasm(&reference);
+        let mut h = qaprox_linalg::hashing::Hash128::new();
+        h.update(b"qaprox-serve/wide-pop/v1\0");
+        h.update(qasm.as_bytes());
+        h.update(b"\0");
+        h.update(self.synth.fingerprint().as_bytes());
+        h.update(b"\0");
+        h.update_u64(self.synth.seed);
+        let (hi, lo) = h.finish();
+        Ok(Key { hi, lo })
     }
 
     /// The store key for this spec's execution result. `epsilon` folds in
     /// only when set, so pre-certification artifacts keep their keys.
     pub fn result_key(&self) -> Result<Key, String> {
-        let pop = self.synth.population_key()?;
+        let pop = if self.is_wide() {
+            self.wide_population_key()?
+        } else {
+            self.synth.population_key()?
+        };
         let mut fp = format!(
             "{};{}",
             self.backend_fingerprint(),
@@ -310,6 +455,12 @@ impl RunSpec {
         }
         fields.push(("hardware".into(), Json::Bool(self.hardware)));
         fields.push(("job_seed".into(), Json::Num(self.job_seed as f64)));
+        if let Some(b) = &self.backend {
+            fields.push(("backend".into(), Json::Str(b.clone())));
+        }
+        if let Some(s) = self.shots {
+            fields.push(("shots".into(), Json::Num(s as f64)));
+        }
         if let Some(eps) = self.epsilon {
             fields.push(("epsilon".into(), Json::Num(eps)));
         }
@@ -325,6 +476,8 @@ impl RunSpec {
             cx_error: v.get_f64("cx_error"),
             hardware: v.get_bool("hardware").unwrap_or(d.hardware),
             job_seed: v.get_u64("job_seed").unwrap_or(d.job_seed),
+            backend: v.get_str("backend").map(str::to_string),
+            shots: v.get_usize("shots"),
             epsilon: v.get_f64("epsilon"),
         })
     }
@@ -337,7 +490,7 @@ impl JobSpec {
         match self {
             JobSpec::Synth(s) => s.reference_circuit().map(|_| ()),
             JobSpec::Run(r) => {
-                r.synth.reference_circuit()?;
+                r.reference_circuit()?;
                 r.backend().map(|_| ())
             }
         }
@@ -421,9 +574,25 @@ mod tests {
             cx_error: Some(0.05),
             hardware: true,
             job_seed: 3,
+            backend: None,
+            shots: None,
             epsilon: Some(0.1),
         });
-        for spec in [synth, run] {
+        let wide = JobSpec::Run(RunSpec {
+            synth: SynthSpec {
+                qubits: 27,
+                steps: 4,
+                ..Default::default()
+            },
+            device: "toronto".into(),
+            cx_error: None,
+            hardware: false,
+            job_seed: 1,
+            backend: Some("trajectory".into()),
+            shots: Some(64),
+            epsilon: None,
+        });
+        for spec in [synth, run, wide] {
             let text = spec.to_json().to_string();
             let back = JobSpec::from_json(&qaprox_store::json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, spec, "{text}");
@@ -504,6 +673,98 @@ mod tests {
             eps.result_key().unwrap(),
             "distinct workloads must still content-address apart"
         );
+    }
+
+    #[test]
+    fn trajectory_backend_changes_keys_only_when_set() {
+        let run = RunSpec {
+            synth: SynthSpec {
+                qubits: 2,
+                steps: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let base_key = run.result_key().unwrap();
+        let base_dedup = JobSpec::Run(run.clone()).dedup_fingerprint();
+        assert!(
+            !run.backend_fingerprint().contains(";backend="),
+            "an unset backend must leave the fingerprint untouched"
+        );
+        let mut traj = run.clone();
+        traj.backend = Some("trajectory".into());
+        assert_ne!(traj.result_key().unwrap(), base_key);
+        assert_ne!(JobSpec::Run(traj.clone()).dedup_fingerprint(), base_dedup);
+        // the shot count is part of the computation, so part of the key...
+        let mut more = traj.clone();
+        more.shots = Some(4096);
+        assert_ne!(more.result_key().unwrap(), traj.result_key().unwrap());
+        // ...but spelling out the default names the same job
+        let mut explicit = traj.clone();
+        explicit.shots = Some(DEFAULT_TRAJECTORY_SHOTS);
+        assert_eq!(explicit.result_key().unwrap(), traj.result_key().unwrap());
+    }
+
+    #[test]
+    fn wide_specs_require_trajectory_and_key_without_a_target() {
+        let mut wide = RunSpec {
+            synth: SynthSpec {
+                qubits: 27,
+                steps: 3,
+                ..Default::default()
+            },
+            device: "toronto".into(),
+            ..Default::default()
+        };
+        assert!(
+            JobSpec::Run(wide.clone()).validate().is_err(),
+            "wide runs without the trajectory backend must be rejected"
+        );
+        wide.backend = Some("trajectory".into());
+        wide.shots = Some(8);
+        JobSpec::Run(wide.clone()).validate().unwrap();
+
+        // keys are stable and sensitive without ever forming a 2^27 target
+        let k = JobSpec::Run(wide.clone()).key().unwrap();
+        assert_eq!(JobSpec::Run(wide.clone()).key().unwrap(), k);
+        let mut other = wide.clone();
+        other.synth.steps = 4;
+        assert_ne!(JobSpec::Run(other).key().unwrap(), k);
+
+        // only the TFIM workloads scale wide
+        let mut grover = wide.clone();
+        grover.synth.workload = "grover".into();
+        assert!(JobSpec::Run(grover).validate().is_err());
+        // hardware emulation conflicts with the trajectory override
+        let mut conflicted = wide.clone();
+        conflicted.hardware = true;
+        assert!(JobSpec::Run(conflicted).validate().is_err());
+        // synthesis jobs never widen: there is no 2^27 target to search for
+        assert!(JobSpec::Synth(wide.synth.clone()).validate().is_err());
+    }
+
+    #[test]
+    fn wide_calibration_prefers_a_connected_path() {
+        let wide = RunSpec {
+            synth: SynthSpec {
+                qubits: 20,
+                steps: 2,
+                ..Default::default()
+            },
+            device: "toronto".into(),
+            backend: Some("trajectory".into()),
+            ..Default::default()
+        };
+        let cal = wide.calibration().unwrap();
+        assert_eq!(cal.qubits.len(), 20);
+        // a 20-site path exists on heavy-hex 27, so every chain link is a
+        // real coupled edge of the device
+        for pair in (0..20).collect::<Vec<_>>().windows(2) {
+            assert!(
+                cal.edge(pair[0], pair[1]).is_some() || cal.edge(pair[1], pair[0]).is_some(),
+                "induced chain link {pair:?} must be a coupled edge"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn spec(workload: &str) -> RunSpec {
         hardware: false,
         job_seed: 0,
         epsilon: Some(0.05),
+        ..Default::default()
     }
 }
 

@@ -98,6 +98,7 @@ fn seeded_fault_schedules_never_lose_or_wedge_jobs() {
                 hardware: false,
                 job_seed: chaos_seed,
                 epsilon: None,
+                ..Default::default()
             }));
         }
 
@@ -148,4 +149,85 @@ fn seeded_fault_schedules_never_lose_or_wedge_jobs() {
         sched.shutdown();
         let _ = std::fs::remove_dir_all(&store_dir);
     }
+}
+
+/// Wide trajectory jobs ride the same `serve.backend` failpoint as narrow
+/// runs: an injected backend outage is retried until the job completes, the
+/// evaluation counter proves the trajectory path actually reached the
+/// backend, and a resubmission answered from the result cache leaves the
+/// counter untouched.
+#[test]
+fn trajectory_jobs_count_backend_invocations_and_survive_outages() {
+    breaker::reset_all();
+    let store_dir = std::env::temp_dir().join(format!("qaprox-chaos-traj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Arc::new(Store::open(&store_dir).unwrap());
+    let sched = Scheduler::start(
+        SchedulerConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_ms: 1,
+                cap_ms: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Some(store),
+    )
+    .unwrap();
+
+    // one injected outage on the first backend call, then clean passes that
+    // keep the evaluation counter running
+    let _scenario = Scenario::setup("serve.backend=after:0");
+    let evals_start = qaprox_fault::evals("serve.backend");
+
+    let spec = JobSpec::Run(RunSpec {
+        synth: SynthSpec {
+            workload: "tfim".into(),
+            qubits: 8, // wide: past the synthesis cap, still cheap to simulate
+            steps: 3,
+            max_cnots: 3,
+            max_nodes: 20,
+            max_hs: 0.4,
+            seed: 0,
+        },
+        device: "toronto".into(),
+        backend: Some("trajectory".into()),
+        shots: Some(16),
+        ..Default::default()
+    });
+    let id = match sched.submit(spec.clone()).unwrap() {
+        Submitted::Accepted(id) => id,
+        other => panic!("trajectory job not accepted: {other:?}"),
+    };
+    let view = sched.wait(id, WAIT).expect("trajectory job lost");
+    assert!(
+        matches!(view.state, JobState::Done),
+        "outage must be retried to completion, got {:?}",
+        view.state
+    );
+    let evals_done = qaprox_fault::evals("serve.backend");
+    assert!(
+        evals_done >= evals_start + 2,
+        "outage + retry must both reach the backend failpoint \
+         ({evals_start} -> {evals_done})"
+    );
+
+    // resubmit: the result cache answers without touching the backend
+    let id2 = match sched.submit(spec).unwrap() {
+        Submitted::Accepted(id) => id,
+        Submitted::Deduped(id) => id,
+        other => panic!("resubmit rejected: {other:?}"),
+    };
+    let view2 = sched.wait(id2, WAIT).expect("resubmitted job lost");
+    assert!(matches!(view2.state, JobState::Done), "{:?}", view2.state);
+    assert_eq!(
+        qaprox_fault::evals("serve.backend"),
+        evals_done,
+        "a cached trajectory result must not re-invoke the backend"
+    );
+
+    sched.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

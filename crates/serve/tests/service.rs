@@ -61,6 +61,7 @@ fn synth_and_run_round_trip_with_cache_hits() {
         hardware: false,
         job_seed: 0,
         epsilon: None,
+        ..Default::default()
     });
     let (rid, _, _) = client.submit(&run).unwrap();
     let rpayload = client.wait_for_result(rid, WAIT).unwrap();

@@ -7,11 +7,13 @@
 use crate::hardware::HardwareBackend;
 use crate::noise_model::NoiseModel;
 use crate::statevector;
+use crate::trajectory::TrajectoryBackend;
 use qaprox_circuit::Circuit;
 use qaprox_linalg::parallel::par_map_indexed;
 
 /// Where a circuit executes — mirrors the paper's three execution methods
-/// (ideal simulator, device-noise-model simulator, physical machine).
+/// (ideal simulator, device-noise-model simulator, physical machine), plus
+/// the trajectory simulator that reaches widths the density matrix cannot.
 #[derive(Debug, Clone)]
 pub enum Backend {
     /// Noise-free statevector simulation.
@@ -20,6 +22,9 @@ pub enum Backend {
     Noisy(NoiseModel),
     /// Emulated physical hardware (noise model + unreported effects + shots).
     Hardware(HardwareBackend),
+    /// Monte-Carlo trajectory simulation under a device noise model:
+    /// `2^n` per shot instead of `4^n`, seeded per job.
+    Trajectory(TrajectoryBackend),
 }
 
 impl Backend {
@@ -54,6 +59,7 @@ impl Backend {
             Backend::Ideal => statevector::probabilities(circuit),
             Backend::Noisy(model) => model.probabilities(circuit),
             Backend::Hardware(hw) => hw.probabilities(circuit, job_seed),
+            Backend::Trajectory(tb) => tb.probabilities(circuit, job_seed),
         }
     }
 
@@ -185,6 +191,32 @@ mod tests {
             b.probabilities(&c, 0),
             b.probabilities(&c, 1),
             "shots must differ by seed"
+        );
+    }
+
+    #[test]
+    fn trajectory_backend_depends_on_job_seed() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 32);
+        let b = Backend::Trajectory(tb);
+        let c = some_circuits(1).pop().unwrap();
+        assert_eq!(b.probabilities(&c, 3), b.probabilities(&c, 3));
+        assert_ne!(
+            b.probabilities(&c, 0),
+            b.probabilities(&c, 1),
+            "trajectory streams must differ by job seed"
+        );
+    }
+
+    #[test]
+    fn trajectory_batch_matches_run_batch_seeding() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 16);
+        let backend = Backend::Trajectory(tb);
+        let circuits = some_circuits(4);
+        assert_eq!(
+            backend.probabilities_batch(&circuits).unwrap(),
+            backend.run_batch(&circuits)
         );
     }
 

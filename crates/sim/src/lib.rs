@@ -37,4 +37,6 @@ pub use mitigation::mitigate_readout;
 pub use noise_model::NoiseModel;
 pub use readout::ReadoutError;
 pub use sampler::{counts_to_probs, sample_counts, DEFAULT_SHOTS};
-pub use trajectory::trajectory_probabilities;
+pub use trajectory::{
+    trajectory_probabilities, FusedProgram, TrajectoryBackend, DEFAULT_TRAJECTORY_SHOTS,
+};

@@ -45,13 +45,13 @@ impl NoiseModel {
 
     /// Depolarizing parameter for a one-qubit gate on `q`:
     /// `lambda = err * d/(d-1)` with `d = 2`.
-    fn lambda_1q(&self, q: usize) -> f64 {
+    pub(crate) fn lambda_1q(&self, q: usize) -> f64 {
         (self.cal.qubits[q].sx_error * 2.0).clamp(0.0, 1.0)
     }
 
     /// Edge calibration with a fallback to device averages for uncoupled
     /// pairs (lenient mode: lets logical circuits run before routing).
-    fn edge_cal(&self, a: usize, b: usize) -> EdgeCal {
+    pub(crate) fn edge_cal(&self, a: usize, b: usize) -> EdgeCal {
         self.cal.edge(a, b).copied().unwrap_or(EdgeCal {
             cx_error: self.cal.avg_cx_error(),
             cx_time_ns: 400.0,
@@ -59,7 +59,7 @@ impl NoiseModel {
     }
 
     /// Depolarizing parameter for a two-qubit gate: `lambda = err * 4/3`.
-    fn lambda_2q(&self, a: usize, b: usize) -> f64 {
+    pub(crate) fn lambda_2q(&self, a: usize, b: usize) -> f64 {
         (self.edge_cal(a, b).cx_error * 4.0 / 3.0).clamp(0.0, 1.0)
     }
 

@@ -44,6 +44,19 @@ pub fn probabilities_from_basis(circuit: &Circuit, basis: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Deterministic measurement-shot counts from the ideal distribution, via
+/// the shared shot sampler ([`crate::sampler`]). This is the one sampling
+/// path every backend uses — statevector and trajectory alike — so callers
+/// never hand-roll their own inverse-CDF loop.
+pub fn sample_shots(circuit: &Circuit, shots: usize, seed: u64) -> Vec<u64> {
+    crate::sampler::sample_counts(&probabilities(circuit), shots, seed)
+}
+
+/// Empirical finite-shot distribution: [`sample_shots`] normalized.
+pub fn sampled_probabilities(circuit: &Circuit, shots: usize, seed: u64) -> Vec<f64> {
+    crate::sampler::counts_to_probs(&sample_shots(circuit, shots, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +84,21 @@ mod tests {
         c.h(0).h(1).h(2).cx(0, 1).rz(0.7, 2).cx(1, 2);
         let p = probabilities(&c);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shot_sampling_is_deterministic_and_converges() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let a = sample_shots(&c, 4096, 11);
+        let b = sample_shots(&c, 4096, 11);
+        assert_eq!(a, b, "same seed must reproduce the same shots");
+        assert_eq!(a.iter().sum::<u64>(), 4096);
+        let emp = sampled_probabilities(&c, 65_536, 13);
+        let exact = probabilities(&c);
+        for (e, p) in emp.iter().zip(&exact) {
+            assert!((e - p).abs() < 0.01, "empirical {e} vs exact {p}");
+        }
     }
 
     #[test]
