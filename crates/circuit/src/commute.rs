@@ -83,6 +83,25 @@ pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
     false
 }
 
+/// The exclusive end of the run of instructions the gate at `from` can
+/// provably slide across to the right: every instruction in
+/// `from + 1 .. commuting_span(insts, from)` commutes with `insts[from]`,
+/// and `insts[commuting_span(insts, from)]` (when in range) is the first
+/// that does not.
+///
+/// This is the single slide primitive every commutation consumer is built
+/// on: the transpiler's commutation-aware CX cancellation scans to the span
+/// boundary for a cancelling partner, and the verifier's trace-monoid
+/// analysis uses the same pairwise relation to layer instructions. Keeping
+/// one primitive here keeps all consumers on one property-tested oracle.
+pub fn commuting_span(insts: &[Instruction], from: usize) -> usize {
+    let mut j = from + 1;
+    while j < insts.len() && commutes(&insts[from], &insts[j]) {
+        j += 1;
+    }
+    j
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,20 +127,30 @@ mod tests {
 
     #[test]
     fn rule_base_is_sound_on_exhaustive_catalog() {
-        // every pair the rules claim commutes must commute as matrices
+        // every pair the rules claim commutes must commute as matrices; the
+        // catalog covers every diagonal and X-axis family the rules name,
+        // on every placement class (same qubit, control, target, disjoint)
         let catalog = vec![
             inst(Gate::RZ(0.7), &[0]),
             inst(Gate::RZ(0.3), &[1]),
             inst(Gate::RX(1.1), &[0]),
             inst(Gate::RX(0.2), &[1]),
             inst(Gate::T, &[0]),
+            inst(Gate::Tdg, &[1]),
+            inst(Gate::S, &[0]),
+            inst(Gate::Sdg, &[2]),
+            inst(Gate::Z, &[1]),
+            inst(Gate::P(0.4), &[0]),
             inst(Gate::X, &[1]),
+            inst(Gate::SX, &[2]),
             inst(Gate::H, &[0]),
+            inst(Gate::RY(0.6), &[1]),
             inst(Gate::CX, &[0, 1]),
             inst(Gate::CX, &[1, 0]),
             inst(Gate::CX, &[0, 2]),
             inst(Gate::CX, &[2, 1]),
             inst(Gate::CZ, &[0, 1]),
+            inst(Gate::CRZ(0.8), &[0, 2]),
             inst(Gate::CP(0.9), &[1, 2]),
         ];
         for a in &catalog {
@@ -185,5 +214,44 @@ mod tests {
         let h = inst(Gate::H, &[0]);
         let cx = inst(Gate::CX, &[0, 1]);
         assert!(!commutes(&h, &cx));
+    }
+
+    #[test]
+    fn commutes_is_symmetric_on_the_catalog() {
+        let catalog = vec![
+            inst(Gate::RZ(0.7), &[0]),
+            inst(Gate::RX(0.2), &[1]),
+            inst(Gate::T, &[0]),
+            inst(Gate::H, &[0]),
+            inst(Gate::CX, &[0, 1]),
+            inst(Gate::CX, &[1, 0]),
+            inst(Gate::CZ, &[0, 1]),
+            inst(Gate::CP(0.9), &[1, 2]),
+        ];
+        for a in &catalog {
+            for b in &catalog {
+                assert_eq!(commutes(a, b), commutes(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn commuting_span_stops_at_first_dependence() {
+        // cx(0,1) slides over rz on its control and a disjoint h, then
+        // stops at the rx on its control
+        let insts = vec![
+            inst(Gate::CX, &[0, 1]),
+            inst(Gate::RZ(0.5), &[0]),
+            inst(Gate::H, &[2]),
+            inst(Gate::RX(0.3), &[0]),
+            inst(Gate::RZ(0.1), &[1]),
+        ];
+        assert_eq!(commuting_span(&insts, 0), 3);
+        // the trailing rz on qubit 1 slides to the end
+        assert_eq!(commuting_span(&insts, 4), 5);
+        // an identical CX never commutes with its own copy, so the span
+        // boundary is exactly where a cancellation partner can sit
+        let pair = vec![inst(Gate::CX, &[0, 1]), inst(Gate::CX, &[0, 1])];
+        assert_eq!(commuting_span(&pair, 0), 1);
     }
 }

@@ -20,6 +20,6 @@ pub mod parser;
 pub mod qasm;
 
 pub use circuit::{Circuit, Instruction};
-pub use commute::commutes;
+pub use commute::{commutes, commuting_span};
 pub use gate::{controlled, Gate};
 pub use parser::{from_qasm, from_qasm_lenient, ParseError, RawMeasure, RawProgram};

@@ -121,6 +121,9 @@ SUBCOMMANDS:
                              explicitly re-leveled via --allow/--warn/--deny
               --strict-connectivity  treat coupling violations as errors
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
+              (includes the QA6xx commutation pass: QA601 commutation-enabled
+               cancellation, QA602 commutation-enabled rotation merge,
+               QA603 commuting reorder shortens the schedule)
   analyze   static noise-budget estimate for a circuit (no simulation)
               qaprox analyze [PATH...] [--format text|json]
               (no PATH: analyze the workload reference; workload options apply)
@@ -145,7 +148,9 @@ SUBCOMMANDS:
                                     (default 12; 0 disables)
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
               (QA501 epsilon-equivalence violated [deny], QA502 undecidable
-               [warn], QA503 noise dominates approximation [warn])
+               [warn], QA503 noise dominates approximation [warn];
+               commutation-equivalent reorders are discharged at the
+               certified reorder noise charge, see docs/EQUIV.md)
   help      this text
 ";
 

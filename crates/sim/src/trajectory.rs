@@ -9,14 +9,19 @@
 //!
 //! The engine works in two stages:
 //!
-//! 1. **Compile** ([`FusedProgram::compile`]): adjacent gates with *identical
-//!    support* (same qubit, or same unordered pair) are fused into a single
-//!    1q/2q matrix, and the noise events that sat between them are conjugated
-//!    by the suffix unitary so channel semantics are preserved exactly —
-//!    `U ∘ N = (U N U†) ∘ U` for any channel `N`. Depolarizing channels are
-//!    invariant under same-support conjugation (the uniform-Pauli unraveling
-//!    implements the full twirl), so they stay cheap λ-draws; relaxation
-//!    Kraus sets are conjugated at compile time (small 2x2/4x4 matmuls).
+//! 1. **Compile** ([`FusedProgram::compile`]): the commutation engine's
+//!    fusion plan ([`qaprox_verify::fusion_plan`]) groups gates into runs —
+//!    same-support gates as before, plus *cross-support* absorption of 1q
+//!    gates into the 2q run that last touched their qubit (legal because
+//!    every gate in between acts on disjoint qubits, so the whole noisy
+//!    block slides — channels on disjoint subsystems commute exactly). Each
+//!    run fuses into a single 1q/2q matrix, and the noise events that sat
+//!    between its gates are conjugated by the suffix unitary so channel
+//!    semantics are preserved exactly — `U ∘ N = (U N U†) ∘ U` for any
+//!    channel `N`. Depolarizing channels are invariant under same-support
+//!    conjugation (the uniform-Pauli unraveling implements the full twirl),
+//!    so they stay cheap λ-draws; relaxation Kraus sets are conjugated at
+//!    compile time (small 2x2/4x4 matmuls).
 //! 2. **Run** ([`FusedProgram::run_shot`]): the per-shot loop touches only
 //!    precompiled fixed-size matrices, applied with the blocked kernels, and
 //!    samples Kraus branches allocation-free: branch norms are computed with
@@ -190,6 +195,18 @@ enum NoiseEvent {
         b: usize,
         ops: Vec<[Complex64; 16]>,
     },
+    /// A mixed-unitary channel on a two-qubit run: branch `k` fires with the
+    /// *fixed* probability `branches[k].0` (state-independent, because every
+    /// branch is unitary), and the leftover mass is an implicit identity.
+    /// This is what a `Dep1` becomes when a genuine 2q gate conjugates it:
+    /// the Pauli unraveling stays unitary, so sampling needs no branch-norm
+    /// sweeps and no renormalization — with probability `1 - 3λ/4` the event
+    /// costs one RNG draw, exactly like the `Dep1` it came from.
+    MixedU2 {
+        a: usize,
+        b: usize,
+        branches: Vec<(f64, [Complex64; 16])>,
+    },
 }
 
 /// One fused gate plus the noise events it carries (in program order).
@@ -248,7 +265,72 @@ fn conjugate_event_2q(ev: &mut NoiseEvent, ra: usize, rb: usize, g: &[Complex64;
                 ops: promoted,
             };
         }
-        NoiseEvent::Dep1 { .. } => unreachable!("1q dep never joins a 2q run"),
+        NoiseEvent::Dep1 { q, lambda } => {
+            // a 1q depolarizing from an absorbed run, conjugated by a
+            // genuine 2q gate: no longer a twirl, but still mixed-unitary —
+            // each Pauli branch conjugates to a unitary with the *same*
+            // fixed probability, so promote to `MixedU2` (state-independent
+            // sampling, implicit identity branch) instead of a Kraus set
+            let p = *lambda / 4.0;
+            let one = Complex64::ONE;
+            let i = Complex64::new(0.0, 1.0);
+            let z = Complex64::ZERO;
+            let paulis: [[Complex64; 4]; 3] = [
+                [z, one, one, z],  // X
+                [z, -i, i, z],     // Y
+                [one, z, z, -one], // Z
+            ];
+            let on_high = *q == ra;
+            debug_assert!(on_high || *q == rb);
+            let branches: Vec<(f64, [Complex64; 16])> = paulis
+                .iter()
+                .map(|k| {
+                    let e = if on_high { embed_high(k) } else { embed_low(k) };
+                    (p, conj4(g, &e))
+                })
+                .collect();
+            *ev = NoiseEvent::MixedU2 {
+                a: ra,
+                b: rb,
+                branches,
+            };
+        }
+        NoiseEvent::MixedU2 { branches, .. } => {
+            for (_, m) in branches.iter_mut() {
+                *m = conj4(g, m);
+            }
+        }
+    }
+}
+
+/// Conjugates an event inside a 2q fusion run by a newly absorbed *1q* gate
+/// on qubit `q` (cross-support fusion). Exact and support-preserving:
+/// depolarizing events are invariant (same-qubit or disjoint for `Dep1`,
+/// any-unitary for the full-twirl `Dep2`), a same-qubit `Kraus1` conjugates
+/// in 2x2, and only already-promoted `Kraus2` sets pay a 4x4 conjugation.
+fn conjugate_event_by_1q(ev: &mut NoiseEvent, ra: usize, q: usize, g: &[Complex64; 4]) {
+    match ev {
+        NoiseEvent::Dep1 { .. } => {} // same-qubit or disjoint: invariant
+        NoiseEvent::Dep2 { .. } => {} // full twirl: invariant under any unitary
+        NoiseEvent::Kraus1 { q: kq, ops } => {
+            if *kq == q {
+                for k in ops.iter_mut() {
+                    *k = conj2(g, k);
+                }
+            } // other qubit of the pair: disjoint, invariant
+        }
+        NoiseEvent::Kraus2 { ops, .. } => {
+            let g4 = if q == ra { embed_high(g) } else { embed_low(g) };
+            for k in ops.iter_mut() {
+                *k = conj4(&g4, k);
+            }
+        }
+        NoiseEvent::MixedU2 { branches, .. } => {
+            let g4 = if q == ra { embed_high(g) } else { embed_low(g) };
+            for (_, m) in branches.iter_mut() {
+                *m = conj4(&g4, m);
+            }
+        }
     }
 }
 
@@ -265,12 +347,15 @@ pub struct FusedProgram {
 }
 
 impl FusedProgram {
-    /// Compiles `circuit` under `model`'s gate noise. Adjacent instructions
-    /// with identical support (same qubit, or same unordered pair — swapped
-    /// pair order is handled by an index permutation) fuse into one matrix;
-    /// the noise events between them are conjugated by the suffix unitary so
-    /// the compiled program implements exactly the same channel as the
-    /// gate-by-gate interleaving.
+    /// Compiles `circuit` under `model`'s gate noise, executing the
+    /// commutation engine's fusion plan ([`qaprox_verify::fusion_plan`]):
+    /// same-support runs fuse as before (swapped pair order handled by an
+    /// index permutation), and *cross-support* steps absorb 1q gates into
+    /// the 2q run that last touched their qubit — legal because every gate
+    /// in between acts on disjoint qubits, so the whole noisy block slides.
+    /// Noise events crossed by a later gate of their run are conjugated by
+    /// it at compile time, so the compiled program implements exactly the
+    /// same channel as the gate-by-gate interleaving.
     pub fn compile(circuit: &Circuit, model: &NoiseModel) -> Self {
         let cal = model.calibration();
         assert!(
@@ -279,8 +364,11 @@ impl FusedProgram {
             circuit.num_qubits(),
             cal.topology.num_qubits()
         );
-        let mut ops: Vec<FusedOp> = Vec::new();
-        for inst in circuit.iter() {
+        let plan = qaprox_verify::fusion_plan(circuit.num_qubits(), circuit.instructions());
+        // `runs` stays index-aligned with the plan's run numbering; absorbed
+        // runs are take()n out and their slot left as a tombstone
+        let mut runs: Vec<Option<FusedOp>> = Vec::new();
+        for (inst, step) in circuit.iter().zip(&plan) {
             match *inst.qubits.as_slice() {
                 [q] => {
                     let g = mat2_to_array(&inst.gate.matrix());
@@ -300,19 +388,43 @@ impl FusedProgram {
                             )),
                         });
                     }
-                    match ops.last_mut() {
-                        Some(FusedOp::One {
-                            q: rq,
-                            u,
-                            events: run_events,
-                        }) if *rq == q => {
-                            for ev in run_events.iter_mut() {
-                                conjugate_event_1q(ev, &g);
+                    match step {
+                        qaprox_verify::FusionStep::Join(r) => {
+                            match runs[*r].as_mut().expect("joined run is still open") {
+                                FusedOp::One {
+                                    u,
+                                    events: run_events,
+                                    ..
+                                } => {
+                                    for ev in run_events.iter_mut() {
+                                        conjugate_event_1q(ev, &g);
+                                    }
+                                    *u = mul2(&g, u);
+                                    run_events.extend(events);
+                                }
+                                FusedOp::Two {
+                                    a: ra,
+                                    b: rb,
+                                    u,
+                                    events: run_events,
+                                } => {
+                                    // cross-support absorption into a 2q run
+                                    let (ra, rb) = (*ra, *rb);
+                                    debug_assert!(q == ra || q == rb);
+                                    for ev in run_events.iter_mut() {
+                                        conjugate_event_by_1q(ev, ra, q, &g);
+                                    }
+                                    let g4 = if q == ra {
+                                        embed_high(&g)
+                                    } else {
+                                        embed_low(&g)
+                                    };
+                                    *u = mul4(&g4, u);
+                                    run_events.extend(events);
+                                }
                             }
-                            *u = mul2(&g, u);
-                            run_events.extend(events);
                         }
-                        _ => ops.push(FusedOp::One { q, u: g, events }),
+                        _ => runs.push(Some(FusedOp::One { q, u: g, events })),
                     }
                 }
                 [a, b] => {
@@ -334,13 +446,17 @@ impl FusedProgram {
                             });
                         }
                     }
-                    match ops.last_mut() {
-                        Some(FusedOp::Two {
-                            a: ra,
-                            b: rb,
-                            u,
-                            events: run_events,
-                        }) if (*ra == a && *rb == b) || (*ra == b && *rb == a) => {
+                    match step {
+                        qaprox_verify::FusionStep::Join(r) => {
+                            let Some(FusedOp::Two {
+                                a: ra,
+                                b: rb,
+                                u,
+                                events: run_events,
+                            }) = runs[*r].as_mut()
+                            else {
+                                unreachable!("a 2q gate only joins an open 2q run");
+                            };
                             if *ra != a {
                                 g = swap_qubit_order_4(&g);
                             }
@@ -351,12 +467,50 @@ impl FusedProgram {
                             *u = mul4(&g, u);
                             run_events.extend(events);
                         }
-                        _ => ops.push(FusedOp::Two { a, b, u: g, events }),
+                        qaprox_verify::FusionStep::StartAbsorbing(absorbed) => {
+                            // fold the still-open 1q runs (last touchers of
+                            // `a` / `b`) into the new 2q run: the folded
+                            // channel is  E_g ∘ (G E G†) ∘ (G · embed(U))
+                            let mut u = g;
+                            let mut run_events = Vec::new();
+                            for &ri in absorbed {
+                                let Some(FusedOp::One {
+                                    q,
+                                    u: one_u,
+                                    events: one_events,
+                                }) = runs[ri].take()
+                                else {
+                                    unreachable!("absorbed run is an open 1q run");
+                                };
+                                debug_assert!(q == a || q == b);
+                                let e4 = if q == a {
+                                    embed_high(&one_u)
+                                } else {
+                                    embed_low(&one_u)
+                                };
+                                u = mul4(&u, &e4);
+                                for mut ev in one_events {
+                                    conjugate_event_2q(&mut ev, a, b, &g);
+                                    run_events.push(ev);
+                                }
+                            }
+                            run_events.extend(events);
+                            runs.push(Some(FusedOp::Two {
+                                a,
+                                b,
+                                u,
+                                events: run_events,
+                            }));
+                        }
+                        qaprox_verify::FusionStep::Start => {
+                            runs.push(Some(FusedOp::Two { a, b, u: g, events }));
+                        }
                     }
                 }
                 _ => unreachable!("IR only holds 1- and 2-qubit gates"),
             }
         }
+        let ops: Vec<FusedOp> = runs.into_iter().flatten().collect();
         FusedProgram {
             num_qubits: circuit.num_qubits(),
             ops,
@@ -476,6 +630,20 @@ fn apply_event<R: Rng>(state: &mut [Complex64], ev: &NoiseEvent, rng: &mut R) {
         }
         NoiseEvent::Kraus1 { q, ops } => select_and_apply_1q(state, *q, ops, rng),
         NoiseEvent::Kraus2 { a, b, ops } => select_and_apply_2q(state, *a, *b, ops, rng),
+        NoiseEvent::MixedU2 { a, b, branches } => {
+            // every branch is unitary, so probabilities are fixed and the
+            // norm is preserved: one draw, no sweeps unless a branch fires
+            // (the identity branch owns the tail of the unit interval)
+            let u: f64 = rng.gen();
+            let mut acc = 0.0f64;
+            for (w, m) in branches {
+                acc += w;
+                if u < acc {
+                    apply_2q_vec_blocked(state, *a, *b, m);
+                    return;
+                }
+            }
+        }
     }
 }
 
@@ -769,13 +937,85 @@ mod tests {
         let cal = ourense().induced(&[0, 1]);
         let model = NoiseModel::from_calibration(cal);
         let mut c = Circuit::new(2);
-        c.h(0).rz(0.3, 0).rx(0.2, 0); // one 1q run
-        c.cx(0, 1).cx(1, 0); // one 2q run (unordered pair {0,1})
-        c.h(1); // separate op
+        c.h(0).rz(0.3, 0).rx(0.2, 0); // a 1q run on qubit 0...
+        c.cx(0, 1).cx(1, 0); // ...absorbed into the 2q run (pair {0,1})
+        c.h(1); // ...which the trailing 1q gate joins too
         let p = FusedProgram::compile(&c, &model);
-        assert_eq!(p.len(), 3, "expected 3 fused ops from 6 gates");
+        assert_eq!(p.len(), 1, "cross-support fusion collapses all 6 gates");
         assert!(!p.is_empty());
         assert_eq!(p.num_qubits(), 2);
+    }
+
+    #[test]
+    fn cross_support_fusion_does_not_slide_across_blockers() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        // rz(0) cannot join the first run after cx(0,1) re-touches qubit 0
+        // via a *different* pair: cx(0,1), cx(1,2), rz(0) -> run {0,1} then
+        // run {1,2} (which cannot absorb anything) then rz joins run 1? No:
+        // last toucher of qubit 0 is still run 0, so rz joins run 0, and
+        // that is legal — everything between (cx(1,2)) is disjoint from 0.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).rz(0.5, 0);
+        let p = FusedProgram::compile(&c, &model);
+        assert_eq!(p.len(), 2, "rz slides back into the first run");
+        // but a gate on qubit 1 must NOT fuse anywhere after both runs
+        // touched it in turn
+        let mut d = Circuit::new(3);
+        d.cx(0, 1).cx(1, 2).cx(0, 1);
+        let pd = FusedProgram::compile(&d, &model);
+        assert_eq!(pd.len(), 3, "pair {{0,1}} was re-touched by pair {{1,2}}");
+    }
+
+    #[test]
+    fn tfim_layers_fuse_above_one_gate_per_op() {
+        // the acceptance target: TFIM Trotter layers (cx rz cx bonds + rx
+        // kicks) must compile to strictly fewer fused ops than gates
+        let mut c = Circuit::new(3);
+        for _ in 0..2 {
+            c.cx(0, 1).rz(0.4, 1).cx(0, 1);
+            c.cx(1, 2).rz(0.4, 2).cx(1, 2);
+            c.rx(0.2, 0).rx(0.2, 1).rx(0.2, 2);
+        }
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let p = FusedProgram::compile(&c, &model);
+        let ratio = c.len() as f64 / p.len() as f64;
+        assert!(
+            ratio > 1.0,
+            "fusion ratio {ratio:.2} must exceed 1.00 gates/op ({} ops from {} gates)",
+            p.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn cross_support_fusion_matches_density_matrix() {
+        // the fusion-legality soundness test: a circuit exercising every
+        // absorption path (1q-joins-2q, StartAbsorbing folds, depolarizing
+        // promotion, relaxation conjugation) must still converge to the
+        // density-matrix distribution within the Hoeffding envelope
+        let mut c = Circuit::new(3);
+        c.h(0).rz(0.3, 0); // 1q run later folded by the cx
+        c.h(1);
+        c.cx(0, 1).rx(0.4, 1).rz(0.2, 0).cx(0, 1); // joins + absorptions
+        c.cx(1, 2).rx(0.7, 2).cx(1, 2);
+        c.rx(0.2, 0).rx(0.2, 1).rx(0.2, 2);
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.08);
+        let mut model = NoiseModel::from_calibration(cal);
+        model.include_readout = false;
+        assert!(model.include_relaxation);
+        let p = FusedProgram::compile(&c, &model);
+        assert!(p.len() < c.len(), "fusion must actually trigger here");
+        let dm_probs = model.probabilities(&c);
+        let shots = 4000;
+        let tj_probs = p.shot_average(shots, 13);
+        let tvd = total_variation(&dm_probs, &tj_probs);
+        let envelope = 1.5 * (8.0f64 / shots as f64).sqrt();
+        assert!(
+            tvd < envelope.min(0.03),
+            "cross-support fusion diverged from density matrix: TVD {tvd}"
+        );
     }
 
     #[test]

@@ -7,31 +7,33 @@
 //! [`qaprox_circuit::commute`] to hop over provably commuting gates,
 //! matching what Qiskit's `CommutativeCancellation` achieves on our gate set.
 
-use qaprox_circuit::{commutes, Circuit, Gate, Instruction};
+use qaprox_circuit::{commuting_span, Circuit, Gate, Instruction};
 
 /// Cancels CX pairs separated only by gates that provably commute with the
 /// CX. Runs to a fixed point.
+///
+/// Built on the shared [`qaprox_circuit::commuting_span`] slide primitive: a
+/// CX never commutes with its own copy (it shares both control and target),
+/// so a cancelling partner is necessarily the *first* non-commuting
+/// instruction — exactly the span boundary. `tests` plus the routed-output
+/// regression suite (`tests/routed_regression.rs`) pin this pass bit-for-bit
+/// against the pre-dedup scan.
 pub fn commutation_cancel_cx(circuit: &Circuit) -> Circuit {
     let mut insts: Vec<Instruction> = circuit.instructions().to_vec();
     loop {
         let mut removed = false;
         let mut i = 0;
-        'outer: while i < insts.len() {
+        while i < insts.len() {
             if matches!(insts[i].gate, Gate::CX) {
-                let candidate = insts[i].clone();
-                for j in i + 1..insts.len() {
-                    let same_cx =
-                        matches!(insts[j].gate, Gate::CX) && insts[j].qubits == candidate.qubits;
-                    if same_cx {
-                        insts.remove(j);
-                        insts.remove(i);
-                        removed = true;
-                        continue 'outer;
-                    }
-                    // to move the candidate CX past gate j, they must commute
-                    if !commutes(&candidate, &insts[j]) {
-                        break;
-                    }
+                let j = commuting_span(&insts, i);
+                let cancels = j < insts.len()
+                    && matches!(insts[j].gate, Gate::CX)
+                    && insts[j].qubits == insts[i].qubits;
+                if cancels {
+                    insts.remove(j);
+                    insts.remove(i);
+                    removed = true;
+                    continue;
                 }
             }
             i += 1;

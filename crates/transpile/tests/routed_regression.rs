@@ -1,0 +1,93 @@
+//! Regression pin for the commutation-aware routing/optimization pipeline.
+//!
+//! This PR rebuilt `commutation_cancel_cx` on the shared
+//! [`qaprox_circuit::commuting_span`] oracle; the pass is argued bit-for-bit
+//! equivalent to the old scan (a CX never commutes with its own copy, so a
+//! cancelling partner is exactly the span boundary), and this suite pins the
+//! *routed output* of every example QASM program so any future drift in the
+//! commutation rules or the optimizer shows up as a hash mismatch, not a
+//! silent behavior change.
+
+use qaprox_circuit::{from_qasm, qasm};
+use qaprox_device::devices::ourense;
+use qaprox_linalg::hash128_hex;
+use qaprox_transpile::{transpile, OptLevel};
+
+fn routed_fingerprint(source: &str, level: OptLevel) -> String {
+    let circuit = from_qasm(source).expect("example parses");
+    let cal = ourense();
+    let t = transpile(&circuit, &cal, level, None);
+    let mut payload = qasm::canonical_bytes(&t.circuit);
+    payload.extend(format!("; physical={:?}", t.physical_qubits).into_bytes());
+    hash128_hex(&payload)
+}
+
+/// Every example program, pinned at the commutation-aware level (L3, the
+/// only level that runs `commutation_cancel_cx`) and at L1 as a control.
+#[test]
+fn example_qasm_set_routes_bit_for_bit() {
+    let cases: [(&str, &str, OptLevel, &str); 6] = [
+        (
+            "grover_3q",
+            include_str!("../../../examples/qasm/grover_3q.qasm"),
+            OptLevel::L3,
+            "3b9e195a2c5927e3596f73b61a897877",
+        ),
+        (
+            "grover_3q",
+            include_str!("../../../examples/qasm/grover_3q.qasm"),
+            OptLevel::L1,
+            "12502d78d0f2b1d4095a476c2dae977c",
+        ),
+        (
+            "tfim_3q_4steps",
+            include_str!("../../../examples/qasm/tfim_3q_4steps.qasm"),
+            OptLevel::L3,
+            "7d95d7c872c6ff4311b81562a65bb8f1",
+        ),
+        (
+            "tfim_3q_4steps",
+            include_str!("../../../examples/qasm/tfim_3q_4steps.qasm"),
+            OptLevel::L1,
+            "746a7ede3f76bb5717d087c49732f81e",
+        ),
+        (
+            "toffoli_4q",
+            include_str!("../../../examples/qasm/toffoli_4q.qasm"),
+            OptLevel::L3,
+            "24db1f5fd2c16f24a4608592ad3def76",
+        ),
+        (
+            "toffoli_4q",
+            include_str!("../../../examples/qasm/toffoli_4q.qasm"),
+            OptLevel::L1,
+            "2a8d5986309ac86ec873a04b2e76d2a9",
+        ),
+    ];
+    for (name, source, level, expected) in cases {
+        let got = routed_fingerprint(source, level);
+        assert_eq!(
+            got, expected,
+            "routed output of {name} at {level:?} drifted (update the pin \
+             only for an intentional pass change)"
+        );
+    }
+}
+
+/// The TFIM Trotter body is the workload the commutation pass was built
+/// for: L3 must strictly reduce its CX count versus L1 (the plain pass
+/// cannot see through the commuting RZ on the control).
+#[test]
+fn commutation_pass_still_beats_plain_cancellation_on_tfim() {
+    let circuit = from_qasm(include_str!("../../../examples/qasm/tfim_3q_4steps.qasm"))
+        .expect("example parses");
+    let cal = ourense();
+    let l1 = transpile(&circuit, &cal, OptLevel::L1, None);
+    let l3 = transpile(&circuit, &cal, OptLevel::L3, None);
+    assert!(
+        l3.circuit.cx_count() <= l1.circuit.cx_count(),
+        "L3 must never leave more CX than L1 ({} vs {})",
+        l3.circuit.cx_count(),
+        l1.circuit.cx_count()
+    );
+}

@@ -5,7 +5,8 @@
 //! `QA3xx` codes are whole-circuit dataflow lints over the [`crate::CircuitDag`];
 //! `QA4xx` codes come from the static noise-budget estimator
 //! ([`crate::analyze`]); `QA5xx` codes come from the two-circuit noisy
-//! equivalence checker ([`crate::check_equivalence`]).
+//! equivalence checker ([`crate::check_equivalence`]); `QA6xx` codes come
+//! from the noise-aware commutation analysis ([`crate::lint_commute`]).
 //! Each code carries a default [`LintLevel`] that a [`LintConfig`] can
 //! override (the CLI's `--allow/--warn/--deny CODE` flags map directly onto
 //! [`LintConfig::set`]).
@@ -74,11 +75,22 @@ pub enum LintCode {
     /// cheaper circuit is certified to cost nothing extra in distribution
     /// distance.
     NoiseDominatesApproximation,
+    /// QA601: a cancelling pair only exposed by first applying earlier
+    /// commutation-aware rewrites (the fixpoint the one-round QA302 scan
+    /// cannot see).
+    CommutationCancellation,
+    /// QA602: a rotation merge only exposed by first applying earlier
+    /// commutation-aware rewrites.
+    CommutationMerge,
+    /// QA603: the ASAP schedule modulo commutation is strictly shorter than
+    /// the wire schedule — reordering commuting gates reduces the critical
+    /// path.
+    DepthReducibleSchedule,
 }
 
 impl LintCode {
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 21] = [
+    pub const ALL: [LintCode; 24] = [
         LintCode::QubitOutOfRange,
         LintCode::DuplicateOperands,
         LintCode::ArityMismatch,
@@ -100,6 +112,9 @@ impl LintCode {
         LintCode::EquivalenceViolated,
         LintCode::EquivalenceUndecidable,
         LintCode::NoiseDominatesApproximation,
+        LintCode::CommutationCancellation,
+        LintCode::CommutationMerge,
+        LintCode::DepthReducibleSchedule,
     ];
 
     /// The stable `QA…` string for this code.
@@ -126,6 +141,9 @@ impl LintCode {
             LintCode::EquivalenceViolated => "QA501",
             LintCode::EquivalenceUndecidable => "QA502",
             LintCode::NoiseDominatesApproximation => "QA503",
+            LintCode::CommutationCancellation => "QA601",
+            LintCode::CommutationMerge => "QA602",
+            LintCode::DepthReducibleSchedule => "QA603",
         }
     }
 
@@ -161,6 +179,9 @@ impl LintCode {
             LintCode::EquivalenceViolated => "epsilon-equivalence provably violated",
             LintCode::EquivalenceUndecidable => "equivalence undecidable within the bound",
             LintCode::NoiseDominatesApproximation => "device noise dominates approximation error",
+            LintCode::CommutationCancellation => "commutation-enabled cancellation",
+            LintCode::CommutationMerge => "commutation-enabled rotation merge",
+            LintCode::DepthReducibleSchedule => "commuting reorder shortens the schedule",
         }
     }
 
@@ -191,7 +212,10 @@ impl LintCode {
             | LintCode::LowFidelityBound
             | LintCode::QubitBudgetExceeded
             | LintCode::EquivalenceUndecidable
-            | LintCode::NoiseDominatesApproximation => LintLevel::Warn,
+            | LintCode::NoiseDominatesApproximation
+            | LintCode::CommutationCancellation
+            | LintCode::CommutationMerge
+            | LintCode::DepthReducibleSchedule => LintLevel::Warn,
         }
     }
 }

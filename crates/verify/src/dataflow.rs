@@ -293,6 +293,13 @@ pub fn lint_program(
     // already said why
     if let Ok(dag) = CircuitDag::from_program(num_qubits, num_clbits, instructions, measures) {
         report.extend(lint_dataflow(&dag, cfg));
+        report.extend(crate::commute::lint_commute(
+            num_qubits,
+            num_clbits,
+            instructions,
+            measures,
+            cfg,
+        ));
     }
     report
 }

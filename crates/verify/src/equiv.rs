@@ -132,6 +132,12 @@ pub struct EquivReport {
     /// Exact TV distance between the ideal output distributions, when the
     /// width allowed computing it.
     pub ideal_tv: Option<f64>,
+    /// True when the pair normalized to the identical Foata word — a proof
+    /// the circuits are commutation-equivalent (one unitary, exactly).
+    pub commutation_equivalent: bool,
+    /// The noise charge of reordering both sides into the shared normal
+    /// form (route 3's bound), when the pair is commutation-equivalent.
+    pub reorder_noise: Option<f64>,
     /// Certified upper bound on the TV distance between the noisy output
     /// distributions.
     pub bound: f64,
@@ -178,6 +184,11 @@ impl EquivReport {
             Some(tv) => out.push_str(&format!("  ideal TV distance      {tv:.6}\n")),
             None => out.push_str("  ideal TV distance      (skipped: width over limit)\n"),
         }
+        if let Some(charge) = self.reorder_noise {
+            out.push_str(&format!(
+                "  commutation reorder    certified, noise charge {charge:.6}\n"
+            ));
+        }
         if !self.findings.is_clean() {
             out.push_str(&self.findings.to_text());
         }
@@ -191,12 +202,17 @@ impl EquivReport {
             Some(tv) => format!("{tv}"),
             None => "null".to_string(),
         };
+        let reorder = match self.reorder_noise {
+            Some(c) => format!("{c}"),
+            None => "null".to_string(),
+        };
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"schema_version\":{REPORT_SCHEMA_VERSION},\"machine\":\"{}\",\"num_qubits\":{},\
              \"epsilon\":{},\"gates_a\":{},\"gates_b\":{},\"discharged_noisy\":{},\
              \"discharged_unitary\":{},\"d_unitary\":{},\"noise_residual_a\":{},\
              \"noise_residual_b\":{},\"noise_full_a\":{},\"noise_full_b\":{},\"ideal_tv\":{},\
+             \"commutation_equivalent\":{},\"reorder_noise\":{},\
              \"bound\":{},\"lower_bound\":{},\"verdict\":\"{}\",\"findings\":",
             self.machine,
             self.num_qubits,
@@ -211,6 +227,8 @@ impl EquivReport {
             self.noise_full_a,
             self.noise_full_b,
             ideal,
+            self.commutation_equivalent,
+            reorder,
             self.bound,
             self.lower_bound,
             self.verdict.as_str()
@@ -509,7 +527,25 @@ pub fn check_equivalence_with_config(
     let via_ideal = tv
         .map(|t| t + noise_full_a + noise_full_b)
         .unwrap_or(f64::INFINITY);
-    let bound = via_residual.min(via_ideal).min(1.0);
+    let mut bound = via_residual.min(via_ideal).min(1.0);
+
+    // Route 3: when both circuits normalize to the identical Foata word they
+    // are the *same* trace-monoid element — one unitary, exactly — and the
+    // only cost left is the noise charge of sliding each side into the
+    // shared normal form (zero per disjoint swap, a small Choi-trace-norm
+    // residual per overlapping-commuting swap). This is what discharges the
+    // noise that tier 2 had to keep on the books. Only attempted when the
+    // cheaper routes have not already certified the pair.
+    let mut commutation_equivalent = false;
+    let mut reorder_noise = None;
+    if bound > opts.epsilon {
+        if let Some(charge) = crate::commute::equivalence_charge(a, b, cal, opts.include_relaxation)
+        {
+            commutation_equivalent = true;
+            reorder_noise = Some(charge);
+            bound = bound.min(charge).min(1.0);
+        }
+    }
     let lower_bound = tv
         .map(|t| (t - noise_full_a - noise_full_b).max(0.0))
         .unwrap_or(0.0);
@@ -534,16 +570,33 @@ pub fn check_equivalence_with_config(
                 opts.epsilon, cal.machine
             ),
         ),
-        EquivVerdict::Undecidable => emit(
-            &mut findings,
-            cfg,
-            LintCode::EquivalenceUndecidable,
-            Location::Global,
-            format!(
-                "distance bound {bound:.6} exceeds epsilon {} but the lower bound {lower_bound:.6} does not: equivalence is undecidable statically",
-                opts.epsilon
-            ),
-        ),
+        EquivVerdict::Undecidable => {
+            emit(
+                &mut findings,
+                cfg,
+                LintCode::EquivalenceUndecidable,
+                Location::Global,
+                format!(
+                    "distance bound {bound:.6} exceeds epsilon {} but the lower bound {lower_bound:.6} does not: equivalence is undecidable statically",
+                    opts.epsilon
+                ),
+            );
+            // distinguish undecidable-by-width from undecidable-by-bound:
+            // past the ideal-pass limit the checker has *no* lower bound at
+            // all, so QA501 could never fire regardless of the pair
+            if tv.is_none() {
+                emit(
+                    &mut findings,
+                    cfg,
+                    LintCode::EquivalenceUndecidable,
+                    Location::Global,
+                    format!(
+                        "no lower bound available above {} qubit(s): the ideal pass was skipped at width {n}, so the pair is undecidable by width, not by bound",
+                        opts.ideal_tv_max_qubits
+                    ),
+                );
+            }
+        }
         EquivVerdict::Equivalent => {}
     }
     // The paper's crossover, certified statically: the approximation gap is
@@ -577,6 +630,8 @@ pub fn check_equivalence_with_config(
         noise_full_a,
         noise_full_b,
         ideal_tv: tv,
+        commutation_equivalent,
+        reorder_noise,
         bound,
         lower_bound,
         verdict,
@@ -738,6 +793,74 @@ mod tests {
         assert!(json.contains("\"bound\":"));
         assert!(json.contains("\"verdict\":"));
         assert!(r.fingerprint().starts_with("equiv/v1;"));
+    }
+
+    #[test]
+    fn commutation_equivalent_reorder_certifies_at_the_reorder_charge() {
+        // rz on the control past the cx: tier 2 drops the unitary gap but
+        // keeps all noise charged; route 3 proves the pair is one
+        // trace-monoid element and replaces the bound with the (much
+        // smaller) reorder charge of the single overlapping swap.
+        let mut a = Circuit::new(2);
+        a.rz(0.7, 0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        b.rz(0.7, 0);
+        let r = check_equivalence(&a, &b, &cal3(), &opts(1e-9));
+        assert!(r.commutation_equivalent, "{}", r.to_text());
+        let charge = r.reorder_noise.expect("route 3 ran");
+        let via_residual = r.d_unitary + r.noise_residual_a + r.noise_residual_b;
+        let via_ideal = r.ideal_tv.unwrap() + r.noise_full_a + r.noise_full_b;
+        assert!(
+            r.bound < via_residual.min(via_ideal),
+            "route 3 must be strictly tighter: {} vs {}",
+            r.bound,
+            via_residual.min(via_ideal)
+        );
+        assert!((r.bound - charge.min(1.0)).abs() < 1e-15);
+        assert!(r.to_text().contains("commutation reorder"));
+        assert!(r.to_json().contains("\"commutation_equivalent\":true"));
+    }
+
+    #[test]
+    fn route_3_does_not_fire_on_dependent_reorders() {
+        // rz on the *target* does not commute with the cx: different words
+        let mut a = Circuit::new(2);
+        a.rz(0.7, 1).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        b.rz(0.7, 1);
+        let r = check_equivalence(&a, &b, &cal3(), &opts(1e-9));
+        assert!(!r.commutation_equivalent);
+        assert_eq!(r.reorder_noise, None);
+        assert!(r.to_json().contains("\"reorder_noise\":null"));
+    }
+
+    #[test]
+    fn wide_undecidable_pair_notes_the_missing_lower_bound() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).rz(0.5, 0).cx(0, 1).cx(0, 1);
+        let o = EquivOptions {
+            epsilon: 1e-6,
+            ideal_tv_max_qubits: 1, // force the width skip
+            ..EquivOptions::default()
+        };
+        let r = check_equivalence(&a, &b, &cal3().with_uniform_cx_error(0.08), &o);
+        assert_eq!(r.verdict, EquivVerdict::Undecidable, "{}", r.to_text());
+        let msgs: Vec<&str> = r
+            .findings
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "QA502")
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(
+            msgs[1].contains("no lower bound available above 1 qubit(s)"),
+            "{msgs:?}"
+        );
     }
 
     #[test]

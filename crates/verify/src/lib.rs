@@ -34,6 +34,7 @@ pub mod budget;
 pub mod calibration_lints;
 pub mod channel_lints;
 pub mod circuit_lints;
+pub mod commute;
 pub mod config;
 pub mod dag;
 pub mod dataflow;
@@ -46,6 +47,10 @@ pub use channel_lints::{
     kraus_completeness_defect, lint_kraus_set, lint_probability, lint_stochastic_rows,
 };
 pub use circuit_lints::{lint_circuit, lint_instructions};
+pub use commute::{
+    canonical_reorder, charge_to_normal_form, equivalence_charge, foata_blocks, foata_word,
+    fusion_plan, lint_commute, swap_cost, FusionStep,
+};
 pub use config::{LintCode, LintConfig, LintLevel};
 pub use dag::{CircuitDag, CriticalPath, DagError, DagNode};
 pub use dataflow::{

@@ -1,0 +1,4 @@
+// qaprox circuit: 2 qubits, 2 gates
+qreg q[2];
+cx q[0],q[1];
+rz(0.700000000000) q[0];
