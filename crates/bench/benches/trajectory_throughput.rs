@@ -16,9 +16,18 @@
 //! * `job_{n}q/shots=S` — a full `TrajectoryBackend::probabilities` call
 //!   (compile + S shots + accumulation + readout confusion).
 //!
-//! Commentary lines record the fusion ratio (source gates per fused op)
-//! and the shots/sec each width sustains, so wide-device budgets
-//! (27q/65q runs) can be estimated from the snapshot.
+//! * `batch_job_{n}q/cands=K` — K candidate circuits scored in ONE
+//!   shot-batched pass (`TrajectoryBackend::probabilities_batch`), vs
+//! * `solo_jobs_{n}q/cands=K` — the same K candidates scored one at a
+//!   time; the ratio is the wide-run batching win.
+//!
+//! Commentary lines record the selected amplitude kernel (`simd` on AVX2
+//! hosts, `scalar` under `QAPROX_SIMD=0` or on other ISAs), the fusion
+//! ratio (source gates per fused op), and the shots/sec each width
+//! sustains, so wide-device budgets (27q/65q runs) can be estimated from
+//! the snapshot. Run the bench twice — default and `QAPROX_SIMD=0` — to
+//! measure the SIMD speedup itself; both legs are recorded side by side in
+//! `BENCH_trajectory.json`.
 
 use qaprox_algos::tfim::{tfim_circuit, TfimParams};
 use qaprox_bench::timing::{bench, header};
@@ -35,6 +44,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("# host_cores={host_cores} (shot-level scaling is bounded by this)");
+    println!(
+        "# kernel={} (runtime dispatch; QAPROX_SIMD=0 forces scalar)",
+        qaprox_linalg::selected_kernel()
+    );
 
     let sizes: &[usize] = if quick { &[3, 8] } else { &[3, 8, 14, 18] };
     let trotter_steps = 4;
@@ -67,8 +80,6 @@ fn main() {
         let mut state = vec![Complex64::ZERO; circuit.dim()];
         let mut rng = SplitMix64::seed_from_u64(0x7261_6A00 ^ n as u64);
         let m = bench(&format!("shot_{n}q"), || {
-            state.fill(Complex64::ZERO);
-            state[0] = Complex64::new(1.0, 0.0);
             program.run_shot(&mut state, &mut rng);
             state[0]
         });
@@ -82,6 +93,23 @@ fn main() {
             let backend = TrajectoryBackend::with_shots(model.clone(), shots);
             bench(&format!("job_{n}q/shots={shots}"), || {
                 backend.probabilities(&circuit, 7)
+            });
+
+            // multi-candidate scoring, the serve wide-run shape: the same
+            // K step-count truncations batched vs evaluated one at a time
+            let cands = 4usize;
+            let circuits: Vec<_> = (1..=cands)
+                .map(|s| tfim_circuit(&TfimParams::paper_defaults(n), s))
+                .collect();
+            bench(&format!("batch_job_{n}q/cands={cands}"), || {
+                backend.probabilities_batch(&circuits).unwrap()
+            });
+            bench(&format!("solo_jobs_{n}q/cands={cands}"), || {
+                circuits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| backend.probabilities(c, i as u64))
+                    .collect::<Vec<_>>()
             });
         }
     }

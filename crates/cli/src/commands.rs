@@ -134,7 +134,8 @@ SUBCOMMANDS:
               --check-shots N  cross-check the static prediction against an
                                N-shot trajectory simulation (prints the
                                simulated TVD and classical fidelity next to
-                               the static bound; --job-seed applies)
+                               the static bound; --job-seed applies; multiple
+                               files of one width share a shot-batched pass)
               --no-relaxation  ignore T1/T2 during idle+gate windows
               --no-readout     ignore measurement error
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
@@ -779,7 +780,6 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
         v
     };
 
-    let mut total_errors = 0usize;
     for (name, circuit) in &circuits {
         if circuit.num_qubits() > cal.topology.num_qubits() {
             return Err(CliError::Failure(format!(
@@ -788,6 +788,30 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
                 cal.topology.num_qubits()
             )));
         }
+    }
+
+    // the dynamic cross-check runs up front as one shot-batched trajectory
+    // pass per circuit width (per-file results are looked up below), so an
+    // analyze sweep over many QASM files pays one shot loop, not one each
+    let check_shots: Option<usize> = match args.options.get("check-shots") {
+        Some(raw) => {
+            let shots: usize = raw
+                .parse()
+                .map_err(|_| format!("--check-shots: cannot parse '{raw}'"))?;
+            if shots == 0 {
+                return Err(CliError::Failure("--check-shots must be at least 1".into()));
+            }
+            Some(shots)
+        }
+        None => None,
+    };
+    let checks: Option<Vec<(f64, f64)>> = match check_shots {
+        Some(shots) => Some(trajectory_check_all(&circuits, &cal, shots, args)?),
+        None => None,
+    };
+
+    let mut total_errors = 0usize;
+    for (i, (name, circuit)) in circuits.iter().enumerate() {
         let report = qaprox_verify::analyze_with_config(circuit, &cal, &opts, &cfg);
         total_errors += report.findings.error_count();
         match format.as_str() {
@@ -797,14 +821,8 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
                 print!("{}", report.to_text());
             }
         }
-        if let Some(raw) = args.options.get("check-shots") {
-            let shots: usize = raw
-                .parse()
-                .map_err(|_| format!("--check-shots: cannot parse '{raw}'"))?;
-            if shots == 0 {
-                return Err(CliError::Failure("--check-shots must be at least 1".into()));
-            }
-            let (tvd, fidelity) = trajectory_check(circuit, &cal, shots, args)?;
+        if let (Some(shots), Some(checks)) = (check_shots, &checks) {
+            let (tvd, fidelity) = checks[i];
             match format.as_str() {
                 "json" => println!(
                     "{}",
@@ -832,26 +850,40 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// The `analyze --check-shots N` dynamic cross-check: simulates the circuit
-/// on the trajectory backend under the same calibration the static analyzer
-/// used and returns `(tvd_to_ideal, classical_fidelity)`. The classical
-/// (Bhattacharyya) fidelity between the noisy and ideal distributions is
-/// directly comparable to the analyzer's `fidelity_bound` — the simulated
-/// value should sit at or above the sound static bound, shot noise aside.
-fn trajectory_check(
-    circuit: &Circuit,
+/// The `analyze --check-shots N` dynamic cross-check, batched: circuits are
+/// grouped by width and every group is simulated in one shot-batched
+/// trajectory pass ([`qaprox_sim::TrajectoryBackend::probabilities_batch_seeded`]),
+/// each row bit-identical to the solo `probabilities(c, job_seed)` call it
+/// replaces. Returns `(tvd_to_ideal, classical_fidelity)` per circuit, in
+/// input order. The classical (Bhattacharyya) fidelity between the noisy
+/// and ideal distributions is directly comparable to the analyzer's
+/// `fidelity_bound` — the simulated value should sit at or above the sound
+/// static bound, shot noise aside.
+fn trajectory_check_all(
+    circuits: &[(String, Circuit)],
     cal: &qaprox_device::Calibration,
     shots: usize,
     args: &Args,
-) -> Result<(f64, f64), String> {
+) -> Result<Vec<(f64, f64)>, String> {
     let model = qaprox_sim::NoiseModel::from_calibration(cal.clone());
     let backend = qaprox_sim::TrajectoryBackend::with_shots(model, shots);
     let job_seed: u64 = args.get_or("job-seed", 0u64)?;
-    let noisy = backend.probabilities(circuit, job_seed);
-    let ideal = qaprox_sim::statevector::probabilities(circuit);
-    let tvd = qaprox_metrics::total_variation(&noisy, &ideal);
-    let bhatt: f64 = noisy.iter().zip(&ideal).map(|(p, q)| (p * q).sqrt()).sum();
-    Ok((tvd, bhatt * bhatt))
+    let mut by_width: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, (_, c)) in circuits.iter().enumerate() {
+        by_width.entry(c.num_qubits()).or_default().push(i);
+    }
+    let mut out = vec![(0.0, 0.0); circuits.len()];
+    for idxs in by_width.values() {
+        let refs: Vec<&Circuit> = idxs.iter().map(|&i| &circuits[i].1).collect();
+        let rows = backend.probabilities_batch_seeded(&refs, job_seed)?;
+        for (&i, noisy) in idxs.iter().zip(&rows) {
+            let ideal = qaprox_sim::statevector::probabilities(&circuits[i].1);
+            let tvd = qaprox_metrics::total_variation(noisy, &ideal);
+            let bhatt: f64 = noisy.iter().zip(&ideal).map(|(p, q)| (p * q).sqrt()).sum();
+            out[i] = (tvd, bhatt * bhatt);
+        }
+    }
+    Ok(out)
 }
 
 /// Resolves `--device` (default ourense) plus the optional `--cx-error`
@@ -1317,6 +1349,19 @@ mod tests {
         .is_ok());
         assert!(run(&["analyze", "--check-shots", "abc"]).is_err());
         assert!(run(&["analyze", "--check-shots", "0"]).is_err());
+    }
+
+    #[test]
+    fn analyze_check_shots_batches_across_files() {
+        // three files, two widths: the cross-check groups by width and runs
+        // one shot-batched trajectory pass per group
+        let a = temp_qasm("qaprox_ck_a.qasm", "qreg q[2];\nh q[0];\ncx q[0],q[1];\n");
+        let b = temp_qasm("qaprox_ck_b.qasm", "qreg q[2];\nx q[0];\n");
+        let c = temp_qasm(
+            "qaprox_ck_c.qasm",
+            "qreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n",
+        );
+        assert!(run(&["analyze", &a, &b, &c, "--check-shots", "16"]).is_ok());
     }
 
     #[test]

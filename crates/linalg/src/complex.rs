@@ -11,7 +11,12 @@ use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` real and imaginary parts.
+///
+/// `repr(C)` pins the `(re, im)` field order so a `&[Complex64]` is layout-
+/// compatible with an interleaved `&[f64]` of twice the length — the contract
+/// the SIMD amplitude kernels in [`crate::simd`] rely on.
 #[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

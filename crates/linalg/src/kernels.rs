@@ -66,57 +66,211 @@ pub fn apply_2q_vec(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64;
 /// sampling: branch probabilities `||K_i psi||^2` are computed with this
 /// kernel and only the *selected* branch is applied in place, so a channel
 /// application allocates nothing.
+///
+/// Dispatches to the fastest implementation the host supports (AVX2 when
+/// detected, [`norm_sqr_1q_scalar`] otherwise); both paths accumulate into
+/// the same four structural lanes and reduce them in the same order, so the
+/// result is bit-identical either way. See [`crate::simd`].
 pub fn norm_sqr_1q(state: &[Complex64], q: usize, u: &[Complex64; 4]) -> f64 {
+    (crate::simd::kernel_dispatch().norm_sqr_1q)(state, q, u)
+}
+
+/// Squared norm of `U psi` for a two-qubit gate `u` on `(a, b)` (first listed
+/// qubit = high bit), without mutating the state. See [`norm_sqr_1q`];
+/// dispatched the same way, with [`norm_sqr_2q_scalar`] as the fallback.
+pub fn norm_sqr_2q(state: &[Complex64], a: usize, b: usize, u: &[Complex64; 16]) -> f64 {
+    (crate::simd::kernel_dispatch().norm_sqr_2q)(state, a, b, u)
+}
+
+/// Portable [`norm_sqr_1q`]: blocked two-stream traversal accumulating into
+/// four structural lanes `[re0, im0, re1, im1]` with the fixed reduction
+/// `(l0 + l2) + (l1 + l3)` — the exact shape of the AVX2 accumulator, which
+/// is what makes the two paths bit-identical.
+pub fn norm_sqr_1q_scalar(state: &[Complex64], q: usize, u: &[Complex64; 4]) -> f64 {
     let dim = state.len();
     debug_assert!(dim.is_power_of_two());
     debug_assert!(1 << q < dim, "qubit index out of range");
     let mask = 1usize << q;
-    let mut total = 0.0f64;
-    for i in 0..dim / 2 {
-        let i0 = insert_zero_bit(i, q);
-        let i1 = i0 | mask;
-        let a = state[i0];
-        let b = state[i1];
-        total += (a * u[0] + b * u[1]).norm_sqr();
-        total += (a * u[2] + b * u[3]).norm_sqr();
+    let mut lanes = [0.0f64; 4];
+    if mask == 1 {
+        // one (a, b) pair per vector: lanes hold (x.re^2, x.im^2, y.re^2, y.im^2)
+        let mut i = 0usize;
+        while i < dim {
+            let a = state[i];
+            let b = state[i + 1];
+            let x = a * u[0] + b * u[1];
+            let y = a * u[2] + b * u[3];
+            lanes[0] += x.re * x.re;
+            lanes[1] += x.im * x.im;
+            lanes[2] += y.re * y.re;
+            lanes[3] += y.im * y.im;
+            i += 2;
+        }
+    } else {
+        // two pairs per vector step: lanes hold (pair0.re^2, pair0.im^2,
+        // pair1.re^2, pair1.im^2), x-outputs then y-outputs
+        let stride = mask << 1;
+        let mut base = 0usize;
+        while base < dim {
+            let mut off = 0usize;
+            while off < mask {
+                let i0 = base + off;
+                let i1 = i0 | mask;
+                let (a0, a1) = (state[i0], state[i0 + 1]);
+                let (b0, b1) = (state[i1], state[i1 + 1]);
+                let x0 = a0 * u[0] + b0 * u[1];
+                let x1 = a1 * u[0] + b1 * u[1];
+                lanes[0] += x0.re * x0.re;
+                lanes[1] += x0.im * x0.im;
+                lanes[2] += x1.re * x1.re;
+                lanes[3] += x1.im * x1.im;
+                let y0 = a0 * u[2] + b0 * u[3];
+                let y1 = a1 * u[2] + b1 * u[3];
+                lanes[0] += y0.re * y0.re;
+                lanes[1] += y0.im * y0.im;
+                lanes[2] += y1.re * y1.re;
+                lanes[3] += y1.im * y1.im;
+                off += 2;
+            }
+            base += stride;
+        }
     }
-    total
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
 }
 
-/// Squared norm of `U psi` for a two-qubit gate `u` on `(a, b)` (first listed
-/// qubit = high bit), without mutating the state. See [`norm_sqr_1q`].
-pub fn norm_sqr_2q(state: &[Complex64], a: usize, b: usize, u: &[Complex64; 16]) -> f64 {
+/// Portable [`norm_sqr_2q`]: blocked traversal with the same structural
+/// four-lane accumulation as the AVX2 kernel (see [`norm_sqr_1q_scalar`]).
+pub fn norm_sqr_2q_scalar(state: &[Complex64], a: usize, b: usize, u: &[Complex64; 16]) -> f64 {
     let dim = state.len();
     debug_assert!(a != b, "two-qubit gate needs distinct qubits");
     debug_assert!((1 << a) < dim && (1 << b) < dim, "qubit index out of range");
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     let ma = 1usize << a;
     let mb = 1usize << b;
-    let mut total = 0.0f64;
-    for i in 0..dim / 4 {
-        let base = insert_zero_bit(insert_zero_bit(i, lo), hi);
-        let amp = [
-            state[base],
-            state[base | mb],
-            state[base | ma],
-            state[base | ma | mb],
-        ];
-        for r in 0..4 {
-            let mut acc = Complex64::ZERO;
-            for (c, &amp_c) in amp.iter().enumerate() {
-                acc = acc.mul_add(u[r * 4 + c], amp_c);
+    let mlo = 1usize << lo;
+    let mhi = 1usize << hi;
+    let mut lanes = [0.0f64; 4];
+    if mlo >= 2 {
+        // two quads per vector step: lane pairs hold quad0 / quad1 outputs
+        let mut base_hi = 0usize;
+        while base_hi < dim {
+            let mut base_mid = base_hi;
+            while base_mid < base_hi + mhi {
+                let mut off = 0usize;
+                while off < mlo {
+                    let base = base_mid + off;
+                    let amp0 = [
+                        state[base],
+                        state[base | mb],
+                        state[base | ma],
+                        state[base | ma | mb],
+                    ];
+                    let base1 = base + 1;
+                    let amp1 = [
+                        state[base1],
+                        state[base1 | mb],
+                        state[base1 | ma],
+                        state[base1 | ma | mb],
+                    ];
+                    for r in 0..4 {
+                        let mut acc0 = Complex64::ZERO;
+                        let mut acc1 = Complex64::ZERO;
+                        for c in 0..4 {
+                            acc0 = acc0.mul_add(u[r * 4 + c], amp0[c]);
+                            acc1 = acc1.mul_add(u[r * 4 + c], amp1[c]);
+                        }
+                        lanes[0] += acc0.re * acc0.re;
+                        lanes[1] += acc0.im * acc0.im;
+                        lanes[2] += acc1.re * acc1.re;
+                        lanes[3] += acc1.im * acc1.im;
+                    }
+                    off += 2;
+                }
+                base_mid += mlo << 1;
             }
-            total += acc.norm_sqr();
+            base_hi += mhi << 1;
+        }
+    } else {
+        // lo == 0: one quad spans two contiguous pairs; rows are visited in
+        // memory order (the small-index order of adjacent slots depends on
+        // which of a/b is qubit 0), two rows per accumulation step
+        let ms: [usize; 4] = if mb == 1 { [0, 1, 2, 3] } else { [0, 2, 1, 3] };
+        let mut base_hi = 0usize;
+        while base_hi < dim {
+            let mut base = base_hi;
+            while base < base_hi + mhi {
+                let amp = [
+                    state[base],
+                    state[base | mb],
+                    state[base | ma],
+                    state[base | ma | mb],
+                ];
+                for half in 0..2 {
+                    let r0 = ms[2 * half];
+                    let r1 = ms[2 * half + 1];
+                    let mut acc0 = Complex64::ZERO;
+                    let mut acc1 = Complex64::ZERO;
+                    for c in 0..4 {
+                        acc0 = acc0.mul_add(u[r0 * 4 + c], amp[c]);
+                        acc1 = acc1.mul_add(u[r1 * 4 + c], amp[c]);
+                    }
+                    lanes[0] += acc0.re * acc0.re;
+                    lanes[1] += acc0.im * acc0.im;
+                    lanes[2] += acc1.re * acc1.re;
+                    lanes[3] += acc1.im * acc1.im;
+                }
+                base += 2;
+            }
+            base_hi += mhi << 1;
         }
     }
-    total
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
 }
 
 /// Cache-friendly variant of [`apply_1q_vec`]: instead of recomputing the
 /// bit-insert per index pair, iterate blocks of `2^q` contiguous amplitudes
 /// so the inner loop walks two contiguous streams. Identical results to the
 /// plain kernel (same operations in the same order per pair).
+///
+/// Dispatches to the AVX2 kernel when the host supports it and to
+/// [`apply_1q_vec_blocked_scalar`] otherwise; the two are bit-identical
+/// (see [`crate::simd`]).
 pub fn apply_1q_vec_blocked(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
+    (crate::simd::kernel_dispatch().apply_1q_blocked)(state, q, u)
+}
+
+/// Cache-friendly variant of [`apply_2q_vec`]: three nested loops over
+/// (high-bit block, mid block, contiguous low offsets), so the innermost
+/// loop reads and writes four contiguous amplitude streams — the layout the
+/// trajectory backend's fused 2q matrices are applied with. Identical
+/// results to the plain kernel.
+///
+/// Dispatched like [`apply_1q_vec_blocked`], with
+/// [`apply_2q_vec_blocked_scalar`] as the portable fallback.
+pub fn apply_2q_vec_blocked(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+    (crate::simd::kernel_dispatch().apply_2q_blocked)(state, a, b, u)
+}
+
+/// Scales every amplitude by the real factor `s` — the renormalization
+/// sweep after a stochastic Kraus selection, paid once per noise event in
+/// the trajectory shot loop. Elementwise (`re*s`, `im*s` per amplitude, no
+/// reduction), so the AVX2 and scalar paths are trivially bit-identical.
+///
+/// Dispatched like [`apply_1q_vec_blocked`], with [`scale_scalar`] as the
+/// portable fallback.
+pub fn scale(state: &mut [Complex64], s: f64) {
+    (crate::simd::kernel_dispatch().scale)(state, s)
+}
+
+/// Portable [`scale`] implementation.
+pub fn scale_scalar(state: &mut [Complex64], s: f64) {
+    for z in state.iter_mut() {
+        *z *= s;
+    }
+}
+
+/// Portable [`apply_1q_vec_blocked`] implementation.
+pub fn apply_1q_vec_blocked_scalar(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
     let dim = state.len();
     debug_assert!(dim.is_power_of_two());
     debug_assert!(1 << q < dim, "qubit index out of range");
@@ -136,12 +290,13 @@ pub fn apply_1q_vec_blocked(state: &mut [Complex64], q: usize, u: &[Complex64; 4
     }
 }
 
-/// Cache-friendly variant of [`apply_2q_vec`]: three nested loops over
-/// (high-bit block, mid block, contiguous low offsets), so the innermost
-/// loop reads and writes four contiguous amplitude streams — the layout the
-/// trajectory backend's fused 2q matrices are applied with. Identical
-/// results to the plain kernel.
-pub fn apply_2q_vec_blocked(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+/// Portable [`apply_2q_vec_blocked`] implementation.
+pub fn apply_2q_vec_blocked_scalar(
+    state: &mut [Complex64],
+    a: usize,
+    b: usize,
+    u: &[Complex64; 16],
+) {
     let dim = state.len();
     debug_assert!(a != b, "two-qubit gate needs distinct qubits");
     debug_assert!((1 << a) < dim && (1 << b) < dim, "qubit index out of range");

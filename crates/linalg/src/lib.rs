@@ -18,7 +18,9 @@
 //! * [`random`] — a seedable in-repo RNG ([`random::SplitMix64`]),
 //!   Haar-distributed unitaries, and random states;
 //! * [`parallel`] — order-preserving parallel map / join, sequential by
-//!   default and threaded behind the `parallel` feature.
+//!   default and threaded behind the `parallel` feature;
+//! * [`simd`] — runtime-dispatched AVX2 amplitude kernels, bit-identical to
+//!   the scalar fallback (`QAPROX_SIMD=0` forces scalar).
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub mod parallel;
 pub mod pauli;
 pub mod polar;
 pub mod random;
+pub mod simd;
 pub mod solve;
 
 pub use complex::{c64, Complex64};
@@ -43,4 +46,5 @@ pub use hashing::{hash128, hash128_hex, Hash128};
 pub use matrix::Matrix;
 pub use polar::{nearest_unitary, polar_unitary};
 pub use random::{Rng, SplitMix64};
+pub use simd::{kernel_dispatch, selected_kernel, simd_available, KernelDispatch};
 pub use solve::{invert, solve, SingularMatrix};

@@ -1,0 +1,548 @@
+//! Runtime-dispatched SIMD amplitude kernels.
+//!
+//! The trajectory and statevector hot loops spend nearly all their time in
+//! four kernels: the blocked 1q/2q gate applications and their read-only
+//! `||K psi||^2` norm sweeps. This module provides hand-vectorized AVX2
+//! implementations of those four, selected **once per process** into a
+//! [`KernelDispatch`] table:
+//!
+//! * detection is at runtime via `is_x86_feature_detected!("avx2")` (and
+//!   `"fma"`), so a portable build runs everywhere and non-AVX2 hosts fall
+//!   back to the scalar blocked kernels automatically;
+//! * `QAPROX_SIMD=0` forces the scalar path (paired benchmarking, debugging);
+//! * zero external dependencies — everything is `std::arch`.
+//!
+//! # Bit-identity contract
+//!
+//! The vector kernels perform **exactly the same IEEE-754 operations in the
+//! same per-element order** as the scalar kernels, so `QAPROX_SIMD=0`
+//! changes speed, never output. Two deliberate choices make that hold:
+//!
+//! * complex multiply-accumulate is implemented as mul / permute / addsub —
+//!   never with FMA intrinsics. [`Complex64`]'s scalar `Mul`/`mul_add` are
+//!   plain mul/add/sub expressions (Rust does not contract float expressions
+//!   into fused ops), so a `_mm256_fmadd_pd` in the vector path would change
+//!   rounding and break bit-identity. Detection still requires `fma` (it
+//!   ships with every AVX2 core and keeps the dispatch conservative), but
+//!   the value path avoids contraction on purpose;
+//! * the norm sweeps accumulate into **four structural lanes** with a fixed
+//!   final reduction tree `(acc0 + acc2) + (acc1 + acc3)`; the scalar
+//!   [`kernels::norm_sqr_1q_scalar`]/[`kernels::norm_sqr_2q_scalar`] use the
+//!   identical lane structure, so the sums associate identically.
+//!
+//! The property suite in `tests/simd_kernels.rs` pins the contract across
+//! all qubit positions and block boundaries.
+
+use crate::complex::Complex64;
+use crate::kernels;
+use std::sync::OnceLock;
+
+/// The four hot amplitude kernels behind one function-pointer table.
+///
+/// Resolved once per process by [`kernel_dispatch`]; the public kernels in
+/// [`crate::kernels`] (`apply_1q_vec_blocked`, `apply_2q_vec_blocked`,
+/// `norm_sqr_1q`, `norm_sqr_2q`) route through the selected entries.
+pub struct KernelDispatch {
+    /// Implementation name: `"simd"` (AVX2) or `"scalar"`. Recorded by the
+    /// throughput benches so published numbers say which path they measured.
+    pub name: &'static str,
+    /// Blocked one-qubit gate application.
+    pub apply_1q_blocked: fn(&mut [Complex64], usize, &[Complex64; 4]),
+    /// Blocked two-qubit gate application.
+    pub apply_2q_blocked: fn(&mut [Complex64], usize, usize, &[Complex64; 16]),
+    /// Read-only `||U psi||^2` for a one-qubit gate.
+    pub norm_sqr_1q: fn(&[Complex64], usize, &[Complex64; 4]) -> f64,
+    /// Read-only `||U psi||^2` for a two-qubit gate.
+    pub norm_sqr_2q: fn(&[Complex64], usize, usize, &[Complex64; 16]) -> f64,
+    /// Elementwise scale of every amplitude by a real factor (the
+    /// renormalization sweep after a stochastic Kraus selection).
+    pub scale: fn(&mut [Complex64], f64),
+}
+
+static SCALAR: KernelDispatch = KernelDispatch {
+    name: "scalar",
+    apply_1q_blocked: kernels::apply_1q_vec_blocked_scalar,
+    apply_2q_blocked: kernels::apply_2q_vec_blocked_scalar,
+    norm_sqr_1q: kernels::norm_sqr_1q_scalar,
+    norm_sqr_2q: kernels::norm_sqr_2q_scalar,
+    scale: kernels::scale_scalar,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SIMD: KernelDispatch = KernelDispatch {
+    name: "simd",
+    apply_1q_blocked: avx2::apply_1q_vec_blocked,
+    apply_2q_blocked: avx2::apply_2q_vec_blocked,
+    norm_sqr_1q: avx2::norm_sqr_1q,
+    norm_sqr_2q: avx2::norm_sqr_2q,
+    scale: avx2::scale,
+};
+
+static SELECTED: OnceLock<&'static KernelDispatch> = OnceLock::new();
+
+/// True when the AVX2 kernels are compiled in *and* the host supports them.
+/// Independent of `QAPROX_SIMD` — this reports capability, not selection.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The kernel table selected for this process.
+///
+/// Resolution happens on first call and is then fixed: `QAPROX_SIMD=0`
+/// forces scalar; otherwise AVX2(+FMA) detection picks the SIMD table with
+/// the scalar kernels as the portable fallback.
+pub fn kernel_dispatch() -> &'static KernelDispatch {
+    SELECTED.get_or_init(|| {
+        let forced_off = std::env::var("QAPROX_SIMD").is_ok_and(|v| v.trim() == "0");
+        if !forced_off && simd_available() {
+            #[cfg(target_arch = "x86_64")]
+            return &SIMD;
+        }
+        &SCALAR
+    })
+}
+
+/// Name of the kernel implementation this process selected: `"simd"` or
+/// `"scalar"`. Benches and smoke scripts record this next to their numbers.
+pub fn selected_kernel() -> &'static str {
+    kernel_dispatch().name
+}
+
+/// AVX2 implementations. Safe wrappers over `target_feature` inner kernels;
+/// callers must only reach them through [`kernel_dispatch`] (which proves
+/// feature support) or after checking [`simd_available`], as the test suite
+/// does.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use crate::complex::Complex64;
+    use std::arch::x86_64::*;
+
+    /// Swap (re, im) within each 128-bit half: `[a, b, c, d] -> [b, a, d, c]`.
+    #[inline(always)]
+    unsafe fn swap_halves(v: __m256d) -> __m256d {
+        _mm256_permute_pd(v, 0b0101)
+    }
+
+    /// Complex multiply of two interleaved amplitudes `v = [z0.re, z0.im,
+    /// z1.re, z1.im]` by one broadcast coefficient `w` (given as `wr` =
+    /// `[w.re; 4]`, `wi` = `[w.im; 4]`). Bitwise equal to the scalar
+    /// `Complex64::mul` per lane pair: `re = v.re*w.re - v.im*w.im`,
+    /// `im = v.re*w.im + v.im*w.re` (addsub's even lanes subtract, odd add).
+    #[inline(always)]
+    unsafe fn cmul(v: __m256d, wr: __m256d, wi: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(v, wr);
+        let t2 = _mm256_mul_pd(swap_halves(v), wi);
+        _mm256_addsub_pd(t1, t2)
+    }
+
+    /// `acc + v * w`, bitwise equal to the scalar `Complex64::mul_add`
+    /// (`acc.re + v.re*w.re - v.im*w.im` evaluated left-to-right).
+    #[inline(always)]
+    unsafe fn cmul_acc(acc: __m256d, v: __m256d, wr: __m256d, wi: __m256d) -> __m256d {
+        let s1 = _mm256_add_pd(acc, _mm256_mul_pd(v, wr));
+        let t2 = _mm256_mul_pd(swap_halves(v), wi);
+        _mm256_addsub_pd(s1, t2)
+    }
+
+    /// Broadcast one coefficient into (re-splat, im-splat) vectors.
+    #[inline(always)]
+    unsafe fn splat(w: Complex64) -> (__m256d, __m256d) {
+        (_mm256_set1_pd(w.re), _mm256_set1_pd(w.im))
+    }
+
+    /// Structural four-lane reduction `(acc0 + acc2) + (acc1 + acc3)` —
+    /// mirrored exactly by the scalar norm kernels.
+    #[inline(always)]
+    unsafe fn reduce_lanes(acc: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let s = _mm_add_pd(lo, hi); // [acc0+acc2, acc1+acc3]
+        _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn apply_1q_inner(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
+        let dim = state.len();
+        let mask = 1usize << q;
+        let p = state.as_mut_ptr() as *mut f64;
+        if mask == 1 {
+            // Each vector is one (a, b) pair: [a.re, a.im, b.re, b.im].
+            // Row coefficients carry u0/u1 in the low half (producing the
+            // new a) and u2/u3 in the high half (producing the new b).
+            let c0r = _mm256_setr_pd(u[0].re, u[0].re, u[2].re, u[2].re);
+            let c0i = _mm256_setr_pd(u[0].im, u[0].im, u[2].im, u[2].im);
+            let c1r = _mm256_setr_pd(u[1].re, u[1].re, u[3].re, u[3].re);
+            let c1i = _mm256_setr_pd(u[1].im, u[1].im, u[3].im, u[3].im);
+            let mut i = 0usize;
+            while i < dim {
+                let v = _mm256_loadu_pd(p.add(2 * i));
+                let aa = _mm256_permute2f128_pd(v, v, 0x00);
+                let bb = _mm256_permute2f128_pd(v, v, 0x11);
+                let out = _mm256_add_pd(cmul(aa, c0r, c0i), cmul(bb, c1r, c1i));
+                _mm256_storeu_pd(p.add(2 * i), out);
+                i += 2;
+            }
+        } else {
+            // Two contiguous streams, two amplitudes per vector.
+            let (u0r, u0i) = splat(u[0]);
+            let (u1r, u1i) = splat(u[1]);
+            let (u2r, u2i) = splat(u[2]);
+            let (u3r, u3i) = splat(u[3]);
+            let stride = mask << 1;
+            let mut base = 0usize;
+            while base < dim {
+                let mut off = 0usize;
+                while off < mask {
+                    let i0 = 2 * (base + off);
+                    let i1 = 2 * (base + off + mask);
+                    let va = _mm256_loadu_pd(p.add(i0));
+                    let vb = _mm256_loadu_pd(p.add(i1));
+                    let o0 = _mm256_add_pd(cmul(va, u0r, u0i), cmul(vb, u1r, u1i));
+                    let o1 = _mm256_add_pd(cmul(va, u2r, u2i), cmul(vb, u3r, u3i));
+                    _mm256_storeu_pd(p.add(i0), o0);
+                    _mm256_storeu_pd(p.add(i1), o1);
+                    off += 2;
+                }
+                base += stride;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn norm_sqr_1q_inner(state: &[Complex64], q: usize, u: &[Complex64; 4]) -> f64 {
+        let dim = state.len();
+        let mask = 1usize << q;
+        let p = state.as_ptr() as *const f64;
+        let mut acc = _mm256_setzero_pd();
+        if mask == 1 {
+            let c0r = _mm256_setr_pd(u[0].re, u[0].re, u[2].re, u[2].re);
+            let c0i = _mm256_setr_pd(u[0].im, u[0].im, u[2].im, u[2].im);
+            let c1r = _mm256_setr_pd(u[1].re, u[1].re, u[3].re, u[3].re);
+            let c1i = _mm256_setr_pd(u[1].im, u[1].im, u[3].im, u[3].im);
+            let mut i = 0usize;
+            while i < dim {
+                let v = _mm256_loadu_pd(p.add(2 * i));
+                let aa = _mm256_permute2f128_pd(v, v, 0x00);
+                let bb = _mm256_permute2f128_pd(v, v, 0x11);
+                let out = _mm256_add_pd(cmul(aa, c0r, c0i), cmul(bb, c1r, c1i));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(out, out));
+                i += 2;
+            }
+        } else {
+            let (u0r, u0i) = splat(u[0]);
+            let (u1r, u1i) = splat(u[1]);
+            let (u2r, u2i) = splat(u[2]);
+            let (u3r, u3i) = splat(u[3]);
+            let stride = mask << 1;
+            let mut base = 0usize;
+            while base < dim {
+                let mut off = 0usize;
+                while off < mask {
+                    let i0 = 2 * (base + off);
+                    let i1 = 2 * (base + off + mask);
+                    let va = _mm256_loadu_pd(p.add(i0));
+                    let vb = _mm256_loadu_pd(p.add(i1));
+                    let o0 = _mm256_add_pd(cmul(va, u0r, u0i), cmul(vb, u1r, u1i));
+                    let o1 = _mm256_add_pd(cmul(va, u2r, u2i), cmul(vb, u3r, u3i));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(o0, o0));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(o1, o1));
+                    off += 2;
+                }
+                base += stride;
+            }
+        }
+        reduce_lanes(acc)
+    }
+
+    /// Per-(a, b) index plumbing shared by the 2q kernels when the low
+    /// qubit is 0: memory slot order `[base, base+1, base+mhi, base+mhi+1]`
+    /// maps to small-matrix indices `ms`, with `inv` its inverse permutation
+    /// (`inv[s]` = memory slot holding small index `s`).
+    #[inline(always)]
+    fn lo0_perm(mb: usize) -> ([usize; 4], [usize; 4]) {
+        if mb == 1 {
+            // b is qubit 0 (low bit of the small index): memory order is
+            // already small-index order.
+            ([0, 1, 2, 3], [0, 1, 2, 3])
+        } else {
+            // a is qubit 0 (high bit of the small index): adjacent memory
+            // slots toggle the high bit.
+            ([0, 2, 1, 3], [0, 2, 1, 3])
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn apply_2q_inner(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+        let dim = state.len();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let p = state.as_mut_ptr() as *mut f64;
+        if mlo >= 2 {
+            // Four contiguous streams; two quads per iteration.
+            let mut ur = [_mm256_setzero_pd(); 16];
+            let mut ui = [_mm256_setzero_pd(); 16];
+            for k in 0..16 {
+                let (r, i) = splat(u[k]);
+                ur[k] = r;
+                ui[k] = i;
+            }
+            let mut base_hi = 0usize;
+            while base_hi < dim {
+                let mut base_mid = base_hi;
+                while base_mid < base_hi + mhi {
+                    let mut off = 0usize;
+                    while off < mlo {
+                        let base = base_mid + off;
+                        let idx = [
+                            2 * base,
+                            2 * (base | mb),
+                            2 * (base | ma),
+                            2 * (base | ma | mb),
+                        ];
+                        let amp = [
+                            _mm256_loadu_pd(p.add(idx[0])),
+                            _mm256_loadu_pd(p.add(idx[1])),
+                            _mm256_loadu_pd(p.add(idx[2])),
+                            _mm256_loadu_pd(p.add(idx[3])),
+                        ];
+                        for r in 0..4 {
+                            let mut acc = _mm256_setzero_pd();
+                            for (c, &amp_c) in amp.iter().enumerate() {
+                                acc = cmul_acc(acc, amp_c, ur[r * 4 + c], ui[r * 4 + c]);
+                            }
+                            _mm256_storeu_pd(p.add(idx[r]), acc);
+                        }
+                        off += 2;
+                    }
+                    base_mid += mlo << 1;
+                }
+                base_hi += mhi << 1;
+            }
+        } else {
+            // lo == 0: a quad is two contiguous pairs {base, base+1} and
+            // {base+mhi, base+mhi+1}. Compute both output vectors in memory
+            // order with per-lane coefficient vectors.
+            let (ms, inv) = lo0_perm(mb);
+            // clr[c]/cli[c]: coefficient for small column c of the low
+            // output vector (rows ms[0] in the low half, ms[1] high);
+            // chr/chi likewise for the high output vector (rows ms[2], ms[3]).
+            let mut clr = [_mm256_setzero_pd(); 4];
+            let mut cli = [_mm256_setzero_pd(); 4];
+            let mut chr = [_mm256_setzero_pd(); 4];
+            let mut chi = [_mm256_setzero_pd(); 4];
+            for c in 0..4 {
+                let wl0 = u[ms[0] * 4 + c];
+                let wl1 = u[ms[1] * 4 + c];
+                let wh0 = u[ms[2] * 4 + c];
+                let wh1 = u[ms[3] * 4 + c];
+                clr[c] = _mm256_setr_pd(wl0.re, wl0.re, wl1.re, wl1.re);
+                cli[c] = _mm256_setr_pd(wl0.im, wl0.im, wl1.im, wl1.im);
+                chr[c] = _mm256_setr_pd(wh0.re, wh0.re, wh1.re, wh1.re);
+                chi[c] = _mm256_setr_pd(wh0.im, wh0.im, wh1.im, wh1.im);
+            }
+            let mut base_hi = 0usize;
+            while base_hi < dim {
+                let mut base = base_hi;
+                while base < base_hi + mhi {
+                    let il = 2 * base;
+                    let ih = 2 * (base + mhi);
+                    let vl = _mm256_loadu_pd(p.add(il));
+                    let vh = _mm256_loadu_pd(p.add(ih));
+                    let slots = [
+                        _mm256_permute2f128_pd(vl, vl, 0x00),
+                        _mm256_permute2f128_pd(vl, vl, 0x11),
+                        _mm256_permute2f128_pd(vh, vh, 0x00),
+                        _mm256_permute2f128_pd(vh, vh, 0x11),
+                    ];
+                    let mut accl = _mm256_setzero_pd();
+                    let mut acch = _mm256_setzero_pd();
+                    for c in 0..4 {
+                        let amp_c = slots[inv[c]];
+                        accl = cmul_acc(accl, amp_c, clr[c], cli[c]);
+                        acch = cmul_acc(acch, amp_c, chr[c], chi[c]);
+                    }
+                    _mm256_storeu_pd(p.add(il), accl);
+                    _mm256_storeu_pd(p.add(ih), acch);
+                    base += 2;
+                }
+                base_hi += mhi << 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn norm_sqr_2q_inner(
+        state: &[Complex64],
+        a: usize,
+        b: usize,
+        u: &[Complex64; 16],
+    ) -> f64 {
+        let dim = state.len();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let p = state.as_ptr() as *const f64;
+        let mut acc = _mm256_setzero_pd();
+        if mlo >= 2 {
+            let mut ur = [_mm256_setzero_pd(); 16];
+            let mut ui = [_mm256_setzero_pd(); 16];
+            for k in 0..16 {
+                let (r, i) = splat(u[k]);
+                ur[k] = r;
+                ui[k] = i;
+            }
+            let mut base_hi = 0usize;
+            while base_hi < dim {
+                let mut base_mid = base_hi;
+                while base_mid < base_hi + mhi {
+                    let mut off = 0usize;
+                    while off < mlo {
+                        let base = base_mid + off;
+                        let idx = [
+                            2 * base,
+                            2 * (base | mb),
+                            2 * (base | ma),
+                            2 * (base | ma | mb),
+                        ];
+                        let amp = [
+                            _mm256_loadu_pd(p.add(idx[0])),
+                            _mm256_loadu_pd(p.add(idx[1])),
+                            _mm256_loadu_pd(p.add(idx[2])),
+                            _mm256_loadu_pd(p.add(idx[3])),
+                        ];
+                        for r in 0..4 {
+                            let mut row = _mm256_setzero_pd();
+                            for (c, &amp_c) in amp.iter().enumerate() {
+                                row = cmul_acc(row, amp_c, ur[r * 4 + c], ui[r * 4 + c]);
+                            }
+                            acc = _mm256_add_pd(acc, _mm256_mul_pd(row, row));
+                        }
+                        off += 2;
+                    }
+                    base_mid += mlo << 1;
+                }
+                base_hi += mhi << 1;
+            }
+        } else {
+            let (ms, inv) = lo0_perm(mb);
+            let mut clr = [_mm256_setzero_pd(); 4];
+            let mut cli = [_mm256_setzero_pd(); 4];
+            let mut chr = [_mm256_setzero_pd(); 4];
+            let mut chi = [_mm256_setzero_pd(); 4];
+            for c in 0..4 {
+                let wl0 = u[ms[0] * 4 + c];
+                let wl1 = u[ms[1] * 4 + c];
+                let wh0 = u[ms[2] * 4 + c];
+                let wh1 = u[ms[3] * 4 + c];
+                clr[c] = _mm256_setr_pd(wl0.re, wl0.re, wl1.re, wl1.re);
+                cli[c] = _mm256_setr_pd(wl0.im, wl0.im, wl1.im, wl1.im);
+                chr[c] = _mm256_setr_pd(wh0.re, wh0.re, wh1.re, wh1.re);
+                chi[c] = _mm256_setr_pd(wh0.im, wh0.im, wh1.im, wh1.im);
+            }
+            let mut base_hi = 0usize;
+            while base_hi < dim {
+                let mut base = base_hi;
+                while base < base_hi + mhi {
+                    let il = 2 * base;
+                    let ih = 2 * (base + mhi);
+                    let vl = _mm256_loadu_pd(p.add(il));
+                    let vh = _mm256_loadu_pd(p.add(ih));
+                    let slots = [
+                        _mm256_permute2f128_pd(vl, vl, 0x00),
+                        _mm256_permute2f128_pd(vl, vl, 0x11),
+                        _mm256_permute2f128_pd(vh, vh, 0x00),
+                        _mm256_permute2f128_pd(vh, vh, 0x11),
+                    ];
+                    let mut accl = _mm256_setzero_pd();
+                    let mut acch = _mm256_setzero_pd();
+                    for c in 0..4 {
+                        let amp_c = slots[inv[c]];
+                        accl = cmul_acc(accl, amp_c, clr[c], cli[c]);
+                        acch = cmul_acc(acch, amp_c, chr[c], chi[c]);
+                    }
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(accl, accl));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(acch, acch));
+                    base += 2;
+                }
+                base_hi += mhi << 1;
+            }
+        }
+        reduce_lanes(acc)
+    }
+
+    /// AVX2 [`crate::kernels::apply_1q_vec_blocked`]. Caller must ensure the
+    /// host supports AVX2+FMA (see [`super::simd_available`]).
+    pub fn apply_1q_vec_blocked(state: &mut [Complex64], q: usize, u: &[Complex64; 4]) {
+        debug_assert!(state.len().is_power_of_two());
+        debug_assert!(1 << q < state.len(), "qubit index out of range");
+        debug_assert!(super::simd_available());
+        unsafe { apply_1q_inner(state, q, u) }
+    }
+
+    /// AVX2 [`crate::kernels::apply_2q_vec_blocked`]. Caller must ensure the
+    /// host supports AVX2+FMA.
+    pub fn apply_2q_vec_blocked(state: &mut [Complex64], a: usize, b: usize, u: &[Complex64; 16]) {
+        debug_assert!(a != b, "two-qubit gate needs distinct qubits");
+        debug_assert!((1 << a) < state.len() && (1 << b) < state.len());
+        debug_assert!(super::simd_available());
+        unsafe { apply_2q_inner(state, a, b, u) }
+    }
+
+    /// AVX2 [`crate::kernels::norm_sqr_1q`]. Caller must ensure the host
+    /// supports AVX2+FMA.
+    pub fn norm_sqr_1q(state: &[Complex64], q: usize, u: &[Complex64; 4]) -> f64 {
+        debug_assert!(state.len().is_power_of_two());
+        debug_assert!(1 << q < state.len(), "qubit index out of range");
+        debug_assert!(super::simd_available());
+        unsafe { norm_sqr_1q_inner(state, q, u) }
+    }
+
+    /// AVX2 [`crate::kernels::norm_sqr_2q`]. Caller must ensure the host
+    /// supports AVX2+FMA.
+    pub fn norm_sqr_2q(state: &[Complex64], a: usize, b: usize, u: &[Complex64; 16]) -> f64 {
+        debug_assert!(a != b, "two-qubit gate needs distinct qubits");
+        debug_assert!((1 << a) < state.len() && (1 << b) < state.len());
+        debug_assert!(super::simd_available());
+        unsafe { norm_sqr_2q_inner(state, a, b, u) }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn scale_inner(state: &mut [Complex64], s: f64) {
+        // each f64 is multiplied by `s` exactly once — identical per-element
+        // operations to the scalar loop, so width never changes the result
+        let n2 = state.len() * 2;
+        let p = state.as_mut_ptr() as *mut f64;
+        let vs = _mm256_set1_pd(s);
+        let mut i = 0usize;
+        while i + 8 <= n2 {
+            let a = _mm256_loadu_pd(p.add(i));
+            let b = _mm256_loadu_pd(p.add(i + 4));
+            _mm256_storeu_pd(p.add(i), _mm256_mul_pd(a, vs));
+            _mm256_storeu_pd(p.add(i + 4), _mm256_mul_pd(b, vs));
+            i += 8;
+        }
+        while i < n2 {
+            *p.add(i) *= s;
+            i += 1;
+        }
+    }
+
+    /// AVX2 [`crate::kernels::scale`]. Caller must ensure the host supports
+    /// AVX2+FMA.
+    pub fn scale(state: &mut [Complex64], s: f64) {
+        debug_assert!(super::simd_available());
+        unsafe { scale_inner(state, s) }
+    }
+}

@@ -453,8 +453,11 @@ pub fn obtain_run(
 /// TFIM evolution Trotterized with every shallower step count (the paper's
 /// depth/accuracy trade-off in its rawest form), pre-ranked by the same
 /// O(gates) analyzer, and scored on the trajectory backend against the
-/// ideal statevector. Results cache under the spec's own key exactly like
-/// narrow runs.
+/// ideal statevector. The batch call below lands on the executor's
+/// shot-batched trajectory fast path ([`qaprox_sim::TrajectoryBatch`]): all
+/// candidates advance through the shot loop together with one shared state
+/// reset per shot, bit-identical to scoring them one at a time. Results
+/// cache under the spec's own key exactly like narrow runs.
 fn obtain_run_wide(
     store: Option<&Store>,
     spec: &RunSpec,

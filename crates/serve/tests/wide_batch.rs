@@ -1,0 +1,36 @@
+//! Wide-run batching: the serve wide path must score its trajectory
+//! candidates in ONE shot-batched pass — a single shared arena reset per
+//! shot per batch, however many candidates are in flight — instead of one
+//! full shot loop per candidate. Pinned via the process-wide reset counter
+//! ([`qaprox_sim::batch_reset_total`]); this file holds exactly one test so
+//! the counter delta is not polluted by a concurrent batch.
+
+use qaprox_serve::{obtain_run, ExecCtl, RunSpec, SynthSpec};
+
+#[test]
+fn wide_run_shares_one_reset_per_shot_across_candidates() {
+    let shots = 32usize;
+    let spec = RunSpec {
+        synth: SynthSpec {
+            workload: "tfim".into(),
+            qubits: 8, // past MAX_SYNTH_QUBITS: the wide trajectory path
+            steps: 3,
+            ..Default::default()
+        },
+        device: "toronto".into(),
+        backend: Some("trajectory".into()),
+        shots: Some(shots),
+        ..Default::default()
+    };
+    let before = qaprox_sim::batch_reset_total();
+    let out = obtain_run(None, &spec, &ExecCtl::default()).unwrap();
+    let delta = qaprox_sim::batch_reset_total() - before;
+    assert_eq!(out.result.rows.len(), 2, "steps 1 and 2 truncations");
+    assert_eq!(
+        delta,
+        shots as u64,
+        "candidates must share one arena reset per shot (got {delta} resets \
+         for {shots} shots over {} candidates)",
+        out.result.rows.len()
+    );
+}

@@ -97,6 +97,21 @@ impl Backend {
         for (i, c) in circuits.iter().enumerate() {
             Backend::validate(c).map_err(|e| format!("circuit {i} of {}: {e}", circuits.len()))?;
         }
+        // Trajectory fast path: score the whole batch in one shot-batched
+        // pass (a single arena reset per shot instead of one per candidate),
+        // bit-identical to the per-candidate loop below. Mixed widths, an
+        // injected `traj.batch` fault, or a mid-batch panic fall through to
+        // per-candidate evaluation rather than failing the job.
+        if let Backend::Trajectory(tb) = self {
+            if circuits.len() > 1 {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    tb.probabilities_batch(circuits)
+                }));
+                if let Ok(Ok(rows)) = attempt {
+                    return Ok(rows);
+                }
+            }
+        }
         let runs: Vec<std::thread::Result<Vec<f64>>> = par_map_indexed(circuits, |i, c| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.probabilities(c, i as u64)
@@ -276,6 +291,23 @@ mod tests {
         assert!(qaprox_fault::is_transient(&err), "{err}");
         // after:N disarms once fired: the retry succeeds
         assert_eq!(backend.probabilities_batch(&circuits).unwrap().len(), 2);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_batch_fault_degrades_to_per_candidate() {
+        // a `traj.batch` fault kills the shot-batched fast path, but the
+        // executor degrades to per-candidate evaluation: the job still
+        // succeeds and — because both paths are bit-identical by contract —
+        // produces exactly the rows the fast path would have
+        let cal = ourense().induced(&[0, 1, 2]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 16);
+        let backend = Backend::Trajectory(tb);
+        let circuits = some_circuits(3);
+        let clean = backend.probabilities_batch(&circuits).unwrap();
+        let _guard = qaprox_fault::Scenario::setup("traj.batch=always");
+        let degraded = backend.probabilities_batch(&circuits).unwrap();
+        assert_eq!(clean, degraded, "degraded path must match the fast path");
     }
 
     #[test]

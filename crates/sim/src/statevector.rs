@@ -3,6 +3,11 @@
 //! This is the stand-in for Qiskit-Aer's ideal backend: it produces the
 //! "noise free reference" series of every TFIM figure and the exact output
 //! distributions that the JS/TVD metrics compare against.
+//!
+//! The apply path is `Circuit::apply_to_state`, which since the SIMD PR
+//! rides the same blocked, runtime-dispatched amplitude kernels as the
+//! trajectory backend (`qaprox_linalg::simd`) — there is no separate
+//! statevector gate loop to keep in sync.
 
 use qaprox_circuit::Circuit;
 use qaprox_linalg::Complex64;

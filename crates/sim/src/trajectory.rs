@@ -546,6 +546,14 @@ impl FusedProgram {
         debug_assert_eq!(state.len(), 1usize << self.num_qubits);
         state.fill(Complex64::ZERO);
         state[0] = Complex64::ONE;
+        self.run_ops(state, rng);
+    }
+
+    /// The ops-only inner loop of [`run_shot`](Self::run_shot): assumes
+    /// `state` is already zeroed with `state[0] = 1`. Split out so
+    /// [`TrajectoryBatch`] can share **one** arena-wide reset across all
+    /// candidates of a shot instead of one fill per candidate.
+    fn run_ops<R: Rng>(&self, state: &mut [Complex64], rng: &mut R) {
         for op in &self.ops {
             match op {
                 FusedOp::One { q, u, events } => {
@@ -561,6 +569,14 @@ impl FusedProgram {
                     }
                 }
             }
+        }
+    }
+
+    /// Applies this program's readout confusion to a distribution (when the
+    /// model it was compiled from enables it).
+    fn fold_readout(&self, probs: &mut [f64]) {
+        if self.include_readout {
+            crate::readout::apply_confusion(probs, &self.readout);
         }
     }
 
@@ -607,9 +623,7 @@ impl FusedProgram {
     /// (when the model it was compiled from enables it).
     pub fn probabilities(&self, shots: usize, seed: u64) -> Vec<f64> {
         let mut probs = self.shot_average(shots, seed);
-        if self.include_readout {
-            crate::readout::apply_confusion(&mut probs, &self.readout);
-        }
+        self.fold_readout(&mut probs);
         probs
     }
 }
@@ -733,9 +747,9 @@ fn select_and_apply_2q<R: Rng>(
 
 fn renormalize(state: &mut [Complex64], norm_sqr: f64) {
     let inv = 1.0 / norm_sqr.sqrt().max(1e-150);
-    for z in state.iter_mut() {
-        *z *= inv;
-    }
+    // dispatched elementwise sweep — this runs once per noise event, so at
+    // wide widths it is as hot as the gate kernels themselves
+    qaprox_linalg::kernels::scale(state, inv);
 }
 
 /// Applies one Kraus channel stochastically to a statevector: branch `i` is
@@ -850,6 +864,234 @@ impl TrajectoryBackend {
             self.shots,
             self.seed ^ job_seed,
         )
+    }
+
+    /// Evaluates `circuits` as one shot-batched pass ([`TrajectoryBatch`]),
+    /// seeding candidate `i` with `self.seed ^ i` — exactly the per-index
+    /// job seeds the executor's batch entry points use, so the rows are
+    /// bit-identical to N independent `probabilities(c, i as u64)` calls.
+    ///
+    /// Errors on mixed circuit widths (callers degrade to per-candidate
+    /// evaluation). Failpoint `traj.batch`: injects a mid-batch failure so
+    /// the executor's degradation path can be chaos-tested.
+    pub fn probabilities_batch(&self, circuits: &[Circuit]) -> Result<Vec<Vec<f64>>, String> {
+        let seeds: Vec<u64> = (0..circuits.len()).map(|i| self.seed ^ i as u64).collect();
+        self.batch_with_seeds(circuits.iter(), seeds)
+    }
+
+    /// [`probabilities_batch`](Self::probabilities_batch) with one shared
+    /// `job_seed` for every candidate — the seeding a solo
+    /// `probabilities(c, job_seed)` call uses. For callers batching
+    /// independent jobs that each carry the same user-supplied seed
+    /// (`analyze --check-shots` across input files): each row is
+    /// bit-identical to the solo call it replaces.
+    pub fn probabilities_batch_seeded(
+        &self,
+        circuits: &[&Circuit],
+        job_seed: u64,
+    ) -> Result<Vec<Vec<f64>>, String> {
+        let seeds = vec![self.seed ^ job_seed; circuits.len()];
+        self.batch_with_seeds(circuits.iter().copied(), seeds)
+    }
+
+    fn batch_with_seeds<'c>(
+        &self,
+        circuits: impl Iterator<Item = &'c Circuit>,
+        seeds: Vec<u64>,
+    ) -> Result<Vec<Vec<f64>>, String> {
+        qaprox_fault::fail_point!("traj.batch", |_action| {
+            Err(qaprox_fault::injected_error("traj.batch"))
+        });
+        let programs: Vec<FusedProgram> = circuits.map(|c| self.compile(c)).collect();
+        if programs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = TrajectoryBatch::new(programs.iter().collect(), seeds)?;
+        let (mut rows, _stats) = batch.shot_average_with_stats(self.shots);
+        for (row, prog) in rows.iter_mut().zip(&programs) {
+            prog.fold_readout(row);
+        }
+        Ok(rows)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shot-batched multi-candidate evaluation
+// ---------------------------------------------------------------------------
+
+/// Default cap (bytes) on one batch group's state arena. Candidates beyond
+/// the cap are evaluated in successive groups, so a 27q batch (2 GiB per
+/// state) degenerates gracefully to per-candidate groups while the paper's
+/// 3-16q candidate populations share one cache-friendly arena. Override
+/// with `QAPROX_BATCH_BYTES`.
+const DEFAULT_BATCH_ARENA_BYTES: usize = 256 << 20;
+
+static BATCH_RESETS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of batch arena resets (one per shot per candidate
+/// group). Monotone over the process lifetime; exists so tests in other
+/// crates (the serve wide path) can assert the "one amortized reset per
+/// shot per batch" contract on counter deltas.
+pub fn batch_reset_total() -> u64 {
+    BATCH_RESETS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Counters from one [`TrajectoryBatch::shot_average_with_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Arena resets performed: `groups * shots`. With a single group this
+    /// is exactly one reset per shot, however many candidates share it.
+    pub resets: u64,
+    /// Candidate groups the arena was split into (1 unless the memory cap
+    /// forced splitting).
+    pub groups: usize,
+}
+
+/// Evaluates N candidate [`FusedProgram`]s in one pass per shot.
+///
+/// Instead of running candidates one after another (one full shot loop and
+/// one state reset per candidate per shot index), the batch walks the shot
+/// range once: per shot, the whole candidate arena is zeroed with a single
+/// contiguous fill — the *shared reset* — and every candidate's trajectory
+/// then runs against its own slice of the interleaved arena.
+///
+/// Results are **bit-for-bit identical** to N independent
+/// [`FusedProgram::shot_average`] runs at any thread count, because each
+/// (candidate, shot) pair draws from the same [`SplitMix64`] stream it
+/// would solo (`shot_rng(seed_g, shot)`), per-candidate accumulation stays
+/// in shot order, and chunk partials reduce in index order.
+///
+/// All candidates must share one circuit width; mixed widths are an error
+/// (the executor degrades to per-candidate evaluation for those).
+///
+/// [`SplitMix64`]: qaprox_linalg::random::SplitMix64
+#[derive(Debug)]
+pub struct TrajectoryBatch<'a> {
+    programs: Vec<&'a FusedProgram>,
+    seeds: Vec<u64>,
+    num_qubits: usize,
+    budget_override: Option<usize>,
+}
+
+impl<'a> TrajectoryBatch<'a> {
+    /// Builds a batch over `programs` with one RNG seed per candidate.
+    /// Errors on an empty batch, a seed-count mismatch, or mixed widths.
+    pub fn new(programs: Vec<&'a FusedProgram>, seeds: Vec<u64>) -> Result<Self, String> {
+        if programs.is_empty() {
+            return Err("trajectory batch needs at least one candidate".into());
+        }
+        if programs.len() != seeds.len() {
+            return Err(format!(
+                "trajectory batch got {} candidates but {} seeds",
+                programs.len(),
+                seeds.len()
+            ));
+        }
+        let num_qubits = programs[0].num_qubits();
+        if let Some(p) = programs.iter().find(|p| p.num_qubits() != num_qubits) {
+            return Err(format!(
+                "trajectory batch requires uniform width: got {} and {} qubits",
+                num_qubits,
+                p.num_qubits()
+            ));
+        }
+        Ok(TrajectoryBatch {
+            programs,
+            seeds,
+            num_qubits,
+            budget_override: None,
+        })
+    }
+
+    /// Caps the arena at `bytes` instead of `QAPROX_BATCH_BYTES` / the
+    /// default — forces deterministic group splitting (grouping changes
+    /// memory layout only, never results).
+    pub fn with_arena_budget(mut self, bytes: usize) -> Self {
+        self.budget_override = Some(bytes);
+        self
+    }
+
+    /// Candidates per arena group under the memory cap (minimum 1).
+    fn group_capacity(&self) -> usize {
+        let state_bytes = (1usize << self.num_qubits) * std::mem::size_of::<Complex64>();
+        let budget = self.budget_override.unwrap_or_else(|| {
+            std::env::var("QAPROX_BATCH_BYTES")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(DEFAULT_BATCH_ARENA_BYTES)
+        });
+        (budget / state_bytes.max(1)).clamp(1, self.programs.len())
+    }
+
+    /// Averaged distributions (before readout confusion), one row per
+    /// candidate in input order, plus the reset/group counters. See the
+    /// type docs for the bit-identity contract.
+    pub fn shot_average_with_stats(&self, shots: usize) -> (Vec<Vec<f64>>, BatchStats) {
+        let dim = 1usize << self.num_qubits;
+        let n_cand = self.programs.len();
+        if shots == 0 {
+            return (
+                vec![vec![0.0; dim]; n_cand],
+                BatchStats {
+                    resets: 0,
+                    groups: 0,
+                },
+            );
+        }
+        let cap = self.group_capacity();
+        let chunk = shot_chunk(self.num_qubits);
+        let chunks = shots.div_ceil(chunk);
+        let inv = 1.0 / shots as f64;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n_cand);
+        let mut groups = 0usize;
+        let mut resets = 0u64;
+        let mut g0 = 0usize;
+        while g0 < n_cand {
+            let g1 = (g0 + cap).min(n_cand);
+            let group = &self.programs[g0..g1];
+            let group_seeds = &self.seeds[g0..g1];
+            let glen = group.len();
+            // Per chunk: one interleaved arena, one accumulator per
+            // candidate. Each shot zeroes the arena once (the shared
+            // reset), then every candidate runs from its own slice.
+            let partials: Vec<Vec<Vec<f64>>> = par_map_range(chunks, |c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(shots);
+                let mut arena = vec![Complex64::ZERO; glen * dim];
+                let mut accs = vec![vec![0.0f64; dim]; glen];
+                for shot in lo..hi {
+                    arena.fill(Complex64::ZERO);
+                    for (g, prog) in group.iter().enumerate() {
+                        let state = &mut arena[g * dim..(g + 1) * dim];
+                        state[0] = Complex64::ONE;
+                        let mut rng = shot_rng(group_seeds[g], shot as u64);
+                        prog.run_ops(state, &mut rng);
+                        for (a, z) in accs[g].iter_mut().zip(state.iter()) {
+                            *a += z.norm_sqr();
+                        }
+                    }
+                }
+                accs
+            });
+            // chunk partials reduce in index order, exactly like shot_average
+            for g in 0..glen {
+                let mut probs = vec![0.0f64; dim];
+                for p in &partials {
+                    for (dst, &x) in probs.iter_mut().zip(&p[g]) {
+                        *dst += x;
+                    }
+                }
+                for x in probs.iter_mut() {
+                    *x *= inv;
+                }
+                rows.push(probs);
+            }
+            groups += 1;
+            resets += shots as u64;
+            g0 = g1;
+        }
+        BATCH_RESETS.fetch_add(resets, std::sync::atomic::Ordering::Relaxed);
+        (rows, BatchStats { resets, groups })
     }
 }
 
@@ -1219,5 +1461,179 @@ mod tests {
         let probs = trajectory_probabilities(&c, &model, 20, 3);
         assert_eq!(probs.len(), 1 << n);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    // -- shot-batched multi-candidate evaluation --------------------------
+
+    fn candidate_circuits(n_cand: usize) -> Vec<Circuit> {
+        (0..n_cand)
+            .map(|i| {
+                let mut c = Circuit::new(3);
+                c.h(0).cx(0, 1).rx(0.2 + 0.15 * i as f64, 1).cx(1, 2);
+                c.rz(0.5 + 0.1 * i as f64, 2);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_independent_runs() {
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+        let model = NoiseModel::from_calibration(cal);
+        let circuits = candidate_circuits(4);
+        let programs: Vec<FusedProgram> = circuits
+            .iter()
+            .map(|c| FusedProgram::compile(c, &model))
+            .collect();
+        let seeds: Vec<u64> = (0..4u64).map(|i| 0xB00 ^ i).collect();
+        let shots = 70; // uneven chunk split: 5 structural chunks of 16
+        let batch = TrajectoryBatch::new(programs.iter().collect(), seeds.clone()).unwrap();
+        let (rows, stats) = batch.shot_average_with_stats(shots);
+        assert_eq!(stats.groups, 1, "4 small candidates share one arena");
+        assert_eq!(
+            stats.resets, shots as u64,
+            "one shared reset per shot, not one per candidate"
+        );
+        for (g, prog) in programs.iter().enumerate() {
+            let solo = prog.shot_average(shots, seeds[g]);
+            assert_eq!(rows[g], solo, "candidate {g} drifted from its solo run");
+        }
+    }
+
+    #[test]
+    fn batch_group_splitting_preserves_results() {
+        // cap the arena at exactly one 3q state: every candidate lands in
+        // its own group, and the rows must not change by a single bit
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let circuits = candidate_circuits(3);
+        let programs: Vec<FusedProgram> = circuits
+            .iter()
+            .map(|c| FusedProgram::compile(c, &model))
+            .collect();
+        let seeds = vec![7u64, 8, 9];
+        let shots = 40;
+        let shared = TrajectoryBatch::new(programs.iter().collect(), seeds.clone())
+            .unwrap()
+            .shot_average_with_stats(shots);
+        let split = TrajectoryBatch::new(programs.iter().collect(), seeds)
+            .unwrap()
+            .with_arena_budget((1 << 3) * std::mem::size_of::<Complex64>())
+            .shot_average_with_stats(shots);
+        assert_eq!(
+            shared.1,
+            BatchStats {
+                resets: shots as u64,
+                groups: 1
+            }
+        );
+        assert_eq!(
+            split.1,
+            BatchStats {
+                resets: 3 * shots as u64,
+                groups: 3
+            }
+        );
+        assert_eq!(shared.0, split.0, "grouping must never change results");
+    }
+
+    #[test]
+    fn batch_thread_count_does_not_change_results() {
+        use qaprox_linalg::parallel::with_thread_budget;
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+        let model = NoiseModel::from_calibration(cal);
+        let circuits = candidate_circuits(3);
+        let programs: Vec<FusedProgram> = circuits
+            .iter()
+            .map(|c| FusedProgram::compile(c, &model))
+            .collect();
+        let seeds = vec![1u64, 2, 3];
+        let base = with_thread_budget(1, || {
+            TrajectoryBatch::new(programs.iter().collect(), seeds.clone())
+                .unwrap()
+                .shot_average_with_stats(70)
+                .0
+        });
+        for threads in [2usize, 8] {
+            let got = with_thread_budget(threads, || {
+                TrajectoryBatch::new(programs.iter().collect(), seeds.clone())
+                    .unwrap()
+                    .shot_average_with_stats(70)
+                    .0
+            });
+            assert_eq!(base, got, "batch drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        assert!(TrajectoryBatch::new(Vec::new(), Vec::new())
+            .unwrap_err()
+            .contains("at least one"));
+        let c3 = candidate_circuits(1).remove(0);
+        let p3 = FusedProgram::compile(&c3, &model);
+        assert!(TrajectoryBatch::new(vec![&p3], vec![1, 2])
+            .unwrap_err()
+            .contains("seeds"));
+        let mut c2 = Circuit::new(2);
+        c2.h(0).cx(0, 1);
+        let cal2 = ourense().induced(&[0, 1]);
+        let model2 = NoiseModel::from_calibration(cal2);
+        let p2 = FusedProgram::compile(&c2, &model2);
+        assert!(TrajectoryBatch::new(vec![&p3, &p2], vec![1, 2])
+            .unwrap_err()
+            .contains("uniform width"));
+    }
+
+    #[test]
+    fn backend_batch_matches_solo_probabilities() {
+        // index-seeded entry point: row i == probabilities(c_i, i), bitwise
+        let cal = ourense().induced(&[0, 1, 2]).with_uniform_cx_error(0.05);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 48);
+        let circuits = candidate_circuits(3);
+        let rows = tb.probabilities_batch(&circuits).unwrap();
+        for (i, c) in circuits.iter().enumerate() {
+            assert_eq!(rows[i], tb.probabilities(c, i as u64), "row {i}");
+        }
+        // shared-seed entry point: row i == probabilities(c_i, job_seed)
+        let refs: Vec<&Circuit> = circuits.iter().collect();
+        let seeded = tb.probabilities_batch_seeded(&refs, 77).unwrap();
+        for (i, c) in circuits.iter().enumerate() {
+            assert_eq!(seeded[i], tb.probabilities(c, 77), "seeded row {i}");
+        }
+        // readout confusion is folded per row (totals stay normalized)
+        for row in &rows {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn backend_batch_rejects_mixed_widths() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 16);
+        let mut narrow = Circuit::new(2);
+        narrow.h(0).cx(0, 1);
+        let wide = candidate_circuits(1).remove(0);
+        let err = tb.probabilities_batch(&[wide, narrow]).unwrap_err();
+        assert!(err.contains("uniform width"), "got: {err}");
+    }
+
+    #[test]
+    fn batch_reset_counter_advances() {
+        let cal = ourense().induced(&[0, 1, 2]);
+        let model = NoiseModel::from_calibration(cal);
+        let circuits = candidate_circuits(2);
+        let programs: Vec<FusedProgram> = circuits
+            .iter()
+            .map(|c| FusedProgram::compile(c, &model))
+            .collect();
+        let before = batch_reset_total();
+        TrajectoryBatch::new(programs.iter().collect(), vec![1, 2])
+            .unwrap()
+            .shot_average_with_stats(25);
+        // other tests may batch concurrently, so the delta is a lower bound
+        assert!(batch_reset_total() >= before + 25);
     }
 }

@@ -4,6 +4,9 @@
 # the backend exists for — a noisy 27-qubit TFIM on the Toronto heavy-hex
 # (a density matrix at that width would need 4^27 entries; one trajectory
 # shot is a single 2^27 statevector, ~2 GiB transient, minutes of CPU).
+# The wide run uses --steps 3 so the job scores >= 2 candidate truncations
+# and therefore lands on the shot-batched fast path (TrajectoryBatch: one
+# shared arena reset per shot across all candidates), not the solo loop.
 # Used by CI (trajectory-smoke job); runnable locally after
 # `cargo build --release -p qaprox-cli`.
 set -euo pipefail
@@ -11,7 +14,7 @@ set -euo pipefail
 bin=${QAPROX_BIN:-target/release/qaprox}
 
 echo "--- trajectory engine tests (quick): convergence vs density matrix,"
-echo "--- thread-count invariance, fusion exactness"
+echo "--- thread-count invariance, fusion exactness, batch bit-identity"
 QAPROX_QUICK=1 cargo test -p qaprox-sim trajectory::
 QAPROX_QUICK=1 cargo test -p qaprox-sim --features parallel trajectory::
 
@@ -19,8 +22,14 @@ echo "--- narrow end-to-end: 3q TFIM on ourense, trajectory backend"
 "$bin" run --workload tfim --qubits 3 --steps 4 --device ourense \
     --backend trajectory --shots 256 --no-store
 
-echo "--- wide end-to-end: 27q TFIM on the Toronto heavy-hex"
-out=$("$bin" run --workload tfim --qubits 27 --steps 2 --device toronto \
+echo "--- same narrow run with QAPROX_SIMD=0 (forced-scalar kernels);"
+echo "--- dispatch is bit-identical by contract, so this just pins the fallback"
+QAPROX_SIMD=0 "$bin" run --workload tfim --qubits 3 --steps 4 --device ourense \
+    --backend trajectory --shots 256 --no-store
+
+echo "--- wide end-to-end: 27q TFIM on the Toronto heavy-hex, multi-candidate"
+echo "--- (steps 3 => the shot-batched path engages across the truncations)"
+out=$("$bin" run --workload tfim --qubits 27 --steps 3 --device toronto \
     --backend trajectory --shots 1 --no-store)
 echo "$out"
 grep -q "tvd_to_ideal" <<<"$out" || {
