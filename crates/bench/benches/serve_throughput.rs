@@ -24,6 +24,7 @@ fn tiny(seed: u64) -> JobSpec {
         max_nodes: 25,
         max_hs: 0.4,
         seed,
+        deadline_ms: None,
     })
 }
 

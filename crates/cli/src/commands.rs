@@ -98,6 +98,11 @@ SUBCOMMANDS:
               --workers N    worker threads    (default 2)
               --queue N      queue capacity    (default 64)
               --timeout-secs T  per-job wall-clock budget (default: none)
+              --max-queued-cost N  admission control: reject submissions
+                             once the queue's predicted cost exceeds N
+                             (overloaded responses carry a retry hint)
+              --stall-timeout-secs T  watchdog: quarantine a job that
+                             holds a worker past T seconds
               --journal DIR  durable job journal: replayed on restart,
                              lost jobs re-enqueue and resume from their
                              last store checkpoint (see docs/FAULTS.md)
@@ -107,6 +112,8 @@ SUBCOMMANDS:
               (synth/run options as above)
               --no-wait      print the job id and return immediately
               --timeout-secs T  wait budget    (default 600)
+              --deadline-ms T  job freshness TTL: the service sheds the
+                             job instead of running it once T elapses
   store     inspect the artifact store
               qaprox store stats               cache counters and sizes
               qaprox store gc --max-bytes N    evict least-recently-used artifacts
@@ -134,8 +141,10 @@ SUBCOMMANDS:
               --check-shots N  cross-check the static prediction against an
                                N-shot trajectory simulation (prints the
                                simulated TVD and classical fidelity next to
-                               the static bound; --job-seed applies; multiple
-                               files of one width share a shot-batched pass)
+                               the static bound, plus a per-file health
+                               summary when numerical sentinels aborted
+                               shots; --job-seed applies; multiple files of
+                               one width share a shot-batched pass)
               --no-relaxation  ignore T1/T2 during idle+gate windows
               --no-readout     ignore measurement error
               --allow/--warn/--deny CODE[,CODE...]  adjust lint levels
@@ -220,6 +229,15 @@ fn synth_spec_from(args: &Args) -> Result<SynthSpec, String> {
         max_nodes: args.get_or("max-nodes", d.max_nodes)?,
         max_hs: args.get_or("max-hs", d.max_hs)?,
         seed: args.get_or("seed", d.seed)?,
+        // a client-side freshness TTL, honored by the service scheduler
+        // (expired jobs are shed before dispatch); local runs ignore it
+        deadline_ms: match args.options.get("deadline-ms") {
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("--deadline-ms: cannot parse '{raw}'"))?,
+            ),
+            None => None,
+        },
     })
 }
 
@@ -411,6 +429,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         journal_dir: args.options.get("journal").map(std::path::PathBuf::from),
         retry: d.retry,
         breaker: d.breaker,
+        admission: qaprox_serve::AdmissionConfig {
+            max_queued_cost: match args.options.get("max-queued-cost") {
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|_| format!("--max-queued-cost: cannot parse '{raw}'"))?,
+                ),
+                None => None,
+            },
+            ..Default::default()
+        },
+        watchdog: qaprox_serve::WatchdogConfig {
+            stall_timeout: match args.options.get("stall-timeout-secs") {
+                Some(raw) => {
+                    Some(Duration::from_secs(raw.parse().map_err(|_| {
+                        format!("--stall-timeout-secs: cannot parse '{raw}'")
+                    })?))
+                }
+                None => None,
+            },
+            ..Default::default()
+        },
     };
     let journaled = scheduler.journal_dir.clone();
     let cfg = ServerConfig {
@@ -805,7 +844,7 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
         }
         None => None,
     };
-    let checks: Option<Vec<(f64, f64)>> = match check_shots {
+    let checks = match check_shots {
         Some(shots) => Some(trajectory_check_all(&circuits, &cal, shots, args)?),
         None => None,
     };
@@ -822,7 +861,7 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
             }
         }
         if let (Some(shots), Some(checks)) = (check_shots, &checks) {
-            let (tvd, fidelity) = checks[i];
+            let (tvd, fidelity, health) = checks[i];
             match format.as_str() {
                 "json" => println!(
                     "{}",
@@ -831,13 +870,34 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
                         ("tvd_to_ideal", Json::Num(tvd)),
                         ("classical_fidelity", Json::Num(fidelity)),
                         ("static_fidelity_bound", Json::Num(report.fidelity_bound)),
+                        ("healthy", Json::Bool(health.is_healthy())),
+                        ("clean_shots", Json::Num(health.clean_shots as f64)),
+                        ("aborted_shots", Json::Num(health.aborted_shots as f64)),
+                        ("nan_events", Json::Num(health.nan_events as f64)),
+                        (
+                            "norm_drift_events",
+                            Json::Num(health.norm_drift_events as f64),
+                        ),
                     ])
                 ),
-                _ => println!(
-                    "# trajectory check ({shots} shots): tvd_to_ideal={tvd:.4} \
-                     classical_fidelity={fidelity:.4} vs static fidelity_bound={:.4}",
-                    report.fidelity_bound
-                ),
+                _ => {
+                    println!(
+                        "# trajectory check ({shots} shots): tvd_to_ideal={tvd:.4} \
+                         classical_fidelity={fidelity:.4} vs static fidelity_bound={:.4}",
+                        report.fidelity_bound
+                    );
+                    if !health.is_healthy() {
+                        println!(
+                            "# trajectory check DEGRADED: {}/{shots} shots aborted \
+                             (nan={}, norm_drift={}) — the averages above use only \
+                             the {} clean shots",
+                            health.aborted_shots,
+                            health.nan_events,
+                            health.norm_drift_events,
+                            health.clean_shots
+                        );
+                    }
+                }
             }
         }
     }
@@ -852,19 +912,23 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
 
 /// The `analyze --check-shots N` dynamic cross-check, batched: circuits are
 /// grouped by width and every group is simulated in one shot-batched
-/// trajectory pass ([`qaprox_sim::TrajectoryBackend::probabilities_batch_seeded`]),
+/// trajectory pass
+/// ([`qaprox_sim::TrajectoryBackend::probabilities_batch_seeded_health`]),
 /// each row bit-identical to the solo `probabilities(c, job_seed)` call it
-/// replaces. Returns `(tvd_to_ideal, classical_fidelity)` per circuit, in
-/// input order. The classical (Bhattacharyya) fidelity between the noisy
-/// and ideal distributions is directly comparable to the analyzer's
-/// `fidelity_bound` — the simulated value should sit at or above the sound
-/// static bound, shot noise aside.
+/// replaces. Returns `(tvd_to_ideal, classical_fidelity, health)` per
+/// circuit, in input order; the [`qaprox_sim::HealthReport`] says how many
+/// shots the numerical sentinels aborted, so a file whose shots all failed
+/// is surfaced instead of silently scored from an empty average. The
+/// classical (Bhattacharyya) fidelity between the noisy and ideal
+/// distributions is directly comparable to the analyzer's `fidelity_bound`
+/// — the simulated value should sit at or above the sound static bound,
+/// shot noise aside.
 fn trajectory_check_all(
     circuits: &[(String, Circuit)],
     cal: &qaprox_device::Calibration,
     shots: usize,
     args: &Args,
-) -> Result<Vec<(f64, f64)>, String> {
+) -> Result<Vec<(f64, f64, qaprox_sim::HealthReport)>, String> {
     let model = qaprox_sim::NoiseModel::from_calibration(cal.clone());
     let backend = qaprox_sim::TrajectoryBackend::with_shots(model, shots);
     let job_seed: u64 = args.get_or("job-seed", 0u64)?;
@@ -872,15 +936,15 @@ fn trajectory_check_all(
     for (i, (_, c)) in circuits.iter().enumerate() {
         by_width.entry(c.num_qubits()).or_default().push(i);
     }
-    let mut out = vec![(0.0, 0.0); circuits.len()];
+    let mut out = vec![(0.0, 0.0, qaprox_sim::HealthReport::default()); circuits.len()];
     for idxs in by_width.values() {
         let refs: Vec<&Circuit> = idxs.iter().map(|&i| &circuits[i].1).collect();
-        let rows = backend.probabilities_batch_seeded(&refs, job_seed)?;
-        for (&i, noisy) in idxs.iter().zip(&rows) {
+        let (rows, healths) = backend.probabilities_batch_seeded_health(&refs, job_seed)?;
+        for ((&i, noisy), health) in idxs.iter().zip(&rows).zip(healths) {
             let ideal = qaprox_sim::statevector::probabilities(&circuits[i].1);
             let tvd = qaprox_metrics::total_variation(noisy, &ideal);
             let bhatt: f64 = noisy.iter().zip(&ideal).map(|(p, q)| (p * q).sqrt()).sum();
-            out[i] = (tvd, bhatt * bhatt);
+            out[i] = (tvd, bhatt * bhatt, health);
         }
     }
     Ok(out)
@@ -1120,6 +1184,8 @@ mod tests {
     fn serve_rejects_bad_options() {
         assert!(run(&["serve", "--workers", "0", "--no-store"]).is_err());
         assert!(run(&["serve", "--timeout-secs", "abc", "--no-store"]).is_err());
+        assert!(run(&["serve", "--max-queued-cost", "abc", "--no-store"]).is_err());
+        assert!(run(&["serve", "--stall-timeout-secs", "abc", "--no-store"]).is_err());
         assert!(run(&["serve", "--addr", "256.0.0.1:99999", "--no-store"]).is_err());
     }
 
@@ -1362,6 +1428,26 @@ mod tests {
             "qreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n",
         );
         assert!(run(&["analyze", &a, &b, &c, "--check-shots", "16"]).is_ok());
+    }
+
+    #[test]
+    fn check_shots_health_reports_count_every_clean_shot() {
+        let args = parse(
+            ["analyze", "--qubits", "2", "--steps", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let (_, cal) = calibration_from(&args).unwrap();
+        let circuit = reference_circuit(&args).unwrap();
+        let checks = trajectory_check_all(&[("ref".to_string(), circuit)], &cal, 8, &args).unwrap();
+        let (tvd, fidelity, health) = checks[0];
+        // a healthy run surfaces a full-budget report, not a silent drop
+        assert!(health.is_healthy());
+        assert_eq!(health.clean_shots, 8);
+        assert_eq!(health.aborted_shots, 0);
+        assert!((0.0..=1.0).contains(&tvd));
+        assert!(fidelity > 0.0);
     }
 
     #[test]

@@ -156,6 +156,19 @@ pub fn state(name: &str) -> &'static str {
     reg.get(name).map_or("closed", Breaker::state_name)
 }
 
+/// Every breaker the process has touched, as `(name, state)` pairs sorted
+/// by name — what the `stats` wire op reports so operators can see which
+/// backends are currently being rejected without probing each by name.
+pub fn states_all() -> Vec<(String, &'static str)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<(String, &'static str)> = reg
+        .iter()
+        .map(|(name, b)| (name.clone(), b.state_name()))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 /// Drops every breaker (tests; the registry is process-global).
 pub fn reset_all() {
     registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
@@ -223,6 +236,24 @@ mod tests {
         assert_eq!(state(name), "open");
         let err = call(name, &cfg, || Ok(())).unwrap_err();
         assert!(qaprox_fault::is_transient(&err), "{err}");
+    }
+
+    #[test]
+    fn states_all_lists_touched_breakers_sorted() {
+        reset_all();
+        let cfg = tiny();
+        let _ = call("test.b", &cfg, || Ok(()));
+        for _ in 0..4 {
+            let _ = call::<()>("test.a", &cfg, || Err("x".into()));
+        }
+        let states = states_all();
+        assert_eq!(
+            states,
+            vec![
+                ("test.a".to_string(), "open"),
+                ("test.b".to_string(), "closed")
+            ]
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::retry::RetryPolicy;
 use crate::spec::JobSpec;
 use qaprox_store::json::{parse, Json};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// What went wrong talking to the service.
@@ -17,6 +17,16 @@ pub enum ClientError {
         /// Submission attempts made (≥ 1).
         attempts: u32,
     },
+    /// Admission control turned the job away through every retry; the
+    /// server's last backoff hint rides along.
+    Overloaded {
+        /// The server's `retry_after_ms` hint from the final rejection.
+        retry_after_ms: u64,
+    },
+    /// A connect or read deadline lapsed (see [`Client::connect_timeout`]);
+    /// distinct from [`ClientError::Protocol`] so callers can retry
+    /// timeouts without string-matching.
+    Timeout(String),
     /// The server rejected the request (bad spec, unknown job, ...).
     Remote(String),
     /// Transport or framing trouble (connection dropped, bad JSON).
@@ -29,10 +39,22 @@ impl std::fmt::Display for ClientError {
             ClientError::Backpressure { attempts } => {
                 write!(f, "queue full after {attempts} submission attempts")
             }
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ClientError::Timeout(e) => write!(f, "timeout: {e}"),
             ClientError::Remote(e) => write!(f, "server error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
     }
+}
+
+fn is_io_timeout(e: &std::io::Error) -> bool {
+    // SO_RCVTIMEO expiry surfaces as WouldBlock on Unix, TimedOut elsewhere
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
 }
 
 impl std::error::Error for ClientError {}
@@ -57,6 +79,41 @@ impl Client {
         })
     }
 
+    /// Connects with explicit connect and read deadlines, so a dead or
+    /// unresponsive server surfaces as the typed [`ClientError::Timeout`]
+    /// instead of an indefinite hang. The read deadline applies to every
+    /// subsequent request on this client.
+    pub fn connect_timeout(
+        addr: &str,
+        connect: Duration,
+        read: Duration,
+    ) -> Result<Client, ClientError> {
+        let sock = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Protocol(format!("resolve {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("resolve {addr}: no addresses")))?;
+        let stream = TcpStream::connect_timeout(&sock, connect).map_err(|e| {
+            if is_io_timeout(&e) {
+                ClientError::Timeout(format!("connect {addr}: no answer within {connect:?}"))
+            } else {
+                ClientError::Protocol(format!("connect {addr}: {e}"))
+            }
+        })?;
+        stream
+            .set_read_timeout(Some(read))
+            .and_then(|()| stream.set_write_timeout(Some(read)))
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+            retry: RetryPolicy::default(),
+        })
+    }
+
     /// Replaces the backpressure retry policy (`max_attempts: 1` disables
     /// retrying entirely).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
@@ -66,35 +123,50 @@ impl Client {
 
     /// Sends one request object and reads one response object.
     pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        self.request_typed(request).map_err(|e| e.to_string())
+    }
+
+    /// [`Client::request`] with the typed error (timeouts distinguished).
+    pub fn request_typed(&mut self, request: &Json) -> Result<Json, ClientError> {
         let mut text = request.to_string();
         text.push('\n');
         self.writer
             .write_all(text.as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send: {e}"))?;
+            .map_err(|e| {
+                if is_io_timeout(&e) {
+                    ClientError::Timeout(format!("send: {e}"))
+                } else {
+                    ClientError::Protocol(format!("send: {e}"))
+                }
+            })?;
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| format!("recv: {e}"))?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            if is_io_timeout(&e) {
+                ClientError::Timeout("recv: no response within the read deadline".into())
+            } else {
+                ClientError::Protocol(format!("recv: {e}"))
+            }
+        })?;
         if n == 0 {
-            return Err("server closed the connection".into());
+            return Err(ClientError::Protocol("server closed the connection".into()));
         }
-        parse(&line).map_err(|e| format!("bad response json: {e}"))
+        parse(&line).map_err(|e| ClientError::Protocol(format!("bad response json: {e}")))
     }
 
     /// Submits a job; returns `(id, key, deduped)`. Backpressure rejections
     /// (`backpressure: true`) are retried through the client's
     /// [`RetryPolicy`]; when the queue stays full the typed
     /// [`ClientError::Backpressure`] reports how many attempts were made —
-    /// callers no longer have to string-match `"queue full"`.
+    /// callers no longer have to string-match `"queue full"`. Admission
+    /// rejections (`overloaded: true`) retry the same way, honoring the
+    /// server's `retry_after_ms` hint when it exceeds the policy's delay,
+    /// and exhaust into the typed [`ClientError::Overloaded`].
     pub fn submit(&mut self, spec: &JobSpec) -> Result<(u64, String, bool), ClientError> {
         let policy = self.retry.clone();
         let max = policy.max_attempts.max(1);
         for attempt in 1..=max {
-            let resp = self
-                .request(&spec.to_json())
-                .map_err(ClientError::Protocol)?;
+            let resp = self.request_typed(&spec.to_json())?;
             if resp.get_bool("ok") == Some(true) {
                 return Ok((
                     resp.get_u64("id")
@@ -109,6 +181,16 @@ impl Client {
                     continue;
                 }
                 return Err(ClientError::Backpressure { attempts: attempt });
+            }
+            if resp.get_bool("overloaded") == Some(true) {
+                let hint = resp.get_u64("retry_after_ms").unwrap_or(0);
+                if attempt < max {
+                    std::thread::sleep(Duration::from_millis(hint.max(policy.delay_ms(attempt))));
+                    continue;
+                }
+                return Err(ClientError::Overloaded {
+                    retry_after_ms: hint,
+                });
             }
             return Err(ClientError::Remote(
                 resp.get_str("error")

@@ -72,6 +72,17 @@ impl ExecCtl {
             || self.deadline.is_some_and(|d| Instant::now() >= d)
             || self.node_budget.is_some_and(|b| fresh_nodes >= b)
     }
+
+    /// The backend gate: checked immediately before (and after) backend
+    /// execution, so a job cancelled or past its deadline consumes zero
+    /// backend evaluations and never persists partial rows.
+    fn backend_gate(&self) -> Result<(), String> {
+        if self.interrupted(0) {
+            Err(SUSPENDED_SENTINEL.into())
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// How a population was obtained.
@@ -114,6 +125,10 @@ pub struct RunOutcome {
     pub certified: Option<(Key, f64)>,
     /// The population outcome (absent on cache/certified hits).
     pub population: Option<PopulationOutcome>,
+    /// Trajectory health summary, present only when the backend aborted
+    /// shots (NaN / norm drift). Fully-aborted candidates are degraded to
+    /// the worst score instead of emitting corrupt rows.
+    pub health: Option<Json>,
 }
 
 fn ignore_corruption<T>(r: Result<Option<T>, StoreError>) -> Result<Option<T>, String> {
@@ -310,6 +325,7 @@ pub fn obtain_run(
                 cached: true,
                 certified: None,
                 population: None,
+                health: None,
             });
         }
         // the certified fast path needs dense-unitary equivalence checking,
@@ -329,6 +345,7 @@ pub fn obtain_run(
                     cached: false,
                     certified: Some((source, bound)),
                     population: None,
+                    health: None,
                 });
             }
         }
@@ -347,7 +364,12 @@ pub fn obtain_run(
     }
 
     let reference = spec.reference_circuit()?;
-    let backend = spec.backend()?;
+    let mut backend = spec.backend()?;
+    if let Some(flag) = &ctl.cancel {
+        // the scheduler's cancel flag (and the watchdog's) reaches the
+        // trajectory shot loop: a condemned job stops at the next shot
+        backend = backend.with_cancel(Arc::clone(flag));
+    }
     let cal = spec.calibration()?;
 
     // static pre-rank: order candidates by the O(gates) noise-budget score
@@ -381,6 +403,9 @@ pub fn obtain_run(
         .map(|((ap, _), _)| ap.circuit.clone())
         .collect();
 
+    // a cancelled or deadline-expired job must consume ZERO backend
+    // evaluations — the gate sits before the failpoint that counts them
+    ctl.backend_gate()?;
     // Failpoint `serve.backend`: evaluated once per job that reaches the
     // backend, so tests can count invocations (a certified answer must
     // leave the counter untouched); `error` injects a backend outage.
@@ -394,10 +419,13 @@ pub fn obtain_run(
     // backend execution goes through the per-backend circuit breaker: a
     // backend that keeps failing rejects fast instead of absorbing every
     // worker's full retry budget
-    let probs = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
-        backend.probabilities_batch(&undecided)
+    let (probs, healths) = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
+        backend.probabilities_batch_health(&undecided)
     })?;
-    let mut simulated = probs.iter();
+    // interrupted mid-execution (watchdog cancel, deadline): suspend
+    // without persisting rows averaged over a truncated shot loop
+    ctl.backend_gate()?;
+    let mut simulated = probs.iter().zip(&healths);
     let rows: Vec<ResultRow> = ranked
         .iter()
         .zip(&bounds)
@@ -408,8 +436,14 @@ pub fn obtain_run(
                 // candidate's score can sit above the reference's
                 Some(b) => ((ref_score + b).min(1.0), true),
                 None => {
-                    let p = simulated.next().expect("one batch row per undecided");
-                    (qaprox_metrics::total_variation(p, &ideal), false)
+                    let (p, h) = simulated.next().expect("one batch row per undecided");
+                    if degraded_candidate(h) {
+                        // every shot aborted (NaN / norm drift): degrade to
+                        // the worst score instead of emitting a corrupt row
+                        (1.0, false)
+                    } else {
+                        (qaprox_metrics::total_variation(p, &ideal), false)
+                    }
                 }
             };
             ResultRow {
@@ -443,6 +477,7 @@ pub fn obtain_run(
         cached: false,
         certified: None,
         population: Some(pop),
+        health: health_summary(&healths),
     })
 }
 
@@ -465,12 +500,18 @@ fn obtain_run_wide(
     ctl: &ExecCtl,
 ) -> Result<RunOutcome, String> {
     let reference = spec.reference_circuit()?;
-    let backend = spec.backend()?;
+    let mut backend = spec.backend()?;
+    if let Some(flag) = &ctl.cancel {
+        backend = backend.with_cancel(Arc::clone(flag));
+    }
     let cal = spec.calibration()?;
     let candidates = spec.synth.wide_population_circuits()?;
     let ranked = qaprox_synth::rank_by_predicted(&candidates, &cal);
     let batch: Vec<Circuit> = ranked.iter().map(|(ap, _)| ap.circuit.clone()).collect();
 
+    // same gate, same placement as the narrow path: a cancelled or expired
+    // job reaches neither the counting failpoint nor the backend
+    ctl.backend_gate()?;
     // same failpoint, same placement as the narrow path: evaluated once per
     // job that reaches the backend, so chaos tests can count trajectory jobs
     qaprox_fault::fail_point!("serve.backend", |_action| {
@@ -480,17 +521,22 @@ fn obtain_run_wide(
     let ideal = qaprox_sim::statevector::probabilities(&reference);
     let ref_probs = backend.probabilities(&reference, spec.job_seed);
     let ref_score = qaprox_metrics::total_variation(&ref_probs, &ideal);
-    let probs = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
-        backend.probabilities_batch(&batch)
+    let (probs, healths) = crate::breaker::call(&spec.backend_fingerprint(), &ctl.breaker, || {
+        backend.probabilities_batch_health(&batch)
     })?;
+    ctl.backend_gate()?;
     let rows: Vec<ResultRow> = ranked
         .iter()
-        .zip(&probs)
-        .map(|((ap, predicted), p)| ResultRow {
+        .zip(probs.iter().zip(&healths))
+        .map(|((ap, predicted), (p, h))| ResultRow {
             cnots: ap.cnots,
             hs_distance: ap.hs_distance,
             predicted: *predicted,
-            score: qaprox_metrics::total_variation(p, &ideal),
+            score: if degraded_candidate(h) {
+                1.0
+            } else {
+                qaprox_metrics::total_variation(p, &ideal)
+            },
             certified: false,
         })
         .collect();
@@ -512,12 +558,42 @@ fn obtain_run_wide(
         cached: false,
         certified: None,
         population: None,
+        health: health_summary(&healths),
     })
 }
 
 // An error-channel marker for "the synthesis stage suspended" inside
 // obtain_run, folded back into ExecResult::Suspended by run_spec.
 const SUSPENDED_SENTINEL: &str = "__qaprox_serve_suspended__";
+
+/// A candidate whose every shot aborted has no usable probability row.
+fn degraded_candidate(h: &qaprox_sim::HealthReport) -> bool {
+    h.clean_shots == 0 && h.aborted_shots > 0
+}
+
+/// Folds per-candidate trajectory health into a payload-ready summary.
+/// `None` when every shot was clean, so healthy runs' payloads stay
+/// bit-identical to pre-sentinel builds.
+fn health_summary(healths: &[qaprox_sim::HealthReport]) -> Option<Json> {
+    let mut total = qaprox_sim::HealthReport::default();
+    for h in healths {
+        total.merge(h);
+    }
+    if total.aborted_shots == 0 && !total.cancelled {
+        return None;
+    }
+    let degraded = healths.iter().filter(|h| degraded_candidate(h)).count();
+    Some(Json::obj(vec![
+        ("clean_shots", Json::Num(total.clean_shots as f64)),
+        ("aborted_shots", Json::Num(total.aborted_shots as f64)),
+        ("nan_events", Json::Num(total.nan_events as f64)),
+        (
+            "norm_drift_events",
+            Json::Num(total.norm_drift_events as f64),
+        ),
+        ("degraded_candidates", Json::Num(degraded as f64)),
+    ]))
+}
 
 fn population_payload(pop: &PopulationOutcome) -> Json {
     let circuits: Vec<Json> = pop
@@ -611,6 +687,9 @@ pub fn run_spec(
                 if let Some((source, bound)) = &out.certified {
                     fields.push(("certified_from".to_string(), Json::Str(source.hex())));
                     fields.push(("equiv_bound".to_string(), Json::Num(*bound)));
+                }
+                if let Some(health) = &out.health {
+                    fields.push(("health".to_string(), health.clone()));
                 }
                 fields.extend([
                     ("ref_score".to_string(), Json::Num(result.ref_score)),
@@ -756,6 +835,7 @@ mod tests {
             max_nodes: 25,
             max_hs: 0.4,
             seed,
+            deadline_ms: None,
         }
     }
 

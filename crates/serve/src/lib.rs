@@ -13,8 +13,10 @@
 //!   synthesize, streaming checkpoints so a killed job resumes, not
 //!   restarts;
 //! * [`scheduler`] — a worker pool with a bounded queue (backpressure),
-//!   in-flight dedup, cooperative cancellation, per-job timeouts, and
-//!   panic isolation;
+//!   in-flight dedup, cooperative cancellation, per-job timeouts, panic
+//!   isolation, client deadlines (expired jobs shed before dispatch),
+//!   cost-based admission control, and runaway-job watchdogs that
+//!   quarantine stalled or over-budget jobs;
 //! * [`server`] / [`client`] — newline-delimited JSON over
 //!   `std::net::TcpListener`, ops `synth`, `run`, `status`, `result`,
 //!   `cancel`, `stats`, `recover`, `shutdown`.
@@ -48,6 +50,8 @@ pub use exec::{
 };
 pub use journal::{Journal, ReplayedJournal};
 pub use retry::RetryPolicy;
-pub use scheduler::{JobState, JobView, Scheduler, SchedulerConfig, Submitted};
+pub use scheduler::{
+    AdmissionConfig, JobState, JobView, Scheduler, SchedulerConfig, Submitted, WatchdogConfig,
+};
 pub use server::{Server, ServerConfig};
 pub use spec::{JobSpec, RunSpec, SynthSpec, MAX_SYNTH_QUBITS};

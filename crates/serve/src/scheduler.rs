@@ -24,7 +24,22 @@
 //!   configured [`RetryPolicy`]; when retries exhaust, the job degrades to
 //!   the best available fallback (see [`crate::exec::degraded_payload`])
 //!   instead of failing outright, reporting `degraded` with a flagged
-//!   payload.
+//!   payload;
+//! * **deadline shedding** — a job carrying a client deadline
+//!   ([`crate::spec::SynthSpec::deadline_ms`]) that lapses while queued is
+//!   `shed` before dispatch: it never touches a worker or the backend, and
+//!   running jobs propagate the remaining budget as a cancellation deadline
+//!   checked at shot/wave granularity;
+//! * **admission control** — with [`AdmissionConfig`] budgets set, every
+//!   submission is priced by the static predictor
+//!   ([`JobSpec::predicted_cost`]) and anything exceeding its per-class cap
+//!   (or overflowing the summed queued-cost budget) is rejected
+//!   [`Submitted::Overloaded`] with a `retry_after_ms` hint;
+//! * **runaway watchdogs** — with [`WatchdogConfig`] armed, a sentinel
+//!   thread cancels and **quarantines** running jobs that hold a worker
+//!   past the stall budget, and jobs whose predicted arena ask exceeds the
+//!   memory budget quarantine at dispatch. `quarantined` is terminal and
+//!   journaled, so recovery replay never re-runs a poison job.
 
 use crate::breaker::BreakerConfig;
 use crate::exec::{degraded_payload, run_spec, ExecCtl, ExecResult};
@@ -56,6 +71,10 @@ pub struct SchedulerConfig {
     pub retry: RetryPolicy,
     /// Per-backend circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Admission-control budgets (all `None` = admission disabled).
+    pub admission: AdmissionConfig,
+    /// Runaway-job watchdog budgets (all `None` = watchdog disabled).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -68,6 +87,85 @@ impl Default for SchedulerConfig {
             journal_dir: None,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            admission: AdmissionConfig::default(),
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Admission-control budgets, priced with the static cost predictor
+/// ([`JobSpec::predicted_cost`]). A `None` field disables that gate; with
+/// every budget unset (the default) submissions skip pricing entirely, so
+/// the layer costs nothing when idle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Cap on a single synthesis job's predicted cost.
+    pub max_synth_cost: Option<u64>,
+    /// Cap on a single (non-wide) run job's predicted cost.
+    pub max_run_cost: Option<u64>,
+    /// Cap on a single wide trajectory job's predicted cost.
+    pub max_wide_cost: Option<u64>,
+    /// Cap on the summed predicted cost of everything currently queued;
+    /// beyond it new work is turned away with backpressure instead of
+    /// queueing without bound.
+    pub max_queued_cost: Option<u64>,
+    /// Retry hint carried by [`Submitted::Overloaded`].
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_synth_cost: None,
+            max_run_cost: None,
+            max_wide_cost: None,
+            max_queued_cost: None,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// True when any budget is configured (pricing happens at submit).
+    pub fn enabled(&self) -> bool {
+        self.max_synth_cost.is_some()
+            || self.max_run_cost.is_some()
+            || self.max_wide_cost.is_some()
+            || self.max_queued_cost.is_some()
+    }
+
+    fn class_cap(&self, class: &str) -> Option<u64> {
+        match class {
+            "synth" => self.max_synth_cost,
+            "wide" => self.max_wide_cost,
+            _ => self.max_run_cost,
+        }
+    }
+}
+
+/// Runaway-job watchdog budgets. The stall sentinel runs on its own thread
+/// (spawned only when [`WatchdogConfig::stall_timeout`] is set) and
+/// quarantines any job holding a worker past the budget; the memory
+/// sentinel prices each job's arena ask at dispatch and quarantines
+/// over-budget jobs without running them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Wall-clock a running job may hold a worker before it is cancelled
+    /// and quarantined (`None` = no stall sentinel, no watchdog thread).
+    pub stall_timeout: Option<Duration>,
+    /// Largest predicted arena footprint
+    /// ([`JobSpec::estimated_arena_bytes`]) allowed to dispatch.
+    pub max_arena_bytes: Option<u64>,
+    /// Stall-sentinel scan cadence.
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_timeout: None,
+            max_arena_bytes: None,
+            poll_interval: Duration::from_millis(10),
         }
     }
 }
@@ -90,6 +188,14 @@ pub enum JobState {
     /// Retries exhausted; a fallback payload (flagged `degraded: true`) is
     /// available via `result`.
     Degraded,
+    /// Client deadline lapsed while queued; the job was dropped before
+    /// dispatch and never touched a worker or the backend.
+    Shed,
+    /// A watchdog sentinel condemned the job (wall-clock stall or an
+    /// over-budget arena ask). Terminal and journaled: recovery replay
+    /// restores it queryable but never re-runs it, so a poison circuit
+    /// cannot crash-loop the scheduler.
+    Quarantined(String),
 }
 
 impl JobState {
@@ -103,6 +209,8 @@ impl JobState {
             JobState::Cancelled => "cancelled",
             JobState::TimedOut => "timed-out",
             JobState::Degraded => "degraded",
+            JobState::Shed => "shed",
+            JobState::Quarantined(_) => "quarantined",
         }
     }
 
@@ -118,6 +226,31 @@ struct Job {
     cancel: Arc<AtomicBool>,
     result: Option<Json>,
     fingerprint: String,
+    /// Client deadline, stamped at submission from the spec's relative TTL.
+    deadline: Option<Instant>,
+    /// When a worker dispatched it (the stall sentinel's clock).
+    started: Option<Instant>,
+    /// Set by a watchdog sentinel; the worker resolves the outcome to
+    /// `Quarantined` regardless of how execution unwound.
+    quarantine_reason: Option<String>,
+    /// Predicted cost at admission (0 when admission is disabled).
+    cost: u64,
+}
+
+impl Job {
+    fn queued(spec: JobSpec, fingerprint: String, deadline: Option<Instant>, cost: u64) -> Job {
+        Job {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            result: None,
+            fingerprint,
+            deadline,
+            started: None,
+            quarantine_reason: None,
+            cost,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -130,6 +263,9 @@ struct Counters {
     rejected: u64,
     deduped: u64,
     degraded: u64,
+    shed: u64,
+    quarantined: u64,
+    overloaded: u64,
 }
 
 struct State {
@@ -139,12 +275,17 @@ struct State {
     next_id: u64,
     stopping: bool,
     counters: Counters,
+    /// Summed predicted cost of everything in `queue` (maintained only
+    /// while admission is enabled; otherwise stays 0).
+    queued_cost: u64,
 }
 
 struct Inner {
     state: Mutex<State>,
     work_ready: Condvar,
     job_done: Condvar,
+    // dedicated wake-up so the sentinel never steals a worker's notify_one
+    watchdog_wake: Condvar,
     store: Option<Arc<Store>>,
     journal: Option<Journal>,
     recovery: Option<Json>,
@@ -160,6 +301,12 @@ pub enum Submitted {
     Deduped(u64),
     /// The queue is full; retry later.
     Rejected,
+    /// Admission control turned the job away: it exceeded its class budget
+    /// or would overflow the queued-cost budget. Retry after the hint.
+    Overloaded {
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
 }
 
 /// A point-in-time view of one job.
@@ -177,6 +324,7 @@ pub struct JobView {
 pub struct Scheduler {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -208,6 +356,7 @@ impl Scheduler {
             next_id: 1,
             stopping: false,
             counters: Counters::default(),
+            queued_cost: 0,
         };
         let mut journal = None;
         let mut recovery = None;
@@ -236,6 +385,11 @@ impl Scheduler {
                     }
                     "cancelled" => r.terminal = Some((JobState::Cancelled, None)),
                     "timed-out" => r.terminal = Some((JobState::TimedOut, None)),
+                    "shed" => r.terminal = Some((JobState::Shed, None)),
+                    "quarantined" => {
+                        let e = rec.get_str("error").unwrap_or("quarantined");
+                        r.terminal = Some((JobState::Quarantined(e.to_string()), None));
+                    }
                     _ => {} // "start" and future event kinds carry no state
                 }
             }
@@ -248,27 +402,27 @@ impl Scheduler {
                 match &r.terminal {
                     Some((js, payload)) => {
                         restored_terminal += 1;
-                        state.jobs.insert(
-                            *id,
-                            Job {
-                                spec: spec.clone(),
-                                state: js.clone(),
-                                cancel: Arc::new(AtomicBool::new(false)),
-                                result: payload.clone(),
-                                fingerprint,
-                            },
-                        );
+                        let mut job = Job::queued(spec.clone(), fingerprint, None, 0);
+                        job.state = js.clone();
+                        job.result = payload.clone();
+                        state.jobs.insert(*id, job);
                     }
                     None => {
+                        // deadlines are relative TTLs, so a re-enqueued job's
+                        // budget restarts at recovery time (the downtime is
+                        // not charged against the client)
+                        let deadline = spec
+                            .deadline_ms()
+                            .map(|ms| Instant::now() + Duration::from_millis(ms));
+                        let cost = if cfg.admission.enabled() {
+                            spec.predicted_cost().unwrap_or(0)
+                        } else {
+                            0
+                        };
+                        state.queued_cost = state.queued_cost.saturating_add(cost);
                         state.jobs.insert(
                             *id,
-                            Job {
-                                spec: spec.clone(),
-                                state: JobState::Queued,
-                                cancel: Arc::new(AtomicBool::new(false)),
-                                result: None,
-                                fingerprint: fingerprint.clone(),
-                            },
+                            Job::queued(spec.clone(), fingerprint.clone(), deadline, cost),
                         );
                         state.inflight.entry(fingerprint).or_insert(*id);
                         state.queue.push_back(*id);
@@ -294,6 +448,7 @@ impl Scheduler {
             state: Mutex::new(state),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
+            watchdog_wake: Condvar::new(),
             store,
             journal,
             recovery,
@@ -308,7 +463,20 @@ impl Scheduler {
                     .expect("spawn worker")
             })
             .collect();
-        Ok(Scheduler { inner, workers })
+        // the stall sentinel only exists when a stall budget is configured —
+        // an idle robustness layer must cost nothing
+        let watchdog = inner.cfg.watchdog.stall_timeout.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("qaprox-watchdog".into())
+                .spawn(move || watchdog_loop(&inner))
+                .expect("spawn watchdog")
+        });
+        Ok(Scheduler {
+            inner,
+            workers,
+            watchdog,
+        })
     }
 
     /// What startup replayed from the journal (None when journal-less).
@@ -333,6 +501,29 @@ impl Scheduler {
             st.counters.deduped += 1;
             return Ok(Submitted::Deduped(id));
         }
+        // admission control: price the job with the static predictor and
+        // turn it away if it busts its class budget or would overflow the
+        // queued-cost budget. With no budgets configured this whole block
+        // is skipped — no pricing on the hot path.
+        let adm = &self.inner.cfg.admission;
+        let cost = if adm.enabled() {
+            // validation already built the reference circuit, so pricing
+            // cannot fail; an unpriceable job under admission is rejected
+            let cost = spec.predicted_cost().unwrap_or(u64::MAX);
+            let over_class = adm.class_cap(spec.class()).is_some_and(|cap| cost > cap);
+            let over_queue = adm
+                .max_queued_cost
+                .is_some_and(|cap| st.queued_cost.saturating_add(cost) > cap);
+            if over_class || over_queue {
+                st.counters.overloaded += 1;
+                return Ok(Submitted::Overloaded {
+                    retry_after_ms: adm.retry_after_ms,
+                });
+            }
+            cost
+        } else {
+            0
+        };
         if st.queue.len() >= self.inner.cfg.queue_capacity {
             st.counters.rejected += 1;
             return Ok(Submitted::Rejected);
@@ -343,18 +534,14 @@ impl Scheduler {
         if let Some(j) = &self.inner.journal {
             j.append(&journal::submit_event(id, &spec))?;
         }
+        let deadline = spec
+            .deadline_ms()
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
         st.next_id += 1;
         st.counters.submitted += 1;
-        st.jobs.insert(
-            id,
-            Job {
-                spec,
-                state: JobState::Queued,
-                cancel: Arc::new(AtomicBool::new(false)),
-                result: None,
-                fingerprint: fingerprint.clone(),
-            },
-        );
+        st.queued_cost = st.queued_cost.saturating_add(cost);
+        st.jobs
+            .insert(id, Job::queued(spec, fingerprint.clone(), deadline, cost));
         st.inflight.insert(fingerprint, id);
         st.queue.push_back(id);
         #[cfg(feature = "strict-invariants")]
@@ -392,6 +579,7 @@ impl Scheduler {
                 job.cancel.store(true, Ordering::Relaxed);
                 st.inflight.remove(&job.fingerprint);
                 st.queue.retain(|&q| q != id);
+                st.queued_cost = st.queued_cost.saturating_sub(job.cost);
                 st.counters.cancelled += 1;
                 // an explicit cancel is durable (unlike shutdown-drain
                 // cancels, which a restart re-enqueues)
@@ -473,6 +661,24 @@ impl Scheduler {
             ("rejected".to_string(), Json::Num(c.rejected as f64)),
             ("deduped".to_string(), Json::Num(c.deduped as f64)),
             ("degraded".to_string(), Json::Num(c.degraded as f64)),
+            ("shed".to_string(), Json::Num(c.shed as f64)),
+            ("quarantined".to_string(), Json::Num(c.quarantined as f64)),
+            ("overloaded".to_string(), Json::Num(c.overloaded as f64)),
+            ("queued_cost".to_string(), Json::Num(st.queued_cost as f64)),
+            (
+                "breakers".to_string(),
+                Json::Arr(
+                    crate::breaker::states_all()
+                        .into_iter()
+                        .map(|(name, state)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name)),
+                                ("state", Json::Str(state.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ];
         if let Some(store) = &self.inner.store {
             let s = store.stats();
@@ -498,6 +704,9 @@ impl Scheduler {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
     }
 
     fn begin_shutdown(&self) {
@@ -513,6 +722,7 @@ impl Scheduler {
                 st.counters.cancelled += 1;
             }
         }
+        st.queued_cost = 0;
         // running jobs get their cancel flags flipped
         for job in st.jobs.values() {
             if job.state == JobState::Running {
@@ -522,6 +732,7 @@ impl Scheduler {
         drop(guard);
         self.inner.work_ready.notify_all();
         self.inner.job_done.notify_all();
+        self.inner.watchdog_wake.notify_all();
     }
 }
 
@@ -531,23 +742,113 @@ impl Drop for Scheduler {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The stall sentinel: scans running jobs on a fixed cadence and condemns
+/// any that have held a worker past the stall budget — the cancel flag
+/// stops the backend at its next shot/round boundary, and the quarantine
+/// marker makes the worker resolve the outcome to `Quarantined` no matter
+/// how execution unwound.
+fn watchdog_loop(inner: &Arc<Inner>) {
+    let Some(stall) = inner.cfg.watchdog.stall_timeout else {
+        return;
+    };
+    let tick = inner
+        .cfg
+        .watchdog
+        .poll_interval
+        .max(Duration::from_millis(1));
+    let mut guard = inner.state.lock().expect("scheduler state poisoned");
+    loop {
+        if guard.stopping {
+            return;
+        }
+        let now = Instant::now();
+        for job in guard.jobs.values_mut() {
+            if job.state == JobState::Running
+                && job.quarantine_reason.is_none()
+                && job.started.is_some_and(|t| now.duration_since(t) > stall)
+            {
+                job.quarantine_reason = Some(format!(
+                    "stalled: held a worker past the {}ms watchdog budget",
+                    stall.as_millis()
+                ));
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+        // begin_shutdown notifies watchdog_wake, so shutdown stays prompt
+        let (g, _) = inner
+            .watchdog_wake
+            .wait_timeout(guard, tick)
+            .expect("scheduler state poisoned");
+        guard = g;
     }
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let (id, spec, cancel) = {
-            let mut st = inner.state.lock().expect("scheduler state poisoned");
+        let (id, spec, cancel, job_deadline) = {
+            let mut guard = inner.state.lock().expect("scheduler state poisoned");
             loop {
-                if st.stopping {
+                if guard.stopping {
                     return;
                 }
-                if let Some(id) = st.queue.pop_front() {
-                    let job = st.jobs.get_mut(&id).expect("queued job exists");
-                    job.state = JobState::Running;
-                    break (id, job.spec.clone(), Arc::clone(&job.cancel));
+                let Some(id) = guard.queue.pop_front() else {
+                    guard = inner
+                        .work_ready
+                        .wait(guard)
+                        .expect("scheduler state poisoned");
+                    continue;
+                };
+                let st = &mut *guard;
+                let job = st.jobs.get_mut(&id).expect("queued job exists");
+                st.queued_cost = st.queued_cost.saturating_sub(job.cost);
+                // deadline shed: a job whose client deadline lapsed while it
+                // waited never dispatches — no worker time, no backend evals
+                if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                    job.state = JobState::Shed;
+                    st.inflight.remove(&job.fingerprint);
+                    st.counters.shed += 1;
+                    if !st.stopping {
+                        if let Some(j) = &inner.journal {
+                            let _ = j.append(&journal::terminal_event(id, "shed", None, None));
+                        }
+                    }
+                    inner.job_done.notify_all();
+                    continue;
                 }
-                st = inner.work_ready.wait(st).expect("scheduler state poisoned");
+                // memory sentinel: an arena ask over the watchdog budget is
+                // condemned before it can take the process down
+                if let Some(cap) = inner.cfg.watchdog.max_arena_bytes {
+                    let ask = job.spec.estimated_arena_bytes();
+                    if ask > cap {
+                        let reason = format!(
+                            "arena ask of {ask} bytes exceeds the {cap}-byte watchdog budget"
+                        );
+                        job.state = JobState::Quarantined(reason.clone());
+                        st.inflight.remove(&job.fingerprint);
+                        st.counters.quarantined += 1;
+                        if !st.stopping {
+                            if let Some(j) = &inner.journal {
+                                let _ = j.append(&journal::terminal_event(
+                                    id,
+                                    "quarantined",
+                                    None,
+                                    Some(&reason),
+                                ));
+                            }
+                        }
+                        inner.job_done.notify_all();
+                        continue;
+                    }
+                }
+                job.state = JobState::Running;
+                job.started = Some(Instant::now());
+                break (id, job.spec.clone(), Arc::clone(&job.cancel), job.deadline);
             }
         };
 
@@ -562,9 +863,16 @@ fn worker_loop(inner: &Arc<Inner>) {
                 }
             }) as Arc<dyn Fn(usize) + Send + Sync>
         });
+        // the effective deadline is the tighter of the operator's per-job
+        // timeout and the client's submitted deadline
+        let timeout_deadline = inner.cfg.job_timeout.map(|t| Instant::now() + t);
+        let deadline = match (timeout_deadline, job_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let ctl = ExecCtl {
             cancel: Some(Arc::clone(&cancel)),
-            deadline: inner.cfg.job_timeout.map(|t| Instant::now() + t),
+            deadline,
             node_budget: None,
             checkpoint_every: inner.cfg.checkpoint_every,
             on_checkpoint,
@@ -637,12 +945,24 @@ fn worker_loop(inner: &Arc<Inner>) {
         let mut guard = inner.state.lock().expect("scheduler state poisoned");
         let st = &mut *guard;
         if st.jobs.contains_key(&id) {
+            // a watchdog verdict overrides whatever execution produced:
+            // however the condemned job unwound (suspended, failed, even
+            // finished between the flag flip and here), it is quarantined
+            let quarantine = st
+                .jobs
+                .get_mut(&id)
+                .and_then(|j| j.quarantine_reason.take());
+            let (state, result) = match quarantine {
+                Some(reason) => (JobState::Quarantined(reason), None),
+                None => (state, result),
+            };
             match state {
                 JobState::Done => st.counters.completed += 1,
                 JobState::Failed(_) => st.counters.failed += 1,
                 JobState::Cancelled => st.counters.cancelled += 1,
                 JobState::TimedOut => st.counters.timed_out += 1,
                 JobState::Degraded => st.counters.degraded += 1,
+                JobState::Quarantined(_) => st.counters.quarantined += 1,
                 _ => {}
             }
             // Journal the terminal transition — EXCEPT for emulated crashes
@@ -661,6 +981,10 @@ fn worker_loop(inner: &Arc<Inner>) {
                         JobState::Failed(e) => journal::terminal_event(id, "failed", None, Some(e)),
                         JobState::Cancelled => journal::terminal_event(id, "cancelled", None, None),
                         JobState::TimedOut => journal::terminal_event(id, "timed-out", None, None),
+                        JobState::Shed => journal::terminal_event(id, "shed", None, None),
+                        JobState::Quarantined(reason) => {
+                            journal::terminal_event(id, "quarantined", None, Some(reason))
+                        }
                         JobState::Queued | JobState::Running => unreachable!("terminal only"),
                     };
                     let _ = j.append(&record);
@@ -716,7 +1040,16 @@ mod tests {
             max_nodes: 20,
             max_hs: 0.4,
             seed,
+            deadline_ms: None,
         })
+    }
+
+    fn tiny_with_deadline(seed: u64, deadline_ms: u64) -> JobSpec {
+        let JobSpec::Synth(mut s) = tiny(seed) else {
+            unreachable!()
+        };
+        s.deadline_ms = Some(deadline_ms);
+        JobSpec::Synth(s)
     }
 
     const WAIT: Duration = Duration::from_secs(120);
@@ -880,16 +1213,8 @@ mod tests {
             let id = st.next_id;
             st.next_id += 1;
             st.counters.submitted += 1;
-            st.jobs.insert(
-                id,
-                Job {
-                    spec: boom,
-                    state: JobState::Queued,
-                    cancel: Arc::new(AtomicBool::new(false)),
-                    result: None,
-                    fingerprint: "boom".into(),
-                },
-            );
+            st.jobs
+                .insert(id, Job::queued(boom, "boom".into(), None, 0));
             st.inflight.insert("boom".into(), id);
             st.queue.push_back(id);
             drop(st);
@@ -968,6 +1293,184 @@ mod tests {
         // ids continue past the recovered ones
         match sched.submit(tiny(1)).unwrap() {
             Submitted::Accepted(new_id) => assert!(new_id > id),
+            other => panic!("{other:?}"),
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_jobs_shed_before_dispatch() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Some(tmp_store("shed")),
+        )
+        .unwrap();
+        // occupy the worker so the deadlined job must wait in the queue;
+        // a 0 ms TTL is expired the moment it could dispatch
+        let _busy = sched.submit(tiny(100)).unwrap();
+        let id = match sched.submit(tiny_with_deadline(101, 0)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        assert_eq!(view.state, JobState::Shed);
+        assert!(view.result.is_none(), "shed jobs produce nothing");
+        let stats = sched.stats();
+        assert_eq!(stats.get_u64("shed"), Some(1));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn admission_prices_jobs_against_class_budgets() {
+        // a zero class budget turns every synth job away ...
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                admission: AdmissionConfig {
+                    max_synth_cost: Some(0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            sched.submit(tiny(0)).unwrap(),
+            Submitted::Overloaded {
+                retry_after_ms: 250
+            }
+        );
+        assert_eq!(sched.stats().get_u64("overloaded"), Some(1));
+        assert_eq!(sched.stats().get_u64("submitted"), Some(0));
+        sched.shutdown();
+
+        // ... while a generous one admits the same job
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                admission: AdmissionConfig {
+                    max_synth_cost: Some(u64::MAX),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Some(tmp_store("admit")),
+        )
+        .unwrap();
+        let id = match sched.submit(tiny(0)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(sched.wait(id, WAIT).unwrap().state, JobState::Done);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn queued_cost_budget_applies_backpressure() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                admission: AdmissionConfig {
+                    max_queued_cost: Some(0),
+                    retry_after_ms: 7,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        // every synth job has positive predicted cost, so a zero queue
+        // budget rejects the very first submission with the configured hint
+        assert_eq!(
+            sched.submit(tiny(0)).unwrap(),
+            Submitted::Overloaded { retry_after_ms: 7 }
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn oversized_arena_asks_quarantine_at_dispatch() {
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                watchdog: WatchdogConfig {
+                    max_arena_bytes: Some(0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Some(tmp_store("arena")),
+        )
+        .unwrap();
+        let id = match sched.submit(tiny(0)).unwrap() {
+            Submitted::Accepted(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let view = sched.wait(id, WAIT).unwrap();
+        match view.state {
+            JobState::Quarantined(reason) => assert!(reason.contains("arena"), "{reason}"),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(sched.stats().get_u64("quarantined"), Some(1));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn quarantined_and_shed_jobs_restore_without_reenqueue() {
+        let journal_dir = tmp_dir("journal", "quarantine");
+        // hand-write a journal: job 1 was quarantined, job 2 shed, job 3
+        // crashed mid-run (submit + start, no terminal record)
+        {
+            let j = Journal::open(&journal_dir).unwrap();
+            j.append(&journal::submit_event(1, &tiny(3))).unwrap();
+            j.append(&journal::event("start", 1)).unwrap();
+            j.append(&journal::terminal_event(
+                1,
+                "quarantined",
+                None,
+                Some("stalled: test verdict"),
+            ))
+            .unwrap();
+            j.append(&journal::submit_event(2, &tiny(4))).unwrap();
+            j.append(&journal::terminal_event(2, "shed", None, None))
+                .unwrap();
+            j.append(&journal::submit_event(3, &tiny(5))).unwrap();
+            j.append(&journal::event("start", 3)).unwrap();
+        }
+        let sched = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                journal_dir: Some(journal_dir),
+                ..Default::default()
+            },
+            Some(tmp_store("journal-quarantine")),
+        )
+        .unwrap();
+        let report = sched.recovery_report().unwrap();
+        assert_eq!(report.get_u64("restored_terminal"), Some(2));
+        let reenqueued = report.get("reenqueued").and_then(Json::as_arr).unwrap();
+        assert_eq!(reenqueued.len(), 1, "only the crashed job re-runs");
+        assert_eq!(reenqueued[0].get_u64("id"), Some(3));
+
+        // the quarantined job is queryable with its verdict, and stays put
+        let view = sched.job(1).expect("quarantined job restored");
+        assert_eq!(
+            view.state,
+            JobState::Quarantined("stalled: test verdict".into())
+        );
+        assert_eq!(sched.job(2).unwrap().state, JobState::Shed);
+        // the re-enqueued job completes under its original id
+        assert_eq!(sched.wait(3, WAIT).unwrap().state, JobState::Done);
+        // the poison job was never re-run: still quarantined afterwards
+        assert_eq!(
+            sched.job(1).unwrap().state,
+            JobState::Quarantined("stalled: test verdict".into())
+        );
+        // a fresh identical submission is NOT deduped onto the quarantined
+        // job — terminal jobs hold no inflight slot
+        match sched.submit(tiny(3)).unwrap() {
+            Submitted::Accepted(id) => assert!(id > 3),
             other => panic!("{other:?}"),
         }
         sched.shutdown();

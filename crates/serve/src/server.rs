@@ -15,7 +15,9 @@
 //! | `shutdown` | —                              | `{ok: true}` then the server stops |
 //!
 //! Errors are `{ok: false, error: "..."}`; a full queue additionally sets
-//! `backpressure: true` so clients know to retry rather than give up.
+//! `backpressure: true` so clients know to retry rather than give up, and
+//! an admission-control rejection sets `overloaded: true` plus a
+//! `retry_after_ms` backoff hint.
 //! See `docs/SERVE.md` for the full protocol description.
 
 use crate::scheduler::{Scheduler, SchedulerConfig, Submitted};
@@ -218,6 +220,12 @@ fn handle_request(request: &Json, scheduler: &Scheduler, stop: &Arc<AtomicBool>)
                     ("error", Json::Str("queue full".into())),
                     ("backpressure", Json::Bool(true)),
                 ]),
+                Ok(Submitted::Overloaded { retry_after_ms }) => Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("overloaded".into())),
+                    ("overloaded", Json::Bool(true)),
+                    ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+                ]),
                 Err(e) => err_response(&e),
             }
         }
@@ -244,6 +252,9 @@ fn handle_request(request: &Json, scheduler: &Scheduler, stop: &Arc<AtomicBool>)
                         fields.insert(0, ("ok".to_string(), Json::Bool(false)));
                         let why = match &view.state {
                             crate::scheduler::JobState::Failed(e) => e.clone(),
+                            crate::scheduler::JobState::Quarantined(reason) => {
+                                format!("job quarantined: {reason}")
+                            }
                             s if s.is_terminal() => format!("job {}", s.name()),
                             _ => "not finished".to_string(),
                         };

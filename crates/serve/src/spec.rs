@@ -36,6 +36,14 @@ pub struct SynthSpec {
     pub max_hs: f64,
     /// Instantiation seed.
     pub seed: u64,
+    /// Optional client deadline: a wall-clock budget in milliseconds,
+    /// measured from submission. The scheduler sheds the job (without
+    /// dispatching it) once the budget lapses, and workers propagate the
+    /// remaining budget as a cancellation deadline so expired work stops at
+    /// shot/wave granularity. The deadline describes *when* the answer is
+    /// still wanted, not *what* is computed — it is deliberately excluded
+    /// from every fingerprint and store key.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for SynthSpec {
@@ -48,6 +56,7 @@ impl Default for SynthSpec {
             max_nodes: 150,
             max_hs: 0.12,
             seed: 0,
+            deadline_ms: None,
         }
     }
 }
@@ -249,15 +258,19 @@ impl SynthSpec {
 
     /// JSON form (spec fields only; the `op` tag belongs to the envelope).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("workload", Json::Str(self.workload.clone())),
-            ("qubits", Json::Num(self.qubits as f64)),
-            ("steps", Json::Num(self.steps as f64)),
-            ("max_cnots", Json::Num(self.max_cnots as f64)),
-            ("max_nodes", Json::Num(self.max_nodes as f64)),
-            ("max_hs", Json::Num(self.max_hs)),
-            ("seed", Json::Num(self.seed as f64)),
-        ])
+        let mut fields = vec![
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            ("qubits".to_string(), Json::Num(self.qubits as f64)),
+            ("steps".to_string(), Json::Num(self.steps as f64)),
+            ("max_cnots".to_string(), Json::Num(self.max_cnots as f64)),
+            ("max_nodes".to_string(), Json::Num(self.max_nodes as f64)),
+            ("max_hs".to_string(), Json::Num(self.max_hs)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Num(ms as f64)));
+        }
+        Json::Obj(fields)
     }
 
     /// Reads spec fields from a JSON object, defaulting absent ones.
@@ -271,6 +284,7 @@ impl SynthSpec {
             max_nodes: v.get_usize("max_nodes").unwrap_or(d.max_nodes),
             max_hs: v.get_f64("max_hs").unwrap_or(d.max_hs),
             seed: v.get_u64("seed").unwrap_or(d.seed),
+            deadline_ms: v.get_u64("deadline_ms"),
         })
     }
 }
@@ -501,6 +515,93 @@ impl JobSpec {
         match self {
             JobSpec::Synth(s) => s.population_key(),
             JobSpec::Run(r) => r.result_key(),
+        }
+    }
+
+    /// The client's wall-clock budget in milliseconds, when one was set
+    /// (see [`SynthSpec::deadline_ms`]).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            JobSpec::Synth(s) => s.deadline_ms,
+            JobSpec::Run(r) => r.synth.deadline_ms,
+        }
+    }
+
+    /// Admission class this job is priced under: `synth` (search-bound),
+    /// `run` (narrow synth-and-score), or `wide` (trajectory-only, the
+    /// expensive one).
+    pub fn class(&self) -> &'static str {
+        match self {
+            JobSpec::Synth(_) => "synth",
+            JobSpec::Run(r) if r.is_wide() => "wide",
+            JobSpec::Run(_) => "run",
+        }
+    }
+
+    /// Static admission price in abstract amplitude-op units — the same
+    /// O(gates) quantities the QA4xx predictor reads, never a simulation:
+    ///
+    /// * trajectory runs: `gates × shots × 2^qubits × candidates` (the shot
+    ///   loop's work; wide specs price all `steps-1` Trotter candidates);
+    /// * density-matrix / hardware runs: `gates × 4^qubits`;
+    /// * synthesis: `max_nodes × 4^qubits` (each search node instantiates
+    ///   against the dense target).
+    ///
+    /// Saturating arithmetic: an absurd spec prices as `u64::MAX` and is
+    /// rejected by any finite budget rather than wrapping into a cheap one.
+    pub fn predicted_cost(&self) -> Result<u64, String> {
+        match self {
+            JobSpec::Synth(s) => {
+                let dim = 1u64 << s.qubits.min(31);
+                Ok((s.max_nodes.max(1) as u64).saturating_mul(dim.saturating_mul(dim)))
+            }
+            JobSpec::Run(r) => {
+                let gates = r.reference_circuit()?.len().max(1) as u64;
+                let dim = 1u64 << r.synth.qubits.min(62);
+                if r.backend.as_deref() == Some("trajectory") {
+                    let shots = r.effective_shots() as u64;
+                    let candidates = if r.is_wide() {
+                        r.synth.steps.saturating_sub(1).max(1) as u64
+                    } else {
+                        1
+                    };
+                    Ok(gates
+                        .saturating_mul(shots)
+                        .saturating_mul(dim)
+                        .saturating_mul(candidates))
+                } else {
+                    Ok(gates.saturating_mul(dim).saturating_mul(dim))
+                }
+            }
+        }
+    }
+
+    /// Peak state-arena bytes this job can pin at once — what the runaway
+    /// watchdog's memory sentinel judges against its budget. Trajectory runs
+    /// pin up to one `2^qubits` complex state per candidate in the batch
+    /// arena (the `TrajectoryBatch` cap may split groups further, but the
+    /// sentinel prices the uncapped ask); exact paths pin the `4^qubits`
+    /// density matrix / dense unitary.
+    pub fn estimated_arena_bytes(&self) -> u64 {
+        let per_amp = std::mem::size_of::<qaprox_linalg::Complex64>() as u64;
+        match self {
+            JobSpec::Synth(s) => {
+                let dim = 1u64 << s.qubits.min(31);
+                dim.saturating_mul(dim).saturating_mul(per_amp)
+            }
+            JobSpec::Run(r) => {
+                let dim = 1u64 << r.synth.qubits.min(62);
+                if r.backend.as_deref() == Some("trajectory") {
+                    let candidates = if r.is_wide() {
+                        r.synth.steps.saturating_sub(1).max(1) as u64
+                    } else {
+                        1
+                    };
+                    dim.saturating_mul(candidates).saturating_mul(per_amp)
+                } else {
+                    dim.saturating_mul(dim).saturating_mul(per_amp)
+                }
+            }
         }
     }
 
@@ -788,6 +889,80 @@ mod tests {
             // same unitary: only disjoint-support neighbours were swapped
             assert!(a.unitary().approx_eq(&b.unitary(), 1e-12));
         }
+    }
+
+    #[test]
+    fn deadlines_round_trip_but_never_touch_keys() {
+        let run = RunSpec {
+            synth: SynthSpec {
+                qubits: 2,
+                steps: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut hurried = run.clone();
+        hurried.synth.deadline_ms = Some(250);
+        // the deadline travels the wire...
+        let text = JobSpec::Run(hurried.clone()).to_json().to_string();
+        let back = JobSpec::from_json(&qaprox_store::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.deadline_ms(), Some(250));
+        // ...but is computation-irrelevant: identical keys, fingerprints,
+        // and dedup class as the undeadlined job
+        assert_eq!(hurried.result_key().unwrap(), run.result_key().unwrap());
+        assert_eq!(hurried.synth.fingerprint(), run.synth.fingerprint());
+        assert_eq!(
+            JobSpec::Run(hurried.clone()).dedup_fingerprint(),
+            JobSpec::Run(run.clone()).dedup_fingerprint()
+        );
+        assert_eq!(hurried.equiv_tag(), run.equiv_tag());
+        // absent field stays absent through a round trip
+        let text = JobSpec::Run(run.clone()).to_json().to_string();
+        assert!(!text.contains("deadline_ms"), "{text}");
+    }
+
+    #[test]
+    fn predicted_cost_prices_classes_sensibly() {
+        let synth = JobSpec::Synth(SynthSpec {
+            qubits: 2,
+            steps: 2,
+            ..Default::default()
+        });
+        assert_eq!(synth.class(), "synth");
+        assert!(synth.predicted_cost().unwrap() > 0);
+
+        let run = JobSpec::Run(RunSpec {
+            synth: SynthSpec {
+                qubits: 2,
+                steps: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert_eq!(run.class(), "run");
+
+        let wide = JobSpec::Run(RunSpec {
+            synth: SynthSpec {
+                qubits: 27,
+                steps: 4,
+                ..Default::default()
+            },
+            device: "toronto".into(),
+            backend: Some("trajectory".into()),
+            shots: Some(16),
+            ..Default::default()
+        });
+        assert_eq!(wide.class(), "wide");
+        let base = wide.predicted_cost().unwrap();
+        // cost scales linearly with the shot budget...
+        let mut pricier = match &wide {
+            JobSpec::Run(r) => r.clone(),
+            _ => unreachable!(),
+        };
+        pricier.shots = Some(32);
+        assert_eq!(JobSpec::Run(pricier).predicted_cost().unwrap(), base * 2);
+        // ...and the arena ask covers all Trotter candidates at 2^27 amps
+        assert_eq!(wide.estimated_arena_bytes(), 3 * (1u64 << 27) * 16);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn spec(workload: &str) -> RunSpec {
             max_nodes: 25,
             max_hs: 0.4,
             seed: 0,
+            deadline_ms: None,
         },
         device: "ourense".into(),
         cx_error: Some(0.1),

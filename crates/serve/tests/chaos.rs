@@ -18,8 +18,9 @@
 use qaprox_fault::Scenario;
 use qaprox_serve::{
     breaker, JobSpec, JobState, RetryPolicy, RunSpec, Scheduler, SchedulerConfig, Submitted,
-    SynthSpec,
+    SynthSpec, WatchdogConfig,
 };
+use qaprox_store::json::Json;
 use qaprox_store::Store;
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,6 +36,7 @@ fn tiny(seed: u64) -> SynthSpec {
         max_nodes: 20,
         max_hs: 0.4,
         seed,
+        deadline_ms: None,
     }
 }
 
@@ -111,6 +113,10 @@ fn seeded_fault_schedules_never_lose_or_wedge_jobs() {
                     "schedule {chaos_seed}: dedup pointed at an unknown id {id}"
                 ),
                 Ok(Submitted::Rejected) => {} // backpressure is a legal outcome
+                // admission control is not configured in this schedule
+                Ok(Submitted::Overloaded { .. }) => {
+                    panic!("schedule {chaos_seed}: overloaded with admission disabled")
+                }
                 // the enqueue failpoint is not armed, so submission errors
                 // can only be validation — and these specs are valid
                 Err(e) => panic!("schedule {chaos_seed}: submit failed: {e}"),
@@ -191,6 +197,7 @@ fn trajectory_jobs_count_backend_invocations_and_survive_outages() {
             max_nodes: 20,
             max_hs: 0.4,
             seed: 0,
+            deadline_ms: None,
         },
         device: "toronto".into(),
         backend: Some("trajectory".into()),
@@ -230,4 +237,137 @@ fn trajectory_jobs_count_backend_invocations_and_survive_outages() {
 
     sched.shutdown();
     let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// The seeded overload schedule from the robustness acceptance bar: one
+/// trajectory job stalled by a `traj.shot` sleep (the watchdog must
+/// quarantine it), one job submitted with an already-expired deadline (shed
+/// before it consumes any backend evaluation), and a flood of healthy jobs
+/// queued behind them. Afterwards the accounting must balance
+/// (submitted = completed + shed + quarantined + degraded) and a restart on
+/// the same journal must restore the casualties as terminal — NOT re-run
+/// them — so a poison circuit cannot crash-loop recovery replay.
+#[test]
+fn overload_schedule_sheds_quarantines_and_balances_accounting() {
+    breaker::reset_all();
+    let base = std::env::temp_dir().join(format!("qaprox-chaos-overload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store = Arc::new(Store::open(base.join("store")).unwrap());
+    let cfg = SchedulerConfig {
+        workers: 1, // deterministic dispatch order: stall, then shed, then flood
+        journal_dir: Some(base.join("journal")),
+        // the budget must clear a legitimate wide trajectory job (tens of
+        // milliseconds) by a wide margin, and the injected stall must clear
+        // the budget by another
+        watchdog: WatchdogConfig {
+            stall_timeout: Some(Duration::from_millis(1000)),
+            poll_interval: Duration::from_millis(10),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sched = Scheduler::start(cfg.clone(), Some(Arc::clone(&store))).unwrap();
+
+    // the first trajectory shot anywhere sleeps far past the watchdog
+    // budget, then the `after:0` trigger disarms so every later shot runs
+    // clean; `serve.backend=never` fires nothing but keeps that failpoint's
+    // evaluation counter live (unarmed points do not count)
+    let _scenario = Scenario::setup("traj.shot=after:0->sleep:3000,serve.backend=never");
+    let evals_start = qaprox_fault::evals("serve.backend");
+
+    let wide = |seed: u64, deadline_ms: Option<u64>| {
+        JobSpec::Run(RunSpec {
+            synth: SynthSpec {
+                workload: "tfim".into(),
+                qubits: 8, // wide: past the synthesis cap, still cheap
+                steps: 3,
+                max_cnots: 3,
+                max_nodes: 20,
+                max_hs: 0.4,
+                seed,
+                deadline_ms,
+            },
+            device: "toronto".into(),
+            backend: Some("trajectory".into()),
+            shots: Some(16),
+            ..Default::default()
+        })
+    };
+    let submit = |spec: JobSpec| match sched.submit(spec).unwrap() {
+        Submitted::Accepted(id) => id,
+        other => panic!("overload-schedule job not accepted: {other:?}"),
+    };
+
+    let stalled = submit(wide(0, None));
+    // expired on arrival: waits behind the stalled job, shed at dispatch
+    let expired = submit(wide(1, Some(0)));
+    let flood: Vec<u64> = (2..6).map(|seed| submit(wide(seed, None))).collect();
+
+    // the stalled job lands quarantined with the watchdog's verdict
+    let view = sched.wait(stalled, WAIT).expect("stalled job lost");
+    match &view.state {
+        JobState::Quarantined(reason) => assert!(
+            reason.contains("stalled"),
+            "quarantine verdict must name the stall: {reason}"
+        ),
+        other => panic!("stalled job must be quarantined, got {other:?}"),
+    }
+    // the expired job is shed without ever starting
+    let view = sched.wait(expired, WAIT).expect("expired job lost");
+    assert_eq!(view.state, JobState::Shed);
+    // the flood drains to completion once the stalled job is condemned
+    for &id in &flood {
+        let view = sched.wait(id, WAIT).expect("flood job lost");
+        assert_eq!(view.state, JobState::Done, "flood job {id} did not finish");
+    }
+
+    // exactly one backend evaluation for the stalled job (condemned in the
+    // shot loop, after the counting failpoint) plus one per flood job — the
+    // shed job consumed zero
+    assert_eq!(
+        qaprox_fault::evals("serve.backend") - evals_start,
+        1 + flood.len() as u64,
+        "the shed job must consume zero backend evaluations"
+    );
+
+    // accounting balances: submitted = completed + shed + quarantined
+    let stats = sched.stats();
+    assert_eq!(stats.get_u64("submitted"), Some(2 + flood.len() as u64));
+    assert_eq!(stats.get_u64("completed"), Some(flood.len() as u64));
+    assert_eq!(stats.get_u64("shed"), Some(1));
+    assert_eq!(stats.get_u64("quarantined"), Some(1));
+    assert_eq!(stats.get_u64("degraded"), Some(0));
+    assert_eq!(stats.get_u64("queued_cost"), Some(0));
+
+    sched.shutdown();
+
+    // restart on the same journal: both casualties come back terminal and
+    // queryable, nothing is re-enqueued, and the backend counter stays put
+    let evals_before_restart = qaprox_fault::evals("serve.backend");
+    let sched = Scheduler::start(cfg, Some(store)).unwrap();
+    let report = sched.recovery_report().expect("journal configured");
+    assert_eq!(
+        report.get_u64("restored_terminal"),
+        Some(2 + flood.len() as u64)
+    );
+    let reenqueued = report.get("reenqueued").and_then(Json::as_arr).unwrap();
+    assert!(reenqueued.is_empty(), "nothing to re-run: {reenqueued:?}");
+    match &sched.job(stalled).expect("quarantined job restored").state {
+        JobState::Quarantined(reason) => assert!(
+            reason.contains("stalled"),
+            "restart must restore the quarantine verdict: {reason}"
+        ),
+        other => panic!("quarantined job restored as {other:?}"),
+    }
+    assert_eq!(
+        sched.job(expired).expect("shed job restored").state,
+        JobState::Shed
+    );
+    assert_eq!(
+        qaprox_fault::evals("serve.backend"),
+        evals_before_restart,
+        "recovery replay must not re-run a quarantined job"
+    );
+    sched.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
 }

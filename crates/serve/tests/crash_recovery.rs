@@ -34,6 +34,7 @@ fn spec() -> JobSpec {
         max_nodes: 25,
         max_hs: 0.4,
         seed: 11,
+        deadline_ms: None,
     })
 }
 

@@ -1,7 +1,8 @@
 //! End-to-end service tests: a real TCP server, a real client, a real store.
 
 use qaprox_serve::{
-    Client, JobSpec, RetryPolicy, RunSpec, SchedulerConfig, Server, ServerConfig, SynthSpec,
+    AdmissionConfig, Client, ClientError, JobSpec, RetryPolicy, RunSpec, SchedulerConfig, Server,
+    ServerConfig, SynthSpec,
 };
 use qaprox_store::Store;
 use std::sync::Arc;
@@ -22,6 +23,7 @@ fn tiny(seed: u64) -> SynthSpec {
         max_nodes: 25,
         max_hs: 0.4,
         seed,
+        deadline_ms: None,
     }
 }
 
@@ -200,6 +202,84 @@ fn recover_op_reports_the_replayed_journal() {
     let err = client.recover().unwrap();
     assert_eq!(err.get_bool("ok"), Some(false));
     plain.shutdown();
+}
+
+#[test]
+fn read_deadline_surfaces_as_typed_timeout() {
+    // a listener that accepts nothing: the connect succeeds (kernel
+    // backlog), the request is written, and the reply never comes
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let mut client =
+        Client::connect_timeout(&addr, Duration::from_secs(5), Duration::from_millis(100)).unwrap();
+    use qaprox_store::json::Json;
+    let err = client
+        .request_typed(&Json::obj(vec![("op", Json::Str("stats".into()))]))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Timeout(_)),
+        "a silent server must surface as the typed timeout, got {err:?}"
+    );
+    drop(listener);
+
+    // against a live server the same deadlines are generous, so the client
+    // behaves exactly like the untimed one
+    let server = Server::start(ServerConfig::default(), None).unwrap();
+    let mut client = Client::connect_timeout(
+        &server.local_addr().to_string(),
+        Duration::from_secs(5),
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get_bool("ok"), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_rejections_reach_the_client_typed() {
+    // a synth cost budget of zero turns every synthesis job away
+    let server = Server::start(
+        ServerConfig {
+            scheduler: SchedulerConfig {
+                admission: AdmissionConfig {
+                    max_synth_cost: Some(0),
+                    retry_after_ms: 13,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap().with_retry(RetryPolicy {
+        max_attempts: 2,
+        base_ms: 1,
+        cap_ms: 2,
+        ..Default::default()
+    });
+
+    match client.submit(&JobSpec::Synth(tiny(0))) {
+        Err(ClientError::Overloaded { retry_after_ms }) => {
+            assert_eq!(retry_after_ms, 13, "the server's backoff hint rides along");
+        }
+        other => panic!("over-budget submission must be typed Overloaded: {other:?}"),
+    }
+
+    // the stats op surfaces the overload counters and breaker states
+    let stats = client.stats().unwrap();
+    assert!(stats.get_u64("overloaded").unwrap() >= 2, "{stats:?}");
+    assert_eq!(stats.get_u64("submitted"), Some(0), "nothing was admitted");
+    assert_eq!(stats.get_u64("queued_cost"), Some(0));
+    assert_eq!(stats.get_u64("shed"), Some(0));
+    assert_eq!(stats.get_u64("quarantined"), Some(0));
+    assert!(stats.get("breakers").is_some(), "{stats:?}");
+
+    server.shutdown();
 }
 
 #[test]

@@ -7,9 +7,11 @@
 use crate::hardware::HardwareBackend;
 use crate::noise_model::NoiseModel;
 use crate::statevector;
-use crate::trajectory::TrajectoryBackend;
+use crate::trajectory::{HealthReport, TrajectoryBackend};
 use qaprox_circuit::Circuit;
 use qaprox_linalg::parallel::par_map_indexed;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Where a circuit executes — mirrors the paper's three execution methods
 /// (ideal simulator, device-noise-model simulator, physical machine), plus
@@ -87,6 +89,18 @@ impl Backend {
     /// reported by index rather than poisoning the worker pool. Successful
     /// batches preserve input order exactly.
     pub fn probabilities_batch(&self, circuits: &[Circuit]) -> Result<Vec<Vec<f64>>, String> {
+        Ok(self.probabilities_batch_health(circuits)?.0)
+    }
+
+    /// [`Backend::probabilities_batch`] plus one [`HealthReport`] per row.
+    ///
+    /// Trajectory rows carry real shot-level health accounting (aborted
+    /// corrupt shots, cooperative cancellation); exact backends never abort
+    /// shots and report a default (healthy, zero-shot) record.
+    pub fn probabilities_batch_health(
+        &self,
+        circuits: &[Circuit],
+    ) -> Result<(Vec<Vec<f64>>, Vec<HealthReport>), String> {
         // Failpoint `hardware.shot`: the emulated analogue of a physical
         // backend rejecting or dropping a submitted job. `error` fails the
         // whole batch with a transient (retryable) message, `panic` emulates
@@ -105,22 +119,28 @@ impl Backend {
         if let Backend::Trajectory(tb) = self {
             if circuits.len() > 1 {
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    tb.probabilities_batch(circuits)
+                    tb.probabilities_batch_health(circuits)
                 }));
-                if let Ok(Ok(rows)) = attempt {
-                    return Ok(rows);
+                if let Ok(Ok(out)) = attempt {
+                    return Ok(out);
                 }
             }
         }
-        let runs: Vec<std::thread::Result<Vec<f64>>> = par_map_indexed(circuits, |i, c| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.probabilities(c, i as u64)
-            }))
-        });
-        let mut out = Vec::with_capacity(runs.len());
+        let runs: Vec<std::thread::Result<(Vec<f64>, HealthReport)>> =
+            par_map_indexed(circuits, |i, c| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match self {
+                    Backend::Trajectory(tb) => tb.probabilities_health(c, i as u64),
+                    other => (other.probabilities(c, i as u64), HealthReport::default()),
+                }))
+            });
+        let mut rows = Vec::with_capacity(runs.len());
+        let mut healths = Vec::with_capacity(runs.len());
         for (i, r) in runs.into_iter().enumerate() {
             match r {
-                Ok(p) => out.push(p),
+                Ok((p, h)) => {
+                    rows.push(p);
+                    healths.push(h);
+                }
                 Err(payload) => {
                     let msg = payload
                         .downcast_ref::<String>()
@@ -131,7 +151,18 @@ impl Backend {
                 }
             }
         }
-        Ok(out)
+        Ok((rows, healths))
+    }
+
+    /// Attaches a cooperative cancellation token to backends that support
+    /// mid-job cancellation — the trajectory backend checks it at shot
+    /// granularity; exact backends ignore it (their per-circuit runs are
+    /// short enough to cancel between circuits at the scheduler layer).
+    pub fn with_cancel(self, flag: Arc<AtomicBool>) -> Self {
+        match self {
+            Backend::Trajectory(tb) => Backend::Trajectory(tb.with_cancel(flag)),
+            other => other,
+        }
     }
 }
 

@@ -47,6 +47,8 @@ use qaprox_linalg::parallel::par_map_range;
 use qaprox_linalg::random::Rng;
 use qaprox_linalg::random::SplitMix64 as StdRng;
 use qaprox_linalg::Complex64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Default shot count when the caller does not specify one. Chosen so the
 /// sampling error (~`sqrt(dim / shots)` in TV distance) sits below the noise
@@ -586,37 +588,87 @@ impl FusedProgram {
     /// reuses one state buffer and one accumulator, and chunk partials are
     /// reduced sequentially in index order.
     pub fn shot_average(&self, shots: usize, seed: u64) -> Vec<f64> {
+        self.shot_average_health(shots, seed, None).0
+    }
+
+    /// [`shot_average`](Self::shot_average) plus the per-shot health
+    /// sentinels and an optional cooperative cancellation token.
+    ///
+    /// Every finished shot is vetted before it reaches the accumulator: a
+    /// non-finite amplitude ([`HealthReport::nan_events`]) or a state norm
+    /// drifted beyond [`NORM_DRIFT_TOL`] ([`HealthReport::norm_drift_events`])
+    /// aborts the shot, so corrupt trajectories never contaminate the
+    /// averaged row. Clean rows are averaged over the clean-shot count —
+    /// when every shot is clean that equals `shots` and the result is
+    /// bit-identical to [`shot_average`](Self::shot_average).
+    ///
+    /// `cancel` is checked once per shot: once it reads `true` the remaining
+    /// shots are skipped, [`HealthReport::cancelled`] is set, and the
+    /// (partial) row should be discarded by the caller.
+    ///
+    /// Failpoint `traj.shot` evaluates once per shot (sleep actions emulate
+    /// a stalled kernel; the serve watchdog quarantines jobs stuck here).
+    pub fn shot_average_health(
+        &self,
+        shots: usize,
+        seed: u64,
+        cancel: Option<&AtomicBool>,
+    ) -> (Vec<f64>, HealthReport) {
         let dim = 1usize << self.num_qubits;
         if shots == 0 {
-            return vec![0.0; dim];
+            return (vec![0.0; dim], HealthReport::default());
         }
         let chunk = shot_chunk(self.num_qubits);
         let chunks = shots.div_ceil(chunk);
-        let partials: Vec<Vec<f64>> = par_map_range(chunks, |c| {
+        let partials: Vec<(Vec<f64>, HealthReport)> = par_map_range(chunks, |c| {
             let lo = c * chunk;
             let hi = (lo + chunk).min(shots);
             let mut state = vec![Complex64::ZERO; dim];
             let mut acc = vec![0.0f64; dim];
+            let mut health = HealthReport::default();
             for shot in lo..hi {
+                if cancel.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    health.cancelled = true;
+                    break;
+                }
+                qaprox_fault::fail_point!("traj.shot");
                 let mut rng = shot_rng(seed, shot as u64);
                 self.run_shot(&mut state, &mut rng);
-                for (a, z) in acc.iter_mut().zip(state.iter()) {
-                    *a += z.norm_sqr();
+                inject_shot_corruption(&mut state);
+                match shot_verdict(&state) {
+                    ShotVerdict::Clean => {
+                        health.clean_shots += 1;
+                        for (a, z) in acc.iter_mut().zip(state.iter()) {
+                            *a += z.norm_sqr();
+                        }
+                    }
+                    ShotVerdict::Nan => {
+                        health.aborted_shots += 1;
+                        health.nan_events += 1;
+                    }
+                    ShotVerdict::Drift => {
+                        health.aborted_shots += 1;
+                        health.norm_drift_events += 1;
+                    }
                 }
             }
-            acc
+            (acc, health)
         });
         let mut probs = vec![0.0f64; dim];
-        for p in &partials {
+        let mut health = HealthReport::default();
+        for (p, h) in &partials {
             for (dst, &x) in probs.iter_mut().zip(p) {
                 *dst += x;
             }
+            health.merge(h);
         }
-        let inv = 1.0 / shots as f64;
-        for x in probs.iter_mut() {
-            *x *= inv;
+        if health.clean_shots > 0 {
+            let inv = 1.0 / health.clean_shots as f64;
+            for x in probs.iter_mut() {
+                *x *= inv;
+            }
         }
-        probs
+        (probs, health)
     }
 
     /// [`FusedProgram::shot_average`] plus the model's readout confusion
@@ -627,6 +679,99 @@ impl FusedProgram {
         probs
     }
 }
+
+// ---------------------------------------------------------------------------
+// numerical health sentinels
+// ---------------------------------------------------------------------------
+
+/// Norm-drift tolerance for the per-shot health sentinel. Every operation a
+/// trajectory applies is norm-preserving (gates and mixed-unitary branches
+/// are unitary, Kraus selections renormalize), so a finished shot's total
+/// probability mass is `1 ± rounding` — drifting past this tolerance means
+/// the state is numerically corrupt, not merely inexact.
+pub const NORM_DRIFT_TOL: f64 = 1e-6;
+
+/// Per-candidate numerical health from one shot-averaged run.
+///
+/// Recorded by [`FusedProgram::shot_average_health`] and
+/// [`TrajectoryBatch::shot_average_health`]: shots whose final state carries
+/// a NaN/Inf amplitude or a norm drifted beyond [`NORM_DRIFT_TOL`] are
+/// **aborted** — excluded from the averaged row — instead of contaminating
+/// it, and the abort is counted here. A report with `aborted_shots > 0` (or
+/// `cancelled`) marks the row as degraded: it averages fewer trajectories
+/// than requested and callers should surface that rather than treat the row
+/// as a full-budget estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Shots that finished cleanly and entered the average.
+    pub clean_shots: u64,
+    /// Shots aborted by a sentinel (excluded from the average).
+    pub aborted_shots: u64,
+    /// Aborts caused by a non-finite amplitude.
+    pub nan_events: u64,
+    /// Aborts caused by norm drift beyond [`NORM_DRIFT_TOL`].
+    pub norm_drift_events: u64,
+    /// True when a cooperative cancellation token stopped the run early;
+    /// the partial row should be discarded.
+    pub cancelled: bool,
+}
+
+impl HealthReport {
+    /// True when every requested shot ran and entered the average.
+    pub fn is_healthy(&self) -> bool {
+        self.aborted_shots == 0 && !self.cancelled
+    }
+
+    /// Folds another report (e.g. a parallel chunk's partial) into this one.
+    pub fn merge(&mut self, other: &HealthReport) {
+        self.clean_shots += other.clean_shots;
+        self.aborted_shots += other.aborted_shots;
+        self.nan_events += other.nan_events;
+        self.norm_drift_events += other.norm_drift_events;
+        self.cancelled |= other.cancelled;
+    }
+}
+
+/// What the sentinels concluded about one finished shot.
+enum ShotVerdict {
+    Clean,
+    Nan,
+    Drift,
+}
+
+/// Vets a finished trajectory: total probability mass must be finite and
+/// within [`NORM_DRIFT_TOL`] of 1.
+fn shot_verdict(state: &[Complex64]) -> ShotVerdict {
+    let mass: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+    if !mass.is_finite() {
+        ShotVerdict::Nan
+    } else if (mass - 1.0).abs() > NORM_DRIFT_TOL {
+        ShotVerdict::Drift
+    } else {
+        ShotVerdict::Clean
+    }
+}
+
+/// Failpoint `traj.corrupt`: deterministically corrupts the state of the
+/// shot that fires it so the health sentinels can be exercised end to end —
+/// `torn` plants a NaN amplitude, `error` doubles every amplitude (norm
+/// drift). Compiled out entirely without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+fn inject_shot_corruption(state: &mut [Complex64]) {
+    match qaprox_fault::eval("traj.corrupt") {
+        Some(qaprox_fault::FaultAction::Torn) => state[0] = Complex64::new(f64::NAN, 0.0),
+        Some(qaprox_fault::FaultAction::Error) => {
+            for z in state.iter_mut() {
+                *z = Complex64::new(z.re * 2.0, z.im * 2.0);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn inject_shot_corruption(_state: &mut [Complex64]) {}
 
 /// Applies one precompiled noise event, consuming draws from `rng`.
 fn apply_event<R: Rng>(state: &mut [Complex64], ev: &NoiseEvent, rng: &mut R) {
@@ -812,6 +957,7 @@ pub struct TrajectoryBackend {
     model: NoiseModel,
     shots: usize,
     seed: u64,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl TrajectoryBackend {
@@ -821,6 +967,7 @@ impl TrajectoryBackend {
             model,
             shots: DEFAULT_TRAJECTORY_SHOTS,
             seed: 0x7261_6A00,
+            cancel: None,
         }
     }
 
@@ -830,7 +977,22 @@ impl TrajectoryBackend {
             model,
             shots: shots.max(1),
             seed: 0x7261_6A00,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token, checked once per shot:
+    /// when it reads `true` the run stops early, the partial rows carry
+    /// [`HealthReport::cancelled`], and the caller should discard them.
+    /// This is how an expired serve job stops a wide trajectory run mid-way
+    /// instead of completing uselessly.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    fn cancel_flag(&self) -> Option<&AtomicBool> {
+        self.cancel.as_deref()
     }
 
     /// The underlying noise model.
@@ -852,7 +1014,23 @@ impl TrajectoryBackend {
     /// One full "job": `shots` trajectories, averaged, plus readout
     /// confusion. `job_seed` distinguishes repeated submissions.
     pub fn probabilities(&self, circuit: &Circuit, job_seed: u64) -> Vec<f64> {
-        trajectory_probabilities(circuit, &self.model, self.shots, self.seed ^ job_seed)
+        self.probabilities_health(circuit, job_seed).0
+    }
+
+    /// [`probabilities`](Self::probabilities) plus the run's
+    /// [`HealthReport`] (aborted-shot and cancellation accounting). The row
+    /// is bit-identical to [`probabilities`](Self::probabilities) whenever
+    /// the report is healthy.
+    pub fn probabilities_health(
+        &self,
+        circuit: &Circuit,
+        job_seed: u64,
+    ) -> (Vec<f64>, HealthReport) {
+        let program = self.compile(circuit);
+        let (mut probs, health) =
+            program.shot_average_health(self.shots, self.seed ^ job_seed, self.cancel_flag());
+        program.fold_readout(&mut probs);
+        (probs, health)
     }
 
     /// Finite measurement-shot counts drawn from the trajectory-averaged
@@ -875,6 +1053,15 @@ impl TrajectoryBackend {
     /// evaluation). Failpoint `traj.batch`: injects a mid-batch failure so
     /// the executor's degradation path can be chaos-tested.
     pub fn probabilities_batch(&self, circuits: &[Circuit]) -> Result<Vec<Vec<f64>>, String> {
+        Ok(self.probabilities_batch_health(circuits)?.0)
+    }
+
+    /// [`probabilities_batch`](Self::probabilities_batch) plus one
+    /// [`HealthReport`] per candidate row.
+    pub fn probabilities_batch_health(
+        &self,
+        circuits: &[Circuit],
+    ) -> Result<(Vec<Vec<f64>>, Vec<HealthReport>), String> {
         let seeds: Vec<u64> = (0..circuits.len()).map(|i| self.seed ^ i as u64).collect();
         self.batch_with_seeds(circuits.iter(), seeds)
     }
@@ -890,6 +1077,19 @@ impl TrajectoryBackend {
         circuits: &[&Circuit],
         job_seed: u64,
     ) -> Result<Vec<Vec<f64>>, String> {
+        Ok(self
+            .probabilities_batch_seeded_health(circuits, job_seed)?
+            .0)
+    }
+
+    /// [`probabilities_batch_seeded`](Self::probabilities_batch_seeded) plus
+    /// one [`HealthReport`] per candidate row — what `analyze --check-shots`
+    /// uses to report per-file health instead of dropping failed candidates.
+    pub fn probabilities_batch_seeded_health(
+        &self,
+        circuits: &[&Circuit],
+        job_seed: u64,
+    ) -> Result<(Vec<Vec<f64>>, Vec<HealthReport>), String> {
         let seeds = vec![self.seed ^ job_seed; circuits.len()];
         self.batch_with_seeds(circuits.iter().copied(), seeds)
     }
@@ -898,20 +1098,20 @@ impl TrajectoryBackend {
         &self,
         circuits: impl Iterator<Item = &'c Circuit>,
         seeds: Vec<u64>,
-    ) -> Result<Vec<Vec<f64>>, String> {
+    ) -> Result<(Vec<Vec<f64>>, Vec<HealthReport>), String> {
         qaprox_fault::fail_point!("traj.batch", |_action| {
             Err(qaprox_fault::injected_error("traj.batch"))
         });
         let programs: Vec<FusedProgram> = circuits.map(|c| self.compile(c)).collect();
         if programs.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
         let batch = TrajectoryBatch::new(programs.iter().collect(), seeds)?;
-        let (mut rows, _stats) = batch.shot_average_with_stats(self.shots);
+        let (mut rows, healths, _stats) = batch.shot_average_health(self.shots, self.cancel_flag());
         for (row, prog) in rows.iter_mut().zip(&programs) {
             prog.fold_readout(row);
         }
-        Ok(rows)
+        Ok((rows, healths))
     }
 }
 
@@ -1027,11 +1227,29 @@ impl<'a> TrajectoryBatch<'a> {
     /// candidate in input order, plus the reset/group counters. See the
     /// type docs for the bit-identity contract.
     pub fn shot_average_with_stats(&self, shots: usize) -> (Vec<Vec<f64>>, BatchStats) {
+        let (rows, _healths, stats) = self.shot_average_health(shots, None);
+        (rows, stats)
+    }
+
+    /// [`shot_average_with_stats`](Self::shot_average_with_stats) plus one
+    /// [`HealthReport`] per candidate and an optional cooperative
+    /// cancellation token, mirroring
+    /// [`FusedProgram::shot_average_health`]'s contract: corrupt shots
+    /// (NaN/Inf amplitudes, norm drift beyond [`NORM_DRIFT_TOL`]) are
+    /// aborted per candidate and excluded from that candidate's average;
+    /// rows stay bit-identical to the solo path whenever their report is
+    /// healthy. Failpoint `traj.shot` evaluates once per shot per group.
+    pub fn shot_average_health(
+        &self,
+        shots: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> (Vec<Vec<f64>>, Vec<HealthReport>, BatchStats) {
         let dim = 1usize << self.num_qubits;
         let n_cand = self.programs.len();
         if shots == 0 {
             return (
                 vec![vec![0.0; dim]; n_cand],
+                vec![HealthReport::default(); n_cand],
                 BatchStats {
                     resets: 0,
                     groups: 0,
@@ -1041,8 +1259,8 @@ impl<'a> TrajectoryBatch<'a> {
         let cap = self.group_capacity();
         let chunk = shot_chunk(self.num_qubits);
         let chunks = shots.div_ceil(chunk);
-        let inv = 1.0 / shots as f64;
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n_cand);
+        let mut reports: Vec<HealthReport> = Vec::with_capacity(n_cand);
         let mut groups = 0usize;
         let mut resets = 0u64;
         let mut g0 = 0usize;
@@ -1054,44 +1272,72 @@ impl<'a> TrajectoryBatch<'a> {
             // Per chunk: one interleaved arena, one accumulator per
             // candidate. Each shot zeroes the arena once (the shared
             // reset), then every candidate runs from its own slice.
-            let partials: Vec<Vec<Vec<f64>>> = par_map_range(chunks, |c| {
+            let partials: Vec<(Vec<Vec<f64>>, Vec<HealthReport>)> = par_map_range(chunks, |c| {
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(shots);
                 let mut arena = vec![Complex64::ZERO; glen * dim];
                 let mut accs = vec![vec![0.0f64; dim]; glen];
+                let mut healths = vec![HealthReport::default(); glen];
                 for shot in lo..hi {
+                    if cancel.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                        for h in healths.iter_mut() {
+                            h.cancelled = true;
+                        }
+                        break;
+                    }
+                    qaprox_fault::fail_point!("traj.shot");
                     arena.fill(Complex64::ZERO);
                     for (g, prog) in group.iter().enumerate() {
                         let state = &mut arena[g * dim..(g + 1) * dim];
                         state[0] = Complex64::ONE;
                         let mut rng = shot_rng(group_seeds[g], shot as u64);
                         prog.run_ops(state, &mut rng);
-                        for (a, z) in accs[g].iter_mut().zip(state.iter()) {
-                            *a += z.norm_sqr();
+                        inject_shot_corruption(state);
+                        match shot_verdict(state) {
+                            ShotVerdict::Clean => {
+                                healths[g].clean_shots += 1;
+                                for (a, z) in accs[g].iter_mut().zip(state.iter()) {
+                                    *a += z.norm_sqr();
+                                }
+                            }
+                            ShotVerdict::Nan => {
+                                healths[g].aborted_shots += 1;
+                                healths[g].nan_events += 1;
+                            }
+                            ShotVerdict::Drift => {
+                                healths[g].aborted_shots += 1;
+                                healths[g].norm_drift_events += 1;
+                            }
                         }
                     }
                 }
-                accs
+                (accs, healths)
             });
             // chunk partials reduce in index order, exactly like shot_average
             for g in 0..glen {
                 let mut probs = vec![0.0f64; dim];
-                for p in &partials {
+                let mut health = HealthReport::default();
+                for (p, h) in &partials {
                     for (dst, &x) in probs.iter_mut().zip(&p[g]) {
                         *dst += x;
                     }
+                    health.merge(&h[g]);
                 }
-                for x in probs.iter_mut() {
-                    *x *= inv;
+                if health.clean_shots > 0 {
+                    let inv = 1.0 / health.clean_shots as f64;
+                    for x in probs.iter_mut() {
+                        *x *= inv;
+                    }
                 }
                 rows.push(probs);
+                reports.push(health);
             }
             groups += 1;
             resets += shots as u64;
             g0 = g1;
         }
         BATCH_RESETS.fetch_add(resets, std::sync::atomic::Ordering::Relaxed);
-        (rows, BatchStats { resets, groups })
+        (rows, reports, BatchStats { resets, groups })
     }
 }
 
@@ -1635,5 +1881,115 @@ mod tests {
             .shot_average_with_stats(25);
         // other tests may batch concurrently, so the delta is a lower bound
         assert!(batch_reset_total() >= before + 25);
+    }
+
+    #[test]
+    fn health_report_is_clean_on_a_clean_run() {
+        let cal = ourense().induced(&[0, 1]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 32);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let (probs, health) = tb.probabilities_health(&c, 7);
+        assert_eq!(
+            health,
+            HealthReport {
+                clean_shots: 32,
+                ..HealthReport::default()
+            }
+        );
+        assert!(health.is_healthy());
+        // the health wrapper must not perturb the row
+        assert_eq!(probs, tb.probabilities(&c, 7));
+    }
+
+    #[test]
+    fn cancel_token_stops_a_run_at_shot_granularity() {
+        let cal = ourense().induced(&[0, 1]);
+        let flag = Arc::new(AtomicBool::new(true)); // cancelled before shot 0
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 64)
+            .with_cancel(Arc::clone(&flag));
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let (_probs, health) = tb.probabilities_health(&c, 0);
+        assert!(health.cancelled, "pre-set token must stop the run");
+        assert_eq!(health.clean_shots, 0);
+        // clearing the token restores a full clean run
+        flag.store(false, Ordering::Relaxed);
+        let (_probs, health) = tb.probabilities_health(&c, 0);
+        assert!(health.is_healthy());
+        assert_eq!(health.clean_shots, 64);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn corrupt_shots_are_aborted_and_counted() {
+        let cal = ourense().induced(&[0, 1]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 16);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let clean = tb.probabilities(&c, 3);
+
+        // torn -> NaN amplitude on the fourth shot: aborted, counted, and
+        // the surviving 15 shots still average to a sane distribution
+        let guard = qaprox_fault::Scenario::setup("traj.corrupt=after:3->torn");
+        let (probs, health) = tb.probabilities_health(&c, 3);
+        drop(guard);
+        assert_eq!(health.aborted_shots, 1);
+        assert_eq!(health.nan_events, 1);
+        assert_eq!(health.clean_shots, 15);
+        assert!(!health.is_healthy());
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        // error -> doubled amplitudes: norm drift, same abort accounting
+        let guard = qaprox_fault::Scenario::setup("traj.corrupt=after:0");
+        let (_probs, health) = tb.probabilities_health(&c, 3);
+        drop(guard);
+        assert_eq!(health.norm_drift_events, 1);
+        assert_eq!(health.aborted_shots, 1);
+
+        // with the scenario gone, the run is bit-identical to the baseline
+        assert_eq!(tb.probabilities(&c, 3), clean);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn batch_health_isolates_the_corrupt_candidate() {
+        let cal = ourense().induced(&[0, 1]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 8);
+        let circuits: Vec<Circuit> = (0..3)
+            .map(|i| {
+                let mut c = Circuit::new(2);
+                c.h(0).rz(0.1 * i as f64, 0).cx(0, 1);
+                c
+            })
+            .collect();
+        let clean = tb.probabilities_batch(&circuits).unwrap();
+        // the batch walks candidates per shot, so eval #1 is (shot 0,
+        // candidate 1): exactly one candidate takes the NaN hit
+        let guard = qaprox_fault::Scenario::setup("traj.corrupt=after:1->torn");
+        let (rows, healths) = tb.probabilities_batch_health(&circuits).unwrap();
+        drop(guard);
+        assert_eq!(healths.len(), 3);
+        assert_eq!(healths[1].nan_events, 1);
+        assert_eq!(healths[1].clean_shots, 7);
+        assert!(healths[0].is_healthy() && healths[2].is_healthy());
+        // untouched candidates stay bit-identical to the clean batch
+        assert_eq!(rows[0], clean[0]);
+        assert_eq!(rows[2], clean[2]);
+        assert!(rows[1].iter().all(|p| p.is_finite()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn traj_shot_failpoint_evaluates_per_shot() {
+        let cal = ourense().induced(&[0, 1]);
+        let tb = TrajectoryBackend::with_shots(NoiseModel::from_calibration(cal), 8);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let _guard = qaprox_fault::Scenario::setup("traj.shot=never");
+        let before = qaprox_fault::evals("traj.shot");
+        tb.probabilities(&c, 0);
+        assert_eq!(qaprox_fault::evals("traj.shot"), before + 8);
     }
 }
